@@ -1,0 +1,471 @@
+// Benchmarks for every experiment in DESIGN.md's per-experiment index.
+// Each BenchmarkEnn target measures the hot path behind the
+// corresponding table/figure reproduction; cmd/ads-bench prints the
+// paper-style tables themselves.
+package appshare_test
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"io"
+	"testing"
+	"time"
+
+	"appshare"
+	"appshare/internal/bfcp"
+	"appshare/internal/codec"
+	"appshare/internal/core"
+	"appshare/internal/framing"
+	"appshare/internal/hip"
+	"appshare/internal/keycodes"
+	"appshare/internal/region"
+	"appshare/internal/remoting"
+	"appshare/internal/rtcp"
+	"appshare/internal/rtp"
+	"appshare/internal/sdp"
+	"appshare/internal/wire"
+	"appshare/internal/workload"
+)
+
+// BenchmarkE01HeaderCodec measures the common remoting/HIP header
+// (Figure 7) encode+decode path every packet traverses.
+func BenchmarkE01HeaderCodec(b *testing.B) {
+	w := wire.NewWriter(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := wire.NewWriter(4)
+		core.Header{Type: core.TypeRegionUpdate, Parameter: 0x85, WindowID: 3}.AppendTo(w)
+		if _, _, err := core.ParseHeader(w.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = w
+}
+
+// BenchmarkE02WMInfoCodec measures WindowManagerInfo (Figures 8/9)
+// marshal + decode for a 10-window desktop.
+func BenchmarkE02WMInfoCodec(b *testing.B) {
+	msg := &remoting.WindowManagerInfo{}
+	for i := 0; i < 10; i++ {
+		msg.Windows = append(msg.Windows, remoting.WindowRecord{
+			WindowID: uint16(i + 1),
+			GroupID:  uint8(i % 3),
+			Bounds:   region.XYWH(i*50, i*40, 400, 300),
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := msg.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := remoting.DecodePayload(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE03FragmentReassemble measures the Table 2 fragmentation
+// machinery: a 64 KiB update split at MTU 1200 and reassembled.
+func BenchmarkE03FragmentReassemble(b *testing.B) {
+	content := bytes.Repeat([]byte{0xA5}, 64<<10)
+	update := &remoting.RegionUpdate{WindowID: 1, ContentPT: 96, Content: content}
+	ra := core.NewReassembler()
+	b.SetBytes(int64(len(content)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frags, err := update.Fragments(1200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var done bool
+		for _, f := range frags {
+			msg, err := ra.Push(f.Payload, f.Marker)
+			if err != nil {
+				b.Fatal(err)
+			}
+			done = msg != nil
+		}
+		if !done {
+			b.Fatal("message did not complete")
+		}
+	}
+}
+
+// BenchmarkE04ScrollMoveVsUpdate compares one scrolled-frame capture
+// with MoveRectangle detection against full pixel re-encoding.
+func BenchmarkE04ScrollMoveVsUpdate(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"move", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			desk := appshare.NewDesktop(1280, 1024)
+			win := desk.CreateWindow(1, appshare.XYWH(100, 80, 640, 480))
+			host, err := appshare.NewHost(appshare.HostConfig{
+				Desktop: desk,
+				Capture: appshare.CaptureOptions{DisableMoveDetection: mode.disable},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer host.Close()
+			sc := workload.NewScrolling(win, 3, 7)
+			if err := host.Tick(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Step()
+				if err := host.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE07HIPCodec measures HIP event (Table 3) marshal+unmarshal.
+func BenchmarkE07HIPCodec(b *testing.B) {
+	events := []hip.Event{
+		&hip.MousePressed{WindowID: 1, Button: 1, Left: 640, Top: 480},
+		&hip.MouseMoved{WindowID: 1, Left: 641, Top: 481},
+		&hip.MouseWheelMoved{WindowID: 1, Left: 641, Top: 481, Distance: -120},
+		&hip.KeyPressed{WindowID: 1, KeyCode: keycodes.VKF1},
+		&hip.KeyTyped{WindowID: 1, Text: "hello"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := events[i%len(events)]
+		buf, err := hip.Marshal(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hip.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE08LateJoin measures building a full PLI refresh (window
+// state + full-window content + pointer) of a 640x480 text window.
+func BenchmarkE08LateJoin(b *testing.B) {
+	desk := appshare.NewDesktop(1280, 1024)
+	win := desk.CreateWindow(1, appshare.XYWH(100, 80, 640, 480))
+	host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer host.Close()
+	ty := workload.NewTyping(win, 2000, 3)
+	for i := 0; i < 20; i++ {
+		ty.Step()
+	}
+	if err := host.Tick(); err != nil {
+		b.Fatal(err)
+	}
+	hostSide, partSide := appshare.SimulatedLink(appshare.LinkConfig{Seed: 1}, appshare.LinkConfig{Seed: 2})
+	remote, err := host.AttachPacketConn("late", hostSide, appshare.PacketOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := partSide.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := host.RequestRefresh(remote); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE09NACKRecovery measures NACK construction + pair expansion +
+// retransmit log lookups for a 10%-loss pattern over 1000 packets.
+func BenchmarkE09NACKRecovery(b *testing.B) {
+	var lost []uint16
+	for s := uint16(0); s < 1000; s++ {
+		if s%10 == 3 {
+			lost = append(lost, s)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pairs := rtcp.BuildNACKPairs(lost)
+		n := &rtcp.NACK{SenderSSRC: 1, MediaSSRC: 2, Pairs: pairs}
+		buf, err := rtcp.Marshal(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts, err := rtcp.Unmarshal(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := pkts[0].(*rtcp.NACK).Lost(); len(got) != len(lost) {
+			b.Fatalf("lost %d != %d", len(got), len(lost))
+		}
+	}
+}
+
+// BenchmarkE10Codecs measures each codec on each content class
+// (Section 4.2's table).
+func BenchmarkE10Codecs(b *testing.B) {
+	synth := textImage(b)
+	photo := workload.Photo(640, 480, 11)
+	codecs := []appshare.Codec{codec.PNG{}, codec.JPEG{Quality: 75}, codec.Raw{}}
+	contents := []struct {
+		name string
+		img  *image.RGBA
+	}{{"synthetic", synth}, {"photo", photo}}
+	for _, c := range codecs {
+		for _, in := range contents {
+			b.Run(fmt.Sprintf("%s/%s", c.Name(), in.name), func(b *testing.B) {
+				b.SetBytes(int64(len(in.img.Pix)))
+				var encoded int64
+				for i := 0; i < b.N; i++ {
+					data, err := c.Encode(in.img)
+					if err != nil {
+						b.Fatal(err)
+					}
+					encoded += int64(len(data))
+				}
+				b.ReportMetric(float64(encoded)/float64(b.N), "bytes/frame")
+			})
+		}
+	}
+}
+
+func textImage(b *testing.B) *image.RGBA {
+	b.Helper()
+	desk := appshare.NewDesktop(800, 600)
+	win := desk.CreateWindow(1, appshare.XYWH(0, 0, 640, 480))
+	ty := workload.NewTyping(win, 4000, 9)
+	for i := 0; i < 12; i++ {
+		ty.Step()
+	}
+	return win.Snapshot()
+}
+
+// BenchmarkE11Backlog measures a host tick delivering to a backlogged
+// stream (deferral path) versus a clear one.
+func BenchmarkE11Backlog(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		rate int
+	}{{"clear", 0}, {"backlogged", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			desk := appshare.NewDesktop(1280, 1024)
+			win := desk.CreateWindow(1, appshare.XYWH(100, 80, 512, 384))
+			host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk, BacklogLimit: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer host.Close()
+			hostEnd, partEnd := benchStreamPair()
+			go io.Copy(io.Discard, partEnd)
+			if _, err := host.AttachStream("s", hostEnd, appshare.StreamOptions{BytesPerSecond: mode.rate}); err != nil {
+				b.Fatal(err)
+			}
+			vid := workload.NewVideoRegion(win, appshare.XYWH(0, 0, 128, 96), 13)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vid.Step()
+				if err := host.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12Fanout measures one tick at increasing multicast audience
+// sizes: the cost should stay flat (one encode, N sends on the bus).
+func BenchmarkE12Fanout(b *testing.B) {
+	for _, n := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("subs-%d", n), func(b *testing.B) {
+			desk := appshare.NewDesktop(1280, 1024)
+			win := desk.CreateWindow(1, appshare.XYWH(100, 80, 512, 384))
+			host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer host.Close()
+			bus := appshare.NewBus()
+			for i := 0; i < n; i++ {
+				sub := bus.Subscribe(appshare.LinkConfig{Seed: int64(i + 1)})
+				go func() {
+					for {
+						if _, err := sub.Recv(); err != nil {
+							return
+						}
+					}
+				}()
+			}
+			if _, err := host.AttachMulticast("g", bus); err != nil {
+				b.Fatal(err)
+			}
+			ty := workload.NewTyping(win, 64, 21)
+			if err := host.Tick(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ty.Step()
+				if err := host.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13Registry measures message type registry classification
+// (Tables 1/3/4/5).
+func BenchmarkE13Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for t := core.MessageType(0); t < 130; t++ {
+			_ = t.IsRemoting()
+			_ = t.IsHIP()
+		}
+	}
+}
+
+// BenchmarkE14SDP measures offer generation + parsing (Section 10).
+func BenchmarkE14SDP(b *testing.B) {
+	cfg := sdp.OfferConfig{
+		RemotingPort: 6000, RemotingPT: 99, OfferUDP: true, OfferTCP: true,
+		Retransmissions: true, HIPPort: 6006, HIPPT: 100, BFCPPort: 50000, HIPStream: 10,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := sdp.BuildOffer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parsed, err := sdp.Parse(d.Marshal())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sdp.ParseOffer(parsed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE15Floor measures a full request-grant-release floor cycle
+// with one queued waiter (Appendix A).
+func BenchmarkE15Floor(b *testing.B) {
+	floor := bfcp.NewFloor(1, func(uint16, *bfcp.Message) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := floor.Request(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := floor.Request(2); err != nil {
+			b.Fatal(err)
+		}
+		if err := floor.Release(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := floor.Release(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16RTPHeader measures RTP header marshal+unmarshal
+// (Section 5.1.1 usage rules ride on this path).
+func BenchmarkE16RTPHeader(b *testing.B) {
+	pz := rtp.NewPacketizer(1234, 99, time.Now())
+	payload := bytes.Repeat([]byte{1}, 1000)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkt := pz.Packetize(payload, i%5 == 0, now)
+		raw, err := pkt.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var back rtp.Packet
+		if err := back.Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17Framing measures RFC 4571 framing throughput for
+// MTU-sized packets.
+func BenchmarkE17Framing(b *testing.B) {
+	var buf bytes.Buffer
+	w := framing.NewWriter(&buf)
+	pkt := bytes.Repeat([]byte{7}, 1200)
+	b.SetBytes(int64(len(pkt)))
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := w.WriteFrame(pkt); err != nil {
+			b.Fatal(err)
+		}
+		r := framing.NewReader(&buf)
+		if _, err := r.ReadFrame(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE18Validate measures the Section 4.1 HIP legitimacy check
+// against a 10-window shared set.
+func BenchmarkE18Validate(b *testing.B) {
+	desk := appshare.NewDesktop(1280, 1024)
+	for i := 0; i < 10; i++ {
+		desk.CreateWindow(1, appshare.XYWH(i*100, i*60, 300, 200))
+	}
+	host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer host.Close()
+	hostSide, partSide := appshare.SimulatedLink(appshare.LinkConfig{Seed: 1}, appshare.LinkConfig{Seed: 2})
+	remote, err := host.AttachPacketConn("p", hostSide, appshare.PacketOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := partSide.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	ev := &hip.MouseMoved{WindowID: 10, Left: 950, Top: 600}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := host.InjectEvent(remote, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStreamPair mirrors the test helper for benchmarks.
+func benchStreamPair() (a, b io.ReadWriteCloser) {
+	ar, bw := io.Pipe()
+	br, aw := io.Pipe()
+	a = &benchDuplex{Reader: ar, Writer: aw, c1: ar, c2: aw}
+	b = &benchDuplex{Reader: br, Writer: bw, c1: br, c2: bw}
+	return a, b
+}
+
+type benchDuplex struct {
+	io.Reader
+	io.Writer
+	c1, c2 io.Closer
+}
+
+func (d *benchDuplex) Close() error {
+	_ = d.c2.Close()
+	return d.c1.Close()
+}

@@ -1,0 +1,64 @@
+// ads-bench regenerates the evaluation tables recorded in EXPERIMENTS.md:
+// one experiment per design claim of draft-boyaci-avt-app-sharing-00.
+// Absolute numbers depend on the machine; the shapes (who wins, by what
+// factor) are what the experiments assert.
+//
+// Run all experiments:
+//
+//	ads-bench
+//
+// Or a subset:
+//
+//	ads-bench -run E04,E10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"E03", "fragmentation overhead vs MTU (Table 2)", runE03Fragmentation},
+		{"E04", "MoveRectangle vs RegionUpdate on scrolls (Section 5.2.3)", runE04Scroll},
+		{"E08", "UDP late join via PLI (Sections 4.3, 5.3.1)", runE08LateJoin},
+		{"E09", "NACK loss repair vs loss rate (Section 5.3.2)", runE09NACK},
+		{"E10", "codec x content matrix (Section 4.2)", runE10Codecs},
+		{"E11", "backlog-aware sending on a slow link (Section 7)", runE11Backlog},
+		{"E12", "fan-out cost vs participant count (Section 4.2)", runE12Fanout},
+		{"E15", "BFCP floor control churn (Appendix A)", runE15Floor},
+		{"E19", "event-driven vs polling capture (Section 4.2)", runE19CaptureModes},
+		{"E20", "click-to-photon interaction latency vs tick rate", runE20Latency},
+	}
+
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.id, e.title)
+		e.run()
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiments matched %q", *runList)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"io"
+
+	"appshare"
+	"appshare/internal/framing"
+)
+
+// duplex glues two io.Pipes into a ReadWriteCloser pair for in-process
+// stream experiments.
+type duplex struct {
+	io.Reader
+	io.Writer
+	closeR func() error
+	closeW func() error
+}
+
+func (d *duplex) Close() error {
+	_ = d.closeW()
+	return d.closeR()
+}
+
+// streamPair returns two connected in-memory stream endpoints.
+func streamPair() (a, b io.ReadWriteCloser) {
+	ar, bw := io.Pipe()
+	br, aw := io.Pipe()
+	a = &duplex{Reader: ar, Writer: aw, closeR: ar.Close, closeW: aw.Close}
+	b = &duplex{Reader: br, Writer: bw, closeR: br.Close, closeW: bw.Close}
+	return a, b
+}
+
+// pumpStream feeds framed remoting packets into a participant until EOF.
+func pumpStream(p *appshare.Participant, src io.Reader) {
+	fr := framing.NewReader(src)
+	for {
+		pkt, err := fr.ReadFrame()
+		if err != nil {
+			return
+		}
+		_ = p.HandlePacket(pkt)
+	}
+}

@@ -1,0 +1,158 @@
+// ads-host runs an Application Host: it shares a virtual desktop driven
+// by a scripted workload and serves TCP and/or UDP participants.
+//
+// Examples:
+//
+//	ads-host -tcp 127.0.0.1:6000 -workload typing
+//	ads-host -tcp :6000 -udp :6000 -workload scrolling -fps 20 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"appshare"
+	"appshare/internal/apps"
+	"appshare/internal/workload"
+)
+
+func main() {
+	var (
+		tcpAddr   = flag.String("tcp", "127.0.0.1:6000", "TCP listen address (empty to disable)")
+		udpAddr   = flag.String("udp", "", "UDP listen address (empty to disable)")
+		width     = flag.Int("width", 1280, "desktop width in pixels")
+		height    = flag.Int("height", 1024, "desktop height in pixels")
+		wl        = flag.String("workload", "typing", "workload: typing|scrolling|slideshow|video|drag|editor|whiteboard|slides|idle")
+		fps       = flag.Int("fps", 10, "capture ticks per second")
+		duration  = flag.Duration("duration", 0, "how long to run (0 = forever)")
+		retrans   = flag.Bool("retransmissions", true, "serve NACK retransmissions to UDP participants")
+		autoCodec = flag.Bool("autocodec", false, "classify regions and pick PNG/JPEG automatically")
+		showStats = flag.Bool("stats", true, "print traffic stats on exit")
+		printSDP  = flag.Bool("sdp", false, "print the session SDP offer and exit")
+	)
+	flag.Parse()
+
+	if *printSDP {
+		offer, err := appshare.BuildSDPOffer(appshare.SDPOffer{
+			Address:         "127.0.0.1",
+			RemotingPort:    6000,
+			RemotingPT:      99,
+			OfferUDP:        *udpAddr != "",
+			OfferTCP:        *tcpAddr != "",
+			Retransmissions: *retrans,
+			HIPPort:         6006,
+			HIPPT:           100,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(offer)
+		return
+	}
+
+	desk := appshare.NewDesktop(*width, *height)
+	win := desk.CreateWindow(1, appshare.XYWH(*width/8, *height/8, *width/2, *height/2))
+
+	var w appshare.Workload
+	switch *wl {
+	case "typing":
+		w = workload.NewTyping(win, 16, 1)
+	case "scrolling":
+		w = workload.NewScrolling(win, 2, 1)
+	case "slideshow":
+		w = workload.NewSlideshow(win, 3**fps, 1)
+	case "video":
+		w = workload.NewVideoRegion(win, appshare.XYWH(20, 20, 320, 240), 1)
+	case "drag":
+		w = workload.NewWindowDrag(desk, win.ID(), 1)
+	case "editor":
+		apps.NewEditor(win)
+		w = workload.Idle{}
+	case "whiteboard":
+		apps.NewWhiteboard(win)
+		w = workload.Idle{}
+	case "slides":
+		apps.NewSlides(win, 12, 1)
+		w = workload.Idle{}
+	case "idle":
+		w = workload.Idle{}
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+
+	st := appshare.NewStats()
+	host, err := appshare.NewHost(appshare.HostConfig{
+		Desktop:         desk,
+		Retransmissions: *retrans,
+		Stats:           st,
+		Capture:         appshare.CaptureOptions{AutoSelect: *autoCodec},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("serving TCP participants on %s", ln.Addr())
+		go func() {
+			if err := appshare.ServeTCP(host, ln, appshare.StreamOptions{}); err != nil {
+				log.Printf("tcp server: %v", err)
+			}
+		}()
+	}
+	if *udpAddr != "" {
+		addr, err := net.ResolveUDPAddr("udp", *udpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sock, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sock.Close()
+		log.Printf("serving UDP participants on %s (join with a PLI)", sock.LocalAddr())
+		go func() {
+			if err := appshare.ServeUDP(host, sock, appshare.PacketOptions{}); err != nil {
+				log.Printf("udp server: %v", err)
+			}
+		}()
+	}
+
+	log.Printf("sharing %dx%d desktop, workload=%s, %d fps", *width, *height, w.Name(), *fps)
+	ticker := time.NewTicker(time.Second / time.Duration(*fps))
+	defer ticker.Stop()
+	reports := time.NewTicker(5 * time.Second) // RTCP SR interval
+	defer reports.Stop()
+	var stop <-chan time.Time
+	if *duration > 0 {
+		stop = time.After(*duration)
+	}
+	for {
+		select {
+		case <-ticker.C:
+			w.Step()
+			if err := host.Tick(); err != nil {
+				log.Fatal(err)
+			}
+		case <-reports.C:
+			if err := host.SendReports(); err != nil {
+				log.Printf("rtcp reports: %v", err)
+			}
+		case <-stop:
+			if *showStats {
+				fmt.Fprintln(os.Stderr, "\ntraffic by message type:")
+				fmt.Fprint(os.Stderr, st.String())
+			}
+			return
+		}
+	}
+}

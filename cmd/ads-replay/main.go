@@ -1,0 +1,144 @@
+// ads-replay re-renders a recorded sharing session offline: it feeds a
+// trace file (recorded with ads-view -record or Connection.RecordTo)
+// into a fresh participant and writes PNG frames, optionally honoring
+// the original packet timing.
+//
+// Examples:
+//
+//	ads-replay -in session.trace -out final.png
+//	ads-replay -in session.trace -frames frames/ -every 500ms -realtime
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"image/png"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"appshare"
+	"appshare/internal/trace"
+	"appshare/internal/windows"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "trace file (required)")
+		out      = flag.String("out", "replay.png", "final rendered screen")
+		frames   = flag.String("frames", "", "directory for periodic frames (optional)")
+		every    = flag.Duration("every", time.Second, "frame interval in trace time")
+		realtime = flag.Bool("realtime", false, "sleep to honor original packet pacing")
+		layout   = flag.String("layout", "original", "layout: original|autoshift|compact")
+		width    = flag.Int("width", 1280, "screen width")
+		height   = flag.Int("height", 1024, "screen height")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var lay appshare.Layout
+	switch *layout {
+	case "original":
+		lay = appshare.OriginalLayout{}
+	case "autoshift":
+		lay = &windows.AutoShiftLayout{}
+	case "compact":
+		lay = &appshare.CompactLayout{Screen: appshare.XYWH(0, 0, *width, *height)}
+	default:
+		log.Fatalf("unknown layout %q", *layout)
+	}
+	p := appshare.NewParticipant(appshare.ParticipantConfig{
+		Layout:      lay,
+		ScreenWidth: *width, ScreenHeight: *height,
+	})
+
+	if *frames != "" {
+		if err := os.MkdirAll(*frames, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var (
+		count     int
+		rtcpCount int
+		frameNo   int
+		nextFrame = *every
+		prev      time.Duration
+	)
+	for {
+		rec, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			log.Fatalf("after %d packets: %v", count, err)
+		}
+		if *realtime {
+			if gap := rec.Offset - prev; gap > 0 {
+				time.Sleep(gap)
+			}
+		}
+		prev = rec.Offset
+		if *frames != "" {
+			for rec.Offset >= nextFrame {
+				writeFrame(*frames, frameNo, p)
+				frameNo++
+				nextFrame += *every
+			}
+		}
+		if len(rec.Packet) >= 2 && rec.Packet[1] >= 200 && rec.Packet[1] <= 207 {
+			rtcpCount++
+			continue
+		}
+		if err := p.HandlePacket(rec.Packet); err != nil {
+			continue // stray packets are skipped, as a live viewer would
+		}
+		count++
+	}
+
+	o, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer o.Close()
+	if err := png.Encode(o, p.Render()); err != nil {
+		log.Fatal(err)
+	}
+	received, dups, reordered, dropped := p.Stats()
+	fmt.Printf("replayed %d remoting packets (%d RTCP) over %v of trace time\n", count, rtcpCount, prev)
+	fmt.Printf("stream: %d received, %d dup, %d reordered, %d messages dropped, %d gaps left\n",
+		received, dups, reordered, dropped, len(p.MissingSequences()))
+	fmt.Printf("windows: %v; final screen -> %s", p.Windows(), *out)
+	if frameNo > 0 {
+		fmt.Printf(" (+%d frames in %s)", frameNo, *frames)
+	}
+	fmt.Println()
+}
+
+func writeFrame(dir string, n int, p *appshare.Participant) {
+	path := filepath.Join(dir, fmt.Sprintf("frame-%04d.png", n))
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, p.Render()); err != nil {
+		log.Fatal(err)
+	}
+}

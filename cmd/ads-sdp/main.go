@@ -1,0 +1,91 @@
+// ads-sdp generates or inspects session descriptions for application and
+// desktop sharing sessions (draft Section 10).
+//
+// Examples:
+//
+//	ads-sdp -generate -address 192.0.2.10 -bfcp 50000
+//	ads-sdp -parse offer.sdp
+//	ads-sdp -example          # print and parse the draft's 10.3 example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"appshare"
+	"appshare/internal/sdp"
+)
+
+func main() {
+	var (
+		generate = flag.Bool("generate", false, "generate an offer")
+		parse    = flag.String("parse", "", "parse an SDP file and print the session parameters")
+		example  = flag.Bool("example", false, "print and parse the draft Section 10.3 example")
+
+		address  = flag.String("address", "127.0.0.1", "connection address")
+		remoting = flag.Int("remoting-port", 6000, "remoting port (UDP and TCP)")
+		hipPort  = flag.Int("hip-port", 6006, "HIP port")
+		bfcpPort = flag.Int("bfcp", 0, "BFCP floor control port (0 = none)")
+		udp      = flag.Bool("udp", true, "offer UDP remoting")
+		tcp      = flag.Bool("tcp", true, "offer TCP remoting")
+		retrans  = flag.Bool("retransmissions", true, "announce UDP retransmission support")
+	)
+	flag.Parse()
+
+	switch {
+	case *example:
+		fmt.Print(sdp.Example103)
+		sess, err := appshare.ParseSDPOffer("v=0\r\ns=-\r\nt=0 0\r\n" + sdp.Example103)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSession(sess)
+	case *generate:
+		offer, err := appshare.BuildSDPOffer(appshare.SDPOffer{
+			Address:         *address,
+			RemotingPort:    *remoting,
+			RemotingPT:      99,
+			OfferUDP:        *udp,
+			OfferTCP:        *tcp,
+			Retransmissions: *retrans,
+			HIPPort:         *hipPort,
+			HIPPT:           100,
+			BFCPPort:        *bfcpPort,
+			HIPStream:       10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(offer)
+	case *parse != "":
+		data, err := os.ReadFile(*parse)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err := appshare.ParseSDPOffer(string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSession(sess)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printSession(s *appshare.SDPSession) {
+	fmt.Println("---")
+	fmt.Printf("remoting: PT %d, rate %d Hz\n", s.RemotingPT, s.Rate)
+	if s.RemotingUDPPort != 0 {
+		fmt.Printf("  UDP port %d (retransmissions=%v)\n", s.RemotingUDPPort, s.Retransmissions)
+	}
+	if s.RemotingTCPPort != 0 {
+		fmt.Printf("  TCP port %d\n", s.RemotingTCPPort)
+	}
+	fmt.Printf("hip: PT %d, port %d\n", s.HIPPT, s.HIPPort)
+	if s.BFCPPort != 0 {
+		fmt.Printf("bfcp floor control: port %d\n", s.BFCPPort)
+	}
+}

@@ -1,0 +1,141 @@
+// ads-view is a headless participant: it joins a sharing session over
+// TCP or UDP, maintains the shared windows under a chosen layout, and
+// periodically writes its rendered screen to PNG files.
+//
+// Examples:
+//
+//	ads-view -tcp 127.0.0.1:6000 -out view.png -duration 10s
+//	ads-view -udp 127.0.0.1:6000 -layout compact -width 640 -height 480
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/png"
+	"log"
+	"os"
+	"time"
+
+	"appshare"
+	"appshare/internal/windows"
+)
+
+func main() {
+	var (
+		tcpAddr  = flag.String("tcp", "", "host TCP address")
+		udpAddr  = flag.String("udp", "", "host UDP address")
+		layout   = flag.String("layout", "original", "layout: original|autoshift|compact")
+		width    = flag.Int("width", 1280, "local screen width")
+		height   = flag.Int("height", 1024, "local screen height")
+		out      = flag.String("out", "view.png", "output PNG path (rewritten each snapshot)")
+		interval = flag.Duration("interval", time.Second, "snapshot interval")
+		duration = flag.Duration("duration", 10*time.Second, "how long to view")
+		nack     = flag.Bool("nack", true, "send NACK requests for missing packets (UDP)")
+		record   = flag.String("record", "", "record the session to a trace file (replay with ads-replay)")
+	)
+	flag.Parse()
+	if (*tcpAddr == "") == (*udpAddr == "") {
+		log.Fatal("specify exactly one of -tcp or -udp")
+	}
+
+	var lay appshare.Layout
+	switch *layout {
+	case "original":
+		lay = appshare.OriginalLayout{}
+	case "autoshift":
+		lay = &windows.AutoShiftLayout{}
+	case "compact":
+		lay = &appshare.CompactLayout{Screen: appshare.XYWH(0, 0, *width, *height)}
+	default:
+		log.Fatalf("unknown layout %q", *layout)
+	}
+
+	p := appshare.NewParticipant(appshare.ParticipantConfig{
+		Layout:      lay,
+		ScreenWidth: *width, ScreenHeight: *height,
+	})
+
+	var conn *appshare.Connection
+	var err error
+	isUDP := *udpAddr != ""
+	if isUDP {
+		conn, err = appshare.DialUDP(p, *udpAddr)
+	} else {
+		conn, err = appshare.DialTCP(p, *tcpAddr)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tw, err := appshare.NewTraceWriter(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tw.Flush()
+		conn.RecordTo(tw)
+		log.Printf("recording session to %s", *record)
+	}
+
+	if isUDP {
+		// Section 4.3: UDP late joiners announce themselves with a PLI.
+		if err := conn.SendPLI(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	log.Printf("viewing; snapshots to %s every %v", *out, *interval)
+	// Loss repair (PLI/NACK) with NACK-storm damping runs in the
+	// background.
+	stopRepair := make(chan struct{})
+	defer close(stopRepair)
+	if !isUDP || *nack {
+		go func() {
+			if err := conn.RepairLoop(stopRepair, 200*time.Millisecond, 50*time.Millisecond); err != nil {
+				log.Printf("repair loop: %v", err)
+			}
+		}()
+	}
+	snap := time.NewTicker(*interval)
+	defer snap.Stop()
+	reports := time.NewTicker(5 * time.Second) // RTCP RR interval
+	defer reports.Stop()
+	end := time.After(*duration)
+	count := 0
+	for {
+		select {
+		case <-snap.C:
+			if err := writePNG(*out, p); err != nil {
+				log.Fatal(err)
+			}
+			count++
+		case <-reports.C:
+			if err := conn.SendReceiverReport(); err != nil {
+				log.Printf("receiver report: %v", err)
+			}
+		case <-conn.Done():
+			log.Printf("connection closed: %v", conn.Err())
+			return
+		case <-end:
+			received, dups, reordered, dropped := p.Stats()
+			fmt.Printf("wrote %d snapshots; %d packets (%d dup, %d reordered, %d messages dropped)\n",
+				count, received, dups, reordered, dropped)
+			return
+		}
+	}
+}
+
+func writePNG(path string, p *appshare.Participant) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return png.Encode(f, p.Render())
+}

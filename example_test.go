@@ -1,0 +1,97 @@
+package appshare_test
+
+import (
+	"fmt"
+	"time"
+
+	"appshare"
+	"appshare/internal/apps"
+)
+
+// ExampleHost shows a complete in-process sharing session: an AH shares
+// a window with a toggle button, a participant joins over a simulated
+// link, clicks the button through HIP, and sees the repaint.
+func ExampleHost() {
+	desk := appshare.NewDesktop(640, 480)
+	win := desk.CreateWindow(1, appshare.XYWH(100, 100, 300, 200))
+	button := apps.NewButton(win, appshare.XYWH(20, 20, 120, 40), "Demo")
+
+	host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk})
+	if err != nil {
+		panic(err)
+	}
+	defer host.Close()
+
+	hostSide, partSide := appshare.SimulatedLink(appshare.LinkConfig{Seed: 1}, appshare.LinkConfig{Seed: 2})
+	if _, err := host.AttachPacketConn("viewer", hostSide, appshare.PacketOptions{}); err != nil {
+		panic(err)
+	}
+	p := appshare.NewParticipant(appshare.ParticipantConfig{})
+	conn := appshare.ConnectPacket(p, partSide)
+	defer conn.Close()
+
+	// UDP participants announce themselves with a PLI (draft §4.3);
+	// the refresh is served at the next capture tick.
+	if err := conn.SendPLI(); err != nil {
+		panic(err)
+	}
+	waitUntilExample(func() bool {
+		if err := host.Tick(); err != nil {
+			panic(err)
+		}
+		return len(p.Windows()) == 1
+	})
+	fmt.Println("windows:", len(p.Windows()))
+
+	// Click the button at absolute desktop coordinates.
+	if err := conn.Click(win.ID(), 130, 130, appshare.ButtonLeft); err != nil {
+		panic(err)
+	}
+	waitUntilExample(func() bool {
+		if err := host.Tick(); err != nil {
+			panic(err)
+		}
+		return button.On()
+	})
+	fmt.Println("button on:", button.On())
+
+	// Output:
+	// windows: 1
+	// button on: true
+}
+
+// ExampleBuildSDPOffer generates the session description of the draft's
+// Section 10.3 deployment.
+func ExampleBuildSDPOffer() {
+	offer, err := appshare.BuildSDPOffer(appshare.SDPOffer{
+		Address:         "192.0.2.1",
+		RemotingPort:    6000,
+		RemotingPT:      99,
+		OfferUDP:        true,
+		Retransmissions: true,
+		HIPPort:         6006,
+		HIPPT:           100,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sess, err := appshare.ParseSDPOffer(offer)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("remoting UDP port %d, PT %d, retransmissions %v\n",
+		sess.RemotingUDPPort, sess.RemotingPT, sess.Retransmissions)
+	// Output:
+	// remoting UDP port 6000, PT 99, retransmissions true
+}
+
+func waitUntilExample(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	panic("example timeout")
+}

@@ -1,0 +1,129 @@
+// Classroom: one instructor AH shares the three-window desktop of the
+// draft's Figure 2 to three students, each displaying the windows under
+// a different layout policy — the exact scenarios of Figures 3, 4 and 5:
+//
+//   - student1 keeps the original coordinates (Figure 3),
+//   - student2 shifts everything 220 left / 150 up (Figure 4),
+//   - student3 compacts the windows onto a 640x480 screen (Figure 5).
+//
+// A typing workload animates window A; each student's view is written to
+// a PNG.
+//
+// Run:
+//
+//	go run ./examples/classroom
+package main
+
+import (
+	"fmt"
+	"image/png"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"appshare"
+	"appshare/internal/windows"
+	"appshare/internal/workload"
+)
+
+func main() {
+	// Figure 2: a 1280x1024 AH sharing windows A, C, B (bottom to top).
+	desk := appshare.NewDesktop(1280, 1024)
+	winA := desk.CreateWindow(1, appshare.XYWH(220, 150, 350, 450))
+	desk.CreateWindow(2, appshare.XYWH(850, 320, 160, 150)) // C
+	desk.CreateWindow(1, appshare.XYWH(450, 400, 350, 300)) // B
+
+	host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = appshare.ServeTCP(host, ln, appshare.StreamOptions{}) }()
+
+	students := []struct {
+		name   string
+		cfg    appshare.ParticipantConfig
+		figure string
+	}{
+		{
+			name:   "student1-original",
+			cfg:    appshare.ParticipantConfig{Layout: appshare.OriginalLayout{}, ScreenWidth: 1024, ScreenHeight: 768},
+			figure: "Figure 3",
+		},
+		{
+			name:   "student2-shifted",
+			cfg:    appshare.ParticipantConfig{Layout: appshare.ShiftLayout{DX: -220, DY: -150}, ScreenWidth: 1280, ScreenHeight: 1024},
+			figure: "Figure 4",
+		},
+		{
+			name: "student3-compact",
+			cfg: appshare.ParticipantConfig{
+				Layout:      &windows.CompactLayout{Screen: appshare.XYWH(0, 0, 640, 480)},
+				ScreenWidth: 640, ScreenHeight: 480,
+			},
+			figure: "Figure 5",
+		},
+	}
+
+	var conns []*appshare.Connection
+	var parts []*appshare.Participant
+	for _, s := range students {
+		p := appshare.NewParticipant(s.cfg)
+		conn, err := appshare.DialTCP(p, ln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		conns = append(conns, conn)
+		parts = append(parts, p)
+	}
+	waitAll(parts, 3)
+
+	// The instructor types a lecture into window A.
+	lecture := workload.NewTyping(winA, 24, 42)
+	for i := 0; i < 120; i++ {
+		lecture.Step()
+		if err := host.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	for i, s := range students {
+		file := s.name + ".png"
+		out, err := os.Create(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := png.Encode(out, parts[i].Render()); err != nil {
+			log.Fatal(err)
+		}
+		out.Close()
+		place, _ := parts[i].WindowPlacement(winA.ID())
+		fmt.Printf("%-18s (%s): window A placed at %v -> %s\n", s.name, s.figure, place, file)
+	}
+}
+
+func waitAll(parts []*appshare.Participant, wantWindows int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ready := 0
+		for _, p := range parts {
+			if len(p.Windows()) == wantWindows {
+				ready++
+			}
+		}
+		if ready == len(parts) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("timeout waiting for students to join")
+}

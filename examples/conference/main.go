@@ -1,0 +1,178 @@
+// Conference: a multiparty sharing session with BFCP floor control
+// (draft Appendix A) over lossy simulated UDP links, exercising the PLI
+// late-join flow (Section 4.3) and NACK loss repair (Section 5.3.2).
+//
+// Three participants join a whiteboard session. Only the floor holder
+// may draw; the others' HIP events are rejected by the AH. One
+// participant sits behind a 10%-loss link and repairs its stream with
+// NACK requests.
+//
+// Run:
+//
+//	go run ./examples/conference
+package main
+
+import (
+	"fmt"
+	"image/png"
+	"log"
+	"os"
+	"time"
+
+	"appshare"
+	"appshare/internal/apps"
+	"appshare/internal/bfcp"
+)
+
+func main() {
+	desk := appshare.NewDesktop(1024, 768)
+	board := desk.CreateWindow(1, appshare.XYWH(112, 84, 800, 600))
+	wb := apps.NewWhiteboard(board)
+
+	floor := appshare.NewFloor(1, func(userID uint16, msg *bfcp.Message) {
+		fmt.Printf("  floor chair -> user %d: %v", userID, msg.Primitive)
+		if msg.Primitive == bfcp.FloorGranted {
+			fmt.Printf(" (%v)", msg.HIDStatus)
+		}
+		if msg.Primitive == bfcp.FloorRequestQueued {
+			fmt.Printf(" (position %d)", msg.QueuePosition)
+		}
+		fmt.Println()
+	})
+
+	host, err := appshare.NewHost(appshare.HostConfig{
+		Desktop:         desk,
+		Floor:           floor,
+		Retransmissions: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+
+	// Three UDP participants; Carol's link loses 10% of datagrams.
+	links := []struct {
+		name string
+		user uint16
+		loss float64
+	}{
+		{"alice", 10, 0},
+		{"bob", 11, 0},
+		{"carol", 12, 0.10},
+	}
+	var conns []*appshare.Connection
+	var parts []*appshare.Participant
+	for i, l := range links {
+		hostSide, partSide := appshare.SimulatedLink(
+			appshare.LinkConfig{LossRate: l.loss, Seed: int64(i + 1)},
+			appshare.LinkConfig{Seed: int64(i + 100)},
+		)
+		if _, err := host.AttachPacketConn(l.name, hostSide, appshare.PacketOptions{UserID: l.user}); err != nil {
+			log.Fatal(err)
+		}
+		p := appshare.NewParticipant(appshare.ParticipantConfig{})
+		conn := appshare.ConnectPacket(p, partSide)
+		defer conn.Close()
+		// Section 4.3: UDP joiners announce themselves with a PLI.
+		if err := conn.SendPLI(); err != nil {
+			log.Fatal(err)
+		}
+		conns = append(conns, conn)
+		parts = append(parts, p)
+	}
+	time.Sleep(100 * time.Millisecond)
+	fmt.Printf("%d participants joined via PLI\n", host.Participants())
+
+	// Alice requests and receives the floor; Bob queues behind her.
+	fmt.Println("floor requests:")
+	must(floor.Request(10))
+	must(floor.Request(11))
+
+	// Alice draws a diagonal stroke.
+	fmt.Println("alice draws (floor holder):")
+	drag(host, conns[0], board.ID(), 200, 200, 400, 350)
+	fmt.Printf("  whiteboard strokes: %d\n", wb.Strokes())
+
+	// Bob tries to draw without the floor: every event is rejected.
+	before := host.HIPErrors()
+	drag(host, conns[1], board.ID(), 500, 200, 600, 300)
+	fmt.Printf("bob draws without floor: %d HIP events rejected\n", host.HIPErrors()-before)
+
+	// Alice releases; Bob (FIFO head) is granted and draws.
+	fmt.Println("alice releases the floor:")
+	must(floor.Release(10))
+	drag(host, conns[1], board.ID(), 500, 200, 600, 300)
+	fmt.Printf("  whiteboard strokes now: %d\n", wb.Strokes())
+
+	// Distribute the strokes; Carol repairs her lossy stream with NACKs.
+	for i := 0; i < 10; i++ {
+		if err := host.Tick(); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if err := conns[2].SendNACKIfNeeded(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	for i := 0; i < 5; i++ { // final repair rounds
+		if err := conns[2].SendNACKIfNeeded(); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	received, dups, reordered, dropped := parts[2].Stats()
+	fmt.Printf("carol's lossy stream: %d received, %d dup, %d reordered, %d messages dropped, %d still missing\n",
+		received, dups, reordered, dropped, len(parts[2].MissingSequences()))
+
+	out, err := os.Create("conference-carol.png")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := png.Encode(out, parts[2].Render()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("carol's repaired view written to conference-carol.png")
+}
+
+// drag simulates press-move-release along a line. The host tick drains
+// the queued input.
+func drag(h *appshare.Host, c *appshare.Connection, windowID uint16, x0, y0, x1, y1 int) {
+	if err := dragPath(c, windowID, x0, y0, x1, y1); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := h.Tick(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func dragPath(c *appshare.Connection, windowID uint16, x0, y0, x1, y1 int) error {
+	pressPkt, err := c.Participant().MousePress(windowID, x0, y0, appshare.ButtonLeft)
+	if err != nil {
+		return err
+	}
+	if err := c.SendHIP(pressPkt); err != nil {
+		return err
+	}
+	steps := 8
+	for i := 1; i <= steps; i++ {
+		x := x0 + (x1-x0)*i/steps
+		y := y0 + (y1-y0)*i/steps
+		if err := c.MoveMouse(windowID, x, y); err != nil {
+			return err
+		}
+	}
+	relPkt, err := c.Participant().MouseRelease(windowID, x1, y1, appshare.ButtonLeft)
+	if err != nil {
+		return err
+	}
+	return c.SendHIP(relPkt)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Desktopshare: the difference between application sharing and desktop
+// sharing (draft Section 2). The AH runs a "presentation" app (two
+// grouped windows) next to a private "email" window. In application-
+// sharing mode only the presentation group is transmitted and the email
+// window is blanked at the participants; switching to desktop sharing
+// transmits everything. The session is distributed over a simulated
+// multicast group.
+//
+// Run:
+//
+//	go run ./examples/desktopshare
+package main
+
+import (
+	"fmt"
+	"image/png"
+	"log"
+	"os"
+	"time"
+
+	"appshare"
+	"appshare/internal/workload"
+)
+
+func main() {
+	desk := appshare.NewDesktop(1024, 768)
+
+	// The shared application: a slide window and its notes child window
+	// (same group — "the AH MAY assign same group identifier to the
+	// windows which belongs to the same process").
+	slides := desk.CreateWindow(1, appshare.XYWH(60, 40, 600, 450))
+	notes := desk.CreateWindow(1, appshare.XYWH(60, 520, 600, 180))
+	// A private window that must NOT leak to participants.
+	email := desk.CreateWindow(2, appshare.XYWH(700, 100, 280, 400))
+
+	// Application sharing: transmit only group 1.
+	desk.ShareGroup(1)
+
+	host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+
+	// A multicast group with three members.
+	bus := appshare.NewBus()
+	var members []*appshare.Participant
+	for i := 0; i < 3; i++ {
+		sub := bus.Subscribe(appshare.LinkConfig{Seed: int64(i + 1)})
+		p := appshare.NewParticipant(appshare.ParticipantConfig{})
+		members = append(members, p)
+		go func() {
+			for {
+				pkt, err := sub.Recv()
+				if err != nil {
+					return
+				}
+				_ = p.HandlePacket(pkt)
+			}
+		}()
+	}
+	group, err := host.AttachMulticast("room-42", bus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := host.RequestRefresh(group); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Animate: slideshow + notes typing + private email activity.
+	show := workload.NewSlideshow(slides, 10, 1)
+	typing := workload.NewTyping(notes, 24, 2)
+	private := workload.NewTyping(email, 24, 3)
+	for i := 0; i < 40; i++ {
+		show.Step()
+		typing.Step()
+		private.Step() // changes in the email window must go nowhere
+		if err := host.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	p := members[0]
+	fmt.Printf("application sharing: participant sees %d windows (AH has 3)\n", len(p.Windows()))
+	if img := p.WindowImage(email.ID()); img != nil {
+		log.Fatal("PRIVACY VIOLATION: email window leaked")
+	}
+	fmt.Println("email window not transmitted — blanked per Section 2")
+	save("desktopshare-app.png", p)
+
+	// Switch to full desktop sharing: all windows transmitted.
+	desk.ShareAll()
+	if err := host.RequestRefresh(group); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		private.Step()
+		if err := host.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	time.Sleep(150 * time.Millisecond)
+	fmt.Printf("desktop sharing: participant now sees %d windows\n", len(p.Windows()))
+	save("desktopshare-full.png", p)
+}
+
+func save(path string, p *appshare.Participant) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, p.Render()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", path)
+}

@@ -1,0 +1,82 @@
+package appshare_test
+
+import (
+	"testing"
+
+	"appshare"
+	"appshare/internal/apps"
+	"appshare/internal/bfcp"
+)
+
+// TestFacadeConstructors exercises the remaining facade helpers.
+func TestFacadeConstructors(t *testing.T) {
+	var granted []uint16
+	floor := appshare.NewFloor(9, func(uid uint16, m *bfcp.Message) {
+		if m.Primitive == bfcp.FloorGranted {
+			granted = append(granted, uid)
+		}
+	})
+	if err := floor.Request(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) != 1 || granted[0] != 3 {
+		t.Fatalf("grants = %v", granted)
+	}
+
+	st := appshare.NewStats()
+	st.Record("x", 10)
+	if st.Total().Bytes != 10 {
+		t.Fatal("stats record failed")
+	}
+
+	bus := appshare.NewBus()
+	if bus.Subscribers() != 0 {
+		t.Fatal("fresh bus has subscribers")
+	}
+
+	reg := appshare.DefaultCodecs()
+	if len(reg.PayloadTypes()) != 3 {
+		t.Fatalf("default codecs = %v", reg.PayloadTypes())
+	}
+}
+
+// TestEditorWheelScrolls covers the editor's wheel handler end to end.
+func TestEditorWheelScrolls(t *testing.T) {
+	desk := appshare.NewDesktop(800, 600)
+	win := desk.CreateWindow(1, appshare.XYWH(50, 50, 300, 200))
+	apps.NewEditor(win)
+	if err := desk.InjectKeyTyped(win.ID(), "line of text"); err != nil {
+		t.Fatal(err)
+	}
+	desk.TakeMoves()
+	// Wheel down two notches: content scrolls.
+	if err := desk.InjectMouseWheel(win.ID(), 100, 100, -240); err != nil {
+		t.Fatal(err)
+	}
+	if len(desk.TakeMoves()) == 0 {
+		t.Fatal("wheel did not scroll the editor")
+	}
+	// Sub-notch distance is ignored.
+	if err := desk.InjectMouseWheel(win.ID(), 100, 100, 60); err != nil {
+		t.Fatal(err)
+	}
+	if len(desk.TakeMoves()) != 0 {
+		t.Fatal("sub-notch wheel should not scroll")
+	}
+}
+
+// TestEditorBackspaceMidLine covers deleting typed characters.
+func TestEditorBackspaceMidLine(t *testing.T) {
+	desk := appshare.NewDesktop(800, 600)
+	win := desk.CreateWindow(1, appshare.XYWH(50, 50, 300, 200))
+	ed := apps.NewEditor(win)
+	if err := desk.InjectKeyTyped(win.ID(), "abc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := desk.InjectKeyPressed(win.ID(), 0x08); err != nil { // VK_BACK_SPACE
+		t.Fatal(err)
+	}
+	if got := ed.Text(); got != "ab" {
+		t.Fatalf("text after backspace = %q", got)
+	}
+}

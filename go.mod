@@ -1,0 +1,3 @@
+module appshare
+
+go 1.22

@@ -1,0 +1,21 @@
+package appshare_test
+
+import "appshare"
+
+// Shared helpers for facade-level tests.
+
+func newDesk() *appshare.Desktop {
+	desk := appshare.NewDesktop(800, 600)
+	desk.CreateWindow(1, appshare.XYWH(50, 50, 300, 200))
+	return desk
+}
+
+func newHostFor(desk *appshare.Desktop) (*appshare.Host, error) {
+	return appshare.NewHost(appshare.HostConfig{Desktop: desk})
+}
+
+func simLink() (a, b appshare.PacketConn) {
+	return appshare.SimulatedLink(appshare.LinkConfig{Seed: 1}, appshare.LinkConfig{Seed: 2})
+}
+
+func packetOpts() appshare.PacketOptions { return appshare.PacketOptions{} }

@@ -1,0 +1,295 @@
+// Package ah implements the Application Host of
+// draft-boyaci-avt-app-sharing-00: the endpoint that runs the shared
+// application (here: the virtual desktop), distributes screen updates to
+// participants over the remoting protocol, and regenerates the human
+// interface events participants send over HIP.
+//
+// One Host serves any mix of participants simultaneously — TCP streams
+// with backlog-aware coalescing (Section 7), rate-controlled UDP with
+// optional retransmissions (Sections 4.3, 5.3.2) and multicast groups
+// (Section 4.2) — exactly the deployment the draft describes: "The AH can
+// share an application to TCP participants, UDP participants, and several
+// multicast addresses in the same sharing session."
+package ah
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"appshare/internal/bfcp"
+	"appshare/internal/capture"
+	"appshare/internal/display"
+	"appshare/internal/stats"
+)
+
+// Default configuration values.
+const (
+	DefaultMTU          = 1200
+	DefaultRemotingPT   = 99  // matches the draft's SDP example
+	DefaultHIPPT        = 100 // matches the draft's SDP example
+	DefaultBacklogLimit = 16 << 10
+	DefaultRetransLog   = 1024
+)
+
+// Config configures a Host.
+type Config struct {
+	// Desktop is the shared virtual desktop. Required.
+	Desktop *display.Desktop
+	// Capture configures the capture pipeline.
+	Capture capture.Options
+	// MTU bounds each RTP payload (remoting fragmentation threshold).
+	MTU int
+	// RemotingPT and HIPPT are the negotiated RTP payload types of the
+	// two streams (defaults 99 and 100, as in the draft's SDP example).
+	RemotingPT, HIPPT uint8
+	// Retransmissions enables the UDP retransmission log announced via
+	// the mandatory "retransmissions" media type parameter.
+	Retransmissions bool
+	// RetransLog is the number of recent packets retained per UDP
+	// participant for NACK service.
+	RetransLog int
+	// BacklogLimit is the per-stream send backlog (bytes) above which
+	// screen data is deferred and re-captured later (Section 7).
+	BacklogLimit int
+	// Floor, when non-nil, moderates HIP events per Appendix A.
+	Floor *bfcp.Floor
+	// Stats, when non-nil, receives per-message-type traffic counts.
+	Stats *stats.Collector
+	// Now supplies time (defaults to time.Now); injectable for tests.
+	Now func() time.Time
+	// CNAME identifies this host in RTCP SDES (default "ah@appshare").
+	CNAME string
+	// MinRefreshInterval rate-limits PLI service per participant: PLIs
+	// arriving within the window of the previous full refresh are
+	// absorbed (the refresh already in flight answers them). Zero means
+	// 500ms; negative disables limiting.
+	MinRefreshInterval time.Duration
+	// AutoHIDStatus, with a Floor configured, blocks HID events while
+	// the focused window is not shared and unblocks when it is —
+	// Appendix A: "the AH MAY temporarily block HID events if the
+	// shared application loses the focus".
+	AutoHIDStatus bool
+}
+
+// Host is an application host serving one sharing session.
+type Host struct {
+	mu       sync.Mutex
+	cfg      Config
+	pipeline *capture.Pipeline
+	remotes  map[*Remote]struct{}
+	// hipErrors counts rejected HIP events (illegitimate coordinates,
+	// floor violations, malformed packets, queue overflow).
+	hipErrors uint64
+	// hipQueue holds participant input awaiting the next Tick.
+	hipQueue []queuedEvent
+	closed   bool
+}
+
+// New returns a Host sharing the configured desktop.
+func New(cfg Config) (*Host, error) {
+	if cfg.Desktop == nil {
+		return nil, errors.New("ah: Config.Desktop is required")
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = DefaultMTU
+	}
+	if cfg.MTU < 64 {
+		return nil, fmt.Errorf("ah: MTU %d too small", cfg.MTU)
+	}
+	if cfg.RemotingPT == 0 {
+		cfg.RemotingPT = DefaultRemotingPT
+	}
+	if cfg.HIPPT == 0 {
+		cfg.HIPPT = DefaultHIPPT
+	}
+	if cfg.RemotingPT > 0x7F || cfg.HIPPT > 0x7F {
+		return nil, errors.New("ah: payload types exceed 7 bits")
+	}
+	if cfg.RetransLog == 0 {
+		cfg.RetransLog = DefaultRetransLog
+	}
+	if cfg.BacklogLimit == 0 {
+		cfg.BacklogLimit = DefaultBacklogLimit
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.CNAME == "" {
+		cfg.CNAME = "ah@appshare"
+	}
+	if cfg.MinRefreshInterval == 0 {
+		cfg.MinRefreshInterval = 500 * time.Millisecond
+	}
+	if cfg.AutoHIDStatus && cfg.Floor == nil {
+		return nil, errors.New("ah: AutoHIDStatus requires a Floor")
+	}
+	pipeline, err := capture.New(cfg.Desktop, cfg.Capture)
+	if err != nil {
+		return nil, err
+	}
+	return &Host{
+		cfg:      cfg,
+		pipeline: pipeline,
+		remotes:  make(map[*Remote]struct{}),
+	}, nil
+}
+
+// Desktop returns the shared desktop.
+func (h *Host) Desktop() *display.Desktop { return h.cfg.Desktop }
+
+// Floor returns the configured BFCP floor, if any.
+func (h *Host) Floor() *bfcp.Floor { return h.cfg.Floor }
+
+// HIPErrors returns the count of rejected HIP events.
+func (h *Host) HIPErrors() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hipErrors
+}
+
+// Participants returns the number of attached remotes.
+func (h *Host) Participants() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.remotes)
+}
+
+// Tick captures one round of desktop changes and fans the resulting
+// messages out to every participant. Call it at the desired frame rate.
+func (h *Host) Tick() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return errors.New("ah: host closed")
+	}
+	h.updateHIDStatusLocked()
+	// Drain queued participant input first: the events' effects land in
+	// this tick's capture, exactly as OS-queued input precedes a frame.
+	h.drainHIPLocked()
+	batch, err := h.pipeline.Tick()
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for r := range h.remotes {
+		if err := r.deliver(batch); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if r.refreshRequested {
+			// Serve the PLI latched since the last tick, after the
+			// journal batch so the refresh snapshot is consistent with
+			// everything already emitted.
+			r.refreshRequested = false
+			if err := r.fullRefresh(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Run ticks the host at the given interval until stop is closed.
+func (h *Host) Run(interval time.Duration, stop <-chan struct{}) error {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+			if err := h.Tick(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Close detaches all participants.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	remotes := make([]*Remote, 0, len(h.remotes))
+	for r := range h.remotes {
+		remotes = append(remotes, r)
+	}
+	h.closed = true
+	h.mu.Unlock()
+	for _, r := range remotes {
+		_ = r.Close()
+	}
+	return nil
+}
+
+// BroadcastExtension ships a raw remoting-stream payload (an extension
+// message registered per Section 9 — common header plus body) to every
+// participant. The payload must fit one RTP packet; fragmentation is
+// defined only for RegionUpdate and MousePointerInfo.
+func (h *Host) BroadcastExtension(payload []byte) error {
+	if len(payload) < 4 {
+		return errors.New("ah: extension payload shorter than the common header")
+	}
+	if len(payload) > h.cfg.MTU {
+		return fmt.Errorf("ah: extension payload %d exceeds MTU %d", len(payload), h.cfg.MTU)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.cfg.Now()
+	var firstErr error
+	for r := range h.remotes {
+		pkt := r.pz.Packetize(payload, false, now)
+		raw, err := pkt.Marshal()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := r.shipAndLog(raw, "Extension"); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// updateHIDStatusLocked applies the Appendix A focus rule: HIDs are
+// blocked while the focused window is outside the shared set.
+func (h *Host) updateHIDStatusLocked() {
+	if !h.cfg.AutoHIDStatus {
+		return
+	}
+	focus := h.cfg.Desktop.Focus()
+	want := bfcp.StateNotAllowed
+	if focus != nil && focus.Shared() {
+		want = bfcp.StateAllAllowed
+	}
+	if h.cfg.Floor.HIDStatus() != want {
+		h.cfg.Floor.SetHIDStatus(want)
+	}
+}
+
+// record logs a sent message to the stats collector.
+func (h *Host) record(kind string, n int) {
+	if h.cfg.Stats != nil {
+		h.cfg.Stats.Record(kind, n)
+	}
+}
+
+func (h *Host) addRemote(r *Remote) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return errors.New("ah: host closed")
+	}
+	h.remotes[r] = struct{}{}
+	return nil
+}
+
+func (h *Host) dropRemote(r *Remote) {
+	h.mu.Lock()
+	delete(h.remotes, r)
+	h.mu.Unlock()
+	if h.cfg.Floor != nil {
+		h.cfg.Floor.Drop(r.userID)
+	}
+}

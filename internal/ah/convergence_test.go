@@ -1,0 +1,218 @@
+package ah
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"appshare/internal/display"
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/transport"
+	"appshare/internal/windows"
+	"appshare/internal/workload"
+)
+
+// TestScreenConvergence is the system's central invariant: over a
+// lossless transport with the lossless (PNG) codec, after any sequence
+// of desktop activity and a final quiescent tick, every participant's
+// per-window image equals the AH's window buffer pixel-for-pixel.
+//
+// The test drives randomized workload mixes (seeded) through the full
+// stack: capture → fragmentation → RTP → link → reorder → reassembly →
+// decode → apply.
+func TestScreenConvergence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			d := display.NewDesktop(1024, 768)
+			w1 := d.CreateWindow(1, region.XYWH(50, 40, 400, 300))
+			w2 := d.CreateWindow(2, region.XYWH(300, 200, 350, 260))
+
+			h, err := New(Config{Desktop: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+
+			hostConn, partConn := transport.Pipe(
+				transport.LinkConfig{Seed: seed}, // lossless
+				transport.LinkConfig{Seed: seed + 100},
+			)
+			p := participant.New(participant.Config{})
+			go func() {
+				for {
+					pkt, err := partConn.Recv()
+					if err != nil {
+						return
+					}
+					_ = p.HandlePacket(pkt)
+				}
+			}()
+			if _, err := h.AttachPacketConn("conv", hostConn, PacketOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			pli, err := p.BuildPLI()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := partConn.Send(pli); err != nil {
+				t.Fatal(err)
+			}
+			settle()
+			if err := h.Tick(); err != nil {
+				t.Fatal(err)
+			}
+			settle()
+
+			gens := []workload.Workload{
+				workload.NewTyping(w1, 32, seed),
+				workload.NewScrolling(w2, 1, seed+1),
+				workload.NewVideoRegion(w1, region.XYWH(250, 200, 100, 80), seed+2),
+			}
+			for step := 0; step < 60; step++ {
+				gens[rng.Intn(len(gens))].Step()
+				switch rng.Intn(10) {
+				case 0:
+					_ = d.MoveWindow(w2.ID(), rng.Intn(600), rng.Intn(400))
+				case 1:
+					_ = d.RaiseWindow(uint16(1 + rng.Intn(2)))
+				}
+				if err := h.Tick(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Final quiescent tick and settle.
+			if err := h.Tick(); err != nil {
+				t.Fatal(err)
+			}
+			settle()
+
+			for _, win := range []*display.Window{w1, w2} {
+				want := win.Snapshot()
+				got := p.WindowImage(win.ID())
+				if got == nil {
+					t.Fatalf("window %d missing at participant", win.ID())
+				}
+				if got.Bounds() != want.Bounds() {
+					t.Fatalf("window %d bounds: got %v want %v", win.ID(), got.Bounds(), want.Bounds())
+				}
+				if !bytes.Equal(got.Pix, want.Pix) {
+					diff := 0
+					for i := range got.Pix {
+						if got.Pix[i] != want.Pix[i] {
+							diff++
+						}
+					}
+					t.Fatalf("window %d: %d/%d pixel bytes differ", win.ID(), diff, len(want.Pix))
+				}
+			}
+			// The WM state matches too.
+			recs := windows.SnapshotRecords(d)
+			ids := p.Windows()
+			if len(recs) != len(ids) {
+				t.Fatalf("window count: AH %d, participant %d", len(recs), len(ids))
+			}
+			for i := range recs {
+				if recs[i].WindowID != ids[i] {
+					t.Fatalf("z-order mismatch at %d: %d vs %d", i, recs[i].WindowID, ids[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScreenConvergenceUnderLossWithRepair repeats the invariant over a
+// lossy link with NACK repair: after repair rounds and a final tick, the
+// screens still converge.
+func TestScreenConvergenceUnderLossWithRepair(t *testing.T) {
+	d := display.NewDesktop(800, 600)
+	win := d.CreateWindow(1, region.XYWH(50, 40, 400, 300))
+	h, err := New(Config{Retransmissions: true, Desktop: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	hostConn, partConn := transport.Pipe(
+		transport.LinkConfig{LossRate: 0.15, Seed: 77},
+		transport.LinkConfig{Seed: 78},
+	)
+	p := participant.New(participant.Config{})
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			_ = p.HandlePacket(pkt)
+		}
+	}()
+	if _, err := h.AttachPacketConn("lossy", hostConn, PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	pli, err := p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partConn.Send(pli); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+
+	ty := workload.NewTyping(win, 48, 3)
+	for step := 0; step < 40; step++ {
+		ty.Step()
+		if err := h.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if nack, err := p.BuildNACK(); err == nil && nack != nil {
+			_ = partConn.Send(nack)
+		}
+	}
+	// Repair until clean (retransmissions can be lost too).
+	for round := 0; round < 60 && len(p.MissingSequences()) > 0; round++ {
+		settle()
+		if nack, err := p.BuildNACK(); err == nil && nack != nil {
+			_ = partConn.Send(nack)
+		}
+	}
+	settle()
+	if missing := p.MissingSequences(); len(missing) != 0 {
+		t.Fatalf("unrepaired gaps: %v", missing)
+	}
+	// If a fragment start was lost before its retransmission arrived,
+	// the reassembler may have dropped messages; a PLI then restores
+	// convergence — mirror what a real participant does.
+	if p.NeedsRefresh() {
+		if err := partConn.Send(mustPLI(t, p)); err != nil {
+			t.Fatal(err)
+		}
+		settle()
+		if err := h.Tick(); err != nil { // refresh serves at the tick
+			t.Fatal(err)
+		}
+		settle()
+	}
+	want := win.Snapshot()
+	got := p.WindowImage(win.ID())
+	if got == nil || !bytes.Equal(got.Pix, want.Pix) {
+		t.Fatal("screens did not converge after loss repair")
+	}
+
+}
+
+func mustPLI(t *testing.T, p *participant.Participant) []byte {
+	t.Helper()
+	pli, err := p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pli
+}

@@ -1,0 +1,82 @@
+package ah
+
+import (
+	"fmt"
+	"time"
+
+	"appshare/internal/capture"
+	"appshare/internal/remoting"
+	"appshare/internal/rtp"
+)
+
+// encoded is one RTP packet ready to ship, tagged with its message kind
+// for stats.
+type encoded struct {
+	bytes []byte
+	kind  string
+}
+
+// encodeBatch converts a capture batch into RTP packets for one
+// participant stream, applying the draft's RTP header usage rules: all
+// fragments of one message share a timestamp, the marker bit follows
+// Table 2 for RegionUpdate/MousePointerInfo and is zero elsewhere.
+func encodeBatch(b *capture.Batch, pz *rtp.Packetizer, mtu int, now time.Time) ([]encoded, error) {
+	var out []encoded
+
+	appendPacket := func(payload []byte, marker bool, kind string) error {
+		pkt := pz.Packetize(payload, marker, now)
+		raw, err := pkt.Marshal()
+		if err != nil {
+			return err
+		}
+		out = append(out, encoded{bytes: raw, kind: kind})
+		return nil
+	}
+
+	if b.WMInfo != nil {
+		payload, err := b.WMInfo.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("ah: encode WindowManagerInfo: %w", err)
+		}
+		if err := appendPacket(payload, false, "WindowManagerInfo"); err != nil {
+			return nil, err
+		}
+	}
+	for _, mv := range b.Moves {
+		payload, err := mv.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("ah: encode MoveRectangle: %w", err)
+		}
+		if err := appendPacket(payload, false, "MoveRectangle"); err != nil {
+			return nil, err
+		}
+	}
+	for _, up := range b.Updates {
+		frags, err := up.Msg.Fragments(mtu)
+		if err != nil {
+			return nil, fmt.Errorf("ah: fragment RegionUpdate: %w", err)
+		}
+		for _, f := range frags {
+			if err := appendPacket(f.Payload, f.Marker, "RegionUpdate"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if b.Pointer != nil {
+		frags, err := b.Pointer.Fragments(mtu)
+		if err != nil {
+			return nil, fmt.Errorf("ah: fragment MousePointerInfo: %w", err)
+		}
+		for _, f := range frags {
+			if err := appendPacket(f.Payload, f.Marker, "MousePointerInfo"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// batchFromUpdates wraps re-captured updates in a batch for encoding.
+func batchFromUpdates(ups []capture.Update, pointer *remoting.MousePointerInfo) *capture.Batch {
+	return &capture.Batch{Updates: ups, Pointer: pointer}
+}

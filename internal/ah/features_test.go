@@ -1,0 +1,189 @@
+package ah
+
+import (
+	"testing"
+	"time"
+
+	"appshare/internal/bfcp"
+	"appshare/internal/capture"
+	"appshare/internal/codec"
+	"appshare/internal/display"
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/transport"
+)
+
+// TestPointerInUpdatesComposites verifies the first mouse model of
+// Section 4.2: the cursor travels inside RegionUpdates; participants see
+// it in the pixels with no MousePointerInfo messages at all.
+func TestPointerInUpdatesComposites(t *testing.T) {
+	d := display.NewDesktop(400, 300)
+	w := d.CreateWindow(1, region.XYWH(0, 0, 400, 300))
+	p, err := capture.New(d, capture.Options{PointerInUpdates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	d.MoveCursor(100, 100)
+	b, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pointer != nil {
+		t.Fatal("pointer-in-updates must not emit MousePointerInfo")
+	}
+	if len(b.Updates) == 0 {
+		t.Fatal("cursor move must damage the sprite area")
+	}
+	// One of the updates must contain non-window pixels (the sprite is
+	// black/white over a white window).
+	foundSprite := false
+	for _, up := range b.Updates {
+		img, err := (codec.PNG{}).Decode(up.Msg.Content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(img.Pix); i += 4 {
+			if img.Pix[i] == 0 && img.Pix[i+1] == 0 && img.Pix[i+2] == 0 {
+				foundSprite = true
+				break
+			}
+		}
+	}
+	if !foundSprite {
+		t.Fatal("cursor sprite pixels not composited into updates")
+	}
+	// Moving again damages the OLD position too, so the sprite is erased
+	// behind itself.
+	d.MoveCursor(200, 200)
+	b, err = p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := region.NewSet()
+	for _, up := range b.Updates {
+		covered.Add(up.Rect)
+	}
+	if !covered.Contains(101, 101) {
+		t.Fatal("old cursor position not re-sent after move")
+	}
+	if !covered.Contains(201, 201) {
+		t.Fatal("new cursor position not sent after move")
+	}
+	_ = w
+}
+
+// TestPLIRateLimit verifies PLI absorption within MinRefreshInterval.
+func TestPLIRateLimit(t *testing.T) {
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { return now }
+	h, _ := newHost(t, Config{MinRefreshInterval: time.Second, Now: clock})
+	defer h.Close()
+
+	hostConn, partConn := transport.Pipe(transport.LinkConfig{Seed: 1}, transport.LinkConfig{Seed: 2})
+	p := participant.New(participant.Config{})
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			_ = p.HandlePacket(pkt)
+		}
+	}()
+	r, err := h.AttachPacketConn("u", hostConn, PacketOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pli, err := p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three PLIs at the same instant: first served, rest absorbed.
+	for i := 0; i < 3; i++ {
+		if err := partConn.Send(pli); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle()
+	if got := r.AbsorbedPLIs(); got != 2 {
+		t.Fatalf("absorbed = %d, want 2", got)
+	}
+	// After the window passes, a PLI is served again.
+	now = now.Add(2 * time.Second)
+	if err := partConn.Send(pli); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	if got := r.AbsorbedPLIs(); got != 2 {
+		t.Fatalf("post-window PLI absorbed: %d", got)
+	}
+}
+
+// TestAutoHIDStatus verifies the Appendix A focus rule: the floor's HID
+// status follows whether the focused window is shared.
+func TestAutoHIDStatus(t *testing.T) {
+	floor := bfcp.NewFloor(1, nil)
+	d := display.NewDesktop(800, 600)
+	shared := d.CreateWindow(1, region.XYWH(0, 0, 300, 200))
+	private := d.CreateWindow(2, region.XYWH(400, 0, 300, 200))
+	if err := d.SetShared(private.ID(), false); err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(Config{Desktop: d, Floor: floor, AutoHIDStatus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := floor.Request(7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Focus the shared window: HIDs allowed.
+	if err := d.RaiseWindow(shared.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := floor.HIDStatus(); got != bfcp.StateAllAllowed {
+		t.Fatalf("status with shared focus = %v", got)
+	}
+
+	// Focus moves to the non-shared window: HIDs blocked without
+	// revoking the floor.
+	if err := d.RaiseWindow(private.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := floor.HIDStatus(); got != bfcp.StateNotAllowed {
+		t.Fatalf("status with private focus = %v", got)
+	}
+	if holder, ok := floor.Holder(); !ok || holder != 7 {
+		t.Fatal("floor must stay granted while HIDs are blocked")
+	}
+
+	// Back to the shared window: unblocked.
+	if err := d.RaiseWindow(shared.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := floor.HIDStatus(); got != bfcp.StateAllAllowed {
+		t.Fatalf("status after refocus = %v", got)
+	}
+}
+
+func TestAutoHIDStatusRequiresFloor(t *testing.T) {
+	d := display.NewDesktop(10, 10)
+	if _, err := New(Config{Desktop: d, AutoHIDStatus: true}); err == nil {
+		t.Fatal("AutoHIDStatus without Floor should fail")
+	}
+}

@@ -1,0 +1,118 @@
+package ah
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/transport"
+	"appshare/internal/workload"
+)
+
+// TestOverflowRepairConverges forces receive-queue overflow (tiny inbox)
+// with NACK repair and checks final convergence.
+func TestOverflowRepairConverges(t *testing.T) {
+	h, w := newHost(t, Config{Retransmissions: true, RetransLog: 16384})
+	defer h.Close()
+	hostConn, partConn := transport.Pipe(
+		transport.LinkConfig{Seed: 41, QueueLen: 64}, // tiny: overflows under bursts
+		transport.LinkConfig{Seed: 51})
+	p := participant.New(participant.Config{})
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			_ = p.HandlePacket(pkt)
+		}
+	}()
+	if _, err := h.AttachPacketConn("x", hostConn, PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if nack, err := p.BuildNACK(); err == nil && nack != nil {
+					_ = partConn.Send(nack)
+				}
+				if p.NeedsRefresh() {
+					if pli, err := p.BuildPLI(); err == nil {
+						_ = partConn.Send(pli)
+					}
+				}
+			}
+		}
+	}()
+	pli, _ := p.BuildPLI()
+	partConn.Send(pli)
+	settle()
+
+	ty := workload.NewTyping(w, 48, 9)
+	vid := workload.NewVideoRegion(w, region.XYWH(300, 250, 120, 90), 11)
+	for i := 0; i < 150; i++ {
+		if i%3 == 0 {
+			ty.Step()
+		} else if i%3 == 2 {
+			vid.Step()
+		}
+		if err := h.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Quiesce.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := h.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
+		if len(p.MissingSequences()) == 0 && !p.NeedsRefresh() {
+			break
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	h.Tick()
+	time.Sleep(300 * time.Millisecond)
+
+	want := w.Snapshot()
+	got := p.WindowImage(w.ID())
+	if got == nil {
+		t.Fatal("no window")
+	}
+	if !bytes.Equal(want.Pix, got.Pix) {
+		n, minY, maxY, minX, maxX := 0, 1<<30, 0, 1<<30, 0
+		width := want.Bounds().Dx()
+		for j := range want.Pix {
+			if want.Pix[j] != got.Pix[j] {
+				n++
+				px := j / 4
+				x, y := px%width, px/width
+				if y < minY {
+					minY = y
+				}
+				if y > maxY {
+					maxY = y
+				}
+				if x < minX {
+					minX = x
+				}
+				if x > maxX {
+					maxX = x
+				}
+			}
+		}
+		t.Fatalf("diverged: %d bytes, x %d..%d y %d..%d (missing %d, needsRefresh %v)",
+			n, minX, maxX, minY, maxY, len(p.MissingSequences()), p.NeedsRefresh())
+	}
+}

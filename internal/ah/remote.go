@@ -1,0 +1,546 @@
+package ah
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"appshare/internal/capture"
+	"appshare/internal/framing"
+	"appshare/internal/region"
+	"appshare/internal/rtp"
+	"appshare/internal/transport"
+)
+
+// sink ships encoded RTP/RTCP packets toward one participant (or one
+// multicast group).
+type sink interface {
+	// ship sends one packet.
+	ship(pkt []byte) error
+	// backlogged reports whether screen data should be deferred right
+	// now (Section 7 for TCP; rate budget for UDP).
+	backlogged(pending int) bool
+	// queued returns the bytes accepted but not yet on the wire (zero
+	// for datagram sinks).
+	queued() int
+	// close releases transport resources.
+	close() error
+}
+
+// Remote is one attached participant (or multicast group) with its own
+// RTP stream state, deferral bookkeeping and retransmission log.
+type Remote struct {
+	host   *Host
+	id     string
+	userID uint16
+	sink   sink
+	pz     *rtp.Packetizer
+
+	// Deferred screen state under backlog (Section 7): regions to
+	// re-capture once the link drains, plus a pointer refresh flag.
+	pending        *region.Set
+	pendingPointer bool
+	deferrals      uint64
+
+	// Retransmission log (UDP participants, Section 5.3.2): recent
+	// packets by sequence number.
+	retrans  map[uint16][]byte
+	retransQ []uint16
+
+	// RTCP state.
+	sentPackets uint64
+	sentOctets  uint64
+	lastRR      ReceptionQuality
+
+	// PLI rate limiting (Config.MinRefreshInterval) and deferred
+	// refresh service (answered at the next Tick).
+	lastRefresh      time.Time
+	absorbedPLIs     uint64
+	refreshRequested bool
+
+	closed bool
+}
+
+// ID returns the identifier the remote was attached with.
+func (r *Remote) ID() string { return r.id }
+
+// UserID returns the BFCP user identity of this participant.
+func (r *Remote) UserID() uint16 { return r.userID }
+
+// SSRC returns the RTP synchronization source of the remoting stream
+// sent to this participant.
+func (r *Remote) SSRC() uint32 { return r.pz.SSRC() }
+
+// Deferrals reports how many ticks deferred screen data due to backlog.
+func (r *Remote) Deferrals() uint64 {
+	r.host.mu.Lock()
+	defer r.host.mu.Unlock()
+	return r.deferrals
+}
+
+// QueuedBytes reports the bytes sitting unsent in this remote's send
+// queue — the Section 7 backlog signal (zero for datagram remotes).
+func (r *Remote) QueuedBytes() int { return r.sink.queued() }
+
+// AbsorbedPLIs reports how many PLIs were answered by an
+// already-in-flight refresh under the rate limit.
+func (r *Remote) AbsorbedPLIs() uint64 {
+	r.host.mu.Lock()
+	defer r.host.mu.Unlock()
+	return r.absorbedPLIs
+}
+
+// Close detaches the remote from the host and closes its transport.
+func (r *Remote) Close() error {
+	r.host.dropRemote(r)
+	r.host.mu.Lock()
+	if r.closed {
+		r.host.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.host.mu.Unlock()
+	return r.sink.close()
+}
+
+// newRemote wires common remote state. Callers hold no locks.
+func (h *Host) newRemote(id string, userID uint16, s sink) *Remote {
+	r := &Remote{
+		host:    h,
+		id:      id,
+		userID:  userID,
+		sink:    s,
+		pz:      rtp.NewPacketizer(rtp.NewSSRC(), h.cfg.RemotingPT, h.cfg.Now()),
+		pending: region.NewSet(),
+	}
+	if h.cfg.Retransmissions {
+		r.retrans = make(map[uint16][]byte, h.cfg.RetransLog)
+	}
+	return r
+}
+
+// deliver sends one capture batch to the participant, deferring screen
+// data under backlog per Section 7. The host lock is held.
+func (r *Remote) deliver(b *capture.Batch) error {
+	approx := approxBatchSize(b)
+	if r.sink.backlogged(approx) {
+		r.deferScreenData(b)
+		if b.WMInfo != nil {
+			// Window state is tiny and ordering-critical; it still goes
+			// out so the participant tracks structure while pixels wait.
+			wmOnly := &capture.Batch{WMInfo: b.WMInfo}
+			return r.sendBatch(wmOnly)
+		}
+		return nil
+	}
+
+	// Link is clear. With deferred regions outstanding, this batch's
+	// moves cannot be sent as MoveRectangle: a move shifts the
+	// participant's *current* pixels, but deferred regions mean the
+	// participant is behind, and the flushed updates below already carry
+	// post-move content — applying the move on top would double-shift
+	// it. Fold the whole batch into the pending set and flush everything
+	// as freshly captured updates (Section 7's "most recent screen
+	// data"). Window state still leads the flush.
+	if !r.pending.Empty() || r.pendingPointer {
+		r.deferScreenData(b)
+		r.deferrals-- // folding is not a new deferral
+		if b.WMInfo != nil {
+			if err := r.sendBatch(&capture.Batch{WMInfo: b.WMInfo}); err != nil {
+				return err
+			}
+		}
+		return r.flushPending()
+	}
+	return r.sendBatch(b)
+}
+
+func (r *Remote) deferScreenData(b *capture.Batch) {
+	r.deferrals++
+	for _, mv := range b.Moves {
+		r.pending.Add(mv.Src())
+		r.pending.Add(mv.Dst())
+	}
+	for _, up := range b.Updates {
+		r.pending.Add(up.Rect)
+	}
+	if b.Pointer != nil {
+		r.pendingPointer = true
+	}
+}
+
+func (r *Remote) flushPending() error {
+	var ups []capture.Update
+	for _, rect := range r.pending.Coalesce(1024) {
+		u, err := r.host.pipeline.EncodeRegion(rect)
+		if err != nil {
+			return err
+		}
+		ups = append(ups, u...)
+	}
+	flush := batchFromUpdates(ups, nil)
+	if r.pendingPointer {
+		refresh, err := r.host.pipeline.FullRefreshPointer()
+		if err != nil {
+			return err
+		}
+		flush.Pointer = refresh
+	}
+	r.pending.Clear()
+	r.pendingPointer = false
+	return r.sendBatch(flush)
+}
+
+// sendBatch encodes and ships a batch. The host lock is held.
+func (r *Remote) sendBatch(b *capture.Batch) error {
+	pkts, err := encodeBatch(b, r.pz, r.host.cfg.MTU, r.host.cfg.Now())
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if err := r.shipAndLog(p.bytes, p.kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Remote) shipAndLog(pkt []byte, kind string) error {
+	if err := r.sink.ship(pkt); err != nil {
+		return err
+	}
+	r.sentPackets++
+	r.sentOctets += uint64(len(pkt))
+	r.host.record(kind, len(pkt))
+	r.logForRetransmission(pkt)
+	return nil
+}
+
+func (r *Remote) logForRetransmission(pkt []byte) {
+	if r.retrans == nil {
+		return
+	}
+	var hdr rtp.Header
+	if _, err := hdr.Unmarshal(pkt); err != nil {
+		return
+	}
+	seq := hdr.SequenceNumber
+	if len(r.retransQ) >= r.host.cfg.RetransLog {
+		oldest := r.retransQ[0]
+		r.retransQ = r.retransQ[1:]
+		delete(r.retrans, oldest)
+	}
+	r.retrans[seq] = pkt
+	r.retransQ = append(r.retransQ, seq)
+}
+
+// fullRefresh sends the complete state to this remote (PLI service).
+func (r *Remote) fullRefresh() error {
+	b, err := r.host.pipeline.FullRefresh()
+	if err != nil {
+		return err
+	}
+	r.pending.Clear()
+	r.pendingPointer = false
+	return r.sendBatch(b)
+}
+
+// resend services a NACK for the given sequence numbers from the
+// retransmission log. Unknown sequences (already evicted) are skipped, as
+// the draft permits ("AHs MAY support retransmissions").
+func (r *Remote) resend(seqs []uint16) error {
+	if r.retrans == nil {
+		return nil
+	}
+	for _, s := range seqs {
+		if pkt, ok := r.retrans[s]; ok {
+			if err := r.sink.ship(pkt); err != nil {
+				return err
+			}
+			r.host.record("Retransmission", len(pkt))
+		}
+	}
+	return nil
+}
+
+// approxBatchSize estimates the wire size of a batch for rate budgeting.
+func approxBatchSize(b *capture.Batch) int {
+	n := 0
+	if b.WMInfo != nil {
+		n += 4 + 20*len(b.WMInfo.Windows) + rtp.HeaderSize
+	}
+	n += len(b.Moves) * (28 + rtp.HeaderSize)
+	for _, up := range b.Updates {
+		n += len(up.Msg.Content) + 12 + rtp.HeaderSize
+	}
+	if b.Pointer != nil {
+		n += len(b.Pointer.Image) + 12 + rtp.HeaderSize
+	}
+	return n
+}
+
+// --- sink implementations -------------------------------------------------
+
+// streamSink ships framed packets over a reliable stream through a
+// RatedWriter whose backlog models the TCP send buffer (Section 7).
+type streamSink struct {
+	rw      io.Closer
+	rated   *transport.RatedWriter
+	framer  *framing.Writer
+	limit   int
+	noDefer bool
+}
+
+func (s *streamSink) ship(pkt []byte) error { return s.framer.WriteFrame(pkt) }
+
+func (s *streamSink) backlogged(int) bool {
+	if s.noDefer {
+		return false
+	}
+	return s.rated.Backlog() > s.limit
+}
+
+func (s *streamSink) queued() int { return s.rated.Backlog() }
+
+func (s *streamSink) close() error {
+	_ = s.rated.Close()
+	if s.rw != nil {
+		return s.rw.Close()
+	}
+	return nil
+}
+
+// StreamOptions configures AttachStream.
+type StreamOptions struct {
+	// UserID is the participant's BFCP identity.
+	UserID uint16
+	// BytesPerSecond caps the modeled link rate (0 = unlimited).
+	BytesPerSecond int
+	// DisableCoalescing turns off the Section 7 backlog deferral — the
+	// naive "blindly send every screen update" behavior, kept for the
+	// E11 comparison benchmark.
+	DisableCoalescing bool
+}
+
+// AttachStream adds a TCP (or any reliable-stream) participant. The host
+// writes RFC 4571 framed remoting RTP onto rw and reads framed HIP RTP
+// and RTCP feedback from it. A goroutine pumps the read side until EOF.
+func (h *Host) AttachStream(id string, rw io.ReadWriteCloser, opts StreamOptions) (*Remote, error) {
+	rated := transport.NewRatedWriter(rw, opts.BytesPerSecond)
+	s := &streamSink{
+		rw:      rw,
+		rated:   rated,
+		framer:  framing.NewWriter(rated),
+		limit:   h.cfg.BacklogLimit,
+		noDefer: opts.DisableCoalescing,
+	}
+	r := h.newRemote(id, opts.UserID, s)
+	if err := h.addRemote(r); err != nil {
+		_ = s.close()
+		return nil, err
+	}
+	go h.pumpStream(r, rw)
+	if err := h.initialState(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// pumpStream reads framed feedback (HIP RTP + RTCP) from a stream
+// participant.
+func (h *Host) pumpStream(r *Remote, src io.Reader) {
+	reader := framing.NewReader(src)
+	for {
+		pkt, err := reader.ReadFrame()
+		if err != nil {
+			_ = r.Close()
+			return
+		}
+		h.handleIncoming(r, pkt)
+	}
+}
+
+// BindHIPStream attaches a dedicated HIP connection to an existing
+// remote — the draft's SDP example carries HIP on its own port (6006)
+// distinct from the remoting port (6000). The association between the
+// two connections comes from session signalling (out of band, as in the
+// draft); the caller passes the resolved remote. Framed HIP RTP and RTCP
+// read from rw are processed until EOF.
+func (h *Host) BindHIPStream(r *Remote, rw io.ReadCloser) {
+	go func() {
+		defer rw.Close()
+		reader := framing.NewReader(rw)
+		for {
+			pkt, err := reader.ReadFrame()
+			if err != nil {
+				return
+			}
+			h.handleIncoming(r, pkt)
+		}
+	}()
+}
+
+// FindRemote returns the attached remote with the given ID, or nil.
+func (h *Host) FindRemote(id string) *Remote {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for r := range h.remotes {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// PacketOptions configures AttachPacketConn.
+type PacketOptions struct {
+	// UserID is the participant's BFCP identity.
+	UserID uint16
+	// BytesPerSecond is the AH-enforced transmission rate for this UDP
+	// participant (Section 4.3: "The AH controls the transmission rate
+	// for participants using UDP"). 0 = unlimited.
+	BytesPerSecond int
+}
+
+// packetSink ships datagrams with an AH-enforced rate budget.
+type packetSink struct {
+	conn   transport.PacketConn
+	rate   int
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func (s *packetSink) ship(pkt []byte) error {
+	if s.rate > 0 {
+		s.refill()
+		s.tokens -= float64(len(pkt))
+	}
+	return s.conn.Send(pkt)
+}
+
+func (s *packetSink) backlogged(pending int) bool {
+	if s.rate <= 0 {
+		return false
+	}
+	s.refill()
+	return s.tokens < float64(pending)
+}
+
+func (s *packetSink) refill() {
+	now := s.now()
+	if !s.last.IsZero() {
+		s.tokens += now.Sub(s.last).Seconds() * float64(s.rate)
+		if cap := float64(s.rate); s.tokens > cap {
+			s.tokens = cap
+		}
+	} else {
+		s.tokens = float64(s.rate)
+	}
+	s.last = now
+}
+
+func (s *packetSink) queued() int { return 0 }
+
+func (s *packetSink) close() error { return s.conn.Close() }
+
+// AttachPacketConn adds a UDP participant. The host sends remoting RTP
+// datagrams on conn and reads HIP RTP and RTCP feedback from it. Unlike
+// TCP participants, no initial state is pushed: per Section 4.3 the
+// participant announces itself with a PLI. The refresh it triggers is
+// served at the start of the next Tick — feedback arrives on pump
+// goroutines, and only the Tick caller's goroutine may observe the
+// desktop (keep driving Tick at your frame rate).
+func (h *Host) AttachPacketConn(id string, conn transport.PacketConn, opts PacketOptions) (*Remote, error) {
+	s := &packetSink{conn: conn, rate: opts.BytesPerSecond, now: h.cfg.Now}
+	r := h.newRemote(id, opts.UserID, s)
+	if err := h.addRemote(r); err != nil {
+		_ = s.close()
+		return nil, err
+	}
+	go h.pumpPackets(r, conn)
+	return r, nil
+}
+
+func (h *Host) pumpPackets(r *Remote, conn transport.PacketConn) {
+	for {
+		pkt, err := conn.Recv()
+		if err != nil {
+			_ = r.Close()
+			return
+		}
+		h.handleIncoming(r, pkt)
+	}
+}
+
+// busSink publishes to a multicast group, optionally under a rate
+// budget. Section 4.3: "Several simultaneous multicast sessions with
+// different transmission rates can be created at the AH" — each group
+// gets its own budget and the standard deferral machinery, so a slow
+// group receives coalesced final states while a fast one gets every
+// frame.
+type busSink struct {
+	bus    *transport.Bus
+	budget *packetSink // nil when unlimited; reused for its token bucket
+}
+
+func (s *busSink) ship(pkt []byte) error {
+	if s.budget != nil {
+		s.budget.refill()
+		s.budget.tokens -= float64(len(pkt))
+	}
+	s.bus.Publish(pkt)
+	return nil
+}
+
+func (s *busSink) backlogged(pending int) bool {
+	if s.budget == nil {
+		return false
+	}
+	s.budget.refill()
+	return s.budget.tokens < float64(pending)
+}
+
+func (s *busSink) queued() int  { return 0 }
+func (s *busSink) close() error { return nil }
+
+// MulticastOptions configures AttachMulticast.
+type MulticastOptions struct {
+	// BytesPerSecond caps the group's transmission rate (0 = unlimited).
+	BytesPerSecond int
+}
+
+// AttachMulticast adds a multicast group as a receiver. Group members
+// send their RTCP feedback over unicast paths (attach those with
+// AttachPacketConn or route them via HandleFeedback).
+func (h *Host) AttachMulticast(id string, bus *transport.Bus, opts ...MulticastOptions) (*Remote, error) {
+	s := &busSink{bus: bus}
+	if len(opts) > 0 && opts[0].BytesPerSecond > 0 {
+		s.budget = &packetSink{rate: opts[0].BytesPerSecond, now: h.cfg.Now}
+	}
+	r := h.newRemote(id, 0, s)
+	if err := h.addRemote(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// initialState pushes WindowManagerInfo plus a full screen image, the
+// TCP joining flow of Section 4.4 ("right after the TCP connection
+// establishment").
+func (h *Host) initialState(r *Remote) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return r.fullRefresh()
+}
+
+// RequestRefresh performs the PLI action for a remote directly (useful
+// for multicast groups whose feedback arrives out of band).
+func (h *Host) RequestRefresh(r *Remote) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return r.fullRefresh()
+}
+
+// ErrUnknownRemote is returned when feedback names no attached remote.
+var ErrUnknownRemote = errors.New("ah: unknown remote")

@@ -1,0 +1,73 @@
+package ah
+
+import (
+	"appshare/internal/rtcp"
+)
+
+// RTCP sender reports (RFC 3550): the host periodically describes each
+// remoting stream with an SR + SDES compound packet, and records the
+// Receiver Reports participants return, giving operators per-participant
+// loss and jitter visibility.
+
+// SendReports ships one SR+SDES compound packet to every participant.
+// Call it at the RTCP interval (a few seconds).
+func (h *Host) SendReports() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.cfg.Now()
+	var firstErr error
+	for r := range h.remotes {
+		sr := &rtcp.SenderReport{
+			SSRC:        r.pz.SSRC(),
+			NTPTime:     rtcp.NTPTime(now),
+			RTPTime:     0, // media clock origin is random; receivers use NTP
+			PacketCount: uint32(r.sentPackets),
+			OctetCount:  uint32(r.sentOctets),
+		}
+		sdes := &rtcp.SDES{SSRC: r.pz.SSRC(), CNAME: h.cfg.CNAME}
+		pkt, err := rtcp.Marshal(sr, sdes)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := r.sink.ship(pkt); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		h.record("SenderReport", len(pkt))
+	}
+	return firstErr
+}
+
+// ReceptionQuality is the host's view of one participant's most recent
+// Receiver Report.
+type ReceptionQuality struct {
+	FractionLost   uint8
+	CumulativeLost uint32
+	Jitter         uint32
+	HighestSeq     uint32
+	Valid          bool
+}
+
+// LastReceiverReport returns the most recent reception quality this
+// remote reported, if any.
+func (r *Remote) LastReceiverReport() ReceptionQuality {
+	r.host.mu.Lock()
+	defer r.host.mu.Unlock()
+	return r.lastRR
+}
+
+// noteReceiverReport records a participant's RR block. Host lock held.
+func (r *Remote) noteReceiverReport(rep rtcp.ReceptionReport) {
+	r.lastRR = ReceptionQuality{
+		FractionLost:   rep.FractionLost,
+		CumulativeLost: rep.TotalLost,
+		Jitter:         rep.Jitter,
+		HighestSeq:     rep.HighestSeq,
+		Valid:          true,
+	}
+}

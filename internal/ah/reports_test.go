@@ -1,0 +1,169 @@
+package ah
+
+import (
+	"testing"
+	"time"
+
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/rtcp"
+	"appshare/internal/transport"
+)
+
+// TestRTCPReportExchange covers the full RFC 3550 report loop: the host
+// sends SR+SDES, the participant returns an RR whose statistics the
+// host records against the remote.
+func TestRTCPReportExchange(t *testing.T) {
+	h, w := newHost(t, Config{CNAME: "host@test"})
+	defer h.Close()
+
+	// 10% loss toward the participant so the RR carries real numbers.
+	hostConn, partConn := transport.Pipe(transport.LinkConfig{LossRate: 0.10, Seed: 7}, transport.LinkConfig{Seed: 2})
+	p := participant.New(participant.Config{CNAME: "viewer@test"})
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			if len(pkt) >= 2 && pkt[1] >= 200 && pkt[1] <= 207 {
+				if _, err := p.HandleRTCP(pkt); err != nil {
+					t.Errorf("HandleRTCP: %v", err)
+				}
+				continue
+			}
+			_ = p.HandlePacket(pkt)
+		}
+	}()
+	remote, err := h.AttachPacketConn("u1", hostConn, PacketOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Traffic with losses.
+	pli, err := p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partConn.Send(pli); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	for i := 0; i < 30; i++ {
+		w.Fill(region.XYWH(i*5, i*5, 40, 40), red)
+		if err := h.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle()
+
+	// Host sends its SR; the participant learns the LSR reference.
+	if err := h.SendReports(); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+
+	// Participant returns an RR.
+	rr, err := p.BuildReceiverReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := rtcp.Unmarshal(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *rtcp.ReceiverReport
+	var sdes *rtcp.SDES
+	for _, m := range pkts {
+		switch v := m.(type) {
+		case *rtcp.ReceiverReport:
+			rep = v
+		case *rtcp.SDES:
+			sdes = v
+		}
+	}
+	if rep == nil || len(rep.Reports) != 1 {
+		t.Fatalf("RR = %+v", rep)
+	}
+	blk := rep.Reports[0]
+	if blk.SSRC != remote.SSRC() {
+		t.Fatalf("RR names SSRC %d, want %d", blk.SSRC, remote.SSRC())
+	}
+	if blk.TotalLost == 0 {
+		t.Fatal("10% loss should show in TotalLost")
+	}
+	if blk.LastSR == 0 {
+		t.Fatal("LSR should reference the host's SR")
+	}
+	if sdes == nil || sdes.CNAME != "viewer@test" {
+		t.Fatalf("SDES = %+v", sdes)
+	}
+
+	// Host ingests the RR and exposes it on the remote.
+	if err := partConn.Send(rr); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	q := remote.LastReceiverReport()
+	if !q.Valid || q.CumulativeLost != blk.TotalLost {
+		t.Fatalf("host view = %+v, want lost %d", q, blk.TotalLost)
+	}
+}
+
+// TestSendReportsCountsTraffic checks SR packet/octet counters reflect
+// shipped media.
+func TestSendReportsCountsTraffic(t *testing.T) {
+	h, w := newHost(t, Config{})
+	defer h.Close()
+	hostConn, partConn := transport.Pipe(transport.LinkConfig{Seed: 1}, transport.LinkConfig{Seed: 2})
+	received := make(chan []byte, 256)
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			select {
+			case received <- pkt:
+			default:
+			}
+		}
+	}()
+	r, err := h.AttachPacketConn("u1", hostConn, PacketOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RequestRefresh(r); err != nil {
+		t.Fatal(err)
+	}
+	w.Fill(region.XYWH(0, 0, 60, 60), red)
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SendReports(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case pkt := <-received:
+			if len(pkt) >= 2 && pkt[1] == rtcp.TypeSenderReport {
+				pkts, err := rtcp.Unmarshal(pkt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sr := pkts[0].(*rtcp.SenderReport)
+				if sr.PacketCount == 0 || sr.OctetCount == 0 {
+					t.Fatalf("SR counts empty: %+v", sr)
+				}
+				if sr.NTPTime == 0 {
+					t.Fatal("SR NTP time missing")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no SR received")
+		}
+	}
+}

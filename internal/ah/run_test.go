@@ -1,0 +1,80 @@
+package ah
+
+import (
+	"testing"
+	"time"
+
+	"appshare/internal/participant"
+	"appshare/internal/transport"
+)
+
+func TestHostRunLoop(t *testing.T) {
+	h, w := newHost(t, Config{})
+	defer h.Close()
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- h.Run(5*time.Millisecond, stop) }()
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("Run returned %v", err)
+	}
+	_ = w
+	if h.Floor() != nil {
+		t.Fatal("no floor configured")
+	}
+}
+
+func TestHandleFeedbackOutOfBand(t *testing.T) {
+	h, _ := newHost(t, Config{})
+	defer h.Close()
+	bus := transport.NewBus()
+	sub := bus.Subscribe(transport.LinkConfig{Seed: 1})
+	p := participant.New(participant.Config{})
+	go func() {
+		for {
+			pkt, err := sub.Recv()
+			if err != nil {
+				return
+			}
+			_ = p.HandlePacket(pkt)
+		}
+	}()
+	r, err := h.AttachMulticast("g", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID() != "g" || r.UserID() != 0 {
+		t.Fatalf("identity = %q/%d", r.ID(), r.UserID())
+	}
+	if r.QueuedBytes() != 0 {
+		t.Fatal("bus sink should report zero queue")
+	}
+	// A PLI routed out of band latches a refresh, served at the next
+	// tick.
+	pli, err := p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.HandleFeedback(r, pli)
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	if len(p.Windows()) != 1 {
+		t.Fatal("out-of-band PLI did not refresh the group")
+	}
+}
+
+func TestTickAfterClose(t *testing.T) {
+	h, _ := newHost(t, Config{})
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Tick(); err == nil {
+		t.Fatal("tick after close should fail")
+	}
+	if _, err := h.AttachMulticast("late", transport.NewBus()); err == nil {
+		t.Fatal("attach after close should fail")
+	}
+}

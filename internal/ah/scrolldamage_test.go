@@ -1,0 +1,140 @@
+package ah
+
+import (
+	"bytes"
+	"image/color"
+	"testing"
+
+	"appshare/internal/display"
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/transport"
+	"appshare/internal/workload"
+)
+
+// Regression tests for the same-tick draw-then-scroll ordering bug: ink
+// drawn earlier in a tick and then scrolled must reach participants at
+// its *moved* position. Before the fix, the damage still pointed at the
+// pre-scroll location, the MoveRectangle shifted the participant's stale
+// (ink-less) pixels, and the ink was lost forever. The fix translates
+// pending damage through every move (region.Set.TranslateWithin).
+
+func newConvergencePair(t *testing.T) (*Host, *display.Window, *participant.Participant) {
+	t.Helper()
+	h, w := newHost(t, Config{})
+	t.Cleanup(func() { h.Close() })
+	hostConn, partConn := transport.Pipe(transport.LinkConfig{Seed: 41}, transport.LinkConfig{Seed: 51})
+	p := participant.New(participant.Config{})
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			_ = p.HandlePacket(pkt)
+		}
+	}()
+	if _, err := h.AttachPacketConn("x", hostConn, PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Drain creation damage BEFORE the participant joins, so the join
+	// refresh is the participant's entire baseline (no masking by
+	// leftover full-window damage).
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	pli, err := p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partConn.Send(pli); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	return h, w, p
+}
+
+func TestSameTickDrawThenScrollConverges(t *testing.T) {
+	h, w, p := newConvergencePair(t)
+
+	ink := color.RGBA{0xAA, 0x11, 0x22, 0xFF}
+	white := color.RGBA{0xFF, 0xFF, 0xFF, 0xFF}
+	// Ink inside the scroll band, then scroll up by 10 — both within one
+	// capture tick. The ink's final location is rows 420..428.
+	w.Fill(region.XYWH(10, 430, 100, 8), ink)
+	w.Scroll(region.XYWH(0, 0, 350, 450), -10, white)
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	img := p.WindowImage(w.ID())
+	if img == nil {
+		t.Fatal("missing window image")
+	}
+	if got := img.RGBAAt(15, 423); got != ink {
+		t.Fatalf("ink at moved position = %v, want %v (same-tick scroll lost it)", got, ink)
+	}
+	if got := img.RGBAAt(15, 433); got != white {
+		t.Fatalf("old ink position = %v, want white", got)
+	}
+	// Full-buffer equality too.
+	if !bytes.Equal(w.Snapshot().Pix, img.Pix) {
+		t.Fatal("buffers diverged")
+	}
+}
+
+// TestTypingConvergesPerTick replays the workload that originally
+// exposed the bug (typing wraps lines mid-step, drawing both before and
+// after the scroll), asserting pixel equality after every tick.
+func TestTypingConvergesPerTick(t *testing.T) {
+	h, w := newHost(t, Config{})
+	defer h.Close()
+	hostConn, partConn := transport.Pipe(transport.LinkConfig{Seed: 41}, transport.LinkConfig{Seed: 51})
+	p := participant.New(participant.Config{})
+	pkts := make(chan []byte, 1<<14)
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			pkts <- pkt
+		}
+	}()
+	drain := func() {
+		settle()
+		for {
+			select {
+			case pkt := <-pkts:
+				_ = p.HandlePacket(pkt)
+			default:
+				return
+			}
+		}
+	}
+	if _, err := h.AttachPacketConn("x", hostConn, PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	pli, err := p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partConn.Send(pli); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+
+	ty := workload.NewTyping(w, 48, 9)
+	for i := 0; i < 120; i++ {
+		ty.Step()
+		if err := h.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		drain()
+		want := w.Snapshot()
+		got := p.WindowImage(w.ID())
+		if got == nil || !bytes.Equal(want.Pix, got.Pix) {
+			t.Fatalf("tick %d: participant diverged from AH window", i)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package ah
+
+import (
+	"bytes"
+	"testing"
+
+	"appshare/internal/display"
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/transport"
+	"appshare/internal/workload"
+)
+
+// TestTwoWindowChurnConverges reproduces the soak recipe: overlapping
+// windows, typing + scrolling + video, periodic window relocation — on a
+// lossless link with per-tick convergence checks.
+func TestTwoWindowChurnConverges(t *testing.T) {
+	d := display.NewDesktop(1280, 1024)
+	w1 := d.CreateWindow(1, region.XYWH(60, 50, 500, 380))
+	w2 := d.CreateWindow(2, region.XYWH(420, 300, 420, 320))
+	h, err := New(Config{Desktop: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	hostConn, partConn := transport.Pipe(transport.LinkConfig{Seed: 41}, transport.LinkConfig{Seed: 51})
+	p := participant.New(participant.Config{})
+	pkts := make(chan []byte, 1<<15)
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			pkts <- pkt
+		}
+	}()
+	drain := func() {
+		settle()
+		for {
+			select {
+			case pkt := <-pkts:
+				_ = p.HandlePacket(pkt)
+			default:
+				return
+			}
+		}
+	}
+	if _, err := h.AttachPacketConn("x", hostConn, PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	pli, _ := p.BuildPLI()
+	partConn.Send(pli)
+	drain()
+
+	ty := workload.NewTyping(w1, 48, 9)
+	sc := workload.NewScrolling(w2, 1, 10)
+	vid := workload.NewVideoRegion(w1, region.XYWH(300, 250, 120, 90), 11)
+	for i := 0; i < 400; i++ {
+		switch i % 3 {
+		case 0:
+			ty.Step()
+		case 1:
+			sc.Step()
+		case 2:
+			vid.Step()
+		}
+		if i%50 == 25 {
+			_ = d.MoveWindow(w2.ID(), 400+(i%100), 280+(i%60))
+		}
+		if err := h.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		drain()
+		for wi, win := range map[string]*display.Window{"w1": w1, "w2": w2} {
+			want := win.Snapshot()
+			got := p.WindowImage(win.ID())
+			if got == nil || !bytes.Equal(want.Pix, got.Pix) {
+				t.Fatalf("tick %d: %s diverged", i, wi)
+			}
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package apps provides application behaviors for shared windows: the
+// programs the AH "runs" on the virtual desktop. The AH regenerates
+// participants' HIP events into these handlers (draft Section 1), whose
+// reactions repaint the window and thereby flow back to every
+// participant as RegionUpdates — the full interactive loop.
+package apps
+
+import (
+	"fmt"
+	"image/color"
+	"sync"
+
+	"appshare/internal/display"
+	"appshare/internal/keycodes"
+	"appshare/internal/region"
+)
+
+// Editor is a minimal text editor: KeyTyped text is appended at the
+// caret, Enter breaks lines, Backspace deletes, the window scrolls when
+// full, and clicks reposition the caret. It implements
+// display.EventHandler.
+type Editor struct {
+	mu      sync.Mutex
+	x, y    int
+	margin  int
+	fg, bg  color.RGBA
+	pressed map[uint32]bool
+	// Text accumulates everything typed, for assertions in tests.
+	text []rune
+}
+
+// NewEditor returns an editor and paints the window's initial state.
+func NewEditor(w *display.Window) *Editor {
+	e := &Editor{
+		margin:  6,
+		fg:      color.RGBA{0x10, 0x10, 0x20, 0xFF},
+		bg:      color.RGBA{0xFF, 0xFF, 0xFF, 0xFF},
+		pressed: make(map[uint32]bool),
+	}
+	e.x, e.y = e.margin, e.margin
+	w.Clear(e.bg)
+	w.SetHandler(e)
+	return e
+}
+
+// Text returns everything typed so far.
+func (e *Editor) Text() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return string(e.text)
+}
+
+// MousePressed implements display.EventHandler: clicking repositions the
+// caret to the click's cell.
+func (e *Editor) MousePressed(w *display.Window, x, y int, button uint8) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.x = e.margin + (x-e.margin)/display.CellWidth*display.CellWidth
+	e.y = e.margin + (y-e.margin)/display.CellHeight*display.CellHeight
+}
+
+// MouseReleased implements display.EventHandler.
+func (e *Editor) MouseReleased(*display.Window, int, int, uint8) {}
+
+// MouseMoved implements display.EventHandler.
+func (e *Editor) MouseMoved(*display.Window, int, int) {}
+
+// MouseWheel implements display.EventHandler: wheel scrolls the window
+// content (120 units per text line).
+func (e *Editor) MouseWheel(w *display.Window, x, y, distance int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lines := distance / 120
+	if lines == 0 {
+		return
+	}
+	w.Scroll(region.XYWH(0, 0, w.Bounds().Width, w.Bounds().Height),
+		lines*display.CellHeight, e.bg)
+}
+
+// KeyPressed implements display.EventHandler. Character keys echo via
+// the US keymap; Enter and Backspace act directly.
+func (e *Editor) KeyPressed(w *display.Window, keycode uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	code := keycodes.Code(keycode)
+	e.pressed[keycode] = true
+	switch code {
+	case keycodes.VKEnter:
+		e.newlineLocked(w)
+	case keycodes.VKBackspace:
+		e.backspaceLocked(w)
+	default:
+		if code.IsModifier() {
+			return
+		}
+		shift := e.pressed[uint32(keycodes.VKShift)]
+		if r, ok := code.Rune(shift); ok {
+			e.insertLocked(w, r)
+		}
+	}
+}
+
+// KeyReleased implements display.EventHandler.
+func (e *Editor) KeyReleased(w *display.Window, keycode uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.pressed, keycode)
+}
+
+// KeyTyped implements display.EventHandler: injected UTF-8 text.
+func (e *Editor) KeyTyped(w *display.Window, text string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range text {
+		if r == '\n' {
+			e.newlineLocked(w)
+			continue
+		}
+		e.insertLocked(w, r)
+	}
+}
+
+func (e *Editor) insertLocked(w *display.Window, r rune) {
+	if e.x+display.CellWidth >= w.Bounds().Width-e.margin {
+		e.newlineLocked(w)
+	}
+	w.DrawText(e.x, e.y, string(r), e.fg)
+	e.x += display.CellWidth
+	e.text = append(e.text, r)
+}
+
+func (e *Editor) newlineLocked(w *display.Window) {
+	e.x = e.margin
+	e.y += display.CellHeight
+	e.text = append(e.text, '\n')
+	if e.y+display.GlyphHeight >= w.Bounds().Height-e.margin {
+		w.Scroll(region.XYWH(0, 0, w.Bounds().Width, w.Bounds().Height),
+			-display.CellHeight, e.bg)
+		e.y -= display.CellHeight
+	}
+}
+
+func (e *Editor) backspaceLocked(w *display.Window) {
+	if len(e.text) == 0 || e.x <= e.margin {
+		return
+	}
+	e.text = e.text[:len(e.text)-1]
+	e.x -= display.CellWidth
+	w.Fill(region.XYWH(e.x, e.y, display.CellWidth, display.CellHeight), e.bg)
+}
+
+// Whiteboard is a shared drawing canvas: dragging with the left button
+// draws in the current color; the wheel cycles colors; right-click
+// clears. It implements display.EventHandler.
+type Whiteboard struct {
+	mu       sync.Mutex
+	drawing  bool
+	lastX    int
+	lastY    int
+	colorIdx int
+	palette  []color.RGBA
+	strokes  int
+}
+
+// NewWhiteboard returns a whiteboard and paints the window white.
+func NewWhiteboard(w *display.Window) *Whiteboard {
+	wb := &Whiteboard{
+		palette: []color.RGBA{
+			{0x20, 0x20, 0x20, 0xFF},
+			{0xD0, 0x20, 0x20, 0xFF},
+			{0x20, 0x90, 0x20, 0xFF},
+			{0x20, 0x20, 0xD0, 0xFF},
+		},
+	}
+	w.Clear(color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	w.SetHandler(wb)
+	return wb
+}
+
+// Strokes returns how many line segments have been drawn.
+func (wb *Whiteboard) Strokes() int {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	return wb.strokes
+}
+
+// MousePressed implements display.EventHandler.
+func (wb *Whiteboard) MousePressed(w *display.Window, x, y int, button uint8) {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	switch button {
+	case 1:
+		wb.drawing = true
+		wb.lastX, wb.lastY = x, y
+		wb.plotLocked(w, x, y)
+	case 2:
+		w.Clear(color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	}
+}
+
+// MouseReleased implements display.EventHandler.
+func (wb *Whiteboard) MouseReleased(w *display.Window, x, y int, button uint8) {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	if button == 1 {
+		wb.drawing = false
+	}
+}
+
+// MouseMoved implements display.EventHandler: draws while dragging.
+func (wb *Whiteboard) MouseMoved(w *display.Window, x, y int) {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	if !wb.drawing {
+		return
+	}
+	wb.lineLocked(w, wb.lastX, wb.lastY, x, y)
+	wb.lastX, wb.lastY = x, y
+}
+
+// MouseWheel implements display.EventHandler: cycles the pen color.
+func (wb *Whiteboard) MouseWheel(w *display.Window, x, y, distance int) {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	steps := distance / 120
+	wb.colorIdx = ((wb.colorIdx+steps)%len(wb.palette) + len(wb.palette)) % len(wb.palette)
+}
+
+// KeyPressed implements display.EventHandler.
+func (wb *Whiteboard) KeyPressed(*display.Window, uint32) {}
+
+// KeyReleased implements display.EventHandler.
+func (wb *Whiteboard) KeyReleased(*display.Window, uint32) {}
+
+// KeyTyped implements display.EventHandler.
+func (wb *Whiteboard) KeyTyped(*display.Window, string) {}
+
+func (wb *Whiteboard) plotLocked(w *display.Window, x, y int) {
+	w.Fill(region.XYWH(x-1, y-1, 3, 3), wb.palette[wb.colorIdx])
+}
+
+// lineLocked draws a Bresenham line of 3x3 pen dots.
+func (wb *Whiteboard) lineLocked(w *display.Window, x0, y0, x1, y1 int) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		wb.plotLocked(w, x0, y0)
+		if x0 == x1 && y0 == y1 {
+			break
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+	wb.strokes++
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Button is a clickable toggle: each left click flips its state and
+// repaints. It implements display.EventHandler.
+type Button struct {
+	mu     sync.Mutex
+	rect   region.Rect
+	on     bool
+	clicks int
+	label  string
+}
+
+// NewButton places a toggle button inside the window.
+func NewButton(w *display.Window, rect region.Rect, label string) *Button {
+	b := &Button{rect: rect, label: label}
+	b.paint(w)
+	w.SetHandler(b)
+	return b
+}
+
+// On reports the toggle state.
+func (b *Button) On() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.on
+}
+
+// Clicks returns the number of clicks handled.
+func (b *Button) Clicks() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.clicks
+}
+
+func (b *Button) paint(w *display.Window) {
+	fill := color.RGBA{0xC8, 0x30, 0x30, 0xFF}
+	if b.on {
+		fill = color.RGBA{0x30, 0xC8, 0x30, 0xFF}
+	}
+	w.Fill(b.rect, fill)
+	state := "OFF"
+	if b.on {
+		state = "ON"
+	}
+	w.DrawText(b.rect.Left+6, b.rect.Top+6, fmt.Sprintf("%s: %s", b.label, state),
+		color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+}
+
+// MousePressed implements display.EventHandler.
+func (b *Button) MousePressed(w *display.Window, x, y int, button uint8) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if button != 1 || !b.rect.Contains(x, y) {
+		return
+	}
+	b.on = !b.on
+	b.clicks++
+	b.paint(w)
+}
+
+// MouseReleased implements display.EventHandler.
+func (b *Button) MouseReleased(*display.Window, int, int, uint8) {}
+
+// MouseMoved implements display.EventHandler.
+func (b *Button) MouseMoved(*display.Window, int, int) {}
+
+// MouseWheel implements display.EventHandler.
+func (b *Button) MouseWheel(*display.Window, int, int, int) {}
+
+// KeyPressed implements display.EventHandler.
+func (b *Button) KeyPressed(*display.Window, uint32) {}
+
+// KeyReleased implements display.EventHandler.
+func (b *Button) KeyReleased(*display.Window, uint32) {}
+
+// KeyTyped implements display.EventHandler.
+func (b *Button) KeyTyped(*display.Window, string) {}

@@ -1,0 +1,213 @@
+package apps
+
+import (
+	"image/color"
+	"strings"
+	"testing"
+
+	"appshare/internal/display"
+	"appshare/internal/keycodes"
+	"appshare/internal/region"
+)
+
+func newWin() (*display.Desktop, *display.Window) {
+	d := display.NewDesktop(800, 600)
+	w := d.CreateWindow(1, region.XYWH(50, 50, 400, 300))
+	return d, w
+}
+
+func TestEditorTyping(t *testing.T) {
+	d, w := newWin()
+	ed := NewEditor(w)
+	if err := d.InjectKeyTyped(w.ID(), "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if ed.Text() != "hello world" {
+		t.Fatalf("text = %q", ed.Text())
+	}
+	// Pixels changed where the text landed.
+	img := w.Snapshot()
+	found := false
+	for x := 0; x < 100 && !found; x++ {
+		for y := 0; y < 20; y++ {
+			if img.RGBAAt(x, y) == (color.RGBA{0x10, 0x10, 0x20, 0xFF}) {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("typed text not rendered")
+	}
+}
+
+func TestEditorKeyEventsAndShift(t *testing.T) {
+	d, w := newWin()
+	ed := NewEditor(w)
+	press := func(c keycodes.Code) {
+		if err := d.InjectKeyPressed(w.ID(), uint32(c)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.InjectKeyReleased(w.ID(), uint32(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "a", then Shift+"b" = "B", then Enter.
+	press(keycodes.VKA)
+	if err := d.InjectKeyPressed(w.ID(), uint32(keycodes.VKShift)); err != nil {
+		t.Fatal(err)
+	}
+	press(keycodes.VKB)
+	if err := d.InjectKeyReleased(w.ID(), uint32(keycodes.VKShift)); err != nil {
+		t.Fatal(err)
+	}
+	press(keycodes.VKEnter)
+	if got := ed.Text(); got != "aB\n" {
+		t.Fatalf("text = %q, want \"aB\\n\"", got)
+	}
+	// Backspace removes nothing at line start (caret at margin).
+	press(keycodes.VKBackspace)
+	press(keycodes.VKC)
+	if got := ed.Text(); got != "aB\nc" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestEditorLongTypingScrolls(t *testing.T) {
+	d, w := newWin()
+	NewEditor(w)
+	d.TakeMoves()
+	long := strings.Repeat("lorem ipsum dolor sit amet ", 120)
+	if err := d.InjectKeyTyped(w.ID(), long); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.TakeMoves()) == 0 {
+		t.Fatal("long text never scrolled the editor")
+	}
+}
+
+func TestEditorClickRepositionsCaret(t *testing.T) {
+	d, w := newWin()
+	ed := NewEditor(w)
+	// Click in the middle, then type.
+	if err := d.InjectMousePressed(w.ID(), 50+100, 50+100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectKeyTyped(w.ID(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if ed.Text() != "x" {
+		t.Fatalf("text = %q", ed.Text())
+	}
+	// Pixel near the click position should carry ink.
+	img := w.Snapshot()
+	found := false
+	for dx := 0; dx < 12 && !found; dx++ {
+		for dy := 0; dy < 12; dy++ {
+			if img.RGBAAt(96+dx, 96+dy) == (color.RGBA{0x10, 0x10, 0x20, 0xFF}) {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("text did not land near the caret click")
+	}
+}
+
+func TestWhiteboardDrawing(t *testing.T) {
+	d, w := newWin()
+	wb := NewWhiteboard(w)
+	// Drag a stroke.
+	if err := d.InjectMousePressed(w.ID(), 100, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectMouseMoved(w.ID(), 150, 130); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectMouseReleased(w.ID(), 150, 130, 1); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Strokes() != 1 {
+		t.Fatalf("strokes = %d", wb.Strokes())
+	}
+	// Ink along the path (window-local 50..100 horizontally).
+	img := w.Snapshot()
+	if img.RGBAAt(75, 65) == (color.RGBA{0xFF, 0xFF, 0xFF, 0xFF}) {
+		t.Fatal("no ink on the stroke path")
+	}
+	// Moving without the button down draws nothing new.
+	before := wb.Strokes()
+	if err := d.InjectMouseMoved(w.ID(), 200, 200); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Strokes() != before {
+		t.Fatal("hover should not draw")
+	}
+	// Right-click clears.
+	if err := d.InjectMousePressed(w.ID(), 100, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	img = w.Snapshot()
+	if img.RGBAAt(75, 65) != (color.RGBA{0xFF, 0xFF, 0xFF, 0xFF}) {
+		t.Fatal("clear did not erase")
+	}
+}
+
+func TestWhiteboardWheelCyclesColor(t *testing.T) {
+	d, w := newWin()
+	wb := NewWhiteboard(w)
+	if err := d.InjectMouseWheel(w.ID(), 100, 100, 120); err != nil {
+		t.Fatal(err)
+	}
+	if wb.colorIdx != 1 {
+		t.Fatalf("color index = %d", wb.colorIdx)
+	}
+	// Negative wheel wraps around.
+	if err := d.InjectMouseWheel(w.ID(), 100, 100, -240); err != nil {
+		t.Fatal(err)
+	}
+	if wb.colorIdx != 3 {
+		t.Fatalf("color index after wrap = %d", wb.colorIdx)
+	}
+}
+
+func TestButtonToggle(t *testing.T) {
+	d, w := newWin()
+	b := NewButton(w, region.XYWH(20, 20, 120, 40), "Share")
+	if b.On() {
+		t.Fatal("button should start off")
+	}
+	// Click inside (desktop coords: window origin 50,50).
+	if err := d.InjectMousePressed(w.ID(), 50+30, 50+30, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !b.On() || b.Clicks() != 1 {
+		t.Fatalf("on=%v clicks=%d", b.On(), b.Clicks())
+	}
+	// Click outside the rect: no toggle.
+	if err := d.InjectMousePressed(w.ID(), 50+300, 50+200, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Clicks() != 1 {
+		t.Fatal("outside click toggled")
+	}
+	// Right click inside: no toggle.
+	if err := d.InjectMousePressed(w.ID(), 50+30, 50+30, 2); err != nil {
+		t.Fatal(err)
+	}
+	if b.Clicks() != 1 {
+		t.Fatal("right click toggled")
+	}
+	// Second left click toggles off; pixel color flips.
+	if err := d.InjectMousePressed(w.ID(), 50+30, 50+30, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.On() {
+		t.Fatal("second click should toggle off")
+	}
+	img := w.Snapshot()
+	if img.RGBAAt(25, 55) != (color.RGBA{0xC8, 0x30, 0x30, 0xFF}) {
+		t.Fatalf("off color = %v", img.RGBAAt(25, 55))
+	}
+}

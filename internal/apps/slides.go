@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"fmt"
+	"image/color"
+	"sync"
+
+	"appshare/internal/display"
+	"appshare/internal/keycodes"
+	"appshare/internal/region"
+	"appshare/internal/workload"
+)
+
+// Slides is a presentation viewer: a deck of generated slides navigated
+// with PageUp/PageDown, arrow keys, or mouse clicks (left half = back,
+// right half = forward) — the software-tutoring scenario the draft's
+// introduction motivates. It implements display.EventHandler.
+type Slides struct {
+	mu      sync.Mutex
+	count   int
+	current int
+	seed    int64
+}
+
+// NewSlides attaches a deck of n slides to the window and renders the
+// first one.
+func NewSlides(w *display.Window, n int, seed int64) *Slides {
+	if n < 1 {
+		n = 1
+	}
+	s := &Slides{count: n, seed: seed}
+	w.SetHandler(s)
+	s.render(w)
+	return s
+}
+
+// Current returns the zero-based slide index being shown.
+func (s *Slides) Current() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}
+
+// Count returns the deck size.
+func (s *Slides) Count() int { return s.count }
+
+func (s *Slides) render(w *display.Window) {
+	bounds := w.Bounds()
+	// Slide body: alternate between a text slide and a photo slide so
+	// the stream exercises both content classes.
+	if s.current%2 == 0 {
+		w.Clear(color.RGBA{0xFD, 0xF6, 0xE3, 0xFF})
+		title := fmt.Sprintf("Slide %d of %d", s.current+1, s.count)
+		w.DrawText(16, 14, title, color.RGBA{0x26, 0x26, 0x66, 0xFF})
+		w.Fill(region.XYWH(16, 30, bounds.Width-32, 2), color.RGBA{0x26, 0x26, 0x66, 0xFF})
+		for i := 0; i < 5; i++ {
+			w.DrawText(24, 48+i*14, fmt.Sprintf("- bullet point %d on slide %d", i+1, s.current+1),
+				color.RGBA{0x30, 0x30, 0x30, 0xFF})
+		}
+	} else {
+		img := workload.Photo(bounds.Width, bounds.Height-24, s.seed+int64(s.current))
+		w.Clear(color.RGBA{0x10, 0x10, 0x10, 0xFF})
+		w.Blit(img, 0, 24)
+		w.DrawText(16, 8, fmt.Sprintf("Figure %d", s.current/2+1), color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	}
+	// Progress bar.
+	frac := bounds.Width * (s.current + 1) / s.count
+	w.Fill(region.XYWH(0, bounds.Height-4, bounds.Width, 4), color.RGBA{0xD0, 0xD0, 0xD0, 0xFF})
+	w.Fill(region.XYWH(0, bounds.Height-4, frac, 4), color.RGBA{0x26, 0x8B, 0xD2, 0xFF})
+}
+
+func (s *Slides) step(w *display.Window, delta int) {
+	next := s.current + delta
+	if next < 0 || next >= s.count {
+		return
+	}
+	s.current = next
+	s.render(w)
+}
+
+// KeyPressed implements display.EventHandler: PageDown/Right/Space
+// advance; PageUp/Left go back; Home/End jump.
+func (s *Slides) KeyPressed(w *display.Window, keycode uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch keycodes.Code(keycode) {
+	case keycodes.VKPageDown, keycodes.VKRight, keycodes.VKSpace:
+		s.step(w, 1)
+	case keycodes.VKPageUp, keycodes.VKLeft:
+		s.step(w, -1)
+	case keycodes.VKHome:
+		s.step(w, -s.current)
+	case keycodes.VKEnd:
+		s.step(w, s.count-1-s.current)
+	}
+}
+
+// MousePressed implements display.EventHandler: right half advances,
+// left half goes back.
+func (s *Slides) MousePressed(w *display.Window, x, y int, button uint8) {
+	if button != 1 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if x >= w.Bounds().Width/2 {
+		s.step(w, 1)
+	} else {
+		s.step(w, -1)
+	}
+}
+
+// MouseReleased implements display.EventHandler.
+func (s *Slides) MouseReleased(*display.Window, int, int, uint8) {}
+
+// MouseMoved implements display.EventHandler.
+func (s *Slides) MouseMoved(*display.Window, int, int) {}
+
+// MouseWheel implements display.EventHandler: wheel notches navigate.
+func (s *Slides) MouseWheel(w *display.Window, x, y, distance int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.step(w, -distance/120)
+}
+
+// KeyReleased implements display.EventHandler.
+func (s *Slides) KeyReleased(*display.Window, uint32) {}
+
+// KeyTyped implements display.EventHandler.
+func (s *Slides) KeyTyped(*display.Window, string) {}

@@ -1,0 +1,107 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+
+	"appshare/internal/display"
+	"appshare/internal/keycodes"
+	"appshare/internal/region"
+)
+
+func newDeck(t *testing.T, n int) (*display.Desktop, *display.Window, *Slides) {
+	t.Helper()
+	d := display.NewDesktop(800, 600)
+	w := d.CreateWindow(1, region.XYWH(40, 30, 480, 360))
+	s := NewSlides(w, n, 7)
+	return d, w, s
+}
+
+func TestSlidesKeyboardNavigation(t *testing.T) {
+	d, w, s := newDeck(t, 5)
+	press := func(c keycodes.Code) {
+		if err := d.InjectKeyPressed(w.ID(), uint32(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Current() != 0 || s.Count() != 5 {
+		t.Fatalf("initial = %d/%d", s.Current(), s.Count())
+	}
+	press(keycodes.VKPageDown)
+	press(keycodes.VKRight)
+	if s.Current() != 2 {
+		t.Fatalf("after two advances = %d", s.Current())
+	}
+	press(keycodes.VKPageUp)
+	if s.Current() != 1 {
+		t.Fatalf("after back = %d", s.Current())
+	}
+	press(keycodes.VKEnd)
+	if s.Current() != 4 {
+		t.Fatalf("End = %d", s.Current())
+	}
+	// Advancing past the end is a no-op.
+	press(keycodes.VKSpace)
+	if s.Current() != 4 {
+		t.Fatalf("past end = %d", s.Current())
+	}
+	press(keycodes.VKHome)
+	if s.Current() != 0 {
+		t.Fatalf("Home = %d", s.Current())
+	}
+	press(keycodes.VKLeft)
+	if s.Current() != 0 {
+		t.Fatalf("before start = %d", s.Current())
+	}
+}
+
+func TestSlidesMouseAndWheel(t *testing.T) {
+	d, w, s := newDeck(t, 4)
+	// Click right half: advance. Window origin (40,30), width 480.
+	if err := d.InjectMousePressed(w.ID(), 40+400, 30+100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current() != 1 {
+		t.Fatalf("right click = %d", s.Current())
+	}
+	// Click left half: back.
+	if err := d.InjectMousePressed(w.ID(), 40+50, 30+100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current() != 0 {
+		t.Fatalf("left click = %d", s.Current())
+	}
+	// Right button does nothing.
+	if err := d.InjectMousePressed(w.ID(), 40+400, 30+100, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current() != 0 {
+		t.Fatalf("right button = %d", s.Current())
+	}
+	// Wheel toward the user advances one notch.
+	if err := d.InjectMouseWheel(w.ID(), 40+100, 30+100, -120); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current() != 1 {
+		t.Fatalf("wheel = %d", s.Current())
+	}
+}
+
+func TestSlidesRepaintOnNavigate(t *testing.T) {
+	d, w, s := newDeck(t, 3)
+	before := w.Snapshot()
+	d.TakeDamage(0)
+	if err := d.InjectKeyPressed(w.ID(), uint32(keycodes.VKPageDown)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current() != 1 {
+		t.Fatal("did not advance")
+	}
+	after := w.Snapshot()
+	if bytes.Equal(before.Pix, after.Pix) {
+		t.Fatal("slide change did not repaint")
+	}
+	if len(d.TakeDamage(1<<30)) == 0 {
+		t.Fatal("no damage recorded for repaint")
+	}
+}

@@ -1,0 +1,184 @@
+// Package bfcp implements the subset of the Binary Floor Control Protocol
+// (RFC 4582) that draft-boyaci-avt-app-sharing-00 Appendix A requires for
+// moderating access to the AH's human interface devices: the five
+// mandatory primitives — FloorRequest, FloorRelease, FloorGranted ("Floor
+// Granted"), FloorReleased and FloorRequestQueued — a FIFO floor queue,
+// and the HID-status values of Figure 20 carried to the floor holder.
+//
+// In the application-sharing context the floor is the AH's keyboard and
+// mouse: while one participant holds the floor, only its HIP events are
+// regenerated. The AH MAY temporarily block HID events without revoking
+// the floor (for example when the shared application loses focus),
+// signalling the current holder through the HID status of a fresh
+// FloorGranted message.
+package bfcp
+
+import (
+	"errors"
+	"fmt"
+
+	"appshare/internal/wire"
+)
+
+// Primitive identifies a BFCP message (RFC 4582 Section 5.1). Only the
+// five primitives mandated by Appendix A are implemented.
+type Primitive uint8
+
+// Mandatory primitives for application and desktop sharing (Appendix A).
+const (
+	FloorRequest       Primitive = 1
+	FloorRelease       Primitive = 2
+	FloorRequestQueued Primitive = 9 // carried as FloorRequestStatus(queued)
+	FloorGranted       Primitive = 10
+	FloorReleased      Primitive = 11
+)
+
+// String implements fmt.Stringer.
+func (p Primitive) String() string {
+	switch p {
+	case FloorRequest:
+		return "FloorRequest"
+	case FloorRelease:
+		return "FloorRelease"
+	case FloorRequestQueued:
+		return "FloorRequestQueued"
+	case FloorGranted:
+		return "FloorGranted"
+	case FloorReleased:
+		return "FloorReleased"
+	default:
+		return fmt.Sprintf("Primitive(%d)", uint8(p))
+	}
+}
+
+// HIDStatus is the 16-bit status carried in the STATUS-INFO attribute of
+// FloorGranted messages (Figure 20).
+type HIDStatus uint16
+
+// HID status values (Figure 20).
+const (
+	StateNotAllowed      HIDStatus = 0
+	StateKeyboardAllowed HIDStatus = 1
+	StateMouseAllowed    HIDStatus = 2
+	StateAllAllowed      HIDStatus = 3
+)
+
+// String implements fmt.Stringer.
+func (s HIDStatus) String() string {
+	switch s {
+	case StateNotAllowed:
+		return "STATE_NOT_ALLOWED"
+	case StateKeyboardAllowed:
+		return "STATE_KEYBOARD_ALLOWED"
+	case StateMouseAllowed:
+		return "STATE_MOUSE_ALLOWED"
+	case StateAllAllowed:
+		return "STATE_ALL_ALLOWED"
+	default:
+		return fmt.Sprintf("HIDStatus(%d)", uint16(s))
+	}
+}
+
+// AllowsKeyboard reports whether keyboard events may be regenerated.
+func (s HIDStatus) AllowsKeyboard() bool {
+	return s == StateKeyboardAllowed || s == StateAllAllowed
+}
+
+// AllowsMouse reports whether mouse events may be regenerated.
+func (s HIDStatus) AllowsMouse() bool {
+	return s == StateMouseAllowed || s == StateAllAllowed
+}
+
+// Message is one BFCP message of the Appendix A subset.
+//
+// Wire format (condensed from RFC 4582 Section 5.1): the 12-byte common
+// header carrying version, primitive, payload length, ConferenceID,
+// TransactionID and UserID, followed for FloorGranted by a 4-byte
+// STATUS-INFO attribute carrying the HID status, and for
+// FloorRequestQueued by a 4-byte position attribute.
+type Message struct {
+	Primitive     Primitive
+	ConferenceID  uint32
+	TransactionID uint16
+	UserID        uint16
+	// HIDStatus is meaningful for FloorGranted messages.
+	HIDStatus HIDStatus
+	// QueuePosition is meaningful for FloorRequestQueued messages
+	// (1 = next in line).
+	QueuePosition uint16
+}
+
+const (
+	version    = 1
+	headerSize = 12
+)
+
+// Decoding errors.
+var (
+	ErrTruncated  = errors.New("bfcp: truncated message")
+	ErrBadVersion = errors.New("bfcp: bad version")
+)
+
+// Marshal encodes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	attrLen := 0
+	switch m.Primitive {
+	case FloorGranted, FloorRequestQueued:
+		attrLen = 4
+	case FloorRequest, FloorRelease, FloorReleased:
+	default:
+		return nil, fmt.Errorf("bfcp: cannot marshal primitive %v", m.Primitive)
+	}
+	w := wire.NewWriter(headerSize + attrLen)
+	w.Uint8(version << 5)
+	w.Uint8(uint8(m.Primitive))
+	w.Uint16(uint16(attrLen / 4)) // payload length in 32-bit words
+	w.Uint32(m.ConferenceID)
+	w.Uint16(m.TransactionID)
+	w.Uint16(m.UserID)
+	switch m.Primitive {
+	case FloorGranted:
+		w.Uint16(uint16(m.HIDStatus))
+		w.Uint16(0)
+	case FloorRequestQueued:
+		w.Uint16(m.QueuePosition)
+		w.Uint16(0)
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes a message.
+func Unmarshal(buf []byte) (*Message, error) {
+	if len(buf) < headerSize {
+		return nil, ErrTruncated
+	}
+	if buf[0]>>5 != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[0]>>5)
+	}
+	r := wire.NewReader(buf)
+	r.Skip(1)
+	m := &Message{Primitive: Primitive(r.Uint8())}
+	payloadWords := int(r.Uint16())
+	m.ConferenceID = r.Uint32()
+	m.TransactionID = r.Uint16()
+	m.UserID = r.Uint16()
+	if r.Len() < payloadWords*4 {
+		return nil, ErrTruncated
+	}
+	switch m.Primitive {
+	case FloorGranted:
+		if payloadWords >= 1 {
+			m.HIDStatus = HIDStatus(r.Uint16())
+			r.Skip(2)
+		}
+	case FloorRequestQueued:
+		if payloadWords >= 1 {
+			m.QueuePosition = r.Uint16()
+			r.Skip(2)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

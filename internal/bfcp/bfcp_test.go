@@ -1,0 +1,269 @@
+package bfcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundtrip(t *testing.T) {
+	msgs := []*Message{
+		{Primitive: FloorRequest, ConferenceID: 7, UserID: 3},
+		{Primitive: FloorRelease, ConferenceID: 7, UserID: 3},
+		{Primitive: FloorGranted, ConferenceID: 7, UserID: 3, HIDStatus: StateMouseAllowed},
+		{Primitive: FloorReleased, ConferenceID: 7, UserID: 3},
+		{Primitive: FloorRequestQueued, ConferenceID: 7, UserID: 3, QueuePosition: 2},
+	}
+	for _, in := range msgs {
+		in.TransactionID = 42
+		buf, err := in.Marshal()
+		if err != nil {
+			t.Fatalf("%v: %v", in.Primitive, err)
+		}
+		out, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", in.Primitive, err)
+		}
+		if *out != *in {
+			t.Fatalf("roundtrip %v: got %+v, want %+v", in.Primitive, out, in)
+		}
+	}
+}
+
+func TestMessageErrors(t *testing.T) {
+	if _, err := (&Message{Primitive: Primitive(99)}).Marshal(); err == nil {
+		t.Error("unknown primitive should fail")
+	}
+	if _, err := Unmarshal([]byte{0x20, 1}); err != ErrTruncated {
+		t.Errorf("short buffer err = %v", err)
+	}
+	buf, err := (&Message{Primitive: FloorRequest}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0x40 // version 2
+	if _, err := Unmarshal(buf); err == nil {
+		t.Error("bad version should fail")
+	}
+	// FloorGranted claiming a payload longer than present.
+	granted, err := (&Message{Primitive: FloorGranted}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted[2], granted[3] = 0, 9 // 9 words promised
+	if _, err := Unmarshal(granted); err != ErrTruncated {
+		t.Errorf("overlong payload err = %v", err)
+	}
+}
+
+func TestHIDStatusValues(t *testing.T) {
+	// Figure 20 values.
+	if StateNotAllowed != 0 || StateKeyboardAllowed != 1 || StateMouseAllowed != 2 || StateAllAllowed != 3 {
+		t.Fatal("Figure 20 values wrong")
+	}
+	cases := []struct {
+		s        HIDStatus
+		kbd, mou bool
+		name     string
+	}{
+		{StateNotAllowed, false, false, "STATE_NOT_ALLOWED"},
+		{StateKeyboardAllowed, true, false, "STATE_KEYBOARD_ALLOWED"},
+		{StateMouseAllowed, false, true, "STATE_MOUSE_ALLOWED"},
+		{StateAllAllowed, true, true, "STATE_ALL_ALLOWED"},
+	}
+	for _, c := range cases {
+		if c.s.AllowsKeyboard() != c.kbd || c.s.AllowsMouse() != c.mou {
+			t.Errorf("%v permissions wrong", c.s)
+		}
+		if c.s.String() != c.name {
+			t.Errorf("String = %q, want %q", c.s.String(), c.name)
+		}
+	}
+}
+
+// chairLog records chair-originated messages per user.
+type chairLog struct {
+	msgs []*Message
+	to   []uint16
+}
+
+func (l *chairLog) notify(userID uint16, m *Message) {
+	l.msgs = append(l.msgs, m)
+	l.to = append(l.to, userID)
+}
+
+func (l *chairLog) last() (*Message, uint16) {
+	if len(l.msgs) == 0 {
+		return nil, 0
+	}
+	return l.msgs[len(l.msgs)-1], l.to[len(l.to)-1]
+}
+
+// TestBFCPFloorFIFO reproduces the Appendix A flow (experiment E15):
+// grants are immediate when free, queued FIFO when busy.
+func TestBFCPFloorFIFO(t *testing.T) {
+	log := &chairLog{}
+	f := NewFloor(1, log.notify)
+
+	// User 10 gets the floor immediately.
+	if err := f.Request(10); err != nil {
+		t.Fatal(err)
+	}
+	m, to := log.last()
+	if m.Primitive != FloorGranted || to != 10 || m.HIDStatus != StateAllAllowed {
+		t.Fatalf("grant = %+v to %d", m, to)
+	}
+	if h, ok := f.Holder(); !ok || h != 10 {
+		t.Fatal("holder wrong")
+	}
+
+	// Users 11 and 12 queue in order.
+	if err := f.Request(11); err != nil {
+		t.Fatal(err)
+	}
+	m, to = log.last()
+	if m.Primitive != FloorRequestQueued || to != 11 || m.QueuePosition != 1 {
+		t.Fatalf("queued = %+v to %d", m, to)
+	}
+	if err := f.Request(12); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = log.last()
+	if m.QueuePosition != 2 {
+		t.Fatalf("second queue position = %d", m.QueuePosition)
+	}
+	// Duplicate requests rejected.
+	if err := f.Request(10); err != ErrAlreadyQueued {
+		t.Fatalf("holder re-request err = %v", err)
+	}
+	if err := f.Request(11); err != ErrAlreadyQueued {
+		t.Fatalf("queued re-request err = %v", err)
+	}
+
+	// Release: 11 (FIFO head) is granted, not 12.
+	if err := f.Release(10); err != nil {
+		t.Fatal(err)
+	}
+	m, to = log.last()
+	if m.Primitive != FloorGranted || to != 11 {
+		t.Fatalf("after release: %+v to %d", m, to)
+	}
+	if f.QueueLen() != 1 {
+		t.Fatalf("queue = %d", f.QueueLen())
+	}
+
+	// Non-holder release fails.
+	if err := f.Release(99); err != ErrNotHolder {
+		t.Fatalf("stranger release err = %v", err)
+	}
+	// Queued user can withdraw.
+	if err := f.Release(12); err != nil {
+		t.Fatal(err)
+	}
+	if f.QueueLen() != 0 {
+		t.Fatal("withdraw did not dequeue")
+	}
+}
+
+func TestHIDStatusBlockingWithoutRevocation(t *testing.T) {
+	log := &chairLog{}
+	f := NewFloor(1, log.notify)
+	if err := f.Request(5); err != nil {
+		t.Fatal(err)
+	}
+	if !f.MayUseKeyboard(5) || !f.MayUseMouse(5) {
+		t.Fatal("holder should start with all HIDs")
+	}
+	if f.MayUseKeyboard(6) {
+		t.Fatal("non-holder must not use HIDs")
+	}
+
+	// AH blocks keyboard while keeping the floor granted.
+	f.SetHIDStatus(StateMouseAllowed)
+	m, to := log.last()
+	if m.Primitive != FloorGranted || to != 5 || m.HIDStatus != StateMouseAllowed {
+		t.Fatalf("status update = %+v to %d", m, to)
+	}
+	if f.MayUseKeyboard(5) {
+		t.Fatal("keyboard should be blocked")
+	}
+	if !f.MayUseMouse(5) {
+		t.Fatal("mouse should still be allowed")
+	}
+	if h, ok := f.Holder(); !ok || h != 5 {
+		t.Fatal("floor must not be revoked by status change")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	f := NewFloor(1, nil)
+	if err := f.Request(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Request(2); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the holder promotes the queue head.
+	f.Drop(1)
+	if h, ok := f.Holder(); !ok || h != 2 {
+		t.Fatalf("holder after drop = %d, %v", h, ok)
+	}
+	// Dropping a queued user removes it silently.
+	if err := f.Request(3); err != nil {
+		t.Fatal(err)
+	}
+	f.Drop(3)
+	if f.QueueLen() != 0 {
+		t.Fatal("queued user not dropped")
+	}
+	// Dropping an unknown user is a no-op.
+	f.Drop(99)
+}
+
+func TestQuickFloorFIFOOrder(t *testing.T) {
+	// For any request order, grants happen in exactly request order.
+	f := func(raw []uint16) bool {
+		seen := map[uint16]bool{}
+		var users []uint16
+		for _, u := range raw {
+			if !seen[u] {
+				seen[u] = true
+				users = append(users, u)
+			}
+		}
+		if len(users) == 0 {
+			return true
+		}
+		var grants []uint16
+		fl := NewFloor(1, func(uid uint16, m *Message) {
+			if m.Primitive == FloorGranted {
+				grants = append(grants, uid)
+			}
+		})
+		for _, u := range users {
+			if err := fl.Request(u); err != nil {
+				return false
+			}
+		}
+		for range users {
+			h, ok := fl.Holder()
+			if !ok {
+				return false
+			}
+			if err := fl.Release(h); err != nil {
+				return false
+			}
+		}
+		if len(grants) != len(users) {
+			return false
+		}
+		for i := range users {
+			if grants[i] != users[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package bfcp
+
+import (
+	"errors"
+	"sync"
+)
+
+// Floor moderates the AH's human interface devices among participants:
+// "BFCP receives floor request and floor release messages from
+// participants; and then it grants the floor to the appropriate
+// participant for a period of time while keeping the requests from other
+// participants in a FIFO queue" (draft Section 4.2).
+//
+// Floor is safe for concurrent use.
+type Floor struct {
+	mu      sync.Mutex
+	holder  uint16
+	hasHold bool
+	queue   []uint16
+	status  HIDStatus
+	// notify receives every message the floor chair would send; the AH
+	// forwards them to participants.
+	notify func(userID uint16, msg *Message)
+	conf   uint32
+	nextTx uint16
+}
+
+// NewFloor returns a floor for the given conference. notify, if non-nil,
+// receives every chair-originated message addressed to a user.
+func NewFloor(conferenceID uint32, notify func(userID uint16, msg *Message)) *Floor {
+	return &Floor{
+		status: StateAllAllowed,
+		notify: notify,
+		conf:   conferenceID,
+	}
+}
+
+// Errors returned by floor operations.
+var (
+	ErrAlreadyQueued = errors.New("bfcp: user already holds or queued for the floor")
+	ErrNotHolder     = errors.New("bfcp: user does not hold the floor")
+)
+
+func (f *Floor) send(userID uint16, m *Message) {
+	m.ConferenceID = f.conf
+	f.nextTx++
+	m.TransactionID = f.nextTx
+	m.UserID = userID
+	if f.notify != nil {
+		f.notify(userID, m)
+	}
+}
+
+// Request handles a FloorRequest from userID. If the floor is free it is
+// granted immediately (FloorGranted with the current HID status);
+// otherwise the user joins the FIFO queue and receives
+// FloorRequestQueued with its position.
+func (f *Floor) Request(userID uint16) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hasHold && f.holder == userID {
+		return ErrAlreadyQueued
+	}
+	for _, q := range f.queue {
+		if q == userID {
+			return ErrAlreadyQueued
+		}
+	}
+	if !f.hasHold {
+		f.grantLocked(userID)
+		return nil
+	}
+	f.queue = append(f.queue, userID)
+	f.send(userID, &Message{Primitive: FloorRequestQueued, QueuePosition: uint16(len(f.queue))})
+	return nil
+}
+
+// Release handles a FloorRelease from the current holder: the holder
+// receives FloorReleased and the head of the queue (if any) is granted.
+func (f *Floor) Release(userID uint16) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.hasHold || f.holder != userID {
+		// A queued user may also withdraw its request.
+		for i, q := range f.queue {
+			if q == userID {
+				f.queue = append(f.queue[:i], f.queue[i+1:]...)
+				f.send(userID, &Message{Primitive: FloorReleased})
+				return nil
+			}
+		}
+		return ErrNotHolder
+	}
+	f.hasHold = false
+	f.send(userID, &Message{Primitive: FloorReleased})
+	if len(f.queue) > 0 {
+		next := f.queue[0]
+		f.queue = f.queue[1:]
+		f.grantLocked(next)
+	}
+	return nil
+}
+
+func (f *Floor) grantLocked(userID uint16) {
+	f.hasHold = true
+	f.holder = userID
+	f.send(userID, &Message{Primitive: FloorGranted, HIDStatus: f.status})
+}
+
+// Holder returns the current floor holder, if any.
+func (f *Floor) Holder() (uint16, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.holder, f.hasHold
+}
+
+// QueueLen returns the number of queued requests.
+func (f *Floor) QueueLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queue)
+}
+
+// SetHIDStatus changes the HID permission state without revoking the
+// floor (Appendix A: "the AH MAY temporarily block HID events without
+// revoking the floor control"). The current holder, if any, is informed
+// via a fresh FloorGranted message carrying the new status.
+func (f *Floor) SetHIDStatus(s HIDStatus) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.status = s
+	if f.hasHold {
+		f.send(f.holder, &Message{Primitive: FloorGranted, HIDStatus: s})
+	}
+}
+
+// HIDStatus returns the current HID permission state.
+func (f *Floor) HIDStatus() HIDStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.status
+}
+
+// MayUseKeyboard reports whether userID's keyboard events should be
+// regenerated right now.
+func (f *Floor) MayUseKeyboard(userID uint16) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hasHold && f.holder == userID && f.status.AllowsKeyboard()
+}
+
+// MayUseMouse reports whether userID's mouse events should be
+// regenerated right now.
+func (f *Floor) MayUseMouse(userID uint16) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hasHold && f.holder == userID && f.status.AllowsMouse()
+}
+
+// Drop removes a departed user entirely: releases the floor if held,
+// dequeues if queued.
+func (f *Floor) Drop(userID uint16) {
+	f.mu.Lock()
+	held := f.hasHold && f.holder == userID
+	f.mu.Unlock()
+	if held {
+		_ = f.Release(userID)
+		return
+	}
+	f.mu.Lock()
+	for i, q := range f.queue {
+		if q == userID {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+}

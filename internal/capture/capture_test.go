@@ -1,0 +1,261 @@
+package capture
+
+import (
+	"image/color"
+	"testing"
+
+	"appshare/internal/codec"
+	"appshare/internal/display"
+	"appshare/internal/region"
+)
+
+var (
+	red   = color.RGBA{0xFF, 0, 0, 0xFF}
+	white = color.RGBA{0xFF, 0xFF, 0xFF, 0xFF}
+)
+
+func newPipeline(t *testing.T, opts Options) (*Pipeline, *display.Desktop, *display.Window) {
+	t.Helper()
+	d := display.NewDesktop(1280, 1024)
+	w := d.CreateWindow(1, region.XYWH(220, 150, 350, 450))
+	p, err := New(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, d, w
+}
+
+func TestFirstTickCarriesWMInfoAndCreationDamage(t *testing.T) {
+	p, _, w := newPipeline(t, Options{})
+	b, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WMInfo == nil || len(b.WMInfo.Windows) != 1 {
+		t.Fatalf("WMInfo = %+v", b.WMInfo)
+	}
+	if b.WMInfo.Windows[0].WindowID != w.ID() {
+		t.Fatal("wrong window in WMInfo")
+	}
+	if len(b.Updates) == 0 {
+		t.Fatal("creation damage should produce updates")
+	}
+	// Second tick with no activity: empty batch.
+	b, err = p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Empty() {
+		t.Fatalf("idle tick batch = %+v", b)
+	}
+}
+
+func TestDamageBecomesRegionUpdateWithAbsoluteCoords(t *testing.T) {
+	p, _, w := newPipeline(t, Options{})
+	if _, err := p.Tick(); err != nil { // drain creation
+		t.Fatal(err)
+	}
+	w.Fill(region.XYWH(10, 20, 40, 30), red)
+	b, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Updates) != 1 {
+		t.Fatalf("updates = %d", len(b.Updates))
+	}
+	up := b.Updates[0].Msg
+	if up.Left != 230 || up.Top != 170 {
+		t.Fatalf("update at (%d,%d), want (230,170)", up.Left, up.Top)
+	}
+	if up.WindowID != w.ID() || up.ContentPT != codec.PayloadTypePNG {
+		t.Fatalf("update meta = %+v", up)
+	}
+	// Decode and verify the content is the red fill.
+	img, err := (codec.PNG{}).Decode(up.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 40 || img.Bounds().Dy() != 30 {
+		t.Fatalf("content size = %v", img.Bounds())
+	}
+	if got := img.RGBAAt(5, 5); got != red {
+		t.Fatalf("content pixel = %v", got)
+	}
+}
+
+func TestScrollBecomesMoveRectangle(t *testing.T) {
+	p, _, w := newPipeline(t, Options{})
+	if _, err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	w.Scroll(region.XYWH(0, 0, 350, 450), -20, white)
+	b, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Moves) != 1 {
+		t.Fatalf("moves = %d", len(b.Moves))
+	}
+	mv := b.Moves[0]
+	if mv.SrcTop != 170 || mv.DstTop != 150 || mv.Height != 430 {
+		t.Fatalf("move = %+v", mv)
+	}
+	// The vacated band is a pixel update, not part of the move.
+	if len(b.Updates) != 1 {
+		t.Fatalf("updates = %d", len(b.Updates))
+	}
+	if b.Updates[0].Msg.Top != uint32(150+450-20) {
+		t.Fatalf("vacated update top = %d", b.Updates[0].Msg.Top)
+	}
+}
+
+func TestUnsharedWindowProducesNothing(t *testing.T) {
+	p, d, w := newPipeline(t, Options{})
+	if _, err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetShared(w.ID(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Tick(); err != nil { // WMInfo for the unshare
+		t.Fatal(err)
+	}
+	w.Fill(region.XYWH(0, 0, 50, 50), red)
+	w.Scroll(region.XYWH(0, 0, 100, 100), -10, white)
+	b, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Updates) != 0 || len(b.Moves) != 0 {
+		t.Fatalf("unshared window leaked: %d updates, %d moves", len(b.Updates), len(b.Moves))
+	}
+}
+
+func TestPointerMessages(t *testing.T) {
+	p, d, _ := newPipeline(t, Options{})
+	if _, err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	d.MoveCursor(100, 120)
+	b, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pointer == nil {
+		t.Fatal("cursor move should produce MousePointerInfo")
+	}
+	if b.Pointer.Left != 100 || b.Pointer.Top != 120 {
+		t.Fatalf("pointer at (%d,%d)", b.Pointer.Left, b.Pointer.Top)
+	}
+	if len(b.Pointer.Image) != 0 {
+		t.Fatal("move-only pointer message should omit the image")
+	}
+}
+
+func TestPointerInUpdatesModelSuppressesPointerMessages(t *testing.T) {
+	p, d, _ := newPipeline(t, Options{PointerInUpdates: true})
+	if _, err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	d.MoveCursor(5, 5)
+	b, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pointer != nil {
+		t.Fatal("PointerInUpdates model must not emit MousePointerInfo")
+	}
+}
+
+func TestFullRefresh(t *testing.T) {
+	p, d, w := newPipeline(t, Options{})
+	d.CreateWindow(2, region.XYWH(850, 320, 160, 150))
+	if _, err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.FullRefresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WMInfo == nil || len(b.WMInfo.Windows) != 2 {
+		t.Fatalf("refresh WMInfo = %+v", b.WMInfo)
+	}
+	if len(b.Updates) != 2 {
+		t.Fatalf("refresh updates = %d, want one per window", len(b.Updates))
+	}
+	// Full-window updates at the windows' absolute origins.
+	if b.Updates[0].Msg.Left != uint32(w.Bounds().Left) || b.Updates[0].Msg.Top != uint32(w.Bounds().Top) {
+		t.Fatalf("refresh update origin = (%d,%d)", b.Updates[0].Msg.Left, b.Updates[0].Msg.Top)
+	}
+	// Pointer state included for late joiners, with image.
+	if b.Pointer == nil || len(b.Pointer.Image) == 0 {
+		t.Fatal("full refresh must carry pointer position and image")
+	}
+	// Refresh resets the tracker: next tick has no WMInfo.
+	tick, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick.WMInfo != nil {
+		t.Fatal("tick after refresh should not repeat WMInfo")
+	}
+}
+
+func TestOverlapDamageUpdatesBothWindows(t *testing.T) {
+	p, d, a := newPipeline(t, Options{})
+	b2 := d.CreateWindow(1, region.XYWH(450, 400, 350, 300)) // overlaps A
+	if _, err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	// Damage the overlap area via window B's local coords.
+	b2.Fill(region.XYWH(0, 0, 50, 50), red)
+	batch, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The damaged desktop rect (450..500, 400..450) intersects both A
+	// and B; each shared window gets its own update.
+	ids := map[uint16]bool{}
+	for _, up := range batch.Updates {
+		ids[up.Msg.WindowID] = true
+	}
+	if !ids[a.ID()] || !ids[b2.ID()] {
+		t.Fatalf("updates cover windows %v, want both %d and %d", ids, a.ID(), b2.ID())
+	}
+}
+
+func TestAutoSelectUsesPNGForSynthetic(t *testing.T) {
+	p, _, w := newPipeline(t, Options{AutoSelect: true})
+	if _, err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	w.Fill(region.XYWH(0, 0, 120, 120), red) // flat fill = synthetic
+	b, err := p.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Updates) != 1 || b.Updates[0].Msg.ContentPT != codec.PayloadTypePNG {
+		t.Fatalf("auto-select chose PT %d", b.Updates[0].Msg.ContentPT)
+	}
+}
+
+func TestNewValidatesCodecs(t *testing.T) {
+	d := display.NewDesktop(100, 100)
+	reg, err := codec.NewRegistry(codec.JPEG{}) // no PNG
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d, Options{Registry: reg}); err == nil {
+		t.Fatal("missing mandatory PNG codec should fail")
+	}
+	reg2, err := codec.NewRegistry(codec.PNG{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d, Options{Registry: reg2, AutoSelect: true}); err == nil {
+		t.Fatal("AutoSelect without JPEG should fail")
+	}
+	if _, err := New(d, Options{Registry: reg2, ContentPT: codec.PayloadTypeJPEG}); err == nil {
+		t.Fatal("fixed PT without that codec should fail")
+	}
+}

@@ -1,0 +1,152 @@
+package capture
+
+import (
+	"hash/fnv"
+	"image"
+
+	"appshare/internal/region"
+)
+
+// Polling change detection. The virtual desktop journals its own damage,
+// but a real AH attached to an opaque framebuffer must *detect* changes
+// (draft Section 4.2: "Detecting a change in the GUI of the shared
+// application, the AH prepares an RTP packet..."). Differ implements the
+// standard technique: hash fixed-size tiles of successive frames and
+// report tiles whose hash changed. ScrollDetect then recognizes when a
+// damaged band is actually the previous frame translated vertically, so
+// the sender can emit MoveRectangle instead of re-encoding pixels.
+
+// Differ detects changed regions between successive frames by tile
+// hashing. The zero value is not usable; call NewDiffer.
+type Differ struct {
+	tile  int
+	prev  []uint64
+	cols  int
+	rows  int
+	w, h  int
+	first bool
+}
+
+// NewDiffer returns a Differ with the given tile size (pixels).
+func NewDiffer(tileSize int) *Differ {
+	if tileSize <= 0 {
+		tileSize = 32
+	}
+	return &Differ{tile: tileSize, first: true}
+}
+
+// Diff hashes img's tiles against the previous frame and returns the
+// changed area as coalesced rectangles. The first call reports the whole
+// frame. img must keep the same dimensions across calls (a dimension
+// change reports the whole frame and resets).
+func (d *Differ) Diff(img *image.RGBA) []region.Rect {
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	cols := (w + d.tile - 1) / d.tile
+	rows := (h + d.tile - 1) / d.tile
+	cur := make([]uint64, cols*rows)
+	for ty := 0; ty < rows; ty++ {
+		for tx := 0; tx < cols; tx++ {
+			cur[ty*cols+tx] = d.hashTile(img, b, tx, ty)
+		}
+	}
+	reset := d.first || w != d.w || h != d.h
+	prev := d.prev
+	d.prev = cur
+	d.cols, d.rows, d.w, d.h = cols, rows, w, h
+	d.first = false
+	if reset {
+		return []region.Rect{region.XYWH(0, 0, w, h)}
+	}
+
+	changed := region.NewSet()
+	for ty := 0; ty < rows; ty++ {
+		for tx := 0; tx < cols; tx++ {
+			if cur[ty*cols+tx] != prev[ty*cols+tx] {
+				tw := min(d.tile, w-tx*d.tile)
+				th := min(d.tile, h-ty*d.tile)
+				changed.Add(region.XYWH(tx*d.tile, ty*d.tile, tw, th))
+			}
+		}
+	}
+	return changed.Coalesce(d.tile * d.tile)
+}
+
+func (d *Differ) hashTile(img *image.RGBA, b image.Rectangle, tx, ty int) uint64 {
+	h := fnv.New64a()
+	x0 := b.Min.X + tx*d.tile
+	y0 := b.Min.Y + ty*d.tile
+	x1 := min(x0+d.tile, b.Max.X)
+	y1 := min(y0+d.tile, b.Max.Y)
+	for y := y0; y < y1; y++ {
+		row := img.Pix[img.PixOffset(x0, y):img.PixOffset(x1, y)]
+		_, _ = h.Write(row)
+	}
+	return h.Sum64()
+}
+
+// DetectVerticalScroll checks whether cur within rect equals prev within
+// rect shifted vertically by some dy in [-maxShift, maxShift], dy != 0.
+// It returns the detected shift (positive = content moved down) and
+// whether one was found. Row hashing makes the search O(rows × shifts)
+// instead of O(pixels × shifts).
+//
+// This reproduces what production sharing systems do to synthesize
+// MoveRectangle (Section 5.2.3) from opaque framebuffers.
+func DetectVerticalScroll(prev, cur *image.RGBA, rect region.Rect, maxShift int) (int, bool) {
+	if rect.Empty() || maxShift <= 0 || rect.Height <= maxShift {
+		return 0, false
+	}
+	prevRows := rowHashes(prev, rect)
+	curRows := rowHashes(cur, rect)
+
+	best, bestMatch := 0, 0
+	for dy := -maxShift; dy <= maxShift; dy++ {
+		if dy == 0 {
+			continue
+		}
+		// cur[y] should equal prev[y-dy].
+		match := 0
+		total := 0
+		for y := 0; y < rect.Height; y++ {
+			src := y - dy
+			if src < 0 || src >= rect.Height {
+				continue
+			}
+			total++
+			if curRows[y] == prevRows[src] {
+				match++
+			}
+		}
+		if total > 0 && match > bestMatch && match*10 >= total*9 { // ≥90% of rows line up
+			best, bestMatch = dy, match
+		}
+	}
+	if best == 0 {
+		return 0, false
+	}
+	// Reject degenerate matches (e.g. constant-color regions where every
+	// shift "matches"): require the region to actually have changed.
+	same := true
+	for y := 0; y < rect.Height; y++ {
+		if curRows[y] != prevRows[y] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return 0, false
+	}
+	return best, true
+}
+
+func rowHashes(img *image.RGBA, rect region.Rect) []uint64 {
+	out := make([]uint64, rect.Height)
+	for y := 0; y < rect.Height; y++ {
+		h := fnv.New64a()
+		row := img.Pix[img.PixOffset(rect.Left, rect.Top+y):img.PixOffset(rect.Right(), rect.Top+y)]
+		_, _ = h.Write(row)
+		out[y] = h.Sum64()
+	}
+	return out
+}

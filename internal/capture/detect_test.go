@@ -1,0 +1,156 @@
+package capture
+
+import (
+	"image"
+	"image/color"
+	"image/draw"
+	"math/rand"
+	"testing"
+
+	"appshare/internal/display"
+	"appshare/internal/region"
+	"appshare/internal/workload"
+)
+
+func frame(w, h int) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	draw.Draw(img, img.Bounds(), &image.Uniform{color.RGBA{0xF0, 0xF0, 0xF0, 0xFF}}, image.Point{}, draw.Src)
+	return img
+}
+
+func TestDifferFirstFrameIsFullDamage(t *testing.T) {
+	d := NewDiffer(32)
+	rects := d.Diff(frame(200, 150))
+	if len(rects) != 1 || rects[0] != region.XYWH(0, 0, 200, 150) {
+		t.Fatalf("first diff = %v", rects)
+	}
+	// Unchanged second frame: nothing.
+	if rects := d.Diff(frame(200, 150)); len(rects) != 0 {
+		t.Fatalf("identical frame diff = %v", rects)
+	}
+}
+
+func TestDifferDetectsExactChange(t *testing.T) {
+	d := NewDiffer(32)
+	f := frame(320, 240)
+	d.Diff(f)
+	// Change one pixel deep inside a tile.
+	f2 := frame(320, 240)
+	f2.SetRGBA(100, 100, color.RGBA{1, 2, 3, 0xFF})
+	rects := d.Diff(f2)
+	if len(rects) != 1 {
+		t.Fatalf("diff = %v", rects)
+	}
+	// The changed pixel must be covered; the area must be one tile.
+	if !rects[0].Contains(100, 100) {
+		t.Fatalf("change not covered: %v", rects)
+	}
+	if rects[0].Area() > 32*32 {
+		t.Fatalf("overreported: %v", rects[0])
+	}
+	// No false positives afterward.
+	if rects := d.Diff(f2); len(rects) != 0 {
+		t.Fatalf("stable frame diff = %v", rects)
+	}
+}
+
+func TestDifferNeverMissesChanges(t *testing.T) {
+	// Soundness: every changed pixel is inside the reported rects.
+	rng := rand.New(rand.NewSource(5))
+	d := NewDiffer(16)
+	prev := frame(160, 120)
+	d.Diff(prev)
+	for step := 0; step < 50; step++ {
+		cur := image.NewRGBA(prev.Bounds())
+		copy(cur.Pix, prev.Pix)
+		// Random scribbles.
+		for i := 0; i < rng.Intn(5); i++ {
+			x, y := rng.Intn(160), rng.Intn(120)
+			cur.SetRGBA(x, y, color.RGBA{uint8(rng.Intn(256)), 0, 0, 0xFF})
+		}
+		rects := d.Diff(cur)
+		covered := region.NewSet()
+		for _, r := range rects {
+			covered.Add(r)
+		}
+		for y := 0; y < 120; y++ {
+			for x := 0; x < 160; x++ {
+				if prev.RGBAAt(x, y) != cur.RGBAAt(x, y) && !covered.Contains(x, y) {
+					t.Fatalf("step %d: change at (%d,%d) missed", step, x, y)
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestDifferDimensionChangeResets(t *testing.T) {
+	d := NewDiffer(32)
+	d.Diff(frame(100, 100))
+	rects := d.Diff(frame(200, 100))
+	if len(rects) != 1 || rects[0] != region.XYWH(0, 0, 200, 100) {
+		t.Fatalf("resize diff = %v", rects)
+	}
+}
+
+func TestDetectVerticalScroll(t *testing.T) {
+	// Render distinctive text content, then shift it up 12 px.
+	desk := display.NewDesktop(300, 200)
+	win := desk.CreateWindow(0, region.XYWH(0, 0, 300, 200))
+	ty := workload.NewTyping(win, 600, 9)
+	for i := 0; i < 4; i++ {
+		ty.Step()
+	}
+	prev := win.Snapshot()
+	win.Scroll(region.XYWH(0, 0, 300, 200), -12, color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	cur := win.Snapshot()
+
+	dy, ok := DetectVerticalScroll(prev, cur, region.XYWH(0, 0, 300, 200), 30)
+	if !ok {
+		t.Fatal("scroll not detected")
+	}
+	if dy != -12 {
+		t.Fatalf("dy = %d, want -12", dy)
+	}
+}
+
+func TestDetectVerticalScrollDown(t *testing.T) {
+	desk := display.NewDesktop(300, 200)
+	win := desk.CreateWindow(0, region.XYWH(0, 0, 300, 200))
+	ty := workload.NewTyping(win, 600, 10)
+	for i := 0; i < 4; i++ {
+		ty.Step()
+	}
+	prev := win.Snapshot()
+	win.Scroll(region.XYWH(0, 0, 300, 200), 7, color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	cur := win.Snapshot()
+	dy, ok := DetectVerticalScroll(prev, cur, region.XYWH(0, 0, 300, 200), 30)
+	if !ok || dy != 7 {
+		t.Fatalf("dy = %d ok=%v, want 7", dy, ok)
+	}
+}
+
+func TestDetectVerticalScrollRejectsNonScrolls(t *testing.T) {
+	// Identical frames: no scroll.
+	f := frame(100, 100)
+	if _, ok := DetectVerticalScroll(f, f, region.XYWH(0, 0, 100, 100), 20); ok {
+		t.Fatal("identical frames misdetected as scroll")
+	}
+	// Unrelated content: no scroll.
+	a := frame(100, 100)
+	b := image.NewRGBA(a.Bounds())
+	rng := rand.New(rand.NewSource(3))
+	for i := range b.Pix {
+		b.Pix[i] = byte(rng.Intn(256))
+	}
+	if _, ok := DetectVerticalScroll(a, b, region.XYWH(0, 0, 100, 100), 20); ok {
+		t.Fatal("noise misdetected as scroll")
+	}
+	// Degenerate parameters.
+	if _, ok := DetectVerticalScroll(a, b, region.Rect{}, 20); ok {
+		t.Fatal("empty rect")
+	}
+	if _, ok := DetectVerticalScroll(a, b, region.XYWH(0, 0, 100, 10), 20); ok {
+		t.Fatal("region shorter than shift range")
+	}
+}

@@ -1,0 +1,189 @@
+package capture
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/draw"
+	"testing"
+
+	"appshare/internal/codec"
+	"appshare/internal/display"
+	"appshare/internal/region"
+	"appshare/internal/workload"
+)
+
+func newPoller(t *testing.T) (*Poller, *display.Desktop, *display.Window) {
+	t.Helper()
+	d := display.NewDesktop(800, 600)
+	w := d.CreateWindow(1, region.XYWH(100, 80, 400, 300))
+	p, err := New(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPoller(p, 16, 40), d, w
+}
+
+// applyBatch replays a batch onto a model image the way a participant
+// would, for convergence checks. model is in window-local coordinates.
+func applyBatch(t *testing.T, model *image.RGBA, win *display.Window, b *Batch) {
+	t.Helper()
+	reg := codec.DefaultRegistry()
+	ox, oy := win.Bounds().Left, win.Bounds().Top
+	for _, mv := range b.Moves {
+		if mv.WindowID != win.ID() {
+			continue
+		}
+		src := mv.Src().Translate(-ox, -oy)
+		dst := mv.Dst().Translate(-ox, -oy)
+		display.MoveRect(model, src, dst)
+	}
+	for _, up := range b.Updates {
+		if up.Msg.WindowID != win.ID() {
+			continue
+		}
+		c, err := reg.Lookup(up.Msg.ContentPT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := c.Decode(up.Msg.Content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lx, ly := int(up.Msg.Left)-ox, int(up.Msg.Top)-oy
+		draw.Draw(model, image.Rect(lx, ly, lx+img.Bounds().Dx(), ly+img.Bounds().Dy()), img, image.Point{}, draw.Src)
+	}
+}
+
+func TestPollerFirstTickFullWindow(t *testing.T) {
+	po, _, w := newPoller(t)
+	b, err := po.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WMInfo == nil {
+		t.Fatal("first poll should carry WMInfo")
+	}
+	covered := region.NewSet()
+	for _, up := range b.Updates {
+		covered.Add(up.Rect)
+	}
+	if !covered.Contains(w.Bounds().Left, w.Bounds().Top) ||
+		!covered.Contains(w.Bounds().Right()-1, w.Bounds().Bottom()-1) {
+		t.Fatalf("first poll does not cover the window: %v", covered.Rects())
+	}
+	// Quiescent tick: empty.
+	b, err = po.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Empty() {
+		t.Fatalf("idle poll = %+v", b)
+	}
+}
+
+func TestPollerDetectsDrawing(t *testing.T) {
+	po, _, w := newPoller(t)
+	if _, err := po.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	w.Fill(region.XYWH(50, 60, 30, 20), color.RGBA{0xFF, 0, 0, 0xFF})
+	b, err := po.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Updates) == 0 {
+		t.Fatal("drawing not detected")
+	}
+	covered := region.NewSet()
+	for _, up := range b.Updates {
+		covered.Add(up.Rect)
+	}
+	// Absolute coords: window origin (100,80) + local (50,60).
+	if !covered.Contains(155, 145) {
+		t.Fatalf("change not covered: %v", covered.Rects())
+	}
+}
+
+func TestPollerSynthesizesMoveRectangleForScrolls(t *testing.T) {
+	po, _, w := newPoller(t)
+	ty := workload.NewTyping(w, 2000, 4)
+	for i := 0; i < 6; i++ {
+		ty.Step()
+	}
+	if _, err := po.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	w.Scroll(region.XYWH(0, 0, 400, 300), -15, color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	b, err := po.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Moves) != 1 {
+		t.Fatalf("moves = %d (updates %d); scroll not synthesized", len(b.Moves), len(b.Updates))
+	}
+	mv := b.Moves[0]
+	if mv.SrcTop-mv.DstTop != 15 {
+		t.Fatalf("move = %+v, want 15px upward", mv)
+	}
+	// Residual updates should be far smaller than the window.
+	residual := 0
+	for _, up := range b.Updates {
+		residual += up.Rect.Area()
+	}
+	if residual > 400*300/4 {
+		t.Fatalf("residual damage too large: %d px", residual)
+	}
+}
+
+// TestPollerConvergesWithOracle runs the same workload through the
+// polling path and checks the replayed model matches the window exactly
+// after each tick — polling must be lossless, just less informed.
+func TestPollerConvergesWithOracle(t *testing.T) {
+	po, _, w := newPoller(t)
+	model := image.NewRGBA(image.Rect(0, 0, 400, 300))
+
+	b, err := po.Tick() // initial full state
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyBatch(t, model, w, b)
+
+	ty := workload.NewTyping(w, 64, 4)
+	sc := workload.NewScrolling(w, 1, 5)
+	for step := 0; step < 30; step++ {
+		if step%3 == 2 {
+			sc.Step()
+		} else {
+			ty.Step()
+		}
+		b, err := po.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyBatch(t, model, w, b)
+		if !bytes.Equal(model.Pix, w.Snapshot().Pix) {
+			t.Fatalf("step %d: polled replay diverged from window", step)
+		}
+	}
+}
+
+func TestPollerForgetsClosedWindows(t *testing.T) {
+	po, d, w := newPoller(t)
+	if _, err := po.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CloseWindow(w.ID()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := po.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WMInfo == nil || len(b.WMInfo.Windows) != 0 {
+		t.Fatalf("close not reported: %+v", b.WMInfo)
+	}
+	if len(po.differs) != 0 || len(po.prev) != 0 {
+		t.Fatal("poller retained closed window state")
+	}
+}

@@ -1,0 +1,73 @@
+package codec
+
+import "image"
+
+// ContentClass labels the dominant character of a screen region, driving
+// the draft Section 4.2 guidance: PNG "is more suitable for computer
+// generated images", JPEG "more suitable for photographic images".
+type ContentClass int
+
+// Content classes.
+const (
+	// ClassSynthetic is computer-generated content: text, UI chrome,
+	// flat fills — few distinct colors, hard edges.
+	ClassSynthetic ContentClass = iota
+	// ClassPhotographic is natural-image content: many distinct colors,
+	// smooth gradients.
+	ClassPhotographic
+)
+
+// String implements fmt.Stringer.
+func (c ContentClass) String() string {
+	if c == ClassSynthetic {
+		return "synthetic"
+	}
+	return "photographic"
+}
+
+// Classify inspects a region and estimates its content class using a
+// distinct-color-ratio heuristic: synthetic screen content (text, UI)
+// repeats a handful of palette colors, while photographic content has
+// nearly as many distinct colors as pixels. The sampling is bounded so
+// classification stays cheap for large regions.
+func Classify(img *image.RGBA) ContentClass {
+	b := img.Bounds()
+	total := b.Dx() * b.Dy()
+	if total == 0 {
+		return ClassSynthetic
+	}
+	// Sample at most ~4096 pixels on a grid.
+	step := 1
+	for (b.Dx()/step)*(b.Dy()/step) > 4096 {
+		step++
+	}
+	colors := make(map[uint32]struct{}, 1024)
+	samples := 0
+	for y := b.Min.Y; y < b.Max.Y; y += step {
+		for x := b.Min.X; x < b.Max.X; x += step {
+			i := img.PixOffset(x, y)
+			c := uint32(img.Pix[i])<<16 | uint32(img.Pix[i+1])<<8 | uint32(img.Pix[i+2])
+			colors[c] = struct{}{}
+			samples++
+		}
+	}
+	if samples == 0 {
+		return ClassSynthetic
+	}
+	// Synthetic content keeps the distinct-color ratio low even after
+	// anti-aliasing; photographs approach 1.0.
+	if float64(len(colors))/float64(samples) > 0.35 {
+		return ClassPhotographic
+	}
+	return ClassSynthetic
+}
+
+// ChooseCodec picks a codec for a region per the Section 4.2 guidance:
+// lossless PNG for synthetic content, JPEG for photographic content. The
+// caller supplies the two codecs so quality settings are preserved.
+func ChooseCodec(img *image.RGBA, forSynthetic, forPhotographic Codec) Codec {
+	if Classify(img) == ClassSynthetic {
+		return forSynthetic
+	}
+	return forPhotographic
+}

@@ -1,0 +1,285 @@
+package codec
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// syntheticImage renders text-like screen content: flat background with
+// regular dark glyph blocks.
+func syntheticImage(w, h int) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	bg := color.RGBA{0xF0, 0xF0, 0xF0, 0xFF}
+	fg := color.RGBA{0x10, 0x10, 0x30, 0xFF}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, bg)
+		}
+	}
+	for row := 4; row < h-4; row += 12 {
+		for x := 4; x < w-4; x++ {
+			if (x/3)%2 == 0 {
+				for dy := 0; dy < 8 && row+dy < h; dy++ {
+					img.SetRGBA(x, row+dy, fg)
+				}
+			}
+		}
+	}
+	return img
+}
+
+// photoImage renders smooth noisy gradients approximating a photograph.
+func photoImage(w, h int, seed int64) *image.RGBA {
+	rng := rand.New(rand.NewSource(seed))
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, color.RGBA{
+				R: uint8(x*255/w + rng.Intn(17)),
+				G: uint8(y*255/h + rng.Intn(17)),
+				B: uint8((x+y)*255/(w+h) + rng.Intn(17)),
+				A: 0xFF,
+			})
+		}
+	}
+	return img
+}
+
+func imagesEqual(a, b *image.RGBA) bool {
+	return a.Bounds() == b.Bounds() && bytes.Equal(a.Pix, b.Pix)
+}
+
+func TestPNGLosslessRoundtrip(t *testing.T) {
+	img := syntheticImage(160, 120)
+	c := PNG{}
+	data, err := c.Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imagesEqual(img, back) {
+		t.Fatal("PNG roundtrip is not lossless")
+	}
+	if !c.Lossless() {
+		t.Fatal("PNG must report lossless")
+	}
+}
+
+func TestRawLosslessRoundtrip(t *testing.T) {
+	img := photoImage(63, 41, 1)
+	c := Raw{}
+	data, err := c.Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 8+4*63*41 {
+		t.Fatalf("raw size = %d, want %d", len(data), 8+4*63*41)
+	}
+	back, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imagesEqual(img, back) {
+		t.Fatal("raw roundtrip mismatch")
+	}
+}
+
+func TestRawDecodeRejects(t *testing.T) {
+	c := Raw{}
+	if _, err := c.Decode([]byte{0, 0}); err == nil {
+		t.Error("short header should fail")
+	}
+	if _, err := c.Decode([]byte{0, 0, 0, 0, 0, 0, 0, 4}); err == nil {
+		t.Error("zero width should fail")
+	}
+	// Header promises more pixels than present.
+	if _, err := c.Decode([]byte{0, 0, 0, 8, 0, 0, 0, 8, 1, 2, 3}); err == nil {
+		t.Error("truncated pixels should fail")
+	}
+	// Implausible dimensions.
+	if _, err := c.Decode([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 1}); err == nil {
+		t.Error("huge dimensions should fail")
+	}
+}
+
+func TestJPEGLossyButClose(t *testing.T) {
+	img := photoImage(64, 64, 2)
+	c := JPEG{Quality: 90}
+	data, err := c.Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bounds() != img.Bounds() {
+		t.Fatalf("bounds changed: %v", back.Bounds())
+	}
+	if c.Lossless() {
+		t.Fatal("JPEG must report lossy")
+	}
+	// Mean absolute error should be small at Q90.
+	var mae float64
+	for i := range img.Pix {
+		mae += math.Abs(float64(img.Pix[i]) - float64(back.Pix[i]))
+	}
+	mae /= float64(len(img.Pix))
+	if mae > 12 {
+		t.Fatalf("JPEG Q90 MAE = %.1f, want <= 12", mae)
+	}
+}
+
+// TestCodecContentMatrix reproduces the draft Section 4.2 claim (E10):
+// PNG beats JPEG on synthetic content (and is lossless); JPEG beats PNG
+// on photographic content.
+func TestCodecContentMatrix(t *testing.T) {
+	synth := syntheticImage(320, 240)
+	photo := photoImage(320, 240, 3)
+
+	encSize := func(c Codec, img *image.RGBA) int {
+		data, err := c.Encode(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(data)
+	}
+	pngSynth := encSize(PNG{}, synth)
+	jpegSynth := encSize(JPEG{Quality: 75}, synth)
+	pngPhoto := encSize(PNG{}, photo)
+	jpegPhoto := encSize(JPEG{Quality: 75}, photo)
+	rawSize := encSize(Raw{}, synth)
+
+	if pngSynth >= jpegSynth {
+		t.Errorf("synthetic: PNG (%d) should beat JPEG (%d)", pngSynth, jpegSynth)
+	}
+	if jpegPhoto >= pngPhoto {
+		t.Errorf("photo: JPEG (%d) should beat PNG (%d)", jpegPhoto, pngPhoto)
+	}
+	if pngSynth >= rawSize/4 {
+		t.Errorf("PNG on synthetic (%d) should compress raw (%d) by > 4x", pngSynth, rawSize)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if got := Classify(syntheticImage(200, 150)); got != ClassSynthetic {
+		t.Errorf("synthetic classified as %v", got)
+	}
+	if got := Classify(photoImage(200, 150, 4)); got != ClassPhotographic {
+		t.Errorf("photo classified as %v", got)
+	}
+	if got := Classify(image.NewRGBA(image.Rect(0, 0, 0, 0))); got != ClassSynthetic {
+		t.Errorf("empty classified as %v", got)
+	}
+	if ClassSynthetic.String() != "synthetic" || ClassPhotographic.String() != "photographic" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestChooseCodec(t *testing.T) {
+	png, jp := PNG{}, JPEG{Quality: 80}
+	if got := ChooseCodec(syntheticImage(100, 100), png, jp); got.Name() != "png" {
+		t.Errorf("synthetic chose %s", got.Name())
+	}
+	if got := ChooseCodec(photoImage(100, 100, 5), png, jp); got.Name() != "jpeg" {
+		t.Errorf("photo chose %s", got.Name())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := DefaultRegistry()
+	for pt, name := range map[uint8]string{PayloadTypePNG: "png", PayloadTypeJPEG: "jpeg", PayloadTypeRaw: "raw"} {
+		c, err := r.Lookup(pt)
+		if err != nil {
+			t.Fatalf("Lookup(%d): %v", pt, err)
+		}
+		if c.Name() != name {
+			t.Errorf("PT %d = %s, want %s", pt, c.Name(), name)
+		}
+	}
+	if _, err := r.Lookup(50); err == nil {
+		t.Error("unknown PT should fail")
+	}
+	if err := r.Register(PayloadTypePNG, PNG{}); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := r.Register(0x80, PNG{}); err == nil {
+		t.Error("8-bit PT should fail")
+	}
+	if len(r.PayloadTypes()) != 3 {
+		t.Errorf("payload types = %v", r.PayloadTypes())
+	}
+}
+
+func TestEncodeSubImage(t *testing.T) {
+	fb := syntheticImage(320, 240)
+	data, err := EncodeSubImage(PNG{}, fb, image.Rect(10, 20, 110, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := (PNG{}).Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bounds().Dx() != 100 || back.Bounds().Dy() != 100 {
+		t.Fatalf("decoded size = %v", back.Bounds())
+	}
+	// Pixel check against the source.
+	for y := 0; y < 100; y += 7 {
+		for x := 0; x < 100; x += 7 {
+			if back.RGBAAt(x, y) != fb.RGBAAt(x+10, y+20) {
+				t.Fatalf("pixel (%d,%d) mismatch", x, y)
+			}
+		}
+	}
+	// Out-of-bounds rect clips; fully outside fails.
+	if _, err := EncodeSubImage(PNG{}, fb, image.Rect(1000, 1000, 1100, 1100)); err != ErrEmptyImage {
+		t.Fatalf("outside rect err = %v, want ErrEmptyImage", err)
+	}
+}
+
+func TestQuickRawRoundtrip(t *testing.T) {
+	f := func(w8, h8 uint8, seed int64) bool {
+		w, h := int(w8%64)+1, int(h8%64)+1
+		img := photoImage(w, h, seed)
+		data, err := (Raw{}).Encode(img)
+		if err != nil {
+			return false
+		}
+		back, err := (Raw{}).Decode(data)
+		if err != nil {
+			return false
+		}
+		return imagesEqual(img, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPNGRoundtrip(t *testing.T) {
+	f := func(w8, h8 uint8, seed int64) bool {
+		w, h := int(w8%48)+1, int(h8%48)+1
+		img := photoImage(w, h, seed)
+		data, err := (PNG{}).Encode(img)
+		if err != nil {
+			return false
+		}
+		back, err := (PNG{}).Decode(data)
+		if err != nil {
+			return false
+		}
+		return imagesEqual(img, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	_ "image/jpeg" // register for DecodeConfig
+	_ "image/png"  // register for DecodeConfig
+)
+
+// DefaultMaxPixels bounds a decoded RegionUpdate at 16 megapixels —
+// comfortably above any real desktop, far below a decompression bomb.
+const DefaultMaxPixels = 16 << 20
+
+// SafeDecode decodes data with c after verifying the declared image
+// dimensions. A hostile AH (or attacker injecting RegionUpdates) could
+// otherwise declare a 65535x65535 PNG that decompresses from a few KB
+// into 17 GB of pixels — the resource-exhaustion risk the draft's
+// Security Considerations (Section 8) warns about. maxPixels <= 0 uses
+// DefaultMaxPixels.
+func SafeDecode(c Codec, data []byte, maxPixels int) (*image.RGBA, error) {
+	if maxPixels <= 0 {
+		maxPixels = DefaultMaxPixels
+	}
+	w, h, err := declaredBounds(c, data)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("codec: declared size %dx%d invalid", w, h)
+	}
+	if w > maxPixels || h > maxPixels || w*h > maxPixels {
+		return nil, fmt.Errorf("codec: declared size %dx%d exceeds the %d-pixel limit", w, h, maxPixels)
+	}
+	return c.Decode(data)
+}
+
+// declaredBounds reads the image dimensions from the payload header
+// without decoding pixel data.
+func declaredBounds(c Codec, data []byte) (w, h int, err error) {
+	switch c.(type) {
+	case PNG, JPEG:
+		cfg, _, err := image.DecodeConfig(bytes.NewReader(data))
+		if err != nil {
+			return 0, 0, fmt.Errorf("codec: decode config: %w", err)
+		}
+		return cfg.Width, cfg.Height, nil
+	case Raw:
+		if len(data) < 8 {
+			return 0, 0, fmt.Errorf("codec: raw header truncated")
+		}
+		w = int(uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3]))
+		h = int(uint32(data[4])<<24 | uint32(data[5])<<16 | uint32(data[6])<<8 | uint32(data[7]))
+		return w, h, nil
+	default:
+		// Unknown codec: decode and measure (the codec enforces its own
+		// limits, as Raw does).
+		img, err := c.Decode(data)
+		if err != nil {
+			return 0, 0, err
+		}
+		return img.Bounds().Dx(), img.Bounds().Dy(), nil
+	}
+}

@@ -1,0 +1,78 @@
+package codec
+
+import (
+	"bytes"
+	"image"
+	"image/png"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSafeDecodeAcceptsNormalImages(t *testing.T) {
+	img := syntheticImage(320, 240)
+	for _, c := range []Codec{PNG{}, JPEG{Quality: 80}, Raw{}} {
+		data, err := c.Encode(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := SafeDecode(c, data, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if back.Bounds().Dx() != 320 {
+			t.Fatalf("%s: bounds %v", c.Name(), back.Bounds())
+		}
+	}
+}
+
+func TestSafeDecodeRejectsDecompressionBomb(t *testing.T) {
+	// A 6000x6000 all-black PNG: a few KB compressed, 144 MB decoded.
+	bomb := image.NewRGBA(image.Rect(0, 0, 6000, 6000))
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, bomb); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("bomb: %d bytes compressed for %d pixels", buf.Len(), 6000*6000)
+	// Rejection must be cheap: it reads only the header, never the 144 MB.
+	start := time.Now()
+	_, err := SafeDecode(PNG{}, buf.Bytes(), DefaultMaxPixels)
+	if err == nil {
+		t.Fatal("bomb accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("rejection took %v; header check should not decode pixels", elapsed)
+	}
+	// A modest image passes with an explicit small limit sized for it.
+	small := syntheticImage(100, 100)
+	data, err := (PNG{}).Encode(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SafeDecode(PNG{}, data, 100*100); err != nil {
+		t.Fatalf("exact limit: %v", err)
+	}
+	if _, err := SafeDecode(PNG{}, data, 100*100-1); err == nil {
+		t.Fatal("one pixel over the limit accepted")
+	}
+}
+
+func TestSafeDecodeRejectsRawBomb(t *testing.T) {
+	// Raw header claiming 30000x30000 with no pixel data.
+	data := []byte{0x00, 0x00, 0x75, 0x30, 0x00, 0x00, 0x75, 0x30}
+	if _, err := SafeDecode(Raw{}, data, 0); err == nil {
+		t.Fatal("raw bomb accepted")
+	}
+	if _, err := SafeDecode(Raw{}, []byte{1, 2}, 0); err == nil {
+		t.Fatal("truncated raw header accepted")
+	}
+}
+
+func TestSafeDecodeGarbage(t *testing.T) {
+	if _, err := SafeDecode(PNG{}, []byte("not a png"), 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

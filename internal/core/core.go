@@ -1,0 +1,226 @@
+// Package core implements the heart of draft-boyaci-avt-app-sharing-00:
+// the common remoting/HIP header that follows the RTP header in every
+// message (Figure 7), the remoting and HIP message-type registries
+// (Tables 1 and 3, mirrored by the IANA registries of Tables 4 and 5),
+// and the RegionUpdate fragmentation rules (Table 2).
+//
+// Layering (Figure 6):
+//
+//	+----------------------------------+
+//	|            RTP header            |  internal/rtp
+//	+----------------------------------+
+//	|    Common remoting/HIP header    |  this package
+//	+----------------------------------+
+//	|    Message-type specific header  |  internal/remoting, internal/hip
+//	+----------------------------------+
+//	|     Message specific payload     |
+//	+----------------------------------+
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"appshare/internal/wire"
+)
+
+// MessageType identifies a remoting or HIP message (8-bit "Msg Type" field
+// of the common header).
+type MessageType uint8
+
+// Remoting protocol message types (Table 1 / Table 4).
+const (
+	TypeWindowManagerInfo MessageType = 1
+	TypeRegionUpdate      MessageType = 2
+	TypeMoveRectangle     MessageType = 3
+	TypeMousePointerInfo  MessageType = 4
+)
+
+// HIP message types (Table 3 / Table 5).
+const (
+	TypeMousePressed    MessageType = 121
+	TypeMouseReleased   MessageType = 122
+	TypeMouseMoved      MessageType = 123
+	TypeMouseWheelMoved MessageType = 124
+	TypeKeyPressed      MessageType = 125
+	TypeKeyReleased     MessageType = 126
+	TypeKeyTyped        MessageType = 127
+)
+
+var typeNames = map[MessageType]string{
+	TypeWindowManagerInfo: "WindowManagerInfo",
+	TypeRegionUpdate:      "RegionUpdate",
+	TypeMoveRectangle:     "MoveRectangle",
+	TypeMousePointerInfo:  "MousePointerInfo",
+	TypeMousePressed:      "MousePressed",
+	TypeMouseReleased:     "MouseReleased",
+	TypeMouseMoved:        "MouseMoved",
+	TypeMouseWheelMoved:   "MouseWheelMoved",
+	TypeKeyPressed:        "KeyPressed",
+	TypeKeyReleased:       "KeyReleased",
+	TypeKeyTyped:          "KeyTyped",
+}
+
+// String implements fmt.Stringer.
+func (t MessageType) String() string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MessageType(%d)", uint8(t))
+}
+
+// IsRemoting reports whether t is a registered remoting (AH→participant)
+// message type.
+func (t MessageType) IsRemoting() bool {
+	return t >= TypeWindowManagerInfo && t <= TypeMousePointerInfo
+}
+
+// IsHIP reports whether t is a registered HIP (participant→AH) message
+// type.
+func (t MessageType) IsHIP() bool {
+	return t >= TypeMousePressed && t <= TypeKeyTyped
+}
+
+// RemotingRegistry and HIPRegistry mirror the IANA subregistries
+// established in Section 9 (Tables 4 and 5). Registration policy is
+// "Specification Required"; participants MAY ignore unregistered types.
+var (
+	RemotingRegistry = map[MessageType]string{
+		TypeWindowManagerInfo: "WindowManagerInfo",
+		TypeRegionUpdate:      "RegionUpdate",
+		TypeMoveRectangle:     "MoveRectangle",
+		TypeMousePointerInfo:  "MousePointerInfo",
+	}
+	HIPRegistry = map[MessageType]string{
+		TypeMousePressed:    "MousePressed",
+		TypeMouseReleased:   "MouseReleased",
+		TypeMouseMoved:      "MouseMoved",
+		TypeMouseWheelMoved: "MouseWheelMoved",
+		TypeKeyPressed:      "KeyPressed",
+		TypeKeyReleased:     "KeyReleased",
+		TypeKeyTyped:        "KeyTyped",
+	}
+)
+
+// HeaderSize is the size of the common remoting/HIP header in bytes.
+const HeaderSize = 4
+
+// ErrShortHeader is returned when a payload is shorter than the common
+// header.
+var ErrShortHeader = errors.New("core: payload shorter than common header")
+
+// Header is the common remoting/HIP header (Figure 7):
+//
+//	 0                   1                   2                   3
+//	 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//	+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//	|  Msg Type     |    Parameter  |          WindowID             |
+//	+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//
+// Parameter is message-specific: for RegionUpdate and MousePointerInfo it
+// packs the FirstPacket bit and payload type (Figure 10); for mouse
+// button messages it carries the button number; elsewhere it is zero.
+type Header struct {
+	Type      MessageType
+	Parameter uint8
+	WindowID  uint16
+}
+
+// AppendTo appends the 4-byte header to w.
+func (h Header) AppendTo(w *wire.Writer) {
+	w.Uint8(uint8(h.Type))
+	w.Uint8(h.Parameter)
+	w.Uint16(h.WindowID)
+}
+
+// ParseHeader splits payload into its common header and the remainder.
+func ParseHeader(payload []byte) (Header, []byte, error) {
+	if len(payload) < HeaderSize {
+		return Header{}, nil, ErrShortHeader
+	}
+	h := Header{
+		Type:      MessageType(payload[0]),
+		Parameter: payload[1],
+		WindowID:  uint16(payload[2])<<8 | uint16(payload[3]),
+	}
+	return h, payload[HeaderSize:], nil
+}
+
+// RegionUpdate/MousePointerInfo parameter packing (Figure 10): the top bit
+// is the FirstPacket flag, the low 7 bits the RTP payload type of the
+// encoded content.
+
+// PackUpdateParam packs the FirstPacket bit and content payload type.
+func PackUpdateParam(firstPacket bool, contentPT uint8) (uint8, error) {
+	if contentPT > 0x7F {
+		return 0, fmt.Errorf("core: content payload type %d exceeds 7 bits", contentPT)
+	}
+	p := contentPT
+	if firstPacket {
+		p |= 0x80
+	}
+	return p, nil
+}
+
+// UnpackUpdateParam splits a RegionUpdate/MousePointerInfo parameter into
+// its FirstPacket bit and content payload type.
+func UnpackUpdateParam(param uint8) (firstPacket bool, contentPT uint8) {
+	return param&0x80 != 0, param & 0x7F
+}
+
+// FragmentPosition classifies a packet within a (possibly) multi-packet
+// message, from the RTP marker bit and the FirstPacket bit (Table 2).
+type FragmentPosition uint8
+
+// Fragment positions per Table 2.
+const (
+	NotFragmented        FragmentPosition = iota // marker=1, first=1
+	StartFragment                                // marker=0, first=1
+	ContinuationFragment                         // marker=0, first=0
+	EndFragment                                  // marker=1, first=0
+)
+
+// String implements fmt.Stringer.
+func (p FragmentPosition) String() string {
+	switch p {
+	case NotFragmented:
+		return "NotFragmented"
+	case StartFragment:
+		return "StartFragment"
+	case ContinuationFragment:
+		return "ContinuationFragment"
+	case EndFragment:
+		return "EndFragment"
+	default:
+		return fmt.Sprintf("FragmentPosition(%d)", uint8(p))
+	}
+}
+
+// Position computes the fragment position from the two bits (Table 2).
+func Position(marker, firstPacket bool) FragmentPosition {
+	switch {
+	case marker && firstPacket:
+		return NotFragmented
+	case !marker && firstPacket:
+		return StartFragment
+	case !marker && !firstPacket:
+		return ContinuationFragment
+	default:
+		return EndFragment
+	}
+}
+
+// Bits returns the (marker, firstPacket) encoding of the position,
+// inverting Position.
+func (p FragmentPosition) Bits() (marker, firstPacket bool) {
+	switch p {
+	case NotFragmented:
+		return true, true
+	case StartFragment:
+		return false, true
+	case ContinuationFragment:
+		return false, false
+	default: // EndFragment
+		return true, false
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"appshare/internal/wire"
+)
+
+// TestCommonHeaderLayout verifies the Figure 7 byte layout (experiment E01).
+func TestCommonHeaderLayout(t *testing.T) {
+	w := wire.NewWriter(4)
+	Header{Type: TypeRegionUpdate, Parameter: 0x85, WindowID: 0x0102}.AppendTo(w)
+	got := w.Bytes()
+	want := []byte{2, 0x85, 0x01, 0x02}
+	if string(got) != string(want) {
+		t.Fatalf("header bytes = %v, want %v", got, want)
+	}
+
+	h, rest, err := ParseHeader(append(got, 0xAA, 0xBB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TypeRegionUpdate || h.Parameter != 0x85 || h.WindowID != 0x0102 {
+		t.Fatalf("parsed header = %+v", h)
+	}
+	if len(rest) != 2 || rest[0] != 0xAA {
+		t.Fatalf("rest = %v", rest)
+	}
+}
+
+func TestParseHeaderShort(t *testing.T) {
+	if _, _, err := ParseHeader([]byte{1, 2, 3}); err != ErrShortHeader {
+		t.Fatalf("err = %v, want ErrShortHeader", err)
+	}
+}
+
+// TestIANARegistries verifies Tables 1, 3, 4 and 5 (experiment E13).
+func TestIANARegistries(t *testing.T) {
+	wantRemoting := map[MessageType]string{
+		1: "WindowManagerInfo",
+		2: "RegionUpdate",
+		3: "MoveRectangle",
+		4: "MousePointerInfo",
+	}
+	for v, name := range wantRemoting {
+		if RemotingRegistry[v] != name {
+			t.Errorf("remoting registry[%d] = %q, want %q", v, RemotingRegistry[v], name)
+		}
+		if !v.IsRemoting() || v.IsHIP() {
+			t.Errorf("type %d classification wrong", v)
+		}
+		if v.String() != name {
+			t.Errorf("String(%d) = %q, want %q", v, v.String(), name)
+		}
+	}
+	wantHIP := map[MessageType]string{
+		121: "MousePressed",
+		122: "MouseReleased",
+		123: "MouseMoved",
+		124: "MouseWheelMoved",
+		125: "KeyPressed",
+		126: "KeyReleased",
+		127: "KeyTyped",
+	}
+	for v, name := range wantHIP {
+		if HIPRegistry[v] != name {
+			t.Errorf("HIP registry[%d] = %q, want %q", v, HIPRegistry[v], name)
+		}
+		if !v.IsHIP() || v.IsRemoting() {
+			t.Errorf("type %d classification wrong", v)
+		}
+	}
+	if len(RemotingRegistry) != 4 || len(HIPRegistry) != 7 {
+		t.Errorf("registry sizes = %d/%d, want 4/7", len(RemotingRegistry), len(HIPRegistry))
+	}
+	if got := MessageType(99).String(); got != "MessageType(99)" {
+		t.Errorf("unknown type String = %q", got)
+	}
+}
+
+func TestUpdateParamPacking(t *testing.T) {
+	p, err := PackUpdateParam(true, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0x80|99 {
+		t.Fatalf("param = %#x", p)
+	}
+	first, pt := UnpackUpdateParam(p)
+	if !first || pt != 99 {
+		t.Fatalf("unpack = %v, %d", first, pt)
+	}
+	if _, err := PackUpdateParam(false, 0x80); err == nil {
+		t.Fatal("PT > 127 should fail")
+	}
+}
+
+// TestFragmentationTable2 checks the marker × FirstPacket encoding against
+// every row of Table 2 (experiment E03).
+func TestFragmentationTable2(t *testing.T) {
+	cases := []struct {
+		marker, first bool
+		want          FragmentPosition
+	}{
+		{true, true, NotFragmented},
+		{false, true, StartFragment},
+		{false, false, ContinuationFragment},
+		{true, false, EndFragment},
+	}
+	for _, c := range cases {
+		if got := Position(c.marker, c.first); got != c.want {
+			t.Errorf("Position(%v, %v) = %v, want %v", c.marker, c.first, got, c.want)
+		}
+		m, f := c.want.Bits()
+		if m != c.marker || f != c.first {
+			t.Errorf("%v.Bits() = %v, %v, want %v, %v", c.want, m, f, c.marker, c.first)
+		}
+	}
+	for _, p := range []FragmentPosition{NotFragmented, StartFragment, ContinuationFragment, EndFragment} {
+		if p.String() == "" {
+			t.Errorf("empty String for %d", p)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"appshare/internal/wire"
+)
+
+// Fragmentation (draft Section 5.2.2, Table 2). A RegionUpdate (or
+// MousePointerInfo, which shares the format) whose content exceeds one RTP
+// packet is carried in several payloads. Every payload carries the 4-byte
+// common header; the message-type specific header (left, top) is carried
+// only in the first payload. The RTP marker bit and the FirstPacket bit of
+// the parameter field together encode the fragment position.
+
+// Fragment is one RTP payload of a (possibly multi-packet) message, plus
+// the marker bit the RTP header must carry.
+type Fragment struct {
+	Payload []byte // common header + (first: msg header) + content piece
+	Marker  bool
+}
+
+// Fragmentation errors.
+var (
+	ErrMTUTooSmall      = errors.New("core: MTU too small for header and one content byte")
+	ErrOrphanFragment   = errors.New("core: continuation fragment without a start")
+	ErrInterruptedReass = errors.New("core: new message interrupted an in-progress one")
+)
+
+// FragmentMessage splits a fragmentable message (RegionUpdate or
+// MousePointerInfo) into RTP payloads of at most mtu bytes. msgHeader is
+// the message-type specific header (left/top), carried only in the first
+// payload. contentPT is the RTP payload type of the encoded content,
+// packed into the parameter field with the FirstPacket bit (Figure 10).
+func FragmentMessage(typ MessageType, windowID uint16, contentPT uint8, msgHeader, content []byte, mtu int) ([]Fragment, error) {
+	if typ != TypeRegionUpdate && typ != TypeMousePointerInfo {
+		return nil, fmt.Errorf("core: message type %v is not fragmentable", typ)
+	}
+	if mtu < HeaderSize+len(msgHeader)+1 {
+		return nil, fmt.Errorf("%w: mtu=%d", ErrMTUTooSmall, mtu)
+	}
+
+	build := func(first bool, extra, piece []byte) ([]byte, error) {
+		param, err := PackUpdateParam(first, contentPT)
+		if err != nil {
+			return nil, err
+		}
+		w := wire.NewWriter(HeaderSize + len(extra) + len(piece))
+		Header{Type: typ, Parameter: param, WindowID: windowID}.AppendTo(w)
+		w.Write(extra)
+		w.Write(piece)
+		return w.Bytes(), nil
+	}
+
+	firstRoom := mtu - HeaderSize - len(msgHeader)
+	if len(content) <= firstRoom {
+		// Not fragmented: marker=1, FirstPacket=1 (Table 2 row 1).
+		p, err := build(true, msgHeader, content)
+		if err != nil {
+			return nil, err
+		}
+		return []Fragment{{Payload: p, Marker: true}}, nil
+	}
+
+	var frags []Fragment
+	p, err := build(true, msgHeader, content[:firstRoom])
+	if err != nil {
+		return nil, err
+	}
+	frags = append(frags, Fragment{Payload: p, Marker: false}) // Start
+	rest := content[firstRoom:]
+	room := mtu - HeaderSize
+	for len(rest) > 0 {
+		n := min(room, len(rest))
+		p, err := build(false, nil, rest[:n])
+		if err != nil {
+			return nil, err
+		}
+		rest = rest[n:]
+		frags = append(frags, Fragment{Payload: p, Marker: len(rest) == 0})
+	}
+	return frags, nil
+}
+
+// Message is a fully reassembled remoting or HIP message.
+type Message struct {
+	Header Header // common header of the first packet (FirstPacket bit set)
+	Body   []byte // msg-specific header + content, concatenated
+}
+
+// Reassembler reconstructs messages from an in-order RTP payload stream
+// (the rtp.Receiver provides ordering). Fragmentable types are accumulated
+// across packets per Table 2; every other type is one packet per message.
+//
+// Reassembler is not safe for concurrent use.
+type Reassembler struct {
+	inProgress bool
+	hdr        Header
+	body       []byte
+	dropped    uint64
+}
+
+// NewReassembler returns an empty Reassembler.
+func NewReassembler() *Reassembler { return &Reassembler{} }
+
+// Dropped reports how many partially received messages were abandoned.
+func (ra *Reassembler) Dropped() uint64 { return ra.dropped }
+
+// Push consumes one RTP payload (with its marker bit) and returns a
+// complete message if this payload finishes one, or nil. A continuation
+// with no start in progress returns ErrOrphanFragment (typically after
+// loss; the caller may NACK or PLI). A fresh start while another message
+// is in progress abandons the old message and returns
+// ErrInterruptedReass alongside nil; the new fragment is still consumed.
+func (ra *Reassembler) Push(payload []byte, marker bool) (*Message, error) {
+	hdr, rest, err := ParseHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Type != TypeRegionUpdate && hdr.Type != TypeMousePointerInfo {
+		// Non-fragmentable: complete in a single packet.
+		return &Message{Header: hdr, Body: rest}, nil
+	}
+
+	first, _ := UnpackUpdateParam(hdr.Parameter)
+	var interrupted error
+	if first && ra.inProgress {
+		ra.reset()
+		ra.dropped++
+		interrupted = ErrInterruptedReass
+	}
+
+	switch Position(marker, first) {
+	case NotFragmented:
+		return &Message{Header: hdr, Body: rest}, interrupted
+	case StartFragment:
+		ra.inProgress = true
+		ra.hdr = hdr
+		ra.body = append(ra.body[:0], rest...)
+		return nil, interrupted
+	case ContinuationFragment, EndFragment:
+		if !ra.inProgress {
+			ra.dropped++
+			return nil, ErrOrphanFragment
+		}
+		if hdr.Type != ra.hdr.Type || hdr.WindowID != ra.hdr.WindowID {
+			ra.reset()
+			ra.dropped++
+			return nil, fmt.Errorf("core: fragment header mismatch: %v/%d then %v/%d",
+				ra.hdr.Type, ra.hdr.WindowID, hdr.Type, hdr.WindowID)
+		}
+		ra.body = append(ra.body, rest...)
+		if Position(marker, first) == EndFragment {
+			msg := &Message{Header: ra.hdr, Body: append([]byte(nil), ra.body...)}
+			ra.reset()
+			return msg, nil
+		}
+		return nil, nil
+	}
+	return nil, nil // unreachable
+}
+
+// Abort abandons any in-progress message (used after a PLI-triggered
+// stream reset).
+func (ra *Reassembler) Abort() {
+	if ra.inProgress {
+		ra.dropped++
+	}
+	ra.reset()
+}
+
+func (ra *Reassembler) reset() {
+	ra.inProgress = false
+	ra.hdr = Header{}
+	ra.body = ra.body[:0]
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mkContent(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestFragmentSinglePacket(t *testing.T) {
+	msgHdr := []byte{0, 0, 0, 10, 0, 0, 0, 20} // left=10, top=20
+	content := mkContent(100)
+	frags, err := FragmentMessage(TypeRegionUpdate, 7, 99, msgHdr, content, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 {
+		t.Fatalf("fragments = %d, want 1", len(frags))
+	}
+	f := frags[0]
+	if !f.Marker {
+		t.Error("single-packet message must set marker")
+	}
+	hdr, rest, err := ParseHeader(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, pt := UnpackUpdateParam(hdr.Parameter)
+	if !first || pt != 99 {
+		t.Fatalf("param = first:%v pt:%d", first, pt)
+	}
+	if hdr.WindowID != 7 {
+		t.Fatalf("windowID = %d", hdr.WindowID)
+	}
+	if !bytes.Equal(rest[:8], msgHdr) || !bytes.Equal(rest[8:], content) {
+		t.Fatal("payload layout wrong")
+	}
+}
+
+func TestFragmentMultiPacket(t *testing.T) {
+	msgHdr := mkContent(8)
+	content := mkContent(5000)
+	const mtu = 1400
+	frags, err := FragmentMessage(TypeRegionUpdate, 3, 96, msgHdr, content, mtu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 4 {
+		t.Fatalf("fragments = %d, want >= 4", len(frags))
+	}
+	for i, f := range frags {
+		if len(f.Payload) > mtu {
+			t.Fatalf("fragment %d exceeds MTU: %d", i, len(f.Payload))
+		}
+		hdr, _, err := ParseHeader(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, _ := UnpackUpdateParam(hdr.Parameter)
+		pos := Position(f.Marker, first)
+		switch {
+		case i == 0 && pos != StartFragment:
+			t.Fatalf("fragment 0 position = %v", pos)
+		case i == len(frags)-1 && pos != EndFragment:
+			t.Fatalf("last fragment position = %v", pos)
+		case i > 0 && i < len(frags)-1 && pos != ContinuationFragment:
+			t.Fatalf("fragment %d position = %v", i, pos)
+		}
+	}
+	// Left/top (msg header) must appear only in the first payload: all
+	// continuation payloads are common header + content only.
+	if len(frags[1].Payload) != HeaderSize+(mtu-HeaderSize) {
+		t.Fatalf("continuation size = %d", len(frags[1].Payload))
+	}
+}
+
+func TestFragmentErrors(t *testing.T) {
+	if _, err := FragmentMessage(TypeWindowManagerInfo, 0, 0, nil, mkContent(10), 1400); err == nil {
+		t.Error("WindowManagerInfo is not fragmentable")
+	}
+	if _, err := FragmentMessage(TypeRegionUpdate, 0, 96, mkContent(8), mkContent(10), 10); !errors.Is(err, ErrMTUTooSmall) {
+		t.Errorf("tiny MTU err = %v", err)
+	}
+	if _, err := FragmentMessage(TypeRegionUpdate, 0, 200, mkContent(8), mkContent(10), 1400); err == nil {
+		t.Error("8-bit content PT should fail")
+	}
+}
+
+func pushAll(t *testing.T, ra *Reassembler, frags []Fragment) *Message {
+	t.Helper()
+	var out *Message
+	for i, f := range frags {
+		msg, err := ra.Push(f.Payload, f.Marker)
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if msg != nil {
+			if i != len(frags)-1 {
+				t.Fatalf("message completed early at fragment %d", i)
+			}
+			out = msg
+		}
+	}
+	return out
+}
+
+func TestReassembleRoundtrip(t *testing.T) {
+	msgHdr := mkContent(8)
+	content := mkContent(10000)
+	frags, err := FragmentMessage(TypeRegionUpdate, 11, 96, msgHdr, content, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewReassembler()
+	msg := pushAll(t, ra, frags)
+	if msg == nil {
+		t.Fatal("no message completed")
+	}
+	if msg.Header.Type != TypeRegionUpdate || msg.Header.WindowID != 11 {
+		t.Fatalf("header = %+v", msg.Header)
+	}
+	if !bytes.Equal(msg.Body[:8], msgHdr) || !bytes.Equal(msg.Body[8:], content) {
+		t.Fatal("reassembled body mismatch")
+	}
+	if ra.Dropped() != 0 {
+		t.Fatalf("dropped = %d", ra.Dropped())
+	}
+}
+
+func TestReassembleOrphan(t *testing.T) {
+	frags, err := FragmentMessage(TypeRegionUpdate, 1, 96, mkContent(8), mkContent(5000), 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewReassembler()
+	// Lose the first fragment: continuation arrives with no start.
+	if _, err := ra.Push(frags[1].Payload, frags[1].Marker); !errors.Is(err, ErrOrphanFragment) {
+		t.Fatalf("err = %v, want ErrOrphanFragment", err)
+	}
+	if ra.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", ra.Dropped())
+	}
+}
+
+func TestReassembleInterrupted(t *testing.T) {
+	a, err := FragmentMessage(TypeRegionUpdate, 1, 96, mkContent(8), mkContent(5000), 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FragmentMessage(TypeRegionUpdate, 2, 96, mkContent(8), mkContent(100), 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewReassembler()
+	if _, err := ra.Push(a[0].Payload, a[0].Marker); err != nil {
+		t.Fatal(err)
+	}
+	// New message starts before the old one finished (its tail was lost).
+	msg, err := ra.Push(b[0].Payload, b[0].Marker)
+	if !errors.Is(err, ErrInterruptedReass) {
+		t.Fatalf("err = %v, want ErrInterruptedReass", err)
+	}
+	if msg == nil || msg.Header.WindowID != 2 {
+		t.Fatalf("new message should complete, got %+v", msg)
+	}
+}
+
+func TestReassembleNonFragmentable(t *testing.T) {
+	// A WindowManagerInfo passes through even mid-reassembly of a
+	// RegionUpdate, without disturbing it.
+	ru, err := FragmentMessage(TypeRegionUpdate, 1, 96, mkContent(8), mkContent(5000), 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewReassembler()
+	if _, err := ra.Push(ru[0].Payload, ru[0].Marker); err != nil {
+		t.Fatal(err)
+	}
+	wmi := []byte{byte(TypeWindowManagerInfo), 0, 0, 0, 0xDE, 0xAD}
+	msg, err := ra.Push(wmi, false)
+	if err != nil || msg == nil || msg.Header.Type != TypeWindowManagerInfo {
+		t.Fatalf("WMI passthrough failed: %+v, %v", msg, err)
+	}
+	// Finish the RegionUpdate.
+	out := pushAll(t, ra, ru[1:])
+	if out == nil {
+		t.Fatal("RegionUpdate did not complete after interleaved WMI")
+	}
+}
+
+func TestReassembleAbort(t *testing.T) {
+	ru, err := FragmentMessage(TypeRegionUpdate, 1, 96, mkContent(8), mkContent(5000), 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewReassembler()
+	if _, err := ra.Push(ru[0].Payload, ru[0].Marker); err != nil {
+		t.Fatal(err)
+	}
+	ra.Abort()
+	if ra.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", ra.Dropped())
+	}
+	// After abort, the rest of the old message is orphaned.
+	if _, err := ra.Push(ru[1].Payload, ru[1].Marker); !errors.Is(err, ErrOrphanFragment) {
+		t.Fatalf("err = %v, want ErrOrphanFragment", err)
+	}
+}
+
+func TestQuickFragmentReassembleIdentity(t *testing.T) {
+	// For any content and reasonable MTU, fragment → reassemble is the
+	// identity on (header fields, body).
+	f := func(windowID uint16, contentPT uint8, content []byte, mtuSeed uint16) bool {
+		contentPT &= 0x7F
+		mtu := 20 + int(mtuSeed%1400)
+		msgHdr := mkContent(8)
+		frags, err := FragmentMessage(TypeRegionUpdate, windowID, contentPT, msgHdr, content, mtu)
+		if err != nil {
+			return false
+		}
+		ra := NewReassembler()
+		var got *Message
+		for _, fr := range frags {
+			msg, err := ra.Push(fr.Payload, fr.Marker)
+			if err != nil {
+				return false
+			}
+			if msg != nil {
+				got = msg
+			}
+		}
+		if got == nil {
+			return false
+		}
+		_, pt := UnpackUpdateParam(got.Header.Parameter)
+		return got.Header.WindowID == windowID &&
+			pt == contentPT &&
+			bytes.Equal(got.Body, append(append([]byte(nil), msgHdr...), content...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

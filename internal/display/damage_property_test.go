@@ -1,0 +1,85 @@
+package display
+
+import (
+	"image"
+	"image/color"
+	"math/rand"
+	"testing"
+
+	"appshare/internal/region"
+)
+
+// TestDamageCoversAllPixelChanges is the soundness invariant of the
+// damage journal: after any sequence of drawing operations, every pixel
+// of the shared composition that differs from the previous composition
+// lies inside the reported damage or inside the destination of a
+// reported move. If this fails, participants would be left with stale
+// pixels forever — the one bug a screen-sharing system cannot have.
+func TestDamageCoversAllPixelChanges(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDesktop(320, 240)
+		w1 := d.CreateWindow(1, region.XYWH(10, 10, 160, 120))
+		w2 := d.CreateWindow(2, region.XYWH(100, 80, 150, 100))
+		d.TakeDamage(0)
+		d.TakeMoves()
+		prev := d.Composite(true)
+
+		for step := 0; step < 120; step++ {
+			win := w1
+			if rng.Intn(2) == 0 {
+				win = w2
+			}
+			switch rng.Intn(6) {
+			case 0:
+				win.Fill(region.XYWH(rng.Intn(200)-20, rng.Intn(150)-20, rng.Intn(80)+1, rng.Intn(60)+1),
+					randColor(rng))
+			case 1:
+				win.DrawText(rng.Intn(140), rng.Intn(100), "xyz", randColor(rng))
+			case 2:
+				win.Scroll(region.XYWH(0, 0, win.Bounds().Width, win.Bounds().Height),
+					rng.Intn(21)-10, randColor(rng))
+			case 3:
+				_ = d.MoveWindow(win.ID(), rng.Intn(150), rng.Intn(100))
+			case 4:
+				_ = d.RaiseWindow(win.ID())
+			case 5:
+				sub := image.NewRGBA(image.Rect(0, 0, 20, 15))
+				for i := range sub.Pix {
+					sub.Pix[i] = byte(rng.Intn(256))
+				}
+				win.Blit(sub, rng.Intn(140), rng.Intn(100))
+			}
+
+			cur := d.Composite(true)
+			covered := region.NewSet()
+			for _, r := range d.TakeDamage(0) {
+				covered.Add(r)
+			}
+			for _, mv := range d.TakeMoves() {
+				// MoveOps are window-local; resolve against the window's
+				// current bounds like the capture pipeline does.
+				win := d.Window(mv.WindowID)
+				if win == nil {
+					continue
+				}
+				b := win.Bounds()
+				covered.Add(mv.Dst.Translate(b.Left, b.Top))
+				covered.Add(mv.Src.Translate(b.Left, b.Top))
+			}
+			for y := 0; y < 240; y++ {
+				for x := 0; x < 320; x++ {
+					if prev.RGBAAt(x, y) != cur.RGBAAt(x, y) && !covered.Contains(x, y) {
+						t.Fatalf("seed %d step %d: pixel (%d,%d) changed outside damage %v",
+							seed, step, x, y, covered.Rects())
+					}
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+func randColor(rng *rand.Rand) color.RGBA {
+	return color.RGBA{R: uint8(rng.Intn(256)), G: uint8(rng.Intn(256)), B: uint8(rng.Intn(256)), A: 0xFF}
+}

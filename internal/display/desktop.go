@@ -1,0 +1,365 @@
+// Package display implements the virtual desktop substrate: an in-memory
+// window system with z-ordered windows, per-window RGBA buffers, a damage
+// journal and scroll (move) tracking.
+//
+// The real paper captures a live OS desktop; this package substitutes a
+// deterministic window system that exercises the identical protocol paths:
+// drawing damages regions (→ RegionUpdate), scrolling records moves
+// (→ MoveRectangle), window create/move/resize/raise/close changes window
+// state (→ WindowManagerInfo), and a cursor sprite moves independently
+// (→ MousePointerInfo). See DESIGN.md, "Substitutions".
+//
+// Desktop is not safe for concurrent use; the application host serializes
+// access to it.
+package display
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/draw"
+
+	"appshare/internal/region"
+)
+
+// MoveOp records a region move (scroll) in WINDOW-LOCAL coordinates, for
+// translation into a MoveRectangle message. Local coordinates keep the
+// op valid even if the window relocates before the next capture tick;
+// the capture pipeline resolves them against the window's current bounds.
+type MoveOp struct {
+	WindowID uint16
+	Src, Dst region.Rect
+}
+
+// Cursor is the desktop mouse pointer: a small sprite plus its hotspot
+// position in desktop coordinates.
+type Cursor struct {
+	X, Y   int
+	Sprite *image.RGBA
+}
+
+// Desktop is the virtual screen: a set of z-ordered windows over a
+// background, with damage and move journals.
+type Desktop struct {
+	width, height int
+	background    color.RGBA
+	windows       []*Window // z-order: index 0 = bottom
+	nextID        uint16
+	damage        *region.Set
+	moves         []MoveOp
+	cursor        Cursor
+	cursorMoved   bool
+	cursorChanged bool
+	// generation increments on any window-manager state change (create,
+	// close, move, resize, raise, share-set change); the AH compares
+	// generations to decide when to resend WindowManagerInfo.
+	generation uint64
+	focus      *Window
+}
+
+// NewDesktop returns a desktop of the given pixel dimensions.
+func NewDesktop(width, height int) *Desktop {
+	if width <= 0 || height <= 0 {
+		panic("display: non-positive desktop size")
+	}
+	return &Desktop{
+		width:      width,
+		height:     height,
+		background: color.RGBA{0x2E, 0x34, 0x40, 0xFF},
+		nextID:     1,
+		damage:     region.NewSet(),
+		cursor:     Cursor{X: width / 2, Y: height / 2, Sprite: defaultCursorSprite()},
+	}
+}
+
+// Size returns the desktop dimensions in pixels.
+func (d *Desktop) Size() (w, h int) { return d.width, d.height }
+
+// Bounds returns the desktop rectangle.
+func (d *Desktop) Bounds() region.Rect { return region.XYWH(0, 0, d.width, d.height) }
+
+// Generation returns the window-manager state generation counter.
+func (d *Desktop) Generation() uint64 { return d.generation }
+
+// CreateWindow adds a window with the next free WindowID, above all
+// existing windows, and returns it. New windows start shared and cleared
+// to white.
+func (d *Desktop) CreateWindow(group uint8, bounds region.Rect) *Window {
+	if bounds.Empty() {
+		panic("display: empty window bounds")
+	}
+	w := &Window{
+		desktop: d,
+		id:      d.nextID,
+		group:   group,
+		bounds:  bounds,
+		buf:     image.NewRGBA(image.Rect(0, 0, bounds.Width, bounds.Height)),
+		shared:  true,
+	}
+	d.nextID++
+	d.windows = append(d.windows, w)
+	d.generation++
+	d.focus = w
+	w.Clear(color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	return w
+}
+
+// Window returns the window with the given ID, or nil.
+func (d *Desktop) Window(id uint16) *Window {
+	for _, w := range d.windows {
+		if w.id == id {
+			return w
+		}
+	}
+	return nil
+}
+
+// Windows returns the windows bottom-to-top.
+func (d *Desktop) Windows() []*Window {
+	out := make([]*Window, len(d.windows))
+	copy(out, d.windows)
+	return out
+}
+
+// SharedWindows returns the shared windows bottom-to-top.
+func (d *Desktop) SharedWindows() []*Window {
+	var out []*Window
+	for _, w := range d.windows {
+		if w.shared {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// CloseWindow removes a window; its screen area becomes damaged.
+func (d *Desktop) CloseWindow(id uint16) error {
+	for i, w := range d.windows {
+		if w.id == id {
+			d.windows = append(d.windows[:i], d.windows[i+1:]...)
+			d.addDamage(w.bounds)
+			d.generation++
+			if d.focus == w {
+				d.focus = nil
+				if n := len(d.windows); n > 0 {
+					d.focus = d.windows[n-1]
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("display: no window %d", id)
+}
+
+// MoveWindow relocates a window. Old and new areas are damaged and the
+// window-manager generation advances (→ WindowManagerInfo). The
+// participant keeps the window's image (draft Section 5.2.1), so only the
+// desktop composition changes, not the window content.
+func (d *Desktop) MoveWindow(id uint16, left, top int) error {
+	w := d.Window(id)
+	if w == nil {
+		return fmt.Errorf("display: no window %d", id)
+	}
+	old := w.bounds
+	w.bounds.Left, w.bounds.Top = left, top
+	d.addDamage(old)
+	d.addDamage(w.bounds)
+	d.generation++
+	return nil
+}
+
+// ResizeWindow changes a window's size, preserving the old content's
+// top-left portion (the participant MUST keep the existing image after a
+// resize, Section 5.2.1).
+func (d *Desktop) ResizeWindow(id uint16, width, height int) error {
+	if width <= 0 || height <= 0 {
+		return fmt.Errorf("display: bad size %dx%d", width, height)
+	}
+	w := d.Window(id)
+	if w == nil {
+		return fmt.Errorf("display: no window %d", id)
+	}
+	old := w.bounds
+	newBuf := image.NewRGBA(image.Rect(0, 0, width, height))
+	draw.Draw(newBuf, newBuf.Bounds(), &image.Uniform{color.RGBA{0xFF, 0xFF, 0xFF, 0xFF}}, image.Point{}, draw.Src)
+	draw.Draw(newBuf, w.buf.Bounds(), w.buf, image.Point{}, draw.Src)
+	w.buf = newBuf
+	w.bounds.Width, w.bounds.Height = width, height
+	d.addDamage(old)
+	d.addDamage(w.bounds)
+	d.generation++
+	return nil
+}
+
+// RaiseWindow moves a window to the top of the z-order and gives it
+// focus.
+func (d *Desktop) RaiseWindow(id uint16) error {
+	for i, w := range d.windows {
+		if w.id == id {
+			if i != len(d.windows)-1 {
+				d.windows = append(append(d.windows[:i], d.windows[i+1:]...), w)
+				d.addDamage(w.bounds)
+				d.generation++
+			}
+			d.focus = w
+			return nil
+		}
+	}
+	return fmt.Errorf("display: no window %d", id)
+}
+
+// SetShared marks a window as part of the shared set (application
+// sharing) or not. Non-shared windows are blanked in shared compositions
+// (draft Section 2: "A true application sharing system must blank all the
+// nonshared windows").
+func (d *Desktop) SetShared(id uint16, shared bool) error {
+	w := d.Window(id)
+	if w == nil {
+		return fmt.Errorf("display: no window %d", id)
+	}
+	if w.shared != shared {
+		w.shared = shared
+		d.addDamage(w.bounds)
+		d.generation++
+	}
+	return nil
+}
+
+// ShareGroup shares exactly the windows in the given group and unshares
+// all others — application sharing of one process's window set.
+func (d *Desktop) ShareGroup(group uint8) {
+	for _, w := range d.windows {
+		shared := w.group == group
+		if w.shared != shared {
+			w.shared = shared
+			d.addDamage(w.bounds)
+			d.generation++
+		}
+	}
+}
+
+// ShareAll shares every window — desktop sharing.
+func (d *Desktop) ShareAll() {
+	for _, w := range d.windows {
+		if !w.shared {
+			w.shared = true
+			d.addDamage(w.bounds)
+			d.generation++
+		}
+	}
+}
+
+// Focus returns the focused window (nil if none).
+func (d *Desktop) Focus() *Window { return d.focus }
+
+func (d *Desktop) addDamage(r region.Rect) {
+	d.damage.Add(r.Intersect(d.Bounds()))
+}
+
+// othersOverlap reports whether any window other than id overlaps the
+// desktop rectangle.
+func (d *Desktop) othersOverlap(id uint16, r region.Rect) bool {
+	for _, w := range d.windows {
+		if w.id != id && w.bounds.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Desktop) addMove(op MoveOp) {
+	d.moves = append(d.moves, op)
+}
+
+// TakeDamage drains and returns the accumulated dirty rectangles,
+// coalesced with the given waste budget.
+func (d *Desktop) TakeDamage(maxWaste int) []region.Rect {
+	if d.damage.Empty() {
+		return nil
+	}
+	out := d.damage.Coalesce(maxWaste)
+	d.damage.Clear()
+	return out
+}
+
+// TakeMoves drains and returns the recorded move operations.
+func (d *Desktop) TakeMoves() []MoveOp {
+	out := d.moves
+	d.moves = nil
+	return out
+}
+
+// Composite renders the desktop into a fresh RGBA image. With onlyShared,
+// non-shared windows are blanked (drawn as flat gray), reproducing the
+// application-sharing semantics of Section 2.
+func (d *Desktop) Composite(onlyShared bool) *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, d.width, d.height))
+	draw.Draw(out, out.Bounds(), &image.Uniform{d.background}, image.Point{}, draw.Src)
+	blank := &image.Uniform{color.RGBA{0x80, 0x80, 0x80, 0xFF}}
+	for _, w := range d.windows {
+		dst := image.Rect(w.bounds.Left, w.bounds.Top, w.bounds.Right(), w.bounds.Bottom())
+		if onlyShared && !w.shared {
+			draw.Draw(out, dst, blank, image.Point{}, draw.Src)
+			continue
+		}
+		draw.Draw(out, dst, w.buf, image.Point{}, draw.Src)
+	}
+	return out
+}
+
+// SetCursorSprite installs a new pointer image.
+func (d *Desktop) SetCursorSprite(sprite *image.RGBA) {
+	d.cursor.Sprite = sprite
+	d.cursorChanged = true
+}
+
+// MoveCursor moves the pointer hotspot.
+func (d *Desktop) MoveCursor(x, y int) {
+	if x == d.cursor.X && y == d.cursor.Y {
+		return
+	}
+	d.cursor.X, d.cursor.Y = x, y
+	d.cursorMoved = true
+}
+
+// Cursor returns the current pointer state.
+func (d *Desktop) Cursor() Cursor { return d.cursor }
+
+// TakeCursorEvents reports and clears the moved/changed flags since the
+// last call.
+func (d *Desktop) TakeCursorEvents() (moved, spriteChanged bool) {
+	moved, spriteChanged = d.cursorMoved, d.cursorChanged
+	d.cursorMoved, d.cursorChanged = false, false
+	return moved, spriteChanged
+}
+
+// WindowAt returns the topmost window containing the desktop point, or
+// nil.
+func (d *Desktop) WindowAt(x, y int) *Window {
+	for i := len(d.windows) - 1; i >= 0; i-- {
+		if d.windows[i].bounds.Contains(x, y) {
+			return d.windows[i]
+		}
+	}
+	return nil
+}
+
+// defaultCursorSprite draws a simple 12x18 arrow pointer.
+func defaultCursorSprite() *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, 12, 18))
+	black := color.RGBA{0, 0, 0, 0xFF}
+	white := color.RGBA{0xFF, 0xFF, 0xFF, 0xFF}
+	for y := 0; y < 16; y++ {
+		for x := 0; x <= y*2/3 && x < 10; x++ {
+			img.SetRGBA(x, y, white)
+		}
+		img.SetRGBA(0, y, black)
+		if e := y * 2 / 3; e < 10 {
+			img.SetRGBA(e, y, black)
+		}
+	}
+	for x := 0; x < 10; x++ {
+		img.SetRGBA(x, 16, black)
+	}
+	return img
+}

@@ -1,0 +1,404 @@
+package display
+
+import (
+	"image"
+	"image/color"
+	"testing"
+
+	"appshare/internal/region"
+)
+
+var (
+	white = color.RGBA{0xFF, 0xFF, 0xFF, 0xFF}
+	black = color.RGBA{0x00, 0x00, 0x00, 0xFF}
+	red   = color.RGBA{0xFF, 0x00, 0x00, 0xFF}
+	blue  = color.RGBA{0x00, 0x00, 0xFF, 0xFF}
+)
+
+// figure2Desktop builds the draft Figure 2 scenario: a 1280x1024 AH with
+// windows A, B, C.
+func figure2Desktop() (*Desktop, *Window, *Window, *Window) {
+	d := NewDesktop(1280, 1024)
+	a := d.CreateWindow(1, region.XYWH(220, 150, 350, 450))
+	c := d.CreateWindow(2, region.XYWH(850, 320, 160, 150))
+	b := d.CreateWindow(1, region.XYWH(450, 400, 350, 300))
+	return d, a, b, c
+}
+
+func TestCreateWindowAssignsIDsAndZOrder(t *testing.T) {
+	d, a, b, c := figure2Desktop()
+	if a.ID() != 1 || c.ID() != 2 || b.ID() != 3 {
+		t.Fatalf("ids = %d,%d,%d", a.ID(), c.ID(), b.ID())
+	}
+	ws := d.Windows()
+	if len(ws) != 3 || ws[0] != a || ws[1] != c || ws[2] != b {
+		t.Fatal("z-order should be creation order (bottom first)")
+	}
+	if d.Focus() != b {
+		t.Fatal("newest window should have focus")
+	}
+}
+
+func TestFillDamagesDesktopCoords(t *testing.T) {
+	d, a, _, _ := figure2Desktop()
+	d.TakeDamage(0) // drain creation damage
+	a.Fill(region.XYWH(10, 20, 30, 40), red)
+	rects := d.TakeDamage(0)
+	if len(rects) != 1 {
+		t.Fatalf("damage rects = %v", rects)
+	}
+	want := region.XYWH(230, 170, 30, 40) // window (220,150) + local (10,20)
+	if rects[0] != want {
+		t.Fatalf("damage = %v, want %v", rects[0], want)
+	}
+	// Second drain is empty.
+	if d.TakeDamage(0) != nil {
+		t.Fatal("damage should be drained")
+	}
+}
+
+func TestFillClipsToWindow(t *testing.T) {
+	d, a, _, _ := figure2Desktop()
+	d.TakeDamage(0)
+	a.Fill(region.XYWH(340, 440, 100, 100), red) // extends past 350x450 window
+	rects := d.TakeDamage(0)
+	if len(rects) != 1 || rects[0] != region.XYWH(560, 590, 10, 10) {
+		t.Fatalf("clipped damage = %v", rects)
+	}
+}
+
+func TestCompositeColorsAndZOrder(t *testing.T) {
+	d, a, b, _ := figure2Desktop()
+	a.Clear(red)
+	b.Clear(blue)
+	img := d.Composite(true)
+	// A-only area.
+	if got := img.RGBAAt(230, 160); got != red {
+		t.Fatalf("A area = %v", got)
+	}
+	// Overlap of A and B: B is above (created later).
+	if got := img.RGBAAt(460, 410); got != blue {
+		t.Fatalf("overlap = %v, want blue (B on top)", got)
+	}
+	// Background must not be any window color.
+	if got := img.RGBAAt(5, 5); got == red || got == blue || got == white {
+		t.Fatalf("background = %v, want the desktop background color", got)
+	}
+}
+
+func TestRaiseChangesComposite(t *testing.T) {
+	d, a, b, _ := figure2Desktop()
+	a.Clear(red)
+	b.Clear(blue)
+	gen := d.Generation()
+	if err := d.RaiseWindow(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() == gen {
+		t.Fatal("raise must advance the WM generation")
+	}
+	img := d.Composite(true)
+	if got := img.RGBAAt(460, 410); got != red {
+		t.Fatalf("overlap after raise = %v, want red (A on top)", got)
+	}
+	// Raising the top window again changes nothing.
+	gen = d.Generation()
+	if err := d.RaiseWindow(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() != gen {
+		t.Fatal("no-op raise must not advance the generation")
+	}
+}
+
+// TestAppSharingBlanking reproduces the Section 2 requirement: non-shared
+// windows are blanked in the shared composition (experiment E18).
+func TestAppSharingBlanking(t *testing.T) {
+	d, a, b, c := figure2Desktop()
+	a.Clear(red)
+	b.Clear(red)
+	c.Clear(blue)
+	d.ShareGroup(1) // A and B share group 1; C (group 2) is blanked
+	if !a.Shared() || !b.Shared() || c.Shared() {
+		t.Fatal("share flags wrong after ShareGroup")
+	}
+	img := d.Composite(true)
+	if got := img.RGBAAt(860, 330); got != (color.RGBA{0x80, 0x80, 0x80, 0xFF}) {
+		t.Fatalf("non-shared window area = %v, want blank gray", got)
+	}
+	if got := img.RGBAAt(230, 160); got != red {
+		t.Fatalf("shared window area = %v, want red", got)
+	}
+	// Unblanked composition still shows C.
+	img = d.Composite(false)
+	if got := img.RGBAAt(860, 330); got != blue {
+		t.Fatalf("full composite = %v, want blue", got)
+	}
+}
+
+func TestMoveWindowDamagesBothAreas(t *testing.T) {
+	d, a, _, _ := figure2Desktop()
+	d.TakeDamage(0)
+	gen := d.Generation()
+	if err := d.MoveWindow(a.ID(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() == gen {
+		t.Fatal("move must advance the WM generation")
+	}
+	rects := d.TakeDamage(1 << 30)
+	if len(rects) != 1 {
+		t.Fatalf("damage = %v", rects)
+	}
+	// The union bounds must cover both old and new areas.
+	u := rects[0]
+	if !u.ContainsRect(region.XYWH(220, 150, 350, 450)) || !u.ContainsRect(region.XYWH(0, 0, 350, 450)) {
+		t.Fatalf("damage %v does not cover both areas", u)
+	}
+}
+
+func TestResizePreservesContent(t *testing.T) {
+	d, a, _, _ := figure2Desktop()
+	a.Fill(region.XYWH(0, 0, 50, 50), red)
+	if err := d.ResizeWindow(a.ID(), 500, 600); err != nil {
+		t.Fatal(err)
+	}
+	if a.Bounds().Width != 500 || a.Bounds().Height != 600 {
+		t.Fatalf("bounds = %v", a.Bounds())
+	}
+	snap := a.Snapshot()
+	if got := snap.RGBAAt(25, 25); got != red {
+		t.Fatalf("content after resize = %v, want red", got)
+	}
+	if got := snap.RGBAAt(450, 550); got != white {
+		t.Fatalf("new area = %v, want white", got)
+	}
+}
+
+func TestCloseWindowDamagesArea(t *testing.T) {
+	d, a, b, _ := figure2Desktop()
+	d.TakeDamage(0)
+	if err := d.CloseWindow(b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Window(b.ID()) != nil {
+		t.Fatal("window still present")
+	}
+	rects := d.TakeDamage(1 << 30)
+	if len(rects) != 1 || !rects[0].ContainsRect(region.XYWH(450, 400, 350, 300)) {
+		t.Fatalf("damage = %v", rects)
+	}
+	if err := d.CloseWindow(99); err == nil {
+		t.Fatal("closing unknown window should fail")
+	}
+	_ = a
+}
+
+func TestScrollRecordsMoveOp(t *testing.T) {
+	d, a, _, _ := figure2Desktop()
+	a.Fill(region.XYWH(0, 0, 350, 10), red) // top stripe
+	d.TakeDamage(0)
+	d.TakeMoves()
+
+	// Scroll the whole window up by 10: stripe moves off, vacated band
+	// at the bottom.
+	a.Scroll(region.XYWH(0, 0, 350, 450), -10, white)
+	moves := d.TakeMoves()
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+	m := moves[0]
+	if m.WindowID != a.ID() {
+		t.Fatalf("move window = %d", m.WindowID)
+	}
+	wantSrc := region.XYWH(0, 10, 350, 440) // window-local coords
+	wantDst := region.XYWH(0, 0, 350, 440)
+	if m.Src != wantSrc || m.Dst != wantDst {
+		t.Fatalf("move = %v -> %v, want %v -> %v", m.Src, m.Dst, wantSrc, wantDst)
+	}
+	// Vacated band damaged.
+	rects := d.TakeDamage(0)
+	if len(rects) != 1 || rects[0] != region.XYWH(220, 590, 350, 10) {
+		t.Fatalf("vacated damage = %v", rects)
+	}
+	// Pixel result: stripe is gone (scrolled off the top).
+	snap := a.Snapshot()
+	if got := snap.RGBAAt(5, 0); got != white {
+		t.Fatalf("top row = %v, want white", got)
+	}
+}
+
+func TestScrollDownAndOverlap(t *testing.T) {
+	d := NewDesktop(200, 200)
+	w := d.CreateWindow(0, region.XYWH(0, 0, 100, 100))
+	w.Fill(region.XYWH(0, 0, 100, 10), red)
+	w.Scroll(region.XYWH(0, 0, 100, 100), 30, blue)
+	snap := w.Snapshot()
+	if got := snap.RGBAAt(50, 35); got != red {
+		t.Fatalf("moved stripe = %v, want red", got)
+	}
+	if got := snap.RGBAAt(50, 5); got != blue {
+		t.Fatalf("vacated band = %v, want blue", got)
+	}
+	_ = d
+}
+
+func TestScrollWholeRegionFills(t *testing.T) {
+	d := NewDesktop(100, 100)
+	w := d.CreateWindow(0, region.XYWH(0, 0, 50, 50))
+	d.TakeMoves()
+	w.Scroll(region.XYWH(0, 0, 50, 50), -60, red)
+	if len(d.TakeMoves()) != 0 {
+		t.Fatal("full-region scroll should not record a move")
+	}
+	if got := w.Snapshot().RGBAAt(25, 25); got != red {
+		t.Fatalf("fill = %v, want red", got)
+	}
+}
+
+func TestDrawTextDamagesAndRenders(t *testing.T) {
+	d := NewDesktop(300, 100)
+	w := d.CreateWindow(0, region.XYWH(0, 0, 300, 100))
+	d.TakeDamage(0)
+	ext := w.DrawText(10, 10, "Hello, World!", black)
+	if ext.Empty() {
+		t.Fatal("text extent empty")
+	}
+	rects := d.TakeDamage(1 << 30)
+	if len(rects) != 1 || !rects[0].ContainsRect(ext) {
+		t.Fatalf("damage %v does not cover text %v", rects, ext)
+	}
+	// Some pixels must be set.
+	snap := w.Snapshot()
+	found := false
+	for x := ext.Left; x < ext.Right() && !found; x++ {
+		for y := ext.Top; y < ext.Bottom(); y++ {
+			if snap.RGBAAt(x, y) == black {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no glyph pixels rendered")
+	}
+}
+
+func TestTextExtent(t *testing.T) {
+	w, h := TextExtent("abc")
+	if w != 3*CellWidth-1 || h != GlyphHeight {
+		t.Fatalf("extent = %dx%d", w, h)
+	}
+	if w, h := TextExtent(""); w != 0 || h != 0 {
+		t.Fatalf("empty extent = %dx%d", w, h)
+	}
+}
+
+func TestCursor(t *testing.T) {
+	d := NewDesktop(100, 100)
+	d.TakeCursorEvents()
+	d.MoveCursor(10, 20)
+	moved, changed := d.TakeCursorEvents()
+	if !moved || changed {
+		t.Fatalf("events = %v, %v", moved, changed)
+	}
+	d.MoveCursor(10, 20) // same position: no event
+	if moved, _ := d.TakeCursorEvents(); moved {
+		t.Fatal("no-op move should not set flag")
+	}
+	d.SetCursorSprite(image.NewRGBA(image.Rect(0, 0, 4, 4)))
+	if _, changed := d.TakeCursorEvents(); !changed {
+		t.Fatal("sprite change should set flag")
+	}
+	cur := d.Cursor()
+	if cur.X != 10 || cur.Y != 20 {
+		t.Fatalf("cursor = %d,%d", cur.X, cur.Y)
+	}
+}
+
+func TestWindowAt(t *testing.T) {
+	d, a, b, _ := figure2Desktop()
+	if got := d.WindowAt(460, 410); got != b {
+		t.Fatalf("overlap point should hit top window B, got %v", got.ID())
+	}
+	if got := d.WindowAt(230, 160); got != a {
+		t.Fatalf("A-only point = %v", got)
+	}
+	if got := d.WindowAt(5, 5); got != nil {
+		t.Fatalf("background point = %v", got.ID())
+	}
+}
+
+// recorder is an EventHandler that logs calls.
+type recorder struct {
+	presses  []image.Point
+	keys     []uint32
+	typed    string
+	released int
+	moved    int
+	wheel    int
+}
+
+func (r *recorder) MousePressed(w *Window, x, y int, button uint8) {
+	r.presses = append(r.presses, image.Pt(x, y))
+}
+func (r *recorder) MouseReleased(w *Window, x, y int, button uint8) { r.released++ }
+func (r *recorder) MouseMoved(w *Window, x, y int)                  { r.moved++ }
+func (r *recorder) MouseWheel(w *Window, x, y, distance int)        { r.wheel++ }
+func (r *recorder) KeyPressed(w *Window, keycode uint32)            { r.keys = append(r.keys, keycode) }
+func (r *recorder) KeyReleased(w *Window, keycode uint32)           {}
+func (r *recorder) KeyTyped(w *Window, text string)                 { r.typed += text }
+
+func TestInjectEvents(t *testing.T) {
+	d, a, b, _ := figure2Desktop()
+	rec := &recorder{}
+	a.SetHandler(rec)
+
+	// Press at desktop (230, 160) → window-local (10, 10); raises A.
+	if err := d.InjectMousePressed(a.ID(), 230, 160, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.presses) != 1 || rec.presses[0] != image.Pt(10, 10) {
+		t.Fatalf("presses = %v", rec.presses)
+	}
+	if ws := d.Windows(); ws[len(ws)-1] != a {
+		t.Fatal("press should raise the window")
+	}
+	if d.Focus() != a {
+		t.Fatal("press should focus the window")
+	}
+	cur := d.Cursor()
+	if cur.X != 230 || cur.Y != 160 {
+		t.Fatal("press should move the AH cursor")
+	}
+
+	// Key events go to the focused window when the ID is stale.
+	if err := d.InjectKeyPressed(0, 0x70); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.keys) != 1 || rec.keys[0] != 0x70 {
+		t.Fatalf("keys = %v", rec.keys)
+	}
+	if err := d.InjectKeyTyped(a.ID(), "hé"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.typed != "hé" {
+		t.Fatalf("typed = %q", rec.typed)
+	}
+
+	if err := d.InjectMouseReleased(a.ID(), 230, 160, 1); err != nil || rec.released != 1 {
+		t.Fatalf("release: %v, count %d", err, rec.released)
+	}
+	if err := d.InjectMouseMoved(a.ID(), 231, 161); err != nil || rec.moved != 1 {
+		t.Fatalf("move: %v, count %d", err, rec.moved)
+	}
+	if err := d.InjectMouseWheel(a.ID(), 231, 161, -120); err != nil || rec.wheel != 1 {
+		t.Fatalf("wheel: %v, count %d", err, rec.wheel)
+	}
+
+	// Unknown window errors.
+	if err := d.InjectMousePressed(99, 0, 0, 1); err == nil {
+		t.Fatal("unknown window should fail")
+	}
+	_ = b
+}

@@ -1,0 +1,95 @@
+package display
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"image/color"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"appshare/internal/region"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/render_golden.txt")
+
+// goldenScene renders a fixed desktop: windows, text in the builtin
+// font, fills, a scroll and the cursor composite. Every byte of it is
+// deterministic, so its hash is a renderer regression detector — if the
+// font, compositor, blanking or scroll code changes output, this test
+// pinpoints it.
+func goldenScene() *Desktop {
+	d := NewDesktop(640, 480)
+	a := d.CreateWindow(1, region.XYWH(40, 30, 320, 240))
+	b := d.CreateWindow(2, region.XYWH(260, 180, 280, 200))
+	a.Fill(region.XYWH(0, 0, 320, 24), color.RGBA{0x34, 0x65, 0xA4, 0xFF})
+	a.DrawText(8, 8, "Window A - Shared Lecture", color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	a.DrawText(10, 40, "The quick brown fox jumps", color.RGBA{0x10, 0x10, 0x20, 0xFF})
+	a.DrawText(10, 52, "over the lazy dog 0123456789", color.RGBA{0x10, 0x10, 0x20, 0xFF})
+	a.DrawText(10, 64, "!\"#$%&'()*+,-./:;<=>?@[]^_`{|}~", color.RGBA{0x60, 0x20, 0x20, 0xFF})
+	a.Scroll(region.XYWH(0, 24, 320, 216), -6, color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	b.Fill(region.XYWH(0, 0, 280, 200), color.RGBA{0xEE, 0xE8, 0xD5, 0xFF})
+	b.DrawText(12, 12, "Window B overlaps A", color.RGBA{0x00, 0x40, 0x00, 0xFF})
+	_ = d.SetShared(2, true)
+	d.MoveCursor(300, 220)
+	return d
+}
+
+func sceneHashes() map[string]string {
+	d := goldenScene()
+	shared := d.Composite(true)
+	full := d.Composite(false)
+	_ = d.SetShared(2, false)
+	blanked := d.Composite(true)
+	h := func(pix []byte) string {
+		sum := sha256.Sum256(pix)
+		return hex.EncodeToString(sum[:])
+	}
+	return map[string]string{
+		"composite_shared":    h(shared.Pix),
+		"composite_full":      h(full.Pix),
+		"composite_blanked_b": h(blanked.Pix),
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	path := filepath.Join("testdata", "render_golden.txt")
+	got := sceneHashes()
+
+	var sb strings.Builder
+	sb.WriteString("# SHA-256 of deterministic renders; regenerate with -update-golden\n")
+	for _, k := range []string{"composite_blanked_b", "composite_full", "composite_shared"} {
+		sb.WriteString(k + " " + got[k] + "\n")
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to generate)", err)
+	}
+	if string(want) != sb.String() {
+		t.Fatalf("render output changed:\n got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	a := sceneHashes()
+	b := sceneHashes()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("%s differs across identical runs", k)
+		}
+	}
+	// The three views must actually differ from each other.
+	if a["composite_shared"] == a["composite_blanked_b"] {
+		t.Fatal("blanking window B changed nothing")
+	}
+}

@@ -1,0 +1,15 @@
+package display
+
+import (
+	"image"
+
+	"appshare/internal/region"
+)
+
+// MoveRect copies the src rectangle of buf onto dst (same dimensions)
+// with memmove semantics: overlapping rectangles copy correctly in
+// either direction. Both the AH's window buffers and the participant's
+// MoveRectangle application use it.
+func MoveRect(buf *image.RGBA, src, dst region.Rect) {
+	moveRGBA(buf, src, dst)
+}

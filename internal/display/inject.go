@@ -1,0 +1,110 @@
+package display
+
+import "fmt"
+
+// HIP event regeneration (draft Section 1: the AH "regenerates human
+// interface events received from participants"). The AH validates events
+// first (internal/windows.Manager.ValidateEvent); these methods perform
+// the actual regeneration against the virtual window system.
+
+// InjectMousePressed regenerates a mouse press at desktop coordinates
+// (x, y) targeted at the given window; the window is raised and focused
+// exactly as a real window system would.
+func (d *Desktop) InjectMousePressed(windowID uint16, x, y int, button uint8) error {
+	w := d.Window(windowID)
+	if w == nil {
+		return fmt.Errorf("display: no window %d", windowID)
+	}
+	if err := d.RaiseWindow(windowID); err != nil {
+		return err
+	}
+	d.MoveCursor(x, y)
+	if w.handler != nil {
+		w.handler.MousePressed(w, x-w.bounds.Left, y-w.bounds.Top, button)
+	}
+	return nil
+}
+
+// InjectMouseReleased regenerates a mouse release.
+func (d *Desktop) InjectMouseReleased(windowID uint16, x, y int, button uint8) error {
+	w := d.Window(windowID)
+	if w == nil {
+		return fmt.Errorf("display: no window %d", windowID)
+	}
+	d.MoveCursor(x, y)
+	if w.handler != nil {
+		w.handler.MouseReleased(w, x-w.bounds.Left, y-w.bounds.Top, button)
+	}
+	return nil
+}
+
+// InjectMouseMoved regenerates a pointer move.
+func (d *Desktop) InjectMouseMoved(windowID uint16, x, y int) error {
+	w := d.Window(windowID)
+	if w == nil {
+		return fmt.Errorf("display: no window %d", windowID)
+	}
+	d.MoveCursor(x, y)
+	if w.handler != nil {
+		w.handler.MouseMoved(w, x-w.bounds.Left, y-w.bounds.Top)
+	}
+	return nil
+}
+
+// InjectMouseWheel regenerates a wheel event (distance in HIP units, 120
+// per notch).
+func (d *Desktop) InjectMouseWheel(windowID uint16, x, y, distance int) error {
+	w := d.Window(windowID)
+	if w == nil {
+		return fmt.Errorf("display: no window %d", windowID)
+	}
+	if w.handler != nil {
+		w.handler.MouseWheel(w, x-w.bounds.Left, y-w.bounds.Top, distance)
+	}
+	return nil
+}
+
+// InjectKeyPressed regenerates a key press into the focused window (or
+// the named window if it exists).
+func (d *Desktop) InjectKeyPressed(windowID uint16, keycode uint32) error {
+	w := d.keyTarget(windowID)
+	if w == nil {
+		return fmt.Errorf("display: no key target window %d", windowID)
+	}
+	if w.handler != nil {
+		w.handler.KeyPressed(w, keycode)
+	}
+	return nil
+}
+
+// InjectKeyReleased regenerates a key release.
+func (d *Desktop) InjectKeyReleased(windowID uint16, keycode uint32) error {
+	w := d.keyTarget(windowID)
+	if w == nil {
+		return fmt.Errorf("display: no key target window %d", windowID)
+	}
+	if w.handler != nil {
+		w.handler.KeyReleased(w, keycode)
+	}
+	return nil
+}
+
+// InjectKeyTyped injects UTF-8 text into the operating system input queue
+// of the target window (draft Section 6.8).
+func (d *Desktop) InjectKeyTyped(windowID uint16, text string) error {
+	w := d.keyTarget(windowID)
+	if w == nil {
+		return fmt.Errorf("display: no key target window %d", windowID)
+	}
+	if w.handler != nil {
+		w.handler.KeyTyped(w, text)
+	}
+	return nil
+}
+
+func (d *Desktop) keyTarget(windowID uint16) *Window {
+	if w := d.Window(windowID); w != nil {
+		return w
+	}
+	return d.focus
+}

@@ -1,0 +1,212 @@
+package display
+
+import (
+	"image"
+	"image/color"
+	"image/draw"
+
+	"appshare/internal/region"
+)
+
+// Window is one top-level window on the virtual desktop. Its content
+// lives in a window-local RGBA buffer; the Desktop composites windows in
+// z-order. Drawing methods record damage in desktop coordinates so the
+// capture pipeline can produce incremental RegionUpdates.
+type Window struct {
+	desktop *Desktop
+	id      uint16
+	group   uint8
+	bounds  region.Rect // desktop coordinates
+	buf     *image.RGBA // window-local content
+	shared  bool
+	// handler receives the HIP events regenerated at the AH while this
+	// window has focus (nil for inert windows).
+	handler EventHandler
+}
+
+// EventHandler is the application behavior behind a window: the AH
+// regenerates participant HIP events into it (draft Section 1,
+// "regenerates human interface events received from participants").
+type EventHandler interface {
+	// MousePressed/MouseReleased/MouseMoved receive window-local
+	// coordinates.
+	MousePressed(w *Window, x, y int, button uint8)
+	MouseReleased(w *Window, x, y int, button uint8)
+	MouseMoved(w *Window, x, y int)
+	MouseWheel(w *Window, x, y int, distance int)
+	KeyPressed(w *Window, keycode uint32)
+	KeyReleased(w *Window, keycode uint32)
+	KeyTyped(w *Window, text string)
+}
+
+// ID returns the window's protocol WindowID.
+func (w *Window) ID() uint16 { return w.id }
+
+// Group returns the window's GroupID (0 = ungrouped).
+func (w *Window) Group() uint8 { return w.group }
+
+// Bounds returns the window's desktop-coordinate rectangle.
+func (w *Window) Bounds() region.Rect { return w.bounds }
+
+// Shared reports whether the window belongs to the shared set.
+func (w *Window) Shared() bool { return w.shared }
+
+// SetHandler attaches an application behavior to the window.
+func (w *Window) SetHandler(h EventHandler) { w.handler = h }
+
+// damage registers a window-local rectangle as dirty, translated to
+// desktop coordinates and clipped to the window.
+func (w *Window) damage(r region.Rect) {
+	r = r.Intersect(region.XYWH(0, 0, w.bounds.Width, w.bounds.Height))
+	if r.Empty() {
+		return
+	}
+	w.desktop.addDamage(r.Translate(w.bounds.Left, w.bounds.Top))
+}
+
+// Fill paints a window-local rectangle with a solid color.
+func (w *Window) Fill(r region.Rect, c color.RGBA) {
+	clipped := r.Intersect(region.XYWH(0, 0, w.bounds.Width, w.bounds.Height))
+	if clipped.Empty() {
+		return
+	}
+	draw.Draw(w.buf, image.Rect(clipped.Left, clipped.Top, clipped.Right(), clipped.Bottom()),
+		&image.Uniform{c}, image.Point{}, draw.Src)
+	w.damage(clipped)
+}
+
+// Clear fills the entire window with a color.
+func (w *Window) Clear(c color.RGBA) {
+	w.Fill(region.XYWH(0, 0, w.bounds.Width, w.bounds.Height), c)
+}
+
+// Blit copies an image into the window at (x, y) in window-local
+// coordinates.
+func (w *Window) Blit(img image.Image, x, y int) {
+	b := img.Bounds()
+	dst := image.Rect(x, y, x+b.Dx(), y+b.Dy())
+	draw.Draw(w.buf, dst, img, b.Min, draw.Src)
+	w.damage(region.XYWH(x, y, b.Dx(), b.Dy()))
+}
+
+// DrawText renders a single line of text at (x, y) using the builtin 5x7
+// font and returns the text's bounding rectangle in window coordinates.
+func (w *Window) DrawText(x, y int, s string, fg color.RGBA) region.Rect {
+	cx := x
+	for _, r := range s {
+		g := glyphFor(r)
+		for row := 0; row < GlyphHeight; row++ {
+			bits := g[row]
+			for col := 0; col < GlyphWidth; col++ {
+				if bits&(1<<(GlyphWidth-1-col)) != 0 {
+					px, py := cx+col, y+row
+					if px >= 0 && px < w.bounds.Width && py >= 0 && py < w.bounds.Height {
+						w.buf.SetRGBA(px, py, fg)
+					}
+				}
+			}
+		}
+		cx += CellWidth
+	}
+	ext := region.XYWH(x, y, cx-x, GlyphHeight)
+	w.damage(ext)
+	return ext
+}
+
+// Scroll shifts the window-local rectangle r by dy pixels (negative =
+// content moves up, as when scrolling down a document). The vacated band
+// is filled with fill. The desktop records a MoveOp so the capture
+// pipeline can emit a MoveRectangle instead of re-encoding the moved
+// pixels (draft Section 5.2.3).
+func (w *Window) Scroll(r region.Rect, dy int, fill color.RGBA) {
+	r = r.Intersect(region.XYWH(0, 0, w.bounds.Width, w.bounds.Height))
+	if r.Empty() || dy == 0 {
+		return
+	}
+	absDy := dy
+	if absDy < 0 {
+		absDy = -absDy
+	}
+	if absDy >= r.Height {
+		w.Fill(r, fill)
+		return
+	}
+
+	// Move the surviving band within the buffer.
+	src := r
+	dst := r
+	if dy < 0 { // content moves up
+		src = region.XYWH(r.Left, r.Top+absDy, r.Width, r.Height-absDy)
+		dst = region.XYWH(r.Left, r.Top, r.Width, r.Height-absDy)
+	} else { // content moves down
+		src = region.XYWH(r.Left, r.Top, r.Width, r.Height-absDy)
+		dst = region.XYWH(r.Left, r.Top+absDy, r.Width, r.Height-absDy)
+	}
+	moveRGBA(w.buf, src, dst)
+
+	// Vacated band.
+	var vacated region.Rect
+	if dy < 0 {
+		vacated = region.XYWH(r.Left, r.Bottom()-absDy, r.Width, absDy)
+	} else {
+		vacated = region.XYWH(r.Left, r.Top, r.Width, absDy)
+	}
+	draw.Draw(w.buf, image.Rect(vacated.Left, vacated.Top, vacated.Right(), vacated.Bottom()),
+		&image.Uniform{fill}, image.Point{}, draw.Src)
+
+	// Record the move in WINDOW-LOCAL coordinates (the capture pipeline
+	// translates to absolute using the window's bounds at emission time,
+	// so a same-tick window relocation cannot invalidate the move), plus
+	// damage for the vacated band. The moved region itself is NOT added
+	// to pixel damage: the MoveOp covers it. Pending damage inside the
+	// source band travels with the content — a participant applying the
+	// move holds pre-damage pixels there, so the damage must also cover
+	// the content's new location to repair them. The old location keeps
+	// its damage too: in desktop coordinates the same damage may belong
+	// to an overlapping window whose content did not move.
+	srcAbs := src.Translate(w.bounds.Left, w.bounds.Top)
+	dstAbs := dst.Translate(w.bounds.Left, w.bounds.Top)
+	if w.desktop.othersOverlap(w.id, srcAbs) {
+		// Another window shares these desktop coordinates: its content
+		// did not move, so the old location must stay damaged too.
+		w.desktop.damage.DuplicateWithin(srcAbs, dstAbs.Left-srcAbs.Left, dstAbs.Top-srcAbs.Top)
+	} else {
+		w.desktop.damage.TranslateWithin(srcAbs, dstAbs.Left-srcAbs.Left, dstAbs.Top-srcAbs.Top)
+	}
+	w.desktop.addMove(MoveOp{WindowID: w.id, Src: src, Dst: dst})
+	w.desktop.addDamage(vacated.Translate(w.bounds.Left, w.bounds.Top))
+}
+
+// Image returns the live window-local content buffer. Callers must treat
+// it as read-only; the capture pipeline reads it directly to avoid a copy
+// per tick.
+func (w *Window) Image() *image.RGBA { return w.buf }
+
+// Snapshot returns a copy of the window-local content buffer.
+func (w *Window) Snapshot() *image.RGBA {
+	out := image.NewRGBA(w.buf.Bounds())
+	copy(out.Pix, w.buf.Pix)
+	return out
+}
+
+// moveRGBA copies src to dst within one buffer, handling overlap by
+// choosing a safe row order (memmove semantics per row band).
+func moveRGBA(buf *image.RGBA, src, dst region.Rect) {
+	if src.Width != dst.Width || src.Height != dst.Height {
+		panic("display: move with mismatched rectangle sizes")
+	}
+	rowLen := 4 * src.Width
+	if dst.Top <= src.Top {
+		for row := 0; row < src.Height; row++ {
+			so := buf.PixOffset(src.Left, src.Top+row)
+			do := buf.PixOffset(dst.Left, dst.Top+row)
+			copy(buf.Pix[do:do+rowLen], buf.Pix[so:so+rowLen])
+		}
+	} else {
+		for row := src.Height - 1; row >= 0; row-- {
+			so := buf.PixOffset(src.Left, src.Top+row)
+			do := buf.PixOffset(dst.Left, dst.Top+row)
+			copy(buf.Pix[do:do+rowLen], buf.Pix[so:so+rowLen])
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package ext implements a vendor extension to the application-sharing
+// protocol: clipboard transfer, the copy-and-paste enhancement the draft
+// names but deliberately leaves undefined (Section 4.2: "it is often
+// useful to allow copy-and-paste between applications running on a
+// participant and those running on an AH. This document does not define
+// any such extensions").
+//
+// The extension follows the draft's own extensibility rules: a new
+// remoting message type registered per Section 9 ("Specification
+// Required"); participants without the extension MAY ignore it (Section
+// 5.1.2), which internal/participant implements by counting and skipping
+// unknown types.
+package ext
+
+import (
+	"errors"
+	"fmt"
+	"unicode/utf8"
+
+	"appshare/internal/core"
+	"appshare/internal/wire"
+)
+
+// TypeClipboardUpdate is the extension remoting message type: the AH's
+// clipboard content changed. Value 5 is the first free value after
+// Table 1.
+const TypeClipboardUpdate core.MessageType = 5
+
+// MaxClipboardBytes bounds one clipboard message (it must fit a single
+// RTP packet; fragmentation is only defined for RegionUpdate and
+// MousePointerInfo).
+const MaxClipboardBytes = 1100
+
+// Clipboard is the ClipboardUpdate extension message: UTF-8 text. The
+// Parameter field carries a 8-bit sequence number so late/duplicate
+// deliveries are detectable.
+type Clipboard struct {
+	Seq  uint8
+	Text string
+}
+
+// Marshal encodes the message as a remoting-stream payload (common
+// header + UTF-8 body).
+func (c *Clipboard) Marshal() ([]byte, error) {
+	if !utf8.ValidString(c.Text) {
+		return nil, errors.New("ext: clipboard text is not valid UTF-8")
+	}
+	if len(c.Text) > MaxClipboardBytes {
+		return nil, fmt.Errorf("ext: clipboard text %d bytes exceeds %d", len(c.Text), MaxClipboardBytes)
+	}
+	w := wire.NewWriter(core.HeaderSize + len(c.Text))
+	core.Header{Type: TypeClipboardUpdate, Parameter: c.Seq}.AppendTo(w)
+	w.Write([]byte(c.Text))
+	return w.Bytes(), nil
+}
+
+// Decode parses a ClipboardUpdate from a common header and body (as a
+// participant extension handler receives them).
+func Decode(hdr core.Header, body []byte) (*Clipboard, error) {
+	if hdr.Type != TypeClipboardUpdate {
+		return nil, fmt.Errorf("ext: message type %v is not ClipboardUpdate", hdr.Type)
+	}
+	if !utf8.Valid(body) {
+		return nil, errors.New("ext: clipboard body is not valid UTF-8")
+	}
+	return &Clipboard{Seq: hdr.Parameter, Text: string(body)}, nil
+}

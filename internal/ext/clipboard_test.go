@@ -1,0 +1,155 @@
+package ext_test
+
+import (
+	"image/color"
+	"testing"
+	"time"
+
+	"appshare/internal/ah"
+	"appshare/internal/core"
+	"appshare/internal/display"
+	"appshare/internal/ext"
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/transport"
+)
+
+func TestClipboardRoundtrip(t *testing.T) {
+	in := &ext.Clipboard{Seq: 7, Text: "copiéd text"}
+	buf, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, body, err := core.ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Type != ext.TypeClipboardUpdate {
+		t.Fatalf("type = %v", hdr.Type)
+	}
+	out, err := ext.Decode(hdr, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("roundtrip = %+v, want %+v", out, in)
+	}
+}
+
+func TestClipboardValidation(t *testing.T) {
+	if _, err := (&ext.Clipboard{Text: string([]byte{0xFF})}).Marshal(); err == nil {
+		t.Error("invalid UTF-8 should fail")
+	}
+	big := make([]byte, ext.MaxClipboardBytes+1)
+	for i := range big {
+		big[i] = 'a'
+	}
+	if _, err := (&ext.Clipboard{Text: string(big)}).Marshal(); err == nil {
+		t.Error("oversized clipboard should fail")
+	}
+	if _, err := ext.Decode(core.Header{Type: 1}, nil); err == nil {
+		t.Error("wrong type should fail")
+	}
+	if _, err := ext.Decode(core.Header{Type: ext.TypeClipboardUpdate}, []byte{0xFE}); err == nil {
+		t.Error("invalid body should fail")
+	}
+}
+
+// TestClipboardEndToEnd broadcasts the extension through a live host:
+// an extension-aware participant receives the text; a vanilla
+// participant ignores the message and its stream stays healthy — the
+// Section 5.1.2 MAY-ignore behavior.
+func TestClipboardEndToEnd(t *testing.T) {
+	desk := display.NewDesktop(640, 480)
+	win := desk.CreateWindow(1, region.XYWH(10, 10, 200, 150))
+	host, err := ah.New(ah.Config{Desktop: desk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	attach := func() (*participant.Participant, transport.PacketConn) {
+		hostSide, partSide := transport.Pipe(transport.LinkConfig{Seed: 1}, transport.LinkConfig{Seed: 2})
+		p := participant.New(participant.Config{})
+		go func() {
+			for {
+				pkt, err := partSide.Recv()
+				if err != nil {
+					return
+				}
+				_ = p.HandlePacket(pkt)
+			}
+		}()
+		if _, err := host.AttachPacketConn("p", hostSide, ah.PacketOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return p, partSide
+	}
+	aware, awareConn := attach()
+	vanilla, vanillaConn := attach()
+
+	var got string
+	aware.OnExtension(ext.TypeClipboardUpdate, func(hdr core.Header, body []byte) {
+		if cb, err := ext.Decode(hdr, body); err == nil {
+			got = cb.Text
+		}
+	})
+
+	// Join both.
+	for _, pc := range []struct {
+		p *participant.Participant
+		c transport.PacketConn
+	}{{aware, awareConn}, {vanilla, vanillaConn}} {
+		pli, err := pc.p.BuildPLI()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pc.c.Send(pli); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	cb, err := (&ext.Clipboard{Seq: 1, Text: "shared snippet"}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.BroadcastExtension(cb); err != nil {
+		t.Fatal(err)
+	}
+	// Ordinary traffic after the extension proves the stream survived.
+	win.Fill(region.XYWH(0, 0, 50, 50), redColor())
+	if err := host.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	if got != "shared snippet" {
+		t.Fatalf("aware participant got %q", got)
+	}
+	if vanilla.IgnoredExtensions() != 1 {
+		t.Fatalf("vanilla ignored = %d, want 1", vanilla.IgnoredExtensions())
+	}
+	if vanilla.NeedsRefresh() {
+		t.Fatal("ignoring an extension must not desynchronize the stream")
+	}
+	// Both participants still apply normal updates after the extension.
+	for name, p := range map[string]*participant.Participant{"aware": aware, "vanilla": vanilla} {
+		img := p.WindowImage(win.ID())
+		if img == nil || img.RGBAAt(5, 5) != redColor() {
+			t.Fatalf("%s participant missed the post-extension update", name)
+		}
+	}
+
+	// Oversized and undersized broadcasts are rejected.
+	if err := host.BroadcastExtension([]byte{1, 2}); err == nil {
+		t.Error("short payload should fail")
+	}
+	if err := host.BroadcastExtension(make([]byte, 64<<10)); err == nil {
+		t.Error("oversized payload should fail")
+	}
+}
+
+func redColor() color.RGBA {
+	return color.RGBA{R: 0xFF, A: 0xFF}
+}

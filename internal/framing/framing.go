@@ -1,0 +1,79 @@
+// Package framing implements RFC 4571 framing of RTP and RTCP packets
+// over connection-oriented transports. Neither TCP nor RTP declares the
+// length of an RTP packet, so each packet is prefixed with a 16-bit
+// big-endian length when carried in a TCP byte stream (draft Section 4.4).
+package framing
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxFrameSize is the largest packet representable by the 16-bit length
+// prefix.
+const MaxFrameSize = 0xFFFF
+
+// ErrFrameTooLarge is returned when writing a packet longer than
+// MaxFrameSize bytes.
+var ErrFrameTooLarge = errors.New("framing: packet exceeds 65535 bytes")
+
+// Writer frames packets onto an underlying stream. It is safe for
+// concurrent use: RTP and RTCP goroutines may interleave whole frames.
+type Writer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriter returns a Writer framing onto w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteFrame writes one length-prefixed packet.
+func (w *Writer) WriteFrame(pkt []byte) error {
+	if len(pkt) > MaxFrameSize {
+		return fmt.Errorf("%w: %d", ErrFrameTooLarge, len(pkt))
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(pkt)))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(pkt)
+	return err
+}
+
+// Reader extracts length-prefixed packets from an underlying stream,
+// tolerating arbitrary TCP segmentation (a frame may arrive split across
+// reads or merged with its neighbors).
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a Reader framing from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// ReadFrame reads the next packet. It returns io.EOF cleanly at a frame
+// boundary and io.ErrUnexpectedEOF mid-frame.
+func (r *Reader) ReadFrame() ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr[:]))
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,166 @@
+package framing
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := [][]byte{[]byte("hello"), {}, []byte("world"), bytes.Repeat([]byte{7}, 1000)}
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("trailing read err = %v, want io.EOF", err)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteFrame(make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := w.WriteFrame(make([]byte, MaxFrameSize)); err != nil {
+		t.Fatalf("max-size frame should succeed: %v", err)
+	}
+}
+
+func TestMidFrameEOF(t *testing.T) {
+	// Truncated length prefix.
+	r := NewReader(bytes.NewReader([]byte{0x00}))
+	if _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Length promises 5 bytes; only 2 present.
+	r = NewReader(bytes.NewReader([]byte{0x00, 0x05, 'a', 'b'}))
+	if _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// drip delivers its payload one byte per Read call, simulating worst-case
+// TCP segmentation.
+type drip struct{ data []byte }
+
+func (d *drip) Read(p []byte) (int, error) {
+	if len(d.data) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = d.data[0]
+	d.data = d.data[1:]
+	return 1, nil
+}
+
+func TestByteAtATimeSegmentation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, f := range [][]byte{[]byte("abc"), []byte("defgh")} {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&drip{data: buf.Bytes()})
+	a, err := r.ReadFrame()
+	if err != nil || string(a) != "abc" {
+		t.Fatalf("frame 1 = %q, %v", a, err)
+	}
+	b, err := r.ReadFrame()
+	if err != nil || string(b) != "defgh" {
+		t.Fatalf("frame 2 = %q, %v", b, err)
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(frames [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, fr := range frames {
+			if len(fr) > MaxFrameSize {
+				fr = fr[:MaxFrameSize]
+			}
+			if err := w.WriteFrame(fr); err != nil {
+				return false
+			}
+		}
+		r := NewReader(&buf)
+		for _, fr := range frames {
+			if len(fr) > MaxFrameSize {
+				fr = fr[:MaxFrameSize]
+			}
+			got, err := r.ReadFrame()
+			if err != nil || !bytes.Equal(got, fr) {
+				return false
+			}
+		}
+		_, err := r.ReadFrame()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWritersOverPipe(t *testing.T) {
+	// Two goroutines (RTP + RTCP) share one framed TCP connection; frames
+	// must never interleave partially.
+	client, server := net.Pipe()
+	defer client.Close()
+
+	w := NewWriter(client)
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(tag byte) {
+			defer wg.Done()
+			frame := bytes.Repeat([]byte{tag}, 100)
+			for i := 0; i < perWriter; i++ {
+				if err := w.WriteFrame(frame); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(byte('A' + g))
+	}
+	go func() {
+		wg.Wait()
+		client.Close()
+	}()
+
+	r := NewReader(server)
+	count := 0
+	for {
+		frame, err := r.ReadFrame()
+		if err != nil {
+			break
+		}
+		count++
+		for _, b := range frame {
+			if b != frame[0] {
+				t.Fatalf("interleaved frame contents: %q", frame)
+			}
+		}
+	}
+	if count != 2*perWriter {
+		t.Fatalf("read %d frames, want %d", count, 2*perWriter)
+	}
+}

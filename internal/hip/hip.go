@@ -1,0 +1,277 @@
+// Package hip implements the Human Interface Protocol of
+// draft-boyaci-avt-app-sharing-00 Section 6: the seven participant-to-AH
+// messages that carry mouse and keyboard events (Figures 13–19, Table 3).
+//
+// HIP messages are RTP payloads with a payload type distinct from the
+// remoting stream. Per Section 6.1.1 the participant MUST set the RTP
+// marker bit to zero and the AH ignores it; HIP messages are never
+// fragmented.
+package hip
+
+import (
+	"errors"
+	"fmt"
+	"unicode/utf8"
+
+	"appshare/internal/core"
+	"appshare/internal/keycodes"
+	"appshare/internal/wire"
+)
+
+// Mouse buttons carried in the parameter field of MousePressed and
+// MouseReleased (Sections 6.2, 6.3). Other values MAY be negotiated; the
+// AH MAY ignore unrecognized values.
+const (
+	ButtonLeft   = 1
+	ButtonRight  = 2
+	ButtonMiddle = 3
+)
+
+// WheelNotch is the distance unit of MouseWheelMoved: each discrete wheel
+// notch is 120 so that smooth-scrolling mice can report intermediate
+// values (Section 6.5).
+const WheelNotch = 120
+
+// Decoding errors.
+var (
+	ErrNotHIP    = errors.New("hip: not a HIP message type")
+	ErrTruncated = errors.New("hip: truncated message")
+)
+
+// Event is one human-interface event, encodable as a HIP message.
+type Event interface {
+	// Type returns the HIP message type (Table 3).
+	Type() core.MessageType
+	// Window returns the WindowID of the window holding focus when the
+	// event occurred (Section 6.1.2).
+	Window() uint16
+	// param returns the parameter byte of the common header.
+	param() uint8
+	// appendBody appends the message-type specific header/payload.
+	appendBody(w *wire.Writer)
+}
+
+// MousePressed instructs the AH to generate a mouse-press at (Left, Top)
+// in absolute screen coordinates (Figure 13).
+type MousePressed struct {
+	WindowID  uint16
+	Button    uint8
+	Left, Top uint32
+}
+
+// Type implements Event.
+func (m *MousePressed) Type() core.MessageType { return core.TypeMousePressed }
+
+// Window implements Event.
+func (m *MousePressed) Window() uint16 { return m.WindowID }
+
+func (m *MousePressed) param() uint8 { return m.Button }
+
+func (m *MousePressed) appendBody(w *wire.Writer) {
+	w.Uint32(m.Left)
+	w.Uint32(m.Top)
+}
+
+// MouseReleased instructs the AH to generate a mouse-release at
+// (Left, Top) (Figure 14).
+type MouseReleased struct {
+	WindowID  uint16
+	Button    uint8
+	Left, Top uint32
+}
+
+// Type implements Event.
+func (m *MouseReleased) Type() core.MessageType { return core.TypeMouseReleased }
+
+// Window implements Event.
+func (m *MouseReleased) Window() uint16 { return m.WindowID }
+
+func (m *MouseReleased) param() uint8 { return m.Button }
+
+func (m *MouseReleased) appendBody(w *wire.Writer) {
+	w.Uint32(m.Left)
+	w.Uint32(m.Top)
+}
+
+// MouseMoved instructs the AH to move the pointer to (Left, Top)
+// (Figure 15).
+type MouseMoved struct {
+	WindowID  uint16
+	Left, Top uint32
+}
+
+// Type implements Event.
+func (m *MouseMoved) Type() core.MessageType { return core.TypeMouseMoved }
+
+// Window implements Event.
+func (m *MouseMoved) Window() uint16 { return m.WindowID }
+
+func (m *MouseMoved) param() uint8 { return 0 }
+
+func (m *MouseMoved) appendBody(w *wire.Writer) {
+	w.Uint32(m.Left)
+	w.Uint32(m.Top)
+}
+
+// MouseWheelMoved instructs the AH to generate a wheel event at
+// (Left, Top). Distance carries 120 per notch, positive away from the
+// user, negative toward the user, two's complement on the wire
+// (Figure 16).
+type MouseWheelMoved struct {
+	WindowID  uint16
+	Left, Top uint32
+	Distance  int32
+}
+
+// Type implements Event.
+func (m *MouseWheelMoved) Type() core.MessageType { return core.TypeMouseWheelMoved }
+
+// Window implements Event.
+func (m *MouseWheelMoved) Window() uint16 { return m.WindowID }
+
+func (m *MouseWheelMoved) param() uint8 { return 0 }
+
+func (m *MouseWheelMoved) appendBody(w *wire.Writer) {
+	w.Uint32(m.Left)
+	w.Uint32(m.Top)
+	w.Int32(m.Distance)
+}
+
+// Notches returns the wheel rotation in whole notches (Distance / 120),
+// truncating any smooth-scroll remainder.
+func (m *MouseWheelMoved) Notches() int { return int(m.Distance) / WheelNotch }
+
+// KeyPressed instructs the AH to generate a key-press of the given Java
+// virtual key (Figure 17).
+type KeyPressed struct {
+	WindowID uint16
+	KeyCode  keycodes.Code
+}
+
+// Type implements Event.
+func (k *KeyPressed) Type() core.MessageType { return core.TypeKeyPressed }
+
+// Window implements Event.
+func (k *KeyPressed) Window() uint16 { return k.WindowID }
+
+func (k *KeyPressed) param() uint8 { return 0 }
+
+func (k *KeyPressed) appendBody(w *wire.Writer) { w.Uint32(uint32(k.KeyCode)) }
+
+// KeyReleased instructs the AH to generate a key-release (Figure 18).
+// A KeyReleased without a prior KeyPressed is acceptable (Section 6.7).
+type KeyReleased struct {
+	WindowID uint16
+	KeyCode  keycodes.Code
+}
+
+// Type implements Event.
+func (k *KeyReleased) Type() core.MessageType { return core.TypeKeyReleased }
+
+// Window implements Event.
+func (k *KeyReleased) Window() uint16 { return k.WindowID }
+
+func (k *KeyReleased) param() uint8 { return 0 }
+
+func (k *KeyReleased) appendBody(w *wire.Writer) { w.Uint32(uint32(k.KeyCode)) }
+
+// KeyTyped instructs the AH to inject UTF-8 text into the operating
+// system's input queue (Figure 19). There is no padding; text longer than
+// one packet MUST be split across several KeyTyped messages (use
+// SplitKeyTyped).
+type KeyTyped struct {
+	WindowID uint16
+	Text     string
+}
+
+// Type implements Event.
+func (k *KeyTyped) Type() core.MessageType { return core.TypeKeyTyped }
+
+// Window implements Event.
+func (k *KeyTyped) Window() uint16 { return k.WindowID }
+
+func (k *KeyTyped) param() uint8 { return 0 }
+
+func (k *KeyTyped) appendBody(w *wire.Writer) { w.Write([]byte(k.Text)) }
+
+// Marshal encodes an event as a complete HIP RTP payload: common header
+// plus message-specific fields. Button values outside 1–3 are carried
+// as-is: the draft allows negotiating additional buttons and lets the AH
+// ignore unrecognized values, so decode→re-encode must round-trip them
+// (participant builders validate user input separately).
+func Marshal(e Event) ([]byte, error) {
+	if m, ok := e.(*KeyTyped); ok {
+		if !utf8.ValidString(m.Text) {
+			return nil, errors.New("hip: KeyTyped text is not valid UTF-8")
+		}
+	}
+	w := wire.NewWriter(core.HeaderSize + 12)
+	core.Header{Type: e.Type(), Parameter: e.param(), WindowID: e.Window()}.AppendTo(w)
+	e.appendBody(w)
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes a HIP RTP payload into its event.
+func Unmarshal(payload []byte) (Event, error) {
+	hdr, body, err := core.ParseHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if !hdr.Type.IsHIP() {
+		return nil, fmt.Errorf("%w: %v", ErrNotHIP, hdr.Type)
+	}
+	r := wire.NewReader(body)
+	var e Event
+	switch hdr.Type {
+	case core.TypeMousePressed:
+		e = &MousePressed{WindowID: hdr.WindowID, Button: hdr.Parameter, Left: r.Uint32(), Top: r.Uint32()}
+	case core.TypeMouseReleased:
+		e = &MouseReleased{WindowID: hdr.WindowID, Button: hdr.Parameter, Left: r.Uint32(), Top: r.Uint32()}
+	case core.TypeMouseMoved:
+		e = &MouseMoved{WindowID: hdr.WindowID, Left: r.Uint32(), Top: r.Uint32()}
+	case core.TypeMouseWheelMoved:
+		e = &MouseWheelMoved{WindowID: hdr.WindowID, Left: r.Uint32(), Top: r.Uint32(), Distance: r.Int32()}
+	case core.TypeKeyPressed:
+		e = &KeyPressed{WindowID: hdr.WindowID, KeyCode: keycodes.Code(r.Uint32())}
+	case core.TypeKeyReleased:
+		e = &KeyReleased{WindowID: hdr.WindowID, KeyCode: keycodes.Code(r.Uint32())}
+	case core.TypeKeyTyped:
+		text := r.Rest()
+		if !utf8.Valid(text) {
+			return nil, errors.New("hip: KeyTyped payload is not valid UTF-8")
+		}
+		e = &KeyTyped{WindowID: hdr.WindowID, Text: string(text)}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, r.Err())
+	}
+	return e, nil
+}
+
+// SplitKeyTyped splits text into KeyTyped messages whose encoded size does
+// not exceed mtu bytes, cutting only at UTF-8 rune boundaries (Section
+// 6.8: "The participant MUST send more than one KeyTyped message if the
+// string does not fit into a single KeyTyped packet").
+func SplitKeyTyped(windowID uint16, text string, mtu int) ([]*KeyTyped, error) {
+	room := mtu - core.HeaderSize
+	if room < utf8.UTFMax {
+		return nil, fmt.Errorf("hip: mtu %d cannot fit any rune", mtu)
+	}
+	if !utf8.ValidString(text) {
+		return nil, errors.New("hip: text is not valid UTF-8")
+	}
+	var out []*KeyTyped
+	for len(text) > 0 {
+		n := len(text)
+		if n > room {
+			n = room
+			// Back up to a rune boundary.
+			for n > 0 && !utf8.RuneStart(text[n]) {
+				n--
+			}
+		}
+		out = append(out, &KeyTyped{WindowID: windowID, Text: text[:n]})
+		text = text[n:]
+	}
+	return out, nil
+}

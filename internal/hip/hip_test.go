@@ -1,0 +1,227 @@
+package hip
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+
+	"appshare/internal/core"
+	"appshare/internal/keycodes"
+)
+
+// TestHIPMessagesTable3 exercises every HIP message type end to end
+// (experiment E07).
+func TestHIPMessagesTable3(t *testing.T) {
+	events := []Event{
+		&MousePressed{WindowID: 1, Button: ButtonLeft, Left: 100, Top: 200},
+		&MouseReleased{WindowID: 1, Button: ButtonRight, Left: 100, Top: 200},
+		&MouseMoved{WindowID: 2, Left: 50, Top: 60},
+		&MouseWheelMoved{WindowID: 2, Left: 50, Top: 60, Distance: -240},
+		&KeyPressed{WindowID: 3, KeyCode: keycodes.VKF1},
+		&KeyReleased{WindowID: 3, KeyCode: keycodes.VKF1},
+		&KeyTyped{WindowID: 3, Text: "héllo"},
+	}
+	wantTypes := []core.MessageType{121, 122, 123, 124, 125, 126, 127}
+	for i, e := range events {
+		if got := e.Type(); got != wantTypes[i] {
+			t.Errorf("event %d type = %d, want %d", i, got, wantTypes[i])
+		}
+		buf, err := Marshal(e)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", e, err)
+		}
+		if core.MessageType(buf[0]) != wantTypes[i] {
+			t.Errorf("wire type = %d, want %d", buf[0], wantTypes[i])
+		}
+		back, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("unmarshal %T: %v", e, err)
+		}
+		if !reflect.DeepEqual(back, e) {
+			t.Errorf("roundtrip %T: got %#v, want %#v", e, back, e)
+		}
+	}
+}
+
+func TestMousePressedWireLayout(t *testing.T) {
+	// Figure 13: common header (type=121, param=button, windowID) then
+	// 32-bit Left, 32-bit Top.
+	buf, err := Marshal(&MousePressed{WindowID: 0x0102, Button: 3, Left: 0x0A0B0C0D, Top: 0x01020304})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{121, 3, 0x01, 0x02, 0x0A, 0x0B, 0x0C, 0x0D, 0x01, 0x02, 0x03, 0x04}
+	if string(buf) != string(want) {
+		t.Fatalf("bytes = %v, want %v", buf, want)
+	}
+}
+
+func TestWheelTwosComplement(t *testing.T) {
+	// Section 6.5: negative values use two's complement. -120 is one
+	// notch toward the user.
+	buf, err := Marshal(&MouseWheelMoved{WindowID: 1, Left: 0, Top: 0, Distance: -120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := buf[len(buf)-4:]
+	want := []byte{0xFF, 0xFF, 0xFF, 0x88} // -120 two's complement
+	if string(dist) != string(want) {
+		t.Fatalf("distance bytes = %v, want %v", dist, want)
+	}
+	e, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.(*MouseWheelMoved)
+	if w.Distance != -120 || w.Notches() != -1 {
+		t.Fatalf("distance = %d, notches = %d", w.Distance, w.Notches())
+	}
+}
+
+func TestKeyPressedF1WireValue(t *testing.T) {
+	// Draft example: F1 is 0x70.
+	buf, err := Marshal(&KeyPressed{WindowID: 0, KeyCode: keycodes.VKF1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{125, 0, 0, 0, 0, 0, 0, 0x70}
+	if string(buf) != string(want) {
+		t.Fatalf("bytes = %v, want %v", buf, want)
+	}
+}
+
+func TestKeyTypedNoPadding(t *testing.T) {
+	// Section 6.8: "There is no padding for the UTF-8 string."
+	buf, err := Marshal(&KeyTyped{WindowID: 5, Text: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != core.HeaderSize+3 {
+		t.Fatalf("len = %d, want %d", len(buf), core.HeaderSize+3)
+	}
+}
+
+func TestKeyTypedInvalidUTF8(t *testing.T) {
+	if _, err := Marshal(&KeyTyped{Text: string([]byte{0xFF, 0xFE})}); err == nil {
+		t.Error("invalid UTF-8 should fail to marshal")
+	}
+	bad := append([]byte{127, 0, 0, 1}, 0xFF, 0xFE)
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("invalid UTF-8 should fail to unmarshal")
+	}
+}
+
+func TestButtonZeroRoundTrips(t *testing.T) {
+	// The draft allows unrecognized button values on the wire (the AH
+	// MAY ignore them), so decode and re-encode must round-trip even
+	// button 0; only the participant's builders reject it as user input.
+	buf, err := Marshal(&MousePressed{WindowID: 1, Button: 0, Left: 1, Top: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.(*MousePressed).Button != 0 {
+		t.Fatal("button value changed in flight")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{121, 1}); err == nil {
+		t.Error("short header should fail")
+	}
+	// Remoting type in a HIP stream.
+	if _, err := Unmarshal([]byte{2, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("remoting type should fail")
+	}
+	// Truncated body.
+	if _, err := Unmarshal([]byte{121, 1, 0, 0, 0, 0}); err == nil {
+		t.Error("truncated MousePressed should fail")
+	}
+}
+
+func TestSplitKeyTyped(t *testing.T) {
+	text := strings.Repeat("é", 100) // 200 bytes of UTF-8
+	msgs, err := SplitKeyTyped(9, text, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt strings.Builder
+	for _, m := range msgs {
+		if len(m.Text)+core.HeaderSize > 54 {
+			t.Fatalf("chunk exceeds mtu: %d", len(m.Text))
+		}
+		if !utf8.ValidString(m.Text) {
+			t.Fatalf("chunk not valid UTF-8: %q", m.Text)
+		}
+		if m.WindowID != 9 {
+			t.Fatalf("windowID = %d", m.WindowID)
+		}
+		rebuilt.WriteString(m.Text)
+	}
+	if rebuilt.String() != text {
+		t.Fatal("split does not concatenate to original")
+	}
+	if len(msgs) < 4 {
+		t.Fatalf("split produced %d messages, want >= 4", len(msgs))
+	}
+}
+
+func TestSplitKeyTypedErrors(t *testing.T) {
+	if _, err := SplitKeyTyped(0, "ok", 5); err == nil {
+		t.Error("mtu below one rune should fail")
+	}
+	if _, err := SplitKeyTyped(0, string([]byte{0xFF}), 100); err == nil {
+		t.Error("invalid UTF-8 should fail")
+	}
+}
+
+func TestQuickKeyTypedSplitIdentity(t *testing.T) {
+	f := func(runes []rune, mtuSeed uint8) bool {
+		text := string(runes) // always valid UTF-8
+		mtu := core.HeaderSize + utf8.UTFMax + int(mtuSeed)
+		msgs, err := SplitKeyTyped(1, text, mtu)
+		if err != nil {
+			return false
+		}
+		var sb strings.Builder
+		for _, m := range msgs {
+			if core.HeaderSize+len(m.Text) > mtu {
+				return false
+			}
+			sb.WriteString(m.Text)
+		}
+		return sb.String() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEventRoundtrip(t *testing.T) {
+	f := func(win uint16, left, top uint32, dist int32) bool {
+		events := []Event{
+			&MouseMoved{WindowID: win, Left: left, Top: top},
+			&MouseWheelMoved{WindowID: win, Left: left, Top: top, Distance: dist},
+			&KeyPressed{WindowID: win, KeyCode: keycodes.Code(left)},
+		}
+		for _, e := range events {
+			buf, err := Marshal(e)
+			if err != nil {
+				return false
+			}
+			back, err := Unmarshal(buf)
+			if err != nil || !reflect.DeepEqual(back, e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package keycodes defines the Java virtual key codes used by the HIP
+// KeyPressed and KeyReleased messages (draft Sections 6.6 and 6.7). The
+// draft references the publicly available constants of the OpenJDK
+// KeyEvent.java file; the values below reproduce that table for the keys
+// a desktop-sharing participant can generate. For example the draft's own
+// example, "F1 key is defined as int VK_F1 = 0x70", appears as VKF1.
+package keycodes
+
+import "fmt"
+
+// Code is a 32-bit Java virtual key code as carried on the wire.
+type Code uint32
+
+// Control and whitespace keys.
+const (
+	VKEnter     Code = 0x0A
+	VKBackspace Code = 0x08
+	VKTab       Code = 0x09
+	VKCancel    Code = 0x03
+	VKClear     Code = 0x0C
+	VKShift     Code = 0x10
+	VKControl   Code = 0x11
+	VKAlt       Code = 0x12
+	VKPause     Code = 0x13
+	VKCapsLock  Code = 0x14
+	VKEscape    Code = 0x1B
+	VKSpace     Code = 0x20
+	VKPageUp    Code = 0x21
+	VKPageDown  Code = 0x22
+	VKEnd       Code = 0x23
+	VKHome      Code = 0x24
+	VKLeft      Code = 0x25
+	VKUp        Code = 0x26
+	VKRight     Code = 0x27
+	VKDown      Code = 0x28
+	VKComma     Code = 0x2C
+	VKMinus     Code = 0x2D
+	VKPeriod    Code = 0x2E
+	VKSlash     Code = 0x2F
+	VKDelete    Code = 0x7F
+	VKInsert    Code = 0x9B
+	VKWindows   Code = 0x020C
+	VKMeta      Code = 0x9D
+)
+
+// Digit keys VK_0..VK_9 equal the ASCII codes '0'..'9'.
+const (
+	VK0 Code = 0x30 + iota
+	VK1
+	VK2
+	VK3
+	VK4
+	VK5
+	VK6
+	VK7
+	VK8
+	VK9
+)
+
+// Letter keys VK_A..VK_Z equal the ASCII codes 'A'..'Z'.
+const (
+	VKA Code = 0x41 + iota
+	VKB
+	VKC
+	VKD
+	VKE
+	VKF
+	VKG
+	VKH
+	VKI
+	VKJ
+	VKK
+	VKL
+	VKM
+	VKN
+	VKO
+	VKP
+	VKQ
+	VKR
+	VKS
+	VKT
+	VKU
+	VKV
+	VKW
+	VKX
+	VKY
+	VKZ
+)
+
+// Numpad keys VK_NUMPAD0..VK_NUMPAD9.
+const (
+	VKNumpad0 Code = 0x60 + iota
+	VKNumpad1
+	VKNumpad2
+	VKNumpad3
+	VKNumpad4
+	VKNumpad5
+	VKNumpad6
+	VKNumpad7
+	VKNumpad8
+	VKNumpad9
+)
+
+// Function keys VK_F1..VK_F12. VK_F1 = 0x70 per the draft's example.
+const (
+	VKF1 Code = 0x70 + iota
+	VKF2
+	VKF3
+	VKF4
+	VKF5
+	VKF6
+	VKF7
+	VKF8
+	VKF9
+	VKF10
+	VKF11
+	VKF12
+)
+
+var names = map[Code]string{
+	VKEnter: "Enter", VKBackspace: "Backspace", VKTab: "Tab",
+	VKCancel: "Cancel", VKClear: "Clear", VKShift: "Shift",
+	VKControl: "Control", VKAlt: "Alt", VKPause: "Pause",
+	VKCapsLock: "CapsLock", VKEscape: "Escape", VKSpace: "Space",
+	VKPageUp: "PageUp", VKPageDown: "PageDown", VKEnd: "End",
+	VKHome: "Home", VKLeft: "Left", VKUp: "Up", VKRight: "Right",
+	VKDown: "Down", VKComma: "Comma", VKMinus: "Minus",
+	VKPeriod: "Period", VKSlash: "Slash", VKDelete: "Delete",
+	VKInsert: "Insert", VKWindows: "Windows", VKMeta: "Meta",
+}
+
+// String returns a readable name for the key code.
+func (c Code) String() string {
+	if n, ok := names[c]; ok {
+		return n
+	}
+	switch {
+	case c >= VK0 && c <= VK9:
+		return string(rune('0' + c - VK0))
+	case c >= VKA && c <= VKZ:
+		return string(rune('A' + c - VKA))
+	case c >= VKNumpad0 && c <= VKNumpad9:
+		return fmt.Sprintf("Numpad%d", c-VKNumpad0)
+	case c >= VKF1 && c <= VKF12:
+		return fmt.Sprintf("F%d", c-VKF1+1)
+	default:
+		return fmt.Sprintf("VK(0x%X)", uint32(c))
+	}
+}
+
+// FromRune maps a character to the virtual key that produces it on a US
+// keyboard, with a shift requirement. Characters with no direct key
+// mapping (beyond the supported set) return ok=false; such characters are
+// better carried by a KeyTyped message, which injects UTF-8 text directly.
+func FromRune(r rune) (code Code, shift bool, ok bool) {
+	switch {
+	case r >= 'a' && r <= 'z':
+		return VKA + Code(r-'a'), false, true
+	case r >= 'A' && r <= 'Z':
+		return VKA + Code(r-'A'), true, true
+	case r >= '0' && r <= '9':
+		return VK0 + Code(r-'0'), false, true
+	}
+	switch r {
+	case ' ':
+		return VKSpace, false, true
+	case '\n':
+		return VKEnter, false, true
+	case '\t':
+		return VKTab, false, true
+	case ',':
+		return VKComma, false, true
+	case '-':
+		return VKMinus, false, true
+	case '.':
+		return VKPeriod, false, true
+	case '/':
+		return VKSlash, false, true
+	case '<':
+		return VKComma, true, true
+	case '_':
+		return VKMinus, true, true
+	case '>':
+		return VKPeriod, true, true
+	case '?':
+		return VKSlash, true, true
+	}
+	return 0, false, false
+}
+
+// Rune maps a virtual key (plus shift state) back to the character it
+// produces on a US keyboard, or ok=false for non-character keys.
+func (c Code) Rune(shift bool) (rune, bool) {
+	switch {
+	case c >= VKA && c <= VKZ:
+		if shift {
+			return 'A' + rune(c-VKA), true
+		}
+		return 'a' + rune(c-VKA), true
+	case c >= VK0 && c <= VK9 && !shift:
+		return '0' + rune(c-VK0), true
+	case c >= VKNumpad0 && c <= VKNumpad9:
+		return '0' + rune(c-VKNumpad0), true
+	}
+	type pair struct{ plain, shifted rune }
+	m := map[Code]pair{
+		VKSpace:  {' ', ' '},
+		VKEnter:  {'\n', '\n'},
+		VKTab:    {'\t', '\t'},
+		VKComma:  {',', '<'},
+		VKMinus:  {'-', '_'},
+		VKPeriod: {'.', '>'},
+		VKSlash:  {'/', '?'},
+	}
+	if p, ok := m[c]; ok {
+		if shift {
+			return p.shifted, true
+		}
+		return p.plain, true
+	}
+	return 0, false
+}
+
+// IsModifier reports whether the key is a modifier (shift/control/alt/meta).
+func (c Code) IsModifier() bool {
+	switch c {
+	case VKShift, VKControl, VKAlt, VKMeta, VKWindows:
+		return true
+	}
+	return false
+}

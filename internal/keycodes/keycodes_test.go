@@ -1,0 +1,99 @@
+package keycodes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDraftExampleF1(t *testing.T) {
+	// Draft Sections 6.6/6.7: "F1 key is defined as int VK_F1 = 0x70".
+	if VKF1 != 0x70 {
+		t.Fatalf("VKF1 = %#x, want 0x70", uint32(VKF1))
+	}
+	if VKF12 != 0x7B {
+		t.Fatalf("VKF12 = %#x, want 0x7B", uint32(VKF12))
+	}
+	if VKF1.String() != "F1" || VKF12.String() != "F12" {
+		t.Fatalf("names = %q/%q", VKF1.String(), VKF12.String())
+	}
+}
+
+func TestJavaKeyEventValues(t *testing.T) {
+	// Spot-check well-known KeyEvent.java constants.
+	cases := []struct {
+		code Code
+		want uint32
+		name string
+	}{
+		{VKEnter, 0x0A, "Enter"},
+		{VKEscape, 0x1B, "Escape"},
+		{VKSpace, 0x20, "Space"},
+		{VKA, 0x41, "A"},
+		{VKZ, 0x5A, "Z"},
+		{VK0, 0x30, "0"},
+		{VK9, 0x39, "9"},
+		{VKNumpad0, 0x60, "Numpad0"},
+		{VKDelete, 0x7F, "Delete"},
+		{VKShift, 0x10, "Shift"},
+		{VKLeft, 0x25, "Left"},
+	}
+	for _, c := range cases {
+		if uint32(c.code) != c.want {
+			t.Errorf("%s = %#x, want %#x", c.name, uint32(c.code), c.want)
+		}
+		if c.code.String() != c.name {
+			t.Errorf("String(%#x) = %q, want %q", c.want, c.code.String(), c.name)
+		}
+	}
+	if got := Code(0xFFFF).String(); got != "VK(0xFFFF)" {
+		t.Errorf("unknown code String = %q", got)
+	}
+}
+
+func TestFromRuneRoundtrip(t *testing.T) {
+	for _, r := range "abcxyzABCXYZ0123456789 ,-./<_>?\n\t" {
+		code, shift, ok := FromRune(r)
+		if !ok {
+			t.Errorf("FromRune(%q) not ok", r)
+			continue
+		}
+		back, ok := code.Rune(shift)
+		if !ok || back != r {
+			t.Errorf("roundtrip %q -> %v(shift=%v) -> %q", r, code, shift, back)
+		}
+	}
+}
+
+func TestFromRuneUnmappable(t *testing.T) {
+	for _, r := range "éλ€☺" {
+		if _, _, ok := FromRune(r); ok {
+			t.Errorf("FromRune(%q) should not map; KeyTyped carries it", r)
+		}
+	}
+}
+
+func TestQuickLetterCase(t *testing.T) {
+	f := func(b byte) bool {
+		r := rune('a' + b%26)
+		code, shift, ok := FromRune(r)
+		if !ok || shift {
+			return false
+		}
+		upper, shiftU, okU := FromRune(r - 'a' + 'A')
+		return okU && shiftU && upper == code
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsModifier(t *testing.T) {
+	for _, c := range []Code{VKShift, VKControl, VKAlt, VKMeta} {
+		if !c.IsModifier() {
+			t.Errorf("%v should be a modifier", c)
+		}
+	}
+	if VKA.IsModifier() || VKF1.IsModifier() {
+		t.Error("letter/function keys are not modifiers")
+	}
+}

@@ -1,0 +1,116 @@
+package participant
+
+import (
+	"errors"
+
+	"appshare/internal/hip"
+	"appshare/internal/keycodes"
+	"appshare/internal/rtcp"
+	"appshare/internal/rtp"
+)
+
+// Feedback and HIP generation. Participants send RTCP PLI to request a
+// full refresh (Section 5.3.1), RTCP Generic NACK naming missing packets
+// (Section 5.3.2) and HIP RTP messages carrying their mouse and keyboard
+// events (Section 6).
+
+// BuildPLI returns an encoded RTCP PLI addressed to the AH's stream.
+func (p *Participant) BuildPLI() ([]byte, error) {
+	p.mu.Lock()
+	media := p.mediaSSRC
+	p.mu.Unlock()
+	return rtcp.Marshal(&rtcp.PLI{SenderSSRC: p.feedbackSSRC, MediaSSRC: media})
+}
+
+// MissingSequences lists the remoting sequence numbers currently missing
+// (gaps behind buffered packets).
+func (p *Participant) MissingSequences() []uint16 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recv.Missing()
+}
+
+// BuildNACK returns an encoded RTCP Generic NACK naming the currently
+// missing packets, or nil when nothing is missing.
+func (p *Participant) BuildNACK() ([]byte, error) {
+	missing := p.MissingSequences()
+	if len(missing) == 0 {
+		return nil, nil
+	}
+	p.mu.Lock()
+	media := p.mediaSSRC
+	p.mu.Unlock()
+	return rtcp.Marshal(&rtcp.NACK{
+		SenderSSRC: p.feedbackSSRC,
+		MediaSSRC:  media,
+		Pairs:      rtcp.BuildNACKPairs(missing),
+	})
+}
+
+// packHIP wraps one HIP event into an RTP packet. Per Section 6.1.1 the
+// marker bit is always zero.
+func (p *Participant) packHIP(ev hip.Event) ([]byte, error) {
+	payload, err := hip.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pkt := p.hipPz.Packetize(payload, false, p.cfg.Now())
+	return pkt.Marshal()
+}
+
+// MousePress builds a MousePressed HIP packet at absolute coordinates.
+// Button 0 is rejected: the draft defines buttons starting at 1.
+func (p *Participant) MousePress(windowID uint16, x, y int, button uint8) ([]byte, error) {
+	if button == 0 {
+		return nil, errors.New("participant: mouse button 0 is not defined")
+	}
+	return p.packHIP(&hip.MousePressed{WindowID: windowID, Button: button, Left: uint32(x), Top: uint32(y)})
+}
+
+// MouseRelease builds a MouseReleased HIP packet.
+func (p *Participant) MouseRelease(windowID uint16, x, y int, button uint8) ([]byte, error) {
+	if button == 0 {
+		return nil, errors.New("participant: mouse button 0 is not defined")
+	}
+	return p.packHIP(&hip.MouseReleased{WindowID: windowID, Button: button, Left: uint32(x), Top: uint32(y)})
+}
+
+// MouseMove builds a MouseMoved HIP packet.
+func (p *Participant) MouseMove(windowID uint16, x, y int) ([]byte, error) {
+	return p.packHIP(&hip.MouseMoved{WindowID: windowID, Left: uint32(x), Top: uint32(y)})
+}
+
+// MouseWheel builds a MouseWheelMoved HIP packet (distance: 120/notch).
+func (p *Participant) MouseWheel(windowID uint16, x, y int, distance int32) ([]byte, error) {
+	return p.packHIP(&hip.MouseWheelMoved{WindowID: windowID, Left: uint32(x), Top: uint32(y), Distance: distance})
+}
+
+// KeyPress builds a KeyPressed HIP packet.
+func (p *Participant) KeyPress(windowID uint16, code keycodes.Code) ([]byte, error) {
+	return p.packHIP(&hip.KeyPressed{WindowID: windowID, KeyCode: code})
+}
+
+// KeyRelease builds a KeyReleased HIP packet.
+func (p *Participant) KeyRelease(windowID uint16, code keycodes.Code) ([]byte, error) {
+	return p.packHIP(&hip.KeyReleased{WindowID: windowID, KeyCode: code})
+}
+
+// TypeText builds the KeyTyped HIP packets carrying text, split at the
+// MTU per Section 6.8.
+func (p *Participant) TypeText(windowID uint16, text string, mtu int) ([][]byte, error) {
+	msgs, err := hip.SplitKeyTyped(windowID, text, mtu-rtp.HeaderSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, len(msgs))
+	for _, m := range msgs {
+		pkt, err := p.packHIP(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkt)
+	}
+	return out, nil
+}

@@ -1,0 +1,504 @@
+// Package participant implements the receiving endpoint of
+// draft-boyaci-avt-app-sharing-00: it consumes remoting RTP packets
+// (reordering, reassembling fragments, decoding content), maintains
+// per-window images under a local layout policy (Figures 3–5), renders a
+// participant screen, generates RTCP feedback (PLI on join or
+// desynchronization, NACK for losses) and emits HIP events.
+package participant
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"image/draw"
+	"sync"
+	"time"
+
+	"appshare/internal/codec"
+	"appshare/internal/core"
+	"appshare/internal/display"
+	"appshare/internal/region"
+	"appshare/internal/remoting"
+	"appshare/internal/rtp"
+	"appshare/internal/stats"
+	"appshare/internal/windows"
+)
+
+// Config configures a Participant.
+type Config struct {
+	// Layout places shared windows on the local screen (default:
+	// original AH coordinates, Figure 3).
+	Layout windows.Layout
+	// ScreenWidth and ScreenHeight size the local screen (defaults
+	// 1280x1024).
+	ScreenWidth, ScreenHeight int
+	// Registry supplies content codecs (default: PNG+JPEG+Raw).
+	Registry *codec.Registry
+	// RemotingPT and HIPPT are the negotiated stream payload types
+	// (defaults 99 and 100).
+	RemotingPT, HIPPT uint8
+	// Stats, when non-nil, counts received message types.
+	Stats *stats.Collector
+	// Now supplies time (defaults to time.Now).
+	Now func() time.Time
+	// CNAME identifies this participant in RTCP SDES (defaults to
+	// "participant@appshare").
+	CNAME string
+	// MaxDecodedPixels bounds one decoded RegionUpdate, guarding against
+	// decompression bombs (draft Section 8 resource-exhaustion risks).
+	// Zero means codec.DefaultMaxPixels.
+	MaxDecodedPixels int
+}
+
+// view is one shared window as the participant sees it.
+type view struct {
+	rec    remoting.WindowRecord
+	placed region.Rect
+	img    *image.RGBA // window-local content
+}
+
+// Participant is one receiving endpoint.
+type Participant struct {
+	mu   sync.Mutex
+	cfg  Config
+	recv *rtp.Receiver
+	re   *core.Reassembler
+
+	views map[uint16]*view
+	order []uint16 // z-order, bottom first
+
+	pointer struct {
+		x, y   int
+		sprite *image.RGBA
+		has    bool
+	}
+
+	hipPz        *rtp.Packetizer
+	feedbackSSRC uint32
+	mediaSSRC    uint32
+	haveMedia    bool
+
+	// RTCP report state (RFC 3550).
+	rtpStats      *rtp.Statistics
+	lastSR        uint32 // middle 32 bits of the last SR's NTP time
+	lastSRArrival time.Time
+	cname         string
+
+	// Desynchronization tracking. refreshWaiting latches when state was
+	// lost (orphan fragments, updates for unknown windows) and clears
+	// only when a full refresh has actually been applied: every window
+	// in needFull must receive a whole-window RegionUpdate. Clearing on
+	// read would lose the desync if the host's PLI rate limiter absorbs
+	// the first request.
+	refreshWaiting bool
+	needFull       map[uint16]bool
+
+	applied map[core.MessageType]uint64
+
+	// extHandlers receive messages with types outside Table 1. Section
+	// 5.1.2: additional types may be registered with IANA and
+	// "Participants MAY ignore such additional message types" — without
+	// a handler they are counted and skipped, never treated as errors.
+	extHandlers map[core.MessageType]func(hdr core.Header, body []byte)
+	ignoredExt  uint64
+}
+
+// New returns a Participant.
+func New(cfg Config) *Participant {
+	if cfg.Layout == nil {
+		cfg.Layout = windows.OriginalLayout{}
+	}
+	if cfg.ScreenWidth == 0 {
+		cfg.ScreenWidth = 1280
+	}
+	if cfg.ScreenHeight == 0 {
+		cfg.ScreenHeight = 1024
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = codec.DefaultRegistry()
+	}
+	if cfg.RemotingPT == 0 {
+		cfg.RemotingPT = 99
+	}
+	if cfg.HIPPT == 0 {
+		cfg.HIPPT = 100
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.CNAME == "" {
+		cfg.CNAME = "participant@appshare"
+	}
+	return &Participant{
+		cfg:          cfg,
+		recv:         rtp.NewReceiver(),
+		re:           core.NewReassembler(),
+		views:        make(map[uint16]*view),
+		hipPz:        rtp.NewPacketizer(rtp.NewSSRC(), cfg.HIPPT, cfg.Now()),
+		feedbackSSRC: rtp.NewSSRC(),
+		rtpStats:     rtp.NewStatistics(),
+		cname:        cfg.CNAME,
+		applied:      make(map[core.MessageType]uint64),
+	}
+}
+
+// Applied returns how many messages of the given type were applied.
+func (p *Participant) Applied(t core.MessageType) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applied[t]
+}
+
+// NeedsRefresh reports whether the participant lost state and is still
+// waiting for a full refresh. It stays true until every shared window
+// has received a whole-window RegionUpdate (a PLI answer), so callers
+// may keep re-sending PLIs while it holds — the host's rate limiter
+// absorbs the extras.
+func (p *Participant) NeedsRefresh() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.refreshWaiting
+}
+
+// markDesync latches refresh-waiting state. The lock is held.
+func (p *Participant) markDesync() {
+	p.refreshWaiting = true
+	if p.needFull == nil {
+		p.needFull = make(map[uint16]bool)
+	}
+	for id := range p.views {
+		p.needFull[id] = true
+	}
+	if len(p.views) == 0 {
+		// No windows yet: the next WindowManagerInfo registers them.
+		p.needFull = make(map[uint16]bool)
+	}
+}
+
+// noteFullWindowUpdate clears per-window desync once a whole-window
+// update lands. The lock is held.
+func (p *Participant) noteFullWindowUpdate(id uint16) {
+	if !p.refreshWaiting {
+		return
+	}
+	delete(p.needFull, id)
+	if len(p.needFull) == 0 {
+		p.refreshWaiting = false
+	}
+}
+
+// HandlePacket consumes one remoting RTP packet (datagram or deframed
+// from a stream). Out-of-order packets are buffered; fragments are
+// reassembled; complete messages are applied to the local screen state.
+func (p *Participant) HandlePacket(raw []byte) error {
+	var pkt rtp.Packet
+	if err := pkt.Unmarshal(raw); err != nil {
+		return fmt.Errorf("participant: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pkt.PayloadType != p.cfg.RemotingPT {
+		return fmt.Errorf("participant: unexpected payload type %d", pkt.PayloadType)
+	}
+	if !p.haveMedia {
+		p.mediaSSRC = pkt.SSRC
+		p.haveMedia = true
+	}
+	p.rtpStats.Update(pkt.SequenceNumber, pkt.Timestamp, p.cfg.Now())
+	// The payload buffer aliases raw; copy before buffering/reassembly.
+	pkt.Payload = append([]byte(nil), pkt.Payload...)
+	for _, ordered := range p.recv.Push(&pkt) {
+		msg, err := p.re.Push(ordered.Payload, ordered.Marker)
+		if err != nil && !errors.Is(err, core.ErrInterruptedReass) {
+			// Orphan fragments mean we lost a message start; a PLI (or
+			// NACK satisfied earlier) is required to resynchronize.
+			p.markDesync()
+			continue
+		}
+		if msg == nil {
+			continue
+		}
+		if !msg.Header.Type.IsRemoting() {
+			// Extension message type (Section 9 registry): dispatch to
+			// a registered handler or ignore, per Section 5.1.2.
+			if h := p.extHandlers[msg.Header.Type]; h != nil {
+				h(msg.Header, msg.Body)
+			} else {
+				p.ignoredExt++
+			}
+			continue
+		}
+		decoded, err := remoting.Decode(msg)
+		if err != nil {
+			p.markDesync()
+			continue
+		}
+		if err := p.apply(decoded); err != nil {
+			p.markDesync()
+		}
+	}
+	return nil
+}
+
+// apply dispatches one remoting message. The lock is held.
+func (p *Participant) apply(msg remoting.Message) error {
+	if p.cfg.Stats != nil {
+		p.cfg.Stats.Record(msg.Type().String(), 0)
+	}
+	p.applied[msg.Type()]++
+	switch m := msg.(type) {
+	case *remoting.WindowManagerInfo:
+		p.applyWMInfo(m)
+		return nil
+	case *remoting.RegionUpdate:
+		return p.applyUpdate(m)
+	case *remoting.MoveRectangle:
+		return p.applyMove(m)
+	case *remoting.MousePointerInfo:
+		return p.applyPointer(m)
+	default:
+		return fmt.Errorf("participant: unknown message %T", msg)
+	}
+}
+
+// applyWMInfo realizes Section 5.2.1: create windows for new IDs, close
+// windows absent from the message, keep existing images across moves and
+// resizes, adopt the implicit z-order.
+func (p *Participant) applyWMInfo(m *remoting.WindowManagerInfo) {
+	if obs, ok := p.cfg.Layout.(*windows.AutoShiftLayout); ok {
+		obs.Observe(m.Windows)
+	}
+	seen := make(map[uint16]bool, len(m.Windows))
+	newOrder := make([]uint16, 0, len(m.Windows))
+	for _, rec := range m.Windows {
+		seen[rec.WindowID] = true
+		newOrder = append(newOrder, rec.WindowID)
+		v, ok := p.views[rec.WindowID]
+		if !ok {
+			img := image.NewRGBA(image.Rect(0, 0, rec.Bounds.Width, rec.Bounds.Height))
+			draw.Draw(img, img.Bounds(), &image.Uniform{color.RGBA{0xD0, 0xD0, 0xD0, 0xFF}}, image.Point{}, draw.Src)
+			p.views[rec.WindowID] = &view{rec: rec, placed: p.cfg.Layout.Place(rec), img: img}
+			if p.refreshWaiting {
+				p.needFull[rec.WindowID] = true
+			}
+			continue
+		}
+		// Existing window: keep the image (Section 5.2.1 MUST). On
+		// resize, preserve the overlapping content.
+		if v.rec.Bounds.Width != rec.Bounds.Width || v.rec.Bounds.Height != rec.Bounds.Height {
+			img := image.NewRGBA(image.Rect(0, 0, rec.Bounds.Width, rec.Bounds.Height))
+			draw.Draw(img, img.Bounds(), &image.Uniform{color.RGBA{0xD0, 0xD0, 0xD0, 0xFF}}, image.Point{}, draw.Src)
+			draw.Draw(img, v.img.Bounds(), v.img, image.Point{}, draw.Src)
+			v.img = img
+		}
+		v.rec = rec
+		v.placed = p.cfg.Layout.Place(rec)
+	}
+	// Close windows missing from the message (Section 5.2.1 MUST).
+	for id := range p.views {
+		if !seen[id] {
+			delete(p.views, id)
+			if p.refreshWaiting {
+				// A closed window no longer needs a full update.
+				delete(p.needFull, id)
+				if len(p.needFull) == 0 {
+					p.refreshWaiting = false
+				}
+			}
+			if cl, ok := p.cfg.Layout.(*windows.CompactLayout); ok {
+				cl.Forget(id)
+			}
+		}
+	}
+	p.order = newOrder
+}
+
+func (p *Participant) applyUpdate(m *remoting.RegionUpdate) error {
+	v, ok := p.views[m.WindowID]
+	if !ok {
+		return fmt.Errorf("participant: update for unknown window %d", m.WindowID)
+	}
+	c, err := p.cfg.Registry.Lookup(m.ContentPT)
+	if err != nil {
+		return err
+	}
+	img, err := codec.SafeDecode(c, m.Content, p.cfg.MaxDecodedPixels)
+	if err != nil {
+		return err
+	}
+	// Absolute coordinates → window-local.
+	lx := int(m.Left) - v.rec.Bounds.Left
+	ly := int(m.Top) - v.rec.Bounds.Top
+	b := img.Bounds()
+	draw.Draw(v.img, image.Rect(lx, ly, lx+b.Dx(), ly+b.Dy()), img, b.Min, draw.Src)
+	if lx <= 0 && ly <= 0 && lx+b.Dx() >= v.rec.Bounds.Width && ly+b.Dy() >= v.rec.Bounds.Height {
+		// A whole-window update: the refresh this window was waiting
+		// for (if any) has landed.
+		p.noteFullWindowUpdate(m.WindowID)
+	}
+	return nil
+}
+
+func (p *Participant) applyMove(m *remoting.MoveRectangle) error {
+	v, ok := p.views[m.WindowID]
+	if !ok {
+		return fmt.Errorf("participant: move for unknown window %d", m.WindowID)
+	}
+	src := m.Src().Translate(-v.rec.Bounds.Left, -v.rec.Bounds.Top)
+	dst := m.Dst().Translate(-v.rec.Bounds.Left, -v.rec.Bounds.Top)
+	win := region.XYWH(0, 0, v.rec.Bounds.Width, v.rec.Bounds.Height)
+	if !win.ContainsRect(src) || !win.ContainsRect(dst) {
+		return fmt.Errorf("participant: move %v->%v outside window %d", src, dst, m.WindowID)
+	}
+	display.MoveRect(v.img, src, dst)
+	return nil
+}
+
+func (p *Participant) applyPointer(m *remoting.MousePointerInfo) error {
+	p.pointer.x, p.pointer.y = int(m.Left), int(m.Top)
+	p.pointer.has = true
+	if len(m.Image) > 0 {
+		c, err := p.cfg.Registry.Lookup(m.ContentPT)
+		if err != nil {
+			return err
+		}
+		// Pointer sprites are small; cap well below screen size.
+		img, err := codec.SafeDecode(c, m.Image, 1<<16)
+		if err != nil {
+			return err
+		}
+		p.pointer.sprite = img
+	}
+	return nil
+}
+
+// OnExtension registers a handler for an extension remoting message
+// type (outside Table 1). Handlers receive the common header and the
+// message body. Passing nil removes the handler.
+func (p *Participant) OnExtension(t core.MessageType, h func(hdr core.Header, body []byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.extHandlers == nil {
+		p.extHandlers = make(map[core.MessageType]func(core.Header, []byte))
+	}
+	if h == nil {
+		delete(p.extHandlers, t)
+		return
+	}
+	p.extHandlers[t] = h
+}
+
+// IgnoredExtensions counts extension messages skipped for lack of a
+// handler.
+func (p *Participant) IgnoredExtensions() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ignoredExt
+}
+
+// RaiseLocal moves a window to the top of the participant's local
+// stacking order without informing the AH — Section 4.1: "A participant
+// MAY allow changing the z-order (i.e., stacking order) of windows
+// locally, without changing the z-order in the AH." The next
+// WindowManagerInfo reasserts the AH's order.
+func (p *Participant) RaiseLocal(id uint16) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, wid := range p.order {
+		if wid == id {
+			p.order = append(append(p.order[:i], p.order[i+1:]...), id)
+			return true
+		}
+	}
+	return false
+}
+
+// Windows returns the current window IDs bottom-to-top.
+func (p *Participant) Windows() []uint16 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]uint16, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// WindowImage returns a copy of the window's local image, or nil.
+func (p *Participant) WindowImage(id uint16) *image.RGBA {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.views[id]
+	if !ok {
+		return nil
+	}
+	out := image.NewRGBA(v.img.Bounds())
+	copy(out.Pix, v.img.Pix)
+	return out
+}
+
+// WindowPlacement returns where the layout placed the window locally.
+func (p *Participant) WindowPlacement(id uint16) (region.Rect, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.views[id]
+	if !ok {
+		return region.Rect{}, false
+	}
+	return v.placed, true
+}
+
+// Render composites the participant screen: windows in z-order at their
+// layout placements, then the pointer.
+func (p *Participant) Render() *image.RGBA {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := image.NewRGBA(image.Rect(0, 0, p.cfg.ScreenWidth, p.cfg.ScreenHeight))
+	draw.Draw(out, out.Bounds(), &image.Uniform{color.RGBA{0x20, 0x24, 0x28, 0xFF}}, image.Point{}, draw.Src)
+	for _, id := range p.order {
+		v, ok := p.views[id]
+		if !ok {
+			continue
+		}
+		dst := image.Rect(v.placed.Left, v.placed.Top, v.placed.Right(), v.placed.Bottom())
+		draw.Draw(out, dst, v.img, image.Point{}, draw.Src)
+	}
+	if p.pointer.has && p.pointer.sprite != nil {
+		x, y := p.localPointer()
+		b := p.pointer.sprite.Bounds()
+		draw.Draw(out, image.Rect(x, y, x+b.Dx(), y+b.Dy()), p.pointer.sprite, b.Min, draw.Over)
+	}
+	return out
+}
+
+// localPointer maps the AH-coordinate pointer into local coordinates:
+// when it lies inside a shared window, it follows that window's layout
+// placement; otherwise it is drawn at the raw coordinates. The lock is
+// held.
+func (p *Participant) localPointer() (int, int) {
+	for i := len(p.order) - 1; i >= 0; i-- {
+		v, ok := p.views[p.order[i]]
+		if !ok {
+			continue
+		}
+		if v.rec.Bounds.Contains(p.pointer.x, p.pointer.y) {
+			return p.pointer.x - v.rec.Bounds.Left + v.placed.Left,
+				p.pointer.y - v.rec.Bounds.Top + v.placed.Top
+		}
+	}
+	return p.pointer.x, p.pointer.y
+}
+
+// Pointer returns the last pointer position in AH coordinates.
+func (p *Participant) Pointer() (x, y int, known bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pointer.x, p.pointer.y, p.pointer.has
+}
+
+// Stats exposes the receiver's packet statistics.
+func (p *Participant) Stats() (received, duplicates, reordered uint64, droppedMessages uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, d, o := p.recv.Stats()
+	return r, d, o, p.re.Dropped()
+}

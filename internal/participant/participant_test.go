@@ -1,0 +1,460 @@
+package participant
+
+import (
+	"image"
+	"image/color"
+	"testing"
+	"time"
+
+	"appshare/internal/codec"
+	"appshare/internal/core"
+	"appshare/internal/hip"
+	"appshare/internal/region"
+	"appshare/internal/remoting"
+	"appshare/internal/rtcp"
+	"appshare/internal/rtp"
+	"appshare/internal/windows"
+)
+
+var (
+	red  = color.RGBA{0xFF, 0, 0, 0xFF}
+	blue = color.RGBA{0, 0, 0xFF, 0xFF}
+)
+
+// sender packetizes remoting messages the way the AH does, for direct
+// injection into a Participant.
+type sender struct {
+	pz  *rtp.Packetizer
+	mtu int
+}
+
+func newSender() *sender {
+	return &sender{pz: rtp.NewPacketizer(7777, 99, time.Now()), mtu: 1200}
+}
+
+func (s *sender) packets(t *testing.T, msgs ...remoting.Message) [][]byte {
+	t.Helper()
+	var out [][]byte
+	now := time.Now()
+	add := func(payload []byte, marker bool) {
+		raw, err := s.pz.Packetize(payload, marker, now).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, raw)
+	}
+	for _, m := range msgs {
+		switch msg := m.(type) {
+		case *remoting.WindowManagerInfo:
+			payload, err := msg.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			add(payload, false)
+		case *remoting.MoveRectangle:
+			payload, err := msg.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			add(payload, false)
+		case *remoting.RegionUpdate:
+			frags, err := msg.Fragments(s.mtu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range frags {
+				add(f.Payload, f.Marker)
+			}
+		case *remoting.MousePointerInfo:
+			frags, err := msg.Fragments(s.mtu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range frags {
+				add(f.Payload, f.Marker)
+			}
+		}
+	}
+	return out
+}
+
+func feed(t *testing.T, p *Participant, pkts [][]byte) {
+	t.Helper()
+	for _, pkt := range pkts {
+		if err := p.HandlePacket(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func wmInfo() *remoting.WindowManagerInfo {
+	return &remoting.WindowManagerInfo{Windows: []remoting.WindowRecord{
+		{WindowID: 1, GroupID: 1, Bounds: region.XYWH(220, 150, 350, 450)},
+		{WindowID: 2, GroupID: 2, Bounds: region.XYWH(850, 320, 160, 150)},
+	}}
+}
+
+func fillUpdate(t *testing.T, windowID uint16, abs region.Rect, c color.RGBA) *remoting.RegionUpdate {
+	t.Helper()
+	img := imageFill(abs.Width, abs.Height, c)
+	content, err := (codec.PNG{}).Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &remoting.RegionUpdate{
+		WindowID:  windowID,
+		ContentPT: codec.PayloadTypePNG,
+		Left:      uint32(abs.Left),
+		Top:       uint32(abs.Top),
+		Content:   content,
+	}
+}
+
+func imageFill(w, h int, c color.RGBA) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return img
+}
+
+func TestWMInfoCreatesAndCloses(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo()))
+	if got := p.Windows(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("windows = %v", got)
+	}
+	// A new WMInfo without window 2 closes it (Section 5.2.1 MUST).
+	less := &remoting.WindowManagerInfo{Windows: wmInfo().Windows[:1]}
+	feed(t, p, s.packets(t, less))
+	if got := p.Windows(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("windows after close = %v", got)
+	}
+	if p.WindowImage(2) != nil {
+		t.Fatal("closed window image still present")
+	}
+}
+
+func TestUpdateAppliesAtAbsoluteCoords(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo(),
+		fillUpdate(t, 1, region.XYWH(230, 170, 40, 30), red)))
+	img := p.WindowImage(1)
+	// Window origin (220,150); update at (230,170) → local (10,20).
+	if got := img.RGBAAt(15, 25); got != red {
+		t.Fatalf("pixel = %v, want red", got)
+	}
+	if got := img.RGBAAt(5, 5); got == red {
+		t.Fatal("update bled outside its rect")
+	}
+	if p.Applied(core.TypeRegionUpdate) != 1 {
+		t.Fatalf("applied updates = %d", p.Applied(core.TypeRegionUpdate))
+	}
+}
+
+func TestResizeKeepsImage(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo(),
+		fillUpdate(t, 1, region.XYWH(220, 150, 50, 50), red)))
+	// Resize window 1; image content must survive (Section 5.2.1).
+	resized := wmInfo()
+	resized.Windows[0].Bounds = region.XYWH(220, 150, 500, 600)
+	feed(t, p, s.packets(t, resized))
+	img := p.WindowImage(1)
+	if img.Bounds().Dx() != 500 || img.Bounds().Dy() != 600 {
+		t.Fatalf("image size = %v", img.Bounds())
+	}
+	if got := img.RGBAAt(25, 25); got != red {
+		t.Fatalf("content lost on resize: %v", got)
+	}
+}
+
+func TestMoveRectangleApplies(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo(),
+		fillUpdate(t, 1, region.XYWH(220, 150, 350, 10), red))) // top stripe
+	// Move the stripe down 100px (absolute coordinates).
+	mv := &remoting.MoveRectangle{
+		WindowID: 1,
+		SrcLeft:  220, SrcTop: 150,
+		Width: 350, Height: 10,
+		DstLeft: 220, DstTop: 250,
+	}
+	feed(t, p, s.packets(t, mv))
+	img := p.WindowImage(1)
+	if got := img.RGBAAt(100, 105); got != red {
+		t.Fatalf("moved stripe = %v at local y=105, want red", got)
+	}
+}
+
+func TestMoveRectangleOutsideWindowRejected(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo()))
+	mv := &remoting.MoveRectangle{WindowID: 1, SrcLeft: 0, SrcTop: 0, Width: 10, Height: 10, DstLeft: 230, DstTop: 160}
+	feed(t, p, s.packets(t, mv))
+	if !p.NeedsRefresh() {
+		t.Fatal("out-of-window move should flag refresh")
+	}
+}
+
+func TestUpdateForUnknownWindowFlagsRefresh(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	feed(t, p, s.packets(t, fillUpdate(t, 9, region.XYWH(0, 0, 10, 10), red)))
+	if !p.NeedsRefresh() {
+		t.Fatal("unknown window update should flag refresh")
+	}
+	// The flag is sticky: it survives reads (a PLI answer might be
+	// rate-limited away, so the participant keeps asking)...
+	if !p.NeedsRefresh() {
+		t.Fatal("flag must persist until a refresh arrives")
+	}
+	// ...and clears only when a full refresh lands: WindowManagerInfo
+	// followed by whole-window updates.
+	feed(t, p, s.packets(t, wmInfo(),
+		fillUpdate(t, 1, region.XYWH(220, 150, 350, 450), red),
+		fillUpdate(t, 2, region.XYWH(850, 320, 160, 150), red)))
+	if p.NeedsRefresh() {
+		t.Fatal("full refresh should clear the flag")
+	}
+}
+
+func TestPointerHandling(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	sprite, err := (codec.PNG{}).Encode(imageFill(8, 8, blue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, s.packets(t, wmInfo(), &remoting.MousePointerInfo{
+		ContentPT: codec.PayloadTypePNG, Left: 230, Top: 160, Image: sprite,
+	}))
+	x, y, known := p.Pointer()
+	if !known || x != 230 || y != 160 {
+		t.Fatalf("pointer = (%d,%d), known=%v", x, y, known)
+	}
+	// Render draws the sprite at the window-mapped position (original
+	// layout → same coords).
+	out := p.Render()
+	if got := out.RGBAAt(231, 161); got != blue {
+		t.Fatalf("rendered pointer = %v", got)
+	}
+	// Position-only message moves the stored sprite.
+	feed(t, p, s.packets(t, &remoting.MousePointerInfo{ContentPT: codec.PayloadTypePNG, Left: 500, Top: 500}))
+	out = p.Render()
+	if got := out.RGBAAt(501, 501); got != blue {
+		t.Fatalf("moved pointer = %v", got)
+	}
+}
+
+func TestRenderLayouts(t *testing.T) {
+	// Shift layout: window content renders at the shifted placement.
+	p := New(Config{Layout: windows.ShiftLayout{DX: -220, DY: -150}})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo(),
+		fillUpdate(t, 1, region.XYWH(220, 150, 50, 50), red)))
+	out := p.Render()
+	if got := out.RGBAAt(10, 10); got != red {
+		t.Fatalf("shifted render = %v at (10,10), want red", got)
+	}
+
+	// Compact layout on a small screen keeps all windows visible.
+	pc := New(Config{
+		Layout:      &windows.CompactLayout{Screen: region.XYWH(0, 0, 640, 480)},
+		ScreenWidth: 640, ScreenHeight: 480,
+	})
+	sc := newSender()
+	feed(t, pc, sc.packets(t, wmInfo(),
+		fillUpdate(t, 2, region.XYWH(850, 320, 160, 150), blue)))
+	place, ok := pc.WindowPlacement(2)
+	if !ok {
+		t.Fatal("window 2 unplaced")
+	}
+	if !region.XYWH(0, 0, 640, 480).ContainsRect(place) {
+		t.Fatalf("placement %v off the 640x480 screen", place)
+	}
+	out = pc.Render()
+	if got := out.RGBAAt(place.Left+10, place.Top+10); got != blue {
+		t.Fatalf("compact render = %v", got)
+	}
+}
+
+func TestZOrderRendering(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	// Two overlapping windows; window 3 is above window 1.
+	wm := &remoting.WindowManagerInfo{Windows: []remoting.WindowRecord{
+		{WindowID: 1, Bounds: region.XYWH(100, 100, 200, 200)},
+		{WindowID: 3, Bounds: region.XYWH(200, 200, 200, 200)},
+	}}
+	feed(t, p, s.packets(t, wm,
+		fillUpdate(t, 1, region.XYWH(100, 100, 200, 200), red),
+		fillUpdate(t, 3, region.XYWH(200, 200, 200, 200), blue)))
+	out := p.Render()
+	// Overlap region (200..300, 200..300): top window (3) wins.
+	if got := out.RGBAAt(250, 250); got != blue {
+		t.Fatalf("overlap = %v, want blue", got)
+	}
+	if got := out.RGBAAt(150, 150); got != red {
+		t.Fatalf("window 1 area = %v, want red", got)
+	}
+}
+
+func TestLossDetectionAndNACKBuild(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	s.mtu = 256 // force fragmentation of the (well-compressed) update
+	pkts := s.packets(t, wmInfo(),
+		fillUpdate(t, 1, region.XYWH(220, 150, 350, 450), red))
+	if len(pkts) < 4 {
+		t.Fatalf("need multi-packet traffic, got %d", len(pkts))
+	}
+	// Drop the second packet.
+	for i, pkt := range pkts {
+		if i == 1 {
+			continue
+		}
+		if err := p.HandlePacket(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missing := p.MissingSequences()
+	if len(missing) != 1 {
+		t.Fatalf("missing = %v", missing)
+	}
+	nack, err := p.BuildNACK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := rtcp.Unmarshal(nack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := parsed[0].(*rtcp.NACK)
+	if !ok || len(n.Lost()) != 1 || n.Lost()[0] != missing[0] {
+		t.Fatalf("NACK = %+v", parsed[0])
+	}
+	if n.MediaSSRC != 7777 {
+		t.Fatalf("media SSRC = %d", n.MediaSSRC)
+	}
+	// Redeliver the lost packet: stream completes, no more missing.
+	if err := p.HandlePacket(pkts[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MissingSequences(); got != nil {
+		t.Fatalf("still missing %v", got)
+	}
+	if nack, err := p.BuildNACK(); err != nil || nack != nil {
+		t.Fatalf("NACK after recovery = %v, %v", nack, err)
+	}
+	img := p.WindowImage(1)
+	if got := img.RGBAAt(100, 100); got != red {
+		t.Fatalf("recovered content = %v", got)
+	}
+}
+
+func TestBuildPLI(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo()))
+	pli, err := p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := rtcp.Unmarshal(pli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := parsed[0].(*rtcp.PLI)
+	if !ok || m.MediaSSRC != 7777 {
+		t.Fatalf("PLI = %+v", parsed[0])
+	}
+}
+
+func TestHIPBuilders(t *testing.T) {
+	p := New(Config{})
+	click, err := p.MousePress(1, 230, 160, hip.ButtonLeft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkt rtp.Packet
+	if err := pkt.Unmarshal(click); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.PayloadType != 100 {
+		t.Fatalf("HIP PT = %d", pkt.PayloadType)
+	}
+	if pkt.Marker {
+		t.Fatal("HIP marker must be zero (Section 6.1.1)")
+	}
+	ev, err := hip.Unmarshal(pkt.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, ok := ev.(*hip.MousePressed)
+	if !ok || mp.Left != 230 || mp.Top != 160 || mp.Button != hip.ButtonLeft {
+		t.Fatalf("event = %#v", ev)
+	}
+
+	// Sequence numbers advance across events.
+	move, err := p.MouseMove(1, 231, 161)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkt2 rtp.Packet
+	if err := pkt2.Unmarshal(move); err != nil {
+		t.Fatal(err)
+	}
+	if pkt2.SequenceNumber != pkt.SequenceNumber+1 {
+		t.Fatal("HIP sequence numbers must increment")
+	}
+
+	// Long text splits into multiple KeyTyped packets.
+	long := make([]byte, 3000)
+	for i := range long {
+		long[i] = 'a'
+	}
+	pkts, err := p.TypeText(1, string(long), 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 3 {
+		t.Fatalf("TypeText packets = %d", len(pkts))
+	}
+
+	// Remaining builders produce valid events.
+	if _, err := p.MouseRelease(1, 230, 160, hip.ButtonLeft); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MouseWheel(1, 230, 160, -240); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.KeyPress(1, 0x70); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.KeyRelease(1, 0x70); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsWrongPayloadType(t *testing.T) {
+	p := New(Config{})
+	pz := rtp.NewPacketizer(1, 55, time.Now()) // wrong PT
+	raw, err := pz.Packetize([]byte{1, 0, 0, 0}, false, time.Now()).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.HandlePacket(raw); err == nil {
+		t.Fatal("wrong PT should be rejected")
+	}
+	if err := p.HandlePacket([]byte{1, 2}); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}

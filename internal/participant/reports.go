@@ -1,0 +1,59 @@
+package participant
+
+import (
+	"time"
+
+	"appshare/internal/rtcp"
+)
+
+// RTCP report handling (RFC 3550): the participant consumes the AH's
+// Sender Reports and produces Receiver Reports carrying the reception
+// statistics (loss, jitter, LSR/DLSR) of the remoting stream.
+
+// HandleRTCP consumes an RTCP compound packet from the AH (Sender
+// Reports, SDES, BYE). It returns true when the packet announced session
+// teardown (BYE).
+func (p *Participant) HandleRTCP(pkt []byte) (bye bool, err error) {
+	pkts, err := rtcp.Unmarshal(pkt)
+	if err != nil {
+		return false, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range pkts {
+		switch sr := m.(type) {
+		case *rtcp.SenderReport:
+			p.lastSR = rtcp.MiddleNTP(sr.NTPTime)
+			p.lastSRArrival = p.cfg.Now()
+		case *rtcp.Bye:
+			bye = true
+		}
+	}
+	return bye, nil
+}
+
+// BuildReceiverReport returns an encoded RTCP RR (plus SDES CNAME)
+// describing the remoting stream's reception quality.
+func (p *Participant) BuildReceiverReport() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var dlsr uint32
+	if !p.lastSRArrival.IsZero() {
+		delay := p.cfg.Now().Sub(p.lastSRArrival)
+		dlsr = uint32(delay * 65536 / time.Second)
+	}
+	rr := &rtcp.ReceiverReport{
+		SSRC: p.feedbackSSRC,
+		Reports: []rtcp.ReceptionReport{{
+			SSRC:             p.mediaSSRC,
+			FractionLost:     p.rtpStats.FractionLost(),
+			TotalLost:        p.rtpStats.CumulativeLost(),
+			HighestSeq:       p.rtpStats.ExtendedHighestSeq(),
+			Jitter:           p.rtpStats.Jitter(),
+			LastSR:           p.lastSR,
+			DelaySinceLastSR: dlsr,
+		}},
+	}
+	sdes := &rtcp.SDES{SSRC: p.feedbackSSRC, CNAME: p.cname}
+	return rtcp.Marshal(rr, sdes)
+}

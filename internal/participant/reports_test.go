@@ -1,0 +1,128 @@
+package participant
+
+import (
+	"testing"
+	"time"
+
+	"appshare/internal/region"
+	"appshare/internal/rtcp"
+)
+
+func TestHandleRTCPStoresSRAndDetectsBye(t *testing.T) {
+	p := New(Config{})
+	srTime := time.Unix(7000, 500000000)
+	sr, err := rtcp.Marshal(&rtcp.SenderReport{SSRC: 42, NTPTime: rtcp.NTPTime(srTime)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bye, err := p.HandleRTCP(sr)
+	if err != nil || bye {
+		t.Fatalf("SR handling: bye=%v err=%v", bye, err)
+	}
+	if p.lastSR != rtcp.MiddleNTP(rtcp.NTPTime(srTime)) {
+		t.Fatal("LSR not recorded")
+	}
+
+	byePkt, err := rtcp.Marshal(&rtcp.Bye{SSRCs: []uint32{42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bye, err = p.HandleRTCP(byePkt)
+	if err != nil || !bye {
+		t.Fatalf("BYE handling: bye=%v err=%v", bye, err)
+	}
+
+	if _, err := p.HandleRTCP([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage RTCP should error")
+	}
+}
+
+func TestBuildReceiverReportFields(t *testing.T) {
+	now := time.Unix(9000, 0)
+	p := New(Config{Now: func() time.Time { return now }, CNAME: "rr@test"})
+	s := newSender()
+	// Feed some packets, dropping a few.
+	pkts := s.packets(t, wmInfo(), fillUpdate(t, 1, region.XYWH(220, 150, 350, 450), red))
+	s.mtu = 256
+	more := s.packets(t, fillUpdate(t, 1, region.XYWH(220, 150, 350, 450), blue))
+	pkts = append(pkts, more...)
+	for i, pkt := range pkts {
+		if i%5 == 2 && i < len(pkts)-1 { // drop some mid-stream packets
+			continue
+		}
+		_ = p.HandlePacket(pkt)
+	}
+
+	// Feed an SR so LSR/DLSR are nonzero.
+	srTime := now.Add(-time.Second)
+	sr, err := rtcp.Marshal(&rtcp.SenderReport{SSRC: 7777, NTPTime: rtcp.NTPTime(srTime)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.HandleRTCP(sr); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(500 * time.Millisecond)
+
+	rr, err := p.BuildReceiverReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := rtcp.Unmarshal(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *rtcp.ReceiverReport
+	var sdes *rtcp.SDES
+	for _, m := range parsed {
+		switch v := m.(type) {
+		case *rtcp.ReceiverReport:
+			rep = v
+		case *rtcp.SDES:
+			sdes = v
+		}
+	}
+	if rep == nil {
+		t.Fatal("no RR in compound packet")
+	}
+	blk := rep.Reports[0]
+	if blk.SSRC != 7777 {
+		t.Fatalf("media SSRC = %d", blk.SSRC)
+	}
+	if blk.TotalLost == 0 {
+		t.Fatal("dropped packets should appear as loss")
+	}
+	if blk.LastSR == 0 {
+		t.Fatal("LastSR missing")
+	}
+	// DLSR is 500ms in 1/65536s units.
+	wantDLSR := uint32(500 * 65536 / 1000)
+	if blk.DelaySinceLastSR < wantDLSR-100 || blk.DelaySinceLastSR > wantDLSR+100 {
+		t.Fatalf("DLSR = %d, want ~%d", blk.DelaySinceLastSR, wantDLSR)
+	}
+	if sdes == nil || sdes.CNAME != "rr@test" {
+		t.Fatalf("SDES = %+v", sdes)
+	}
+}
+
+func TestRaiseLocal(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo())) // windows 1, 2 (2 on top)
+	if !p.RaiseLocal(1) {
+		t.Fatal("RaiseLocal failed")
+	}
+	order := p.Windows()
+	if order[len(order)-1] != 1 {
+		t.Fatalf("order after local raise = %v", order)
+	}
+	if p.RaiseLocal(99) {
+		t.Fatal("unknown window should return false")
+	}
+	// The next WindowManagerInfo reasserts the AH's order.
+	feed(t, p, s.packets(t, wmInfo()))
+	order = p.Windows()
+	if order[len(order)-1] != 2 {
+		t.Fatalf("AH order not restored: %v", order)
+	}
+}

@@ -1,0 +1,51 @@
+package participant
+
+import "image"
+
+// Participant-side scaling — one of the optional enhancements the draft
+// names in Section 4.2 ("participant-side scaling can be used to
+// optimize transmission of data to participants with a small screen").
+// The protocol always carries full-resolution pixels; a small-screen
+// participant scales at display time.
+
+// RenderScaled composites the participant screen and scales it by the
+// given factor (0 < scale <= 4) with nearest-neighbor sampling — cheap,
+// and exact for the flat-color regions that dominate screen content.
+func (p *Participant) RenderScaled(scale float64) *image.RGBA {
+	full := p.Render()
+	if scale == 1 || scale <= 0 || scale > 4 {
+		return full
+	}
+	return ScaleImage(full, scale)
+}
+
+// ScaleImage returns src resized by factor with nearest-neighbor
+// sampling.
+func ScaleImage(src *image.RGBA, factor float64) *image.RGBA {
+	sb := src.Bounds()
+	w := int(float64(sb.Dx()) * factor)
+	h := int(float64(sb.Dy()) * factor)
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	dst := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		sy := sb.Min.Y + int(float64(y)/factor)
+		if sy >= sb.Max.Y {
+			sy = sb.Max.Y - 1
+		}
+		for x := 0; x < w; x++ {
+			sx := sb.Min.X + int(float64(x)/factor)
+			if sx >= sb.Max.X {
+				sx = sb.Max.X - 1
+			}
+			so := src.PixOffset(sx, sy)
+			do := dst.PixOffset(x, y)
+			copy(dst.Pix[do:do+4], src.Pix[so:so+4])
+		}
+	}
+	return dst
+}

@@ -1,0 +1,75 @@
+package participant
+
+import (
+	"image"
+	"image/color"
+	"testing"
+
+	"appshare/internal/region"
+	"appshare/internal/remoting"
+)
+
+func TestScaleImageDown(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 100, 80))
+	// Left half red, right half blue.
+	for y := 0; y < 80; y++ {
+		for x := 0; x < 100; x++ {
+			if x < 50 {
+				src.SetRGBA(x, y, color.RGBA{0xFF, 0, 0, 0xFF})
+			} else {
+				src.SetRGBA(x, y, color.RGBA{0, 0, 0xFF, 0xFF})
+			}
+		}
+	}
+	dst := ScaleImage(src, 0.5)
+	if dst.Bounds().Dx() != 50 || dst.Bounds().Dy() != 40 {
+		t.Fatalf("scaled size = %v", dst.Bounds())
+	}
+	if got := dst.RGBAAt(10, 20); got != (color.RGBA{0xFF, 0, 0, 0xFF}) {
+		t.Fatalf("left pixel = %v", got)
+	}
+	if got := dst.RGBAAt(40, 20); got != (color.RGBA{0, 0, 0xFF, 0xFF}) {
+		t.Fatalf("right pixel = %v", got)
+	}
+}
+
+func TestScaleImageUpAndClamp(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 10, 10))
+	src.SetRGBA(9, 9, color.RGBA{1, 2, 3, 0xFF})
+	dst := ScaleImage(src, 2)
+	if dst.Bounds().Dx() != 20 || dst.Bounds().Dy() != 20 {
+		t.Fatalf("scaled size = %v", dst.Bounds())
+	}
+	if got := dst.RGBAAt(19, 19); got != (color.RGBA{1, 2, 3, 0xFF}) {
+		t.Fatalf("corner = %v", got)
+	}
+	// Degenerate factor clamps to >= 1 pixel.
+	tiny := ScaleImage(src, 0.01)
+	if tiny.Bounds().Dx() < 1 || tiny.Bounds().Dy() < 1 {
+		t.Fatal("degenerate scale produced empty image")
+	}
+}
+
+func TestRenderScaled(t *testing.T) {
+	p := New(Config{ScreenWidth: 200, ScreenHeight: 100})
+	s := newSender()
+	wm := &remoting.WindowManagerInfo{Windows: []remoting.WindowRecord{
+		{WindowID: 1, Bounds: region.XYWH(0, 0, 100, 50)},
+	}}
+	feed(t, p, s.packets(t, wm,
+		fillUpdate(t, 1, region.XYWH(0, 0, 100, 50), red)))
+	half := p.RenderScaled(0.5)
+	if half.Bounds().Dx() != 100 || half.Bounds().Dy() != 50 {
+		t.Fatalf("scaled render = %v", half.Bounds())
+	}
+	if got := half.RGBAAt(10, 10); got != red {
+		t.Fatalf("scaled pixel = %v", got)
+	}
+	// Factor 1 and out-of-range factors return full size.
+	if got := p.RenderScaled(1).Bounds(); got.Dx() != 200 {
+		t.Fatalf("unit scale = %v", got)
+	}
+	if got := p.RenderScaled(99).Bounds(); got.Dx() != 200 {
+		t.Fatalf("out-of-range scale = %v", got)
+	}
+}

@@ -1,0 +1,178 @@
+package region
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBandsBasics(t *testing.T) {
+	b := NewBands()
+	if !b.Empty() || b.Area() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	b.Add(XYWH(10, 10, 20, 30))
+	if b.Empty() || b.Area() != 600 {
+		t.Fatalf("area = %d", b.Area())
+	}
+	if !b.Contains(10, 10) || !b.Contains(29, 39) {
+		t.Fatal("corners missing")
+	}
+	if b.Contains(30, 10) || b.Contains(10, 40) || b.Contains(9, 10) {
+		t.Fatal("exclusive edges covered")
+	}
+	if got := b.Bounds(); got != XYWH(10, 10, 20, 30) {
+		t.Fatalf("bounds = %v", got)
+	}
+	rects := b.Rects()
+	if len(rects) != 1 || rects[0] != XYWH(10, 10, 20, 30) {
+		t.Fatalf("rects = %v", rects)
+	}
+	b.Clear()
+	if !b.Empty() {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestBandsMergeAdjacent(t *testing.T) {
+	b := NewBands()
+	b.Add(XYWH(0, 0, 10, 10))
+	b.Add(XYWH(10, 0, 10, 10)) // horizontally adjacent: one span
+	rects := b.Rects()
+	if len(rects) != 1 || rects[0] != XYWH(0, 0, 20, 10) {
+		t.Fatalf("horizontal merge: %v", rects)
+	}
+	b.Add(XYWH(0, 10, 20, 5)) // vertically adjacent, same span: one band
+	rects = b.Rects()
+	if len(rects) != 1 || rects[0] != XYWH(0, 0, 20, 15) {
+		t.Fatalf("vertical merge: %v", rects)
+	}
+}
+
+func TestBandsSubtract(t *testing.T) {
+	b := NewBands()
+	b.Add(XYWH(0, 0, 30, 30))
+	b.SubtractRect(XYWH(10, 10, 10, 10)) // punch a hole
+	if b.Area() != 900-100 {
+		t.Fatalf("area = %d", b.Area())
+	}
+	if b.Contains(15, 15) {
+		t.Fatal("hole covered")
+	}
+	if !b.Contains(5, 15) || !b.Contains(25, 15) || !b.Contains(15, 5) || !b.Contains(15, 25) {
+		t.Fatal("ring missing")
+	}
+	// Subtract everything.
+	b.SubtractRect(XYWH(-10, -10, 100, 100))
+	if !b.Empty() {
+		t.Fatalf("not empty: %v", b.Rects())
+	}
+	// Subtract from empty / disjoint are no-ops.
+	b.SubtractRect(XYWH(0, 0, 5, 5))
+	b.Add(XYWH(0, 0, 5, 5))
+	b.SubtractRect(XYWH(50, 50, 5, 5))
+	if b.Area() != 25 {
+		t.Fatalf("area = %d", b.Area())
+	}
+}
+
+func TestBandsIgnoresEmptyRects(t *testing.T) {
+	b := NewBands()
+	b.Add(Rect{})
+	b.Add(XYWH(5, 5, 0, 10))
+	b.Add(XYWH(5, 5, -3, 10))
+	if !b.Empty() {
+		t.Fatalf("empty rects added: %v", b.Rects())
+	}
+}
+
+// TestBandsEquivalentToSet is the central property: Bands and the naive
+// Set agree on membership and area for any random op sequence.
+func TestBandsEquivalentToSet(t *testing.T) {
+	const n = 48
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		bands := NewBands()
+		set := NewSet()
+		for step := 0; step < 150; step++ {
+			r := XYWH(rng.Intn(n), rng.Intn(n), rng.Intn(16)+1, rng.Intn(16)+1)
+			if rng.Intn(3) == 0 {
+				bands.SubtractRect(r)
+				set.Subtract(r)
+			} else {
+				bands.Add(r)
+				set.Add(r)
+			}
+			if bands.Area() != set.Area() {
+				t.Fatalf("seed %d step %d: area %d vs %d", seed, step, bands.Area(), set.Area())
+			}
+		}
+		for y := 0; y < n+20; y++ {
+			for x := 0; x < n+20; x++ {
+				if bands.Contains(x, y) != set.Contains(x, y) {
+					t.Fatalf("seed %d: membership differs at (%d,%d)", seed, x, y)
+				}
+			}
+		}
+		// Rects decomposition must be disjoint and cover the same area.
+		rects := bands.Rects()
+		area := 0
+		for i, a := range rects {
+			if a.Empty() {
+				t.Fatalf("empty rect in decomposition")
+			}
+			area += a.Area()
+			for j := i + 1; j < len(rects); j++ {
+				if a.Overlaps(rects[j]) {
+					t.Fatalf("rects %v and %v overlap", a, rects[j])
+				}
+			}
+		}
+		if area != set.Area() {
+			t.Fatalf("decomposition area %d vs %d", area, set.Area())
+		}
+	}
+}
+
+func TestBandsAddSet(t *testing.T) {
+	s := NewSet()
+	s.Add(XYWH(0, 0, 10, 10))
+	s.Add(XYWH(20, 20, 5, 5))
+	b := NewBands()
+	b.AddSet(s)
+	if b.Area() != s.Area() {
+		t.Fatalf("area %d vs %d", b.Area(), s.Area())
+	}
+}
+
+// BenchmarkRegionStructures compares damage accumulation cost in the
+// two structures as the region grows.
+func BenchmarkRegionStructures(b *testing.B) {
+	mkRects := func(n int) []Rect {
+		rng := rand.New(rand.NewSource(42))
+		out := make([]Rect, n)
+		for i := range out {
+			out[i] = XYWH(rng.Intn(1800), rng.Intn(1000), rng.Intn(60)+4, rng.Intn(40)+4)
+		}
+		return out
+	}
+	for _, n := range []int{16, 128, 1024} {
+		rects := mkRects(n)
+		b.Run(fmt.Sprintf("set-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NewSet()
+				for _, r := range rects {
+					s.Add(r)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("bands-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NewBands()
+				for _, r := range rects {
+					s.Add(r)
+				}
+			}
+		})
+	}
+}

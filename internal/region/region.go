@@ -1,0 +1,167 @@
+// Package region implements the rectangle algebra used throughout the
+// application-sharing pipeline: damage accumulation on the host, visible-
+// region computation under occlusion, and tiling of large updates into
+// fragment-sized pieces.
+//
+// The coordinate system follows Section 4.1 of the draft: origin (0,0) at
+// the upper-left corner, x growing right and y growing down, all units in
+// pixels. Rectangles are half-open: a Rect covers columns [Left, Left+Width)
+// and rows [Top, Top+Height).
+package region
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle in absolute screen coordinates.
+// Width and Height are non-negative for all rectangles produced by this
+// package; a Rect with zero width or height is empty.
+type Rect struct {
+	Left, Top     int
+	Width, Height int
+}
+
+// XYWH is shorthand for constructing a Rect.
+func XYWH(left, top, width, height int) Rect {
+	return Rect{Left: left, Top: top, Width: width, Height: height}
+}
+
+// Right returns the exclusive right edge.
+func (r Rect) Right() int { return r.Left + r.Width }
+
+// Bottom returns the exclusive bottom edge.
+func (r Rect) Bottom() int { return r.Top + r.Height }
+
+// Empty reports whether the rectangle covers no pixels.
+func (r Rect) Empty() bool { return r.Width <= 0 || r.Height <= 0 }
+
+// Area returns the number of pixels covered.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.Width * r.Height
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("(%d,%d %dx%d)", r.Left, r.Top, r.Width, r.Height)
+}
+
+// Canon returns the rectangle with negative dimensions clamped to empty.
+func (r Rect) Canon() Rect {
+	if r.Width < 0 {
+		r.Width = 0
+	}
+	if r.Height < 0 {
+		r.Height = 0
+	}
+	return r
+}
+
+// Contains reports whether the point (x, y) lies inside the rectangle.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.Left && x < r.Right() && y >= r.Top && y < r.Bottom()
+}
+
+// ContainsRect reports whether s lies entirely within r. An empty s is
+// contained in anything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.Left >= r.Left && s.Right() <= r.Right() &&
+		s.Top >= r.Top && s.Bottom() <= r.Bottom()
+}
+
+// Intersect returns the overlap of r and s (empty if they do not overlap).
+func (r Rect) Intersect(s Rect) Rect {
+	left := max(r.Left, s.Left)
+	top := max(r.Top, s.Top)
+	right := min(r.Right(), s.Right())
+	bottom := min(r.Bottom(), s.Bottom())
+	out := Rect{Left: left, Top: top, Width: right - left, Height: bottom - top}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Overlaps reports whether r and s share at least one pixel.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// Union returns the smallest rectangle containing both r and s. If either
+// is empty the other is returned.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	left := min(r.Left, s.Left)
+	top := min(r.Top, s.Top)
+	right := max(r.Right(), s.Right())
+	bottom := max(r.Bottom(), s.Bottom())
+	return Rect{Left: left, Top: top, Width: right - left, Height: bottom - top}
+}
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	r.Left += dx
+	r.Top += dy
+	return r
+}
+
+// Subtract returns r minus s as a set of up to four disjoint rectangles.
+// The result is empty when s covers r entirely, and [r] when they do not
+// overlap. The pieces are emitted in top, bottom, left, right order.
+func (r Rect) Subtract(s Rect) []Rect {
+	is := r.Intersect(s)
+	if is.Empty() {
+		if r.Empty() {
+			return nil
+		}
+		return []Rect{r}
+	}
+	if is == r {
+		return nil
+	}
+	var out []Rect
+	// Band above the intersection.
+	if is.Top > r.Top {
+		out = append(out, Rect{Left: r.Left, Top: r.Top, Width: r.Width, Height: is.Top - r.Top})
+	}
+	// Band below the intersection.
+	if is.Bottom() < r.Bottom() {
+		out = append(out, Rect{Left: r.Left, Top: is.Bottom(), Width: r.Width, Height: r.Bottom() - is.Bottom()})
+	}
+	// Left remnant within the intersection's vertical band.
+	if is.Left > r.Left {
+		out = append(out, Rect{Left: r.Left, Top: is.Top, Width: is.Left - r.Left, Height: is.Height})
+	}
+	// Right remnant within the intersection's vertical band.
+	if is.Right() < r.Right() {
+		out = append(out, Rect{Left: is.Right(), Top: is.Top, Width: r.Right() - is.Right(), Height: is.Height})
+	}
+	return out
+}
+
+// Tiles splits r into tiles of at most tileW x tileH pixels, scanning
+// left-to-right then top-to-bottom. Edge tiles may be smaller. It panics if
+// either tile dimension is not positive, since that is a programming error.
+func (r Rect) Tiles(tileW, tileH int) []Rect {
+	if tileW <= 0 || tileH <= 0 {
+		panic("region: non-positive tile size")
+	}
+	if r.Empty() {
+		return nil
+	}
+	out := make([]Rect, 0, ((r.Width+tileW-1)/tileW)*((r.Height+tileH-1)/tileH))
+	for y := r.Top; y < r.Bottom(); y += tileH {
+		h := min(tileH, r.Bottom()-y)
+		for x := r.Left; x < r.Right(); x += tileW {
+			w := min(tileW, r.Right()-x)
+			out = append(out, Rect{Left: x, Top: y, Width: w, Height: h})
+		}
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := XYWH(220, 150, 350, 450) // Window A from draft Figure 2.
+	if r.Right() != 570 || r.Bottom() != 600 {
+		t.Fatalf("Right/Bottom = %d/%d, want 570/600", r.Right(), r.Bottom())
+	}
+	if r.Empty() {
+		t.Fatal("window A should not be empty")
+	}
+	if got := r.Area(); got != 350*450 {
+		t.Fatalf("Area = %d, want %d", got, 350*450)
+	}
+	if !r.Contains(220, 150) {
+		t.Error("should contain its top-left corner")
+	}
+	if r.Contains(570, 600) {
+		t.Error("should not contain its exclusive bottom-right corner")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	// Windows A and B from Figure 2 overlap.
+	a := XYWH(220, 150, 350, 450)
+	b := XYWH(450, 400, 350, 300)
+	is := a.Intersect(b)
+	want := XYWH(450, 400, 120, 200)
+	if is != want {
+		t.Fatalf("Intersect = %v, want %v", is, want)
+	}
+	// Windows A and C do not overlap.
+	c := XYWH(850, 320, 160, 150)
+	if !a.Intersect(c).Empty() {
+		t.Fatalf("A and C should not intersect, got %v", a.Intersect(c))
+	}
+	if a.Overlaps(c) {
+		t.Error("Overlaps(A, C) should be false")
+	}
+	if !a.Overlaps(b) {
+		t.Error("Overlaps(A, B) should be true")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := XYWH(0, 0, 10, 10)
+	b := XYWH(20, 20, 5, 5)
+	u := a.Union(b)
+	if u != XYWH(0, 0, 25, 25) {
+		t.Fatalf("Union = %v", u)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Fatalf("Union with empty = %v, want %v", got, a)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Fatalf("empty Union b = %v, want %v", got, b)
+	}
+}
+
+func TestSubtractDisjointAndCover(t *testing.T) {
+	r := XYWH(0, 0, 10, 10)
+	if got := r.Subtract(XYWH(50, 50, 5, 5)); len(got) != 1 || got[0] != r {
+		t.Fatalf("Subtract disjoint = %v, want [%v]", got, r)
+	}
+	if got := r.Subtract(XYWH(-5, -5, 30, 30)); got != nil {
+		t.Fatalf("Subtract cover = %v, want nil", got)
+	}
+}
+
+func TestSubtractProperties(t *testing.T) {
+	// For random rects: pieces are disjoint, don't overlap s, and their
+	// area plus intersect area equals r's area.
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(rl, rt, sl, st int8, rw, rh, sw, sh uint8) bool {
+		r := XYWH(int(rl), int(rt), int(rw), int(rh))
+		s := XYWH(int(sl), int(st), int(sw), int(sh))
+		pieces := r.Subtract(s)
+		area := 0
+		for i, p := range pieces {
+			if p.Empty() {
+				return false
+			}
+			if !r.ContainsRect(p) {
+				return false
+			}
+			if p.Overlaps(s) {
+				return false
+			}
+			for j := i + 1; j < len(pieces); j++ {
+				if p.Overlaps(pieces[j]) {
+					return false
+				}
+			}
+			area += p.Area()
+		}
+		return area+r.Intersect(s).Area() == r.Area()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiles(t *testing.T) {
+	r := XYWH(10, 20, 100, 50)
+	tiles := r.Tiles(32, 32)
+	// 100/32 -> 4 columns, 50/32 -> 2 rows.
+	if len(tiles) != 8 {
+		t.Fatalf("len(tiles) = %d, want 8", len(tiles))
+	}
+	area := 0
+	for i, a := range tiles {
+		if !r.ContainsRect(a) {
+			t.Fatalf("tile %v outside %v", a, r)
+		}
+		area += a.Area()
+		for j := i + 1; j < len(tiles); j++ {
+			if a.Overlaps(tiles[j]) {
+				t.Fatalf("tiles %v and %v overlap", a, tiles[j])
+			}
+		}
+	}
+	if area != r.Area() {
+		t.Fatalf("tile area = %d, want %d", area, r.Area())
+	}
+}
+
+func TestTilesPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tiles(0, 0) should panic")
+		}
+	}()
+	XYWH(0, 0, 10, 10).Tiles(0, 0)
+}
+
+func TestSetAddKeepsDisjoint(t *testing.T) {
+	s := NewSet()
+	s.Add(XYWH(0, 0, 10, 10))
+	s.Add(XYWH(5, 5, 10, 10)) // overlaps the first
+	if got, want := s.Area(), 10*10+10*10-5*5; got != want {
+		t.Fatalf("Area = %d, want %d", got, want)
+	}
+	rects := s.Rects()
+	for i, a := range rects {
+		for j := i + 1; j < len(rects); j++ {
+			if a.Overlaps(rects[j]) {
+				t.Fatalf("set rects %v and %v overlap", a, rects[j])
+			}
+		}
+	}
+}
+
+func TestSetAddEmptyIgnored(t *testing.T) {
+	s := NewSet()
+	s.Add(Rect{})
+	s.Add(XYWH(3, 3, 0, 5))
+	s.Add(XYWH(3, 3, -4, 5))
+	if !s.Empty() {
+		t.Fatalf("set should stay empty, got %v", s.Rects())
+	}
+}
+
+func TestSetSubtract(t *testing.T) {
+	s := NewSet()
+	s.Add(XYWH(0, 0, 20, 20))
+	s.Subtract(XYWH(0, 0, 20, 10))
+	if got, want := s.Area(), 20*10; got != want {
+		t.Fatalf("Area = %d, want %d", got, want)
+	}
+	if s.Contains(5, 5) {
+		t.Error("subtracted area should not be contained")
+	}
+	if !s.Contains(5, 15) {
+		t.Error("remaining area should be contained")
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	s := NewSet()
+	s.Add(XYWH(0, 0, 100, 100))
+	s.Intersect(XYWH(50, 50, 100, 100))
+	if got, want := s.Area(), 50*50; got != want {
+		t.Fatalf("Area = %d, want %d", got, want)
+	}
+}
+
+func TestSetBounds(t *testing.T) {
+	s := NewSet()
+	if !s.Bounds().Empty() {
+		t.Fatal("empty set bounds should be empty")
+	}
+	s.Add(XYWH(10, 10, 5, 5))
+	s.Add(XYWH(100, 200, 5, 5))
+	if got, want := s.Bounds(), XYWH(10, 10, 95, 195); got != want {
+		t.Fatalf("Bounds = %v, want %v", got, want)
+	}
+}
+
+func TestCoalesceAdjacent(t *testing.T) {
+	s := NewSet()
+	s.Add(XYWH(0, 0, 10, 10))
+	s.Add(XYWH(10, 0, 10, 10)) // perfectly adjacent
+	out := s.Coalesce(0)
+	if len(out) != 1 || out[0] != XYWH(0, 0, 20, 10) {
+		t.Fatalf("Coalesce(0) = %v, want [(0,0 20x10)]", out)
+	}
+}
+
+func TestCoalesceRespectsWasteBudget(t *testing.T) {
+	s := NewSet()
+	s.Add(XYWH(0, 0, 10, 10))
+	s.Add(XYWH(1000, 1000, 10, 10))
+	if out := s.Coalesce(0); len(out) != 2 {
+		t.Fatalf("far-apart rects should not merge with zero budget, got %v", out)
+	}
+	if out := s.Coalesce(1 << 30); len(out) != 1 {
+		t.Fatalf("huge budget should merge everything, got %v", out)
+	}
+}
+
+func TestSetInvariantRandomOps(t *testing.T) {
+	// Mixed Add/Subtract sequence preserves the disjointness invariant and
+	// point membership matches a bitmap model.
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	s := NewSet()
+	var model [n][n]bool
+	for step := 0; step < 200; step++ {
+		r := XYWH(rng.Intn(n), rng.Intn(n), rng.Intn(20)+1, rng.Intn(20)+1)
+		r = r.Intersect(XYWH(0, 0, n, n))
+		if rng.Intn(3) == 0 {
+			s.Subtract(r)
+			for y := r.Top; y < r.Bottom(); y++ {
+				for x := r.Left; x < r.Right(); x++ {
+					model[y][x] = false
+				}
+			}
+		} else {
+			s.Add(r)
+			for y := r.Top; y < r.Bottom(); y++ {
+				for x := r.Left; x < r.Right(); x++ {
+					model[y][x] = true
+				}
+			}
+		}
+	}
+	area := 0
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if model[y][x] {
+				area++
+			}
+			if s.Contains(x, y) != model[y][x] {
+				t.Fatalf("membership mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+	if s.Area() != area {
+		t.Fatalf("Area = %d, model = %d", s.Area(), area)
+	}
+}
+
+func TestTranslateWithin(t *testing.T) {
+	s := NewSet()
+	s.Add(XYWH(10, 100, 20, 10)) // fully inside the blit source
+	s.Add(XYWH(200, 200, 5, 5))  // outside: stays put
+	s.Add(XYWH(45, 100, 20, 10)) // straddles the source edge at x=50
+
+	// Blit source (0,0 50x200) moves up by 30.
+	s.TranslateWithin(XYWH(0, 0, 50, 200), 0, -30)
+
+	if !s.Contains(15, 75) {
+		t.Error("inside damage did not move with the content")
+	}
+	if s.Contains(15, 105) {
+		t.Error("inside damage left a stale copy behind")
+	}
+	if !s.Contains(202, 202) {
+		t.Error("outside damage moved")
+	}
+	// The straddling rect splits: the part inside moved, the rest stayed.
+	if !s.Contains(47, 75) {
+		t.Error("straddling inside part did not move")
+	}
+	if !s.Contains(55, 105) {
+		t.Error("straddling outside part did not stay")
+	}
+	if s.Contains(47, 105) {
+		t.Error("straddling inside part left a copy")
+	}
+}
+
+func TestTranslateWithinNoOps(t *testing.T) {
+	s := NewSet()
+	s.Add(XYWH(0, 0, 10, 10))
+	before := s.Area()
+	s.TranslateWithin(Rect{}, 5, 5)               // empty source
+	s.TranslateWithin(XYWH(0, 0, 100, 100), 0, 0) // zero delta
+	if s.Area() != before || !s.Contains(5, 5) {
+		t.Fatal("no-op translate changed the set")
+	}
+}
+
+func TestTranslateWithinPreservesArea(t *testing.T) {
+	// Moving damage wholly inside the source preserves total area when
+	// the destination does not overlap other damage.
+	s := NewSet()
+	s.Add(XYWH(10, 10, 10, 10))
+	s.TranslateWithin(XYWH(0, 0, 100, 100), 25, 40)
+	if s.Area() != 100 {
+		t.Fatalf("area = %d, want 100", s.Area())
+	}
+	if !s.Contains(36, 51) {
+		t.Fatal("moved damage missing")
+	}
+}
+
+func TestDuplicateWithin(t *testing.T) {
+	s := NewSet()
+	s.Add(XYWH(10, 100, 20, 10))
+	s.Add(XYWH(200, 200, 5, 5)) // outside
+	s.DuplicateWithin(XYWH(0, 0, 50, 200), 0, -30)
+	// Both old and new locations covered; outside untouched.
+	if !s.Contains(15, 105) || !s.Contains(15, 75) {
+		t.Fatal("duplicate must cover old and new locations")
+	}
+	if !s.Contains(202, 202) {
+		t.Fatal("outside damage must stay")
+	}
+	// No-ops.
+	before := s.Area()
+	s.DuplicateWithin(Rect{}, 1, 1)
+	s.DuplicateWithin(XYWH(0, 0, 500, 500), 0, 0)
+	if s.Area() != before {
+		t.Fatal("no-op duplicate changed the set")
+	}
+}

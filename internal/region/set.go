@@ -1,0 +1,189 @@
+package region
+
+import "sort"
+
+// Set is a region maintained as a list of disjoint rectangles. It is the
+// damage accumulator used by the capture pipeline: drawing operations Add
+// their bounds, and the sender drains a coalesced batch per capture tick.
+//
+// The zero value is an empty, ready-to-use Set. Set is not safe for
+// concurrent use; callers synchronize externally.
+type Set struct {
+	rects []Rect
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set { return &Set{} }
+
+// Empty reports whether the set covers no pixels.
+func (s *Set) Empty() bool { return len(s.rects) == 0 }
+
+// Area returns the total pixel count of the set.
+func (s *Set) Area() int {
+	total := 0
+	for _, r := range s.rects {
+		total += r.Area()
+	}
+	return total
+}
+
+// Rects returns a copy of the disjoint rectangles making up the set.
+func (s *Set) Rects() []Rect {
+	out := make([]Rect, len(s.rects))
+	copy(out, s.rects)
+	return out
+}
+
+// Clear removes everything from the set.
+func (s *Set) Clear() { s.rects = s.rects[:0] }
+
+// Add unions r into the set, keeping the stored rectangles disjoint: the
+// new rectangle absorbs the parts of existing rectangles it overlaps.
+func (s *Set) Add(r Rect) {
+	r = r.Canon()
+	if r.Empty() {
+		return
+	}
+	kept := make([]Rect, 0, len(s.rects)+1)
+	for _, old := range s.rects {
+		if !old.Overlaps(r) {
+			kept = append(kept, old)
+			continue
+		}
+		kept = append(kept, old.Subtract(r)...)
+	}
+	s.rects = append(kept, r)
+}
+
+// AddSet unions every rectangle of other into s.
+func (s *Set) AddSet(other *Set) {
+	for _, r := range other.rects {
+		s.Add(r)
+	}
+}
+
+// Subtract removes r from the set.
+func (s *Set) Subtract(r Rect) {
+	r = r.Canon()
+	if r.Empty() {
+		return
+	}
+	kept := make([]Rect, 0, len(s.rects))
+	for _, old := range s.rects {
+		kept = append(kept, old.Subtract(r)...)
+	}
+	s.rects = kept
+}
+
+// Intersect keeps only the parts of the set inside r.
+func (s *Set) Intersect(r Rect) {
+	kept := s.rects[:0]
+	for _, old := range s.rects {
+		if is := old.Intersect(r); !is.Empty() {
+			kept = append(kept, is)
+		}
+	}
+	s.rects = kept
+}
+
+// TranslateWithin models a blit: the covered area inside src follows the
+// content, moving by (dx, dy); coverage outside src stays put. Screen
+// damage must be transformed this way when a scroll moves pixels that
+// carry not-yet-transmitted damage — otherwise the damage points at the
+// content's old location and the moved pixels are never retransmitted.
+func (s *Set) TranslateWithin(src Rect, dx, dy int) {
+	if src.Empty() || (dx == 0 && dy == 0) {
+		return
+	}
+	var moved []Rect
+	kept := make([]Rect, 0, len(s.rects))
+	for _, r := range s.rects {
+		is := r.Intersect(src)
+		if is.Empty() {
+			kept = append(kept, r)
+			continue
+		}
+		kept = append(kept, r.Subtract(src)...)
+		moved = append(moved, is.Translate(dx, dy))
+	}
+	s.rects = kept
+	for _, m := range moved {
+		s.Add(m)
+	}
+}
+
+// DuplicateWithin adds a translated copy of the coverage inside src,
+// keeping the original. This is the conservative blit transform for
+// damage shared between overlapping consumers: a scroll of one window
+// must carry its pending damage to the content's new location, but the
+// same desktop-coordinate damage may also belong to an overlapping
+// window whose content did NOT move — so the old location stays damaged
+// too.
+func (s *Set) DuplicateWithin(src Rect, dx, dy int) {
+	if src.Empty() || (dx == 0 && dy == 0) {
+		return
+	}
+	var copies []Rect
+	for _, r := range s.rects {
+		if is := r.Intersect(src); !is.Empty() {
+			copies = append(copies, is.Translate(dx, dy))
+		}
+	}
+	for _, c := range copies {
+		s.Add(c)
+	}
+}
+
+// Contains reports whether the point lies inside any rectangle of the set.
+func (s *Set) Contains(x, y int) bool {
+	for _, r := range s.rects {
+		if r.Contains(x, y) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bounds returns the smallest rectangle containing the whole set.
+func (s *Set) Bounds() Rect {
+	var b Rect
+	for _, r := range s.rects {
+		b = b.Union(r)
+	}
+	return b
+}
+
+// Coalesce merges the set into a smaller list of rectangles suitable for
+// encoding as RegionUpdate messages. maxWaste bounds the tolerated overdraw:
+// two rectangles merge only when the area of their union bounds does not
+// exceed the sum of their areas by more than maxWaste pixels. A maxWaste of
+// zero merges only perfectly adjacent rectangles.
+//
+// Coalescing trades a little extra encoded area for far fewer messages,
+// which matters because each RegionUpdate carries RTP + remoting header
+// overhead (draft Figure 6).
+func (s *Set) Coalesce(maxWaste int) []Rect {
+	rects := s.Rects()
+	sort.Slice(rects, func(i, j int) bool {
+		if rects[i].Top != rects[j].Top {
+			return rects[i].Top < rects[j].Top
+		}
+		return rects[i].Left < rects[j].Left
+	})
+	merged := true
+	for merged {
+		merged = false
+		for i := 0; i < len(rects); i++ {
+			for j := i + 1; j < len(rects); j++ {
+				u := rects[i].Union(rects[j])
+				if u.Area() <= rects[i].Area()+rects[j].Area()+maxWaste {
+					rects[i] = u
+					rects = append(rects[:j], rects[j+1:]...)
+					merged = true
+					j--
+				}
+			}
+		}
+	}
+	return rects
+}

@@ -1,0 +1,259 @@
+// Package remoting implements the AH-to-participant messages of
+// draft-boyaci-avt-app-sharing-00 Section 5: WindowManagerInfo,
+// RegionUpdate, MoveRectangle and MousePointerInfo.
+//
+// Messages encode to RTP payloads that begin with the common remoting/HIP
+// header (package core). RegionUpdate and MousePointerInfo may span
+// several RTP packets; their Fragments methods apply the Table 2
+// fragmentation rules via core.FragmentMessage, and Decode reverses a
+// core.Reassembler output back into a typed message.
+package remoting
+
+import (
+	"errors"
+	"fmt"
+
+	"appshare/internal/core"
+	"appshare/internal/region"
+	"appshare/internal/wire"
+)
+
+// WindowRecordSize is the size of one window record (Figure 8).
+const WindowRecordSize = 20
+
+// Decoding errors.
+var (
+	ErrTruncated   = errors.New("remoting: truncated message")
+	ErrNotRemoting = errors.New("remoting: not a remoting message type")
+)
+
+// Message is one AH-to-participant remoting message.
+type Message interface {
+	// Type returns the remoting message type (Table 1).
+	Type() core.MessageType
+}
+
+// WindowRecord describes one shared window (Figure 8). Records are
+// ordered bottom-to-top of the stacking order; the z-order is implicit in
+// the record sequence. GroupID 0 means "no grouping"; the AH MAY assign
+// the same GroupID to windows of the same process.
+type WindowRecord struct {
+	WindowID uint16
+	GroupID  uint8
+	Bounds   region.Rect // Left/Top/Width/Height fields of the record
+}
+
+// WindowManagerInfo transfers the complete window-manager state: windows,
+// positions, sizes, z-order and groupings (Section 5.2.1). A participant
+// MUST create windows for new WindowIDs and MUST close windows absent
+// from the latest message. The common header's Parameter and WindowID
+// fields are zero on send and ignored on receive.
+type WindowManagerInfo struct {
+	Windows []WindowRecord // bottom of stacking order first
+}
+
+// Type implements Message.
+func (m *WindowManagerInfo) Type() core.MessageType { return core.TypeWindowManagerInfo }
+
+// Marshal encodes the message as a complete RTP payload.
+func (m *WindowManagerInfo) Marshal() ([]byte, error) {
+	w := wire.NewWriter(core.HeaderSize + WindowRecordSize*len(m.Windows))
+	core.Header{Type: core.TypeWindowManagerInfo}.AppendTo(w)
+	for _, rec := range m.Windows {
+		if rec.Bounds.Left < 0 || rec.Bounds.Top < 0 || rec.Bounds.Width < 0 || rec.Bounds.Height < 0 {
+			return nil, fmt.Errorf("remoting: window %d has negative geometry %v (fields are unsigned)",
+				rec.WindowID, rec.Bounds)
+		}
+		w.Uint16(rec.WindowID)
+		w.Uint8(rec.GroupID)
+		w.Uint8(0) // Reserved
+		w.Uint32(uint32(rec.Bounds.Left))
+		w.Uint32(uint32(rec.Bounds.Top))
+		w.Uint32(uint32(rec.Bounds.Width))
+		w.Uint32(uint32(rec.Bounds.Height))
+	}
+	return w.Bytes(), nil
+}
+
+func decodeWindowManagerInfo(body []byte) (*WindowManagerInfo, error) {
+	if len(body)%WindowRecordSize != 0 {
+		return nil, fmt.Errorf("%w: body %d not a multiple of %d", ErrTruncated, len(body), WindowRecordSize)
+	}
+	r := wire.NewReader(body)
+	m := &WindowManagerInfo{}
+	for r.Len() > 0 {
+		var rec WindowRecord
+		rec.WindowID = r.Uint16()
+		rec.GroupID = r.Uint8()
+		r.Skip(1) // Reserved
+		rec.Bounds.Left = int(r.Uint32())
+		rec.Bounds.Top = int(r.Uint32())
+		rec.Bounds.Width = int(r.Uint32())
+		rec.Bounds.Height = int(r.Uint32())
+		m.Windows = append(m.Windows, rec)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RegionUpdate instructs the participant to update the region of a window
+// whose top-left corner is (Left, Top) with new encoded content (Section
+// 5.2.2). The width and height are not transmitted; they are implicit in
+// the encoded image. ContentPT is the RTP payload type of the content
+// encoding (PNG is mandatory for all implementations).
+type RegionUpdate struct {
+	WindowID  uint16
+	ContentPT uint8
+	Left, Top uint32
+	Content   []byte
+}
+
+// Type implements Message.
+func (m *RegionUpdate) Type() core.MessageType { return core.TypeRegionUpdate }
+
+func (m *RegionUpdate) msgHeader() []byte {
+	w := wire.NewWriter(8)
+	w.Uint32(m.Left)
+	w.Uint32(m.Top)
+	return w.Bytes()
+}
+
+// Fragments encodes the update into one or more RTP payloads of at most
+// mtu bytes, per Table 2.
+func (m *RegionUpdate) Fragments(mtu int) ([]core.Fragment, error) {
+	return core.FragmentMessage(core.TypeRegionUpdate, m.WindowID, m.ContentPT, m.msgHeader(), m.Content, mtu)
+}
+
+func decodeRegionUpdate(hdr core.Header, body []byte) (*RegionUpdate, error) {
+	_, pt := core.UnpackUpdateParam(hdr.Parameter)
+	r := wire.NewReader(body)
+	m := &RegionUpdate{WindowID: hdr.WindowID, ContentPT: pt}
+	m.Left = r.Uint32()
+	m.Top = r.Uint32()
+	m.Content = r.Rest()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return m, nil
+}
+
+// MoveRectangle instructs the participant to move a region of a window to
+// a new position (Section 5.2.3) — the efficient encoding for scrolls.
+// Source and destination rectangles may overlap.
+type MoveRectangle struct {
+	WindowID        uint16
+	SrcLeft, SrcTop uint32
+	Width, Height   uint32
+	DstLeft, DstTop uint32
+}
+
+// Type implements Message.
+func (m *MoveRectangle) Type() core.MessageType { return core.TypeMoveRectangle }
+
+// Marshal encodes the message as a complete RTP payload (Figure 12).
+func (m *MoveRectangle) Marshal() ([]byte, error) {
+	w := wire.NewWriter(core.HeaderSize + 24)
+	core.Header{Type: core.TypeMoveRectangle, WindowID: m.WindowID}.AppendTo(w)
+	w.Uint32(m.SrcLeft)
+	w.Uint32(m.SrcTop)
+	w.Uint32(m.Width)
+	w.Uint32(m.Height)
+	w.Uint32(m.DstLeft)
+	w.Uint32(m.DstTop)
+	return w.Bytes(), nil
+}
+
+// Src returns the source rectangle.
+func (m *MoveRectangle) Src() region.Rect {
+	return region.XYWH(int(m.SrcLeft), int(m.SrcTop), int(m.Width), int(m.Height))
+}
+
+// Dst returns the destination rectangle.
+func (m *MoveRectangle) Dst() region.Rect {
+	return region.XYWH(int(m.DstLeft), int(m.DstTop), int(m.Width), int(m.Height))
+}
+
+func decodeMoveRectangle(hdr core.Header, body []byte) (*MoveRectangle, error) {
+	r := wire.NewReader(body)
+	m := &MoveRectangle{WindowID: hdr.WindowID}
+	m.SrcLeft = r.Uint32()
+	m.SrcTop = r.Uint32()
+	m.Width = r.Uint32()
+	m.Height = r.Uint32()
+	m.DstLeft = r.Uint32()
+	m.DstTop = r.Uint32()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return m, nil
+}
+
+// MousePointerInfo transmits the pointer position and, optionally, a new
+// pointer image (Section 5.2.4). Its wire format matches RegionUpdate.
+// With an empty Image the participant moves its stored pointer image to
+// (Left, Top); with an Image it stores and uses the new image until the
+// next one arrives.
+type MousePointerInfo struct {
+	WindowID  uint16
+	ContentPT uint8
+	Left, Top uint32
+	Image     []byte // optional encoded pointer image
+}
+
+// Type implements Message.
+func (m *MousePointerInfo) Type() core.MessageType { return core.TypeMousePointerInfo }
+
+func (m *MousePointerInfo) msgHeader() []byte {
+	w := wire.NewWriter(8)
+	w.Uint32(m.Left)
+	w.Uint32(m.Top)
+	return w.Bytes()
+}
+
+// Fragments encodes the message into RTP payloads of at most mtu bytes.
+func (m *MousePointerInfo) Fragments(mtu int) ([]core.Fragment, error) {
+	return core.FragmentMessage(core.TypeMousePointerInfo, m.WindowID, m.ContentPT, m.msgHeader(), m.Image, mtu)
+}
+
+func decodeMousePointerInfo(hdr core.Header, body []byte) (*MousePointerInfo, error) {
+	_, pt := core.UnpackUpdateParam(hdr.Parameter)
+	r := wire.NewReader(body)
+	m := &MousePointerInfo{WindowID: hdr.WindowID, ContentPT: pt}
+	m.Left = r.Uint32()
+	m.Top = r.Uint32()
+	m.Image = r.Rest()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return m, nil
+}
+
+// Decode converts a reassembled core.Message into its typed remoting
+// message.
+func Decode(msg *core.Message) (Message, error) {
+	if !msg.Header.Type.IsRemoting() {
+		return nil, fmt.Errorf("%w: %v", ErrNotRemoting, msg.Header.Type)
+	}
+	switch msg.Header.Type {
+	case core.TypeWindowManagerInfo:
+		return decodeWindowManagerInfo(msg.Body)
+	case core.TypeRegionUpdate:
+		return decodeRegionUpdate(msg.Header, msg.Body)
+	case core.TypeMoveRectangle:
+		return decodeMoveRectangle(msg.Header, msg.Body)
+	default: // core.TypeMousePointerInfo
+		return decodeMousePointerInfo(msg.Header, msg.Body)
+	}
+}
+
+// DecodePayload parses a single-packet remoting payload (convenience for
+// WindowManagerInfo and MoveRectangle, which never fragment).
+func DecodePayload(payload []byte) (Message, error) {
+	hdr, body, err := core.ParseHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(&core.Message{Header: hdr, Body: body})
+}

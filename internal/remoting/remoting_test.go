@@ -1,0 +1,338 @@
+package remoting
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"appshare/internal/core"
+	"appshare/internal/region"
+)
+
+// figure9Windows are the three shared windows of draft Figure 2, encoded
+// in Figure 9's example WindowManagerInfo message.
+func figure9Windows() []WindowRecord {
+	return []WindowRecord{
+		{WindowID: 1, GroupID: 1, Bounds: region.XYWH(220, 150, 350, 450)}, // A
+		{WindowID: 2, GroupID: 2, Bounds: region.XYWH(850, 320, 160, 150)}, // C
+		{WindowID: 3, GroupID: 1, Bounds: region.XYWH(450, 400, 350, 300)}, // B
+	}
+}
+
+// TestWindowManagerInfoFigure9 reproduces the example message of Figure 9
+// byte-for-byte (experiment E02).
+func TestWindowManagerInfoFigure9(t *testing.T) {
+	m := &WindowManagerInfo{Windows: figure9Windows()}
+	got, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u32 := func(v uint32) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+	var want []byte
+	want = append(want, 1, 0, 0, 0) // Msg Type = 1, Parameter = 0, WindowID = 0
+	// Record 1: WindowID=1 GroupID=1 Reserved=0 L=220 T=150 W=350 H=450
+	want = append(want, 0, 1, 1, 0)
+	want = append(want, u32(220)...)
+	want = append(want, u32(150)...)
+	want = append(want, u32(350)...)
+	want = append(want, u32(450)...)
+	// Record 2: WindowID=2 GroupID=2 L=850 T=320 W=160 H=150
+	want = append(want, 0, 2, 2, 0)
+	want = append(want, u32(850)...)
+	want = append(want, u32(320)...)
+	want = append(want, u32(160)...)
+	want = append(want, u32(150)...)
+	// Record 3: WindowID=3 GroupID=1 L=450 T=400 W=350 H=300
+	want = append(want, 0, 3, 1, 0)
+	want = append(want, u32(450)...)
+	want = append(want, u32(400)...)
+	want = append(want, u32(350)...)
+	want = append(want, u32(300)...)
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Figure 9 bytes mismatch:\n got %v\nwant %v", got, want)
+	}
+	if len(got) != core.HeaderSize+3*WindowRecordSize {
+		t.Fatalf("len = %d, want %d", len(got), core.HeaderSize+3*WindowRecordSize)
+	}
+
+	back, err := DecodePayload(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmi, ok := back.(*WindowManagerInfo)
+	if !ok || !reflect.DeepEqual(wmi.Windows, m.Windows) {
+		t.Fatalf("roundtrip = %#v", back)
+	}
+}
+
+func TestWindowManagerInfoZOrderImplicit(t *testing.T) {
+	// First record is bottom of the stacking order, last is top.
+	m := &WindowManagerInfo{Windows: figure9Windows()}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePayload(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := back.(*WindowManagerInfo).Windows
+	if ws[0].WindowID != 1 || ws[len(ws)-1].WindowID != 3 {
+		t.Fatalf("record order changed: %v", ws)
+	}
+}
+
+func TestWindowManagerInfoRejectsNegative(t *testing.T) {
+	m := &WindowManagerInfo{Windows: []WindowRecord{{WindowID: 1, Bounds: region.XYWH(-1, 0, 10, 10)}}}
+	if _, err := m.Marshal(); err == nil {
+		t.Fatal("negative coordinates should fail (fields are unsigned)")
+	}
+}
+
+func TestWindowManagerInfoBadLength(t *testing.T) {
+	buf := []byte{1, 0, 0, 0, 0xAA, 0xBB} // 2 trailing bytes: not a record multiple
+	if _, err := DecodePayload(buf); err == nil {
+		t.Fatal("ragged body should fail")
+	}
+}
+
+// TestRegionUpdateFigure11 reproduces the non-fragmented RegionUpdate
+// example of Figure 11 (experiment E03).
+func TestRegionUpdateFigure11(t *testing.T) {
+	payload := []byte{0x50, 0x4E, 0x47, 0x21} // stand-in encoded content
+	m := &RegionUpdate{WindowID: 1, ContentPT: 96, Left: 300, Top: 400, Content: payload}
+	frags, err := m.Fragments(1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 {
+		t.Fatalf("fragments = %d, want 1", len(frags))
+	}
+	f := frags[0]
+	if !f.Marker {
+		t.Error("non-fragmented RegionUpdate must set the RTP marker bit")
+	}
+	// Byte layout: MsgType=2 | 1|PT | WindowID=1 | Left | Top | payload.
+	want := []byte{2, 0x80 | 96, 0, 1}
+	want = binary.BigEndian.AppendUint32(want, 300)
+	want = binary.BigEndian.AppendUint32(want, 400)
+	want = append(want, payload...)
+	if !bytes.Equal(f.Payload, want) {
+		t.Fatalf("Figure 11 bytes mismatch:\n got %v\nwant %v", f.Payload, want)
+	}
+
+	// Reassemble and decode back.
+	ra := core.NewReassembler()
+	msg, err := ra.Push(f.Payload, f.Marker)
+	if err != nil || msg == nil {
+		t.Fatalf("reassemble: %v, %v", msg, err)
+	}
+	back, err := Decode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru := back.(*RegionUpdate)
+	if ru.WindowID != 1 || ru.ContentPT != 96 || ru.Left != 300 || ru.Top != 400 ||
+		!bytes.Equal(ru.Content, payload) {
+		t.Fatalf("roundtrip = %+v", ru)
+	}
+}
+
+func TestRegionUpdateFragmentedRoundtrip(t *testing.T) {
+	content := make([]byte, 5000)
+	for i := range content {
+		content[i] = byte(i * 7)
+	}
+	m := &RegionUpdate{WindowID: 4, ContentPT: 96, Left: 10, Top: 20, Content: content}
+	frags, err := m.Fragments(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 5 {
+		t.Fatalf("fragments = %d, want >= 5", len(frags))
+	}
+	ra := core.NewReassembler()
+	var out Message
+	for _, f := range frags {
+		msg, err := ra.Push(f.Payload, f.Marker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg != nil {
+			out, err = Decode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ru, ok := out.(*RegionUpdate)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if !bytes.Equal(ru.Content, content) || ru.Left != 10 || ru.Top != 20 {
+		t.Fatal("fragmented roundtrip mismatch")
+	}
+}
+
+// TestMoveRectangleOverlap verifies Figure 12's wire format and that
+// overlapping source/destination rectangles are representable
+// (experiment E04).
+func TestMoveRectangleOverlap(t *testing.T) {
+	m := &MoveRectangle{
+		WindowID: 9,
+		SrcLeft:  100, SrcTop: 100,
+		Width: 200, Height: 300,
+		DstLeft: 100, DstTop: 50, // overlaps the source: a scroll up
+	}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != core.HeaderSize+24 {
+		t.Fatalf("len = %d, want %d", len(buf), core.HeaderSize+24)
+	}
+	want := []byte{3, 0, 0, 9}
+	for _, v := range []uint32{100, 100, 200, 300, 100, 50} {
+		want = binary.BigEndian.AppendUint32(want, v)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("Figure 12 bytes mismatch:\n got %v\nwant %v", buf, want)
+	}
+	back, err := DecodePayload(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := back.(*MoveRectangle)
+	if !reflect.DeepEqual(mr, m) {
+		t.Fatalf("roundtrip = %+v", mr)
+	}
+	if !mr.Src().Overlaps(mr.Dst()) {
+		t.Error("src and dst should overlap in this scroll")
+	}
+}
+
+// TestMousePointerModels verifies both pointer payload forms of Section
+// 5.2.4 (experiment E05).
+func TestMousePointerModels(t *testing.T) {
+	// Position-only: empty image moves the stored pointer.
+	posOnly := &MousePointerInfo{WindowID: 2, ContentPT: 96, Left: 640, Top: 480}
+	frags, err := posOnly.Fragments(1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || len(frags[0].Payload) != core.HeaderSize+8 {
+		t.Fatalf("position-only payload = %d bytes", len(frags[0].Payload))
+	}
+	ra := core.NewReassembler()
+	msg, err := ra.Push(frags[0].Payload, frags[0].Marker)
+	if err != nil || msg == nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpi := back.(*MousePointerInfo)
+	if mpi.Left != 640 || mpi.Top != 480 || len(mpi.Image) != 0 {
+		t.Fatalf("position-only roundtrip = %+v", mpi)
+	}
+
+	// Position + new image.
+	img := bytes.Repeat([]byte{0xAB}, 256)
+	withImg := &MousePointerInfo{WindowID: 2, ContentPT: 96, Left: 1, Top: 2, Image: img}
+	frags, err = withImg.Fragments(1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err = ra.Push(frags[0].Payload, frags[0].Marker)
+	if err != nil || msg == nil {
+		t.Fatal(err)
+	}
+	back, err = Decode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpi = back.(*MousePointerInfo)
+	if !bytes.Equal(mpi.Image, img) {
+		t.Fatal("image roundtrip mismatch")
+	}
+}
+
+func TestDecodeRejectsHIPType(t *testing.T) {
+	if _, err := DecodePayload([]byte{121, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("HIP type should be rejected by remoting.Decode")
+	}
+}
+
+func TestDecodeTruncatedBodies(t *testing.T) {
+	cases := [][]byte{
+		{2, 0x80, 0, 1, 0, 0},       // RegionUpdate with 2-byte body
+		{3, 0, 0, 1, 0, 0, 0, 0},    // MoveRectangle with 4-byte body
+		{4, 0x80, 0, 1, 0, 0, 0, 0}, // MousePointerInfo with 4-byte body
+	}
+	for i, buf := range cases {
+		if _, err := DecodePayload(buf); err == nil {
+			t.Errorf("case %d: truncated body should fail", i)
+		}
+	}
+}
+
+func TestQuickWindowManagerInfoRoundtrip(t *testing.T) {
+	f := func(ids []uint16, seed uint32) bool {
+		m := &WindowManagerInfo{}
+		for i, id := range ids {
+			m.Windows = append(m.Windows, WindowRecord{
+				WindowID: id,
+				GroupID:  uint8(i),
+				Bounds: region.XYWH(
+					int(seed%1000), int(seed%700),
+					int(seed%1920)+1, int(seed%1080)+1),
+			})
+		}
+		buf, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := DecodePayload(buf)
+		if err != nil {
+			return false
+		}
+		wmi, ok := back.(*WindowManagerInfo)
+		if !ok {
+			return false
+		}
+		if len(m.Windows) == 0 {
+			return len(wmi.Windows) == 0
+		}
+		return reflect.DeepEqual(wmi.Windows, m.Windows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMoveRectangleRoundtrip(t *testing.T) {
+	f := func(win uint16, sl, st, w, h, dl, dt uint32) bool {
+		m := &MoveRectangle{WindowID: win, SrcLeft: sl, SrcTop: st, Width: w, Height: h, DstLeft: dl, DstTop: dt}
+		buf, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := DecodePayload(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(back, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

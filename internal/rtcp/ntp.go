@@ -1,0 +1,29 @@
+package rtcp
+
+import "time"
+
+// NTP timestamp conversion (RFC 3550 Section 4). NTP time is seconds
+// since 1900-01-01 in the high 32 bits and fractional seconds in the low
+// 32 bits.
+
+// ntpEpochOffset is the difference between the NTP epoch (1900) and the
+// Unix epoch (1970) in seconds.
+const ntpEpochOffset = 2208988800
+
+// NTPTime converts a time.Time to a 64-bit NTP timestamp.
+func NTPTime(t time.Time) uint64 {
+	secs := uint64(t.Unix()) + ntpEpochOffset
+	frac := uint64(t.Nanosecond()) << 32 / uint64(time.Second)
+	return secs<<32 | frac
+}
+
+// NTPToTime converts a 64-bit NTP timestamp back to a time.Time.
+func NTPToTime(ntp uint64) time.Time {
+	secs := int64(ntp>>32) - ntpEpochOffset
+	nanos := (ntp & 0xFFFFFFFF) * uint64(time.Second) >> 32
+	return time.Unix(secs, int64(nanos))
+}
+
+// MiddleNTP returns the middle 32 bits of an NTP timestamp — the LSR
+// value reception reports echo back for RTT computation.
+func MiddleNTP(ntp uint64) uint32 { return uint32(ntp >> 16) }

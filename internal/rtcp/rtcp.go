@@ -1,0 +1,375 @@
+// Package rtcp implements the RTCP packet types the application-sharing
+// draft relies on: the RFC 3550 report/housekeeping packets (SR, RR, SDES,
+// BYE) and — centrally — the RFC 4585 AVPF feedback messages the draft's
+// participant-to-AH channel uses:
+//
+//   - Picture Loss Indication (PLI, RFC 4585 Section 6.3.1): a late joiner
+//     or desynchronized participant requests a WindowManagerInfo message
+//     plus a full refresh of the shared region (draft Section 5.3.1).
+//   - Generic NACK (RFC 4585 Section 6.2.1): a UDP participant names lost
+//     RTP sequence numbers for retransmission (draft Section 5.3.2).
+//
+// Packets are encoded/decoded as RTCP compound packets.
+package rtcp
+
+import (
+	"errors"
+	"fmt"
+
+	"appshare/internal/wire"
+)
+
+// RTCP packet types (RFC 3550 Section 12.1, RFC 4585 Section 6.1).
+const (
+	TypeSenderReport   = 200
+	TypeReceiverReport = 201
+	TypeSDES           = 202
+	TypeBye            = 203
+	TypeRTPFB          = 205 // transport layer feedback (Generic NACK)
+	TypePSFB           = 206 // payload-specific feedback (PLI)
+)
+
+// Feedback message types (FMT field values, RFC 4585).
+const (
+	FMTGenericNACK = 1 // within RTPFB
+	FMTPLI         = 1 // within PSFB
+)
+
+const version = 2
+
+// Errors returned by Unmarshal.
+var (
+	ErrTruncated  = errors.New("rtcp: truncated packet")
+	ErrBadVersion = errors.New("rtcp: bad version")
+	ErrBadLength  = errors.New("rtcp: bad length field")
+)
+
+// Packet is any RTCP packet defined in this package.
+type Packet interface {
+	// AppendTo appends the full encoded packet (including its RTCP
+	// header) to w.
+	AppendTo(w *wire.Writer) error
+}
+
+// header writes the common 32-bit RTCP header. length is the packet length
+// in bytes including the header; it must be a multiple of 4.
+func header(w *wire.Writer, countOrFMT uint8, packetType uint8, lengthBytes int) error {
+	if lengthBytes%4 != 0 {
+		return fmt.Errorf("rtcp: length %d not a multiple of 4", lengthBytes)
+	}
+	if countOrFMT > 31 {
+		return fmt.Errorf("rtcp: count/FMT %d exceeds 5 bits", countOrFMT)
+	}
+	w.Uint8(version<<6 | countOrFMT)
+	w.Uint8(packetType)
+	w.Uint16(uint16(lengthBytes/4 - 1))
+	return nil
+}
+
+// PLI is a Picture Loss Indication (RFC 4585 Section 6.3.1). Receiving a
+// PLI, the AH sends WindowManagerInfo followed by a full-region update
+// (draft Section 5.3.1). Both TCP and UDP participants may send it.
+type PLI struct {
+	SenderSSRC uint32 // packet sender (the participant)
+	MediaSSRC  uint32 // media source being refreshed (the AH's stream)
+}
+
+// AppendTo implements Packet.
+func (p *PLI) AppendTo(w *wire.Writer) error {
+	if err := header(w, FMTPLI, TypePSFB, 12); err != nil {
+		return err
+	}
+	w.Uint32(p.SenderSSRC)
+	w.Uint32(p.MediaSSRC)
+	return nil
+}
+
+// NACK is a Generic NACK (RFC 4585 Section 6.2.1) listing lost RTP
+// sequence numbers as (PID, BLP) pairs.
+type NACK struct {
+	SenderSSRC uint32
+	MediaSSRC  uint32
+	Pairs      []NACKPair
+}
+
+// NACKPair is one FCI entry: PID names a lost packet and each set bit i of
+// BLP (bitmask of following lost packets) marks PID+i+1 as also lost.
+type NACKPair struct {
+	PID uint16
+	BLP uint16
+}
+
+// AppendTo implements Packet.
+func (n *NACK) AppendTo(w *wire.Writer) error {
+	if len(n.Pairs) == 0 {
+		return errors.New("rtcp: NACK with no pairs")
+	}
+	if err := header(w, FMTGenericNACK, TypeRTPFB, 12+4*len(n.Pairs)); err != nil {
+		return err
+	}
+	w.Uint32(n.SenderSSRC)
+	w.Uint32(n.MediaSSRC)
+	for _, p := range n.Pairs {
+		w.Uint16(p.PID)
+		w.Uint16(p.BLP)
+	}
+	return nil
+}
+
+// Lost expands the (PID, BLP) pairs into the full list of lost sequence
+// numbers, in the order encoded.
+func (n *NACK) Lost() []uint16 {
+	var out []uint16
+	for _, p := range n.Pairs {
+		out = append(out, p.PID)
+		for i := 0; i < 16; i++ {
+			if p.BLP&(1<<i) != 0 {
+				out = append(out, p.PID+uint16(i)+1)
+			}
+		}
+	}
+	return out
+}
+
+// BuildNACKPairs compresses a sorted list of lost sequence numbers into
+// (PID, BLP) pairs. Sequence numbers within 16 of a preceding PID fold
+// into its bitmask.
+func BuildNACKPairs(lost []uint16) []NACKPair {
+	var out []NACKPair
+	for i := 0; i < len(lost); {
+		pair := NACKPair{PID: lost[i]}
+		j := i + 1
+		for ; j < len(lost); j++ {
+			d := lost[j] - pair.PID
+			if d == 0 || d > 16 {
+				break
+			}
+			pair.BLP |= 1 << (d - 1)
+		}
+		out = append(out, pair)
+		i = j
+	}
+	return out
+}
+
+// ReceptionReport is one report block of an SR/RR (RFC 3550 Section 6.4.1).
+type ReceptionReport struct {
+	SSRC             uint32
+	FractionLost     uint8
+	TotalLost        uint32 // 24 bits used
+	HighestSeq       uint32
+	Jitter           uint32
+	LastSR           uint32
+	DelaySinceLastSR uint32
+}
+
+func (r *ReceptionReport) appendTo(w *wire.Writer) {
+	w.Uint32(r.SSRC)
+	w.Uint32(uint32(r.FractionLost)<<24 | r.TotalLost&0xFFFFFF)
+	w.Uint32(r.HighestSeq)
+	w.Uint32(r.Jitter)
+	w.Uint32(r.LastSR)
+	w.Uint32(r.DelaySinceLastSR)
+}
+
+func parseReceptionReport(r *wire.Reader) ReceptionReport {
+	var rr ReceptionReport
+	rr.SSRC = r.Uint32()
+	v := r.Uint32()
+	rr.FractionLost = uint8(v >> 24)
+	rr.TotalLost = v & 0xFFFFFF
+	rr.HighestSeq = r.Uint32()
+	rr.Jitter = r.Uint32()
+	rr.LastSR = r.Uint32()
+	rr.DelaySinceLastSR = r.Uint32()
+	return rr
+}
+
+// SenderReport is an RTCP SR (RFC 3550 Section 6.4.1).
+type SenderReport struct {
+	SSRC        uint32
+	NTPTime     uint64
+	RTPTime     uint32
+	PacketCount uint32
+	OctetCount  uint32
+	Reports     []ReceptionReport
+}
+
+// AppendTo implements Packet.
+func (s *SenderReport) AppendTo(w *wire.Writer) error {
+	if err := header(w, uint8(len(s.Reports)), TypeSenderReport, 28+24*len(s.Reports)); err != nil {
+		return err
+	}
+	w.Uint32(s.SSRC)
+	w.Uint32(uint32(s.NTPTime >> 32))
+	w.Uint32(uint32(s.NTPTime))
+	w.Uint32(s.RTPTime)
+	w.Uint32(s.PacketCount)
+	w.Uint32(s.OctetCount)
+	for i := range s.Reports {
+		s.Reports[i].appendTo(w)
+	}
+	return nil
+}
+
+// ReceiverReport is an RTCP RR (RFC 3550 Section 6.4.2).
+type ReceiverReport struct {
+	SSRC    uint32
+	Reports []ReceptionReport
+}
+
+// AppendTo implements Packet.
+func (r *ReceiverReport) AppendTo(w *wire.Writer) error {
+	if err := header(w, uint8(len(r.Reports)), TypeReceiverReport, 8+24*len(r.Reports)); err != nil {
+		return err
+	}
+	w.Uint32(r.SSRC)
+	for i := range r.Reports {
+		r.Reports[i].appendTo(w)
+	}
+	return nil
+}
+
+// SDES carries source description items; this implementation supports the
+// mandatory CNAME item only (RFC 3550 Section 6.5).
+type SDES struct {
+	SSRC  uint32
+	CNAME string
+}
+
+// AppendTo implements Packet.
+func (s *SDES) AppendTo(w *wire.Writer) error {
+	if len(s.CNAME) > 255 {
+		return errors.New("rtcp: CNAME too long")
+	}
+	// chunk: SSRC + item(type, len, text) + terminating zero, padded to 4.
+	itemLen := 4 + 2 + len(s.CNAME) + 1
+	padded := (itemLen + 3) &^ 3
+	if err := header(w, 1, TypeSDES, 4+padded); err != nil {
+		return err
+	}
+	w.Uint32(s.SSRC)
+	w.Uint8(1) // CNAME item type
+	w.Uint8(uint8(len(s.CNAME)))
+	w.Write([]byte(s.CNAME))
+	// Terminating zero item plus pad to the 32-bit boundary.
+	for i := itemLen - 1; i < padded; i++ {
+		w.Uint8(0)
+	}
+	return nil
+}
+
+// Bye signals that sources are leaving the session (RFC 3550 Section 6.6).
+type Bye struct {
+	SSRCs []uint32
+}
+
+// AppendTo implements Packet.
+func (b *Bye) AppendTo(w *wire.Writer) error {
+	if err := header(w, uint8(len(b.SSRCs)), TypeBye, 4+4*len(b.SSRCs)); err != nil {
+		return err
+	}
+	for _, s := range b.SSRCs {
+		w.Uint32(s)
+	}
+	return nil
+}
+
+// Marshal encodes one or more RTCP packets as a compound packet.
+func Marshal(pkts ...Packet) ([]byte, error) {
+	w := wire.NewWriter(64)
+	for _, p := range pkts {
+		if err := p.AppendTo(w); err != nil {
+			return nil, err
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal parses a compound RTCP packet into its constituent packets.
+// Unknown packet types are skipped (their length field is honored).
+func Unmarshal(buf []byte) ([]Packet, error) {
+	var out []Packet
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return nil, ErrTruncated
+		}
+		if buf[0]>>6 != version {
+			return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[0]>>6)
+		}
+		countOrFMT := buf[0] & 0x1F
+		pt := buf[1]
+		length := (int(buf[2])<<8 | int(buf[3]) + 1) * 4
+		if length > len(buf) {
+			return nil, fmt.Errorf("%w: %d > %d", ErrBadLength, length, len(buf))
+		}
+		body := wire.NewReader(buf[4:length])
+		pkt, err := parseOne(countOrFMT, pt, body)
+		if err != nil {
+			return nil, err
+		}
+		if pkt != nil {
+			out = append(out, pkt)
+		}
+		buf = buf[length:]
+	}
+	return out, nil
+}
+
+func parseOne(countOrFMT, pt uint8, r *wire.Reader) (Packet, error) {
+	switch pt {
+	case TypePSFB:
+		if countOrFMT != FMTPLI {
+			return nil, nil // other PSFB types not used by the draft
+		}
+		p := &PLI{SenderSSRC: r.Uint32(), MediaSSRC: r.Uint32()}
+		return p, r.Err()
+	case TypeRTPFB:
+		if countOrFMT != FMTGenericNACK {
+			return nil, nil
+		}
+		n := &NACK{SenderSSRC: r.Uint32(), MediaSSRC: r.Uint32()}
+		for r.Len() >= 4 {
+			n.Pairs = append(n.Pairs, NACKPair{PID: r.Uint16(), BLP: r.Uint16()})
+		}
+		if len(n.Pairs) == 0 && r.Err() == nil {
+			return nil, errors.New("rtcp: NACK with no pairs")
+		}
+		return n, r.Err()
+	case TypeSenderReport:
+		s := &SenderReport{SSRC: r.Uint32()}
+		s.NTPTime = uint64(r.Uint32())<<32 | uint64(r.Uint32())
+		s.RTPTime = r.Uint32()
+		s.PacketCount = r.Uint32()
+		s.OctetCount = r.Uint32()
+		for i := 0; i < int(countOrFMT); i++ {
+			s.Reports = append(s.Reports, parseReceptionReport(r))
+		}
+		return s, r.Err()
+	case TypeReceiverReport:
+		rr := &ReceiverReport{SSRC: r.Uint32()}
+		for i := 0; i < int(countOrFMT); i++ {
+			rr.Reports = append(rr.Reports, parseReceptionReport(r))
+		}
+		return rr, r.Err()
+	case TypeSDES:
+		if countOrFMT == 0 {
+			return &SDES{}, nil
+		}
+		s := &SDES{SSRC: r.Uint32()}
+		itemType := r.Uint8()
+		if itemType == 1 {
+			n := int(r.Uint8())
+			s.CNAME = string(r.Bytes(n))
+		}
+		return s, r.Err()
+	case TypeBye:
+		b := &Bye{}
+		for i := 0; i < int(countOrFMT); i++ {
+			b.SSRCs = append(b.SSRCs, r.Uint32())
+		}
+		return b, r.Err()
+	default:
+		return nil, nil // skip unknown types
+	}
+}

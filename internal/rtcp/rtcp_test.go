@@ -1,0 +1,239 @@
+package rtcp
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPLIRoundtrip(t *testing.T) {
+	in := &PLI{SenderSSRC: 0x11111111, MediaSSRC: 0x22222222}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 12 {
+		t.Fatalf("PLI length = %d, want 12", len(buf))
+	}
+	// RFC 4585: PT=206 (PSFB), FMT=1.
+	if buf[1] != TypePSFB {
+		t.Fatalf("PT = %d, want %d", buf[1], TypePSFB)
+	}
+	if buf[0]&0x1F != FMTPLI {
+		t.Fatalf("FMT = %d, want %d", buf[0]&0x1F, FMTPLI)
+	}
+	pkts, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := pkts[0].(*PLI)
+	if !ok || *got != *in {
+		t.Fatalf("roundtrip = %#v, want %#v", pkts[0], in)
+	}
+}
+
+func TestNACKRoundtrip(t *testing.T) {
+	in := &NACK{
+		SenderSSRC: 1,
+		MediaSSRC:  2,
+		Pairs:      []NACKPair{{PID: 100, BLP: 0b1010}, {PID: 300, BLP: 0}},
+	}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[1] != TypeRTPFB || buf[0]&0x1F != FMTGenericNACK {
+		t.Fatalf("PT/FMT = %d/%d", buf[1], buf[0]&0x1F)
+	}
+	pkts, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := pkts[0].(*NACK)
+	if !ok || !reflect.DeepEqual(got, in) {
+		t.Fatalf("roundtrip = %#v, want %#v", pkts[0], in)
+	}
+	want := []uint16{100, 102, 104, 300}
+	if !reflect.DeepEqual(got.Lost(), want) {
+		t.Fatalf("Lost = %v, want %v", got.Lost(), want)
+	}
+}
+
+func TestNACKEmptyRejected(t *testing.T) {
+	if _, err := Marshal(&NACK{}); err == nil {
+		t.Fatal("empty NACK should fail to marshal")
+	}
+}
+
+func TestBuildNACKPairs(t *testing.T) {
+	lost := []uint16{10, 11, 26, 27, 100}
+	pairs := BuildNACKPairs(lost)
+	// 10 packs 11 (bit 0) and 26 (bit 15); 27 overflows into next pair.
+	want := []NACKPair{{PID: 10, BLP: 1 | 1<<15}, {PID: 27, BLP: 0}, {PID: 100, BLP: 0}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestQuickNACKPairExpansion(t *testing.T) {
+	// BuildNACKPairs then Lost must reproduce the input exactly for any
+	// sorted unique list of sequence numbers (no wraparound in list).
+	f := func(raw []uint16) bool {
+		seen := map[uint16]bool{}
+		var lost []uint16
+		for _, s := range raw {
+			s %= 4096 // keep in a window without wraparound
+			if !seen[s] {
+				seen[s] = true
+				lost = append(lost, s)
+			}
+		}
+		sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+		if len(lost) == 0 {
+			return true
+		}
+		n := &NACK{Pairs: BuildNACKPairs(lost)}
+		return reflect.DeepEqual(n.Lost(), lost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenderReportRoundtrip(t *testing.T) {
+	in := &SenderReport{
+		SSRC:        7,
+		NTPTime:     0x0102030405060708,
+		RTPTime:     90000,
+		PacketCount: 55,
+		OctetCount:  5555,
+		Reports: []ReceptionReport{{
+			SSRC:         9,
+			FractionLost: 12,
+			TotalLost:    345,
+			HighestSeq:   6789,
+			Jitter:       10,
+			LastSR:       11,
+		}},
+	}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := pkts[0].(*SenderReport)
+	if !ok || !reflect.DeepEqual(got, in) {
+		t.Fatalf("roundtrip = %#v, want %#v", pkts[0], in)
+	}
+}
+
+func TestReceiverReportRoundtrip(t *testing.T) {
+	in := &ReceiverReport{SSRC: 3, Reports: []ReceptionReport{{SSRC: 4, HighestSeq: 99}}}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := pkts[0].(*ReceiverReport); !ok || !reflect.DeepEqual(got, in) {
+		t.Fatalf("roundtrip = %#v, want %#v", pkts[0], in)
+	}
+}
+
+func TestSDESRoundtrip(t *testing.T) {
+	in := &SDES{SSRC: 42, CNAME: "participant@example.com"}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf)%4 != 0 {
+		t.Fatalf("SDES not 32-bit aligned: %d bytes", len(buf))
+	}
+	pkts, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := pkts[0].(*SDES); !ok || got.SSRC != 42 || got.CNAME != in.CNAME {
+		t.Fatalf("roundtrip = %#v", pkts[0])
+	}
+}
+
+func TestByeRoundtrip(t *testing.T) {
+	in := &Bye{SSRCs: []uint32{1, 2, 3}}
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := pkts[0].(*Bye); !ok || !reflect.DeepEqual(got, in) {
+		t.Fatalf("roundtrip = %#v, want %#v", pkts[0], in)
+	}
+}
+
+func TestCompoundPacket(t *testing.T) {
+	buf, err := Marshal(
+		&ReceiverReport{SSRC: 1},
+		&PLI{SenderSSRC: 1, MediaSSRC: 2},
+		&NACK{SenderSSRC: 1, MediaSSRC: 2, Pairs: []NACKPair{{PID: 5}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 3 {
+		t.Fatalf("parsed %d packets, want 3", len(pkts))
+	}
+	if _, ok := pkts[0].(*ReceiverReport); !ok {
+		t.Errorf("pkt 0 = %T, want *ReceiverReport", pkts[0])
+	}
+	if _, ok := pkts[1].(*PLI); !ok {
+		t.Errorf("pkt 1 = %T, want *PLI", pkts[1])
+	}
+	if _, ok := pkts[2].(*NACK); !ok {
+		t.Errorf("pkt 2 = %T, want *NACK", pkts[2])
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{0x80, 200}); err == nil {
+		t.Error("short packet should fail")
+	}
+	if _, err := Unmarshal([]byte{0x00, 200, 0, 0}); err == nil {
+		t.Error("bad version should fail")
+	}
+	// Length field pointing past the buffer.
+	if _, err := Unmarshal([]byte{0x80, 200, 0x0F, 0xFF}); err == nil {
+		t.Error("bad length should fail")
+	}
+}
+
+func TestUnknownTypeSkipped(t *testing.T) {
+	// APP packet (204) followed by a PLI: the APP must be skipped.
+	app := []byte{0x80, 204, 0, 2, 0, 0, 0, 1, 'n', 'a', 'm', 'e'}
+	pli, err := Marshal(&PLI{SenderSSRC: 9, MediaSSRC: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := Unmarshal(append(app, pli...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 {
+		t.Fatalf("parsed %d packets, want 1", len(pkts))
+	}
+	if _, ok := pkts[0].(*PLI); !ok {
+		t.Fatalf("pkt = %T, want *PLI", pkts[0])
+	}
+}

@@ -1,0 +1,71 @@
+package rtp
+
+import "time"
+
+// Clock converts wall-clock instants into 90 kHz RTP timestamp units with
+// a random (unpredictable) origin, per draft Sections 5.1.1 and 6.1.1.
+type Clock struct {
+	origin time.Time
+	offset uint32
+}
+
+// NewClock returns a Clock whose timestamps start at a random offset.
+func NewClock(now time.Time) *Clock {
+	return &Clock{origin: now, offset: randUint32()}
+}
+
+// Timestamp returns the RTP timestamp for the given instant.
+func (c *Clock) Timestamp(at time.Time) uint32 {
+	elapsed := at.Sub(c.origin)
+	ticks := elapsed.Nanoseconds() * ClockRate / int64(time.Second)
+	return c.offset + uint32(ticks)
+}
+
+// Packetizer stamps outgoing payloads with monotonically increasing
+// sequence numbers and draft-conformant timestamps for a single SSRC.
+// It is not safe for concurrent use.
+type Packetizer struct {
+	ssrc  uint32
+	pt    uint8
+	seq   uint16
+	clock *Clock
+}
+
+// NewPacketizer returns a Packetizer for the given SSRC and payload type.
+// The initial sequence number is random per RFC 3550.
+func NewPacketizer(ssrc uint32, payloadType uint8, now time.Time) *Packetizer {
+	return &Packetizer{
+		ssrc:  ssrc,
+		pt:    payloadType,
+		seq:   uint16(randUint32()),
+		clock: NewClock(now),
+	}
+}
+
+// SSRC returns the synchronization source this packetizer stamps.
+func (p *Packetizer) SSRC() uint32 { return p.ssrc }
+
+// NextSequence returns the sequence number the next packet will carry.
+func (p *Packetizer) NextSequence() uint16 { return p.seq }
+
+// Packetize wraps payload into an RTP packet. marker sets the RTP marker
+// bit (for remoting: "last packet of a multi-packet RegionUpdate"; for HIP:
+// always zero). All fragments of one message must share a timestamp, so
+// the caller passes the message creation instant explicitly.
+func (p *Packetizer) Packetize(payload []byte, marker bool, at time.Time) *Packet {
+	pkt := &Packet{
+		Header: Header{
+			Marker:         marker,
+			PayloadType:    p.pt,
+			SequenceNumber: p.seq,
+			Timestamp:      p.clock.Timestamp(at),
+			SSRC:           p.ssrc,
+		},
+		Payload: payload,
+	}
+	p.seq++
+	return pkt
+}
+
+// NewSSRC returns a random synchronization source identifier.
+func NewSSRC() uint32 { return randUint32() }

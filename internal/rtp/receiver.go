@@ -1,0 +1,113 @@
+package rtp
+
+import "sort"
+
+// Receiver tracks an incoming RTP stream: it reorders out-of-order
+// packets, deduplicates, and reports gaps so the participant can issue
+// Generic NACK requests (draft Section 5.3.2).
+//
+// Receiver is not safe for concurrent use.
+type Receiver struct {
+	started bool
+	next    uint16 // next expected sequence number
+	pending map[uint16]*Packet
+	// stats
+	received   uint64
+	duplicates uint64
+	reordered  uint64
+}
+
+// NewReceiver returns an empty Receiver.
+func NewReceiver() *Receiver {
+	return &Receiver{pending: make(map[uint16]*Packet)}
+}
+
+// Stats reports counts of received, duplicate and reordered packets.
+func (r *Receiver) Stats() (received, duplicates, reordered uint64) {
+	return r.received, r.duplicates, r.reordered
+}
+
+// Push accepts a packet and returns the maximal in-order run now
+// deliverable (possibly empty). Old duplicates are dropped.
+func (r *Receiver) Push(p *Packet) []*Packet {
+	r.received++
+	if !r.started {
+		r.started = true
+		r.next = p.SequenceNumber
+	}
+	if SeqLess(p.SequenceNumber, r.next) {
+		r.duplicates++
+		return nil
+	}
+	if _, dup := r.pending[p.SequenceNumber]; dup {
+		r.duplicates++
+		return nil
+	}
+	if p.SequenceNumber != r.next {
+		r.reordered++
+	}
+	r.pending[p.SequenceNumber] = p
+
+	var out []*Packet
+	for {
+		q, ok := r.pending[r.next]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.next)
+		out = append(out, q)
+		r.next++
+	}
+	return out
+}
+
+// Missing returns the sequence numbers between the next expected packet
+// and the newest buffered packet that have not arrived — the set a NACK
+// request should name. The result is sorted in stream order.
+func (r *Receiver) Missing() []uint16 {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	newest := r.next
+	for s := range r.pending {
+		if SeqLess(newest, s) {
+			newest = s
+		}
+	}
+	var out []uint16
+	for s := r.next; SeqLess(s, newest); s++ {
+		if _, ok := r.pending[s]; !ok {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return SeqLess(out[i], out[j]) })
+	return out
+}
+
+// SkipTo abandons all gaps before seq and flushes buffered packets up to
+// and including any in-order run from seq. Used after a PLI-triggered full
+// refresh makes old losses irrelevant.
+func (r *Receiver) SkipTo(seq uint16) []*Packet {
+	if !r.started {
+		r.started = true
+		r.next = seq
+		return nil
+	}
+	for s := r.next; SeqLess(s, seq); s++ {
+		delete(r.pending, s)
+	}
+	if SeqLess(r.next, seq) {
+		r.next = seq
+	}
+	var out []*Packet
+	for {
+		q, ok := r.pending[r.next]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.next)
+		out = append(out, q)
+		r.next++
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package rtp implements the subset of RTP (RFC 3550) needed to carry the
+// remoting and HIP payload formats of draft-boyaci-avt-app-sharing-00:
+// header encode/decode, a packetizer that applies the draft's header usage
+// rules (Sections 5.1.1 and 6.1.1), sequence-number arithmetic, and a
+// reordering receiver that detects losses for NACK generation.
+package rtp
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"appshare/internal/wire"
+)
+
+// Version is the RTP protocol version carried in every header.
+const Version = 2
+
+// HeaderSize is the size in bytes of an RTP header with no CSRC list.
+const HeaderSize = 12
+
+// ClockRate is the RTP timestamp clock rate mandated by the draft's media
+// type registrations ("The typical rate is 90000"): 90 kHz.
+const ClockRate = 90000
+
+// Errors returned by Header.Unmarshal.
+var (
+	ErrBadVersion = errors.New("rtp: bad version")
+	ErrTruncated  = errors.New("rtp: truncated packet")
+)
+
+// Header is an RTP fixed header (RFC 3550 Section 5.1).
+type Header struct {
+	Padding        bool
+	Extension      bool
+	Marker         bool
+	PayloadType    uint8 // 7 bits
+	SequenceNumber uint16
+	Timestamp      uint32
+	SSRC           uint32
+	CSRC           []uint32
+}
+
+// MarshalSize returns the encoded header length in bytes.
+func (h *Header) MarshalSize() int { return HeaderSize + 4*len(h.CSRC) }
+
+// AppendTo appends the encoded header to w.
+func (h *Header) AppendTo(w *wire.Writer) error {
+	if h.PayloadType > 0x7F {
+		return fmt.Errorf("rtp: payload type %d exceeds 7 bits", h.PayloadType)
+	}
+	if len(h.CSRC) > 15 {
+		return fmt.Errorf("rtp: %d CSRCs exceeds 4-bit count", len(h.CSRC))
+	}
+	b0 := byte(Version << 6)
+	if h.Padding {
+		b0 |= 1 << 5
+	}
+	if h.Extension {
+		b0 |= 1 << 4
+	}
+	b0 |= byte(len(h.CSRC))
+	b1 := h.PayloadType
+	if h.Marker {
+		b1 |= 1 << 7
+	}
+	w.Uint8(b0)
+	w.Uint8(b1)
+	w.Uint16(h.SequenceNumber)
+	w.Uint32(h.Timestamp)
+	w.Uint32(h.SSRC)
+	for _, c := range h.CSRC {
+		w.Uint32(c)
+	}
+	return nil
+}
+
+// Marshal returns the encoded header.
+func (h *Header) Marshal() ([]byte, error) {
+	w := wire.NewWriter(h.MarshalSize())
+	if err := h.AppendTo(w); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal parses the header from buf and returns the number of bytes
+// consumed.
+func (h *Header) Unmarshal(buf []byte) (int, error) {
+	if len(buf) < HeaderSize {
+		return 0, ErrTruncated
+	}
+	if buf[0]>>6 != Version {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[0]>>6)
+	}
+	h.Padding = buf[0]&(1<<5) != 0
+	h.Extension = buf[0]&(1<<4) != 0
+	cc := int(buf[0] & 0x0F)
+	h.Marker = buf[1]&(1<<7) != 0
+	h.PayloadType = buf[1] & 0x7F
+	h.SequenceNumber = binary.BigEndian.Uint16(buf[2:])
+	h.Timestamp = binary.BigEndian.Uint32(buf[4:])
+	h.SSRC = binary.BigEndian.Uint32(buf[8:])
+	n := HeaderSize
+	if len(buf) < n+4*cc {
+		return 0, ErrTruncated
+	}
+	h.CSRC = h.CSRC[:0]
+	for i := 0; i < cc; i++ {
+		h.CSRC = append(h.CSRC, binary.BigEndian.Uint32(buf[n:]))
+		n += 4
+	}
+	if h.Extension {
+		// RFC 3550 Section 5.3.1: a header extension follows the CSRC
+		// list — 16 bits of profile data, a 16-bit length in 32-bit
+		// words, then the extension body. This implementation defines no
+		// extensions; skip over any present.
+		if len(buf) < n+4 {
+			return 0, ErrTruncated
+		}
+		extWords := int(binary.BigEndian.Uint16(buf[n+2:]))
+		n += 4 + 4*extWords
+		if len(buf) < n {
+			return 0, ErrTruncated
+		}
+	}
+	return n, nil
+}
+
+// Packet is a parsed RTP packet: header plus payload.
+type Packet struct {
+	Header
+	Payload []byte
+}
+
+// Marshal returns the encoded packet.
+func (p *Packet) Marshal() ([]byte, error) {
+	w := wire.NewWriter(p.Header.MarshalSize() + len(p.Payload))
+	if err := p.Header.AppendTo(w); err != nil {
+		return nil, err
+	}
+	w.Write(p.Payload)
+	return w.Bytes(), nil
+}
+
+// Unmarshal parses an RTP packet. The Payload aliases buf.
+func (p *Packet) Unmarshal(buf []byte) error {
+	n, err := p.Header.Unmarshal(buf)
+	if err != nil {
+		return err
+	}
+	payload := buf[n:]
+	if p.Padding {
+		if len(payload) == 0 {
+			return ErrTruncated
+		}
+		pad := int(payload[len(payload)-1])
+		if pad == 0 || pad > len(payload) {
+			return fmt.Errorf("rtp: invalid padding count %d", pad)
+		}
+		payload = payload[:len(payload)-pad]
+	}
+	p.Payload = payload
+	return nil
+}
+
+// randUint32 returns a cryptographically random 32-bit value. The draft
+// requires the initial timestamp (and RFC 3550 the initial sequence number)
+// to be random/unpredictable to resist known-plaintext attacks.
+func randUint32() uint32 {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable; fail loudly rather than
+		// silently weakening the randomness requirement.
+		panic("rtp: crypto/rand unavailable: " + err.Error())
+	}
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// SeqLess reports whether sequence number a is older than b in RFC 3550
+// modulo-2^16 arithmetic.
+func SeqLess(a, b uint16) bool {
+	return a != b && b-a < 1<<15
+}
+
+// SeqDiff returns the forward distance from a to b modulo 2^16.
+func SeqDiff(a, b uint16) uint16 { return b - a }

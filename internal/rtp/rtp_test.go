@@ -1,0 +1,312 @@
+package rtp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHeaderRoundtrip(t *testing.T) {
+	h := Header{
+		Marker:         true,
+		PayloadType:    99,
+		SequenceNumber: 0xBEEF,
+		Timestamp:      0x12345678,
+		SSRC:           0xCAFEBABE,
+		CSRC:           []uint32{1, 2, 3},
+	}
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderSize+12 {
+		t.Fatalf("len = %d, want %d", len(buf), HeaderSize+12)
+	}
+	var got Header
+	n, err := got.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d, want %d", n, len(buf))
+	}
+	if got.Marker != h.Marker || got.PayloadType != h.PayloadType ||
+		got.SequenceNumber != h.SequenceNumber || got.Timestamp != h.Timestamp ||
+		got.SSRC != h.SSRC || len(got.CSRC) != 3 {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, h)
+	}
+}
+
+func TestHeaderVersionBits(t *testing.T) {
+	h := Header{PayloadType: 1}
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0]>>6 != 2 {
+		t.Fatalf("version bits = %d, want 2", buf[0]>>6)
+	}
+	buf[0] = 0x00 // version 0
+	var got Header
+	if _, err := got.Unmarshal(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestHeaderRejects(t *testing.T) {
+	if _, err := (&Header{PayloadType: 0x80}).Marshal(); err == nil {
+		t.Error("PT > 127 should fail")
+	}
+	h := Header{CSRC: make([]uint32, 16)}
+	if _, err := h.Marshal(); err == nil {
+		t.Error("16 CSRCs should fail")
+	}
+	var got Header
+	if _, err := got.Unmarshal(make([]byte, 5)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestPacketPadding(t *testing.T) {
+	// Hand-build a padded packet: payload "hi" + 2 pad bytes (count 2).
+	h := Header{Padding: true, PayloadType: 5, SSRC: 7}
+	hb, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := append(hb, 'h', 'i', 0, 2)
+	var p Packet
+	if err := p.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Payload, []byte("hi")) {
+		t.Fatalf("payload = %q, want \"hi\"", p.Payload)
+	}
+	// Invalid pad count.
+	buf[len(buf)-1] = 200
+	if err := p.Unmarshal(buf); err == nil {
+		t.Fatal("oversized pad count should fail")
+	}
+}
+
+func TestExtensionHeaderSkipped(t *testing.T) {
+	// Hand-build a packet with a 2-word header extension; the payload
+	// must start after it (RFC 3550 Section 5.3.1).
+	h := Header{Extension: true, PayloadType: 99, SSRC: 5}
+	hb, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := []byte{
+		0xBE, 0xDE, 0x00, 0x02, // profile, length=2 words
+		1, 2, 3, 4, 5, 6, 7, 8, // extension body
+	}
+	buf := append(hb, ext...)
+	buf = append(buf, 'p', 'a', 'y')
+	var p Packet
+	if err := p.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Payload, []byte("pay")) {
+		t.Fatalf("payload = %q, want \"pay\"", p.Payload)
+	}
+	// Truncated extension fails cleanly.
+	var p2 Packet
+	if err := p2.Unmarshal(append(hb, 0xBE, 0xDE, 0x00, 0x09)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated extension err = %v", err)
+	}
+	if err := p2.Unmarshal(append(hb, 0xBE)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("cut extension header err = %v", err)
+	}
+}
+
+func TestQuickPacketRoundtrip(t *testing.T) {
+	f := func(marker bool, pt uint8, seq uint16, ts, ssrc uint32, payload []byte) bool {
+		p := Packet{
+			Header: Header{
+				Marker:         marker,
+				PayloadType:    pt & 0x7F,
+				SequenceNumber: seq,
+				Timestamp:      ts,
+				SSRC:           ssrc,
+			},
+			Payload: payload,
+		}
+		buf, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		var got Packet
+		if err := got.Unmarshal(buf); err != nil {
+			return false
+		}
+		return got.Header.Marker == p.Header.Marker &&
+			got.Header.PayloadType == p.Header.PayloadType &&
+			got.Header.SequenceNumber == seq &&
+			got.Header.Timestamp == ts &&
+			got.Header.SSRC == ssrc &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b uint16
+		less bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{65535, 0, true}, // wraparound
+		{0, 65535, false},
+		{5, 5, false},
+		{0, 32767, true},
+		{0, 32769, false}, // beyond half the space
+	}
+	for _, c := range cases {
+		if got := SeqLess(c.a, c.b); got != c.less {
+			t.Errorf("SeqLess(%d, %d) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+	if d := SeqDiff(65534, 2); d != 4 {
+		t.Errorf("SeqDiff(65534, 2) = %d, want 4", d)
+	}
+}
+
+func TestClockRate(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewClock(now)
+	t0 := c.Timestamp(now)
+	t1 := c.Timestamp(now.Add(time.Second))
+	if t1-t0 != ClockRate {
+		t.Fatalf("1s advance = %d ticks, want %d", t1-t0, ClockRate)
+	}
+	t2 := c.Timestamp(now.Add(time.Millisecond))
+	if t2-t0 != ClockRate/1000 {
+		t.Fatalf("1ms advance = %d ticks, want %d", t2-t0, ClockRate/1000)
+	}
+}
+
+func TestClockRandomOrigin(t *testing.T) {
+	// Two clocks created at the same instant should (overwhelmingly
+	// likely) have different origins, per the draft's randomness rule.
+	now := time.Now()
+	a := NewClock(now).Timestamp(now)
+	b := NewClock(now).Timestamp(now)
+	c := NewClock(now).Timestamp(now)
+	if a == b && b == c {
+		t.Fatal("three clocks agree on origin; timestamps are not random")
+	}
+}
+
+func TestPacketizerSequencesAndTimestamps(t *testing.T) {
+	now := time.Now()
+	p := NewPacketizer(42, 99, now)
+	first := p.Packetize([]byte("a"), false, now)
+	second := p.Packetize([]byte("b"), true, now)
+	if second.SequenceNumber != first.SequenceNumber+1 {
+		t.Fatalf("sequence not incremented: %d then %d",
+			first.SequenceNumber, second.SequenceNumber)
+	}
+	if first.Timestamp != second.Timestamp {
+		t.Fatal("same-instant packets must share a timestamp (fragment rule)")
+	}
+	if first.SSRC != 42 || first.PayloadType != 99 {
+		t.Fatalf("ssrc/pt = %d/%d", first.SSRC, first.PayloadType)
+	}
+	if !second.Marker || first.Marker {
+		t.Fatal("marker bits not honored")
+	}
+}
+
+func TestReceiverInOrder(t *testing.T) {
+	r := NewReceiver()
+	now := time.Now()
+	p := NewPacketizer(1, 1, now)
+	for i := 0; i < 5; i++ {
+		out := r.Push(p.Packetize(nil, false, now))
+		if len(out) != 1 {
+			t.Fatalf("packet %d: delivered %d, want 1", i, len(out))
+		}
+	}
+	if missing := r.Missing(); missing != nil {
+		t.Fatalf("Missing = %v, want nil", missing)
+	}
+}
+
+func TestReceiverReorderAndLoss(t *testing.T) {
+	r := NewReceiver()
+	mk := func(seq uint16) *Packet {
+		return &Packet{Header: Header{SequenceNumber: seq}}
+	}
+	if out := r.Push(mk(100)); len(out) != 1 {
+		t.Fatalf("first packet: %d delivered", len(out))
+	}
+	// 101 lost; 102, 103 arrive.
+	if out := r.Push(mk(102)); out != nil {
+		t.Fatalf("102 should be held, got %d", len(out))
+	}
+	if out := r.Push(mk(103)); out != nil {
+		t.Fatalf("103 should be held, got %d", len(out))
+	}
+	miss := r.Missing()
+	if len(miss) != 1 || miss[0] != 101 {
+		t.Fatalf("Missing = %v, want [101]", miss)
+	}
+	// Retransmission of 101 releases the run.
+	out := r.Push(mk(101))
+	if len(out) != 3 {
+		t.Fatalf("delivered %d, want 3", len(out))
+	}
+	if out[0].SequenceNumber != 101 || out[2].SequenceNumber != 103 {
+		t.Fatalf("order wrong: %d..%d", out[0].SequenceNumber, out[2].SequenceNumber)
+	}
+}
+
+func TestReceiverDuplicates(t *testing.T) {
+	r := NewReceiver()
+	mk := func(seq uint16) *Packet {
+		return &Packet{Header: Header{SequenceNumber: seq}}
+	}
+	r.Push(mk(10))
+	r.Push(mk(10)) // old duplicate
+	r.Push(mk(12))
+	r.Push(mk(12)) // pending duplicate
+	_, dups, _ := r.Stats()
+	if dups != 2 {
+		t.Fatalf("duplicates = %d, want 2", dups)
+	}
+}
+
+func TestReceiverSkipTo(t *testing.T) {
+	r := NewReceiver()
+	mk := func(seq uint16) *Packet {
+		return &Packet{Header: Header{SequenceNumber: seq}}
+	}
+	r.Push(mk(1))
+	r.Push(mk(5)) // 2,3,4 missing
+	out := r.SkipTo(5)
+	if len(out) != 1 || out[0].SequenceNumber != 5 {
+		t.Fatalf("SkipTo delivered %v", out)
+	}
+	if missing := r.Missing(); missing != nil {
+		t.Fatalf("Missing after skip = %v, want nil", missing)
+	}
+}
+
+func TestReceiverWraparound(t *testing.T) {
+	r := NewReceiver()
+	mk := func(seq uint16) *Packet {
+		return &Packet{Header: Header{SequenceNumber: seq}}
+	}
+	r.Push(mk(65534))
+	r.Push(mk(65535))
+	out := r.Push(mk(0))
+	if len(out) != 1 || out[0].SequenceNumber != 0 {
+		t.Fatalf("wraparound delivery failed: %v", out)
+	}
+}

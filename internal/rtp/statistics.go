@@ -1,0 +1,109 @@
+package rtp
+
+import "time"
+
+// Statistics implements the RFC 3550 Appendix A receiver statistics
+// needed to fill RTCP reception report blocks: extended highest sequence
+// number (with cycle counting), cumulative and per-interval loss, and
+// the interarrival jitter estimate of Appendix A.8.
+//
+// Statistics is not safe for concurrent use.
+type Statistics struct {
+	started  bool
+	baseSeq  uint16
+	maxSeq   uint16
+	cycles   uint32 // count of sequence number wraps, shifted into bits 16+
+	received uint64
+
+	// Jitter state (RFC 3550 A.8). Transit times are in RTP timestamp
+	// units at the 90 kHz media clock.
+	lastTransit int64
+	jitter      float64
+
+	// Interval state for FractionLost.
+	expectedPrior uint64
+	receivedPrior uint64
+}
+
+// NewStatistics returns empty statistics.
+func NewStatistics() *Statistics { return &Statistics{} }
+
+// Update records one received packet: its sequence number, its RTP
+// timestamp and the local arrival time.
+func (s *Statistics) Update(seq uint16, rtpTime uint32, arrival time.Time) {
+	if !s.started {
+		s.started = true
+		s.baseSeq = seq
+		s.maxSeq = seq
+	} else if SeqLess(s.maxSeq, seq) {
+		if seq < s.maxSeq {
+			// Wrapped 65535 → 0.
+			s.cycles += 1 << 16
+		}
+		s.maxSeq = seq
+	}
+	s.received++
+
+	// Interarrival jitter (A.8): J += (|D(i-1,i)| - J) / 16, with the
+	// difference computed between RTP-clock arrival and media timestamps.
+	arrivalTicks := arrival.UnixNano() * ClockRate / int64(time.Second)
+	transit := arrivalTicks - int64(rtpTime)
+	if s.lastTransit != 0 {
+		d := transit - s.lastTransit
+		if d < 0 {
+			d = -d
+		}
+		s.jitter += (float64(d) - s.jitter) / 16
+	}
+	s.lastTransit = transit
+}
+
+// ExtendedHighestSeq returns the extended highest sequence number
+// received (cycles in the high bits).
+func (s *Statistics) ExtendedHighestSeq() uint32 {
+	return s.cycles | uint32(s.maxSeq)
+}
+
+// Expected returns the number of packets expected so far.
+func (s *Statistics) Expected() uint64 {
+	if !s.started {
+		return 0
+	}
+	return uint64(s.ExtendedHighestSeq()) - uint64(s.baseSeq) + 1
+}
+
+// CumulativeLost returns the total packets lost, clamped at zero
+// (duplicates can make it negative per RFC 3550).
+func (s *Statistics) CumulativeLost() uint32 {
+	expected := s.Expected()
+	if s.received >= expected {
+		return 0
+	}
+	lost := expected - s.received
+	if lost > 0x7FFFFF { // 24-bit field
+		lost = 0x7FFFFF
+	}
+	return uint32(lost)
+}
+
+// Jitter returns the current interarrival jitter estimate in RTP
+// timestamp units.
+func (s *Statistics) Jitter() uint32 { return uint32(s.jitter) }
+
+// FractionLost returns the 8-bit fixed-point fraction of packets lost
+// since the previous call (RFC 3550 A.3) and advances the interval.
+func (s *Statistics) FractionLost() uint8 {
+	expected := s.Expected()
+	expectedInterval := expected - s.expectedPrior
+	receivedInterval := s.received - s.receivedPrior
+	s.expectedPrior = expected
+	s.receivedPrior = s.received
+	if expectedInterval == 0 || receivedInterval >= expectedInterval {
+		return 0
+	}
+	lost := expectedInterval - receivedInterval
+	return uint8(lost * 256 / expectedInterval)
+}
+
+// ReceivedCount returns the number of packets recorded.
+func (s *Statistics) ReceivedCount() uint64 { return s.received }

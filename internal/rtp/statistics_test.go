@@ -1,0 +1,98 @@
+package rtp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStatisticsNoLoss(t *testing.T) {
+	s := NewStatistics()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		s.Update(uint16(1000+i), uint32(i*3000), now.Add(time.Duration(i)*33*time.Millisecond))
+	}
+	if got := s.Expected(); got != 100 {
+		t.Fatalf("Expected = %d", got)
+	}
+	if got := s.CumulativeLost(); got != 0 {
+		t.Fatalf("CumulativeLost = %d", got)
+	}
+	if got := s.FractionLost(); got != 0 {
+		t.Fatalf("FractionLost = %d", got)
+	}
+	if got := s.ExtendedHighestSeq(); got != 1099 {
+		t.Fatalf("ExtendedHighestSeq = %d", got)
+	}
+	// Steady 33ms spacing matching the RTP timestamps: jitter ~0.
+	if got := s.Jitter(); got > 30 {
+		t.Fatalf("Jitter = %d, want ~0 for perfectly paced stream", got)
+	}
+}
+
+func TestStatisticsLoss(t *testing.T) {
+	s := NewStatistics()
+	now := time.Unix(1000, 0)
+	// Every 4th packet missing: deliver 75 of 100.
+	for i := 0; i < 100; i++ {
+		if i%4 == 3 {
+			continue
+		}
+		s.Update(uint16(i), uint32(i*3000), now.Add(time.Duration(i)*time.Millisecond))
+	}
+	// The final packet (i=99) was lost beyond the highest received
+	// sequence number, so the receiver cannot see it: 24 visible losses
+	// out of 99 expected.
+	if got := s.CumulativeLost(); got != 24 {
+		t.Fatalf("CumulativeLost = %d, want 24", got)
+	}
+	// ~24% loss → fraction ≈ 62/256.
+	if got := s.FractionLost(); got < 55 || got > 70 {
+		t.Fatalf("FractionLost = %d, want ~62", got)
+	}
+	// A second interval with no further traffic reports zero.
+	if got := s.FractionLost(); got != 0 {
+		t.Fatalf("second interval FractionLost = %d", got)
+	}
+}
+
+func TestStatisticsWraparound(t *testing.T) {
+	s := NewStatistics()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		seq := uint16(65530 + i) // wraps at i=6
+		s.Update(seq, uint32(i*3000), now.Add(time.Duration(i)*time.Millisecond))
+	}
+	var base uint16 = 65530
+	lastSeq := base + 9 // wraps to 3
+	want := uint32(1<<16) | uint32(lastSeq)
+	if got := s.ExtendedHighestSeq(); got != want {
+		t.Fatalf("ExtendedHighestSeq = %#x, want %#x", got, want)
+	}
+	if got := s.Expected(); got != 10 {
+		t.Fatalf("Expected = %d, want 10", got)
+	}
+}
+
+func TestStatisticsJitterReflectsVariance(t *testing.T) {
+	steady := NewStatistics()
+	jittery := NewStatistics()
+	now := time.Unix(1000, 0)
+	for i := 0; i < 200; i++ {
+		ts := uint32(i * 3000) // 33ms at 90kHz
+		steady.Update(uint16(i), ts, now.Add(time.Duration(i)*33*time.Millisecond))
+		// Alternate early/late arrivals by ±10ms.
+		off := time.Duration(i) * 33 * time.Millisecond
+		if i%2 == 0 {
+			off += 10 * time.Millisecond
+		}
+		jittery.Update(uint16(i), ts, now.Add(off))
+	}
+	if steady.Jitter() >= jittery.Jitter() {
+		t.Fatalf("steady jitter %d should be below jittery %d", steady.Jitter(), jittery.Jitter())
+	}
+	// ±10ms alternation → ~20ms deltas → jitter should be hundreds of
+	// 90kHz ticks.
+	if jittery.Jitter() < 300 {
+		t.Fatalf("jittery jitter = %d, want >= 300", jittery.Jitter())
+	}
+}

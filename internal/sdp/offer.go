@@ -1,0 +1,200 @@
+package sdp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OfferConfig describes an AH's sharing session for SDP generation,
+// following the Section 10.3 example: an optional BFCP floor stream, the
+// remoting stream offered over UDP and/or TCP, and the HIP return stream.
+type OfferConfig struct {
+	// Address is the connection address ("IN IP4 203.0.113.1" payload
+	// host part). Empty means 127.0.0.1.
+	Address string
+	// RemotingPort carries the remoting stream. The draft requires the
+	// SAME port for UDP and TCP when both offer the same content.
+	RemotingPort int
+	// RemotingPT is the RTP payload type for application/remoting
+	// (example uses 99).
+	RemotingPT uint8
+	// OfferUDP and OfferTCP select the offered transports.
+	OfferUDP, OfferTCP bool
+	// Retransmissions announces UDP retransmission support (mandatory
+	// parameter of the remoting media type).
+	Retransmissions bool
+	// HIPPort and HIPPT describe the HIP stream (example: 6006, PT 100).
+	HIPPort int
+	HIPPT   uint8
+	// BFCPPort (0 = no floor control) and the label tying HIP to the
+	// BFCP floor per RFC 4583.
+	BFCPPort  int
+	FloorID   int
+	HIPStream int
+	// Rate overrides the 90 kHz default clock rate.
+	Rate int
+}
+
+// BuildOffer generates the AH's session description, mirroring the
+// Section 10.3 example.
+func BuildOffer(cfg OfferConfig) (*Description, error) {
+	if !cfg.OfferUDP && !cfg.OfferTCP {
+		return nil, errors.New("sdp: offer must include UDP or TCP remoting")
+	}
+	if cfg.RemotingPort <= 0 || cfg.HIPPort <= 0 {
+		return nil, errors.New("sdp: remoting and HIP ports required")
+	}
+	rate := cfg.Rate
+	if rate == 0 {
+		rate = DefaultRate
+	}
+	addr := cfg.Address
+	if addr == "" {
+		addr = "127.0.0.1"
+	}
+	d := &Description{
+		Version:     0,
+		Origin:      fmt.Sprintf("- 0 0 IN IP4 %s", addr),
+		SessionName: "application sharing",
+		Connection:  fmt.Sprintf("IN IP4 %s", addr),
+	}
+
+	if cfg.BFCPPort > 0 {
+		d.Media = append(d.Media, Media{
+			Type: "application", Port: cfg.BFCPPort, Proto: "TCP/BFCP",
+			Formats: []string{"*"},
+			Attributes: []Attribute{
+				{Key: "floorid", Value: fmt.Sprintf("%d m-stream:%d", cfg.FloorID, cfg.HIPStream)},
+			},
+		})
+	}
+
+	remotingAttrs := func() []Attribute {
+		attrs := []Attribute{
+			{Key: "rtpmap", Value: fmt.Sprintf("%d %s/%d", cfg.RemotingPT, SubtypeRemoting, rate)},
+		}
+		retrans := "no"
+		if cfg.Retransmissions {
+			retrans = "yes"
+		}
+		attrs = append(attrs, Attribute{
+			Key:   "fmtp",
+			Value: fmt.Sprintf("%d retransmissions=%s", cfg.RemotingPT, retrans),
+		})
+		return attrs
+	}
+	if cfg.OfferUDP {
+		d.Media = append(d.Media, Media{
+			Type: "application", Port: cfg.RemotingPort, Proto: "RTP/AVP",
+			Formats:    []string{strconv.Itoa(int(cfg.RemotingPT))},
+			Attributes: remotingAttrs(),
+		})
+	}
+	if cfg.OfferTCP {
+		d.Media = append(d.Media, Media{
+			Type: "application", Port: cfg.RemotingPort, Proto: "TCP/RTP/AVP",
+			Formats:    []string{strconv.Itoa(int(cfg.RemotingPT))},
+			Attributes: remotingAttrs(),
+		})
+	}
+
+	hipAttrs := []Attribute{
+		{Key: "rtpmap", Value: fmt.Sprintf("%d %s/%d", cfg.HIPPT, SubtypeHIP, rate)},
+	}
+	if cfg.BFCPPort > 0 {
+		hipAttrs = append(hipAttrs, Attribute{Key: "label", Value: strconv.Itoa(cfg.HIPStream)})
+	}
+	d.Media = append(d.Media, Media{
+		Type: "application", Port: cfg.HIPPort, Proto: "TCP/RTP/AVP",
+		Formats:    []string{strconv.Itoa(int(cfg.HIPPT))},
+		Attributes: hipAttrs,
+	})
+	return d, nil
+}
+
+// Session is the negotiated view a participant extracts from an offer.
+type Session struct {
+	RemotingPT      uint8
+	RemotingUDPPort int // 0 when not offered
+	RemotingTCPPort int // 0 when not offered
+	Rate            int
+	Retransmissions bool
+	HIPPT           uint8
+	HIPPort         int
+	BFCPPort        int // 0 when absent
+}
+
+// ParseOffer extracts the sharing session parameters from a description,
+// enforcing the Section 10.3 rule that UDP and TCP remoting of the same
+// content use the same port.
+func ParseOffer(d *Description) (*Session, error) {
+	s := &Session{Rate: DefaultRate}
+	for i := range d.Media {
+		m := &d.Media[i]
+		if m.Type != "application" {
+			continue
+		}
+		if m.Proto == "TCP/BFCP" {
+			s.BFCPPort = m.Port
+			continue
+		}
+		maps, err := m.RTPMaps()
+		if err != nil {
+			return nil, err
+		}
+		for _, rm := range maps {
+			switch rm.Encoding {
+			case SubtypeRemoting:
+				s.RemotingPT = rm.PayloadType
+				s.Rate = rm.Rate
+				switch m.Proto {
+				case "RTP/AVP":
+					s.RemotingUDPPort = m.Port
+				case "TCP/RTP/AVP":
+					s.RemotingTCPPort = m.Port
+				}
+				if v, ok := m.Attr("fmtp"); ok && strings.Contains(v, "retransmissions=yes") {
+					s.Retransmissions = true
+				}
+			case SubtypeHIP:
+				// The draft example carries "a=rtpmap:99 hip/90000" under
+				// the PT-100 m-line; trust the m-line format list when it
+				// disagrees (known erratum in the example).
+				s.HIPPT = rm.PayloadType
+				if len(m.Formats) == 1 {
+					if pt, err := strconv.Atoi(m.Formats[0]); err == nil && pt >= 0 && pt <= 127 {
+						s.HIPPT = uint8(pt)
+					}
+				}
+				s.HIPPort = m.Port
+			}
+		}
+	}
+	if s.RemotingUDPPort == 0 && s.RemotingTCPPort == 0 {
+		return nil, errors.New("sdp: offer has no remoting stream")
+	}
+	if s.RemotingUDPPort != 0 && s.RemotingTCPPort != 0 && s.RemotingUDPPort != s.RemotingTCPPort {
+		return nil, fmt.Errorf("sdp: UDP (%d) and TCP (%d) remoting ports MUST match",
+			s.RemotingUDPPort, s.RemotingTCPPort)
+	}
+	if s.HIPPort == 0 {
+		return nil, errors.New("sdp: offer has no hip stream")
+	}
+	return s, nil
+}
+
+// Example103 is the SDP body of the draft's Section 10.3 example,
+// reproduced verbatim (including the fmtp and rtpmap quirks of the
+// original).
+const Example103 = "m=application 50000 TCP/BFCP *\r\n" +
+	"a=floorid:0 m-stream:10\r\n" +
+	"m=application 6000 RTP/AVP 99\r\n" +
+	"a=rtpmap:99 remoting/90000\r\n" +
+	"a=fmtp: retransmissions=yes\r\n" +
+	"m=application 6000 TCP/RTP/AVP 99\r\n" +
+	"a=rtpmap:99 remoting/90000\r\n" +
+	"m=application 6006 TCP/RTP/AVP 100\r\n" +
+	"a=rtpmap:99 hip/90000\r\n" +
+	"a=label:10\r\n"

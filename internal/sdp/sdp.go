@@ -1,0 +1,199 @@
+// Package sdp implements the Session Description Protocol mapping of
+// draft-boyaci-avt-app-sharing-00 Section 10: describing remoting and HIP
+// RTP streams (media subtypes "remoting" and "hip" under the
+// "application" media type), the mandatory "retransmissions" fmtp
+// parameter, and the BFCP floor stream association via "floorid"/"label"
+// (RFC 4583).
+//
+// Only the subset of SDP (RFC 4566) needed for these sessions is
+// implemented: session-level v/o/s/c/t lines and application m-sections
+// with rtpmap, fmtp, label and floorid attributes.
+package sdp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Media subtypes registered in Section 9.3.
+const (
+	SubtypeRemoting = "remoting"
+	SubtypeHIP      = "hip"
+)
+
+// DefaultRate is the RTP clock rate both media registrations default to.
+const DefaultRate = 90000
+
+// Attribute is one a= line, split at the first colon ("label:10" →
+// {"label", "10"}; flag attributes have an empty Value).
+type Attribute struct {
+	Key, Value string
+}
+
+// Media is one m-section.
+type Media struct {
+	Type       string // "application"
+	Port       int
+	Proto      string // "RTP/AVP", "TCP/RTP/AVP", "TCP/BFCP"
+	Formats    []string
+	Attributes []Attribute
+}
+
+// Attr returns the first value for key and whether it was present.
+func (m *Media) Attr(key string) (string, bool) {
+	for _, a := range m.Attributes {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// RTPMap describes an a=rtpmap line: payload type, encoding name, rate.
+type RTPMap struct {
+	PayloadType uint8
+	Encoding    string
+	Rate        int
+}
+
+// RTPMaps parses every a=rtpmap attribute of the media section.
+func (m *Media) RTPMaps() ([]RTPMap, error) {
+	var out []RTPMap
+	for _, a := range m.Attributes {
+		if a.Key != "rtpmap" {
+			continue
+		}
+		var rm RTPMap
+		fields := strings.Fields(a.Value)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("sdp: malformed rtpmap %q", a.Value)
+		}
+		pt, err := strconv.Atoi(fields[0])
+		if err != nil || pt < 0 || pt > 127 {
+			return nil, fmt.Errorf("sdp: bad rtpmap payload type %q", fields[0])
+		}
+		rm.PayloadType = uint8(pt)
+		encRate := strings.SplitN(fields[1], "/", 2)
+		rm.Encoding = encRate[0]
+		rm.Rate = DefaultRate
+		if len(encRate) == 2 {
+			rate, err := strconv.Atoi(encRate[1])
+			if err != nil || rate <= 0 {
+				return nil, fmt.Errorf("sdp: bad rtpmap rate %q", fields[1])
+			}
+			rm.Rate = rate
+		}
+		out = append(out, rm)
+	}
+	return out, nil
+}
+
+// Description is a parsed or generated session description.
+type Description struct {
+	Version     int
+	Origin      string
+	SessionName string
+	Connection  string
+	Timing      string
+	Media       []Media
+}
+
+// Marshal renders the description in SDP wire format (CRLF line ends).
+func (d *Description) Marshal() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v=%d\r\n", d.Version)
+	if d.Origin != "" {
+		fmt.Fprintf(&b, "o=%s\r\n", d.Origin)
+	}
+	name := d.SessionName
+	if name == "" {
+		name = "-"
+	}
+	fmt.Fprintf(&b, "s=%s\r\n", name)
+	if d.Connection != "" {
+		fmt.Fprintf(&b, "c=%s\r\n", d.Connection)
+	}
+	timing := d.Timing
+	if timing == "" {
+		timing = "0 0"
+	}
+	fmt.Fprintf(&b, "t=%s\r\n", timing)
+	for _, m := range d.Media {
+		fmt.Fprintf(&b, "m=%s %d %s %s\r\n", m.Type, m.Port, m.Proto, strings.Join(m.Formats, " "))
+		for _, a := range m.Attributes {
+			if a.Value == "" {
+				fmt.Fprintf(&b, "a=%s\r\n", a.Key)
+			} else {
+				fmt.Fprintf(&b, "a=%s:%s\r\n", a.Key, a.Value)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Parse reads an SDP description. Unknown session-level lines are
+// ignored; media sections collect their attributes.
+func Parse(s string) (*Description, error) {
+	d := &Description{Version: -1}
+	var cur *Media
+	for lineNo, raw := range strings.Split(s, "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if len(line) < 2 || line[1] != '=' {
+			return nil, fmt.Errorf("sdp: line %d: malformed %q", lineNo+1, line)
+		}
+		val := line[2:]
+		switch line[0] {
+		case 'v':
+			v, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return nil, fmt.Errorf("sdp: line %d: bad version %q", lineNo+1, val)
+			}
+			d.Version = v
+		case 'o':
+			d.Origin = val
+		case 's':
+			d.SessionName = val
+		case 'c':
+			if cur == nil {
+				d.Connection = val
+			}
+		case 't':
+			d.Timing = val
+		case 'm':
+			fields := strings.Fields(val)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("sdp: line %d: malformed m-line %q", lineNo+1, val)
+			}
+			port, err := strconv.Atoi(fields[1])
+			if err != nil || port < 0 || port > 65535 {
+				return nil, fmt.Errorf("sdp: line %d: bad port %q", lineNo+1, fields[1])
+			}
+			d.Media = append(d.Media, Media{
+				Type:    fields[0],
+				Port:    port,
+				Proto:   fields[2],
+				Formats: fields[3:],
+			})
+			cur = &d.Media[len(d.Media)-1]
+		case 'a':
+			if cur == nil {
+				continue // session-level attributes not modelled
+			}
+			key, value, _ := strings.Cut(val, ":")
+			// Tolerate the draft example's "a=fmtp: retransmissions=yes"
+			// (space after the colon, no format token).
+			cur.Attributes = append(cur.Attributes, Attribute{Key: key, Value: strings.TrimSpace(value)})
+		default:
+			// Ignore other line types (b=, k=, ...).
+		}
+	}
+	if d.Version != 0 {
+		return nil, errors.New("sdp: missing or unsupported v= line")
+	}
+	return d, nil
+}

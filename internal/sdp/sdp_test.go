@@ -1,0 +1,186 @@
+package sdp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSDPExample103 parses the draft's verbatim Section 10.3 example
+// (experiment E14).
+func TestSDPExample103(t *testing.T) {
+	// The example is an m-section body; prepend minimal session lines.
+	full := "v=0\r\ns=-\r\nt=0 0\r\n" + Example103
+	d, err := Parse(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Media) != 4 {
+		t.Fatalf("media sections = %d, want 4", len(d.Media))
+	}
+	s, err := ParseOffer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BFCPPort != 50000 {
+		t.Errorf("BFCP port = %d", s.BFCPPort)
+	}
+	if s.RemotingUDPPort != 6000 || s.RemotingTCPPort != 6000 {
+		t.Errorf("remoting ports = %d/%d, want 6000/6000", s.RemotingUDPPort, s.RemotingTCPPort)
+	}
+	if s.RemotingPT != 99 {
+		t.Errorf("remoting PT = %d, want 99", s.RemotingPT)
+	}
+	if !s.Retransmissions {
+		t.Error("retransmissions=yes not detected")
+	}
+	if s.HIPPort != 6006 {
+		t.Errorf("HIP port = %d, want 6006", s.HIPPort)
+	}
+	// The m-line says PT 100 even though the example's rtpmap says 99;
+	// the m-line format list wins.
+	if s.HIPPT != 100 {
+		t.Errorf("HIP PT = %d, want 100 (from m-line)", s.HIPPT)
+	}
+	if s.Rate != 90000 {
+		t.Errorf("rate = %d", s.Rate)
+	}
+}
+
+func TestBuildOfferRoundtrip(t *testing.T) {
+	cfg := OfferConfig{
+		Address:         "192.0.2.10",
+		RemotingPort:    6000,
+		RemotingPT:      99,
+		OfferUDP:        true,
+		OfferTCP:        true,
+		Retransmissions: true,
+		HIPPort:         6006,
+		HIPPT:           100,
+		BFCPPort:        50000,
+		FloorID:         0,
+		HIPStream:       10,
+	}
+	d, err := BuildOffer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := d.Marshal()
+	for _, want := range []string{
+		"m=application 50000 TCP/BFCP *",
+		"a=floorid:0 m-stream:10",
+		"m=application 6000 RTP/AVP 99",
+		"a=rtpmap:99 remoting/90000",
+		"a=fmtp:99 retransmissions=yes",
+		"m=application 6000 TCP/RTP/AVP 99",
+		"m=application 6006 TCP/RTP/AVP 100",
+		"a=rtpmap:100 hip/90000",
+		"a=label:10",
+	} {
+		if !strings.Contains(text, want+"\r\n") {
+			t.Errorf("offer missing %q:\n%s", want, text)
+		}
+	}
+
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseOffer(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RemotingPT != 99 || s.HIPPT != 100 || !s.Retransmissions ||
+		s.RemotingUDPPort != 6000 || s.RemotingTCPPort != 6000 ||
+		s.HIPPort != 6006 || s.BFCPPort != 50000 {
+		t.Fatalf("roundtrip session = %+v", s)
+	}
+}
+
+func TestBuildOfferValidation(t *testing.T) {
+	if _, err := BuildOffer(OfferConfig{RemotingPort: 1, HIPPort: 2}); err == nil {
+		t.Error("no transport should fail")
+	}
+	if _, err := BuildOffer(OfferConfig{OfferUDP: true, HIPPort: 2}); err == nil {
+		t.Error("missing remoting port should fail")
+	}
+}
+
+func TestParseOfferPortMismatch(t *testing.T) {
+	text := "v=0\r\ns=-\r\nt=0 0\r\n" +
+		"m=application 6000 RTP/AVP 99\r\n" +
+		"a=rtpmap:99 remoting/90000\r\n" +
+		"m=application 6002 TCP/RTP/AVP 99\r\n" + // different port: illegal
+		"a=rtpmap:99 remoting/90000\r\n" +
+		"m=application 6006 TCP/RTP/AVP 100\r\n" +
+		"a=rtpmap:100 hip/90000\r\n"
+	d, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseOffer(d); err == nil {
+		t.Fatal("mismatched UDP/TCP ports must be rejected")
+	}
+}
+
+func TestParseOfferMissingStreams(t *testing.T) {
+	onlyHIP := "v=0\r\ns=-\r\nt=0 0\r\nm=application 6006 TCP/RTP/AVP 100\r\na=rtpmap:100 hip/90000\r\n"
+	d, err := Parse(onlyHIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseOffer(d); err == nil {
+		t.Error("offer without remoting must fail")
+	}
+	onlyRemoting := "v=0\r\ns=-\r\nt=0 0\r\nm=application 6000 RTP/AVP 99\r\na=rtpmap:99 remoting/90000\r\n"
+	d, err = Parse(onlyRemoting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseOffer(d); err == nil {
+		t.Error("offer without hip must fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("s=-\r\nt=0 0\r\n"); err == nil {
+		t.Error("missing v= should fail")
+	}
+	if _, err := Parse("v=0\r\nbogus line\r\n"); err == nil {
+		t.Error("malformed line should fail")
+	}
+	if _, err := Parse("v=0\r\nm=application notaport RTP/AVP 99\r\n"); err == nil {
+		t.Error("bad m-line port should fail")
+	}
+	if _, err := Parse("v=0\r\nm=application\r\n"); err == nil {
+		t.Error("short m-line should fail")
+	}
+}
+
+func TestRTPMapErrors(t *testing.T) {
+	m := Media{Attributes: []Attribute{{Key: "rtpmap", Value: "999 remoting/90000"}}}
+	if _, err := m.RTPMaps(); err == nil {
+		t.Error("PT > 127 should fail")
+	}
+	m = Media{Attributes: []Attribute{{Key: "rtpmap", Value: "garbage"}}}
+	if _, err := m.RTPMaps(); err == nil {
+		t.Error("malformed rtpmap should fail")
+	}
+	m = Media{Attributes: []Attribute{{Key: "rtpmap", Value: "99 remoting/zero"}}}
+	if _, err := m.RTPMaps(); err == nil {
+		t.Error("bad rate should fail")
+	}
+	// Rate defaults when omitted.
+	m = Media{Attributes: []Attribute{{Key: "rtpmap", Value: "99 remoting"}}}
+	maps, err := m.RTPMaps()
+	if err != nil || len(maps) != 1 || maps[0].Rate != DefaultRate {
+		t.Errorf("default rate: %v, %v", maps, err)
+	}
+}
+
+func TestMarshalDefaults(t *testing.T) {
+	d := &Description{}
+	text := d.Marshal()
+	if !strings.Contains(text, "s=-\r\n") || !strings.Contains(text, "t=0 0\r\n") {
+		t.Fatalf("defaults missing:\n%s", text)
+	}
+}

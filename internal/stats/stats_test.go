@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Record("RegionUpdate", 100)
+	c.Record("RegionUpdate", 200)
+	c.Record("MoveRectangle", 28)
+	if got := c.Get("RegionUpdate"); got.Messages != 2 || got.Bytes != 300 {
+		t.Fatalf("RegionUpdate = %+v", got)
+	}
+	if got := c.Get("absent"); got.Messages != 0 {
+		t.Fatalf("absent = %+v", got)
+	}
+	if tot := c.Total(); tot.Messages != 3 || tot.Bytes != 328 {
+		t.Fatalf("total = %+v", tot)
+	}
+	s := c.String()
+	if !strings.Contains(s, "MoveRectangle") || !strings.Contains(s, "RegionUpdate") {
+		t.Fatalf("String = %q", s)
+	}
+	c.Reset()
+	if tot := c.Total(); tot.Messages != 0 {
+		t.Fatalf("after reset = %+v", tot)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Record("k", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("k"); got.Messages != 8000 || got.Bytes != 8000 {
+		t.Fatalf("concurrent = %+v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should return zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if mean := h.Mean(); mean != 50*time.Millisecond+500*time.Microsecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	if q := h.Quantile(0.5); q < 49*time.Millisecond || q > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0); q != time.Millisecond {
+		t.Fatalf("p0 = %v", q)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	// Adding after a quantile query re-sorts correctly.
+	h.Add(time.Nanosecond)
+	if q := h.Quantile(0); q != time.Nanosecond {
+		t.Fatalf("p0 after add = %v", q)
+	}
+}

@@ -1,0 +1,150 @@
+// Package trace records and replays remoting sessions: every received
+// RTP packet is written with its arrival offset, so a session can be
+// re-rendered offline, bisected for protocol bugs, or replayed into
+// benchmarks with the original timing.
+//
+// File format (all integers big-endian):
+//
+//	magic   "ADSTRACE1\n"
+//	record  uint32 microseconds-since-start | uint32 length | bytes
+//
+// repeated until EOF.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Magic identifies a trace file.
+const Magic = "ADSTRACE1\n"
+
+// MaxPacket bounds one recorded packet (sanity check on read).
+const MaxPacket = 1 << 20
+
+// Errors.
+var (
+	ErrBadMagic  = errors.New("trace: bad magic")
+	ErrTruncated = errors.New("trace: truncated record")
+)
+
+// Writer records packets. It is safe for concurrent use.
+type Writer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	start time.Time
+	began bool
+}
+
+// NewWriter returns a Writer recording onto w. The first recorded packet
+// defines time zero.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Record appends one packet observed at the given instant.
+func (t *Writer) Record(at time.Time, pkt []byte) error {
+	if len(pkt) > MaxPacket {
+		return fmt.Errorf("trace: packet %d exceeds %d", len(pkt), MaxPacket)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.began {
+		t.start = at
+		t.began = true
+	}
+	offset := at.Sub(t.start)
+	if offset < 0 {
+		offset = 0
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(offset/time.Microsecond))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(pkt)))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.w.Write(pkt)
+	return err
+}
+
+// Flush writes buffered records through to the underlying writer.
+func (t *Writer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// Record is one replayed packet.
+type Record struct {
+	// Offset is the packet's arrival time relative to the session start.
+	Offset time.Duration
+	// Packet is the raw RTP/RTCP packet.
+	Packet []byte
+}
+
+// Reader replays a trace.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader opens a trace stream, validating the magic.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, ErrBadMagic
+	}
+	if string(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF at a clean end.
+func (r *Reader) Next() (Record, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, ErrTruncated
+	}
+	offset := time.Duration(binary.BigEndian.Uint32(hdr[0:])) * time.Microsecond
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > MaxPacket {
+		return Record{}, fmt.Errorf("trace: record length %d exceeds %d", n, MaxPacket)
+	}
+	pkt := make([]byte, n)
+	if _, err := io.ReadFull(r.r, pkt); err != nil {
+		return Record{}, ErrTruncated
+	}
+	return Record{Offset: offset, Packet: pkt}, nil
+}
+
+// ReadAll replays the whole trace into memory.
+func ReadAll(r io.Reader) ([]Record, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for {
+		rec, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(1000, 0)
+	pkts := [][]byte{[]byte("one"), {}, []byte("three")}
+	offsets := []time.Duration{0, 15 * time.Millisecond, 2 * time.Second}
+	for i, pkt := range pkts {
+		if err := w.Record(start.Add(offsets[i]), pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Offset != offsets[i] {
+			t.Errorf("record %d offset = %v, want %v", i, rec.Offset, offsets[i])
+		}
+		if !bytes.Equal(rec.Packet, pkts[i]) {
+			t.Errorf("record %d packet = %q", i, rec.Packet)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("WRONGMAGIC"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("empty err = %v", err)
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(time.Now(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated err = %v", err)
+	}
+	// Oversized packet rejected on write.
+	if err := w.Record(time.Now(), make([]byte, MaxPacket+1)); err == nil {
+		t.Error("oversized record should fail")
+	}
+}
+
+func TestNegativeOffsetClamps(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(1000, 0)
+	if err := w.Record(start, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// A clock hiccup delivers an earlier timestamp; offset clamps to 0.
+	if err := w.Record(start.Add(-time.Second), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[1].Offset != 0 {
+		t.Fatalf("clamped offset = %v", recs[1].Offset)
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(payloads [][]byte, gaps []uint16) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		at := time.Unix(500, 0)
+		for i, p := range payloads {
+			if i < len(gaps) {
+				at = at.Add(time.Duration(gaps[i]) * time.Microsecond)
+			}
+			if err := w.Record(at, p); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		recs, err := ReadAll(&buf)
+		if err != nil || len(recs) != len(payloads) {
+			return false
+		}
+		for i := range recs {
+			if !bytes.Equal(recs[i].Packet, payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Record(time.Unix(int64(i), 0), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("streamed %d records", count)
+	}
+}

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"io"
+	"sync"
+)
+
+// Bus simulates an IP multicast group: one Publish fans a datagram out to
+// every subscriber, each behind its own (optionally lossy) link. The
+// draft's AH "can share an application to TCP participants, UDP
+// participants, and several multicast addresses in the same sharing
+// session" (Section 4.2); the Bus stands in for each multicast address.
+type Bus struct {
+	mu   sync.Mutex
+	subs []*busSub
+}
+
+// NewBus returns an empty multicast bus.
+func NewBus() *Bus { return &Bus{} }
+
+type busSub struct {
+	bus *Bus
+	ep  *endpoint
+}
+
+// Subscribe adds a receiver behind a link with the given shaping and
+// returns its receive endpoint.
+func (b *Bus) Subscribe(cfg LinkConfig) PacketConn {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// The subscriber's endpoint acts as the sending side of a one-way
+	// pipe whose receiving side is itself: Publish calls sub.ep.Send,
+	// which applies shaping and enqueues into the same endpoint's inbox.
+	ep := newEndpoint(cfg)
+	ep.peer = ep
+	s := &busSub{bus: b, ep: ep}
+	b.subs = append(b.subs, s)
+	return s
+}
+
+// Publish fans the datagram out to all subscribers. Each subscriber's
+// link applies its own loss/reorder/delay independently.
+func (b *Bus) Publish(pkt []byte) {
+	b.mu.Lock()
+	subs := make([]*busSub, len(b.subs))
+	copy(subs, b.subs)
+	b.mu.Unlock()
+	for _, s := range subs {
+		_ = s.ep.Send(pkt) // Send on a closed subscriber is a no-op drop
+	}
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Send implements PacketConn: subscribers may not send to the group
+// (participant feedback travels over unicast RTCP in the draft).
+func (s *busSub) Send([]byte) error { return ErrClosed }
+
+// Recv implements PacketConn.
+func (s *busSub) Recv() ([]byte, error) {
+	pkt, ok := <-s.ep.inbox
+	if !ok {
+		return nil, io.EOF
+	}
+	return pkt, nil
+}
+
+// Close implements PacketConn and removes the subscriber from the bus.
+func (s *busSub) Close() error {
+	s.bus.mu.Lock()
+	for i, sub := range s.bus.subs {
+		if sub == s {
+			s.bus.subs = append(s.bus.subs[:i], s.bus.subs[i+1:]...)
+			break
+		}
+	}
+	s.bus.mu.Unlock()
+	return s.ep.Close()
+}
+
+// Stats reports datagrams offered to and dropped by the subscriber link.
+func (s *busSub) Stats() (sent, dropped uint64) { return s.ep.Stats() }

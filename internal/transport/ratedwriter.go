@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// RatedWriter drains writes to an underlying writer at a bounded byte
+// rate, exposing the number of bytes still queued. It models a TCP send
+// buffer over a slow path: the draft's Implementation Notes (Section 7)
+// direct the AH to "monitor the state of their TCP transmission buffers
+// (through mechanisms such as the select() command) and only send the
+// most recent screen data when there is no backlog". Backlog is that
+// signal.
+//
+// Writes never block; bytes queue until the drain goroutine ships them.
+type RatedWriter struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]byte
+	backlog int
+	closed  bool
+	err     error
+	w       io.Writer
+	rate    int // bytes per second; <= 0 means unlimited
+	done    chan struct{}
+	stop    chan struct{}
+}
+
+// NewRatedWriter returns a RatedWriter shipping to w at bytesPerSecond
+// (<= 0 for unlimited).
+func NewRatedWriter(w io.Writer, bytesPerSecond int) *RatedWriter {
+	rw := &RatedWriter{w: w, rate: bytesPerSecond, done: make(chan struct{}), stop: make(chan struct{})}
+	rw.cond = sync.NewCond(&rw.mu)
+	go rw.drain()
+	return rw
+}
+
+// Write implements io.Writer. It queues p (copied) and returns
+// immediately; a prior drain error is reported on the next Write.
+func (rw *RatedWriter) Write(p []byte) (int, error) {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.closed {
+		return 0, ErrClosed
+	}
+	if rw.err != nil {
+		return 0, rw.err
+	}
+	rw.queue = append(rw.queue, append([]byte(nil), p...))
+	rw.backlog += len(p)
+	rw.cond.Signal()
+	return len(p), nil
+}
+
+// Backlog returns the bytes queued but not yet shipped.
+func (rw *RatedWriter) Backlog() int {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.backlog
+}
+
+// Flush blocks until the queue is empty or the writer fails/closes.
+func (rw *RatedWriter) Flush() error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	for rw.backlog > 0 && rw.err == nil && !rw.closed {
+		rw.cond.Wait()
+	}
+	return rw.err
+}
+
+// Close stops the drain goroutine after the current chunk. Queued but
+// unshipped bytes are discarded.
+func (rw *RatedWriter) Close() error {
+	rw.mu.Lock()
+	if rw.closed {
+		rw.mu.Unlock()
+		return nil
+	}
+	rw.closed = true
+	rw.cond.Broadcast()
+	rw.mu.Unlock()
+	close(rw.stop)
+	<-rw.done
+	return nil
+}
+
+func (rw *RatedWriter) drain() {
+	defer close(rw.done)
+	const chunk = 1400 // ship in MTU-sized pieces for a smooth rate
+	for {
+		rw.mu.Lock()
+		for len(rw.queue) == 0 && !rw.closed {
+			rw.cond.Wait()
+		}
+		if rw.closed {
+			rw.mu.Unlock()
+			return
+		}
+		buf := rw.queue[0]
+		n := min(chunk, len(buf))
+		piece := buf[:n]
+		rw.mu.Unlock()
+
+		start := time.Now()
+		_, err := rw.w.Write(piece)
+
+		rw.mu.Lock()
+		if err != nil {
+			rw.err = err
+			rw.queue = nil
+			rw.backlog = 0
+			rw.cond.Broadcast()
+			rw.mu.Unlock()
+			return
+		}
+		if len(buf) == n {
+			rw.queue = rw.queue[1:]
+		} else {
+			rw.queue[0] = buf[n:]
+		}
+		rw.backlog -= n
+		rw.cond.Broadcast()
+		rate := rw.rate
+		rw.mu.Unlock()
+
+		if rate > 0 {
+			want := time.Duration(float64(n) / float64(rate) * float64(time.Second))
+			if elapsed := time.Since(start); elapsed < want {
+				// Interruptible pacing sleep so Close never waits out a
+				// long quantum on a slow link.
+				timer := time.NewTimer(want - elapsed)
+				select {
+				case <-timer.C:
+				case <-rw.stop:
+					timer.Stop()
+					return
+				}
+			}
+		}
+	}
+}

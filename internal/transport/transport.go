@@ -1,0 +1,183 @@
+// Package transport provides the network substrates the experiments run
+// on: an in-memory datagram link with configurable loss, reordering,
+// delay and bandwidth (substituting for Internet paths), a multicast bus
+// (substituting for IP multicast), and a rate-limited stream writer that
+// exposes its send-queue backlog — the signal the draft's Implementation
+// Notes (Section 7) tell an AH to monitor before sending screen data.
+//
+// Real UDP and TCP over loopback also work with the AH and participant
+// (they accept net.Conn / net.PacketConn shaped endpoints); the simulated
+// links exist so loss and bandwidth are controlled and reproducible.
+package transport
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: closed")
+
+// PacketConn is a message-oriented, unreliable, unordered channel — the
+// shape of a UDP socket.
+type PacketConn interface {
+	// Send transmits one datagram. It never blocks for the network;
+	// datagrams in excess of the link capacity are dropped, as UDP
+	// would.
+	Send(pkt []byte) error
+	// Recv blocks until a datagram arrives or the conn closes (io.EOF).
+	Recv() ([]byte, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// LinkConfig describes one direction of a simulated path.
+type LinkConfig struct {
+	// LossRate is the independent drop probability per datagram [0,1).
+	LossRate float64
+	// ReorderRate is the probability a datagram is held back and
+	// delivered after its successor.
+	ReorderRate float64
+	// Delay is a fixed one-way latency applied to every datagram.
+	Delay time.Duration
+	// Seed makes the loss/reorder pattern reproducible. Zero seeds from
+	// the clock.
+	Seed int64
+	// QueueLen bounds the receive queue (default 1024); overflow drops.
+	QueueLen int
+}
+
+type endpoint struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    LinkConfig
+	peer   *endpoint
+	inbox  chan []byte
+	held   []byte // reorder hold slot
+	closed bool
+	// stats
+	sent, dropped uint64
+}
+
+// Pipe returns two connected PacketConn endpoints. cfgAB shapes the a→b
+// direction, cfgBA the b→a direction.
+func Pipe(cfgAB, cfgBA LinkConfig) (a, b PacketConn) {
+	ea := newEndpoint(cfgAB)
+	eb := newEndpoint(cfgBA)
+	ea.peer = eb
+	eb.peer = ea
+	return ea, eb
+}
+
+func newEndpoint(cfg LinkConfig) *endpoint {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &endpoint{
+		rng:   rand.New(rand.NewSource(seed)),
+		cfg:   cfg,
+		inbox: make(chan []byte, cfg.QueueLen),
+	}
+}
+
+// Send implements PacketConn. The datagram is copied, so the caller may
+// reuse its buffer.
+func (e *endpoint) Send(pkt []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.sent++
+	if e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate {
+		e.dropped++
+		e.mu.Unlock()
+		return nil // silently lost, like UDP
+	}
+	buf := append([]byte(nil), pkt...)
+	var deliverFirst, deliverSecond []byte
+	if e.held != nil {
+		// A previously held datagram goes out after this one.
+		deliverFirst, deliverSecond = buf, e.held
+		e.held = nil
+	} else if e.cfg.ReorderRate > 0 && e.rng.Float64() < e.cfg.ReorderRate {
+		e.held = buf
+	} else {
+		deliverFirst = buf
+	}
+	delay := e.cfg.Delay
+	peer := e.peer
+	e.mu.Unlock()
+
+	deliver := func() {
+		if deliverFirst != nil {
+			peer.enqueue(deliverFirst)
+		}
+		if deliverSecond != nil {
+			peer.enqueue(deliverSecond)
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, deliver)
+	} else {
+		deliver()
+	}
+	return nil
+}
+
+func (e *endpoint) enqueue(pkt []byte) {
+	// The non-blocking send happens under the lock so it cannot race
+	// with Close closing the channel.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	select {
+	case e.inbox <- pkt:
+	default:
+		e.dropped++
+	}
+}
+
+// Recv implements PacketConn.
+func (e *endpoint) Recv() ([]byte, error) {
+	pkt, ok := <-e.inbox
+	if !ok {
+		return nil, io.EOF
+	}
+	return pkt, nil
+}
+
+// Close implements PacketConn. Closing an endpoint unblocks its readers;
+// the peer remains usable for draining.
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	// Flush any held reorder slot to the peer before closing.
+	if e.held != nil {
+		held := e.held
+		e.held = nil
+		go e.peer.enqueue(held)
+	}
+	close(e.inbox)
+	return nil
+}
+
+// Stats reports datagrams sent and dropped by this endpoint's shaping.
+func (e *endpoint) Stats() (sent, dropped uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sent, e.dropped
+}

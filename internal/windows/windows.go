@@ -1,0 +1,236 @@
+// Package windows models the window-manager state shared between the AH
+// and participants: building WindowManagerInfo messages from the virtual
+// desktop, deciding when window state changed (draft Section 5.2.1:
+// "Each shared window resize and relocation ... triggers a
+// WindowManagerInfo message"), validating incoming HIP events (Section
+// 4.1: "The AH MUST only accept legitimate HIP events by checking whether
+// the requested coordinates are inside the shared windows"), and the
+// participant-side layout policies of Figures 3–5.
+package windows
+
+import (
+	"errors"
+	"fmt"
+
+	"appshare/internal/display"
+	"appshare/internal/region"
+	"appshare/internal/remoting"
+)
+
+// SnapshotRecords builds the ordered window records (bottom-to-top) for
+// the desktop's shared windows, as a WindowManagerInfo would carry them.
+func SnapshotRecords(d *display.Desktop) []remoting.WindowRecord {
+	shared := d.SharedWindows()
+	out := make([]remoting.WindowRecord, 0, len(shared))
+	for _, w := range shared {
+		out = append(out, remoting.WindowRecord{
+			WindowID: w.ID(),
+			GroupID:  w.Group(),
+			Bounds:   w.Bounds(),
+		})
+	}
+	return out
+}
+
+// Tracker watches a desktop's window-manager state and produces a
+// WindowManagerInfo message whenever it changes (including the initial
+// state). The AH holds one Tracker per sharing session.
+type Tracker struct {
+	lastGen  uint64
+	lastSent []remoting.WindowRecord
+	started  bool
+}
+
+// NewTracker returns an empty tracker; the first Poll always reports a
+// change.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// Poll returns a WindowManagerInfo message if the window state changed
+// since the last Poll, or nil.
+func (t *Tracker) Poll(d *display.Desktop) *remoting.WindowManagerInfo {
+	gen := d.Generation()
+	if t.started && gen == t.lastGen {
+		return nil
+	}
+	recs := SnapshotRecords(d)
+	if t.started && recordsEqual(recs, t.lastSent) {
+		// Generation moved (e.g. focus-only change) but the transmitted
+		// state is identical; suppress the redundant message.
+		t.lastGen = gen
+		return nil
+	}
+	t.started = true
+	t.lastGen = gen
+	t.lastSent = recs
+	return &remoting.WindowManagerInfo{Windows: recs}
+}
+
+// Current returns the last transmitted state (for PLI full refreshes).
+func (t *Tracker) Current(d *display.Desktop) *remoting.WindowManagerInfo {
+	recs := SnapshotRecords(d)
+	t.started = true
+	t.lastGen = d.Generation()
+	t.lastSent = recs
+	return &remoting.WindowManagerInfo{Windows: recs}
+}
+
+func recordsEqual(a, b []remoting.WindowRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validation errors for incoming HIP events.
+var (
+	ErrUnknownWindow  = errors.New("windows: event names an unshared or unknown window")
+	ErrOutsideWindow  = errors.New("windows: event coordinates outside the shared window")
+	ErrEventForbidden = errors.New("windows: event type not permitted by floor state")
+)
+
+// ValidateMouseEvent checks a mouse HIP event per Section 4.1: the
+// referenced window must be in the shared set and the absolute
+// coordinates must fall inside it.
+func ValidateMouseEvent(shared []remoting.WindowRecord, windowID uint16, x, y uint32) error {
+	for _, r := range shared {
+		if r.WindowID != windowID {
+			continue
+		}
+		if x > uint32(1<<31-1) || y > uint32(1<<31-1) {
+			return fmt.Errorf("%w: (%d,%d)", ErrOutsideWindow, x, y)
+		}
+		if !r.Bounds.Contains(int(x), int(y)) {
+			return fmt.Errorf("%w: (%d,%d) not in %v", ErrOutsideWindow, x, y, r.Bounds)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: id %d", ErrUnknownWindow, windowID)
+}
+
+// ValidateKeyEvent checks a keyboard HIP event: the focus window must be
+// shared.
+func ValidateKeyEvent(shared []remoting.WindowRecord, windowID uint16) error {
+	for _, r := range shared {
+		if r.WindowID == windowID {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: id %d", ErrUnknownWindow, windowID)
+}
+
+// Layout places shared windows on a participant's screen. The draft's
+// coordinate examples show three policies: original coordinates
+// (Figure 3), uniformly shifted (Figure 4), and compacted to fit a small
+// screen (Figure 5). All policies preserve the relative z-order.
+type Layout interface {
+	// Place maps a window's AH-coordinate bounds to participant screen
+	// coordinates. Implementations must return a rectangle of the same
+	// size (participant-side scaling is out of the draft's scope).
+	Place(rec remoting.WindowRecord) region.Rect
+}
+
+// OriginalLayout displays windows at their AH coordinates (Figure 3,
+// participant 1).
+type OriginalLayout struct{}
+
+// Place implements Layout.
+func (OriginalLayout) Place(rec remoting.WindowRecord) region.Rect { return rec.Bounds }
+
+// ShiftLayout displays all windows shifted by a constant offset,
+// preserving inter-window relations (Figure 4, participant 2 shifts 220
+// left and 150 up).
+type ShiftLayout struct {
+	DX, DY int
+}
+
+// Place implements Layout.
+func (l ShiftLayout) Place(rec remoting.WindowRecord) region.Rect {
+	return rec.Bounds.Translate(l.DX, l.DY)
+}
+
+// AutoShiftLayout shifts the whole window set so its bounding box lands
+// at the origin — what Figure 4's participant effectively does.
+type AutoShiftLayout struct {
+	bounds region.Rect
+	init   bool
+}
+
+// Observe feeds the layout the full window set before placement; the
+// first observation freezes the shift so windows do not jump when the
+// set later changes.
+func (l *AutoShiftLayout) Observe(recs []remoting.WindowRecord) {
+	if l.init {
+		return
+	}
+	for _, r := range recs {
+		l.bounds = l.bounds.Union(r.Bounds)
+	}
+	if !l.bounds.Empty() {
+		l.init = true
+	}
+}
+
+// Place implements Layout.
+func (l *AutoShiftLayout) Place(rec remoting.WindowRecord) region.Rect {
+	return rec.Bounds.Translate(-l.bounds.Left, -l.bounds.Top)
+}
+
+// CompactLayout repositions each window independently to fit a small
+// participant screen (Figure 5, participant 3 on 640x480): windows are
+// packed toward the origin in z-order while keeping their sizes, and may
+// end up in completely different relative positions.
+type CompactLayout struct {
+	Screen region.Rect
+	placed map[uint16]region.Rect
+}
+
+// Place implements Layout. Placement is sticky per WindowID so updates
+// keep landing on the same spot.
+func (l *CompactLayout) Place(rec remoting.WindowRecord) region.Rect {
+	if l.placed == nil {
+		l.placed = make(map[uint16]region.Rect)
+	}
+	if r, ok := l.placed[rec.WindowID]; ok && r.Width == rec.Bounds.Width && r.Height == rec.Bounds.Height {
+		return r
+	}
+	// Greedy shelf packing: scan rows, place at the first spot that does
+	// not overlap an already placed window, clipping to the screen if the
+	// window is larger than it.
+	w, h := rec.Bounds.Width, rec.Bounds.Height
+	step := 16
+	best := region.XYWH(l.Screen.Left, l.Screen.Top, w, h)
+	for y := l.Screen.Top; y+1 <= l.Screen.Bottom(); y += step {
+		for x := l.Screen.Left; x+1 <= l.Screen.Right(); x += step {
+			cand := region.XYWH(x, y, w, h)
+			if !l.Screen.ContainsRect(cand) {
+				continue
+			}
+			if !l.overlapsPlaced(cand) {
+				l.placed[rec.WindowID] = cand
+				return cand
+			}
+		}
+	}
+	// No free spot: overlap at origin (participants may stack windows).
+	l.placed[rec.WindowID] = best
+	return best
+}
+
+func (l *CompactLayout) overlapsPlaced(r region.Rect) bool {
+	for _, p := range l.placed {
+		if p.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Forget drops the sticky placement of a closed window.
+func (l *CompactLayout) Forget(windowID uint16) {
+	delete(l.placed, windowID)
+}

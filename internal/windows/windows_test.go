@@ -1,0 +1,224 @@
+package windows
+
+import (
+	"errors"
+	"testing"
+
+	"appshare/internal/display"
+	"appshare/internal/region"
+	"appshare/internal/remoting"
+)
+
+// figure2Records returns the Figure 2 window set as protocol records.
+func figure2Records() []remoting.WindowRecord {
+	return []remoting.WindowRecord{
+		{WindowID: 1, GroupID: 1, Bounds: region.XYWH(220, 150, 350, 450)}, // A
+		{WindowID: 2, GroupID: 2, Bounds: region.XYWH(850, 320, 160, 150)}, // C
+		{WindowID: 3, GroupID: 1, Bounds: region.XYWH(450, 400, 350, 300)}, // B
+	}
+}
+
+func TestSnapshotRecordsOrderAndSharing(t *testing.T) {
+	d := display.NewDesktop(1280, 1024)
+	d.CreateWindow(1, region.XYWH(220, 150, 350, 450))
+	d.CreateWindow(2, region.XYWH(850, 320, 160, 150))
+	d.CreateWindow(1, region.XYWH(450, 400, 350, 300))
+	recs := SnapshotRecords(d)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].WindowID != 1 || recs[2].WindowID != 3 {
+		t.Fatal("z-order not preserved")
+	}
+	// Unshare window 2: it must vanish from the records.
+	if err := d.SetShared(2, false); err != nil {
+		t.Fatal(err)
+	}
+	recs = SnapshotRecords(d)
+	if len(recs) != 2 {
+		t.Fatalf("records after unshare = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.WindowID == 2 {
+			t.Fatal("unshared window still in records")
+		}
+	}
+}
+
+func TestTrackerEmitsOnChange(t *testing.T) {
+	d := display.NewDesktop(1280, 1024)
+	d.CreateWindow(1, region.XYWH(220, 150, 350, 450))
+	tr := NewTracker()
+
+	// First poll always reports.
+	if msg := tr.Poll(d); msg == nil || len(msg.Windows) != 1 {
+		t.Fatalf("first poll = %+v", msg)
+	}
+	// No change: no message.
+	if msg := tr.Poll(d); msg != nil {
+		t.Fatalf("unchanged poll = %+v", msg)
+	}
+	// Relocation triggers a message (Section 5.2.1).
+	if err := d.MoveWindow(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	msg := tr.Poll(d)
+	if msg == nil || msg.Windows[0].Bounds.Left != 0 {
+		t.Fatalf("move poll = %+v", msg)
+	}
+	// Resize triggers a message.
+	if err := d.ResizeWindow(1, 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if msg := tr.Poll(d); msg == nil || msg.Windows[0].Bounds.Width != 100 {
+		t.Fatalf("resize poll = %+v", msg)
+	}
+	// Z-order change triggers a message.
+	d.CreateWindow(1, region.XYWH(10, 10, 50, 50))
+	tr.Poll(d)
+	if err := d.RaiseWindow(1); err != nil {
+		t.Fatal(err)
+	}
+	msg = tr.Poll(d)
+	if msg == nil || msg.Windows[len(msg.Windows)-1].WindowID != 1 {
+		t.Fatalf("raise poll = %+v", msg)
+	}
+}
+
+func TestTrackerCurrentForPLI(t *testing.T) {
+	d := display.NewDesktop(640, 480)
+	d.CreateWindow(0, region.XYWH(0, 0, 100, 100))
+	tr := NewTracker()
+	msg := tr.Current(d)
+	if msg == nil || len(msg.Windows) != 1 {
+		t.Fatalf("Current = %+v", msg)
+	}
+	// Current also resets the tracker baseline.
+	if msg := tr.Poll(d); msg != nil {
+		t.Fatalf("poll after Current = %+v", msg)
+	}
+}
+
+// TestHIPLegitimacy covers the Section 4.1 MUST (experiment E18).
+func TestHIPLegitimacy(t *testing.T) {
+	recs := figure2Records()
+
+	// Inside window A.
+	if err := ValidateMouseEvent(recs, 1, 230, 160); err != nil {
+		t.Errorf("legitimate event rejected: %v", err)
+	}
+	// Exact corner (inclusive top-left).
+	if err := ValidateMouseEvent(recs, 1, 220, 150); err != nil {
+		t.Errorf("corner event rejected: %v", err)
+	}
+	// Outside window A (in window C's area).
+	if err := ValidateMouseEvent(recs, 1, 860, 330); !errors.Is(err, ErrOutsideWindow) {
+		t.Errorf("outside event err = %v, want ErrOutsideWindow", err)
+	}
+	// Exclusive bottom-right edge.
+	if err := ValidateMouseEvent(recs, 1, 570, 600); !errors.Is(err, ErrOutsideWindow) {
+		t.Errorf("edge event err = %v, want ErrOutsideWindow", err)
+	}
+	// Unknown window.
+	if err := ValidateMouseEvent(recs, 42, 230, 160); !errors.Is(err, ErrUnknownWindow) {
+		t.Errorf("unknown window err = %v, want ErrUnknownWindow", err)
+	}
+	// Absurd coordinates (would overflow int conversion).
+	if err := ValidateMouseEvent(recs, 1, 1<<31, 160); !errors.Is(err, ErrOutsideWindow) {
+		t.Errorf("overflow coords err = %v, want ErrOutsideWindow", err)
+	}
+
+	// Key events only need a shared focus window.
+	if err := ValidateKeyEvent(recs, 3); err != nil {
+		t.Errorf("key event rejected: %v", err)
+	}
+	if err := ValidateKeyEvent(recs, 42); !errors.Is(err, ErrUnknownWindow) {
+		t.Errorf("key unknown window err = %v", err)
+	}
+}
+
+// TestLayoutsFigures3to5 reproduces the three participant layouts of
+// Figures 3, 4 and 5 (experiment E06).
+func TestLayoutsFigures3to5(t *testing.T) {
+	recs := figure2Records()
+
+	// Figure 3: participant 1 keeps original coordinates.
+	var orig OriginalLayout
+	for _, r := range recs {
+		if got := orig.Place(r); got != r.Bounds {
+			t.Errorf("original layout moved %v to %v", r.Bounds, got)
+		}
+	}
+
+	// Figure 4: participant 2 shifts everything 220 left and 150 up.
+	shift := ShiftLayout{DX: -220, DY: -150}
+	wantA := region.XYWH(0, 0, 350, 450)
+	wantC := region.XYWH(630, 170, 160, 150)
+	wantB := region.XYWH(230, 250, 350, 300)
+	if got := shift.Place(recs[0]); got != wantA {
+		t.Errorf("shifted A = %v, want %v", got, wantA)
+	}
+	if got := shift.Place(recs[1]); got != wantC {
+		t.Errorf("shifted C = %v, want %v", got, wantC)
+	}
+	if got := shift.Place(recs[2]); got != wantB {
+		t.Errorf("shifted B = %v, want %v", got, wantB)
+	}
+	// Relative positions preserved: pairwise deltas unchanged.
+	dAB := region.XYWH(recs[2].Bounds.Left-recs[0].Bounds.Left, recs[2].Bounds.Top-recs[0].Bounds.Top, 0, 0)
+	gotAB := region.XYWH(wantB.Left-wantA.Left, wantB.Top-wantA.Top, 0, 0)
+	if dAB != gotAB {
+		t.Error("shift layout broke inter-window relations")
+	}
+
+	// AutoShiftLayout computes that same shift from the records.
+	var auto AutoShiftLayout
+	auto.Observe(recs)
+	if got := auto.Place(recs[0]); got != wantA {
+		t.Errorf("auto-shifted A = %v, want %v", got, wantA)
+	}
+
+	// Figure 5: participant 3 compacts onto a 640x480 screen. Windows
+	// keep sizes, land inside the screen where possible, and must not
+	// overlap when there is room.
+	compact := &CompactLayout{Screen: region.XYWH(0, 0, 640, 480)}
+	pA := compact.Place(recs[0]) // 350x450 fits
+	pC := compact.Place(recs[1]) // 160x150 fits beside it
+	if pA.Width != 350 || pA.Height != 450 || pC.Width != 160 || pC.Height != 150 {
+		t.Fatal("compact layout changed window sizes")
+	}
+	screen := region.XYWH(0, 0, 640, 480)
+	if !screen.ContainsRect(pA) || !screen.ContainsRect(pC) {
+		t.Errorf("compact placements off screen: %v, %v", pA, pC)
+	}
+	if pA.Overlaps(pC) {
+		t.Errorf("compact placements overlap: %v, %v", pA, pC)
+	}
+	// Sticky placement: same answer next time.
+	if again := compact.Place(recs[0]); again != pA {
+		t.Errorf("placement not sticky: %v then %v", pA, again)
+	}
+	// B (350x300) cannot fit beside A and C without overlap on 640x480;
+	// it may overlap but must stay within the screen clip when placed at
+	// origin.
+	pB := compact.Place(recs[2])
+	if pB.Width != 350 || pB.Height != 300 {
+		t.Fatal("compact changed B's size")
+	}
+	compact.Forget(recs[2].WindowID)
+	if again := compact.Place(recs[2]); again != pB {
+		// After Forget, placement may differ; only require same size.
+		if again.Width != 350 || again.Height != 300 {
+			t.Error("replaced B has wrong size")
+		}
+	}
+}
+
+func TestCompactLayoutTooSmallScreen(t *testing.T) {
+	compact := &CompactLayout{Screen: region.XYWH(0, 0, 100, 100)}
+	rec := remoting.WindowRecord{WindowID: 1, Bounds: region.XYWH(500, 500, 300, 300)}
+	p := compact.Place(rec)
+	if p.Left != 0 || p.Top != 0 {
+		t.Errorf("oversized window should anchor at origin, got %v", p)
+	}
+}

@@ -1,0 +1,153 @@
+// Package wire provides big-endian primitive encoding helpers shared by
+// every protocol codec in this repository (RTP, RTCP, remoting, HIP, BFCP).
+//
+// All multi-byte fields on the wire are network byte order (big-endian),
+// following RTP (RFC 3550) convention. The Reader and Writer types wrap a
+// byte slice with bounds checking so message codecs can be written as
+// straight-line field lists and still fail cleanly on truncated input.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned when a decode runs past the end of the input.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// Reader is a bounds-checked cursor over a byte slice. The zero value is an
+// empty reader. After any failed read every subsequent read fails too, so a
+// codec may decode all fields and check Err once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.buf) - r.off }
+
+// Offset returns the number of bytes consumed so far.
+func (r *Reader) Offset() int { return r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w at offset %d", ErrShortBuffer, r.off)
+	}
+}
+
+// Uint8 reads one byte.
+func (r *Reader) Uint8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Uint16 reads a big-endian 16-bit value.
+func (r *Reader) Uint16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// Uint32 reads a big-endian 32-bit value.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Int32 reads a big-endian 32-bit two's-complement value. The draft uses
+// this for the MouseWheelMoved distance field, which may be negative.
+func (r *Reader) Int32() int32 { return int32(r.Uint32()) }
+
+// Bytes reads exactly n bytes, returning a subslice of the underlying
+// buffer (no copy).
+func (r *Reader) Bytes(n int) []byte {
+	if n < 0 || r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// Rest returns all unread bytes (possibly empty) without copying.
+func (r *Reader) Rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	v := r.buf[r.off:]
+	r.off = len(r.buf)
+	return v
+}
+
+// Skip advances the cursor by n bytes.
+func (r *Reader) Skip(n int) {
+	if n < 0 || r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return
+	}
+	r.off += n
+}
+
+// Writer accumulates big-endian fields into a growing buffer. The zero
+// value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer whose buffer has the given capacity hint.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded bytes. The slice aliases the Writer's internal
+// buffer; callers that keep it across further writes must copy.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uint8 appends one byte.
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+// Uint16 appends a big-endian 16-bit value.
+func (w *Writer) Uint16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+// Uint32 appends a big-endian 32-bit value.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// Int32 appends a big-endian 32-bit two's-complement value.
+func (w *Writer) Int32(v int32) { w.Uint32(uint32(v)) }
+
+// Write appends raw bytes. It never fails; the error return satisfies
+// io.Writer so fmt.Fprintf can target a Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}

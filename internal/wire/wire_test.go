@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundtrip(t *testing.T) {
+	w := NewWriter(16)
+	w.Uint8(0xAB)
+	w.Uint16(0xCDEF)
+	w.Uint32(0x01234567)
+	w.Int32(-120)
+	if _, err := w.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %#x, want 0xAB", got)
+	}
+	if got := r.Uint16(); got != 0xCDEF {
+		t.Errorf("Uint16 = %#x, want 0xCDEF", got)
+	}
+	if got := r.Uint32(); got != 0x01234567 {
+		t.Errorf("Uint32 = %#x, want 0x01234567", got)
+	}
+	if got := r.Int32(); got != -120 {
+		t.Errorf("Int32 = %d, want -120", got)
+	}
+	if got := r.Bytes(3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes(3) = %v, want [1 2 3]", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Errorf("Err = %v, want nil", err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.Uint32()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Subsequent reads keep failing and return zero values.
+	if got := r.Uint8(); got != 0 {
+		t.Errorf("Uint8 after failure = %d, want 0", got)
+	}
+	if got := r.Bytes(1); got != nil {
+		t.Errorf("Bytes after failure = %v, want nil", got)
+	}
+}
+
+func TestReaderSkipAndRest(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4, 5})
+	r.Skip(2)
+	if got := r.Offset(); got != 2 {
+		t.Fatalf("Offset = %d, want 2", got)
+	}
+	rest := r.Rest()
+	if !bytes.Equal(rest, []byte{3, 4, 5}) {
+		t.Fatalf("Rest = %v, want [3 4 5]", rest)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after Rest = %d, want 0", r.Len())
+	}
+}
+
+func TestReaderNegativeCounts(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if got := r.Bytes(-1); got != nil {
+		t.Errorf("Bytes(-1) = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+
+	r2 := NewReader([]byte{1, 2, 3})
+	r2.Skip(-5)
+	if !errors.Is(r2.Err(), ErrShortBuffer) {
+		t.Errorf("Skip(-5) Err = %v, want ErrShortBuffer", r2.Err())
+	}
+}
+
+func TestQuickUint32Roundtrip(t *testing.T) {
+	f := func(v uint32) bool {
+		w := NewWriter(4)
+		w.Uint32(v)
+		return NewReader(w.Bytes()).Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInt32Roundtrip(t *testing.T) {
+	f := func(v int32) bool {
+		w := NewWriter(4)
+		w.Int32(v)
+		return NewReader(w.Bytes()).Int32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixedFieldsRoundtrip(t *testing.T) {
+	f := func(a uint8, b uint16, c uint32, tail []byte) bool {
+		w := NewWriter(7 + len(tail))
+		w.Uint8(a)
+		w.Uint16(b)
+		w.Uint32(c)
+		w.Write(tail)
+		r := NewReader(w.Bytes())
+		if r.Uint8() != a || r.Uint16() != b || r.Uint32() != c {
+			return false
+		}
+		return bytes.Equal(r.Rest(), tail) && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package workload provides deterministic desktop activity generators
+// for the evaluation harness. Each workload drives the virtual desktop
+// the way a class of real sharing sessions would:
+//
+//   - Typing: a text editor filling with prose — small, frequent,
+//     synthetic-content updates (the e-learning/tutoring case the draft's
+//     introduction motivates).
+//   - Scrolling: a document reader — large coherent moves, ideal for
+//     MoveRectangle (Section 5.2.3).
+//   - Slideshow: photographic slides — large, infrequent, natural-image
+//     updates (the JPEG case of Section 4.2).
+//   - VideoRegion: a small region updating every tick (the "modern
+//     computer-generated animation" boundary case of Section 2).
+//   - WindowDrag: a window relocating every tick — WindowManagerInfo
+//     churn (Section 5.2.1).
+//
+// All generators are seeded and step-driven, so experiments are exactly
+// reproducible.
+package workload
+
+import (
+	"image"
+	"image/color"
+	"math/rand"
+
+	"appshare/internal/display"
+	"appshare/internal/region"
+)
+
+// Workload drives one unit of desktop activity per Step call.
+type Workload interface {
+	// Name identifies the workload in experiment output.
+	Name() string
+	// Step performs one tick's worth of activity.
+	Step()
+}
+
+// Typing simulates a user typing prose into an editor window at a fixed
+// number of characters per step, wrapping lines and scrolling when the
+// window fills.
+type Typing struct {
+	win          *display.Window
+	rng          *rand.Rand
+	CharsPerStep int
+	x, y         int
+	margin       int
+}
+
+// NewTyping returns a typing workload over the given window.
+func NewTyping(win *display.Window, charsPerStep int, seed int64) *Typing {
+	if charsPerStep <= 0 {
+		charsPerStep = 8
+	}
+	m := 6
+	return &Typing{
+		win:          win,
+		rng:          rand.New(rand.NewSource(seed)),
+		CharsPerStep: charsPerStep,
+		x:            m,
+		y:            m,
+		margin:       m,
+	}
+}
+
+// Name implements Workload.
+func (t *Typing) Name() string { return "typing" }
+
+// words is a small corpus the generator samples; real glyph shapes give
+// codecs realistic text statistics.
+var words = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+	"sharing", "desktop", "remote", "protocol", "window", "update",
+	"region", "packet", "screen", "participant", "lecture", "slide",
+}
+
+// Step implements Workload.
+func (t *Typing) Step() {
+	fg := color.RGBA{0x10, 0x10, 0x20, 0xFF}
+	remaining := t.CharsPerStep
+	for remaining > 0 {
+		word := words[t.rng.Intn(len(words))]
+		if len(word) > remaining {
+			word = word[:remaining]
+		}
+		wpx, _ := display.TextExtent(word + " ")
+		if t.x+wpx >= t.win.Bounds().Width-t.margin {
+			t.newline()
+		}
+		t.win.DrawText(t.x, t.y, word, fg)
+		t.x += wpx
+		remaining -= len(word) + 1
+	}
+}
+
+func (t *Typing) newline() {
+	t.x = t.margin
+	t.y += display.CellHeight
+	if t.y+display.GlyphHeight >= t.win.Bounds().Height-t.margin {
+		// Scroll up one line, as editors do.
+		t.win.Scroll(
+			region.XYWH(0, 0, t.win.Bounds().Width, t.win.Bounds().Height),
+			-display.CellHeight, color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+		t.y -= display.CellHeight
+	}
+}
+
+// Scrolling simulates reading a long document: each step scrolls the
+// window by LinesPerStep text lines and renders the newly revealed band.
+type Scrolling struct {
+	win          *display.Window
+	rng          *rand.Rand
+	LinesPerStep int
+	lineNo       int
+}
+
+// NewScrolling returns a scrolling workload.
+func NewScrolling(win *display.Window, linesPerStep int, seed int64) *Scrolling {
+	if linesPerStep <= 0 {
+		linesPerStep = 3
+	}
+	s := &Scrolling{win: win, rng: rand.New(rand.NewSource(seed)), LinesPerStep: linesPerStep}
+	// Fill the window with initial text.
+	fg := color.RGBA{0x20, 0x20, 0x20, 0xFF}
+	for y := 4; y+display.GlyphHeight < win.Bounds().Height; y += display.CellHeight {
+		s.drawLine(y, fg)
+	}
+	return s
+}
+
+// Name implements Workload.
+func (s *Scrolling) Name() string { return "scrolling" }
+
+func (s *Scrolling) drawLine(y int, fg color.RGBA) {
+	x := 4
+	for x < s.win.Bounds().Width-40 {
+		word := words[s.rng.Intn(len(words))]
+		s.win.DrawText(x, y, word, fg)
+		wpx, _ := display.TextExtent(word + " ")
+		x += wpx
+	}
+	s.lineNo++
+}
+
+// Step implements Workload. One step models one wheel notch: the reader
+// blits the whole viewport up by LinesPerStep lines in a single scroll,
+// then paints the revealed lines — the way real document viewers repaint.
+func (s *Scrolling) Step() {
+	fg := color.RGBA{0x20, 0x20, 0x20, 0xFF}
+	white := color.RGBA{0xFF, 0xFF, 0xFF, 0xFF}
+	h := s.win.Bounds().Height
+	s.win.Scroll(region.XYWH(0, 0, s.win.Bounds().Width, h),
+		-display.CellHeight*s.LinesPerStep, white)
+	for i := 0; i < s.LinesPerStep; i++ {
+		s.drawLine(h-display.CellHeight*(s.LinesPerStep-i)-2, fg)
+	}
+}
+
+// Slideshow flips photographic slides: every Interval steps the whole
+// window is replaced by a fresh pseudo-photograph.
+type Slideshow struct {
+	win      *display.Window
+	rng      *rand.Rand
+	Interval int
+	step     int
+	slide    int
+}
+
+// NewSlideshow returns a slideshow flipping every interval steps.
+func NewSlideshow(win *display.Window, interval int, seed int64) *Slideshow {
+	if interval <= 0 {
+		interval = 10
+	}
+	return &Slideshow{win: win, rng: rand.New(rand.NewSource(seed)), Interval: interval}
+}
+
+// Name implements Workload.
+func (s *Slideshow) Name() string { return "slideshow" }
+
+// Step implements Workload.
+func (s *Slideshow) Step() {
+	if s.step%s.Interval == 0 {
+		s.win.Blit(Photo(s.win.Bounds().Width, s.win.Bounds().Height, s.rng.Int63()), 0, 0)
+		s.slide++
+	}
+	s.step++
+}
+
+// Slides returns how many slides have been shown.
+func (s *Slideshow) Slides() int { return s.slide }
+
+// VideoRegion updates a fixed sub-rectangle with new photographic
+// content on every step — the worst case for lossless screen codecs.
+type VideoRegion struct {
+	win   *display.Window
+	rng   *rand.Rand
+	Rect  region.Rect
+	frame int
+}
+
+// NewVideoRegion returns a video workload playing inside r.
+func NewVideoRegion(win *display.Window, r region.Rect, seed int64) *VideoRegion {
+	return &VideoRegion{win: win, rng: rand.New(rand.NewSource(seed)), Rect: r}
+}
+
+// Name implements Workload.
+func (v *VideoRegion) Name() string { return "video" }
+
+// Step implements Workload.
+func (v *VideoRegion) Step() {
+	v.win.Blit(Photo(v.Rect.Width, v.Rect.Height, v.rng.Int63()), v.Rect.Left, v.Rect.Top)
+	v.frame++
+}
+
+// WindowDrag relocates a window along a seeded random walk, exercising
+// the WindowManagerInfo path.
+type WindowDrag struct {
+	desk   *display.Desktop
+	id     uint16
+	rng    *rand.Rand
+	Step2D int
+}
+
+// NewWindowDrag returns a drag workload moving the window each step.
+func NewWindowDrag(desk *display.Desktop, id uint16, seed int64) *WindowDrag {
+	return &WindowDrag{desk: desk, id: id, rng: rand.New(rand.NewSource(seed)), Step2D: 16}
+}
+
+// Name implements Workload.
+func (d *WindowDrag) Name() string { return "windowdrag" }
+
+// Step implements Workload.
+func (d *WindowDrag) Step() {
+	w := d.desk.Window(d.id)
+	if w == nil {
+		return
+	}
+	b := w.Bounds()
+	dw, dh := d.desk.Size()
+	nx := clamp(b.Left+d.rng.Intn(2*d.Step2D+1)-d.Step2D, 0, dw-b.Width)
+	ny := clamp(b.Top+d.rng.Intn(2*d.Step2D+1)-d.Step2D, 0, dh-b.Height)
+	_ = d.desk.MoveWindow(d.id, nx, ny)
+}
+
+func clamp(v, lo, hi int) int {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Idle does nothing — the control workload.
+type Idle struct{}
+
+// Name implements Workload.
+func (Idle) Name() string { return "idle" }
+
+// Step implements Workload.
+func (Idle) Step() {}
+
+// Photo synthesizes a pseudo-photographic image: layered smooth
+// gradients plus per-pixel noise, matching the statistics that favor
+// JPEG over PNG (Section 4.2).
+func Photo(w, h int, seed int64) *image.RGBA {
+	rng := rand.New(rand.NewSource(seed))
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	// Random gradient orientation per slide.
+	ax, ay := rng.Float64(), rng.Float64()
+	bx, by := rng.Float64(), rng.Float64()
+	base := uint8(rng.Intn(64))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x)/float64(w), float64(y)/float64(h)
+			r := base + uint8(190*(ax*fx+(1-ax)*fy)) + uint8(rng.Intn(13))
+			g := base + uint8(190*(ay*fy+(1-ay)*fx)) + uint8(rng.Intn(13))
+			b := base + uint8(190*(bx*fx+by*fy)/(bx+by+0.01)) + uint8(rng.Intn(13))
+			img.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 0xFF})
+		}
+	}
+	return img
+}

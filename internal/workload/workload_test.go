@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"appshare/internal/codec"
+	"appshare/internal/display"
+	"appshare/internal/region"
+)
+
+func newWin() (*display.Desktop, *display.Window) {
+	d := display.NewDesktop(1024, 768)
+	w := d.CreateWindow(1, region.XYWH(100, 100, 400, 300))
+	d.TakeDamage(0)
+	d.TakeMoves()
+	return d, w
+}
+
+func TestTypingProducesDamage(t *testing.T) {
+	d, w := newWin()
+	ty := NewTyping(w, 16, 1)
+	if ty.Name() != "typing" {
+		t.Fatal("name")
+	}
+	ty.Step()
+	if len(d.TakeDamage(1<<30)) == 0 {
+		t.Fatal("typing produced no damage")
+	}
+	// Many steps eventually wrap and scroll.
+	for i := 0; i < 2000; i++ {
+		ty.Step()
+	}
+	if len(d.TakeMoves()) == 0 {
+		t.Fatal("long typing session never scrolled")
+	}
+}
+
+func TestTypingDeterministic(t *testing.T) {
+	render := func() []byte {
+		_, w := newWin()
+		ty := NewTyping(w, 16, 42)
+		for i := 0; i < 50; i++ {
+			ty.Step()
+		}
+		return w.Snapshot().Pix
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("typing workload is not deterministic for a fixed seed")
+	}
+}
+
+func TestScrollingEmitsMoves(t *testing.T) {
+	d, w := newWin()
+	sc := NewScrolling(w, 2, 7)
+	d.TakeMoves()
+	d.TakeDamage(0)
+	sc.Step()
+	moves := d.TakeMoves()
+	if len(moves) != 1 {
+		t.Fatalf("moves per step = %d, want 1 (one blit per wheel notch)", len(moves))
+	}
+	if moves[0].Src.Top-moves[0].Dst.Top != 2*9 { // 2 lines x CellHeight
+		t.Fatalf("scroll distance = %d", moves[0].Src.Top-moves[0].Dst.Top)
+	}
+	if len(d.TakeDamage(1<<30)) == 0 {
+		t.Fatal("no damage for revealed lines")
+	}
+}
+
+func TestSlideshowInterval(t *testing.T) {
+	d, w := newWin()
+	ss := NewSlideshow(w, 5, 3)
+	for i := 0; i < 11; i++ {
+		ss.Step()
+	}
+	if ss.Slides() != 3 { // steps 0, 5, 10
+		t.Fatalf("slides = %d, want 3", ss.Slides())
+	}
+	if len(d.TakeDamage(1<<30)) == 0 {
+		t.Fatal("slides produced no damage")
+	}
+	// Slide content is photographic.
+	if got := codec.Classify(w.Image()); got != codec.ClassPhotographic {
+		t.Fatalf("slide classified as %v", got)
+	}
+}
+
+func TestVideoRegionDamagesOnlyItsRect(t *testing.T) {
+	d, w := newWin()
+	vr := NewVideoRegion(w, region.XYWH(50, 50, 120, 90), 9)
+	vr.Step()
+	rects := d.TakeDamage(1 << 30)
+	if len(rects) != 1 {
+		t.Fatalf("damage = %v", rects)
+	}
+	want := region.XYWH(150, 150, 120, 90) // window origin (100,100)
+	if rects[0] != want {
+		t.Fatalf("video damage = %v, want %v", rects[0], want)
+	}
+}
+
+func TestWindowDragMovesWindow(t *testing.T) {
+	d, w := newWin()
+	gen := d.Generation()
+	drag := NewWindowDrag(d, w.ID(), 11)
+	for i := 0; i < 10; i++ {
+		drag.Step()
+	}
+	if d.Generation() == gen {
+		t.Fatal("drag never moved the window")
+	}
+	b := w.Bounds()
+	dw, dh := d.Size()
+	if b.Left < 0 || b.Top < 0 || b.Right() > dw || b.Bottom() > dh {
+		t.Fatalf("drag left the desktop: %v", b)
+	}
+	// Unknown window is a no-op.
+	NewWindowDrag(d, 999, 1).Step()
+}
+
+func TestIdle(t *testing.T) {
+	d, _ := newWin()
+	var w Workload = Idle{}
+	w.Step()
+	if w.Name() != "idle" {
+		t.Fatal("name")
+	}
+	if len(d.TakeDamage(0)) != 0 {
+		t.Fatal("idle produced damage")
+	}
+}
+
+func TestPhotoIsPhotographic(t *testing.T) {
+	img := Photo(200, 150, 5)
+	if got := codec.Classify(img); got != codec.ClassPhotographic {
+		t.Fatalf("Photo classified as %v", got)
+	}
+	// Deterministic per seed.
+	a, b := Photo(64, 64, 9), Photo(64, 64, 9)
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Fatal("Photo not deterministic")
+	}
+	c := Photo(64, 64, 10)
+	if bytes.Equal(a.Pix, c.Pix) {
+		t.Fatal("different seeds should differ")
+	}
+}

@@ -1,0 +1,75 @@
+package appshare_test
+
+import (
+	"image/color"
+	"testing"
+	"time"
+
+	"appshare"
+)
+
+// TestRepairLoopRecoversLossyStream runs the background repair loop
+// against a 15%-loss link and verifies the stream heals without manual
+// NACK calls (and with the Section 5.3.2 random hold-down enabled).
+func TestRepairLoopRecoversLossyStream(t *testing.T) {
+	desk := appshare.NewDesktop(800, 600)
+	win := desk.CreateWindow(1, appshare.XYWH(50, 50, 400, 300))
+	host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk, Retransmissions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	hostSide, partSide := appshare.SimulatedLink(
+		appshare.LinkConfig{LossRate: 0.15, Seed: 31},
+		appshare.LinkConfig{Seed: 32},
+	)
+	if _, err := host.AttachPacketConn("lossy", hostSide, appshare.PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	p := appshare.NewParticipant(appshare.ParticipantConfig{})
+	conn := appshare.ConnectPacket(p, partSide)
+	defer conn.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { _ = conn.RepairLoop(stop, 20*time.Millisecond, 10*time.Millisecond) }()
+
+	if err := conn.SendPLI(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "join", func() bool {
+		if err := host.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		return len(p.Windows()) == 1
+	})
+
+	// Sustained traffic with loss.
+	for i := 0; i < 40; i++ {
+		win.Fill(appshare.XYWH(i*8, i*6, 40, 40), colorOf(i))
+		if err := host.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The repair loop must eventually drain all gaps.
+	waitFor(t, "stream repair", func() bool { return len(p.MissingSequences()) == 0 })
+	received, _, _, dropped := p.Stats()
+	if received == 0 {
+		t.Fatal("no packets received")
+	}
+	if dropped > 0 {
+		// Dropped messages mean fragments were abandoned — the repair
+		// loop should have prevented that (or PLI'd). Tolerate only if
+		// a refresh healed state afterward.
+		if p.NeedsRefresh() {
+			t.Fatalf("%d messages dropped and stream still needs refresh", dropped)
+		}
+	}
+}
+
+func colorOf(i int) color.RGBA {
+	return color.RGBA{R: uint8(i * 20), G: uint8(255 - i*5), B: 0x80, A: 0xFF}
+}

@@ -1,0 +1,158 @@
+package appshare_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"appshare/internal/bfcp"
+	"appshare/internal/core"
+	"appshare/internal/hip"
+	"appshare/internal/remoting"
+	"appshare/internal/rtcp"
+	"appshare/internal/rtp"
+	"appshare/internal/sdp"
+)
+
+// These tests inject arbitrary bytes into every decoder that faces the
+// network. The property is simply: no panic, and errors (when returned)
+// are non-nil rather than garbage successes for clearly impossible
+// inputs. A hostile participant must not be able to crash an AH.
+
+func noPanic(t *testing.T, name string, f func(data []byte)) {
+	t.Helper()
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s panicked on %v: %v", name, data, r)
+				ok = false
+			}
+		}()
+		f(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodersNeverPanicOnRandomBytes(t *testing.T) {
+	noPanic(t, "rtp.Packet.Unmarshal", func(data []byte) {
+		var p rtp.Packet
+		_ = p.Unmarshal(data)
+	})
+	noPanic(t, "rtcp.Unmarshal", func(data []byte) {
+		_, _ = rtcp.Unmarshal(data)
+	})
+	noPanic(t, "remoting.DecodePayload", func(data []byte) {
+		_, _ = remoting.DecodePayload(data)
+	})
+	noPanic(t, "hip.Unmarshal", func(data []byte) {
+		_, _ = hip.Unmarshal(data)
+	})
+	noPanic(t, "bfcp.Unmarshal", func(data []byte) {
+		_, _ = bfcp.Unmarshal(data)
+	})
+	noPanic(t, "core.ParseHeader", func(data []byte) {
+		_, _, _ = core.ParseHeader(data)
+	})
+	noPanic(t, "sdp.Parse", func(data []byte) {
+		_, _ = sdp.Parse(string(data))
+	})
+}
+
+// TestReassemblerNeverPanicsOnHostileSequences drives the reassembler
+// with random payloads and marker bits.
+func TestReassemblerNeverPanicsOnHostileSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ra := core.NewReassembler()
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(64)
+		data := make([]byte, n)
+		rng.Read(data)
+		if n >= 1 && rng.Intn(3) == 0 {
+			// Bias toward fragmentable types to hit the stateful path.
+			data[0] = byte(core.TypeRegionUpdate)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("reassembler panicked on %v: %v", data, r)
+				}
+			}()
+			_, _ = ra.Push(data, rng.Intn(2) == 0)
+		}()
+	}
+}
+
+// TestValidDecodersAcceptTheirOwnOutput is the inverse sanity check:
+// every marshal result decodes.
+func TestValidDecodersAcceptTheirOwnOutput(t *testing.T) {
+	msgs := []func() ([]byte, error){
+		func() ([]byte, error) {
+			return (&remoting.MoveRectangle{WindowID: 1, Width: 2, Height: 2}).Marshal()
+		},
+		func() ([]byte, error) { return (&remoting.WindowManagerInfo{}).Marshal() },
+		func() ([]byte, error) { return hip.Marshal(&hip.MouseMoved{WindowID: 1}) },
+		func() ([]byte, error) { return rtcp.Marshal(&rtcp.PLI{}) },
+		func() ([]byte, error) { return (&bfcp.Message{Primitive: bfcp.FloorRequest}).Marshal() },
+	}
+	decoders := []func([]byte) error{
+		func(b []byte) error { _, err := remoting.DecodePayload(b); return err },
+		func(b []byte) error { _, err := remoting.DecodePayload(b); return err },
+		func(b []byte) error { _, err := hip.Unmarshal(b); return err },
+		func(b []byte) error { _, err := rtcp.Unmarshal(b); return err },
+		func(b []byte) error { _, err := bfcp.Unmarshal(b); return err },
+	}
+	for i, mk := range msgs {
+		buf, err := mk()
+		if err != nil {
+			t.Fatalf("case %d marshal: %v", i, err)
+		}
+		if err := decoders[i](buf); err != nil {
+			t.Fatalf("case %d decode: %v", i, err)
+		}
+	}
+}
+
+// TestHostileParticipantCannotCrashHost feeds an attached host random
+// datagrams: malformed RTP, truncated HIP, RTCP-looking noise.
+func TestHostileParticipantCannotCrashHost(t *testing.T) {
+	desk := newDesk()
+	host, err := newHostFor(desk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	hostSide, attacker := simLink()
+	if _, err := host.AttachPacketConn("attacker", hostSide, packetOpts()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := attacker.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(200)
+		pkt := make([]byte, n)
+		rng.Read(pkt)
+		if n > 1 && rng.Intn(4) == 0 {
+			pkt[1] = byte(200 + rng.Intn(8)) // smells like RTCP
+		}
+		if n > 12 && rng.Intn(4) == 0 {
+			pkt[0] = 0x80 // valid RTP version
+			pkt[1] = 100  // HIP payload type
+		}
+		if err := attacker.Send(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The host must still function.
+	if err := host.Tick(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+package appshare_test
+
+import (
+	"fmt"
+	"image"
+	"image/png"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"appshare"
+	"appshare/internal/workload"
+)
+
+// TestSoakMixedAudience is the long-haul stress run: one host serving
+// eight participants across TCP, UDP (some lossy, with repair loops) and
+// multicast for several hundred ticks of mixed workloads, asserting
+// convergence at the end. Skipped under -short.
+func TestSoakMixedAudience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	desk := appshare.NewDesktop(1280, 1024)
+	w1 := desk.CreateWindow(1, appshare.XYWH(60, 50, 500, 380))
+	w2 := desk.CreateWindow(2, appshare.XYWH(420, 300, 420, 320))
+	// RetransLog sized for slow consumers: a member that lags (PNG
+	// decode backlog) detects losses late, so the host must retain a
+	// deeper retransmission window than the default.
+	host, err := appshare.NewHost(appshare.HostConfig{
+		Desktop:         desk,
+		Retransmissions: true,
+		RetransLog:      16384,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	var parts []*appshare.Participant
+	var conns []*appshare.Connection
+	stop := make(chan struct{})
+	defer close(stop)
+
+	// Three TCP participants over real loopback sockets.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = appshare.ServeTCP(host, ln, appshare.StreamOptions{}) }()
+	for i := 0; i < 3; i++ {
+		p := appshare.NewParticipant(appshare.ParticipantConfig{})
+		conn, err := appshare.DialTCP(p, ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		parts = append(parts, p)
+		conns = append(conns, conn)
+	}
+
+	// Three UDP participants over simulated links, one lossy.
+	for i := 0; i < 3; i++ {
+		loss := 0.0
+		if i == 2 {
+			loss = 0.05
+		}
+		hostSide, partSide := appshare.SimulatedLink(
+			appshare.LinkConfig{LossRate: loss, Seed: int64(40 + i)},
+			appshare.LinkConfig{Seed: int64(50 + i)})
+		if _, err := host.AttachPacketConn(fmt.Sprintf("udp-%d", i), hostSide, appshare.PacketOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		p := appshare.NewParticipant(appshare.ParticipantConfig{})
+		conn := appshare.ConnectPacket(p, partSide)
+		defer conn.Close()
+		go func() { _ = conn.RepairLoop(stop, 15*time.Millisecond, 5*time.Millisecond) }()
+		if err := conn.SendPLI(); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+		conns = append(conns, conn)
+	}
+
+	// Two multicast members. Their inboxes can overflow under bursts
+	// (multicast offers no backpressure), so they use the draft's
+	// out-of-band unicast NACK path: lost packets are retransmitted to
+	// the whole group (Section 5.3.2).
+	bus := appshare.NewBus()
+	var group *appshare.Remote
+	for i := 0; i < 2; i++ {
+		sub := bus.Subscribe(appshare.LinkConfig{Seed: int64(60 + i), QueueLen: 4096})
+		p := appshare.NewParticipant(appshare.ParticipantConfig{})
+		go func() {
+			for {
+				pkt, err := sub.Recv()
+				if err != nil {
+					return
+				}
+				_ = p.HandlePacket(pkt)
+			}
+		}()
+		go func() {
+			ticker := time.NewTicker(20 * time.Millisecond)
+			defer ticker.Stop()
+			var lastPLI time.Time
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					if group == nil {
+						continue
+					}
+					if nack, err := p.BuildNACK(); err == nil && nack != nil {
+						host.HandleFeedback(group, nack)
+					}
+					// Inbox overflow can desynchronize a member; a PLI
+					// refreshes the whole group (Section 5.3.1).
+					if p.NeedsRefresh() && time.Since(lastPLI) > 300*time.Millisecond {
+						lastPLI = time.Now()
+						if pli, err := p.BuildPLI(); err == nil {
+							host.HandleFeedback(group, pli)
+						}
+					}
+				}
+			}
+		}()
+		parts = append(parts, p)
+	}
+	group, err = host.AttachMulticast("soak-group", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.RequestRefresh(group); err != nil {
+		t.Fatal(err)
+	}
+
+	// 400 ticks of mixed activity.
+	ty := workload.NewTyping(w1, 48, 9)
+	sc := workload.NewScrolling(w2, 1, 10)
+	vid := workload.NewVideoRegion(w1, appshare.XYWH(300, 250, 120, 90), 11)
+	for i := 0; i < 400; i++ {
+		switch i % 3 {
+		case 0:
+			ty.Step()
+		case 1:
+			sc.Step()
+		case 2:
+			vid.Step()
+		}
+		if i%50 == 25 {
+			_ = desk.MoveWindow(w2.ID(), 400+(i%100), 280+(i%60))
+		}
+		if err := host.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		// Pace like a real capture loop; an unthrottled tick storm just
+		// measures channel depths, not the protocol.
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Quiesce: tick until every participant has no gaps, no pending
+	// refresh, and its receive counters have stopped moving (decode
+	// backlogs can lag well behind the wire).
+	deadline := time.Now().Add(20 * time.Second)
+	var prevCounts []uint64
+	stable := 0
+	for time.Now().Before(deadline) && stable < 3 {
+		if err := host.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
+		counts := make([]uint64, len(parts))
+		clean := true
+		for i, p := range parts {
+			received, _, _, _ := p.Stats()
+			counts[i] = received
+			if len(p.MissingSequences()) > 0 || p.NeedsRefresh() {
+				clean = false
+			}
+		}
+		if clean && prevCounts != nil {
+			same := true
+			for i := range counts {
+				if counts[i] != prevCounts[i] {
+					same = false
+				}
+			}
+			if same {
+				stable++
+			} else {
+				stable = 0
+			}
+		} else {
+			stable = 0
+		}
+		prevCounts = counts
+	}
+	if stable < 3 {
+		for i, p := range parts {
+			t.Logf("participant %d: missing %d, needsRefresh %v",
+				i, len(p.MissingSequences()), p.NeedsRefresh())
+		}
+		t.Fatal("session never quiesced")
+	}
+
+	want1 := w1.Snapshot()
+	want2 := w2.Snapshot()
+	for i, p := range parts {
+		g1 := p.WindowImage(w1.ID())
+		g2 := p.WindowImage(w2.ID())
+		if g1 == nil || g2 == nil {
+			t.Fatalf("participant %d missing windows", i)
+		}
+		d1 := diffBytes(g1.Pix, want1.Pix)
+		d2 := diffBytes(g2.Pix, want2.Pix)
+		if d1 != 0 || d2 != 0 {
+			x0, y0, x1, y1 := diffBox(g1.Pix, want1.Pix, want1.Bounds().Dx())
+			t.Errorf("participant %d did not converge after soak: w1 %d/%d (box %d,%d..%d,%d), w2 %d/%d bytes differ",
+				i, d1, len(want1.Pix), x0, y0, x1, y1, d2, len(want2.Pix))
+			if os.Getenv("SOAK_DUMP") != "" {
+				dumpPNG(t, fmt.Sprintf("/tmp/soak_want_w1.png"), want1)
+				dumpPNG(t, fmt.Sprintf("/tmp/soak_got_w1_p%d.png", i), g1)
+			}
+			received, dups, reordered, droppedMsgs := p.Stats()
+			t.Logf("participant %d: applied WMI=%d RU=%d MR=%d MPI=%d; recv=%d dup=%d reord=%d dropped=%d",
+				i, p.Applied(1), p.Applied(2), p.Applied(3), p.Applied(4),
+				received, dups, reordered, droppedMsgs)
+			r0 := parts[0]
+			t.Logf("reference 0: applied WMI=%d RU=%d MR=%d MPI=%d",
+				r0.Applied(1), r0.Applied(2), r0.Applied(3), r0.Applied(4))
+		}
+	}
+	if errs := host.HIPErrors(); errs != 0 {
+		t.Errorf("unexpected HIP errors: %d", errs)
+	}
+}
+
+func diffBytes(a, b []byte) int {
+	if len(a) != len(b) {
+		return len(a) + len(b)
+	}
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func diffBox(a, b []byte, width int) (x0, y0, x1, y1 int) {
+	x0, y0 = 1<<30, 1<<30
+	for i := range a {
+		if a[i] != b[i] {
+			px := i / 4
+			x, y := px%width, px/width
+			if x < x0 {
+				x0 = x
+			}
+			if x > x1 {
+				x1 = x
+			}
+			if y < y0 {
+				y0 = y
+			}
+			if y > y1 {
+				y1 = y
+			}
+		}
+	}
+	return
+}
+
+func dumpPNG(t *testing.T, path string, img *image.RGBA) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Logf("dump %s: %v", path, err)
+		return
+	}
+	defer f.Close()
+	if err := png.Encode(f, img); err != nil {
+		t.Logf("dump %s: %v", path, err)
+	}
+	t.Logf("dumped %s", path)
+}

@@ -1,0 +1,96 @@
+package appshare_test
+
+import (
+	"bytes"
+	"image/color"
+	"testing"
+	"time"
+
+	"appshare"
+)
+
+// TestRecordAndReplaySession records a live session trace, then replays
+// it into a fresh participant and checks the replayed screen equals the
+// live participant's screen — the offline-debugging workflow of
+// cmd/ads-replay.
+func TestRecordAndReplaySession(t *testing.T) {
+	desk := appshare.NewDesktop(800, 600)
+	win := desk.CreateWindow(1, appshare.XYWH(60, 50, 300, 220))
+	host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	hostSide, partSide := appshare.SimulatedLink(appshare.LinkConfig{Seed: 3}, appshare.LinkConfig{Seed: 4})
+	if _, err := host.AttachPacketConn("rec", hostSide, appshare.PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	live := appshare.NewParticipant(appshare.ParticipantConfig{})
+	conn := appshare.ConnectPacket(live, partSide)
+	defer conn.Close()
+
+	var traceBuf bytes.Buffer
+	tw, err := appshare.NewTraceWriter(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.RecordTo(tw)
+
+	if err := conn.SendPLI(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "join", func() bool {
+		if err := host.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		return len(live.Windows()) == 1
+	})
+
+	colors := []color.RGBA{
+		{0xFF, 0, 0, 0xFF}, {0, 0xFF, 0, 0xFF}, {0, 0, 0xFF, 0xFF},
+	}
+	for i := 0; i < 15; i++ {
+		win.Fill(appshare.XYWH(i*15, i*12, 60, 50), colors[i%3])
+		if err := host.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay into a fresh participant.
+	recs, err := appshare.ReadTrace(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 10 {
+		t.Fatalf("trace has only %d records", len(recs))
+	}
+	replayed := appshare.NewParticipant(appshare.ParticipantConfig{})
+	for _, rec := range recs {
+		if len(rec.Packet) >= 2 && rec.Packet[1] >= 200 && rec.Packet[1] <= 207 {
+			continue
+		}
+		if err := replayed.HandlePacket(rec.Packet); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	liveImg := live.WindowImage(win.ID())
+	replayImg := replayed.WindowImage(win.ID())
+	if liveImg == nil || replayImg == nil {
+		t.Fatal("missing window image")
+	}
+	if !bytes.Equal(liveImg.Pix, replayImg.Pix) {
+		t.Fatal("replayed screen differs from the live session")
+	}
+	// Offsets are monotonically non-decreasing.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Offset < recs[i-1].Offset {
+			t.Fatalf("offsets not monotonic at %d: %v < %v", i, recs[i].Offset, recs[i-1].Offset)
+		}
+	}
+}
