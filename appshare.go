@@ -79,8 +79,13 @@ type (
 	// Rect is an axis-aligned pixel rectangle (origin top-left).
 	Rect = region.Rect
 
-	// CaptureOptions tunes the damage-to-messages pipeline.
+	// CaptureOptions tunes the damage-to-messages pipeline, including
+	// the parallel encode pool (EncodeWorkers) and the content-addressed
+	// payload cache budget (CacheBytes).
 	CaptureOptions = capture.Options
+	// EncodeMetrics reports the encode pipeline's cumulative cache and
+	// parallelism counters (see Host.EncodeMetrics).
+	EncodeMetrics = capture.EncodeMetrics
 
 	// Codec encodes/decodes screen regions; Registry maps RTP payload
 	// types to codecs.

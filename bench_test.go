@@ -8,12 +8,14 @@ import (
 	"bytes"
 	"fmt"
 	"image"
+	"image/color"
 	"io"
 	"testing"
 	"time"
 
 	"appshare"
 	"appshare/internal/bfcp"
+	"appshare/internal/capture"
 	"appshare/internal/codec"
 	"appshare/internal/core"
 	"appshare/internal/framing"
@@ -468,4 +470,116 @@ type benchDuplex struct {
 func (d *benchDuplex) Close() error {
 	_ = d.c2.Close()
 	return d.c1.Close()
+}
+
+// BenchmarkE19ParallelEncode measures one capture tick encoding a
+// varying number of dirty rects, serial versus the GOMAXPROCS-sized
+// worker pool. The payload cache is disabled so every rect is a real
+// PNG encode; fill colors change per iteration so no tick is trivially
+// empty.
+func BenchmarkE19ParallelEncode(b *testing.B) {
+	for _, rects := range []int{2, 8, 16} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", -1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("rects-%d/%s", rects, mode.name), func(b *testing.B) {
+				desk := appshare.NewDesktop(1600, 1200)
+				win := desk.CreateWindow(1, appshare.XYWH(0, 0, 1536, 1152))
+				pipe, err := capture.New(desk, appshare.CaptureOptions{
+					EncodeWorkers: mode.workers,
+					CacheBytes:    -1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Drain the initial full-window damage so iterations
+				// measure steady-state dirty-rect encoding only.
+				if _, err := pipe.Tick(); err != nil {
+					b.Fatal(err)
+				}
+				var payload uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for r := 0; r < rects; r++ {
+						c := color.RGBA{R: byte(i), G: byte(r * 37), B: byte(i >> 8), A: 255}
+						win.Fill(appshare.XYWH((r%4)*380, (r/4)*280, 160, 120), c)
+					}
+					batch, err := pipe.Tick()
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, up := range batch.Updates {
+						payload += uint64(len(up.Msg.Content))
+					}
+				}
+				b.ReportMetric(float64(payload)/float64(b.N), "payload-bytes/tick")
+			})
+		}
+	}
+}
+
+// BenchmarkE20RefreshCache measures serving a full refresh to 8 stream
+// participants (a late-joiner storm) with the payload cache on versus
+// off. With the cache, static content is encoded once per window and
+// the other seven refreshes are pure hits; without it every refresh
+// re-encodes everything.
+func BenchmarkE20RefreshCache(b *testing.B) {
+	const joiners = 8
+	for _, mode := range []struct {
+		name       string
+		cacheBytes int
+	}{{"cache", 0}, {"nocache", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			desk := appshare.NewDesktop(1280, 1024)
+			win := desk.CreateWindow(1, appshare.XYWH(64, 48, 640, 480))
+			win.Fill(appshare.XYWH(0, 0, 640, 480), color.RGBA{R: 40, G: 90, B: 160, A: 255})
+			win.DrawText(16, 20, "static slide content", color.RGBA{A: 255})
+			host, err := appshare.NewHost(appshare.HostConfig{
+				Desktop: desk,
+				Capture: appshare.CaptureOptions{CacheBytes: mode.cacheBytes},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer host.Close()
+			var remotes []*appshare.Remote
+			for i := 0; i < joiners; i++ {
+				hostEnd, partEnd := benchStreamPair()
+				go io.Copy(io.Discard, partEnd)
+				r, err := host.AttachStream(fmt.Sprintf("p%d", i), hostEnd, appshare.StreamOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				remotes = append(remotes, r)
+			}
+			if err := host.Tick(); err != nil {
+				b.Fatal(err)
+			}
+			before := host.EncodeMetrics()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range remotes {
+					if err := host.RequestRefresh(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			m := host.EncodeMetrics()
+			jobs := (m.ParallelJobs + m.SerialJobs) - (before.ParallelJobs + before.SerialJobs)
+			encodes := jobs
+			if mode.cacheBytes >= 0 {
+				encodes = m.Cache.Misses - before.Cache.Misses
+				if lookups := (m.Cache.Hits + m.Cache.Misses) - (before.Cache.Hits + before.Cache.Misses); lookups > 0 {
+					hits := m.Cache.Hits - before.Cache.Hits
+					b.ReportMetric(float64(hits)/float64(lookups), "hit-rate")
+				}
+			}
+			// Encodes per 8-participant refresh storm: ~1 per window with
+			// the cache, ~8 per window without.
+			b.ReportMetric(float64(encodes)/float64(b.N), "encodes/fanout")
+		})
+	}
 }

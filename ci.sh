@@ -1,0 +1,12 @@
+#!/bin/sh
+# CI gate: vet, build, then the full test suite under the race detector.
+# The -race run includes the concurrency tests that drive Host.Tick
+# against participant attach/detach and BroadcastExtension, and the
+# determinism tests that run under -cpu 1,4.
+set -eux
+
+cd "$(dirname "$0")"
+
+go vet ./...
+go build ./...
+go test -race ./...

@@ -21,6 +21,8 @@ import (
 	"appshare/internal/bfcp"
 	"appshare/internal/capture"
 	"appshare/internal/display"
+	"appshare/internal/region"
+	"appshare/internal/remoting"
 	"appshare/internal/stats"
 )
 
@@ -74,6 +76,14 @@ type Config struct {
 }
 
 // Host is an application host serving one sharing session.
+//
+// Lock order (see DESIGN.md "Parallel encode pipeline"): tickMu → mu →
+// capMu. Tick holds tickMu end to end; mu guards participant and queue
+// state and is NOT held while the tick's batch is captured and encoded,
+// so attach/detach and feedback stay responsive while the PNG workers
+// run; capMu serializes every capture-pipeline use (Tick, FullRefresh,
+// EncodeRegion) because the pipeline and the desktop journals are
+// single-reader structures.
 type Host struct {
 	mu       sync.Mutex
 	cfg      Config
@@ -85,6 +95,17 @@ type Host struct {
 	// hipQueue holds participant input awaiting the next Tick.
 	hipQueue []queuedEvent
 	closed   bool
+
+	// tickMu serializes whole Tick calls against each other so two
+	// concurrent Ticks cannot interleave capture and fan-out (which
+	// would reorder updates on the wire).
+	tickMu sync.Mutex
+	// capMu serializes capture-pipeline access; acquired after mu on
+	// paths that hold both.
+	capMu sync.Mutex
+	// lastEnc is the encode-metric snapshot already flushed to
+	// cfg.Stats; guarded by mu.
+	lastEnc capture.EncodeMetrics
 }
 
 // New returns a Host sharing the configured desktop.
@@ -158,23 +179,48 @@ func (h *Host) Participants() int {
 
 // Tick captures one round of desktop changes and fans the resulting
 // messages out to every participant. Call it at the desired frame rate.
+//
+// The expensive middle — compressing the tick's dirty rectangles across
+// the encode worker pool — runs without the host lock, so participants
+// can attach, detach and deliver feedback while the encoders work. The
+// batch is marshalled once and the shared payloads fan out to every
+// remote; likewise all PLIs latched since the last tick are answered
+// from a single full-refresh encode.
 func (h *Host) Tick() error {
+	h.tickMu.Lock()
+	defer h.tickMu.Unlock()
+
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return errors.New("ah: host closed")
 	}
 	h.updateHIDStatusLocked()
 	// Drain queued participant input first: the events' effects land in
 	// this tick's capture, exactly as OS-queued input precedes a frame.
 	h.drainHIPLocked()
+	h.mu.Unlock()
+
+	h.capMu.Lock()
 	batch, err := h.pipeline.Tick()
+	h.capMu.Unlock()
 	if err != nil {
 		return err
 	}
+	prep, err := prepareBatch(batch, h.cfg.MTU)
+	if err != nil {
+		return err
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return errors.New("ah: host closed")
+	}
 	var firstErr error
+	var refreshers []*Remote
 	for r := range h.remotes {
-		if err := r.deliver(batch); err != nil && firstErr == nil {
+		if err := r.deliver(batch, prep); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if r.refreshRequested {
@@ -182,12 +228,87 @@ func (h *Host) Tick() error {
 			// journal batch so the refresh snapshot is consistent with
 			// everything already emitted.
 			r.refreshRequested = false
-			if err := r.fullRefresh(); err != nil && firstErr == nil {
-				firstErr = err
-			}
+			refreshers = append(refreshers, r)
+		}
+	}
+	if len(refreshers) > 0 {
+		if err := h.serveRefreshersLocked(refreshers); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	h.recordEncodeMetricsLocked()
+	return firstErr
+}
+
+// serveRefreshersLocked answers all latched PLIs with ONE full-refresh
+// capture: the snapshot is encoded once (and usually served straight
+// from the payload cache) and the marshalled messages are re-stamped
+// per requester. A PLI storm from N late joiners therefore costs ~one
+// encode per window, not N. Host lock held.
+func (h *Host) serveRefreshersLocked(refreshers []*Remote) error {
+	b, err := h.captureFullRefreshLocked()
+	if err != nil {
+		return err
+	}
+	prep, err := prepareBatch(b, h.cfg.MTU)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, r := range refreshers {
+		r.pending.Clear()
+		r.pendingPointer = false
+		if err := r.sendPrepared(prep.msgs); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// captureFullRefreshLocked snapshots the full participant state under
+// the capture lock. Host lock held (lock order mu → capMu).
+func (h *Host) captureFullRefreshLocked() (*capture.Batch, error) {
+	h.capMu.Lock()
+	defer h.capMu.Unlock()
+	return h.pipeline.FullRefresh()
+}
+
+// encodeRegionLocked re-captures one deferred region under the capture
+// lock. Host lock held.
+func (h *Host) encodeRegionLocked(rect region.Rect) ([]capture.Update, error) {
+	h.capMu.Lock()
+	defer h.capMu.Unlock()
+	return h.pipeline.EncodeRegion(rect)
+}
+
+// capturePointerLocked builds a full MousePointerInfo under the capture
+// lock. Host lock held.
+func (h *Host) capturePointerLocked() (*remoting.MousePointerInfo, error) {
+	h.capMu.Lock()
+	defer h.capMu.Unlock()
+	return h.pipeline.FullRefreshPointer()
+}
+
+// EncodeMetrics returns the capture pipeline's cumulative encode-layer
+// counters (payload-cache effectiveness, worker-pool utilisation).
+func (h *Host) EncodeMetrics() capture.EncodeMetrics {
+	return h.pipeline.Metrics()
+}
+
+// recordEncodeMetricsLocked flushes the delta of the encode counters to
+// the stats collector, under the kinds EncodeCacheHit / EncodeCacheMiss
+// / EncodeCacheEvict / EncodeParallel / EncodeSerial. Host lock held.
+func (h *Host) recordEncodeMetricsLocked() {
+	if h.cfg.Stats == nil {
+		return
+	}
+	m, prev := h.pipeline.Metrics(), h.lastEnc
+	h.lastEnc = m
+	h.cfg.Stats.RecordN("EncodeCacheHit", m.Cache.Hits-prev.Cache.Hits, m.Cache.HitBytes-prev.Cache.HitBytes)
+	h.cfg.Stats.RecordN("EncodeCacheMiss", m.Cache.Misses-prev.Cache.Misses, m.Cache.MissBytes-prev.Cache.MissBytes)
+	h.cfg.Stats.RecordN("EncodeCacheEvict", m.Cache.Evictions-prev.Cache.Evictions, 0)
+	h.cfg.Stats.RecordN("EncodeParallel", m.ParallelJobs-prev.ParallelJobs, 0)
+	h.cfg.Stats.RecordN("EncodeSerial", m.SerialJobs-prev.SerialJobs, 0)
 }
 
 // Run ticks the host at the given interval until stop is closed.

@@ -1,0 +1,201 @@
+package ah
+
+import (
+	"fmt"
+	"image/color"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"appshare/internal/display"
+	"appshare/internal/region"
+	"appshare/internal/stats"
+	"appshare/internal/transport"
+)
+
+// drain consumes everything written to a stream endpoint so the host
+// side never blocks on a full pipe.
+func drain(rw io.Reader) {
+	buf := make([]byte, 4096)
+	for {
+		if _, err := rw.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// TestConcurrentTickAttachDetach drives Host.Tick at full speed while
+// other goroutines attach and detach participants and broadcast
+// extension messages. Run under -race it pins the parallel encode
+// pipeline's locking contract (tickMu → mu → capMu; capture and encode
+// run without the host lock).
+//
+// The test respects the desktop-ownership rule: window pixels are
+// mutated only between Ticks on the owner goroutine, and only while no
+// TCP attach is in flight — AttachStream and RequestRefresh capture
+// pixels on the caller's goroutine (the draft's synchronous TCP join
+// flow), so like every capture they must not overlap application paint.
+// UDP attach/detach, PLI-latched refreshes, backlog flushes and
+// extension broadcasts have no such coupling and churn throughout.
+func TestConcurrentTickAttachDetach(t *testing.T) {
+	desk := display.NewDesktop(640, 480)
+	win := desk.CreateWindow(1, region.XYWH(20, 20, 300, 220))
+	host, err := New(Config{Desktop: desk, Stats: stats.NewCollector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stopPaint := make(chan struct{}) // phase 1 → phase 2 boundary
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Desktop owner: mutate (while allowed) + Tick. Only this
+	// goroutine touches the desktop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		colors := []color.RGBA{{R: 255, A: 255}, {G: 255, A: 255}, {B: 255, A: 255}}
+		paint := true
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if paint {
+				select {
+				case <-stopPaint:
+					paint = false
+				default:
+					win.Fill(region.XYWH((i%5)*40, (i%4)*40, 40, 40), colors[i%len(colors)])
+				}
+			}
+			if err := host.Tick(); err != nil {
+				return // host closed by test teardown
+			}
+		}
+	}()
+
+	// Datagram churners: attach a UDP participant over a simulated
+	// link, let a few ticks pass, drop it. UDP attach pushes no
+	// initial state (the participant PLIs instead), so it is safe
+	// against concurrent paint by design.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, b := transport.Pipe(transport.LinkConfig{}, transport.LinkConfig{})
+				go func() {
+					for {
+						if _, err := b.Recv(); err != nil {
+							return
+						}
+					}
+				}()
+				r, err := host.AttachPacketConn(fmt.Sprintf("udp-%d-%d", g, i), a, PacketOptions{UserID: uint16(20 + g)})
+				if err != nil {
+					return
+				}
+				time.Sleep(time.Millisecond)
+				_ = r.Close()
+				_ = b.Close()
+			}
+		}(g)
+	}
+
+	// Broadcaster: extension messages race the tick fan-out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		payload := []byte{0x7F, 0x00, 0x00, 0x00, 0xDE, 0xAD, 0xBE, 0xEF}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = host.BroadcastExtension(payload)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Phase 1: paint + tick churn against UDP attach/detach and
+	// broadcasts.
+	time.Sleep(150 * time.Millisecond)
+	close(stopPaint)
+	time.Sleep(5 * time.Millisecond) // let the final paint drain
+
+	// Phase 2: TCP churn. Attaching a stream captures the full desktop
+	// state on this goroutine, concurrent with the owner's Ticks.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hostEnd, peerEnd := streamPair()
+				go drain(peerEnd)
+				r, err := host.AttachStream(fmt.Sprintf("tcp-%d-%d", g, i), hostEnd, StreamOptions{UserID: uint16(10 + g)})
+				if err != nil {
+					return // host closed
+				}
+				_ = host.RequestRefresh(r)
+				time.Sleep(time.Millisecond)
+				_ = r.Close()
+				_ = peerEnd.Close()
+			}
+		}(g)
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := host.Participants(); got != 0 {
+		t.Fatalf("%d participants survived Close", got)
+	}
+}
+
+// TestCloseDuringTick pins the closed-host fast path: Close racing an
+// in-flight Tick must not panic and must stop deliveries.
+func TestCloseDuringTick(t *testing.T) {
+	desk := display.NewDesktop(320, 240)
+	win := desk.CreateWindow(1, region.XYWH(0, 0, 200, 150))
+	host, err := New(Config{Desktop: desk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostEnd, peerEnd := streamPair()
+	go drain(peerEnd)
+	if _, err := host.AttachStream("p", hostEnd, StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			win.Fill(region.XYWH(i%10*10, 0, 10, 10), color.RGBA{R: byte(i), A: 255})
+			if err := host.Tick(); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}

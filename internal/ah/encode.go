@@ -2,54 +2,56 @@ package ah
 
 import (
 	"fmt"
-	"time"
 
 	"appshare/internal/capture"
 	"appshare/internal/remoting"
-	"appshare/internal/rtp"
 )
 
-// encoded is one RTP packet ready to ship, tagged with its message kind
-// for stats.
-type encoded struct {
-	bytes []byte
-	kind  string
+// preparedMessage is one remoting-protocol payload (a whole message or
+// one fragment of it) ready for per-remote RTP packetization, tagged
+// with its message kind for stats and the draft's marker-bit rule.
+type preparedMessage struct {
+	payload []byte
+	marker  bool
+	kind    string
 }
 
-// encodeBatch converts a capture batch into RTP packets for one
-// participant stream, applying the draft's RTP header usage rules: all
-// fragments of one message share a timestamp, the marker bit follows
-// Table 2 for RegionUpdate/MousePointerInfo and is zero elsewhere.
-func encodeBatch(b *capture.Batch, pz *rtp.Packetizer, mtu int, now time.Time) ([]encoded, error) {
-	var out []encoded
+// preparedBatch is a capture batch marshalled and fragmented exactly
+// once. The payload bytes are shared by every remote the batch fans out
+// to — only the RTP headers (SSRC, sequence number, timestamp) differ
+// per participant — so a 100-receiver session pays one marshalling cost,
+// not 100.
+type preparedBatch struct {
+	msgs []preparedMessage
+	// wmCount is the number of leading messages carrying the batch's
+	// WindowManagerInfo (0 or 1); wmOnly slices them off for the
+	// backlogged path, which sends window state but defers pixels.
+	wmCount int
+}
 
-	appendPacket := func(payload []byte, marker bool, kind string) error {
-		pkt := pz.Packetize(payload, marker, now)
-		raw, err := pkt.Marshal()
-		if err != nil {
-			return err
-		}
-		out = append(out, encoded{bytes: raw, kind: kind})
-		return nil
-	}
+// wmOnly returns just the WindowManagerInfo messages of the batch.
+func (p *preparedBatch) wmOnly() []preparedMessage { return p.msgs[:p.wmCount] }
 
+// prepareBatch marshals a capture batch into protocol payloads in apply
+// order, applying the draft's RTP usage rules: the marker bit follows
+// Table 2 for RegionUpdate/MousePointerInfo fragments and is zero
+// elsewhere. The result is immutable and safe to fan out concurrently.
+func prepareBatch(b *capture.Batch, mtu int) (*preparedBatch, error) {
+	out := &preparedBatch{}
 	if b.WMInfo != nil {
 		payload, err := b.WMInfo.Marshal()
 		if err != nil {
 			return nil, fmt.Errorf("ah: encode WindowManagerInfo: %w", err)
 		}
-		if err := appendPacket(payload, false, "WindowManagerInfo"); err != nil {
-			return nil, err
-		}
+		out.msgs = append(out.msgs, preparedMessage{payload: payload, kind: "WindowManagerInfo"})
+		out.wmCount = 1
 	}
 	for _, mv := range b.Moves {
 		payload, err := mv.Marshal()
 		if err != nil {
 			return nil, fmt.Errorf("ah: encode MoveRectangle: %w", err)
 		}
-		if err := appendPacket(payload, false, "MoveRectangle"); err != nil {
-			return nil, err
-		}
+		out.msgs = append(out.msgs, preparedMessage{payload: payload, kind: "MoveRectangle"})
 	}
 	for _, up := range b.Updates {
 		frags, err := up.Msg.Fragments(mtu)
@@ -57,9 +59,7 @@ func encodeBatch(b *capture.Batch, pz *rtp.Packetizer, mtu int, now time.Time) (
 			return nil, fmt.Errorf("ah: fragment RegionUpdate: %w", err)
 		}
 		for _, f := range frags {
-			if err := appendPacket(f.Payload, f.Marker, "RegionUpdate"); err != nil {
-				return nil, err
-			}
+			out.msgs = append(out.msgs, preparedMessage{payload: f.Payload, marker: f.Marker, kind: "RegionUpdate"})
 		}
 	}
 	if b.Pointer != nil {
@@ -68,12 +68,27 @@ func encodeBatch(b *capture.Batch, pz *rtp.Packetizer, mtu int, now time.Time) (
 			return nil, fmt.Errorf("ah: fragment MousePointerInfo: %w", err)
 		}
 		for _, f := range frags {
-			if err := appendPacket(f.Payload, f.Marker, "MousePointerInfo"); err != nil {
-				return nil, err
-			}
+			out.msgs = append(out.msgs, preparedMessage{payload: f.Payload, marker: f.Marker, kind: "MousePointerInfo"})
 		}
 	}
 	return out, nil
+}
+
+// sendPrepared stamps the shared payloads with this remote's RTP stream
+// state and ships them. The host lock is held.
+func (r *Remote) sendPrepared(msgs []preparedMessage) error {
+	now := r.host.cfg.Now()
+	for _, m := range msgs {
+		pkt := r.pz.Packetize(m.payload, m.marker, now)
+		raw, err := pkt.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := r.shipAndLog(raw, m.kind); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // batchFromUpdates wraps re-captured updates in a batch for encoding.

@@ -120,18 +120,16 @@ func (h *Host) newRemote(id string, userID uint16, s sink) *Remote {
 }
 
 // deliver sends one capture batch to the participant, deferring screen
-// data under backlog per Section 7. The host lock is held.
-func (r *Remote) deliver(b *capture.Batch) error {
+// data under backlog per Section 7. prep is the batch marshalled once
+// for all remotes; only RTP packetization happens per participant. The
+// host lock is held.
+func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
 	approx := approxBatchSize(b)
 	if r.sink.backlogged(approx) {
 		r.deferScreenData(b)
-		if b.WMInfo != nil {
-			// Window state is tiny and ordering-critical; it still goes
-			// out so the participant tracks structure while pixels wait.
-			wmOnly := &capture.Batch{WMInfo: b.WMInfo}
-			return r.sendBatch(wmOnly)
-		}
-		return nil
+		// Window state is tiny and ordering-critical; it still goes
+		// out so the participant tracks structure while pixels wait.
+		return r.sendPrepared(prep.wmOnly())
 	}
 
 	// Link is clear. With deferred regions outstanding, this batch's
@@ -145,14 +143,12 @@ func (r *Remote) deliver(b *capture.Batch) error {
 	if !r.pending.Empty() || r.pendingPointer {
 		r.deferScreenData(b)
 		r.deferrals-- // folding is not a new deferral
-		if b.WMInfo != nil {
-			if err := r.sendBatch(&capture.Batch{WMInfo: b.WMInfo}); err != nil {
-				return err
-			}
+		if err := r.sendPrepared(prep.wmOnly()); err != nil {
+			return err
 		}
 		return r.flushPending()
 	}
-	return r.sendBatch(b)
+	return r.sendPrepared(prep.msgs)
 }
 
 func (r *Remote) deferScreenData(b *capture.Batch) {
@@ -172,7 +168,7 @@ func (r *Remote) deferScreenData(b *capture.Batch) {
 func (r *Remote) flushPending() error {
 	var ups []capture.Update
 	for _, rect := range r.pending.Coalesce(1024) {
-		u, err := r.host.pipeline.EncodeRegion(rect)
+		u, err := r.host.encodeRegionLocked(rect)
 		if err != nil {
 			return err
 		}
@@ -180,7 +176,7 @@ func (r *Remote) flushPending() error {
 	}
 	flush := batchFromUpdates(ups, nil)
 	if r.pendingPointer {
-		refresh, err := r.host.pipeline.FullRefreshPointer()
+		refresh, err := r.host.capturePointerLocked()
 		if err != nil {
 			return err
 		}
@@ -191,18 +187,15 @@ func (r *Remote) flushPending() error {
 	return r.sendBatch(flush)
 }
 
-// sendBatch encodes and ships a batch. The host lock is held.
+// sendBatch marshals and ships a batch to this remote alone. The host
+// lock is held. (Tick's fan-out paths marshal once via prepareBatch and
+// call sendPrepared directly.)
 func (r *Remote) sendBatch(b *capture.Batch) error {
-	pkts, err := encodeBatch(b, r.pz, r.host.cfg.MTU, r.host.cfg.Now())
+	prep, err := prepareBatch(b, r.host.cfg.MTU)
 	if err != nil {
 		return err
 	}
-	for _, p := range pkts {
-		if err := r.shipAndLog(p.bytes, p.kind); err != nil {
-			return err
-		}
-	}
-	return nil
+	return r.sendPrepared(prep.msgs)
 }
 
 func (r *Remote) shipAndLog(pkt []byte, kind string) error {
@@ -236,7 +229,7 @@ func (r *Remote) logForRetransmission(pkt []byte) {
 
 // fullRefresh sends the complete state to this remote (PLI service).
 func (r *Remote) fullRefresh() error {
-	b, err := r.host.pipeline.FullRefresh()
+	b, err := r.host.captureFullRefreshLocked()
 	if err != nil {
 		return err
 	}

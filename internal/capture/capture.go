@@ -47,7 +47,21 @@ type Options struct {
 	// of MoveRectangle messages — the ablation baseline for the Section
 	// 5.2.3 efficiency claim.
 	DisableMoveDetection bool
+	// EncodeWorkers sets the width of the encode worker pool that
+	// compresses a tick's dirty rectangles in parallel. Zero means one
+	// worker per CPU (GOMAXPROCS); negative forces serial encoding.
+	// Batch output is byte-identical regardless of the setting.
+	EncodeWorkers int
+	// CacheBytes bounds the content-addressed payload cache that
+	// serves repeated pixel content (full refreshes for late joiners,
+	// PLI re-sends, identical tiles) without re-encoding. Zero selects
+	// DefaultCacheBytes; negative disables the cache.
+	CacheBytes int
 }
+
+// DefaultCacheBytes is the payload-cache budget used when
+// Options.CacheBytes is zero.
+const DefaultCacheBytes = 16 << 20
 
 // Update pairs a RegionUpdate message with the absolute desktop
 // rectangle it covers. The rectangle never travels on the wire (the
@@ -73,6 +87,11 @@ func (b *Batch) Empty() bool {
 }
 
 // Pipeline converts desktop changes into remoting messages.
+//
+// Concurrency: one Tick/FullRefresh/EncodeRegion call at a time (the
+// host serializes them); within a call the encode worker pool reads
+// window buffers concurrently, which is safe because only the capture
+// caller's goroutine mutates the desktop.
 type Pipeline struct {
 	desk    *display.Desktop
 	tracker *windows.Tracker
@@ -84,6 +103,13 @@ type Pipeline struct {
 	// lastCursor is the screen rectangle the cursor sprite occupied in
 	// the previous tick, for the pointer-in-updates mouse model.
 	lastCursor region.Rect
+
+	// workers is the resolved encode pool width; cache is the
+	// content-addressed payload cache (nil when disabled).
+	workers int
+	cache   *codec.PayloadCache
+	// Encode-layer counters, updated atomically (see Metrics).
+	parallelJobs, serialJobs, encodeBatches uint64
 }
 
 // New returns a pipeline over the given desktop.
@@ -101,7 +127,21 @@ func New(desk *display.Desktop, opts Options) (*Pipeline, error) {
 	} else if opts.CoalesceWaste < 0 {
 		opts.CoalesceWaste = 0
 	}
-	p := &Pipeline{desk: desk, tracker: windows.NewTracker(), opts: opts, reg: reg, png: png}
+	p := &Pipeline{
+		desk:    desk,
+		tracker: windows.NewTracker(),
+		opts:    opts,
+		reg:     reg,
+		png:     png,
+		workers: resolveWorkers(opts.EncodeWorkers),
+	}
+	if opts.CacheBytes >= 0 {
+		limit := opts.CacheBytes
+		if limit == 0 {
+			limit = DefaultCacheBytes
+		}
+		p.cache = codec.NewPayloadCache(limit)
+	}
 	if jp, err := reg.Lookup(codec.PayloadTypeJPEG); err == nil {
 		p.jpeg = jp
 	}
@@ -163,31 +203,30 @@ func (p *Pipeline) Tick() (*Batch, error) {
 	for _, dr := range p.desk.TakeDamage(p.opts.CoalesceWaste) {
 		damage.Add(dr)
 	}
+	// Gather every rectangle this tick must encode, then hand the whole
+	// job list to the worker pool in one batch: a tick with many dirty
+	// rects compresses across all cores instead of one at a time.
+	var jobs []encodeJob
 	for _, dr := range damage.Coalesce(p.opts.CoalesceWaste) {
-		ups, err := p.EncodeRegion(dr)
-		if err != nil {
-			return nil, err
-		}
-		b.Updates = append(b.Updates, ups...)
+		jobs = p.gatherRegion(jobs, dr)
 	}
 
 	moved, changed := p.desk.TakeCursorEvents()
-	if p.opts.PointerInUpdates {
+	if p.opts.PointerInUpdates && (moved || changed) {
 		// The pointer travels inside RegionUpdates (Section 4.2, first
 		// mouse model): damage the sprite's old and new positions so the
 		// overlaid pixels retransmit.
-		if moved || changed {
-			cur := p.cursorRect()
-			for _, dr := range []region.Rect{p.lastCursor, cur} {
-				ups, err := p.EncodeRegion(dr)
-				if err != nil {
-					return nil, err
-				}
-				b.Updates = append(b.Updates, ups...)
-			}
-			p.lastCursor = cur
-		}
-	} else if moved || changed {
+		cur := p.cursorRect()
+		jobs = p.gatherRegion(jobs, p.lastCursor)
+		jobs = p.gatherRegion(jobs, cur)
+		p.lastCursor = cur
+	}
+	ups, err := p.encodeJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	b.Updates = ups
+	if !p.opts.PointerInUpdates && (moved || changed) {
 		ptr, err := p.pointerMessage(changed)
 		if err != nil {
 			return nil, err
@@ -214,13 +253,18 @@ func (p *Pipeline) cursorRect() region.Rect {
 // about the current position and image of mouse pointer").
 func (p *Pipeline) FullRefresh() (*Batch, error) {
 	b := &Batch{WMInfo: p.tracker.Current(p.desk)}
+	var jobs []encodeJob
 	for _, w := range p.desk.SharedWindows() {
-		up, err := p.encodeWindowRect(w, region.XYWH(0, 0, w.Bounds().Width, w.Bounds().Height))
-		if err != nil {
-			return nil, err
-		}
-		b.Updates = append(b.Updates, up)
+		jobs = append(jobs, encodeJob{
+			win:   w,
+			local: region.XYWH(0, 0, w.Bounds().Width, w.Bounds().Height),
+		})
 	}
+	ups, err := p.encodeJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	b.Updates = ups
 	if !p.opts.PointerInUpdates {
 		ptr, err := p.pointerMessage(true)
 		if err != nil {
@@ -239,20 +283,7 @@ func (p *Pipeline) FullRefresh() (*Batch, error) {
 // re-capture regions deferred under backlog (Section 7: "only send the
 // most recent screen data").
 func (p *Pipeline) EncodeRegion(dr region.Rect) ([]Update, error) {
-	var out []Update
-	for _, w := range p.desk.SharedWindows() {
-		overlap := dr.Intersect(w.Bounds())
-		if overlap.Empty() {
-			continue
-		}
-		local := overlap.Translate(-w.Bounds().Left, -w.Bounds().Top)
-		up, err := p.encodeWindowRect(w, local)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, up)
-	}
-	return out, nil
+	return p.encodeJobs(p.gatherRegion(nil, dr))
 }
 
 // encodeWindowRect encodes the window-local rectangle r of w into a
@@ -272,16 +303,20 @@ func (p *Pipeline) encodeWindowRect(w *display.Window, r region.Rect) (Update, e
 	if p.opts.PointerInUpdates && p.cursorRect().Overlaps(abs) {
 		// First mouse model: the cursor sprite is composited into the
 		// encoded pixels rather than signalled via MousePointerInfo.
-		crop := image.NewRGBA(image.Rect(0, 0, r.Width, r.Height))
+		// The composite lands in a pooled scratch image and is hashed
+		// after compositing, so an unchanged sprite-over-content tile
+		// (a hovering cursor) still hits the payload cache.
+		crop := codec.GetRGBA(r.Width, r.Height)
 		draw.Draw(crop, crop.Bounds(), w.Image(), image.Pt(r.Left, r.Top), draw.Src)
 		cur := p.desk.Cursor()
 		sb := cur.Sprite.Bounds()
 		dst := image.Rect(cur.X-abs.Left, cur.Y-abs.Top,
 			cur.X-abs.Left+sb.Dx(), cur.Y-abs.Top+sb.Dy())
 		draw.Draw(crop, dst, cur.Sprite, sb.Min, draw.Over)
-		content, err = c.Encode(crop)
+		content, err = p.encodeCached(c, crop, crop.Bounds())
+		codec.PutRGBA(crop)
 	} else {
-		content, err = codec.EncodeSubImage(c, w.Image(), imgRect)
+		content, err = p.encodeCached(c, w.Image(), imgRect)
 	}
 	if err != nil {
 		return Update{}, fmt.Errorf("capture: encode window %d rect %v: %w", w.ID(), r, err)
@@ -314,7 +349,9 @@ func (p *Pipeline) pointerMessage(withImage bool) (*remoting.MousePointerInfo, e
 		Top:       uint32(max(cur.Y, 0)),
 	}
 	if withImage && cur.Sprite != nil {
-		img, err := p.png.Encode(cur.Sprite)
+		// Cached: a PLI storm re-sends the same sprite to every
+		// requester, and sprites change rarely.
+		img, err := p.encodeCached(p.png, cur.Sprite, cur.Sprite.Bounds())
 		if err != nil {
 			return nil, fmt.Errorf("capture: encode pointer: %w", err)
 		}

@@ -1,8 +1,10 @@
 package capture
 
 import (
+	"bytes"
 	"image"
 
+	"appshare/internal/codec"
 	"appshare/internal/display"
 	"appshare/internal/region"
 	"appshare/internal/remoting"
@@ -151,8 +153,12 @@ func (po *Poller) scrollMessages(w *display.Window, prev, cur *image.RGBA, dy in
 		DstLeft: uint32(dst.Left + ox), DstTop: uint32(dst.Top + oy),
 	}
 
-	// Simulate the move on prev, then row-compare against cur.
-	sim := image.NewRGBA(prev.Bounds())
+	// Simulate the move on prev, then row-compare against cur. The
+	// simulation image is pooled: a scrolling window would otherwise
+	// allocate a full window-sized RGBA every scrolled tick.
+	pb := prev.Bounds()
+	sim := codec.GetRGBA(pb.Dx(), pb.Dy())
+	defer codec.PutRGBA(sim)
 	copy(sim.Pix, prev.Pix)
 	display.MoveRect(sim, src, dst)
 	var residual []region.Rect
@@ -176,5 +182,5 @@ func (po *Poller) scrollMessages(w *display.Window, prev, cur *image.RGBA, dy in
 func rowsEqual(a, b *image.RGBA, y, width int) bool {
 	ra := a.Pix[a.PixOffset(0, y):a.PixOffset(width, y)]
 	rb := b.Pix[b.PixOffset(0, y):b.PixOffset(width, y)]
-	return string(ra) == string(rb)
+	return bytes.Equal(ra, rb)
 }

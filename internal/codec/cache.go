@@ -1,0 +1,189 @@
+package codec
+
+import (
+	"container/list"
+	"encoding/binary"
+	"image"
+	"sync"
+)
+
+// PayloadCache is a content-addressed cache of encoded region payloads,
+// in the spirit of WebNC's hash-addressed tile store: the key is a hash
+// of the cropped RGBA pixels (plus dimensions and codec payload type),
+// the value is the encoded payload those pixels produced. Repeated
+// content — full refreshes for late joiners, PLI re-sends, a blinking
+// cursor re-damaging the same glyphs, identical tiles across windows —
+// is then served without touching the compressor at all.
+//
+// The cache is bounded in payload bytes and evicts least-recently-used
+// entries. It is safe for concurrent use; the parallel encode workers
+// share one instance.
+//
+// Cached payloads are returned by reference and may be shared by many
+// in-flight messages, so every consumer must treat them as read-only
+// (the remoting layer already does: fragmentation slices, marshalling
+// copies).
+type PayloadCache struct {
+	mu    sync.Mutex
+	limit int
+	bytes int
+	ll    *list.List // front = most recently used
+	items map[CacheKey]*list.Element
+
+	hits, misses, evictions uint64
+	hitBytes, missBytes     uint64
+}
+
+// CacheKey addresses one encoded payload: codec payload type, crop
+// dimensions and a 128-bit content hash of the pixels. Two hash lanes
+// with independent bases make an accidental collision (which would serve
+// the wrong pixels) astronomically unlikely without paying for a
+// cryptographic hash on every lookup.
+type CacheKey struct {
+	PT     uint8
+	W, H   int
+	H1, H2 uint64
+}
+
+type cacheEntry struct {
+	key     CacheKey
+	payload []byte
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes; Evictions counts entries
+	// dropped to stay under the byte budget.
+	Hits, Misses, Evictions uint64
+	// HitBytes is the total payload bytes served from cache; MissBytes
+	// the total payload bytes inserted after encoding.
+	HitBytes, MissBytes uint64
+	// Entries and Bytes describe current residency.
+	Entries int
+	Bytes   int
+	// Limit is the configured byte budget.
+	Limit int
+}
+
+// HitRate returns hits / (hits + misses), or zero before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewPayloadCache returns a cache bounded to limitBytes of payload
+// data. A non-positive limit yields a cache that stores nothing (every
+// Get is a miss), which keeps call sites branch-free.
+func NewPayloadCache(limitBytes int) *PayloadCache {
+	return &PayloadCache{
+		limit: limitBytes,
+		ll:    list.New(),
+		items: make(map[CacheKey]*list.Element),
+	}
+}
+
+// Get returns the payload cached under k, if any, and records the
+// hit/miss.
+func (c *PayloadCache) Get(k CacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	ent := el.Value.(*cacheEntry)
+	c.hits++
+	c.hitBytes += uint64(len(ent.payload))
+	return ent.payload, true
+}
+
+// Put stores payload under k, evicting least-recently-used entries
+// until the byte budget holds. Payloads larger than the whole budget
+// are not cached. The cache keeps a reference to payload; the caller
+// must not mutate it afterwards.
+func (c *PayloadCache) Put(k CacheKey, payload []byte) {
+	if len(payload) > c.limit {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.missBytes += uint64(len(payload))
+	if el, ok := c.items[k]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += len(payload) - len(ent.payload)
+		ent.payload = payload
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&cacheEntry{key: k, payload: payload})
+		c.bytes += len(payload)
+	}
+	for c.bytes > c.limit {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.bytes -= len(ent.payload)
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PayloadCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		HitBytes:  c.hitBytes,
+		MissBytes: c.missBytes,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Limit:     c.limit,
+	}
+}
+
+// KeyFor hashes the pixels of src inside r (which must lie within
+// src.Bounds()) into a cache key for codec payload type pt.
+func KeyFor(pt uint8, src *image.RGBA, r image.Rectangle) CacheKey {
+	h1, h2 := hashRegion(src, r)
+	return CacheKey{PT: pt, W: r.Dx(), H: r.Dy(), H1: h1, H2: h2}
+}
+
+// FNV-1a 64-bit parameters, plus an independent second basis for the
+// second hash lane.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	lane2Seed   = 0x9E3779B97F4A7C15 // 2^64 / golden ratio
+)
+
+// hashRegion computes two 64-bit FNV-1a-style hashes over the rect's
+// pixel rows, consuming eight bytes per step for throughput (a region
+// hash must stay far cheaper than the encode it can save).
+func hashRegion(src *image.RGBA, r image.Rectangle) (uint64, uint64) {
+	h1 := uint64(fnvOffset64)
+	h2 := uint64(fnvOffset64) ^ uint64(lane2Seed)
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		row := src.Pix[src.PixOffset(r.Min.X, y):src.PixOffset(r.Max.X, y)]
+		for len(row) >= 8 {
+			w := binary.LittleEndian.Uint64(row)
+			h1 = (h1 ^ w) * fnvPrime64
+			h2 = (h2 ^ w) * fnvPrime64
+			row = row[8:]
+		}
+		for _, b := range row {
+			h1 = (h1 ^ uint64(b)) * fnvPrime64
+			h2 = (h2 ^ uint64(b)) * fnvPrime64
+		}
+	}
+	return h1, h2
+}

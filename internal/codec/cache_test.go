@@ -1,0 +1,177 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+	"testing"
+)
+
+func testKey(i int) CacheKey {
+	return CacheKey{PT: PayloadTypePNG, W: 8, H: 8, H1: uint64(i), H2: uint64(i) ^ lane2Seed}
+}
+
+func TestPayloadCacheHitMissAccounting(t *testing.T) {
+	c := NewPayloadCache(1 << 20)
+	k := testKey(1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	c.Put(k, payload)
+	got, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after Put = %v, %v", got, ok)
+	}
+	if _, ok := c.Get(testKey(2)); ok {
+		t.Fatal("hit for never-inserted key")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", s.Hits, s.Misses)
+	}
+	if s.HitBytes != 100 || s.MissBytes != 100 {
+		t.Fatalf("hitBytes/missBytes = %d/%d, want 100/100", s.HitBytes, s.MissBytes)
+	}
+	if s.Entries != 1 || s.Bytes != 100 {
+		t.Fatalf("entries/bytes = %d/%d, want 1/100", s.Entries, s.Bytes)
+	}
+	if s.HitRate() != 1.0/3.0 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestPayloadCacheLRUEviction(t *testing.T) {
+	// Budget holds exactly four 100-byte payloads.
+	c := NewPayloadCache(400)
+	for i := 0; i < 4; i++ {
+		c.Put(testKey(i), bytes.Repeat([]byte{byte(i)}, 100))
+	}
+	// Touch key 0 so key 1 becomes the least recently used.
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Fatal("key 0 should be resident")
+	}
+	// Inserting a fifth payload must evict exactly key 1.
+	c.Put(testKey(4), bytes.Repeat([]byte{4}, 100))
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("LRU key 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3, 4} {
+		if _, ok := c.Get(testKey(i)); !ok {
+			t.Fatalf("key %d evicted, want resident", i)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Bytes > 400 {
+		t.Fatalf("resident bytes %d exceed budget 400", s.Bytes)
+	}
+}
+
+func TestPayloadCacheByteBound(t *testing.T) {
+	c := NewPayloadCache(250)
+	for i := 0; i < 32; i++ {
+		c.Put(testKey(i), bytes.Repeat([]byte{byte(i)}, 100))
+		if s := c.Stats(); s.Bytes > 250 {
+			t.Fatalf("after insert %d: resident bytes %d exceed budget", i, s.Bytes)
+		}
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 within a 250-byte budget", s.Entries)
+	}
+}
+
+func TestPayloadCacheOversizePayloadNotStored(t *testing.T) {
+	c := NewPayloadCache(100)
+	c.Put(testKey(1), make([]byte, 101))
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("oversize payload was cached: %+v", s)
+	}
+}
+
+func TestPayloadCacheReplaceSameKey(t *testing.T) {
+	c := NewPayloadCache(1000)
+	k := testKey(1)
+	c.Put(k, make([]byte, 100))
+	c.Put(k, make([]byte, 300))
+	s := c.Stats()
+	if s.Entries != 1 || s.Bytes != 300 {
+		t.Fatalf("after replace: entries/bytes = %d/%d, want 1/300", s.Entries, s.Bytes)
+	}
+	got, ok := c.Get(k)
+	if !ok || len(got) != 300 {
+		t.Fatalf("replaced payload len = %d, %v", len(got), ok)
+	}
+}
+
+func TestKeyForDistinguishesContentAndShape(t *testing.T) {
+	img := image.NewRGBA(image.Rect(0, 0, 16, 16))
+	for i := range img.Pix {
+		img.Pix[i] = byte(i * 7)
+	}
+	base := KeyFor(PayloadTypePNG, img, img.Bounds())
+	if again := KeyFor(PayloadTypePNG, img, img.Bounds()); again != base {
+		t.Fatal("same pixels hashed to different keys")
+	}
+	if k := KeyFor(PayloadTypeJPEG, img, img.Bounds()); k == base {
+		t.Fatal("payload type not part of the key")
+	}
+	if k := KeyFor(PayloadTypePNG, img, image.Rect(0, 0, 8, 16)); k == base {
+		t.Fatal("sub-rectangle hashed to the full-image key")
+	}
+	img.Pix[0] ^= 0xFF
+	if k := KeyFor(PayloadTypePNG, img, img.Bounds()); k == base {
+		t.Fatal("pixel change did not change the key")
+	}
+}
+
+// TestKeyForSubRegion verifies hashing respects the rect, not the whole
+// backing array: the same pixels at different offsets of different
+// images must collide (that is the cross-window dedup property).
+func TestKeyForSubRegion(t *testing.T) {
+	a := image.NewRGBA(image.Rect(0, 0, 32, 32))
+	b := image.NewRGBA(image.Rect(0, 0, 64, 64))
+	fill := func(img *image.RGBA, r image.Rectangle) {
+		for y := r.Min.Y; y < r.Max.Y; y++ {
+			for x := r.Min.X; x < r.Max.X; x++ {
+				img.SetRGBA(x, y, color.RGBA{R: byte(x * y), G: byte(x), B: byte(y), A: 255})
+			}
+		}
+	}
+	fill(a, image.Rect(0, 0, 8, 8))
+	// Same pixel values, placed at an offset in a larger image.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			b.SetRGBA(x+16, y+24, a.RGBAAt(x, y))
+		}
+	}
+	ka := KeyFor(PayloadTypePNG, a, image.Rect(0, 0, 8, 8))
+	kb := KeyFor(PayloadTypePNG, b, image.Rect(16, 24, 24, 32))
+	if ka != kb {
+		t.Fatal("identical 8x8 content at different offsets must share a key")
+	}
+}
+
+func TestPayloadCacheDisabled(t *testing.T) {
+	c := NewPayloadCache(0)
+	c.Put(testKey(1), []byte{1})
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("zero-budget cache stored a payload")
+	}
+}
+
+func TestSortedPayloadTypes(t *testing.T) {
+	// Register out of ascending order; PayloadTypes must sort.
+	r, err := NewRegistry(Raw{}, PNG{}, JPEG{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprint(r.PayloadTypes())
+	want := fmt.Sprint([]uint8{PayloadTypePNG, PayloadTypeJPEG, PayloadTypeRaw})
+	if got != want {
+		t.Fatalf("PayloadTypes() = %s, want %s", got, want)
+	}
+}

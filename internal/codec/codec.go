@@ -23,6 +23,7 @@ import (
 	"image/draw"
 	"image/jpeg"
 	"image/png"
+	"slices"
 
 	"appshare/internal/wire"
 )
@@ -45,7 +46,11 @@ type Codec interface {
 	// Lossless reports whether Decode(Encode(img)) reproduces img
 	// pixel-exactly.
 	Lossless() bool
-	// Encode serializes the image into a self-describing payload.
+	// Encode serializes the image into a self-describing payload. An
+	// implementation must not retain img (or its Pix) after returning:
+	// the pipeline passes pooled scratch images that are recycled the
+	// moment Encode returns. Encode must also be deterministic — the
+	// payload cache assumes identical pixels encode to identical bytes.
 	Encode(img *image.RGBA) ([]byte, error)
 	// Decode reverses Encode.
 	Decode(data []byte) (*image.RGBA, error)
@@ -68,12 +73,13 @@ func (PNG) Lossless() bool { return true }
 
 // Encode implements Codec.
 func (c PNG) Encode(img *image.RGBA) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := png.Encoder{CompressionLevel: c.Level}
-	if err := enc.Encode(&buf, img); err != nil {
+	buf := getBuffer()
+	defer putBuffer(buf)
+	enc := png.Encoder{CompressionLevel: c.Level, BufferPool: &pngBuffers}
+	if err := enc.Encode(buf, img); err != nil {
 		return nil, fmt.Errorf("codec: png encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 // Decode implements Codec.
@@ -106,11 +112,12 @@ func (c JPEG) Encode(img *image.RGBA) ([]byte, error) {
 	if q == 0 {
 		q = jpeg.DefaultQuality
 	}
-	var buf bytes.Buffer
-	if err := jpeg.Encode(&buf, img, &jpeg.Options{Quality: q}); err != nil {
+	buf := getBuffer()
+	defer putBuffer(buf)
+	if err := jpeg.Encode(buf, img, &jpeg.Options{Quality: q}); err != nil {
 		return nil, fmt.Errorf("codec: jpeg encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 // Decode implements Codec.
@@ -216,27 +223,30 @@ func (r *Registry) Lookup(pt uint8) (Codec, error) {
 	return c, nil
 }
 
-// PayloadTypes returns the registered payload-type numbers.
+// PayloadTypes returns the registered payload-type numbers in ascending
+// order, so SDP offers and logs derived from it are deterministic.
 func (r *Registry) PayloadTypes() []uint8 {
 	out := make([]uint8, 0, len(r.byPT))
 	for pt := range r.byPT {
 		out = append(out, pt)
 	}
+	slices.Sort(out)
 	return out
 }
 
 // ErrEmptyImage is returned when encoding a zero-area image.
 var ErrEmptyImage = errors.New("codec: empty image")
 
-// EncodeSubImage crops src to r (image rectangle semantics) into a fresh
-// RGBA and encodes it with c. This is the capture pipeline's path from a
-// dirty rectangle to RegionUpdate content.
+// EncodeSubImage crops src to r (image rectangle semantics) into a
+// pooled scratch RGBA and encodes it with c. This is the capture
+// pipeline's path from a dirty rectangle to RegionUpdate content.
 func EncodeSubImage(c Codec, src *image.RGBA, r image.Rectangle) ([]byte, error) {
 	r = r.Intersect(src.Bounds())
 	if r.Empty() {
 		return nil, ErrEmptyImage
 	}
-	out := image.NewRGBA(image.Rect(0, 0, r.Dx(), r.Dy()))
+	out := GetRGBA(r.Dx(), r.Dy())
+	defer PutRGBA(out)
 	draw.Draw(out, out.Bounds(), src, r.Min, draw.Src)
 	return c.Encode(out)
 }

@@ -41,6 +41,25 @@ func (c *Collector) Record(kind string, bytes int) {
 	ctr.Bytes += uint64(bytes)
 }
 
+// RecordN adds n messages totalling the given bytes of one kind in a
+// single call — the bulk form used by the encode pipeline to flush
+// counter deltas once per tick instead of once per event. A call with
+// n == 0 and bytes == 0 is a no-op and records nothing.
+func (c *Collector) RecordN(kind string, n, bytes uint64) {
+	if n == 0 && bytes == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctr := c.perKind[kind]
+	if ctr == nil {
+		ctr = &Counter{}
+		c.perKind[kind] = ctr
+	}
+	ctr.Messages += n
+	ctr.Bytes += bytes
+}
+
 // Get returns the counter for kind (zero value if unseen).
 func (c *Collector) Get(kind string) Counter {
 	c.mu.Lock()
