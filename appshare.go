@@ -63,6 +63,15 @@ type (
 	StreamOptions = ah.StreamOptions
 	// PacketOptions configures Host.AttachPacketConn.
 	PacketOptions = ah.PacketOptions
+	// RemoteHealth is a liveness snapshot of one attached or recently
+	// evicted remote (see Host.RemoteHealth).
+	RemoteHealth = ah.RemoteHealth
+	// HealthState is a remote's lifecycle state (healthy → degraded →
+	// evicted).
+	HealthState = ah.HealthState
+	// EvictionPolicy selects how the host's health sweep reacts to
+	// sustained congestion.
+	EvictionPolicy = ah.EvictionPolicy
 
 	// Participant is the receiving endpoint.
 	Participant = participant.Participant
@@ -147,6 +156,27 @@ const (
 	StateMouseAllowed    = bfcp.StateMouseAllowed
 	StateAllAllowed      = bfcp.StateAllAllowed
 )
+
+// Remote health states (see HostConfig.MaxBacklogDwell / RemoteTimeout).
+const (
+	HealthHealthy  = ah.HealthHealthy
+	HealthDegraded = ah.HealthDegraded
+	HealthEvicted  = ah.HealthEvicted
+)
+
+// Eviction policies for the host's health sweep.
+const (
+	EvictionMonitor         = ah.EvictionMonitor
+	EvictionDegrade         = ah.EvictionDegrade
+	EvictionDegradeThenDrop = ah.EvictionDegradeThenDrop
+)
+
+// ErrHostClosed is returned by operations on a closed Host.
+var ErrHostClosed = ah.ErrHostClosed
+
+// ParseEvictionPolicy maps "monitor", "degrade" or "drop" to a policy
+// (flag plumbing for cmd/ads-host and friends).
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) { return ah.ParseEvictionPolicy(s) }
 
 // NewDesktop returns a virtual desktop of the given pixel size.
 func NewDesktop(width, height int) *Desktop { return display.NewDesktop(width, height) }

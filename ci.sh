@@ -10,3 +10,7 @@ cd "$(dirname "$0")"
 go vet ./...
 go build ./...
 go test -race ./...
+# Flake gate: the liveness/eviction tests mix a virtual clock with real
+# goroutine scheduling, so run them repeatedly under -race to shake out
+# timing sensitivity before it lands.
+go test -race -count=5 -run Liveness . ./internal/ah ./internal/transport

@@ -33,6 +33,11 @@ func main() {
 		autoCodec = flag.Bool("autocodec", false, "classify regions and pick PNG/JPEG automatically")
 		showStats = flag.Bool("stats", true, "print traffic stats on exit")
 		printSDP  = flag.Bool("sdp", false, "print the session SDP offer and exit")
+
+		remoteTimeout = flag.Duration("remote-timeout", 0, "evict a participant silent for this long (0 = never)")
+		backlogDwell  = flag.Duration("backlog-dwell", 0, "congestion budget before degrade/evict (0 = off)")
+		eviction      = flag.String("eviction", "monitor", "congestion policy: monitor|degrade|drop")
+		readIdle      = flag.Duration("read-idle", 0, "drop a TCP participant sending nothing for this long (0 = never)")
 	)
 	flag.Parse()
 
@@ -84,12 +89,22 @@ func main() {
 		log.Fatalf("unknown workload %q", *wl)
 	}
 
+	policy, err := appshare.ParseEvictionPolicy(*eviction)
+	if err != nil {
+		log.Fatal(err)
+	}
 	st := appshare.NewStats()
 	host, err := appshare.NewHost(appshare.HostConfig{
 		Desktop:         desk,
 		Retransmissions: *retrans,
 		Stats:           st,
 		Capture:         appshare.CaptureOptions{AutoSelect: *autoCodec},
+		RemoteTimeout:   *remoteTimeout,
+		MaxBacklogDwell: *backlogDwell,
+		EvictionPolicy:  policy,
+		OnEvict: func(snap appshare.RemoteHealth) {
+			log.Printf("evicted participant %s: %s", snap.ID, snap.EvictReason)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -104,7 +119,7 @@ func main() {
 		defer ln.Close()
 		log.Printf("serving TCP participants on %s", ln.Addr())
 		go func() {
-			if err := appshare.ServeTCP(host, ln, appshare.StreamOptions{}); err != nil {
+			if err := appshare.ServeTCP(host, ln, appshare.StreamOptions{ReadIdleTimeout: *readIdle}); err != nil {
 				log.Printf("tcp server: %v", err)
 			}
 		}()
@@ -146,6 +161,13 @@ func main() {
 		case <-reports.C:
 			if err := host.SendReports(); err != nil {
 				log.Printf("rtcp reports: %v", err)
+			}
+			for _, hs := range host.RemoteHealth() {
+				if hs.State == appshare.HealthHealthy {
+					continue
+				}
+				log.Printf("participant %s %s: backlog %dB dwell %v stall %v reason=%q",
+					hs.ID, hs.State, hs.QueuedBytes, hs.BacklogDwell, hs.SendStall, hs.EvictReason)
 			}
 		case <-stop:
 			if *showStats {

@@ -73,7 +73,27 @@ type Config struct {
 	// Appendix A: "the AH MAY temporarily block HID events if the
 	// shared application loses the focus".
 	AutoHIDStatus bool
+	// RemoteTimeout, when positive, evicts a remote from which nothing
+	// (HIP or RTCP) has been heard for this long. It is an independent
+	// liveness opt-in and applies under every EvictionPolicy. Zero
+	// disables liveness eviction.
+	RemoteTimeout time.Duration
+	// MaxBacklogDwell, when positive, is the congestion budget of the
+	// health sweep: a remote continuously above its backlog limit (or
+	// with a stalled writer) is demoted to keyframe-only degraded mode
+	// at half this budget and, under EvictionDegradeThenDrop, evicted at
+	// the full budget. Zero disables congestion handling.
+	MaxBacklogDwell time.Duration
+	// EvictionPolicy selects how the health sweep reacts to sustained
+	// congestion (default EvictionMonitor: observe only).
+	EvictionPolicy EvictionPolicy
+	// OnEvict, when non-nil, is called (outside host locks) with the
+	// final health snapshot of every remote the sweep evicts.
+	OnEvict func(RemoteHealth)
 }
+
+// ErrHostClosed is returned by operations on a closed Host.
+var ErrHostClosed = errors.New("ah: host closed")
 
 // Host is an application host serving one sharing session.
 //
@@ -94,6 +114,9 @@ type Host struct {
 	hipErrors uint64
 	// hipQueue holds participant input awaiting the next Tick.
 	hipQueue []queuedEvent
+	// evictLog retains the last evictLogMax eviction snapshots for
+	// RemoteHealth (most recent last).
+	evictLog []RemoteHealth
 	closed   bool
 
 	// tickMu serializes whole Tick calls against each other so two
@@ -193,13 +216,22 @@ func (h *Host) Tick() error {
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
-		return errors.New("ah: host closed")
+		return ErrHostClosed
 	}
 	h.updateHIDStatusLocked()
 	// Drain queued participant input first: the events' effects land in
 	// this tick's capture, exactly as OS-queued input precedes a frame.
 	h.drainHIPLocked()
+	// Health sweep runs at tick START so it samples the backlog state
+	// left over from the whole previous inter-tick interval: a healthy
+	// viewer has drained by now, a stalled one still holds bytes.
+	// Sweeping after delivery would instead sample the just-enqueued
+	// frame and see every viewer as momentarily backlogged.
+	evs := h.sweepHealthLocked(h.cfg.Now())
 	h.mu.Unlock()
+	// Transport teardown and eviction callbacks run unlocked: closing a
+	// wedged sink may block until its peer socket is torn down.
+	h.finishEvictions(evs)
 
 	h.capMu.Lock()
 	batch, err := h.pipeline.Tick()
@@ -213,9 +245,9 @@ func (h *Host) Tick() error {
 	}
 
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
-		return errors.New("ah: host closed")
+		h.mu.Unlock()
+		return ErrHostClosed
 	}
 	var firstErr error
 	var refreshers []*Remote
@@ -224,8 +256,9 @@ func (h *Host) Tick() error {
 			firstErr = err
 		}
 		if r.refreshRequested {
-			// Serve the PLI latched since the last tick, after the
-			// journal batch so the refresh snapshot is consistent with
+			// Serve the PLI latched since the last tick (or the resync a
+			// recovering degraded remote is owed), after the journal
+			// batch so the refresh snapshot is consistent with
 			// everything already emitted.
 			r.refreshRequested = false
 			refreshers = append(refreshers, r)
@@ -237,6 +270,7 @@ func (h *Host) Tick() error {
 		}
 	}
 	h.recordEncodeMetricsLocked()
+	h.mu.Unlock()
 	return firstErr
 }
 
@@ -396,12 +430,30 @@ func (h *Host) record(kind string, n int) {
 	}
 }
 
-func (h *Host) addRemote(r *Remote) error {
+func (h *Host) addRemote(r *Remote) error { return h.insertRemote(r, false) }
+
+// addRemoteUnique is addRemote plus an ID-uniqueness check, for the
+// unicast attach paths where the ID names one viewer (ServeTCP uses the
+// peer address): a second attach under a live ID is a caller bug that
+// must fail cleanly instead of shadowing the first in FindRemote.
+func (h *Host) addRemoteUnique(r *Remote) error { return h.insertRemote(r, true) }
+
+func (h *Host) insertRemote(r *Remote, unique bool) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		return errors.New("ah: host closed")
+		return ErrHostClosed
 	}
+	if unique {
+		for o := range h.remotes {
+			if o.id == r.id {
+				return fmt.Errorf("ah: remote %q already attached", r.id)
+			}
+		}
+	}
+	now := h.cfg.Now()
+	r.attachedAt = now
+	r.healthSince = now
 	h.remotes[r] = struct{}{}
 	return nil
 }

@@ -35,6 +35,7 @@ func (h *Host) handleRTCP(r *Remote, pkt []byte) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	r.noteHeardLocked(h.cfg.Now())
 	for _, p := range pkts {
 		switch fb := p.(type) {
 		case *rtcp.PLI:
@@ -65,7 +66,7 @@ func (h *Host) handleRTCP(r *Remote, pkt []byte) {
 		case *rtcp.ReceiverReport:
 			for _, rep := range fb.Reports {
 				if rep.SSRC == r.pz.SSRC() {
-					r.noteReceiverReport(rep)
+					r.noteReceiverReport(rep, h.cfg.Now())
 				}
 			}
 		}
@@ -96,6 +97,7 @@ func (h *Host) handleHIP(r *Remote, pkt []byte) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	r.noteHeardLocked(h.cfg.Now())
 	if len(h.hipQueue) >= maxHIPQueue {
 		h.hipErrors++
 		return

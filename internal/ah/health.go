@@ -1,0 +1,338 @@
+package ah
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"appshare/internal/rtcp"
+)
+
+// Remote liveness and eviction (see DESIGN.md "Remote liveness &
+// eviction"). The draft's Section 7 tells the AH to watch per-participant
+// TCP backlog and defer screen data — but deferring forever lets one dead
+// or wedged viewer pin retransmit-log and pending-region memory for the
+// rest of the session. The health subsystem closes that loop: every Tick
+// sweeps the attached remotes against the configured policies, demotes
+// congested ones to keyframe-only degraded mode, and finally evicts them
+// with a recorded detach reason.
+
+// HealthState is the lifecycle state of an attached remote.
+type HealthState int
+
+const (
+	// HealthHealthy: the remote keeps up; full incremental updates flow.
+	HealthHealthy HealthState = iota
+	// HealthDegraded: the remote has dwelled above its backlog limit (or
+	// its writer has stalled) past the degrade threshold. Incremental
+	// screen detail is dropped instead of accumulated; the remote owes a
+	// single full refresh (a "keyframe") once its link drains.
+	HealthDegraded
+	// HealthEvicted: the remote has been detached by policy; its
+	// RemoteHealth snapshot carries the reason.
+	HealthEvicted
+)
+
+// String implements fmt.Stringer.
+func (s HealthState) String() string {
+	switch s {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("HealthState(%d)", int(s))
+	}
+}
+
+// EvictionPolicy selects how the health sweep reacts to sustained
+// congestion (backlog dwell, send stalls). Liveness timeouts
+// (Config.RemoteTimeout) are an independent opt-in and evict under every
+// policy.
+type EvictionPolicy int
+
+const (
+	// EvictionMonitor (default): track health signals and surface them
+	// through RemoteHealth, but never change delivery or detach anyone.
+	EvictionMonitor EvictionPolicy = iota
+	// EvictionDegrade: demote congested remotes to keyframe-only degraded
+	// mode (and promote them back when they drain), but never evict.
+	EvictionDegrade
+	// EvictionDegradeThenDrop: degrade at half the dwell budget, evict at
+	// the full Config.MaxBacklogDwell.
+	EvictionDegradeThenDrop
+)
+
+// String implements fmt.Stringer.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictionMonitor:
+		return "monitor"
+	case EvictionDegrade:
+		return "degrade"
+	case EvictionDegradeThenDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("EvictionPolicy(%d)", int(p))
+	}
+}
+
+// ParseEvictionPolicy maps the flag spellings ("monitor", "degrade",
+// "drop") to a policy.
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) {
+	switch s {
+	case "", "monitor":
+		return EvictionMonitor, nil
+	case "degrade":
+		return EvictionDegrade, nil
+	case "drop", "evict":
+		return EvictionDegradeThenDrop, nil
+	default:
+		return EvictionMonitor, fmt.Errorf("ah: unknown eviction policy %q (monitor|degrade|drop)", s)
+	}
+}
+
+// RemoteHealth is a point-in-time health snapshot of one remote —
+// attached or recently evicted.
+type RemoteHealth struct {
+	// ID is the identifier the remote was attached with.
+	ID string
+	// UserID is the remote's BFCP identity.
+	UserID uint16
+	// State is the current lifecycle state.
+	State HealthState
+	// Since is when the current state was entered.
+	Since time.Time
+	// LastHeard is when the last packet of any kind (HIP or RTCP)
+	// arrived from the remote; zero if it has never spoken.
+	LastHeard time.Time
+	// LastRR is when the last RTCP Receiver Report arrived; zero if none.
+	LastRR time.Time
+	// RTT is the round-trip estimate from the last RR's LSR/DLSR echo
+	// (RFC 3550 Section 6.4.1); zero if unknown.
+	RTT time.Duration
+	// FractionLost is the loss fraction [0,1] the remote reported in its
+	// last RR.
+	FractionLost float64
+	// QueuedBytes is the send backlog at snapshot time (zero for
+	// datagram remotes).
+	QueuedBytes int
+	// BacklogDwell is how long the backlog has continuously sat above
+	// the limit (zero when below).
+	BacklogDwell time.Duration
+	// SendStall is how long the send path has made no drain progress
+	// with bytes queued (zero when idle or flowing).
+	SendStall time.Duration
+	// DeferStreak is the current run of consecutive ticks that deferred
+	// screen data; MaxDeferStreak is the worst run observed.
+	DeferStreak, MaxDeferStreak int
+	// Deferrals is the lifetime count of deferring ticks.
+	Deferrals uint64
+	// EvictReason is the detach reason; non-empty once State is
+	// HealthEvicted.
+	EvictReason string
+	// EvictedAt is when the eviction happened (zero while attached).
+	EvictedAt time.Time
+}
+
+// evictLogMax bounds the retained history of evicted remotes surfaced
+// through RemoteHealth.
+const evictLogMax = 64
+
+// RemoteHealth returns health snapshots for every attached remote plus
+// the recent evictions (most recent last), sorted attached-first by ID.
+func (h *Host) RemoteHealth() []RemoteHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.cfg.Now()
+	out := make([]RemoteHealth, 0, len(h.remotes)+len(h.evictLog))
+	for r := range h.remotes {
+		out = append(out, r.healthSnapshotLocked(now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out = append(out, h.evictLog...)
+	return out
+}
+
+// Health returns this remote's current health snapshot.
+func (r *Remote) Health() RemoteHealth {
+	r.host.mu.Lock()
+	defer r.host.mu.Unlock()
+	return r.healthSnapshotLocked(r.host.cfg.Now())
+}
+
+// healthSnapshotLocked builds the snapshot. Host lock held.
+func (r *Remote) healthSnapshotLocked(now time.Time) RemoteHealth {
+	var dwell time.Duration
+	if !r.backlogHighSince.IsZero() {
+		dwell = now.Sub(r.backlogHighSince)
+	}
+	hs := RemoteHealth{
+		ID:             r.id,
+		UserID:         r.userID,
+		State:          r.health,
+		Since:          r.healthSince,
+		LastHeard:      r.lastHeard,
+		LastRR:         r.lastRRAt,
+		RTT:            r.rtt,
+		QueuedBytes:    r.sink.queued(),
+		BacklogDwell:   dwell,
+		SendStall:      r.sink.stalled(),
+		DeferStreak:    r.deferStreak,
+		MaxDeferStreak: r.maxDeferStreak,
+		Deferrals:      r.deferrals,
+		EvictReason:    r.evictReason,
+	}
+	if r.lastRR.Valid {
+		hs.FractionLost = float64(r.lastRR.FractionLost) / 256
+	}
+	return hs
+}
+
+// noteHeardLocked stamps the arrival of any packet from the remote.
+// Host lock held.
+func (r *Remote) noteHeardLocked(now time.Time) { r.lastHeard = now }
+
+// noteRTTLocked derives a round-trip estimate from an RR's LSR/DLSR echo
+// (RFC 3550 Section 6.4.1): RTT = now - LSR - DLSR in 1/65536-second
+// units of the middle-32 NTP timestamp. Host lock held.
+func (r *Remote) noteRTTLocked(rep rtcp.ReceptionReport, now time.Time) {
+	if rep.LastSR == 0 {
+		return
+	}
+	elapsed := rtcp.MiddleNTP(rtcp.NTPTime(now)) - rep.LastSR - rep.DelaySinceLastSR
+	if int32(elapsed) < 0 {
+		return // clock skew or a stale echo; keep the previous estimate
+	}
+	rtt := time.Duration(uint64(elapsed) * uint64(time.Second) >> 16)
+	if rtt < time.Minute {
+		r.rtt = rtt
+	}
+}
+
+// evicted pairs a detached remote with the snapshot explaining why, for
+// the cleanup work done outside the host lock.
+type evicted struct {
+	r    *Remote
+	snap RemoteHealth
+}
+
+// sweepHealthLocked runs the per-Tick health pass (at tick start, so
+// the backlog sample reflects the whole previous interval): it maintains each
+// remote's backlog-dwell clock, applies the degrade policy, and selects
+// remotes for eviction. Detached remotes are removed from the session
+// map immediately (so no further fan-out reaches them) and returned for
+// transport teardown outside the lock. Host lock held.
+func (h *Host) sweepHealthLocked(now time.Time) []evicted {
+	var out []evicted
+	for r := range h.remotes {
+		// Dwell clock: starts when the sink first reports backlog above
+		// limit and clears as soon as it drops back under.
+		if r.sink.backlogged(0) {
+			if r.backlogHighSince.IsZero() {
+				r.backlogHighSince = now
+			}
+		} else {
+			r.backlogHighSince = time.Time{}
+		}
+
+		if reason := h.evictReasonLocked(r, now); reason != "" {
+			r.health = HealthEvicted
+			r.healthSince = now
+			r.evictReason = reason
+			r.closed = true // the sweep owns the sink teardown
+			delete(h.remotes, r)
+			snap := r.healthSnapshotLocked(now)
+			snap.EvictedAt = now
+			h.evictLog = append(h.evictLog, snap)
+			if len(h.evictLog) > evictLogMax {
+				h.evictLog = h.evictLog[len(h.evictLog)-evictLogMax:]
+			}
+			h.record("HealthEvict", snap.QueuedBytes)
+			out = append(out, evicted{r: r, snap: snap})
+			continue
+		}
+
+		if r.health == HealthHealthy && h.shouldDegradeLocked(r, now) {
+			r.health = HealthDegraded
+			r.healthSince = now
+			h.record("HealthDegrade", r.sink.queued())
+		}
+	}
+	return out
+}
+
+// shouldDegradeLocked reports whether a healthy remote has exhausted the
+// degrade budget: half of Config.MaxBacklogDwell spent continuously above
+// the backlog limit, or an equally long writer stall. Host lock held.
+func (h *Host) shouldDegradeLocked(r *Remote, now time.Time) bool {
+	if h.cfg.EvictionPolicy == EvictionMonitor || h.cfg.MaxBacklogDwell <= 0 {
+		return false
+	}
+	budget := h.cfg.MaxBacklogDwell / 2
+	if !r.backlogHighSince.IsZero() && now.Sub(r.backlogHighSince) >= budget {
+		return true
+	}
+	return r.sink.stalled() >= budget
+}
+
+// evictReasonLocked returns a non-empty detach reason when the remote
+// must be evicted now: silence past Config.RemoteTimeout (any policy), or
+// congestion past Config.MaxBacklogDwell under EvictionDegradeThenDrop.
+// Host lock held.
+func (h *Host) evictReasonLocked(r *Remote, now time.Time) string {
+	if h.cfg.RemoteTimeout > 0 {
+		heard := r.lastHeard
+		if heard.IsZero() {
+			heard = r.attachedAt
+		}
+		if silent := now.Sub(heard); silent >= h.cfg.RemoteTimeout {
+			return fmt.Sprintf("liveness timeout: nothing heard for %v (limit %v)",
+				silent.Round(time.Millisecond), h.cfg.RemoteTimeout)
+		}
+	}
+	if h.cfg.EvictionPolicy != EvictionDegradeThenDrop || h.cfg.MaxBacklogDwell <= 0 {
+		return ""
+	}
+	if !r.backlogHighSince.IsZero() {
+		if dwell := now.Sub(r.backlogHighSince); dwell >= h.cfg.MaxBacklogDwell {
+			return fmt.Sprintf("backlog dwell: %d bytes above limit for %v (limit %v)",
+				r.sink.queued(), dwell.Round(time.Millisecond), h.cfg.MaxBacklogDwell)
+		}
+	}
+	if stall := r.sink.stalled(); stall >= h.cfg.MaxBacklogDwell {
+		return fmt.Sprintf("send stall: no drain progress for %v (limit %v)",
+			stall.Round(time.Millisecond), h.cfg.MaxBacklogDwell)
+	}
+	return ""
+}
+
+// recoverLocked promotes a degraded remote back to healthy once its link
+// has drained, and latches the full-refresh "keyframe" it is owed (served
+// by the same Tick's refresh pass). Host lock held.
+func (h *Host) recoverLocked(r *Remote, now time.Time) {
+	r.health = HealthHealthy
+	r.healthSince = now
+	r.needResync = false
+	r.refreshRequested = true
+	h.record("HealthRecover", 0)
+}
+
+// finishEvictions tears down transports for remotes the sweep detached:
+// the sink is closed (unblocking any wedged writer), the BFCP floor drops
+// the user, and the eviction callback fires. Runs WITHOUT the host lock —
+// sink teardown may block on dead transports and callbacks may call back
+// into the Host.
+func (h *Host) finishEvictions(evs []evicted) {
+	for _, ev := range evs {
+		_ = ev.r.sink.close()
+		if h.cfg.Floor != nil {
+			h.cfg.Floor.Drop(ev.r.userID)
+		}
+		if h.cfg.OnEvict != nil {
+			h.cfg.OnEvict(ev.snap)
+		}
+	}
+}

@@ -1,0 +1,526 @@
+package ah
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"appshare/internal/display"
+	"appshare/internal/framing"
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/rtcp"
+	"appshare/internal/rtp"
+	"appshare/internal/stats"
+	"appshare/internal/transport"
+	"appshare/internal/workload"
+)
+
+// fakeClock is a mutex-guarded virtual clock for Config.Now: ticks
+// advance it deterministically while pump goroutines read it
+// concurrently.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// stallResult is one viewer's terminal pixel state in the stall
+// scenario.
+type stallResult struct {
+	imgA, imgB []byte
+	want       []byte // the AH window snapshot
+	evictions  []RemoteHealth
+	health     []RemoteHealth
+	remaining  int
+}
+
+// runStallScenario drives a deterministic three-viewer session. With
+// stall=true, viewer "c" stops reading mid-session (its TCP peer black-
+// holes) and the host is expected to evict it; viewers "a" and "b" must
+// be unaffected either way.
+func runStallScenario(t *testing.T, stall bool) stallResult {
+	t.Helper()
+	clock := newFakeClock()
+	var (
+		evMu      sync.Mutex
+		evictions []RemoteHealth
+	)
+	d := display.NewDesktop(320, 240)
+	w := d.CreateWindow(1, region.XYWH(20, 20, 200, 150))
+	h, err := New(Config{
+		Desktop:         d,
+		Now:             clock.Now,
+		Stats:           stats.NewCollector(),
+		BacklogLimit:    1024,
+		MaxBacklogDwell: time.Second,
+		EvictionPolicy:  EvictionDegradeThenDrop,
+		OnEvict: func(snap RemoteHealth) {
+			evMu.Lock()
+			evictions = append(evictions, snap)
+			evMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	attach := func(id string) (*participant.Participant, io.ReadWriteCloser) {
+		hostEnd, partEnd := streamPair()
+		p := participant.New(participant.Config{})
+		if id != "c" {
+			pump(t, p, partEnd)
+		}
+		if _, err := h.AttachStream(id, hostEnd, StreamOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return p, partEnd
+	}
+	pA, _ := attach("a")
+	pB, _ := attach("b")
+	pC, cEnd := attach("c")
+
+	// Viewer c's pump is stoppable: closing cStop makes it stop reading,
+	// which (over the synchronous in-memory pipe) blocks the host's
+	// drain exactly like a black-holed TCP peer.
+	cStop := make(chan struct{})
+	go func() {
+		fr := framing.NewReader(cEnd)
+		for {
+			select {
+			case <-cStop:
+				return
+			default:
+			}
+			pkt, err := fr.ReadFrame()
+			if err != nil {
+				return
+			}
+			_ = pC.HandlePacket(pkt)
+		}
+	}()
+	settle()
+
+	vid := workload.NewVideoRegion(w, region.XYWH(30, 30, 120, 90), 7)
+	for step := 0; step < 40; step++ {
+		if step == 5 && stall {
+			close(cStop)
+		}
+		vid.Step()
+		clock.Advance(100 * time.Millisecond)
+		if err := h.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // real time for the healthy pipes to drain
+	}
+	// Final quiescent tick, then let the pipes drain.
+	clock.Advance(100 * time.Millisecond)
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+
+	res := stallResult{
+		want:      append([]byte(nil), w.Snapshot().Pix...),
+		health:    h.RemoteHealth(),
+		remaining: h.Participants(),
+	}
+	evMu.Lock()
+	res.evictions = append(res.evictions, evictions...)
+	evMu.Unlock()
+	if img := pA.WindowImage(w.ID()); img != nil {
+		res.imgA = append([]byte(nil), img.Pix...)
+	}
+	if img := pB.WindowImage(w.ID()); img != nil {
+		res.imgB = append([]byte(nil), img.Pix...)
+	}
+	return res
+}
+
+// TestLivenessStalledViewerEvicted is the subsystem's acceptance test:
+// one of three TCP viewers black-holes mid-session; the host must evict
+// it within the configured dwell budget with a recorded reason, while
+// the other two converge byte-identically to the no-stall baseline.
+func TestLivenessStalledViewerEvicted(t *testing.T) {
+	base := runStallScenario(t, false)
+	if base.remaining != 3 || len(base.evictions) != 0 {
+		t.Fatalf("baseline disturbed: %d remotes, %d evictions", base.remaining, len(base.evictions))
+	}
+	got := runStallScenario(t, true)
+
+	if got.remaining != 2 {
+		t.Fatalf("participants after stall = %d, want 2", got.remaining)
+	}
+	if len(got.evictions) != 1 {
+		t.Fatalf("evictions = %d, want 1 (%+v)", len(got.evictions), got.evictions)
+	}
+	ev := got.evictions[0]
+	if ev.ID != "c" || ev.State != HealthEvicted {
+		t.Fatalf("evicted %q in state %v, want c evicted", ev.ID, ev.State)
+	}
+	if !strings.Contains(ev.EvictReason, "backlog dwell") && !strings.Contains(ev.EvictReason, "send stall") {
+		t.Fatalf("eviction reason %q does not name the congestion signal", ev.EvictReason)
+	}
+	// Within the dwell window: the dwell the snapshot records must have
+	// crossed the budget but not run far past it (2 virtual ticks slack).
+	if ev.BacklogDwell < time.Second || ev.BacklogDwell > 1200*time.Millisecond {
+		t.Fatalf("evicted after dwell %v, want within [1s, 1.2s]", ev.BacklogDwell)
+	}
+	if ev.EvictedAt.IsZero() {
+		t.Fatal("eviction snapshot missing EvictedAt")
+	}
+	// The eviction is visible through Host.RemoteHealth too.
+	var found bool
+	for _, hs := range got.health {
+		if hs.ID == "c" && hs.State == HealthEvicted && hs.EvictReason == ev.EvictReason {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RemoteHealth does not surface the eviction: %+v", got.health)
+	}
+
+	// The surviving viewers are byte-identical to the baseline run and
+	// to the AH's own window buffer.
+	if len(got.imgA) == 0 || len(got.imgB) == 0 {
+		t.Fatal("surviving viewer missing window image")
+	}
+	if !bytes.Equal(got.want, base.want) {
+		t.Fatal("scenario not deterministic: AH snapshots differ between runs")
+	}
+	if !bytes.Equal(got.imgA, base.imgA) || !bytes.Equal(got.imgA, got.want) {
+		t.Fatal("viewer a diverged from the no-stall baseline")
+	}
+	if !bytes.Equal(got.imgB, base.imgB) || !bytes.Equal(got.imgB, got.want) {
+		t.Fatal("viewer b diverged from the no-stall baseline")
+	}
+}
+
+// TestLivenessDegradeThenRecover: under EvictionDegrade a congested
+// viewer is demoted to keyframe-only mode (pending regions dropped, not
+// accumulated) and promoted back — with a full resync — once its link
+// drains. It must never be evicted.
+func TestLivenessDegradeThenRecover(t *testing.T) {
+	clock := newFakeClock()
+	st := stats.NewCollector()
+	d := display.NewDesktop(320, 240)
+	w := d.CreateWindow(1, region.XYWH(10, 10, 220, 160))
+	h, err := New(Config{
+		Desktop:         d,
+		Now:             clock.Now,
+		Stats:           st,
+		BacklogLimit:    512,
+		MaxBacklogDwell: time.Second,
+		EvictionPolicy:  EvictionDegrade,
+		OnEvict:         func(RemoteHealth) { t.Error("EvictionDegrade must never evict") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	hostEnd, partEnd := streamPair()
+	p := participant.New(participant.Config{})
+	// No pump yet: the unread pipe wedges the drain immediately, so the
+	// initial state alone pushes the backlog over the limit.
+	r, err := h.AttachStream("slow", hostEnd, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vid := workload.NewVideoRegion(w, region.XYWH(20, 20, 100, 80), 11)
+	for step := 0; step < 8; step++ {
+		vid.Step()
+		clock.Advance(200 * time.Millisecond)
+		if err := h.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := r.Health()
+	if hs.State != HealthDegraded {
+		t.Fatalf("state after sustained backlog = %v, want degraded", hs.State)
+	}
+	if got := st.Get("HealthDegrade").Messages; got == 0 {
+		t.Fatal("HealthDegrade stat not recorded")
+	}
+	if hs.DeferStreak == 0 || hs.MaxDeferStreak == 0 {
+		t.Fatalf("deferral streak not tracked: %+v", hs)
+	}
+	// Keyframe-only mode must not hoard pending regions.
+	h.mu.Lock()
+	pendingEmpty := r.pending.Empty()
+	h.mu.Unlock()
+	if !pendingEmpty {
+		t.Fatal("degraded remote still accumulates pending regions")
+	}
+
+	// The viewer comes back: drain the pipe and let the sweep promote.
+	pump(t, p, partEnd)
+	settle()
+	for step := 0; step < 4; step++ {
+		vid.Step()
+		clock.Advance(200 * time.Millisecond)
+		if err := h.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		settle()
+	}
+	if got := r.Health().State; got != HealthHealthy {
+		t.Fatalf("state after drain = %v, want healthy", got)
+	}
+	if got := st.Get("HealthRecover").Messages; got == 0 {
+		t.Fatal("HealthRecover stat not recorded")
+	}
+	// The recovery keyframe resynced the viewer.
+	want := w.Snapshot()
+	got := p.WindowImage(w.ID())
+	if got == nil || !bytes.Equal(got.Pix, want.Pix) {
+		t.Fatal("viewer did not converge after degraded-mode recovery")
+	}
+	if h.Participants() != 1 {
+		t.Fatalf("participants = %d, want 1", h.Participants())
+	}
+}
+
+// TestLivenessRemoteTimeoutEviction: a UDP viewer that goes silent past
+// Config.RemoteTimeout is evicted under every policy (here the default
+// monitor policy), with the liveness reason recorded.
+func TestLivenessRemoteTimeoutEviction(t *testing.T) {
+	clock := newFakeClock()
+	var (
+		evMu      sync.Mutex
+		evictions []RemoteHealth
+	)
+	d := display.NewDesktop(320, 240)
+	d.CreateWindow(1, region.XYWH(10, 10, 120, 90))
+	h, err := New(Config{
+		Desktop:       d,
+		Now:           clock.Now,
+		RemoteTimeout: 2 * time.Second,
+		OnEvict: func(snap RemoteHealth) {
+			evMu.Lock()
+			evictions = append(evictions, snap)
+			evMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	hostConn, partConn := transport.Pipe(transport.LinkConfig{Seed: 5}, transport.LinkConfig{Seed: 6})
+	p := participant.New(participant.Config{})
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			_ = p.HandlePacket(pkt)
+		}
+	}()
+	if _, err := h.AttachPacketConn("udp1", hostConn, PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	pli, err := p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partConn.Send(pli); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Participants() != 1 {
+		t.Fatal("remote not attached")
+	}
+
+	// Silence within the budget: still attached.
+	clock.Advance(1500 * time.Millisecond)
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Participants() != 1 {
+		t.Fatal("remote evicted before RemoteTimeout elapsed")
+	}
+
+	// Silence past the budget: evicted with the liveness reason.
+	clock.Advance(time.Second)
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Participants() != 0 {
+		t.Fatalf("participants = %d, want 0 after timeout", h.Participants())
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(evictions) != 1 {
+		t.Fatalf("evictions = %d, want 1", len(evictions))
+	}
+	if !strings.Contains(evictions[0].EvictReason, "liveness timeout") {
+		t.Fatalf("reason = %q, want liveness timeout", evictions[0].EvictReason)
+	}
+	var found bool
+	for _, hs := range h.RemoteHealth() {
+		if hs.ID == "udp1" && hs.State == HealthEvicted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("RemoteHealth does not report the timed-out remote")
+	}
+}
+
+// TestLivenessNACKStormDetachRace hammers a UDP remote with NACKs from a
+// feedback goroutine while the main goroutine ticks, detaches it
+// mid-storm, and re-attaches fresh remotes — the feedback-vs-detach race
+// the -race CI gate watches.
+func TestLivenessNACKStormDetachRace(t *testing.T) {
+	d := display.NewDesktop(320, 240)
+	w := d.CreateWindow(1, region.XYWH(10, 10, 150, 100))
+	h, err := New(Config{Desktop: d, Retransmissions: true, RetransLog: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	vid := workload.NewVideoRegion(w, region.XYWH(20, 20, 80, 60), 3)
+	for round := 0; round < 4; round++ {
+		hostConn, partConn := transport.Pipe(
+			transport.LinkConfig{Seed: int64(round + 1)},
+			transport.LinkConfig{Seed: int64(round + 100)},
+		)
+		r, err := h.AttachPacketConn(fmt.Sprintf("storm-%d", round), hostConn, PacketOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func(ssrc uint32) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				nack, err := rtcp.Marshal(&rtcp.NACK{
+					SenderSSRC: 7,
+					MediaSSRC:  ssrc,
+					Pairs:      rtcp.BuildNACKPairs([]uint16{uint16(i), uint16(i + 2)}),
+				})
+				if err != nil {
+					t.Errorf("build NACK: %v", err)
+					return
+				}
+				if partConn.Send(nack) != nil {
+					return
+				}
+			}
+		}(r.SSRC())
+
+		for step := 0; step < 10; step++ {
+			vid.Step()
+			if err := h.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Detach mid-storm; the pump and the storm goroutine race the
+		// teardown.
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+		_ = partConn.Close()
+	}
+	if h.Participants() != 0 {
+		t.Fatalf("participants = %d, want 0", h.Participants())
+	}
+}
+
+// captureSink records shipped packets for direct Remote-level tests.
+type captureSink struct{ pkts [][]byte }
+
+func (c *captureSink) ship(p []byte) error    { c.pkts = append(c.pkts, p); return nil }
+func (c *captureSink) backlogged(int) bool    { return false }
+func (c *captureSink) queued() int            { return 0 }
+func (c *captureSink) stalled() time.Duration { return 0 }
+func (c *captureSink) close() error           { return nil }
+
+// TestLivenessRetransLogSeqWrapReuse: when the 16-bit sequence space
+// wraps and a sequence number is reused while its old packet is still
+// logged, the log must serve the NEW packet for that sequence — and must
+// not lose it when the old queue slot rotates out.
+func TestLivenessRetransLogSeqWrapReuse(t *testing.T) {
+	h, _ := newHost(t, Config{Retransmissions: true, RetransLog: 4})
+	defer h.Close()
+	cs := &captureSink{}
+	r := h.newRemote("wrap", 0, cs)
+
+	mk := func(seq uint16, tag byte) []byte {
+		pkt := &rtp.Packet{
+			Header:  rtp.Header{PayloadType: 99, SequenceNumber: seq, SSRC: 42},
+			Payload: []byte{tag},
+		}
+		raw, err := pkt.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	r.logForRetransmission(mk(1, 'a'))
+	r.logForRetransmission(mk(2, 'a'))
+	r.logForRetransmission(mk(3, 'a'))
+	// Sequence 1 reused (wrap) while its old entry is still queued.
+	r.logForRetransmission(mk(1, 'b'))
+	// One more packet: with the aliased duplicate queue entry this
+	// eviction used to delete the NEW packet for seq 1.
+	r.logForRetransmission(mk(4, 'a'))
+
+	if err := r.resend([]uint16{1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.pkts) != 1 {
+		t.Fatalf("NACK for live seq 1 served %d packets, want 1", len(cs.pkts))
+	}
+	got := cs.pkts[0]
+	if tag := got[len(got)-1]; tag != 'b' {
+		t.Fatalf("retransmitted stale packet %q for reused seq, want 'b'", tag)
+	}
+
+	// Rotating the window far enough must still evict seq 1 exactly once.
+	r.logForRetransmission(mk(5, 'a'))
+	r.logForRetransmission(mk(6, 'a'))
+	cs.pkts = nil
+	if err := r.resend([]uint16{1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.pkts) != 0 {
+		t.Fatal("evicted sequence still served from the log")
+	}
+	if len(r.retrans) != len(r.retransQ) {
+		t.Fatalf("log invariant broken: %d map entries, %d queue entries", len(r.retrans), len(r.retransQ))
+	}
+}

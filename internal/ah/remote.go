@@ -23,6 +23,10 @@ type sink interface {
 	// queued returns the bytes accepted but not yet on the wire (zero
 	// for datagram sinks).
 	queued() int
+	// stalled reports how long the send path has made no drain progress
+	// while bytes were queued (zero for datagram sinks, which never
+	// queue).
+	stalled() time.Duration
 	// close releases transport resources.
 	close() error
 }
@@ -41,6 +45,19 @@ type Remote struct {
 	pending        *region.Set
 	pendingPointer bool
 	deferrals      uint64
+
+	// Health/liveness tracking (see health.go); guarded by host.mu.
+	health           HealthState
+	healthSince      time.Time
+	attachedAt       time.Time
+	lastHeard        time.Time
+	lastRRAt         time.Time
+	rtt              time.Duration
+	backlogHighSince time.Time
+	deferStreak      int
+	maxDeferStreak   int
+	needResync       bool
+	evictReason      string
 
 	// Retransmission log (UDP participants, Section 5.3.2): recent
 	// packets by sequence number.
@@ -125,7 +142,35 @@ func (h *Host) newRemote(id string, userID uint16, s sink) *Remote {
 // host lock is held.
 func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
 	approx := approxBatchSize(b)
-	if r.sink.backlogged(approx) {
+	backlogged := r.sink.backlogged(approx)
+	if backlogged {
+		r.deferStreak++
+		if r.deferStreak > r.maxDeferStreak {
+			r.maxDeferStreak = r.deferStreak
+		}
+	} else {
+		r.deferStreak = 0
+	}
+
+	if r.health == HealthDegraded {
+		// Keyframe-only degraded mode: stop accumulating per-region
+		// detail for a viewer that cannot keep up — the pending set is
+		// what a wedged remote grows without bound. Window structure
+		// still goes out; the pixels are owed as one full refresh once
+		// the link drains.
+		if backlogged || r.sink.backlogged(0) {
+			r.pending.Clear()
+			r.pendingPointer = false
+			r.needResync = true
+			return r.sendPrepared(prep.wmOnly())
+		}
+		// Link drained below the limit: promote back to healthy and let
+		// this Tick's refresh pass send the keyframe.
+		r.host.recoverLocked(r, r.host.cfg.Now())
+		return r.sendPrepared(prep.wmOnly())
+	}
+
+	if backlogged {
 		r.deferScreenData(b)
 		// Window state is tiny and ordering-critical; it still goes
 		// out so the participant tracks structure while pixels wait.
@@ -218,6 +263,15 @@ func (r *Remote) logForRetransmission(pkt []byte) {
 		return
 	}
 	seq := hdr.SequenceNumber
+	if _, dup := r.retrans[seq]; dup {
+		// The 16-bit sequence space wrapped and reused this number while
+		// its old packet was still logged. Overwrite in place: appending
+		// a second queue entry would alias — evicting the old entry
+		// would delete the NEW packet from the map, so a NACK for a
+		// live packet would miss.
+		r.retrans[seq] = pkt
+		return
+	}
 	if len(r.retransQ) >= r.host.cfg.RetransLog {
 		oldest := r.retransQ[0]
 		r.retransQ = r.retransQ[1:]
@@ -295,12 +349,19 @@ func (s *streamSink) backlogged(int) bool {
 
 func (s *streamSink) queued() int { return s.rated.Backlog() }
 
+func (s *streamSink) stalled() time.Duration { return s.rated.StallDuration() }
+
 func (s *streamSink) close() error {
-	_ = s.rated.Close()
+	// Close the transport FIRST: if the drain goroutine is wedged in a
+	// Write toward a dead peer, tearing the socket down unblocks it with
+	// an error, letting RatedWriter.Close (which waits for the drain to
+	// exit) complete instead of deadlocking.
+	var err error
 	if s.rw != nil {
-		return s.rw.Close()
+		err = s.rw.Close()
 	}
-	return nil
+	_ = s.rated.Close()
+	return err
 }
 
 // StreamOptions configures AttachStream.
@@ -313,6 +374,30 @@ type StreamOptions struct {
 	// naive "blindly send every screen update" behavior, kept for the
 	// E11 comparison benchmark.
 	DisableCoalescing bool
+	// ReadIdleTimeout, when positive and the stream supports read
+	// deadlines (net.Conn does), bounds each feedback read: a viewer
+	// that sends nothing for this long gets its pump torn down and the
+	// remote detached. This catches black-holed TCP peers the transport
+	// alone would keep alive for minutes.
+	ReadIdleTimeout time.Duration
+}
+
+// readDeadliner is the subset of net.Conn the idle-timeout wiring needs.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// idleReader arms a fresh read deadline before every read, so a silent
+// peer surfaces as a read error at the pump within the timeout.
+type idleReader struct {
+	r       io.Reader
+	d       readDeadliner
+	timeout time.Duration
+}
+
+func (ir *idleReader) Read(p []byte) (int, error) {
+	_ = ir.d.SetReadDeadline(time.Now().Add(ir.timeout))
+	return ir.r.Read(p)
 }
 
 // AttachStream adds a TCP (or any reliable-stream) participant. The host
@@ -328,12 +413,21 @@ func (h *Host) AttachStream(id string, rw io.ReadWriteCloser, opts StreamOptions
 		noDefer: opts.DisableCoalescing,
 	}
 	r := h.newRemote(id, opts.UserID, s)
-	if err := h.addRemote(r); err != nil {
+	if err := h.addRemoteUnique(r); err != nil {
 		_ = s.close()
 		return nil, err
 	}
-	go h.pumpStream(r, rw)
+	src := io.Reader(rw)
+	if opts.ReadIdleTimeout > 0 {
+		if d, ok := rw.(readDeadliner); ok {
+			src = &idleReader{r: rw, d: d, timeout: opts.ReadIdleTimeout}
+		}
+	}
+	go h.pumpStream(r, src)
 	if err := h.initialState(r); err != nil {
+		// Detach rather than leak: the pump and sink of a remote that
+		// never got its initial state must not outlive this failure.
+		_ = r.Close()
 		return nil, err
 	}
 	return r, nil
@@ -435,6 +529,8 @@ func (s *packetSink) refill() {
 
 func (s *packetSink) queued() int { return 0 }
 
+func (s *packetSink) stalled() time.Duration { return 0 }
+
 func (s *packetSink) close() error { return s.conn.Close() }
 
 // AttachPacketConn adds a UDP participant. The host sends remoting RTP
@@ -447,6 +543,9 @@ func (s *packetSink) close() error { return s.conn.Close() }
 func (h *Host) AttachPacketConn(id string, conn transport.PacketConn, opts PacketOptions) (*Remote, error) {
 	s := &packetSink{conn: conn, rate: opts.BytesPerSecond, now: h.cfg.Now}
 	r := h.newRemote(id, opts.UserID, s)
+	// No ID-uniqueness here: packet IDs are caller-chosen labels (ServeUDP
+	// already keys by unique source address), and sharing one ID across
+	// conns is an established pattern (e.g. multicast-style fan-out tests).
 	if err := h.addRemote(r); err != nil {
 		_ = s.close()
 		return nil, err
@@ -494,8 +593,9 @@ func (s *busSink) backlogged(pending int) bool {
 	return s.budget.tokens < float64(pending)
 }
 
-func (s *busSink) queued() int  { return 0 }
-func (s *busSink) close() error { return nil }
+func (s *busSink) queued() int            { return 0 }
+func (s *busSink) stalled() time.Duration { return 0 }
+func (s *busSink) close() error           { return nil }
 
 // MulticastOptions configures AttachMulticast.
 type MulticastOptions struct {

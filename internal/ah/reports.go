@@ -1,6 +1,8 @@
 package ah
 
 import (
+	"time"
+
 	"appshare/internal/rtcp"
 )
 
@@ -61,8 +63,10 @@ func (r *Remote) LastReceiverReport() ReceptionQuality {
 	return r.lastRR
 }
 
-// noteReceiverReport records a participant's RR block. Host lock held.
-func (r *Remote) noteReceiverReport(rep rtcp.ReceptionReport) {
+// noteReceiverReport records a participant's RR block and refreshes the
+// health subsystem's reception view (RR time, RTT estimate). Host lock
+// held.
+func (r *Remote) noteReceiverReport(rep rtcp.ReceptionReport, now time.Time) {
 	r.lastRR = ReceptionQuality{
 		FractionLost:   rep.FractionLost,
 		CumulativeLost: rep.TotalLost,
@@ -70,4 +74,6 @@ func (r *Remote) noteReceiverReport(rep rtcp.ReceptionReport) {
 		HighestSeq:     rep.HighestSeq,
 		Valid:          true,
 	}
+	r.lastRRAt = now
+	r.noteRTTLocked(rep, now)
 }

@@ -15,24 +15,39 @@ import (
 // signal.
 //
 // Writes never block; bytes queue until the drain goroutine ships them.
+// Beyond backlog, the writer reports two health signals the AH's
+// liveness sweep consumes: StallDuration (how long the drain has made no
+// progress with bytes queued — a wedged peer) and Discarded (bytes
+// dropped by Close or a drain error — the data-loss a caller would
+// otherwise mistake for a clean close).
 type RatedWriter struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   [][]byte
-	backlog int
-	closed  bool
-	err     error
-	w       io.Writer
-	rate    int // bytes per second; <= 0 means unlimited
-	done    chan struct{}
-	stop    chan struct{}
+	mu sync.Mutex
+	// work wakes the drain goroutine when bytes arrive or the writer
+	// closes; idle wakes Flush/CloseDrain waiters when the backlog
+	// shrinks, a drain error lands, or the writer closes. Separate
+	// conditions mean a Write can never waste its wakeup on a Flush
+	// waiter (leaving the drain asleep) and vice versa.
+	work         *sync.Cond
+	idle         *sync.Cond
+	queue        [][]byte
+	backlog      int
+	drained      int64
+	discarded    int64
+	lastProgress time.Time
+	closed       bool
+	err          error
+	w            io.Writer
+	rate         int // bytes per second; <= 0 means unlimited
+	done         chan struct{}
+	stop         chan struct{}
 }
 
 // NewRatedWriter returns a RatedWriter shipping to w at bytesPerSecond
 // (<= 0 for unlimited).
 func NewRatedWriter(w io.Writer, bytesPerSecond int) *RatedWriter {
 	rw := &RatedWriter{w: w, rate: bytesPerSecond, done: make(chan struct{}), stop: make(chan struct{})}
-	rw.cond = sync.NewCond(&rw.mu)
+	rw.work = sync.NewCond(&rw.mu)
+	rw.idle = sync.NewCond(&rw.mu)
 	go rw.drain()
 	return rw
 }
@@ -48,9 +63,14 @@ func (rw *RatedWriter) Write(p []byte) (int, error) {
 	if rw.err != nil {
 		return 0, rw.err
 	}
+	if rw.backlog == 0 {
+		// The stall clock for this burst starts now, not at the last
+		// drain progress of a previous burst.
+		rw.lastProgress = time.Now()
+	}
 	rw.queue = append(rw.queue, append([]byte(nil), p...))
 	rw.backlog += len(p)
-	rw.cond.Signal()
+	rw.work.Signal()
 	return len(p), nil
 }
 
@@ -61,18 +81,54 @@ func (rw *RatedWriter) Backlog() int {
 	return rw.backlog
 }
 
-// Flush blocks until the queue is empty or the writer fails/closes.
+// Drained returns the cumulative bytes shipped to the underlying writer.
+func (rw *RatedWriter) Drained() int64 {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.drained
+}
+
+// Discarded returns the cumulative bytes dropped without being shipped —
+// the queue remnant discarded by Close, or bytes flushed away when the
+// underlying writer failed. A non-zero value after Close distinguishes
+// lossy teardown from a clean drain.
+func (rw *RatedWriter) Discarded() int64 {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.discarded
+}
+
+// StallDuration reports how long the drain has made no progress while
+// bytes were queued: zero when the queue is empty or flowing, and the
+// age of the oldest unshipped progress otherwise. A growing value with a
+// stable backlog means the peer has stopped reading entirely — a
+// stronger death signal than backlog alone, which also rises under mere
+// congestion.
+func (rw *RatedWriter) StallDuration() time.Duration {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.backlog == 0 || rw.lastProgress.IsZero() {
+		return 0
+	}
+	return time.Since(rw.lastProgress)
+}
+
+// Flush blocks until the queue is empty or the writer fails/closes. When
+// it returns nil after a Close that discarded data, Discarded reports
+// the loss.
 func (rw *RatedWriter) Flush() error {
 	rw.mu.Lock()
 	defer rw.mu.Unlock()
 	for rw.backlog > 0 && rw.err == nil && !rw.closed {
-		rw.cond.Wait()
+		rw.idle.Wait()
 	}
 	return rw.err
 }
 
 // Close stops the drain goroutine after the current chunk. Queued but
-// unshipped bytes are discarded.
+// unshipped bytes are discarded and counted in Discarded. If the
+// underlying writer may block indefinitely (a dead TCP peer), close it
+// first so a wedged in-flight Write unblocks and the drain can exit.
 func (rw *RatedWriter) Close() error {
 	rw.mu.Lock()
 	if rw.closed {
@@ -80,11 +136,40 @@ func (rw *RatedWriter) Close() error {
 		return nil
 	}
 	rw.closed = true
-	rw.cond.Broadcast()
+	rw.discarded += int64(rw.backlog)
+	rw.queue = nil
+	rw.backlog = 0
+	rw.work.Broadcast()
+	rw.idle.Broadcast()
 	rw.mu.Unlock()
 	close(rw.stop)
 	<-rw.done
 	return nil
+}
+
+// CloseDrain flushes the queue for up to timeout before closing,
+// returning the bytes that had to be discarded anyway (0 after a clean
+// drain). It is the lossless-teardown alternative to Close for callers
+// detaching a healthy participant.
+func (rw *RatedWriter) CloseDrain(timeout time.Duration) (int64, error) {
+	rw.mu.Lock()
+	if !rw.closed && rw.err == nil && rw.backlog > 0 && timeout > 0 {
+		deadline := time.Now().Add(timeout)
+		// The timer pokes the idle waiters so the deadline check below
+		// re-runs even if the drain makes no progress at all.
+		t := time.AfterFunc(timeout, func() {
+			rw.mu.Lock()
+			rw.idle.Broadcast()
+			rw.mu.Unlock()
+		})
+		for rw.backlog > 0 && rw.err == nil && !rw.closed && time.Now().Before(deadline) {
+			rw.idle.Wait()
+		}
+		t.Stop()
+	}
+	rw.mu.Unlock()
+	err := rw.Close()
+	return rw.Discarded(), err
 }
 
 func (rw *RatedWriter) drain() {
@@ -93,7 +178,7 @@ func (rw *RatedWriter) drain() {
 	for {
 		rw.mu.Lock()
 		for len(rw.queue) == 0 && !rw.closed {
-			rw.cond.Wait()
+			rw.work.Wait()
 		}
 		if rw.closed {
 			rw.mu.Unlock()
@@ -110,9 +195,19 @@ func (rw *RatedWriter) drain() {
 		rw.mu.Lock()
 		if err != nil {
 			rw.err = err
+			rw.discarded += int64(rw.backlog)
 			rw.queue = nil
 			rw.backlog = 0
-			rw.cond.Broadcast()
+			rw.idle.Broadcast()
+			rw.mu.Unlock()
+			return
+		}
+		if rw.closed {
+			// Close won the race while this piece was in flight; its
+			// accounting already discarded the whole backlog, so only
+			// correct for the bytes that did make it out.
+			rw.drained += int64(n)
+			rw.discarded -= int64(n)
 			rw.mu.Unlock()
 			return
 		}
@@ -122,7 +217,9 @@ func (rw *RatedWriter) drain() {
 			rw.queue[0] = buf[n:]
 		}
 		rw.backlog -= n
-		rw.cond.Broadcast()
+		rw.drained += int64(n)
+		rw.lastProgress = time.Now()
+		rw.idle.Broadcast()
 		rate := rw.rate
 		rw.mu.Unlock()
 

@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingWriter blocks every Write until released — a peer that has
+// stopped reading.
+type blockingWriter struct {
+	release chan struct{}
+	mu      sync.Mutex
+	n       int
+}
+
+func (b *blockingWriter) Write(p []byte) (int, error) {
+	<-b.release
+	b.mu.Lock()
+	b.n += len(p)
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+// TestLivenessRatedWriterDiscardOnClose: Close must account for every
+// queued byte it throws away instead of silently dropping them.
+func TestLivenessRatedWriterDiscardOnClose(t *testing.T) {
+	rw := NewRatedWriter(io.Discard, 1000) // 1 KB/s: most of the burst stays queued
+	const total = 10_000
+	if _, err := rw.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drained, discarded := rw.Drained(), rw.Discarded()
+	if discarded == 0 {
+		t.Fatal("Close dropped queued bytes without reporting them")
+	}
+	if drained+discarded != total {
+		t.Fatalf("drained %d + discarded %d != written %d", drained, discarded, total)
+	}
+	if rw.Backlog() != 0 {
+		t.Fatalf("backlog %d after Close, want 0", rw.Backlog())
+	}
+}
+
+// TestLivenessRatedWriterCloseDrainClean: an unconstrained writer drains
+// fully, so CloseDrain loses nothing.
+func TestLivenessRatedWriterCloseDrainClean(t *testing.T) {
+	var buf bytes.Buffer
+	rw := NewRatedWriter(&buf, 0)
+	const total = 5_000
+	if _, err := rw.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	discarded, err := rw.CloseDrain(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if discarded != 0 {
+		t.Fatalf("clean drain discarded %d bytes", discarded)
+	}
+	if buf.Len() != total {
+		t.Fatalf("underlying writer got %d bytes, want %d", buf.Len(), total)
+	}
+	if rw.Drained() != total {
+		t.Fatalf("Drained() = %d, want %d", rw.Drained(), total)
+	}
+}
+
+// TestLivenessRatedWriterCloseDrainTimeout: when the link can't drain in
+// time, CloseDrain gives up promptly and reports the loss.
+func TestLivenessRatedWriterCloseDrainTimeout(t *testing.T) {
+	rw := NewRatedWriter(io.Discard, 1000)
+	const total = 50_000
+	if _, err := rw.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	discarded, err := rw.CloseDrain(50 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("CloseDrain blocked %v past its 50ms budget", waited)
+	}
+	if discarded == 0 {
+		t.Fatal("timed-out CloseDrain reported a clean drain")
+	}
+	if rw.Drained()+discarded != total {
+		t.Fatalf("drained %d + discarded %d != written %d", rw.Drained(), discarded, total)
+	}
+}
+
+// TestLivenessRatedWriterStallDuration: a wedged peer shows up as a
+// growing stall, and the signal resets once the drain moves again.
+func TestLivenessRatedWriterStallDuration(t *testing.T) {
+	bw := &blockingWriter{release: make(chan struct{})}
+	rw := NewRatedWriter(bw, 0)
+	if _, err := rw.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if stall := rw.StallDuration(); stall < 40*time.Millisecond {
+		t.Fatalf("StallDuration = %v while peer wedged, want >= 40ms", stall)
+	}
+	close(bw.release)
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if stall := rw.StallDuration(); stall != 0 {
+		t.Fatalf("StallDuration = %v after drain, want 0", stall)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Discarded() != 0 {
+		t.Fatalf("Discarded = %d after full drain", rw.Discarded())
+	}
+}
+
+// TestLivenessRatedWriterWakeStorm: concurrent writers and flushers must
+// all complete — a missed condition-variable wakeup (the bug class the
+// split work/idle conds eliminate) would deadlock this test.
+func TestLivenessRatedWriterWakeStorm(t *testing.T) {
+	rw := NewRatedWriter(io.Discard, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, err := rw.Write(make([]byte, 512)); err != nil {
+					return // closed under us: fine
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = rw.Flush()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("write/flush storm deadlocked")
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Backlog() != 0 {
+		t.Fatal("backlog nonzero after final flush")
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package appshare_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"appshare"
+)
+
+// In-memory net.Listener/net.Conn with controllable remote addresses, so
+// the duplicate-ID attach failure (two conns claiming one address) is
+// reproducible — real TCP would never hand out the same source port
+// twice.
+
+type strAddr string
+
+func (a strAddr) Network() string { return "mem" }
+func (a strAddr) String() string  { return string(a) }
+
+type addrConn struct {
+	net.Conn
+	addr string
+}
+
+func (c addrConn) RemoteAddr() net.Addr { return strAddr(c.addr) }
+
+type memListener struct {
+	ch     chan net.Conn
+	closed chan struct{}
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+func (l *memListener) Close() error   { close(l.closed); return nil }
+func (l *memListener) Addr() net.Addr { return strAddr("mem-listener") }
+
+// TestLivenessServeTCPSurvivesBadConn: one connection failing to attach
+// (duplicate remote ID) must not kill the accept loop — later viewers
+// still get in. Only a closed host stops ServeTCP.
+func TestLivenessServeTCPSurvivesBadConn(t *testing.T) {
+	desk := newDesk()
+	h, err := newHostFor(desk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	ln := &memListener{ch: make(chan net.Conn, 4), closed: make(chan struct{})}
+	servErr := make(chan error, 1)
+	go func() { servErr <- appshare.ServeTCP(h, ln, appshare.StreamOptions{}) }()
+
+	dial := func(addr string) *appshare.Connection {
+		server, client := net.Pipe()
+		c := appshare.ConnectStream(appshare.NewParticipant(appshare.ParticipantConfig{}), client)
+		ln.ch <- addrConn{Conn: server, addr: addr}
+		return c
+	}
+	waitParticipants := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for h.Participants() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("participants = %d, want %d", h.Participants(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	connA := dial("viewer-1")
+	defer connA.Close()
+	waitParticipants(1)
+
+	// Same address again: AttachStream rejects the duplicate ID, ServeTCP
+	// closes the conn (its pump sees EOF) and keeps accepting.
+	connB := dial("viewer-1")
+	select {
+	case <-connB.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("rejected connection was not closed")
+	}
+	waitParticipants(1)
+
+	// The loop survived: a fresh viewer still attaches.
+	connC := dial("viewer-2")
+	defer connC.Close()
+	waitParticipants(2)
+	select {
+	case err := <-servErr:
+		t.Fatalf("ServeTCP exited early: %v", err)
+	default:
+	}
+
+	// A closed host is the one attach failure that must stop the loop.
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	defer client.Close()
+	ln.ch <- addrConn{Conn: server, addr: "viewer-3"}
+	select {
+	case err := <-servErr:
+		if !errors.Is(err, appshare.ErrHostClosed) {
+			t.Fatalf("ServeTCP returned %v, want ErrHostClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeTCP kept running after host close")
+	}
+}
+
+// TestLivenessReadIdleEviction: a black-holed TCP viewer — connected but
+// never sending a byte — is detached once StreamOptions.ReadIdleTimeout
+// elapses, instead of holding its session slot forever.
+func TestLivenessReadIdleEviction(t *testing.T) {
+	desk := newDesk()
+	h, err := newHostFor(desk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go appshare.ServeTCP(h, ln, appshare.StreamOptions{ReadIdleTimeout: 150 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Drain the host's initial state but never send anything back.
+	go func() {
+		buf := make([]byte, 32<<10)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	attached := false
+	for time.Now().Before(deadline) {
+		n := h.Participants()
+		if n == 1 {
+			attached = true
+		}
+		if attached && n == 0 {
+			return // attached, then idle-evicted
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("silent viewer not detached (attached=%v, participants=%d)", attached, h.Participants())
+}

@@ -21,7 +21,11 @@ import (
 
 // ServeTCP accepts connections on ln and attaches each as a stream
 // participant with the given options. It blocks until the listener
-// fails; callers usually run it in a goroutine.
+// fails or the host closes; callers usually run it in a goroutine.
+//
+// A connection that fails to attach (duplicate remote ID, failed initial
+// state push) is closed and skipped — one bad viewer must not kill the
+// accept loop for every future one.
 func ServeTCP(h *Host, ln net.Listener, opts StreamOptions) error {
 	for {
 		conn, err := ln.Accept()
@@ -30,7 +34,10 @@ func ServeTCP(h *Host, ln net.Listener, opts StreamOptions) error {
 		}
 		if _, err := h.AttachStream(conn.RemoteAddr().String(), conn, opts); err != nil {
 			_ = conn.Close()
-			return err
+			if errors.Is(err, ErrHostClosed) {
+				return err
+			}
+			continue
 		}
 	}
 }
@@ -77,7 +84,14 @@ func (c *Connection) finish(err error) {
 	if c.err == nil && !errors.Is(err, io.EOF) {
 		c.err = err
 	}
+	closer := c.closer
 	c.mu.Unlock()
+	// Pump teardown releases the transport: once the receive side is
+	// dead the connection cannot recover, so holding the socket open
+	// only leaks it (Close stays idempotent for explicit callers).
+	if closer != nil {
+		_ = closer.Close()
+	}
 	close(c.done)
 }
 
