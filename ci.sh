@@ -14,3 +14,8 @@ go test -race ./...
 # goroutine scheduling, so run them repeatedly under -race to shake out
 # timing sensitivity before it lands.
 go test -race -count=5 -run Liveness . ./internal/ah ./internal/transport
+# Scenario-matrix smoke: every netsim profile with all oracles, the
+# replay-determinism check and the planted-fault mutation checks, under
+# the race detector (short profiles, fixed seeds — see EXPERIMENTS.md
+# Section C).
+go test -race -count=1 -run 'ScenarioMatrix|ScenarioDeterminism|ScenarioMutation' .

@@ -10,12 +10,19 @@
 // Or a subset:
 //
 //	ads-bench -run E04,E10
+//
+// The deterministic network-simulation matrix (internal/netsim) runs in
+// its own mode — every scenario with oracle verdicts and replay digests:
+//
+//	ads-bench -scenarios
+//	ads-bench -scenarios -scenario burst-jitter -seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 )
 
@@ -27,7 +34,17 @@ type experiment struct {
 
 func main() {
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	scenarios := flag.Bool("scenarios", false, "run the deterministic network-simulation matrix instead of experiments")
+	scenario := flag.String("scenario", "", "with -scenarios: run only this scenario (default: full matrix)")
+	seed := flag.Int64("seed", 0, "with -scenarios: override every scenario's seed (0 = built-in seeds)")
 	flag.Parse()
+
+	if *scenarios {
+		if !runScenarios(*scenario, *seed) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []experiment{
 		{"E03", "fragmentation overhead vs MTU (Table 2)", runE03Fragmentation},

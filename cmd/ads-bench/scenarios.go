@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"appshare/internal/netsim"
+)
+
+// runScenarios executes the deterministic network-simulation matrix
+// (internal/netsim) and prints one line per scenario with the journal
+// digest and every oracle verdict. The seed overrides each scenario's
+// built-in seed when non-zero, so a failure seen here is reproducible
+// with the same flags on any machine. Returns false if any oracle
+// failed.
+func runScenarios(only string, seed int64) bool {
+	var list []netsim.Scenario
+	if only != "" {
+		sc, err := netsim.ByName(only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		list = []netsim.Scenario{sc}
+	} else {
+		list = netsim.Matrix()
+	}
+
+	allPassed := true
+	for _, sc := range list {
+		if seed != 0 {
+			sc.Seed = seed
+		}
+		res, err := netsim.Run(sc)
+		if err != nil {
+			fmt.Printf("%-18s ERROR %v\n", sc.Name, err)
+			allPassed = false
+			continue
+		}
+		status := "PASS"
+		if !res.Passed() {
+			status = "FAIL"
+			allPassed = false
+		}
+		fmt.Printf("%-18s %s seed=%-6d ticks=%-3d digest=%s\n",
+			sc.Name, status, res.Seed, res.TicksRun, res.Digest)
+		for _, o := range res.Oracles {
+			mark := "ok"
+			if !o.Passed {
+				mark = "FAIL: " + o.Detail
+			}
+			fmt.Printf("    %-15s %s\n", o.Name, mark)
+		}
+	}
+	return allPassed
+}

@@ -1,0 +1,259 @@
+package appshare_test
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"appshare/internal/bfcp"
+	"appshare/internal/core"
+	"appshare/internal/hip"
+	"appshare/internal/remoting"
+	"appshare/internal/rtcp"
+	"appshare/internal/rtp"
+	"appshare/internal/sdp"
+)
+
+var updateFuzzCorpus = flag.Bool("update-fuzz-corpus", false, "rewrite the seeded testdata/fuzz corpora from the wire vectors")
+
+// corpusSeed is one seeded fuzz-corpus file: a named input for a fuzz
+// target, in `go test fuzz v1` encoding, derived from the frozen wire
+// vectors so the fuzzers always start from real protocol bytes.
+type corpusSeed struct {
+	target string   // fuzz target (directory under testdata/fuzz)
+	name   string   // corpus file name
+	lines  []string // one encoded argument per line
+}
+
+func byteLit(b []byte) string { return "[]byte(" + strconv.Quote(string(b)) + ")" }
+
+// loadWireVectors parses testdata/wire_vectors.txt into name→bytes.
+func loadWireVectors(t *testing.T) map[string][]byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "wire_vectors.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed vector line %q", line)
+		}
+		b, err := hex.DecodeString(fields[1])
+		if err != nil {
+			t.Fatalf("vector %s: %v", fields[0], err)
+		}
+		out[fields[0]] = b
+	}
+	return out
+}
+
+// fuzzCorpusSeeds maps every wire vector onto the fuzz target that
+// consumes its encoding, plus derived seeds for the targets the vector
+// file cannot express directly (an RTP datagram wrapping the Figure 11
+// payload, a reassembler push, the draft's Section 10.3 SDP).
+func fuzzCorpusSeeds(t *testing.T) []corpusSeed {
+	t.Helper()
+	vec := loadWireVectors(t)
+	get := func(name string) []byte {
+		b, ok := vec[name]
+		if !ok {
+			t.Fatalf("wire vector %q missing from testdata/wire_vectors.txt", name)
+		}
+		return b
+	}
+
+	var seeds []corpusSeed
+	add := func(target, name string, lines ...string) {
+		seeds = append(seeds, corpusSeed{target: target, name: name, lines: lines})
+	}
+	for name := range vec {
+		switch {
+		case strings.HasPrefix(name, "HIP_"):
+			add("FuzzHIPDecode", name, byteLit(get(name)))
+		case strings.HasPrefix(name, "RTCP_"):
+			add("FuzzRTCPDecode", name, byteLit(get(name)))
+		case strings.HasPrefix(name, "BFCP_"):
+			add("FuzzBFCPDecode", name, byteLit(get(name)))
+		default:
+			add("FuzzRemotingDecode", name, byteLit(get(name)))
+		}
+	}
+
+	// An RTP datagram carrying the Figure 11 region update, exactly as a
+	// host would put it on the wire.
+	pkt := rtp.Packet{
+		Header: rtp.Header{
+			Marker:         true,
+			PayloadType:    96,
+			SequenceNumber: 100,
+			Timestamp:      90000,
+			SSRC:           0x11223344,
+		},
+		Payload: get("RegionUpdate_Figure11_payload"),
+	}
+	rtpBytes, err := pkt.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("FuzzRTPDecode", "RTP_RegionUpdate_Figure11", byteLit(rtpBytes))
+	add("FuzzReassemblerPush", "RegionUpdate_Figure11_marker",
+		byteLit(get("RegionUpdate_Figure11_payload")), "bool(true)")
+	add("FuzzSDPParse", "SDP_Section10_3",
+		"string("+strconv.Quote("v=0\r\ns=-\r\nt=0 0\r\n"+sdp.Example103)+")")
+
+	return seeds
+}
+
+func corpusFileBody(s corpusSeed) string {
+	return "go test fuzz v1\n" + strings.Join(s.lines, "\n") + "\n"
+}
+
+// parseCorpusValue decodes one `go test fuzz v1` argument line into its
+// Go value (the subset of types our fuzz targets use).
+func parseCorpusValue(line string) (any, error) {
+	switch {
+	case strings.HasPrefix(line, "[]byte(") && strings.HasSuffix(line, ")"):
+		s, err := strconv.Unquote(line[len("[]byte(") : len(line)-1])
+		return []byte(s), err
+	case strings.HasPrefix(line, "string(") && strings.HasSuffix(line, ")"):
+		s, err := strconv.Unquote(line[len("string(") : len(line)-1])
+		return s, err
+	case strings.HasPrefix(line, "bool(") && strings.HasSuffix(line, ")"):
+		return strconv.ParseBool(line[len("bool(") : len(line)-1])
+	default:
+		return nil, fmt.Errorf("unsupported corpus value %q", line)
+	}
+}
+
+// decodeCorpusEntry feeds one corpus entry to the decoder behind its
+// fuzz target and reports the decode error (nil on success). Calling it
+// at all also proves the decoder does not panic on the entry.
+func decodeCorpusEntry(target string, vals []any) error {
+	if len(vals) == 0 {
+		return fmt.Errorf("no values")
+	}
+	switch target {
+	case "FuzzRemotingDecode":
+		_, err := remoting.DecodePayload(vals[0].([]byte))
+		return err
+	case "FuzzHIPDecode":
+		_, err := hip.Unmarshal(vals[0].([]byte))
+		return err
+	case "FuzzRTCPDecode":
+		_, err := rtcp.Unmarshal(vals[0].([]byte))
+		return err
+	case "FuzzRTPDecode":
+		var p rtp.Packet
+		return p.Unmarshal(vals[0].([]byte))
+	case "FuzzBFCPDecode":
+		_, err := bfcp.Unmarshal(vals[0].([]byte))
+		return err
+	case "FuzzSDPParse":
+		_, err := sdp.Parse(vals[0].(string))
+		return err
+	case "FuzzReassemblerPush":
+		if len(vals) != 2 {
+			return fmt.Errorf("want 2 values, got %d", len(vals))
+		}
+		ra := core.NewReassembler()
+		_, err := ra.Push(vals[0].([]byte), vals[1].(bool))
+		return err
+	default:
+		return fmt.Errorf("unknown fuzz target %s", target)
+	}
+}
+
+// TestFuzzCorpusSeeded pins the seeded fuzz corpora to the wire vectors:
+// every expected corpus file exists with exactly the derived content,
+// and its bytes still decode cleanly through the target's decoder. Run
+// with -update-fuzz-corpus to (re)write the files after a deliberate
+// wire-format change.
+func TestFuzzCorpusSeeded(t *testing.T) {
+	for _, s := range fuzzCorpusSeeds(t) {
+		path := filepath.Join("testdata", "fuzz", s.target, s.name)
+		body := corpusFileBody(s)
+		if *updateFuzzCorpus {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: missing seeded corpus file (run with -update-fuzz-corpus): %v", s.name, err)
+			continue
+		}
+		if string(got) != body {
+			t.Errorf("%s: corpus file drifted from wire vectors (run with -update-fuzz-corpus)", path)
+			continue
+		}
+		vals := make([]any, 0, len(s.lines))
+		for _, line := range s.lines {
+			v, err := parseCorpusValue(line)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			vals = append(vals, v)
+		}
+		if err := decodeCorpusEntry(s.target, vals); err != nil {
+			t.Errorf("%s: seeded corpus entry no longer decodes: %v", path, err)
+		}
+	}
+}
+
+// TestFuzzCorpusWellFormed sweeps everything under testdata/fuzz —
+// seeded entries and fuzzer-found ones alike — checking the `go test
+// fuzz v1` framing and pushing each entry through its decoder. Found
+// entries may decode to errors (that is often why the fuzzer kept
+// them); the decoders just must handle them without panicking.
+func TestFuzzCorpusWellFormed(t *testing.T) {
+	root := filepath.Join("testdata", "fuzz")
+	entries := 0
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		target := filepath.Base(filepath.Dir(path))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Errorf("%s: not a go-fuzz v1 corpus file", path)
+			return nil
+		}
+		vals := make([]any, 0, len(lines)-1)
+		for _, line := range lines[1:] {
+			v, err := parseCorpusValue(line)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				return nil
+			}
+			vals = append(vals, v)
+		}
+		_ = decodeCorpusEntry(target, vals) // must not panic
+		entries++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries == 0 {
+		t.Fatal("no corpus entries found under testdata/fuzz")
+	}
+	t.Logf("checked %d corpus entries", entries)
+}

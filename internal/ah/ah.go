@@ -61,6 +61,13 @@ type Config struct {
 	Stats *stats.Collector
 	// Now supplies time (defaults to time.Now); injectable for tests.
 	Now func() time.Time
+	// Entropy, when non-nil, supplies the random identifiers the RTP
+	// layer needs per RFC 3550 — SSRCs, initial sequence numbers and
+	// timestamp origins. nil draws them from crypto randomness. A seeded
+	// source (internal/netsim injects one) makes the host's wire bytes
+	// reproducible run to run. Calls are serialized by the attach paths;
+	// a source shared across goroutines must be safe for concurrent use.
+	Entropy func() uint32
 	// CNAME identifies this host in RTCP SDES (default "ah@appshare").
 	CNAME string
 	// MinRefreshInterval rate-limits PLI service per participant: PLIs

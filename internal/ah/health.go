@@ -130,6 +130,17 @@ type RemoteHealth struct {
 	DeferStreak, MaxDeferStreak int
 	// Deferrals is the lifetime count of deferring ticks.
 	Deferrals uint64
+	// SentPackets and SentOctets count the fresh (non-retransmission)
+	// remoting packets shipped to this remote.
+	SentPackets, SentOctets uint64
+	// DrainedBytes and DiscardedBytes are the send path's drain
+	// accounting (stream remotes only): bytes that reached the wire and
+	// bytes dropped by teardown or a write error. For a stream remote
+	// served no retransmissions, DrainedBytes + DiscardedBytes +
+	// QueuedBytes equals SentOctets plus the RFC 4571 frame headers
+	// (2 bytes per sent packet) — the counter-consistency invariant the
+	// netsim oracles check.
+	DrainedBytes, DiscardedBytes int64
 	// EvictReason is the detach reason; non-empty once State is
 	// HealthEvicted.
 	EvictReason string
@@ -169,6 +180,7 @@ func (r *Remote) healthSnapshotLocked(now time.Time) RemoteHealth {
 	if !r.backlogHighSince.IsZero() {
 		dwell = now.Sub(r.backlogHighSince)
 	}
+	drained, discarded := r.sink.drainStats()
 	hs := RemoteHealth{
 		ID:             r.id,
 		UserID:         r.userID,
@@ -183,6 +195,10 @@ func (r *Remote) healthSnapshotLocked(now time.Time) RemoteHealth {
 		DeferStreak:    r.deferStreak,
 		MaxDeferStreak: r.maxDeferStreak,
 		Deferrals:      r.deferrals,
+		SentPackets:    r.sentPackets,
+		SentOctets:     r.sentOctets,
+		DrainedBytes:   drained,
+		DiscardedBytes: discarded,
 		EvictReason:    r.evictReason,
 	}
 	if r.lastRR.Valid {

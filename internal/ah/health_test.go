@@ -179,10 +179,18 @@ func TestLivenessStalledViewerEvicted(t *testing.T) {
 	if !strings.Contains(ev.EvictReason, "backlog dwell") && !strings.Contains(ev.EvictReason, "send stall") {
 		t.Fatalf("eviction reason %q does not name the congestion signal", ev.EvictReason)
 	}
-	// Within the dwell window: the dwell the snapshot records must have
-	// crossed the budget but not run far past it (2 virtual ticks slack).
-	if ev.BacklogDwell < time.Second || ev.BacklogDwell > 1200*time.Millisecond {
-		t.Fatalf("evicted after dwell %v, want within [1s, 1.2s]", ev.BacklogDwell)
+	// Within the congestion budget: whichever signal fired — backlog
+	// dwell, or send stall (whose clock starts when drain progress
+	// stops, up to one tick before the backlog crosses the limit) — must
+	// have crossed MaxBacklogDwell but not run far past it (2 virtual
+	// ticks slack).
+	sig := ev.BacklogDwell
+	if ev.SendStall > sig {
+		sig = ev.SendStall
+	}
+	if sig < time.Second || sig > 1200*time.Millisecond {
+		t.Fatalf("evicted at congestion signal %v (dwell %v, stall %v), want within [1s, 1.2s]",
+			sig, ev.BacklogDwell, ev.SendStall)
 	}
 	if ev.EvictedAt.IsZero() {
 		t.Fatal("eviction snapshot missing EvictedAt")
@@ -463,11 +471,12 @@ func TestLivenessNACKStormDetachRace(t *testing.T) {
 // captureSink records shipped packets for direct Remote-level tests.
 type captureSink struct{ pkts [][]byte }
 
-func (c *captureSink) ship(p []byte) error    { c.pkts = append(c.pkts, p); return nil }
-func (c *captureSink) backlogged(int) bool    { return false }
-func (c *captureSink) queued() int            { return 0 }
-func (c *captureSink) stalled() time.Duration { return 0 }
-func (c *captureSink) close() error           { return nil }
+func (c *captureSink) ship(p []byte) error        { c.pkts = append(c.pkts, p); return nil }
+func (c *captureSink) backlogged(int) bool        { return false }
+func (c *captureSink) queued() int                { return 0 }
+func (c *captureSink) stalled() time.Duration     { return 0 }
+func (c *captureSink) drainStats() (int64, int64) { return 0, 0 }
+func (c *captureSink) close() error               { return nil }
 
 // TestLivenessRetransLogSeqWrapReuse: when the 16-bit sequence space
 // wraps and a sequence number is reused while its old packet is still

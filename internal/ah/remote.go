@@ -27,6 +27,12 @@ type sink interface {
 	// while bytes were queued (zero for datagram sinks, which never
 	// queue).
 	stalled() time.Duration
+	// drainStats reports the cumulative bytes shipped to the wire and
+	// bytes discarded by teardown or a write error (both zero for
+	// datagram sinks, which never queue). Together with queued() they
+	// satisfy drained + discarded + queued == bytes accepted — the
+	// counter-consistency invariant the netsim oracles check.
+	drainStats() (drained, discarded int64)
 	// close releases transport resources.
 	close() error
 }
@@ -122,12 +128,13 @@ func (r *Remote) Close() error {
 
 // newRemote wires common remote state. Callers hold no locks.
 func (h *Host) newRemote(id string, userID uint16, s sink) *Remote {
+	ent := h.cfg.Entropy
 	r := &Remote{
 		host:    h,
 		id:      id,
 		userID:  userID,
 		sink:    s,
-		pz:      rtp.NewPacketizer(rtp.NewSSRC(), h.cfg.RemotingPT, h.cfg.Now()),
+		pz:      rtp.NewPacketizerFrom(ent, rtp.NewSSRCFrom(ent), h.cfg.RemotingPT, h.cfg.Now()),
 		pending: region.NewSet(),
 	}
 	if h.cfg.Retransmissions {
@@ -351,6 +358,8 @@ func (s *streamSink) queued() int { return s.rated.Backlog() }
 
 func (s *streamSink) stalled() time.Duration { return s.rated.StallDuration() }
 
+func (s *streamSink) drainStats() (int64, int64) { return s.rated.Drained(), s.rated.Discarded() }
+
 func (s *streamSink) close() error {
 	// Close the transport FIRST: if the drain goroutine is wedged in a
 	// Write toward a dead peer, tearing the socket down unblocks it with
@@ -404,7 +413,7 @@ func (ir *idleReader) Read(p []byte) (int, error) {
 // writes RFC 4571 framed remoting RTP onto rw and reads framed HIP RTP
 // and RTCP feedback from it. A goroutine pumps the read side until EOF.
 func (h *Host) AttachStream(id string, rw io.ReadWriteCloser, opts StreamOptions) (*Remote, error) {
-	rated := transport.NewRatedWriter(rw, opts.BytesPerSecond)
+	rated := transport.NewRatedWriterAt(rw, opts.BytesPerSecond, h.cfg.Now)
 	s := &streamSink{
 		rw:      rw,
 		rated:   rated,
@@ -531,6 +540,8 @@ func (s *packetSink) queued() int { return 0 }
 
 func (s *packetSink) stalled() time.Duration { return 0 }
 
+func (s *packetSink) drainStats() (int64, int64) { return 0, 0 }
+
 func (s *packetSink) close() error { return s.conn.Close() }
 
 // AttachPacketConn adds a UDP participant. The host sends remoting RTP
@@ -593,9 +604,10 @@ func (s *busSink) backlogged(pending int) bool {
 	return s.budget.tokens < float64(pending)
 }
 
-func (s *busSink) queued() int            { return 0 }
-func (s *busSink) stalled() time.Duration { return 0 }
-func (s *busSink) close() error           { return nil }
+func (s *busSink) queued() int                { return 0 }
+func (s *busSink) stalled() time.Duration     { return 0 }
+func (s *busSink) drainStats() (int64, int64) { return 0, 0 }
+func (s *busSink) close() error               { return nil }
 
 // MulticastOptions configures AttachMulticast.
 type MulticastOptions struct {

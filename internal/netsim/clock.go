@@ -1,0 +1,39 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// vclock is the simulation's virtual clock. The runner goroutine is the
+// only writer; it freezes the clock at each step of the tick loop so
+// every component the host consults (Config.Now, the RatedWriter stall
+// detector, the Shapers' token buckets) observes the same instant no
+// matter how long the real computation takes. Reads come from host-side
+// pump goroutines too, hence the mutex.
+//
+// Advancement is monotonic: set ignores instants earlier than the
+// current one, so processing a batch of same-time events cannot move
+// time backwards between them.
+type vclock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newVClock(start time.Time) *vclock { return &vclock{t: start} }
+
+// Now returns the current virtual instant (Config.Now-compatible).
+func (c *vclock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// set advances the clock to t; earlier instants are ignored.
+func (c *vclock) set(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.t) {
+		c.t = t
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,253 @@
+package netsim
+
+import (
+	"container/heap"
+	"io"
+	"sync"
+	"time"
+
+	"appshare/internal/transport"
+)
+
+// evKind classifies a scheduled link event.
+type evKind uint8
+
+const (
+	// evDeliverDown delivers a host→viewer datagram to the participant.
+	evDeliverDown evKind = iota
+	// evDeliverUp delivers viewer→host feedback to the host.
+	evDeliverUp
+	// evDropDown journals a host→viewer datagram the link discarded.
+	evDropDown
+	// evDropUp journals viewer→host feedback the link discarded.
+	evDropUp
+)
+
+// event is one scheduled link occurrence in virtual time.
+type event struct {
+	at   time.Time
+	li   int    // owning viewer index — first tie-break
+	seq  uint64 // per-viewer schedule order — second tie-break
+	kind evKind
+	v    *viewerState
+	pkt  []byte
+}
+
+// eventHeap orders events by (at, li, seq). The two tie-breaks make the
+// processing order a total order independent of Go map iteration: the
+// host fans out to remotes in random map order, but each send lands in
+// its own viewer's (li, seq) lane, so same-instant events across
+// viewers always replay identically.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	if a.li != b.li {
+		return a.li < b.li
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule queues an event for the given viewer, stamping the per-viewer
+// sequence that makes same-instant ordering deterministic.
+func (r *runner) schedule(v *viewerState, kind evKind, at time.Time, pkt []byte) {
+	v.evSeq++
+	heap.Push(&r.events, &event{at: at, li: v.idx, seq: v.evSeq, kind: kind, v: v, pkt: pkt})
+}
+
+// runEventsUntil processes every scheduled event with at <= t in
+// deterministic order, advancing the virtual clock through each event's
+// instant, and leaves the clock at t.
+func (r *runner) runEventsUntil(t time.Time) {
+	for r.events.Len() > 0 {
+		top := r.events[0]
+		if top.at.After(t) {
+			break
+		}
+		ev := heap.Pop(&r.events).(*event)
+		r.clk.set(ev.at)
+		r.processEvent(ev)
+	}
+	r.clk.set(t)
+}
+
+// simPacketConn is the transport.PacketConn handed to
+// Host.AttachPacketConn for a simulated UDP viewer. Send taps and shapes
+// the datagram on the runner goroutine (the host only sends from Tick
+// and HandleFeedback, both runner-driven, so no extra synchronization is
+// needed for runner state). Recv parks the host's pump goroutine until
+// Close — viewer feedback is injected synchronously through
+// Host.HandleFeedback instead, keeping the feedback path on the virtual
+// clock.
+type simPacketConn struct {
+	r *runner
+	v *viewerState
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+	// sendAfterClose counts host sends that arrived after Close — the
+	// no-traffic-to-evicted-remotes oracle input.
+	sendAfterClose int
+}
+
+func newSimPacketConn(r *runner, v *viewerState) *simPacketConn {
+	return &simPacketConn{r: r, v: v, done: make(chan struct{})}
+}
+
+// Send implements transport.PacketConn.
+func (c *simPacketConn) Send(pkt []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.sendAfterClose++
+		c.mu.Unlock()
+		return transport.ErrClosed
+	}
+	c.mu.Unlock()
+	c.r.shipDown(c.v, pkt)
+	return nil
+}
+
+// Recv implements transport.PacketConn: it blocks until Close.
+func (c *simPacketConn) Recv() ([]byte, error) {
+	<-c.done
+	return nil, io.EOF
+}
+
+// Close implements transport.PacketConn.
+func (c *simPacketConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	return nil
+}
+
+func (c *simPacketConn) sendsAfterClose() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sendAfterClose
+}
+
+// copyOf returns an independent copy of pkt: tap entries, journal
+// records and delivered datagrams must never alias one another (the
+// corruption fault mutates a delivered copy; the tap must stay intact).
+func copyOf(pkt []byte) []byte { return append([]byte(nil), pkt...) }
+
+// shipDown routes one host→viewer datagram: always into the pre-shaping
+// tap (the RTP-continuity oracle audits what the host SENT, not what
+// survived the link), then through the viewer's downstream Shaper onto
+// the event heap. Runner goroutine only.
+func (r *runner) shipDown(v *viewerState, pkt []byte) {
+	now := r.clk.Now()
+	v.tap = append(v.tap, copyOf(pkt))
+	if v.evicted {
+		v.tapAfterEvict++
+	}
+	if r.bypass {
+		v.bypassDeliveries++
+		r.schedule(v, evDeliverDown, now, copyOf(pkt))
+		return
+	}
+	vd := v.down.Shape(now, len(pkt), v.heldDown == nil)
+	if vd.Drop {
+		r.schedule(v, evDropDown, now, nil)
+		return
+	}
+	at := now.Add(vd.Delay)
+	switch {
+	case v.heldDown != nil:
+		// The previously held datagram ships after this one — the
+		// endpoint's reorder semantics.
+		held := v.heldDown
+		v.heldDown = nil
+		v.shapedDeliveries += 2
+		r.schedule(v, evDeliverDown, at, copyOf(pkt))
+		r.schedule(v, evDeliverDown, at, held)
+	case vd.Hold:
+		v.heldDown = copyOf(pkt)
+		if vd.Duplicate {
+			// The duplicate is not held; the two copies themselves
+			// arrive out of order.
+			v.shapedDeliveries++
+			r.schedule(v, evDeliverDown, at, copyOf(pkt))
+		}
+	default:
+		v.shapedDeliveries++
+		r.schedule(v, evDeliverDown, at, copyOf(pkt))
+		if vd.Duplicate {
+			v.shapedDeliveries++
+			r.schedule(v, evDeliverDown, at, copyOf(pkt))
+		}
+	}
+}
+
+// sendUp routes one viewer→host feedback packet through the viewer's
+// upstream Shaper onto the event heap. Runner goroutine only.
+func (r *runner) sendUp(v *viewerState, pkt []byte) {
+	now := r.clk.Now()
+	if r.bypass {
+		r.schedule(v, evDeliverUp, now, copyOf(pkt))
+		return
+	}
+	vd := v.up.Shape(now, len(pkt), v.heldUp == nil)
+	if vd.Drop {
+		r.schedule(v, evDropUp, now, nil)
+		return
+	}
+	at := now.Add(vd.Delay)
+	switch {
+	case v.heldUp != nil:
+		held := v.heldUp
+		v.heldUp = nil
+		r.schedule(v, evDeliverUp, at, copyOf(pkt))
+		r.schedule(v, evDeliverUp, at, held)
+	case vd.Hold:
+		v.heldUp = copyOf(pkt)
+		if vd.Duplicate {
+			r.schedule(v, evDeliverUp, at, copyOf(pkt))
+		}
+	default:
+		r.schedule(v, evDeliverUp, at, copyOf(pkt))
+		if vd.Duplicate {
+			r.schedule(v, evDeliverUp, at, copyOf(pkt))
+		}
+	}
+}
+
+// flushHeld releases both reorder slots of every viewer onto the heap —
+// called when quiesce begins so no datagram stays parked forever.
+func (r *runner) flushHeld() {
+	now := r.clk.Now()
+	for _, v := range r.viewers {
+		if v.heldDown != nil {
+			v.shapedDeliveries++
+			r.schedule(v, evDeliverDown, now, v.heldDown)
+			v.heldDown = nil
+		}
+		if v.heldUp != nil {
+			r.schedule(v, evDeliverUp, now, v.heldUp)
+			v.heldUp = nil
+		}
+	}
+}

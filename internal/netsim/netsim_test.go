@@ -1,0 +1,206 @@
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"testing"
+	"time"
+
+	"appshare/internal/transport"
+)
+
+func TestVClockMonotonic(t *testing.T) {
+	start := time.Unix(100, 0)
+	c := newVClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.set(start.Add(50 * time.Millisecond))
+	c.set(start.Add(10 * time.Millisecond)) // earlier: ignored
+	if got := c.Now(); !got.Equal(start.Add(50 * time.Millisecond)) {
+		t.Fatalf("clock moved backwards: %v", got)
+	}
+}
+
+func TestEventHeapTotalOrder(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	h := eventHeap{}
+	// Pushed deliberately out of order: ties on `at` break by viewer
+	// index, then by per-viewer sequence.
+	push := func(atMS int, li int, seq uint64) {
+		heap.Push(&h, &event{at: t0.Add(time.Duration(atMS) * time.Millisecond), li: li, seq: seq})
+	}
+	push(5, 2, 1)
+	push(5, 0, 9)
+	push(1, 3, 4)
+	push(5, 0, 2)
+	push(5, 2, 0)
+	push(9, 0, 0)
+
+	want := []struct {
+		atMS int
+		li   int
+		seq  uint64
+	}{
+		{1, 3, 4}, {5, 0, 2}, {5, 0, 9}, {5, 2, 0}, {5, 2, 1}, {9, 0, 0},
+	}
+	for i, w := range want {
+		ev := heap.Pop(&h).(*event)
+		if !ev.at.Equal(t0.Add(time.Duration(w.atMS)*time.Millisecond)) || ev.li != w.li || ev.seq != w.seq {
+			t.Fatalf("pop %d = (at=%v li=%d seq=%d), want (%dms %d %d)",
+				i, ev.at.Sub(t0), ev.li, ev.seq, w.atMS, w.li, w.seq)
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := deriveSeed(42, "link-down/u1")
+	if a != deriveSeed(42, "link-down/u1") {
+		t.Fatal("deriveSeed is not deterministic")
+	}
+	if a == deriveSeed(42, "link-down/u2") {
+		t.Fatal("different salts produced the same seed")
+	}
+	if a == deriveSeed(43, "link-down/u1") {
+		t.Fatal("different base seeds produced the same seed")
+	}
+	for _, base := range []int64{0, 1, -1, 1 << 40} {
+		if deriveSeed(base, "x") == 0 {
+			t.Fatalf("deriveSeed(%d) returned 0 (would clock-seed the shaper)", base)
+		}
+	}
+}
+
+func TestStreamConnBudgetGate(t *testing.T) {
+	c := newStreamConn(4)
+	c.grant(4)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := c.Write(make([]byte, 10))
+		wrote <- err
+	}()
+	// The writer must accept 4 bytes and park for more budget.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		in, blocked, budget, _ := c.state()
+		if in == 4 && blocked == 1 && budget == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writer did not park: in=%d blocked=%d budget=%d", in, blocked, budget)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.grant(6) // exactly the remainder: budget returns to zero
+	if err := <-wrote; err != nil {
+		t.Fatalf("write after grant: %v", err)
+	}
+	if got := c.takeOut(); len(got) != 10 {
+		t.Fatalf("takeOut = %d bytes, want 10", len(got))
+	}
+
+	// A parked writer must be released by Close with ErrClosed.
+	go func() {
+		_, err := c.Write(make([]byte, 1))
+		wrote <- err
+	}()
+	for {
+		_, blocked, _, _ := c.state()
+		if blocked == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second writer did not park")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = c.Close()
+	if err := <-wrote; !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("write after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestStreamConnUnlimited(t *testing.T) {
+	c := newStreamConn(0) // <=0 means no budget modeling
+	if n, err := c.Write(make([]byte, 1<<16)); n != 1<<16 || err != nil {
+		t.Fatalf("unlimited write = (%d, %v)", n, err)
+	}
+	c2 := newStreamConn(8)
+	c2.setUnlimited()
+	if n, err := c2.Write(make([]byte, 999)); n != 999 || err != nil {
+		t.Fatalf("write after setUnlimited = (%d, %v)", n, err)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	base := func() Scenario {
+		return Scenario{
+			Name:  "v",
+			Ticks: 4,
+			Viewers: []ViewerSpec{
+				{Name: "a", Kind: KindUDP, Profile: &Profile{Name: "pristine"}},
+			},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"duplicate viewer names", func(s *Scenario) {
+			s.Viewers = append(s.Viewers, ViewerSpec{Name: "a", Kind: KindUDP, Profile: &Profile{Name: "p"}})
+		}},
+		{"reserved name", func(s *Scenario) { s.Viewers[0].Name = "_ref" }},
+		{"join beyond run", func(s *Scenario) { s.Viewers[0].JoinAtTick = 99 }},
+		{"tcp with lossy profile", func(s *Scenario) {
+			s.Viewers[0].Kind = KindTCP
+			s.Viewers[0].Profile = &Profile{Name: "lossy", Down: transport.LinkConfig{LossRate: 0.5}}
+		}},
+		{"multicast late join", func(s *Scenario) {
+			s.Viewers[0].Kind = KindMulticast
+			s.Viewers[0].JoinAtTick = 2
+		}},
+		{"multicast with delay link", func(s *Scenario) {
+			s.Viewers[0].Kind = KindMulticast
+			s.Viewers[0].Profile = &Profile{Name: "slow", Down: transport.LinkConfig{Delay: time.Millisecond}}
+		}},
+		{"unknown expected eviction", func(s *Scenario) { s.Expect.Evicted = []string{"ghost"} }},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mutate(&sc)
+		if err := validate(applyDefaults(sc)); err == nil {
+			t.Errorf("%s: validate accepted an invalid scenario", tc.name)
+		}
+	}
+
+	if err := validate(applyDefaults(base())); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestMatrixWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	seeds := map[int64]string{}
+	for _, sc := range Matrix() {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if prev, dup := seeds[sc.Seed]; dup {
+			t.Errorf("scenarios %q and %q share seed %d", prev, sc.Name, sc.Seed)
+		}
+		seeds[sc.Seed] = sc.Name
+		if err := validate(applyDefaults(sc)); err != nil {
+			t.Errorf("matrix scenario %q invalid: %v", sc.Name, err)
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("matrix has %d scenarios, acceptance floor is 10", len(seen))
+	}
+	if _, err := ByName("pristine"); err != nil {
+		t.Errorf("ByName(pristine): %v", err)
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Error("ByName accepted an unknown scenario")
+	}
+}

@@ -1,0 +1,335 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"strings"
+
+	"appshare/internal/rtp"
+)
+
+// The end-of-run oracles. Each one is a machine-checked session
+// invariant: not "did the run finish", but "did the protocol keep its
+// promises under this link". They run before teardown so live remotes
+// still carry their counter state.
+
+// expectedEvicted returns the set of viewers the scenario declares
+// doomed.
+func (r *runner) expectedEvicted() map[string]bool {
+	out := make(map[string]bool, len(r.sc.Expect.Evicted))
+	for _, n := range r.sc.Expect.Evicted {
+		out[n] = true
+	}
+	return out
+}
+
+// convergenceEligible reports whether a viewer must end byte-identical
+// to the host: joined, never silenced, and neither evicted nor expected
+// to be.
+func (r *runner) convergenceEligible(v *viewerState) bool {
+	return v.joined && !v.evicted && v.spec.SilenceAfterTick == 0 && !r.expectedEvicted()[v.name]
+}
+
+// imagesEqual compares two RGBA images pixel-for-pixel.
+func imagesEqual(a, b *image.RGBA) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Bounds().Dx() != b.Bounds().Dx() || a.Bounds().Dy() != b.Bounds().Dy() {
+		return false
+	}
+	w, h := a.Bounds().Dx(), a.Bounds().Dy()
+	for y := 0; y < h; y++ {
+		ra := a.Pix[(y-a.Bounds().Min.Y)*a.Stride+(0-a.Bounds().Min.X)*4:]
+		rb := b.Pix[(y-b.Bounds().Min.Y)*b.Stride+(0-b.Bounds().Min.X)*4:]
+		if !bytes.Equal(ra[:4*w], rb[:4*w]) {
+			return false
+		}
+	}
+	return true
+}
+
+// convergedViewer checks one viewer's terminal state against the
+// lossless reference framebuffer.
+func (r *runner) convergedViewer(v *viewerState) (bool, string) {
+	if missing := v.p.MissingSequences(); len(missing) > 0 {
+		return false, fmt.Sprintf("%d sequences still missing (first %d)", len(missing), missing[0])
+	}
+	if v.p.NeedsRefresh() {
+		return false, "still waiting for a full refresh"
+	}
+	img := v.p.WindowImage(r.winID)
+	if img == nil {
+		return false, "no state for the shared window"
+	}
+	if !imagesEqual(img, r.win.Snapshot()) {
+		return false, "framebuffer differs from the host window"
+	}
+	return true, ""
+}
+
+// allSettled is the quiesce early-exit condition: every
+// convergence-eligible viewer is already byte-identical.
+func (r *runner) allSettled() bool {
+	for _, v := range r.viewers {
+		if !r.convergenceEligible(v) {
+			continue
+		}
+		if ok, _ := r.convergedViewer(v); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *runner) oracleConvergence() OracleResult {
+	var fails []string
+	for _, v := range r.viewers {
+		if !r.convergenceEligible(v) {
+			continue
+		}
+		if ok, why := r.convergedViewer(v); !ok {
+			fails = append(fails, fmt.Sprintf("%s: %s", v.name, why))
+		}
+	}
+	return OracleResult{Name: "convergence", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
+}
+
+// analyzeTap audits one send-side packet log for RTP continuity: per
+// SSRC, every packet either advances the sequence chain by exactly one
+// with a non-decreasing timestamp (a fresh send) or is byte-identical to
+// the already-logged packet of its sequence number (a retransmission).
+// It returns the fresh-send count — which the counters oracle matches
+// against the remote's SentPackets — and any violations.
+func analyzeTap(label string, tap [][]byte) (fresh uint64, violations []string) {
+	type chain struct {
+		started bool
+		lastSeq uint16
+		lastTS  uint32
+		bySeq   map[uint16][]byte
+	}
+	chains := map[uint32]*chain{}
+	for i, pkt := range tap {
+		var hdr rtp.Header
+		if _, err := hdr.Unmarshal(pkt); err != nil {
+			violations = append(violations, fmt.Sprintf("%s[%d]: not RTP: %v", label, i, err))
+			continue
+		}
+		c := chains[hdr.SSRC]
+		if c == nil {
+			c = &chain{bySeq: map[uint16][]byte{}}
+			chains[hdr.SSRC] = c
+		}
+		switch {
+		case !c.started:
+			c.started = true
+			fresh++
+			c.lastSeq, c.lastTS = hdr.SequenceNumber, hdr.Timestamp
+			c.bySeq[hdr.SequenceNumber] = pkt
+		case hdr.SequenceNumber == c.lastSeq+1: // natural uint16 wrap
+			if int32(hdr.Timestamp-c.lastTS) < 0 {
+				violations = append(violations, fmt.Sprintf("%s[%d]: seq %d timestamp went backwards (%d after %d)",
+					label, i, hdr.SequenceNumber, hdr.Timestamp, c.lastTS))
+			}
+			fresh++
+			c.lastSeq, c.lastTS = hdr.SequenceNumber, hdr.Timestamp
+			c.bySeq[hdr.SequenceNumber] = pkt
+		default:
+			prev, ok := c.bySeq[hdr.SequenceNumber]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("%s[%d]: seq jumped to %d after %d (neither fresh nor a logged retransmission)",
+					label, i, hdr.SequenceNumber, c.lastSeq))
+			} else if !bytes.Equal(prev, pkt) {
+				violations = append(violations, fmt.Sprintf("%s[%d]: retransmission of seq %d differs from the original bytes",
+					label, i, hdr.SequenceNumber))
+			}
+		}
+	}
+	return fresh, violations
+}
+
+// oracleContinuity audits every unicast tap plus the multicast group
+// tap. It also returns the per-label fresh-send counts for the counters
+// oracle.
+func (r *runner) oracleContinuity() (OracleResult, map[string]uint64) {
+	freshCounts := map[string]uint64{}
+	var fails []string
+	for _, v := range r.viewers {
+		if v.kind == KindMulticast || len(v.tap) == 0 {
+			continue
+		}
+		fresh, viol := analyzeTap(v.name, v.tap)
+		freshCounts[v.name] = fresh
+		fails = append(fails, viol...)
+	}
+	if r.bus != nil {
+		fresh, viol := analyzeTap("group", r.groupTap)
+		freshCounts["group"] = fresh
+		fails = append(fails, viol...)
+	}
+	if len(fails) > 4 {
+		fails = append(fails[:4], fmt.Sprintf("(+%d more)", len(fails)-4))
+	}
+	return OracleResult{Name: "rtp-continuity", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}, freshCounts
+}
+
+// oracleReassembly demands every fragment train reassembled: a viewer
+// reporting dropped messages lost data the repair machinery should have
+// recovered (unless the scenario explicitly allows it).
+func (r *runner) oracleReassembly() OracleResult {
+	if r.sc.Expect.AllowDroppedMessages {
+		return OracleResult{Name: "reassembly", Passed: true}
+	}
+	var fails []string
+	for _, v := range r.viewers {
+		if !r.convergenceEligible(v) {
+			continue
+		}
+		if _, _, _, dropped := v.p.Stats(); dropped > 0 {
+			fails = append(fails, fmt.Sprintf("%s: %d messages dropped in reassembly", v.name, dropped))
+		}
+	}
+	return OracleResult{Name: "reassembly", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
+}
+
+// oracleEvictions asserts the eviction outcome matches the scenario's
+// declaration exactly, and that nothing was shipped toward a remote
+// after its eviction.
+func (r *runner) oracleEvictions() OracleResult {
+	var fails []string
+	expected := r.expectedEvicted()
+	got := make(map[string]bool, len(r.evictedNames))
+	for _, n := range r.evictedNames {
+		got[n] = true
+	}
+	for n := range expected {
+		if !got[n] {
+			fails = append(fails, fmt.Sprintf("%s: expected eviction never happened", n))
+		}
+	}
+	for n := range got {
+		if !expected[n] {
+			fails = append(fails, fmt.Sprintf("%s: evicted but not expected to be", n))
+		}
+	}
+	for _, v := range r.viewers {
+		if !v.evicted {
+			continue
+		}
+		if v.tapAfterEvict > 0 {
+			fails = append(fails, fmt.Sprintf("%s: %d packets shipped after eviction", v.name, v.tapAfterEvict))
+		}
+		if v.conn != nil {
+			if n := v.conn.sendsAfterClose(); n > 0 {
+				fails = append(fails, fmt.Sprintf("%s: %d sends hit the closed conn", v.name, n))
+			}
+		}
+	}
+	return OracleResult{Name: "evictions", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
+}
+
+// oracleCounters cross-checks every layer's accounting against every
+// other's: shaper decisions vs scheduled events vs deliveries, the
+// stream drain identity (drained + discarded + queued == framed bytes
+// accepted), fresh sends vs the host's SentPackets, multicast drains vs
+// subscriber offers, and the eviction stats counter. A mismatch means a
+// packet was silently created or destroyed somewhere between layers.
+func (r *runner) oracleCounters(fresh map[string]uint64) OracleResult {
+	var fails []string
+	if n := r.events.Len(); n > 0 {
+		fails = append(fails, fmt.Sprintf("%d events still queued at end of run", n))
+	}
+	for _, e := range r.tickErrs {
+		fails = append(fails, "tick error: "+e)
+	}
+	for _, v := range r.viewers {
+		if v.settleStuck {
+			fails = append(fails, fmt.Sprintf("%s: TCP settle hit the wall-clock limit", v.name))
+		}
+		if v.heldDown != nil || v.heldUp != nil {
+			fails = append(fails, fmt.Sprintf("%s: a datagram is still parked in a reorder slot", v.name))
+		}
+		switch v.kind {
+		case KindUDP:
+			if !v.joined {
+				continue
+			}
+			st := v.down.Stats()
+			if st.Dropped != v.dropsDown {
+				fails = append(fails, fmt.Sprintf("%s: shaper dropped %d but %d drops were journaled", v.name, st.Dropped, v.dropsDown))
+			}
+			if uint64(len(v.tap)) != st.Offered+v.bypassDeliveries {
+				fails = append(fails, fmt.Sprintf("%s: tap has %d packets but offered+bypass is %d",
+					v.name, len(v.tap), st.Offered+v.bypassDeliveries))
+			}
+			if want := st.Offered - st.Dropped + st.Duplicated; v.shapedDeliveries != want {
+				fails = append(fails, fmt.Sprintf("%s: scheduled %d shaped deliveries, want offered-dropped+duplicated = %d",
+					v.name, v.shapedDeliveries, want))
+			}
+			if v.delivered != v.shapedDeliveries+v.bypassDeliveries {
+				fails = append(fails, fmt.Sprintf("%s: delivered %d of %d scheduled datagrams",
+					v.name, v.delivered, v.shapedDeliveries+v.bypassDeliveries))
+			}
+			hs := v.remote.Health()
+			if got := fresh[v.name]; got != hs.SentPackets {
+				fails = append(fails, fmt.Sprintf("%s: tap shows %d fresh sends but the host counts SentPackets=%d",
+					v.name, got, hs.SentPackets))
+			}
+		case KindTCP:
+			if !v.joined {
+				continue
+			}
+			hs := v.remote.Health()
+			accepted := int64(hs.SentOctets) + 2*int64(hs.SentPackets) // RFC 4571: 2-byte length per frame
+			if got := hs.DrainedBytes + hs.DiscardedBytes + int64(hs.QueuedBytes); got != accepted {
+				fails = append(fails, fmt.Sprintf("%s: drained+discarded+queued = %d but SentOctets+2*SentPackets = %d",
+					v.name, got, accepted))
+			}
+			if !v.evicted {
+				if len(v.rxBuf) != 0 {
+					fails = append(fails, fmt.Sprintf("%s: %d bytes of a partial frame left undrained", v.name, len(v.rxBuf)))
+				}
+				if got := fresh[v.name]; got != hs.SentPackets {
+					fails = append(fails, fmt.Sprintf("%s: parsed %d fresh frames but the host counts SentPackets=%d",
+						v.name, got, hs.SentPackets))
+				}
+			}
+		case KindMulticast:
+			if !v.joined {
+				continue
+			}
+			s, d := v.sub.(subStatser).Stats()
+			if s-d != v.mcDrained {
+				fails = append(fails, fmt.Sprintf("%s: subscriber passed %d datagrams but %d were drained", v.name, s-d, v.mcDrained))
+			}
+		}
+	}
+	if r.group != nil {
+		hs := r.group.Health()
+		if got := fresh["group"]; got != hs.SentPackets {
+			fails = append(fails, fmt.Sprintf("group: tap shows %d fresh sends but the host counts SentPackets=%d",
+				got, hs.SentPackets))
+		}
+	}
+	if got := r.coll.Get("HealthEvict").Messages; got != uint64(len(r.evictedNames)) {
+		fails = append(fails, fmt.Sprintf("stats HealthEvict counted %d but %d evictions were observed", got, len(r.evictedNames)))
+	}
+	if len(fails) > 6 {
+		fails = append(fails[:6], fmt.Sprintf("(+%d more)", len(fails)-6))
+	}
+	return OracleResult{Name: "counters", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
+}
+
+// runOracles evaluates every invariant and records the verdicts.
+func (r *runner) runOracles(res *Result) {
+	conv := r.oracleConvergence()
+	cont, fresh := r.oracleContinuity()
+	res.Oracles = append(res.Oracles,
+		conv,
+		cont,
+		r.oracleReassembly(),
+		r.oracleEvictions(),
+		r.oracleCounters(fresh),
+	)
+}

@@ -1,0 +1,687 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"image/color"
+	"math/rand"
+	"sort"
+	"time"
+
+	"appshare/internal/ah"
+	"appshare/internal/display"
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/stats"
+	"appshare/internal/trace"
+	"appshare/internal/transport"
+	"appshare/internal/workload"
+)
+
+// pliHolddown is the virtual-time minimum between PLIs from one viewer,
+// mirroring the real repair loops' restraint so the host's refresh rate
+// limiter is exercised, not bypassed.
+const pliHolddown = 300 * time.Millisecond
+
+// settleWallLimit bounds the REAL time one TCP settle may poll; a
+// scenario tripping it has a harness bug (the terminal states below are
+// stable), and the counters oracle reports it rather than hanging CI.
+const settleWallLimit = 10 * time.Second
+
+// subStatser is the stats surface of a transport.Bus subscriber.
+type subStatser interface {
+	Stats() (sent, dropped uint64)
+}
+
+// viewerState is the runner's per-viewer bookkeeping.
+type viewerState struct {
+	idx  int
+	name string
+	spec ViewerSpec
+	prof Profile
+	kind ViewerKind
+	p    *participant.Participant
+
+	remote *ah.Remote
+
+	// Link state (UDP and the feedback direction of every kind).
+	down, up         *transport.Shaper
+	heldDown, heldUp []byte
+	evSeq            uint64
+
+	conn  *simPacketConn       // UDP
+	sconn *streamConn          // TCP
+	sub   transport.PacketConn // multicast subscriber
+
+	rxBuf []byte // TCP frame-parse remainder
+
+	// tap records every packet the host sent toward this viewer,
+	// pre-shaping (TCP: the parsed frames). Oracle input.
+	tap           [][]byte
+	tapAfterEvict int
+
+	delivered        uint64 // datagrams/frames handed to the participant
+	dropsDown        uint64 // down datagrams the link discarded
+	shapedDeliveries uint64 // down deliveries scheduled through the Shaper
+	bypassDeliveries uint64 // down deliveries scheduled during quiesce
+	mcDrained        uint64 // datagrams drained from the multicast sub
+
+	joined    bool
+	evicted   bool
+	evictedAt time.Time
+	lastPLIAt time.Time
+
+	settleStuck bool
+}
+
+// silencedAt reports whether this viewer has gone silent by the given
+// tick.
+func (v *viewerState) silencedAt(tick int) bool {
+	return v.spec.SilenceAfterTick > 0 && tick >= v.spec.SilenceAfterTick
+}
+
+type runner struct {
+	sc    Scenario
+	clk   *vclock
+	epoch time.Time
+
+	desk  *display.Desktop
+	win   *display.Window
+	winID uint16
+	host  *ah.Host
+	coll  *stats.Collector
+	wl    workload.Workload
+
+	viewers []*viewerState
+	byName  map[string]*viewerState
+
+	events eventHeap
+	bypass bool
+
+	// Multicast (nil without multicast viewers).
+	bus        *transport.Bus
+	group      *ah.Remote
+	tapSub     transport.PacketConn
+	groupTap   [][]byte
+	tapDrained uint64
+
+	jbuf *bytes.Buffer
+	jw   *trace.Writer
+
+	pendingEvicts []ah.RemoteHealth
+	evictedNames  []string
+
+	corrupted bool
+	tickNo    int
+	ticksRun  int
+	tickErrs  []string
+}
+
+// deriveSeed mixes the scenario seed with a component label into an
+// independent, never-zero sub-seed (zero would make transport.NewShaper
+// fall back to the wall clock and break replay).
+func deriveSeed(base int64, salt string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(salt))
+	s := int64(h.Sum64())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// entropyFrom adapts a seeded PRNG to the Config.Entropy shape. The
+// sources are only ever drawn from the runner goroutine.
+func entropyFrom(seed int64) func() uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	return func() uint32 { return rng.Uint32() }
+}
+
+// applyDefaults fills the zero-value scenario knobs.
+func applyDefaults(sc Scenario) Scenario {
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Ticks <= 0 {
+		sc.Ticks = 30
+	}
+	if sc.TickInterval <= 0 {
+		sc.TickInterval = 40 * time.Millisecond
+	}
+	if sc.Workload == "" {
+		sc.Workload = "typing"
+	}
+	if sc.QuiesceTicks <= 0 {
+		sc.QuiesceTicks = 80
+	}
+	return sc
+}
+
+// pristineLink reports whether cfg applies no impairment at all.
+func pristineLink(cfg transport.LinkConfig) bool {
+	return cfg.LossRate == 0 && cfg.ReorderRate == 0 && cfg.Delay == 0 &&
+		cfg.Jitter == 0 && cfg.DuplicateRate == 0 && cfg.Burst == nil &&
+		cfg.BytesPerSecond == 0
+}
+
+// lossOnly reports whether cfg impairs through loss models alone — the
+// constraint on multicast subscriber links, whose synchronous delivery
+// cannot express delay, reordering or duplication deterministically.
+func lossOnly(cfg transport.LinkConfig) bool {
+	return cfg.ReorderRate == 0 && cfg.Delay == 0 && cfg.Jitter == 0 &&
+		cfg.DuplicateRate == 0 && cfg.BytesPerSecond == 0
+}
+
+// validate rejects scenario shapes the simulation cannot run
+// deterministically.
+func validate(sc Scenario) error {
+	if len(sc.Viewers) == 0 {
+		return fmt.Errorf("netsim: scenario %q has no viewers", sc.Name)
+	}
+	if _, err := ah.ParseEvictionPolicy(sc.EvictionPolicy); err != nil {
+		return err
+	}
+	seen := map[string]bool{"_ref": true}
+	for _, vs := range sc.Viewers {
+		if vs.Name == "" {
+			return fmt.Errorf("netsim: scenario %q has an unnamed viewer", sc.Name)
+		}
+		if seen[vs.Name] {
+			return fmt.Errorf("netsim: scenario %q: duplicate or reserved viewer name %q", sc.Name, vs.Name)
+		}
+		seen[vs.Name] = true
+		if vs.JoinAtTick < 0 || vs.JoinAtTick >= sc.Ticks {
+			return fmt.Errorf("netsim: viewer %q joins at tick %d outside [0,%d)", vs.Name, vs.JoinAtTick, sc.Ticks)
+		}
+		prof := sc.Profile
+		if vs.Profile != nil {
+			prof = *vs.Profile
+		}
+		switch vs.Kind {
+		case KindTCP:
+			if !pristineLink(prof.Down) || !pristineLink(prof.Up) || len(prof.Partitions) > 0 {
+				return fmt.Errorf("netsim: TCP viewer %q: link impairments are modeled by StreamBudgetPerTick, not profile %q", vs.Name, prof.Name)
+			}
+		case KindMulticast:
+			if !lossOnly(prof.Down) {
+				return fmt.Errorf("netsim: multicast viewer %q: subscriber link %q must impair through loss only", vs.Name, prof.Name)
+			}
+			if len(prof.Partitions) > 0 {
+				return fmt.Errorf("netsim: multicast viewer %q: partitions are not supported on subscriber links", vs.Name)
+			}
+			if vs.JoinAtTick != 0 {
+				return fmt.Errorf("netsim: multicast viewer %q must join at tick 0", vs.Name)
+			}
+		}
+	}
+	for _, name := range sc.Expect.Evicted {
+		if !seen[name] || name == "_ref" {
+			return fmt.Errorf("netsim: Expect.Evicted names unknown viewer %q", name)
+		}
+	}
+	return nil
+}
+
+// Run executes one scenario to completion and returns its journal,
+// digest and oracle verdicts. It never calls the wall clock for
+// simulation decisions: rerunning with the same Scenario value produces
+// a byte-identical journal.
+func Run(sc Scenario) (*Result, error) {
+	sc = applyDefaults(sc)
+	if err := validate(sc); err != nil {
+		return nil, err
+	}
+
+	epoch := time.Unix(1_700_000_000, 0).UTC()
+	r := &runner{
+		sc:     sc,
+		clk:    newVClock(epoch),
+		epoch:  epoch,
+		byName: make(map[string]*viewerState),
+		jbuf:   &bytes.Buffer{},
+	}
+	jw, err := trace.NewWriter(r.jbuf)
+	if err != nil {
+		return nil, err
+	}
+	r.jw = jw
+
+	// Small desktop: the oracles compare every pixel, and the matrix
+	// runs under -race in CI.
+	r.desk = display.NewDesktop(320, 240)
+	r.win = r.desk.CreateWindow(1, region.XYWH(12, 10, 256, 192))
+	r.winID = r.win.ID()
+	r.wl, err = workload.ByName(sc.Workload, r.desk, r.win, deriveSeed(sc.Seed, "workload"))
+	if err != nil {
+		return nil, err
+	}
+
+	policy, _ := ah.ParseEvictionPolicy(sc.EvictionPolicy)
+	r.coll = stats.NewCollector()
+	r.host, err = ah.New(ah.Config{
+		Desktop:         r.desk,
+		Retransmissions: true,
+		RetransLog:      16384,
+		Stats:           r.coll,
+		Now:             r.clk.Now,
+		Entropy:         entropyFrom(deriveSeed(sc.Seed, "host-entropy")),
+		RemoteTimeout:   sc.RemoteTimeout,
+		MaxBacklogDwell: sc.MaxBacklogDwell,
+		EvictionPolicy:  policy,
+		BacklogLimit:    sc.BacklogLimit,
+		OnEvict:         func(snap ah.RemoteHealth) { r.pendingEvicts = append(r.pendingEvicts, snap) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer r.host.Close()
+
+	specs := append([]ViewerSpec{{Name: "_ref", Kind: KindUDP, Profile: &Profile{Name: "pristine"}}}, sc.Viewers...)
+	needBus := false
+	for i, vs := range specs {
+		prof := sc.Profile
+		if vs.Profile != nil {
+			prof = *vs.Profile
+		}
+		v := &viewerState{
+			idx:  i,
+			name: vs.Name,
+			spec: vs,
+			prof: prof,
+			kind: vs.Kind,
+			p: participant.New(participant.Config{
+				Now:     r.clk.Now,
+				Entropy: entropyFrom(deriveSeed(sc.Seed, "viewer-entropy/"+vs.Name)),
+			}),
+		}
+		dcfg, ucfg := prof.Down, prof.Up
+		dcfg.Seed = deriveSeed(sc.Seed, "link-down/"+vs.Name)
+		ucfg.Seed = deriveSeed(sc.Seed, "link-up/"+vs.Name)
+		v.down = transport.NewShaper(dcfg)
+		v.up = transport.NewShaper(ucfg)
+		r.viewers = append(r.viewers, v)
+		r.byName[vs.Name] = v
+		if vs.Kind == KindMulticast {
+			needBus = true
+		}
+	}
+	if needBus {
+		r.bus = transport.NewBus()
+		// The tap subscribes first with a lossless link: it observes
+		// exactly what the host published to the group, feeding the
+		// continuity and counter oracles.
+		r.tapSub = r.bus.Subscribe(transport.LinkConfig{Seed: deriveSeed(sc.Seed, "group-tap"), QueueLen: 1 << 14})
+		r.group, err = r.host.AttachMulticast("group", r.bus)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Main phase: impaired links, workload-driven ticks.
+	for t := 0; t < sc.Ticks; t++ {
+		r.runTick(t, false)
+	}
+
+	// Quiesce phase: links heal, budgets lift, held datagrams flush, and
+	// a sentinel pixel keeps one packet per tick flowing so undetected
+	// tail loss surfaces as a sequence gap the repair loop can NACK.
+	r.bypass = true
+	for _, v := range r.viewers {
+		v.down.SetDown(false)
+		v.up.SetDown(false)
+		if v.sconn != nil {
+			v.sconn.setUnlimited()
+		}
+	}
+	r.flushHeld()
+	for q := 0; q < sc.QuiesceTicks; q++ {
+		r.runTick(sc.Ticks+q, true)
+		if r.events.Len() == 0 && r.multicastIdle() && r.allSettled() {
+			break
+		}
+	}
+
+	res := &Result{Scenario: sc.String(), Seed: sc.Seed, TicksRun: r.ticksRun}
+	r.runOracles(res)
+
+	// Detach everything only after the oracles ran: live remotes carry
+	// the counter state the checks read.
+	_ = r.host.Close()
+	for _, v := range r.viewers {
+		if v.conn != nil {
+			_ = v.conn.Close()
+		}
+		if v.sconn != nil {
+			_ = v.sconn.Close()
+		}
+		if v.sub != nil {
+			_ = v.sub.Close()
+		}
+	}
+	if r.tapSub != nil {
+		_ = r.tapSub.Close()
+	}
+
+	if err := r.jw.Flush(); err != nil {
+		return nil, err
+	}
+	res.Journal, err = trace.ReadAll(bytes.NewReader(r.jbuf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	res.Digest = trace.Digest(res.Journal)
+	return res, nil
+}
+
+// runTick executes one full simulated tick: partitions and joins, one
+// workload step (or the quiesce sentinel), the host Tick, TCP settling,
+// multicast draining, delayed-event processing, the repair phase, and
+// the journal marker.
+func (r *runner) runTick(tick int, quiesce bool) {
+	interval := r.sc.TickInterval
+	T := r.epoch.Add(time.Duration(tick) * interval)
+	r.clk.set(T)
+	r.tickNo = tick
+	r.ticksRun++
+
+	if !quiesce {
+		for _, v := range r.viewers {
+			inPart := false
+			for _, w := range v.prof.Partitions {
+				if w.contains(tick) {
+					inPart = true
+					break
+				}
+			}
+			v.down.SetDown(inPart)
+			v.up.SetDown(inPart)
+		}
+		for _, v := range r.viewers {
+			if !v.joined && v.spec.JoinAtTick == tick {
+				if err := r.attach(v); err != nil {
+					r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: attach %s: %v", tick, v.name, err))
+				}
+			}
+		}
+		r.wl.Step()
+	} else {
+		// Sentinel: one guaranteed change per quiesce tick, so a viewer
+		// missing the tail of the main phase sees a sequence jump and
+		// NACKs it instead of converging on stale pixels by accident.
+		r.win.Fill(region.XYWH(0, 0, 2, 2), color.RGBA{R: byte(tick), G: 0x40, B: 0x80, A: 0xFF})
+	}
+
+	if err := r.host.Tick(); err != nil {
+		r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: %v", tick, err))
+	}
+	r.noteEvictions()
+
+	for _, v := range r.viewers {
+		if v.sconn != nil && v.joined && !v.evicted && !r.bypass {
+			v.sconn.grant(v.spec.StreamBudgetPerTick)
+		}
+	}
+	for _, v := range r.viewers {
+		if v.sconn != nil && v.joined {
+			r.settleStream(v)
+		}
+	}
+	r.drainMulticast()
+
+	// Delayed/jittered datagrams land through the inter-tick interval;
+	// the repair phase runs at the three-quarter point, as a real repair
+	// loop ticking between frames would.
+	r.runEventsUntil(T.Add(interval * 3 / 4))
+	r.repair(tick)
+	r.runEventsUntil(T.Add(interval))
+
+	var tb [4]byte
+	binary.BigEndian.PutUint32(tb[:], uint32(tick))
+	r.journal('T', 0xFF, tb[:])
+}
+
+// attach connects a viewer to the host with its kind's transport.
+func (r *runner) attach(v *viewerState) error {
+	switch v.kind {
+	case KindUDP:
+		v.conn = newSimPacketConn(r, v)
+		rem, err := r.host.AttachPacketConn(v.name, v.conn, ah.PacketOptions{})
+		if err != nil {
+			return err
+		}
+		v.remote = rem
+	case KindTCP:
+		v.sconn = newStreamConn(v.spec.StreamBudgetPerTick)
+		rem, err := r.host.AttachStream(v.name, v.sconn, ah.StreamOptions{})
+		if err != nil {
+			return err
+		}
+		v.remote = rem
+	case KindMulticast:
+		cfg := v.prof.Down
+		cfg.Seed = deriveSeed(r.sc.Seed, "mc-sub/"+v.name)
+		cfg.QueueLen = 1 << 13
+		v.sub = r.bus.Subscribe(cfg)
+		v.remote = r.group
+	}
+	v.joined = true
+	return nil
+}
+
+// noteEvictions journals the evictions the host performed during the
+// just-finished Tick, in name order (the sweep iterates a map, so the
+// callback order alone is not deterministic).
+func (r *runner) noteEvictions() {
+	if len(r.pendingEvicts) == 0 {
+		return
+	}
+	sort.Slice(r.pendingEvicts, func(i, j int) bool { return r.pendingEvicts[i].ID < r.pendingEvicts[j].ID })
+	for _, snap := range r.pendingEvicts {
+		idx := 0xFF
+		if v := r.byName[snap.ID]; v != nil {
+			v.evicted = true
+			v.evictedAt = snap.EvictedAt
+			idx = v.idx
+		}
+		r.evictedNames = append(r.evictedNames, snap.ID)
+		r.journal('E', idx, []byte(snap.ID))
+	}
+	r.pendingEvicts = r.pendingEvicts[:0]
+}
+
+// settleStream drives one TCP viewer's pipeline to a stable state and
+// delivers the frames that arrived. The loop polls, but only for
+// terminal states that cannot regress: the host is not sending (the
+// runner owns Tick), so either everything framed has been accepted and
+// the RatedWriter is idle, or the drain is parked on an exhausted
+// budget, or the conn was closed by an eviction.
+func (r *runner) settleStream(v *viewerState) {
+	start := time.Now()
+	for {
+		_, _, _, closed := v.sconn.state()
+		if closed {
+			break
+		}
+		hs := v.remote.Health()
+		expect := int64(hs.SentOctets) + 2*int64(hs.SentPackets)
+		in, blocked, budget, closed := v.sconn.state()
+		if closed {
+			break
+		}
+		if in == expect && hs.QueuedBytes == 0 {
+			break
+		}
+		if budget == 0 && blocked > 0 {
+			break
+		}
+		if time.Since(start) > settleWallLimit {
+			v.settleStuck = true
+			break
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+
+	v.rxBuf = append(v.rxBuf, v.sconn.takeOut()...)
+	for len(v.rxBuf) >= 2 {
+		n := int(v.rxBuf[0])<<8 | int(v.rxBuf[1])
+		if len(v.rxBuf) < 2+n {
+			break
+		}
+		frame := copyOf(v.rxBuf[2 : 2+n])
+		v.rxBuf = v.rxBuf[2+n:]
+		v.tap = append(v.tap, copyOf(frame))
+		frame = r.maybeCorrupt(v, frame)
+		v.delivered++
+		r.journal('D', v.idx, frame)
+		r.deliverToViewer(v, frame)
+	}
+}
+
+// drainMulticast empties the group tap and every subscriber of exactly
+// the datagrams published so far. Publication is synchronous and the
+// subscriber links are loss-only, so sent-dropped-drained is the exact
+// pending count and Recv never blocks.
+func (r *runner) drainMulticast() {
+	if r.bus == nil {
+		return
+	}
+	sent, dropped := r.tapSub.(subStatser).Stats()
+	for pending := sent - dropped - r.tapDrained; pending > 0; pending-- {
+		pkt, err := r.tapSub.Recv()
+		if err != nil {
+			break
+		}
+		r.tapDrained++
+		r.groupTap = append(r.groupTap, pkt)
+	}
+	for _, v := range r.viewers {
+		if v.kind != KindMulticast || !v.joined {
+			continue
+		}
+		s, d := v.sub.(subStatser).Stats()
+		for pending := s - d - v.mcDrained; pending > 0; pending-- {
+			pkt, err := v.sub.Recv()
+			if err != nil {
+				break
+			}
+			v.mcDrained++
+			pkt = r.maybeCorrupt(v, pkt)
+			v.delivered++
+			r.journal('D', v.idx, pkt)
+			r.deliverToViewer(v, pkt)
+		}
+	}
+}
+
+// multicastIdle reports whether no published datagram is still waiting
+// in a subscriber queue.
+func (r *runner) multicastIdle() bool {
+	if r.bus == nil {
+		return true
+	}
+	sent, dropped := r.tapSub.(subStatser).Stats()
+	if sent-dropped != r.tapDrained {
+		return false
+	}
+	for _, v := range r.viewers {
+		if v.kind != KindMulticast || !v.joined {
+			continue
+		}
+		s, d := v.sub.(subStatser).Stats()
+		if s-d != v.mcDrained {
+			return false
+		}
+	}
+	return true
+}
+
+// repair runs one feedback round for every live, speaking viewer at the
+// current virtual instant: an RR always (the liveness heartbeat), then
+// NACK and PLI for the datagram kinds that can lose packets.
+func (r *runner) repair(tick int) {
+	for _, v := range r.viewers {
+		if !v.joined || v.evicted || v.silencedAt(tick) {
+			continue
+		}
+		if rr, err := v.p.BuildReceiverReport(); err == nil {
+			r.sendUp(v, rr)
+		}
+		if r.sc.Fault == FaultSkipRepair || v.kind == KindTCP {
+			continue
+		}
+		if nack, err := v.p.BuildNACK(); err == nil && nack != nil {
+			r.sendUp(v, nack)
+		}
+		received, _, _, _ := v.p.Stats()
+		now := r.clk.Now()
+		if (v.p.NeedsRefresh() || received == 0) &&
+			(v.lastPLIAt.IsZero() || now.Sub(v.lastPLIAt) >= pliHolddown) {
+			if pli, err := v.p.BuildPLI(); err == nil {
+				v.lastPLIAt = now
+				r.sendUp(v, pli)
+			}
+		}
+	}
+}
+
+// processEvent applies one heap event at its instant.
+func (r *runner) processEvent(ev *event) {
+	v := ev.v
+	switch ev.kind {
+	case evDeliverDown:
+		pkt := r.maybeCorrupt(v, ev.pkt)
+		v.delivered++
+		r.journal('D', v.idx, pkt)
+		r.deliverToViewer(v, pkt)
+	case evDeliverUp:
+		if v.evicted || v.remote == nil {
+			r.journal('X', v.idx, []byte{1})
+			return
+		}
+		r.journal('U', v.idx, ev.pkt)
+		r.host.HandleFeedback(v.remote, ev.pkt)
+	case evDropDown:
+		v.dropsDown++
+		r.journal('X', v.idx, []byte{0})
+	case evDropUp:
+		r.journal('X', v.idx, []byte{1})
+	}
+}
+
+// deliverToViewer demuxes one packet into the participant per RFC 5761.
+func (r *runner) deliverToViewer(v *viewerState, pkt []byte) {
+	if len(pkt) >= 2 && pkt[1] >= 200 && pkt[1] <= 207 {
+		_, _ = v.p.HandleRTCP(pkt)
+		return
+	}
+	_ = v.p.HandlePacket(pkt)
+}
+
+// maybeCorrupt implements FaultCorruptPayload: from the seventh
+// datagram on, flip the final payload byte of everything delivered to
+// the first configured viewer. The flip must be persistent — a single
+// corrupted pixel would be silently overwritten by later updates to the
+// same region and never reach the end-of-run oracles. The mutation-check
+// test plants this fault and demands an oracle notices.
+func (r *runner) maybeCorrupt(v *viewerState, pkt []byte) []byte {
+	if r.sc.Fault == FaultCorruptPayload && v.idx == 1 &&
+		v.delivered >= 6 && len(pkt) > 13 {
+		pkt[len(pkt)-1] ^= 0x01
+		r.corrupted = true
+	}
+	return pkt
+}
+
+// journal appends one record: [kind][viewerIdx][payload...] at the
+// current virtual instant.
+func (r *runner) journal(kind byte, idx int, payload []byte) {
+	rec := make([]byte, 0, 2+len(payload))
+	rec = append(rec, kind, byte(idx))
+	rec = append(rec, payload...)
+	_ = r.jw.Record(r.clk.Now(), rec)
+}

@@ -1,0 +1,357 @@
+// Package netsim is a seeded, deterministic network-simulation harness
+// for whole sharing sessions: it drives a real ah.Host with workload
+// generators, connects fleets of viewers (unicast UDP, unicast TCP,
+// multicast) through rich link models (Gilbert–Elliott burst loss,
+// jitter-induced reordering, duplication, rate policing, transient
+// partitions), and checks machine-verified oracles at the end of every
+// run — byte-identical framebuffer convergence, RTP
+// sequence/timestamp monotonicity, fragment-reassembly identity, no
+// traffic toward evicted remotes, and stats-counter consistency.
+//
+// Everything random is derived from the scenario seed: link shaping,
+// RTP identifiers (SSRC, initial sequence, timestamp origin) on both
+// ends, and workload content. Time is virtual — a single runner
+// goroutine advances a simulated clock, so the same descriptor replays
+// byte-for-byte: two runs of one scenario produce identical journals
+// (see Result.Digest). A failing scenario is therefore reproducible
+// from its one-line String().
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"appshare/internal/trace"
+	"appshare/internal/transport"
+)
+
+// Window is a half-open tick interval [From, To).
+type Window struct {
+	From, To int
+}
+
+// contains reports whether tick is inside the window.
+func (w Window) contains(tick int) bool { return tick >= w.From && tick < w.To }
+
+// Profile is a named pair of directional link models plus scheduled
+// partitions. Down shapes host→viewer, Up shapes viewer→host. The
+// LinkConfig Seed fields are ignored — the runner derives per-link
+// seeds from the scenario seed.
+type Profile struct {
+	Name string
+	Down transport.LinkConfig
+	Up   transport.LinkConfig
+	// Partitions lists tick windows during which the link black-holes
+	// in both directions (a transient network partition).
+	Partitions []Window
+}
+
+// ViewerKind selects the transport a viewer attaches with.
+type ViewerKind int
+
+const (
+	// KindUDP is a unicast datagram viewer (AttachPacketConn): lossy
+	// link, NACK/PLI repair, host-side retransmission log.
+	KindUDP ViewerKind = iota
+	// KindTCP is a unicast reliable-stream viewer (AttachStream): no
+	// loss, but a bounded per-tick byte budget models a slow TCP path
+	// and exercises the Section 7 backlog-deferral machinery.
+	KindTCP
+	// KindMulticast is a member of the scenario's one multicast group
+	// (AttachMulticast): shared downstream, out-of-band unicast
+	// feedback.
+	KindMulticast
+)
+
+// String implements fmt.Stringer.
+func (k ViewerKind) String() string {
+	switch k {
+	case KindUDP:
+		return "udp"
+	case KindTCP:
+		return "tcp"
+	case KindMulticast:
+		return "mcast"
+	default:
+		return fmt.Sprintf("ViewerKind(%d)", int(k))
+	}
+}
+
+// ViewerSpec describes one viewer in the fleet.
+type ViewerSpec struct {
+	// Name identifies the viewer in journals and oracle output. Must be
+	// unique within the scenario; "_ref" is reserved for the built-in
+	// lossless reference viewer.
+	Name string
+	Kind ViewerKind
+	// Profile overrides the scenario's default link profile for this
+	// viewer (nil = default). Multicast members may only use loss
+	// models (LossRate/Burst) — their link is simulated by the
+	// transport.Bus subscriber, which delivers synchronously.
+	Profile *Profile
+	// JoinAtTick delays the attach — a late joiner announcing itself
+	// with a PLI under whatever loss the link has.
+	JoinAtTick int
+	// SilenceAfterTick, when positive, stops all feedback (RR, NACK,
+	// PLI) from this tick on — the silent-death case RemoteTimeout
+	// eviction exists for.
+	SilenceAfterTick int
+	// StreamBudgetPerTick (TCP only) bounds the bytes the simulated TCP
+	// path accepts per tick; 0 = unlimited. A small budget makes the
+	// host's send backlog grow deterministically.
+	StreamBudgetPerTick int
+}
+
+// Fault is a deliberately seeded defect for oracle mutation checks: a
+// harness whose oracles cannot catch a planted fault proves nothing.
+type Fault int
+
+const (
+	// FaultNone runs the scenario unmodified.
+	FaultNone Fault = iota
+	// FaultCorruptPayload flips one bit in one delivered datagram's
+	// payload — the convergence or reassembly oracle must notice.
+	FaultCorruptPayload
+	// FaultSkipRepair suppresses viewer NACKs and PLIs — under loss the
+	// convergence oracle must notice the unrepaired gaps.
+	FaultSkipRepair
+)
+
+// Expectations declares the intended end state, so policy actions
+// (evictions) are asserted rather than tolerated.
+type Expectations struct {
+	// Evicted lists viewer names that MUST be evicted by the end of the
+	// run; any other eviction (or a missing one) fails the eviction
+	// oracle. Evicted viewers are excluded from convergence.
+	Evicted []string
+	// AllowDroppedMessages permits viewers to report reassembly drops
+	// (scenarios that overflow queues on purpose). Default false: every
+	// fragment train must reassemble.
+	AllowDroppedMessages bool
+}
+
+// Scenario is one reproducible simulation: workload × link profile ×
+// viewer fleet × host policy, plus the expected outcome.
+type Scenario struct {
+	Name string
+	// Seed derives every random source in the run. Zero means 1.
+	Seed int64
+	// Ticks is the number of workload-driven capture ticks (default 30).
+	Ticks int
+	// TickInterval is the virtual time between ticks (default 40ms).
+	TickInterval time.Duration
+	// Workload names a workload.ByName generator (default "typing").
+	Workload string
+	// Profile is the default link profile for viewers without overrides.
+	Profile Profile
+	// Viewers is the fleet. A lossless UDP reference viewer "_ref" is
+	// always added by the runner.
+	Viewers []ViewerSpec
+
+	// Host policy knobs (zero values keep the ah defaults).
+	RemoteTimeout   time.Duration
+	MaxBacklogDwell time.Duration
+	EvictionPolicy  string // "", "monitor", "degrade", "drop"
+	BacklogLimit    int
+
+	// QuiesceTicks bounds the lossless settle phase appended after the
+	// main run (default 80): links heal, the workload freezes (except a
+	// per-tick sentinel pixel that exposes undetected tail loss), and
+	// repair runs until every viewer converges or the budget is spent.
+	QuiesceTicks int
+
+	Fault  Fault
+	Expect Expectations
+}
+
+// String returns the one-line replay descriptor.
+func (s Scenario) String() string {
+	return fmt.Sprintf("scenario=%s seed=%d ticks=%d interval=%s workload=%s profile=%s viewers=%d",
+		s.Name, s.Seed, s.Ticks, s.TickInterval, s.Workload, s.Profile.Name, len(s.Viewers))
+}
+
+// OracleResult is the outcome of one end-of-run invariant check.
+type OracleResult struct {
+	// Name identifies the oracle: convergence, rtp-continuity,
+	// reassembly, evictions, counters.
+	Name string
+	// Passed reports whether the invariant held.
+	Passed bool
+	// Detail explains a failure (empty on pass).
+	Detail string
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	// Scenario is the replay descriptor of the run.
+	Scenario string
+	// Seed is the effective seed (after defaulting).
+	Seed int64
+	// Journal is the full deterministic event journal (trace records).
+	Journal []trace.Record
+	// Digest fingerprints the journal; equal seeds must yield equal
+	// digests.
+	Digest string
+	// Oracles holds every invariant check that ran.
+	Oracles []OracleResult
+	// TicksRun counts main + quiesce ticks actually executed.
+	TicksRun int
+}
+
+// Passed reports whether every oracle held.
+func (r *Result) Passed() bool {
+	for _, o := range r.Oracles {
+		if !o.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the failed oracles' "name: detail" lines.
+func (r *Result) Failures() []string {
+	var out []string
+	for _, o := range r.Oracles {
+		if !o.Passed {
+			out = append(out, o.Name+": "+o.Detail)
+		}
+	}
+	return out
+}
+
+// Matrix returns the curated scenario matrix wired into ci.sh and
+// `ads-bench -scenarios`: every link pathology the PAPERS.md simulation
+// studies flag as regression-prone, each with the viewer fleet that
+// makes it bite. Seeds are fixed so CI journals are stable; Run replays
+// any of them with a different seed via the Seed field.
+func Matrix() []Scenario {
+	ge := &transport.BurstLoss{PEnterBad: 0.05, PExitBad: 0.25, LossGood: 0, LossBad: 0.9}
+	return []Scenario{
+		{
+			Name: "pristine", Seed: 101, Workload: "typing",
+			Profile: Profile{Name: "pristine"},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP},
+				{Name: "t1", Kind: KindTCP},
+			},
+		},
+		{
+			Name: "uniform-loss-5", Seed: 102, Workload: "typing",
+			Profile: Profile{Name: "loss5", Down: transport.LinkConfig{LossRate: 0.05}},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP},
+			},
+		},
+		{
+			Name: "uniform-loss-20", Seed: 103, Workload: "scrolling",
+			Profile: Profile{
+				Name: "loss20",
+				Down: transport.LinkConfig{LossRate: 0.20},
+				Up:   transport.LinkConfig{LossRate: 0.05},
+			},
+			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
+		},
+		{
+			Name: "burst-ge", Seed: 104, Workload: "typing",
+			Profile: Profile{Name: "burst-ge", Down: transport.LinkConfig{Burst: ge}},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP},
+			},
+		},
+		{
+			Name: "jitter-reorder", Seed: 105, Workload: "typing",
+			Profile: Profile{
+				Name: "jitter",
+				Down: transport.LinkConfig{Delay: 5 * time.Millisecond, Jitter: 60 * time.Millisecond, ReorderRate: 0.10},
+			},
+			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
+		},
+		{
+			Name: "burst-jitter", Seed: 106, Workload: "scrolling",
+			Profile: Profile{
+				Name: "burst-jitter",
+				Down: transport.LinkConfig{Burst: ge, Delay: 5 * time.Millisecond, Jitter: 40 * time.Millisecond},
+			},
+			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
+		},
+		{
+			Name: "duplication", Seed: 107, Workload: "typing",
+			Profile: Profile{
+				Name: "dup",
+				Down: transport.LinkConfig{DuplicateRate: 0.20, LossRate: 0.05},
+			},
+			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
+		},
+		{
+			Name: "rate-police", Seed: 108, Workload: "slideshow",
+			Profile: Profile{
+				Name: "police",
+				Down: transport.LinkConfig{BytesPerSecond: 256 << 10, BurstBytes: 24 << 10},
+			},
+			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
+		},
+		{
+			Name: "partition-heal", Seed: 109, Workload: "typing",
+			Profile: Profile{
+				Name:       "partition",
+				Partitions: []Window{{From: 10, To: 18}},
+			},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP},
+			},
+		},
+		{
+			Name: "late-join-loss", Seed: 110, Workload: "typing",
+			Profile: Profile{Name: "loss10", Down: transport.LinkConfig{LossRate: 0.10}},
+			Viewers: []ViewerSpec{
+				{Name: "early", Kind: KindUDP},
+				{Name: "late", Kind: KindUDP, JoinAtTick: 15},
+			},
+		},
+		{
+			Name: "evict-mid-burst", Seed: 111, Workload: "typing",
+			Profile: Profile{Name: "burst-ge", Down: transport.LinkConfig{Burst: ge}},
+			Viewers: []ViewerSpec{
+				{Name: "mute", Kind: KindUDP, SilenceAfterTick: 4},
+				{Name: "obs", Kind: KindUDP},
+			},
+			RemoteTimeout: 400 * time.Millisecond,
+			Expect:        Expectations{Evicted: []string{"mute"}},
+		},
+		{
+			Name: "tcp-backlog", Seed: 112, Workload: "slideshow",
+			Profile: Profile{Name: "pristine"},
+			Viewers: []ViewerSpec{
+				{Name: "slow", Kind: KindTCP, StreamBudgetPerTick: 800},
+				{Name: "fast", Kind: KindTCP},
+			},
+			BacklogLimit:    4 << 10,
+			MaxBacklogDwell: 320 * time.Millisecond,
+			EvictionPolicy:  "drop",
+			Expect:          Expectations{Evicted: []string{"slow"}},
+		},
+		{
+			Name: "multicast-nack", Seed: 113, Workload: "typing",
+			Profile: Profile{Name: "pristine"},
+			Viewers: []ViewerSpec{
+				{Name: "mc-good", Kind: KindMulticast},
+				{Name: "mc-lossy", Kind: KindMulticast,
+					Profile: &Profile{Name: "mc-burst", Down: transport.LinkConfig{Burst: ge}}},
+			},
+		},
+	}
+}
+
+// ByName returns the matrix scenario with the given name.
+func ByName(name string) (Scenario, error) {
+	for _, sc := range Matrix() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("netsim: unknown scenario %q", name)
+}

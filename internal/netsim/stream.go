@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"sync"
+
+	"appshare/internal/transport"
+)
+
+// streamConn is the io.ReadWriteCloser handed to Host.AttachStream for a
+// simulated TCP viewer. It models the network path with a byte budget
+// instead of a clock: Write consumes budget and blocks at zero (the
+// peer's receive window is full), and the runner grants one tick's worth
+// of budget per tick. Because blocking is budget-driven, the settle loop
+// has stable terminal states — either everything the host framed has
+// been accepted, or the writer is parked on an empty budget — and the
+// whole TCP pipeline stays deterministic without real-time pacing
+// (AttachStream is given rate 0, so the RatedWriter never sleeps).
+//
+// Read blocks until Close: netsim viewers never send framed feedback
+// in-band (feedback is injected through Host.HandleFeedback on the
+// virtual clock), so the host's pump goroutine just parks here.
+type streamConn struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// budget is the bytes the path will still accept; negative means
+	// unlimited.
+	budget int64
+	// out accumulates accepted bytes until the runner consumes them.
+	out []byte
+	// totalIn is the cumulative bytes ever accepted.
+	totalIn int64
+	// blocked counts writers currently parked on an empty budget.
+	blocked int
+	closed  bool
+	done    chan struct{}
+}
+
+func newStreamConn(budgetPerTick int) *streamConn {
+	c := &streamConn{done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	if budgetPerTick <= 0 {
+		c.budget = -1
+	}
+	return c
+}
+
+// Write implements io.Writer: it accepts bytes up to the available
+// budget and blocks for more budget when it runs out.
+func (c *streamConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := len(p)
+	for len(p) > 0 {
+		if c.closed {
+			return total - len(p), transport.ErrClosed
+		}
+		if c.budget < 0 {
+			c.out = append(c.out, p...)
+			c.totalIn += int64(len(p))
+			p = nil
+			break
+		}
+		if c.budget == 0 {
+			c.blocked++
+			c.cond.Wait()
+			c.blocked--
+			continue
+		}
+		n := len(p)
+		if int64(n) > c.budget {
+			n = int(c.budget)
+		}
+		c.out = append(c.out, p[:n]...)
+		c.totalIn += int64(n)
+		c.budget -= int64(n)
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Read implements io.Reader: it blocks until Close, then reports EOF.
+func (c *streamConn) Read(p []byte) (int, error) {
+	<-c.done
+	return 0, transport.ErrClosed
+}
+
+// Close implements io.Closer, waking any blocked writer with an error.
+func (c *streamConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+		c.cond.Broadcast()
+	}
+	return nil
+}
+
+// grant adds one tick's byte budget (no-op on unlimited conns) and wakes
+// blocked writers.
+func (c *streamConn) grant(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget >= 0 && n > 0 {
+		c.budget += int64(n)
+		c.cond.Broadcast()
+	}
+}
+
+// setUnlimited lifts the budget gate permanently (quiesce heals the
+// path) and wakes blocked writers.
+func (c *streamConn) setUnlimited() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = -1
+	c.cond.Broadcast()
+}
+
+// takeOut removes and returns the accepted-but-unconsumed bytes.
+func (c *streamConn) takeOut() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.out
+	c.out = nil
+	return out
+}
+
+// state snapshots the settle-relevant fields.
+func (c *streamConn) state() (totalIn int64, blocked int, budget int64, closed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalIn, c.blocked, c.budget, c.closed
+}

@@ -42,6 +42,11 @@ type Config struct {
 	Stats *stats.Collector
 	// Now supplies time (defaults to time.Now).
 	Now func() time.Time
+	// Entropy, when non-nil, supplies the RFC 3550 random identifiers
+	// (HIP SSRC and initial sequence, feedback SSRC, timestamp origin);
+	// nil draws them from crypto randomness. A seeded source makes a
+	// simulated viewer's wire bytes reproducible.
+	Entropy func() uint32
 	// CNAME identifies this participant in RTCP SDES (defaults to
 	// "participant@appshare").
 	CNAME string
@@ -135,8 +140,8 @@ func New(cfg Config) *Participant {
 		recv:         rtp.NewReceiver(),
 		re:           core.NewReassembler(),
 		views:        make(map[uint16]*view),
-		hipPz:        rtp.NewPacketizer(rtp.NewSSRC(), cfg.HIPPT, cfg.Now()),
-		feedbackSSRC: rtp.NewSSRC(),
+		hipPz:        rtp.NewPacketizerFrom(cfg.Entropy, rtp.NewSSRCFrom(cfg.Entropy), cfg.HIPPT, cfg.Now()),
+		feedbackSSRC: rtp.NewSSRCFrom(cfg.Entropy),
 		rtpStats:     rtp.NewStatistics(),
 		cname:        cfg.CNAME,
 		applied:      make(map[core.MessageType]uint64),

@@ -11,7 +11,17 @@ type Clock struct {
 
 // NewClock returns a Clock whose timestamps start at a random offset.
 func NewClock(now time.Time) *Clock {
-	return &Clock{origin: now, offset: randUint32()}
+	return NewClockFrom(nil, now)
+}
+
+// NewClockFrom is NewClock with an injected entropy source for the
+// timestamp origin. A nil ent falls back to crypto randomness; a seeded
+// ent makes the timestamps of a simulated session reproducible.
+func NewClockFrom(ent func() uint32, now time.Time) *Clock {
+	if ent == nil {
+		ent = randUint32
+	}
+	return &Clock{origin: now, offset: ent()}
 }
 
 // Timestamp returns the RTP timestamp for the given instant.
@@ -34,11 +44,22 @@ type Packetizer struct {
 // NewPacketizer returns a Packetizer for the given SSRC and payload type.
 // The initial sequence number is random per RFC 3550.
 func NewPacketizer(ssrc uint32, payloadType uint8, now time.Time) *Packetizer {
+	return NewPacketizerFrom(nil, ssrc, payloadType, now)
+}
+
+// NewPacketizerFrom is NewPacketizer with an injected entropy source for
+// the RFC 3550 random initial sequence number and timestamp origin. A
+// nil ent falls back to crypto randomness; a seeded ent makes a
+// simulated session's wire bytes reproducible.
+func NewPacketizerFrom(ent func() uint32, ssrc uint32, payloadType uint8, now time.Time) *Packetizer {
+	if ent == nil {
+		ent = randUint32
+	}
 	return &Packetizer{
 		ssrc:  ssrc,
 		pt:    payloadType,
-		seq:   uint16(randUint32()),
-		clock: NewClock(now),
+		seq:   uint16(ent()),
+		clock: NewClockFrom(ent, now),
 	}
 }
 
@@ -69,3 +90,12 @@ func (p *Packetizer) Packetize(payload []byte, marker bool, at time.Time) *Packe
 
 // NewSSRC returns a random synchronization source identifier.
 func NewSSRC() uint32 { return randUint32() }
+
+// NewSSRCFrom returns a synchronization source identifier drawn from
+// ent, or a crypto-random one when ent is nil.
+func NewSSRCFrom(ent func() uint32) uint32 {
+	if ent == nil {
+		ent = randUint32
+	}
+	return ent()
+}

@@ -49,6 +49,106 @@ func TestCollectorConcurrent(t *testing.T) {
 	}
 }
 
+// TestCollectorSnapshotDuringIncrement races every read path (Get,
+// Total, String) and Reset against writers on several kinds at once.
+// The assertions here are deliberately weak — monotone, internally
+// consistent snapshots — because the real check is the race detector:
+// this test exists to fail under -race if the Collector ever grows an
+// unsynchronized path.
+func TestCollectorSnapshotDuringIncrement(t *testing.T) {
+	c := NewCollector()
+	kinds := []string{"EncodeCacheHit", "EncodeCacheMiss", "HealthEvict", "RegionUpdate"}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Record(kinds[(g+i)%len(kinds)], 3)
+				c.RecordN(kinds[g%len(kinds)], 2, 10)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			for _, k := range kinds {
+				got := c.Get(k)
+				if got.Messages == 0 && got.Bytes != 0 {
+					t.Errorf("inconsistent snapshot for %s: %+v", k, got)
+				}
+			}
+			tot := c.Total()
+			if tot.Bytes < tot.Messages { // every message carries >= 1 byte here... except right after Reset
+				_ = tot // tolerated: Reset below can interleave
+			}
+			_ = c.String()
+			if i%10 == 9 {
+				c.Reset()
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// After the storm the Collector still works deterministically.
+	c.Reset()
+	c.Record("RegionUpdate", 7)
+	if got := c.Get("RegionUpdate"); got.Messages != 1 || got.Bytes != 7 {
+		t.Fatalf("post-race Record = %+v", got)
+	}
+}
+
+// TestCollectorKindsAcrossReset cycles the encode-cache and health
+// kinds the host records through Reset: a cycle must zero them without
+// poisoning later recording, and RecordN's zero-valued no-op must not
+// materialize a counter.
+func TestCollectorKindsAcrossReset(t *testing.T) {
+	kinds := []string{
+		"EncodeCacheHit", "EncodeCacheMiss", "EncodeCacheEvict",
+		"EncodeParallel", "EncodeSerial",
+		"HealthEvict",
+	}
+	c := NewCollector()
+	for round := 1; round <= 3; round++ {
+		for i, k := range kinds {
+			c.RecordN(k, uint64(round), uint64(round*10*(i+1)))
+		}
+		for i, k := range kinds {
+			got := c.Get(k)
+			if got.Messages != uint64(round) || got.Bytes != uint64(round*10*(i+1)) {
+				t.Fatalf("round %d: %s = %+v (previous cycle leaked through Reset?)", round, k, got)
+			}
+		}
+		if tot := c.Total(); tot.Messages != uint64(round*len(kinds)) {
+			t.Fatalf("round %d: total = %+v", round, tot)
+		}
+		c.Reset()
+		for _, k := range kinds {
+			if got := c.Get(k); got != (Counter{}) {
+				t.Fatalf("round %d: %s survived Reset: %+v", round, k, got)
+			}
+		}
+	}
+	// The bulk no-op records nothing even on a fresh map.
+	c.RecordN("EncodeCacheHit", 0, 0)
+	if tot := c.Total(); tot != (Counter{}) {
+		t.Fatalf("zero RecordN materialized a counter: %+v", tot)
+	}
+	if c.String() != "" {
+		t.Fatalf("empty collector renders %q", c.String())
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram()
 	if h.Mean() != 0 || h.Quantile(0.5) != 0 {

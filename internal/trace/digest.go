@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Digest fingerprints a recorded trace: an FNV-64a over every record's
+// offset and bytes, formatted as 16 hex digits. Two runs of a
+// deterministic scenario must produce equal digests; a digest mismatch
+// is the cheap first-line signal before diffing the journals record by
+// record.
+func Digest(records []Record) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, rec := range records {
+		off := uint64(rec.Offset)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(off >> (56 - 8*i))
+		}
+		h.Write(buf[:])
+		n := uint64(len(rec.Packet))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(n >> (56 - 8*i))
+		}
+		h.Write(buf[:])
+		h.Write(rec.Packet)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

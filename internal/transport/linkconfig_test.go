@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestLinkLossRateExtremes pins the boundary behavior of LossRate:
+// exactly 0 must be perfectly lossless, and 0.999 must still be a
+// functioning link (statistically near-total loss, never an error).
+func TestLinkLossRateExtremes(t *testing.T) {
+	cases := []struct {
+		name        string
+		rate        float64
+		n           int
+		minReceived int
+		maxReceived int
+	}{
+		{"zero is lossless", 0, 500, 500, 500},
+		{"near-total loss", 0.999, 2000, 0, 50},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := Pipe(LinkConfig{LossRate: tc.rate, Seed: 11, QueueLen: 4096}, LinkConfig{Seed: 2})
+			for i := 0; i < tc.n; i++ {
+				if err := a.Send([]byte{byte(i), byte(i >> 8)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			b.Close()
+			received := 0
+			for {
+				if _, err := b.Recv(); err != nil {
+					break
+				}
+				received++
+			}
+			if received < tc.minReceived || received > tc.maxReceived {
+				t.Fatalf("received %d of %d at loss %v, want in [%d, %d]",
+					received, tc.n, tc.rate, tc.minReceived, tc.maxReceived)
+			}
+			sent, dropped := a.(*endpoint).Stats()
+			if sent != uint64(tc.n) || dropped != uint64(tc.n-received) {
+				t.Fatalf("stats = %d sent, %d dropped, received %d", sent, dropped, received)
+			}
+			a.Close()
+		})
+	}
+}
+
+// TestLinkDelayOnClosingEndpoint covers both shutdown races of a
+// delayed link: a datagram in flight when its *sender* closes must
+// still land (the wire does not recall packets), and one in flight
+// when its *receiver* closes must vanish silently without panicking
+// on the closed inbox.
+func TestLinkDelayOnClosingEndpoint(t *testing.T) {
+	// Sender closes with the datagram still "on the wire".
+	a, b := Pipe(LinkConfig{Delay: 20 * time.Millisecond, Seed: 1}, LinkConfig{Seed: 2})
+	if err := a.Send([]byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	pkt, err := b.Recv()
+	if err != nil || string(pkt) != "in-flight" {
+		t.Fatalf("delayed datagram after sender close = %q, %v", pkt, err)
+	}
+	b.Close()
+
+	// Receiver closes before the delivery timer fires.
+	c, d := Pipe(LinkConfig{Delay: 15 * time.Millisecond, Seed: 3}, LinkConfig{Seed: 4})
+	if err := c.Send([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := d.Recv(); err != io.EOF {
+		t.Fatalf("recv on closed receiver = %v, want io.EOF", err)
+	}
+	// Let the timer fire against the closed endpoint; enqueue must be a
+	// clean no-op (no panic, no error surfaced anywhere).
+	time.Sleep(30 * time.Millisecond)
+	c.Close()
+}
+
+// TestLinkReorderSingleInFlight: with only one datagram ever sent, the
+// reorder slot has no successor to swap with — the datagram parks in
+// the held slot and MUST still be delivered exactly once when the
+// sender closes (Close flushes the slot). Reordering may delay, never
+// lose.
+func TestLinkReorderSingleInFlight(t *testing.T) {
+	a, b := Pipe(LinkConfig{ReorderRate: 1.0, Seed: 5}, LinkConfig{Seed: 6})
+	if err := a.Send([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	// The datagram is parked, not delivered: the receiver sees nothing.
+	select {
+	case pkt := <-b.(*endpoint).inbox:
+		t.Fatalf("held datagram %q delivered with no successor", pkt)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Close() // flushes the held slot (asynchronously)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if len(b.(*endpoint).inbox) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	var got [][]byte
+	for {
+		pkt, err := b.Recv()
+		if err != nil {
+			break
+		}
+		got = append(got, pkt)
+	}
+	if len(got) != 1 || string(got[0]) != "solo" {
+		t.Fatalf("received %q, want exactly one %q", got, "solo")
+	}
+}
+
+// TestShaperBurstLoss exercises the Gilbert–Elliott model: losses must
+// occur, be attributed to LossDropped, and arrive in bursts (mean run
+// length well above the independent-loss expectation).
+func TestShaperBurstLoss(t *testing.T) {
+	s := NewShaper(LinkConfig{Seed: 21, Burst: &BurstLoss{
+		PEnterBad: 0.05, PExitBad: 0.2, LossGood: 0, LossBad: 1.0,
+	}})
+	now := time.Unix(0, 0)
+	const n = 5000
+	var runs, runLen, cur int
+	for i := 0; i < n; i++ {
+		if s.Shape(now, 100, false).Drop {
+			cur++
+		} else if cur > 0 {
+			runs++
+			runLen += cur
+			cur = 0
+		}
+	}
+	st := s.Stats()
+	if st.Offered != n || st.Dropped != st.LossDropped || st.Dropped == 0 {
+		t.Fatalf("stats = %+v, want all drops attributed to loss", st)
+	}
+	if runs == 0 {
+		t.Fatal("no completed loss bursts in 5000 datagrams")
+	}
+	// With PExitBad=0.2 and LossBad=1 the expected burst length is ~5;
+	// independent loss at the same average rate would give ~1.3.
+	if mean := float64(runLen) / float64(runs); mean < 2.5 {
+		t.Fatalf("mean burst length %.2f, want >= 2.5 (losses not bursty)", mean)
+	}
+}
+
+// TestShaperDuplication: DuplicateRate 1 duplicates every datagram and
+// counts it.
+func TestShaperDuplication(t *testing.T) {
+	s := NewShaper(LinkConfig{Seed: 22, DuplicateRate: 1.0})
+	now := time.Unix(0, 0)
+	for i := 0; i < 50; i++ {
+		if v := s.Shape(now, 10, false); !v.Duplicate || v.Drop {
+			t.Fatalf("shape %d = %+v, want Duplicate without Drop", i, v)
+		}
+	}
+	if st := s.Stats(); st.Duplicated != 50 {
+		t.Fatalf("Duplicated = %d, want 50", st.Duplicated)
+	}
+}
+
+// TestShaperRatePolice: the token bucket admits BurstBytes at an
+// instant, polices the excess, and refills with virtual time.
+func TestShaperRatePolice(t *testing.T) {
+	s := NewShaper(LinkConfig{Seed: 23, BytesPerSecond: 1000, BurstBytes: 1000})
+	now := time.Unix(50, 0)
+	if v := s.Shape(now, 500, false); v.Drop {
+		t.Fatal("first 500B dropped with a full 1000B bucket")
+	}
+	if v := s.Shape(now, 500, false); v.Drop {
+		t.Fatal("second 500B dropped with 500B left in the bucket")
+	}
+	if v := s.Shape(now, 500, false); !v.Drop {
+		t.Fatal("third 500B admitted by an empty bucket")
+	}
+	if st := s.Stats(); st.RateDropped != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want exactly one rate drop", st)
+	}
+	// One virtual second refills the bucket.
+	if v := s.Shape(now.Add(time.Second), 900, false); v.Drop {
+		t.Fatal("900B dropped after a full second of refill")
+	}
+}
+
+// TestShaperPartition: SetDown black-holes everything and attributes
+// the drops; healing restores delivery.
+func TestShaperPartition(t *testing.T) {
+	s := NewShaper(LinkConfig{Seed: 24})
+	now := time.Unix(0, 0)
+	s.SetDown(true)
+	if !s.Down() {
+		t.Fatal("Down() = false after SetDown(true)")
+	}
+	for i := 0; i < 10; i++ {
+		if v := s.Shape(now, 10, false); !v.Drop {
+			t.Fatal("datagram survived a partitioned link")
+		}
+	}
+	s.SetDown(false)
+	if v := s.Shape(now, 10, false); v.Drop {
+		t.Fatal("datagram dropped after heal")
+	}
+	if st := s.Stats(); st.DownDropped != 10 || st.Dropped != 10 {
+		t.Fatalf("stats = %+v, want 10 partition drops", st)
+	}
+}
+
+// TestShaperJitterBounds: per-datagram delay is Delay + [0, Jitter),
+// and actually varies.
+func TestShaperJitterBounds(t *testing.T) {
+	base, jitter := 10*time.Millisecond, 20*time.Millisecond
+	s := NewShaper(LinkConfig{Seed: 25, Delay: base, Jitter: jitter})
+	now := time.Unix(0, 0)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		v := s.Shape(now, 10, false)
+		if v.Delay < base || v.Delay >= base+jitter {
+			t.Fatalf("delay %v outside [%v, %v)", v.Delay, base, base+jitter)
+		}
+		seen[v.Delay] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter produced a constant delay")
+	}
+}
+
+// TestShaperSeedReplay: two shapers with identical config and seed make
+// identical decision sequences — the property netsim's determinism
+// rests on.
+func TestShaperSeedReplay(t *testing.T) {
+	cfg := LinkConfig{
+		Seed: 77, LossRate: 0.2, DuplicateRate: 0.1, ReorderRate: 0.15,
+		Delay: time.Millisecond, Jitter: 5 * time.Millisecond,
+		Burst: &BurstLoss{PEnterBad: 0.1, PExitBad: 0.3, LossBad: 0.8},
+	}
+	s1, s2 := NewShaper(cfg), NewShaper(cfg)
+	now := time.Unix(0, 0)
+	for i := 0; i < 2000; i++ {
+		canHold := i%3 != 0
+		v1 := s1.Shape(now, 64, canHold)
+		v2 := s2.Shape(now, 64, canHold)
+		if v1 != v2 {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, v1, v2)
+		}
+	}
+	if s1.Stats() != s2.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", s1.Stats(), s2.Stats())
+	}
+}

@@ -31,6 +31,7 @@ type RatedWriter struct {
 	idle         *sync.Cond
 	queue        [][]byte
 	backlog      int
+	writing      bool // a chunk is in flight in the underlying Write
 	drained      int64
 	discarded    int64
 	lastProgress time.Time
@@ -38,6 +39,7 @@ type RatedWriter struct {
 	err          error
 	w            io.Writer
 	rate         int // bytes per second; <= 0 means unlimited
+	now          func() time.Time
 	done         chan struct{}
 	stop         chan struct{}
 }
@@ -45,7 +47,19 @@ type RatedWriter struct {
 // NewRatedWriter returns a RatedWriter shipping to w at bytesPerSecond
 // (<= 0 for unlimited).
 func NewRatedWriter(w io.Writer, bytesPerSecond int) *RatedWriter {
-	rw := &RatedWriter{w: w, rate: bytesPerSecond, done: make(chan struct{}), stop: make(chan struct{})}
+	return NewRatedWriterAt(w, bytesPerSecond, time.Now)
+}
+
+// NewRatedWriterAt is NewRatedWriter with an injected clock. The clock
+// feeds the stall detector (lastProgress/StallDuration) only — pacing
+// sleeps still run in real time — so a simulation driving a virtual
+// clock gets deterministic stall decisions without changing drain
+// behavior.
+func NewRatedWriterAt(w io.Writer, bytesPerSecond int, now func() time.Time) *RatedWriter {
+	if now == nil {
+		now = time.Now
+	}
+	rw := &RatedWriter{w: w, rate: bytesPerSecond, now: now, done: make(chan struct{}), stop: make(chan struct{})}
 	rw.work = sync.NewCond(&rw.mu)
 	rw.idle = sync.NewCond(&rw.mu)
 	go rw.drain()
@@ -66,7 +80,7 @@ func (rw *RatedWriter) Write(p []byte) (int, error) {
 	if rw.backlog == 0 {
 		// The stall clock for this burst starts now, not at the last
 		// drain progress of a previous burst.
-		rw.lastProgress = time.Now()
+		rw.lastProgress = rw.now()
 	}
 	rw.queue = append(rw.queue, append([]byte(nil), p...))
 	rw.backlog += len(p)
@@ -98,6 +112,17 @@ func (rw *RatedWriter) Discarded() int64 {
 	return rw.discarded
 }
 
+// Idle reports whether the writer has nothing left to do: no bytes
+// queued and no chunk in flight in the underlying writer. Unlike a
+// Backlog()==0 check it cannot race the drain's post-write accounting,
+// so a single-stepping caller (the netsim settle loop) can use it as a
+// stable "fully drained" predicate.
+func (rw *RatedWriter) Idle() bool {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.backlog == 0 && !rw.writing
+}
+
 // StallDuration reports how long the drain has made no progress while
 // bytes were queued: zero when the queue is empty or flowing, and the
 // age of the oldest unshipped progress otherwise. A growing value with a
@@ -110,7 +135,7 @@ func (rw *RatedWriter) StallDuration() time.Duration {
 	if rw.backlog == 0 || rw.lastProgress.IsZero() {
 		return 0
 	}
-	return time.Since(rw.lastProgress)
+	return rw.now().Sub(rw.lastProgress)
 }
 
 // Flush blocks until the queue is empty or the writer fails/closes. When
@@ -187,12 +212,14 @@ func (rw *RatedWriter) drain() {
 		buf := rw.queue[0]
 		n := min(chunk, len(buf))
 		piece := buf[:n]
+		rw.writing = true
 		rw.mu.Unlock()
 
 		start := time.Now()
 		_, err := rw.w.Write(piece)
 
 		rw.mu.Lock()
+		rw.writing = false
 		if err != nil {
 			rw.err = err
 			rw.discarded += int64(rw.backlog)
@@ -218,7 +245,7 @@ func (rw *RatedWriter) drain() {
 		}
 		rw.backlog -= n
 		rw.drained += int64(n)
-		rw.lastProgress = time.Now()
+		rw.lastProgress = rw.now()
 		rw.idle.Broadcast()
 		rate := rw.rate
 		rw.mu.Unlock()

@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BurstLoss parameterizes a two-state Gilbert–Elliott loss model: the
+// link alternates between a good state (losing LossGood of datagrams)
+// and a bad state (losing LossBad), with per-datagram transition
+// probabilities. Bursty loss is where repair protocols actually break —
+// independent per-packet loss (LinkConfig.LossRate alone) spreads
+// losses thinly enough that a single NACK round usually heals them,
+// while a burst wipes out whole fragment trains and the retransmissions
+// that follow.
+type BurstLoss struct {
+	// PEnterBad is the per-datagram probability of moving good → bad.
+	PEnterBad float64
+	// PExitBad is the per-datagram probability of moving bad → good.
+	PExitBad float64
+	// LossGood is the drop probability while in the good state
+	// (usually 0).
+	LossGood float64
+	// LossBad is the drop probability while in the bad state (e.g. 0.9).
+	LossBad float64
+}
+
+// Verdict is the Shaper's decision for one datagram.
+type Verdict struct {
+	// Drop discards the datagram (loss, policing, or partition).
+	Drop bool
+	// Duplicate delivers the datagram twice.
+	Duplicate bool
+	// Hold parks the datagram in the reorder slot: it ships after its
+	// successor. Only set when the caller reported it can hold.
+	Hold bool
+	// Delay is the total one-way latency for this datagram: the fixed
+	// LinkConfig.Delay plus a uniform random jitter in [0, Jitter).
+	Delay time.Duration
+}
+
+// Shaper makes the per-datagram shaping decisions for one direction of
+// a link: loss (uniform and Gilbert–Elliott burst), duplication,
+// reordering, rate policing, jitter and administrative partition. It is
+// the single seeded random source for a link, shared by the real-time
+// endpoints in this package and the virtual-time links of
+// internal/netsim, so a scenario replays identically from its seed.
+//
+// Shaper is not safe for concurrent use; callers serialize (the
+// endpoint holds its mutex, netsim is single-threaded).
+type Shaper struct {
+	cfg LinkConfig
+	rng *rand.Rand
+	bad bool // Gilbert–Elliott state
+
+	// Rate-policing token bucket (LinkConfig.BytesPerSecond).
+	tokens     float64
+	lastRefill time.Time
+
+	down bool
+
+	stats ShaperStats
+}
+
+// ShaperStats counts the Shaper's decisions.
+type ShaperStats struct {
+	// Offered is the number of datagrams presented to Shape.
+	Offered uint64
+	// Dropped is the total discarded for any reason; the remaining
+	// fields break it down.
+	Dropped uint64
+	// LossDropped were lost to the uniform or burst loss model.
+	LossDropped uint64
+	// RateDropped were policed away by the BytesPerSecond budget.
+	RateDropped uint64
+	// DownDropped were black-holed while the link was down.
+	DownDropped uint64
+	// Duplicated is the number of datagrams delivered twice.
+	Duplicated uint64
+	// Held is the number of datagrams parked for reordering.
+	Held uint64
+}
+
+// NewShaper returns a Shaper for one link direction. A zero cfg.Seed
+// seeds from the clock (matching Pipe's behavior); pass an explicit
+// seed for reproducible patterns.
+func NewShaper(cfg LinkConfig) *Shaper {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Shaper{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDown administratively partitions (true) or heals (false) the link:
+// while down, every datagram is dropped.
+func (s *Shaper) SetDown(down bool) { s.down = down }
+
+// Down reports whether the link is administratively partitioned.
+func (s *Shaper) Down() bool { return s.down }
+
+// Stats returns a copy of the decision counters.
+func (s *Shaper) Stats() ShaperStats { return s.stats }
+
+// Shape decides the fate of one datagram of the given size at the given
+// instant. canHold reports whether the caller has a free reorder slot.
+//
+// The random draws happen in a fixed, documented order — burst-state
+// transition, loss, duplication, reorder, jitter — and a draw is only
+// consumed when its feature is configured, so a config using just the
+// original fields (LossRate/ReorderRate/Delay) consumes the RNG exactly
+// as the pre-burst-model implementation did and old seeds reproduce old
+// patterns.
+func (s *Shaper) Shape(now time.Time, size int, canHold bool) Verdict {
+	s.stats.Offered++
+	v := Verdict{Delay: s.cfg.Delay}
+
+	if s.down {
+		s.stats.Dropped++
+		s.stats.DownDropped++
+		v.Drop = true
+		return v
+	}
+
+	// Rate policing: a token bucket of BytesPerSecond with a depth of
+	// one second's worth of bytes (or BurstBytes when set). Like a
+	// router's policer, excess datagrams are dropped, not queued.
+	if s.cfg.BytesPerSecond > 0 {
+		depth := float64(s.cfg.BytesPerSecond)
+		if s.cfg.BurstBytes > 0 {
+			depth = float64(s.cfg.BurstBytes)
+		}
+		if s.lastRefill.IsZero() {
+			s.tokens = depth
+		} else {
+			s.tokens += now.Sub(s.lastRefill).Seconds() * float64(s.cfg.BytesPerSecond)
+			if s.tokens > depth {
+				s.tokens = depth
+			}
+		}
+		s.lastRefill = now
+		if s.tokens < float64(size) {
+			s.stats.Dropped++
+			s.stats.RateDropped++
+			v.Drop = true
+			return v
+		}
+		s.tokens -= float64(size)
+	}
+
+	// Loss: Gilbert–Elliott state machine composed with the independent
+	// LossRate (a datagram is lost if either model says so).
+	loss := s.cfg.LossRate
+	if b := s.cfg.Burst; b != nil {
+		if s.bad {
+			if s.rng.Float64() < b.PExitBad {
+				s.bad = false
+			}
+		} else {
+			if s.rng.Float64() < b.PEnterBad {
+				s.bad = true
+			}
+		}
+		stateLoss := b.LossGood
+		if s.bad {
+			stateLoss = b.LossBad
+		}
+		// P(kept) = P(kept by uniform) * P(kept by burst state).
+		loss = 1 - (1-loss)*(1-stateLoss)
+	}
+	if loss > 0 && s.rng.Float64() < loss {
+		s.stats.Dropped++
+		s.stats.LossDropped++
+		v.Drop = true
+		return v
+	}
+
+	if s.cfg.DuplicateRate > 0 && s.rng.Float64() < s.cfg.DuplicateRate {
+		s.stats.Duplicated++
+		v.Duplicate = true
+	}
+
+	if canHold && s.cfg.ReorderRate > 0 && s.rng.Float64() < s.cfg.ReorderRate {
+		s.stats.Held++
+		v.Hold = true
+		return v
+	}
+
+	if s.cfg.Jitter > 0 {
+		v.Delay += time.Duration(s.rng.Int63n(int64(s.cfg.Jitter)))
+	}
+	return v
+}

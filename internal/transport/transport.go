@@ -13,7 +13,6 @@ package transport
 import (
 	"errors"
 	"io"
-	"math/rand"
 	"sync"
 	"time"
 )
@@ -34,7 +33,11 @@ type PacketConn interface {
 	Close() error
 }
 
-// LinkConfig describes one direction of a simulated path.
+// LinkConfig describes one direction of a simulated path. The zero
+// value is a perfect link; each field degrades it independently, and a
+// config that sets only the original fields (LossRate, ReorderRate,
+// Delay) behaves exactly as it did before the richer impairments were
+// added — same seed, same pattern.
 type LinkConfig struct {
 	// LossRate is the independent drop probability per datagram [0,1).
 	LossRate float64
@@ -48,11 +51,29 @@ type LinkConfig struct {
 	Seed int64
 	// QueueLen bounds the receive queue (default 1024); overflow drops.
 	QueueLen int
+
+	// Jitter adds a uniform random [0, Jitter) to Delay per datagram.
+	// With enough jitter relative to the send spacing, datagrams arrive
+	// out of order — a second, latency-driven reordering mechanism on
+	// top of ReorderRate.
+	Jitter time.Duration
+	// DuplicateRate is the probability a datagram is delivered twice.
+	DuplicateRate float64
+	// Burst, when non-nil, layers a Gilbert–Elliott two-state burst-loss
+	// model on top of LossRate.
+	Burst *BurstLoss
+	// BytesPerSecond, when positive, polices the link to that rate with
+	// a token bucket; datagrams beyond the budget are dropped, not
+	// queued.
+	BytesPerSecond int
+	// BurstBytes is the policing bucket depth. Zero means one second's
+	// worth of BytesPerSecond.
+	BurstBytes int
 }
 
 type endpoint struct {
 	mu     sync.Mutex
-	rng    *rand.Rand
+	shaper *Shaper
 	cfg    LinkConfig
 	peer   *endpoint
 	inbox  chan []byte
@@ -76,14 +97,10 @@ func newEndpoint(cfg LinkConfig) *endpoint {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 1024
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
 	return &endpoint{
-		rng:   rand.New(rand.NewSource(seed)),
-		cfg:   cfg,
-		inbox: make(chan []byte, cfg.QueueLen),
+		shaper: NewShaper(cfg),
+		cfg:    cfg,
+		inbox:  make(chan []byte, cfg.QueueLen),
 	}
 }
 
@@ -96,23 +113,33 @@ func (e *endpoint) Send(pkt []byte) error {
 		return ErrClosed
 	}
 	e.sent++
-	if e.cfg.LossRate > 0 && e.rng.Float64() < e.cfg.LossRate {
+	v := e.shaper.Shape(time.Now(), len(pkt), e.held == nil)
+	if v.Drop {
 		e.dropped++
 		e.mu.Unlock()
 		return nil // silently lost, like UDP
 	}
 	buf := append([]byte(nil), pkt...)
 	var deliverFirst, deliverSecond []byte
-	if e.held != nil {
+	switch {
+	case e.held != nil:
 		// A previously held datagram goes out after this one.
 		deliverFirst, deliverSecond = buf, e.held
 		e.held = nil
-	} else if e.cfg.ReorderRate > 0 && e.rng.Float64() < e.cfg.ReorderRate {
+	case v.Hold:
 		e.held = buf
-	} else {
+		if v.Duplicate {
+			// The duplicate copy is not held; it ships now, so the two
+			// copies themselves arrive out of order.
+			deliverFirst = append([]byte(nil), buf...)
+		}
+	default:
 		deliverFirst = buf
+		if v.Duplicate {
+			deliverSecond = append([]byte(nil), buf...)
+		}
 	}
-	delay := e.cfg.Delay
+	delay := v.Delay
 	peer := e.peer
 	e.mu.Unlock()
 
@@ -123,6 +150,9 @@ func (e *endpoint) Send(pkt []byte) error {
 		if deliverSecond != nil {
 			peer.enqueue(deliverSecond)
 		}
+	}
+	if deliverFirst == nil && deliverSecond == nil {
+		return nil
 	}
 	if delay > 0 {
 		time.AfterFunc(delay, deliver)

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"appshare/internal/display"
+	"appshare/internal/region"
+)
+
+// Mix interleaves several workloads, stepping each one per Step — e.g. a
+// presenter typing while a video region plays. The composite is as
+// deterministic as its parts.
+type Mix struct {
+	Parts []Workload
+}
+
+// Name implements Workload.
+func (m *Mix) Name() string {
+	name := "mix("
+	for i, p := range m.Parts {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	return name + ")"
+}
+
+// Step implements Workload.
+func (m *Mix) Step() {
+	for _, p := range m.Parts {
+		p.Step()
+	}
+}
+
+// factories maps the scenario-descriptor spellings to constructors, so a
+// one-line scenario like "typing over burst-ge" can name its workload as
+// a string. win is the primary shared window; drag additionally needs
+// the desktop.
+var factories = map[string]func(desk *display.Desktop, win *display.Window, seed int64) Workload{
+	"idle":      func(_ *display.Desktop, _ *display.Window, _ int64) Workload { return Idle{} },
+	"typing":    func(_ *display.Desktop, win *display.Window, seed int64) Workload { return NewTyping(win, 12, seed) },
+	"scrolling": func(_ *display.Desktop, win *display.Window, seed int64) Workload { return NewScrolling(win, 2, seed) },
+	"slideshow": func(_ *display.Desktop, win *display.Window, seed int64) Workload { return NewSlideshow(win, 5, seed) },
+	"video": func(_ *display.Desktop, win *display.Window, seed int64) Workload {
+		b := win.Bounds()
+		w, h := b.Width/3, b.Height/3
+		if w < 16 {
+			w = b.Width
+		}
+		if h < 16 {
+			h = b.Height
+		}
+		return NewVideoRegion(win, region.XYWH(8, 8, w, h), seed)
+	},
+	"windowdrag": func(desk *display.Desktop, win *display.Window, seed int64) Workload {
+		return NewWindowDrag(desk, win.ID(), seed)
+	},
+	"typing+video": func(desk *display.Desktop, win *display.Window, seed int64) Workload {
+		b := win.Bounds()
+		vw, vh := b.Width/4, b.Height/4
+		if vw < 16 {
+			vw = b.Width
+		}
+		if vh < 16 {
+			vh = b.Height
+		}
+		return &Mix{Parts: []Workload{
+			NewTyping(win, 8, seed),
+			NewVideoRegion(win, region.XYWH(b.Width-vw-4, b.Height-vh-4, vw, vh), seed+1),
+		}}
+	},
+}
+
+// ByName constructs the named workload over the given desktop/window with
+// the given seed. Names returns the valid spellings.
+func ByName(name string, desk *display.Desktop, win *display.Window, seed int64) (Workload, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (valid: %v)", name, Names())
+	}
+	return f(desk, win, seed), nil
+}
+
+// Names lists the workloads ByName accepts, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
