@@ -72,6 +72,12 @@ type (
 	// EvictionPolicy selects how the host's health sweep reacts to
 	// sustained congestion.
 	EvictionPolicy = ah.EvictionPolicy
+	// LadderConfig tunes the congestion-adaptive quality ladder; assign
+	// a non-nil *LadderConfig to HostConfig.Ladder to enable it (see
+	// DESIGN.md "Congestion-adaptive quality ladder").
+	LadderConfig = ah.LadderConfig
+	// QualityTier is one rung of the per-remote quality ladder.
+	QualityTier = ah.QualityTier
 
 	// Participant is the receiving endpoint.
 	Participant = participant.Participant
@@ -169,6 +175,15 @@ const (
 	EvictionMonitor         = ah.EvictionMonitor
 	EvictionDegrade         = ah.EvictionDegrade
 	EvictionDegradeThenDrop = ah.EvictionDegradeThenDrop
+)
+
+// Quality-ladder tiers, ordered full fidelity first (see
+// HostConfig.Ladder and Remote.QualityTier).
+const (
+	TierFull         = ah.TierFull
+	TierDecimated    = ah.TierDecimated
+	TierScaled       = ah.TierScaled
+	TierKeyframeOnly = ah.TierKeyframeOnly
 )
 
 // ErrHostClosed is returned by operations on a closed Host.

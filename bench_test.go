@@ -583,3 +583,57 @@ func BenchmarkE20RefreshCache(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE21LadderTiers measures one host tick delivering a video
+// region to a viewer pinned on each quality-ladder rung: the per-tier
+// cost a congested viewer pays (ns/op) and the wire bytes each tier
+// actually ships. Decimation should cut bytes by ~1/DecimateEvery,
+// the scaled tier by whatever the pixelation saves, and keyframe-only
+// to window-structure noise.
+func BenchmarkE21LadderTiers(b *testing.B) {
+	tiers := []struct {
+		name string
+		tier appshare.QualityTier
+	}{
+		{"full", appshare.TierFull},
+		{"decimated", appshare.TierDecimated},
+		{"scaled", appshare.TierScaled},
+		{"keyframe", appshare.TierKeyframeOnly},
+	}
+	for _, tc := range tiers {
+		b.Run(tc.name, func(b *testing.B) {
+			desk := appshare.NewDesktop(1280, 1024)
+			win := desk.CreateWindow(1, appshare.XYWH(100, 80, 512, 384))
+			// A generous backlog limit keeps Section 7 backpressure out of
+			// the measurement: the tier policy alone decides what ships.
+			host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk, BacklogLimit: 8 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer host.Close()
+			hostEnd, partEnd := benchStreamPair()
+			go io.Copy(io.Discard, partEnd)
+			r, err := host.AttachStream("v", hostEnd, appshare.StreamOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			vid := workload.NewVideoRegion(win, appshare.XYWH(0, 0, 192, 144), 17)
+			if err := host.Tick(); err != nil { // drain attach-time state
+				b.Fatal(err)
+			}
+			r.PinQualityTier(tc.tier)
+			before := r.Health().SentOctets
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vid.Step()
+				if err := host.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sent := r.Health().SentOctets - before
+			b.ReportMetric(float64(sent)/float64(b.N), "wire-bytes/tick")
+		})
+	}
+}

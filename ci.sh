@@ -14,6 +14,10 @@ go test -race ./...
 # goroutine scheduling, so run them repeatedly under -race to shake out
 # timing sensitivity before it lands.
 go test -race -count=5 -run Liveness . ./internal/ah ./internal/transport
+# Same treatment for the quality-ladder tests: the controller mixes the
+# virtual sweep clock with real sink goroutines, and its hysteresis
+# assertions are exactly the kind that only flake under load.
+go test -race -count=5 -run Ladder . ./internal/ah
 # Scenario-matrix smoke: every netsim profile with all oracles, the
 # replay-determinism check and the planted-fault mutation checks, under
 # the race detector (short profiles, fixed seeds — see EXPERIMENTS.md

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"image/color"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"appshare"
+	"appshare/internal/capture"
+	"appshare/internal/workload"
+)
+
+func rgba(r, g, b byte) color.RGBA { return color.RGBA{R: r, G: g, B: b, A: 255} }
+
+// Baseline mode: run the three pipeline benchmarks the repo tracks over
+// time (E19 parallel encode, E20 refresh cache, E21 ladder tiers) via
+// testing.Benchmark and emit machine-readable JSON. The committed
+// BENCH_baseline.json is the first recorded point; regenerate with
+//
+//	go run ./cmd/ads-bench -baseline BENCH_baseline.json
+//
+// and compare shapes (serial vs parallel, cache vs nocache, bytes per
+// tier), not absolute nanoseconds — those belong to the machine.
+
+type baselineResult struct {
+	Name            string             `json:"name"`
+	Iterations      int                `json:"iterations"`
+	NsPerOp         float64            `json:"ns_per_op"`
+	AllocsPerOp     int64              `json:"allocs_per_op"`
+	AllocBytesPerOp int64              `json:"alloc_bytes_per_op"`
+	Metrics         map[string]float64 `json:"metrics,omitempty"`
+}
+
+type baselineFile struct {
+	Schema     int              `json:"schema"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu"`
+	Benchmarks []baselineResult `json:"benchmarks"`
+}
+
+func runBaseline(path string) error {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"E19ParallelEncode/rects-8/serial", func(b *testing.B) { benchParallelEncode(b, 8, -1) }},
+		{"E19ParallelEncode/rects-8/parallel", func(b *testing.B) { benchParallelEncode(b, 8, 0) }},
+		{"E20RefreshCache/cache", func(b *testing.B) { benchRefreshCache(b, 0) }},
+		{"E20RefreshCache/nocache", func(b *testing.B) { benchRefreshCache(b, -1) }},
+		{"E21LadderTiers/full", func(b *testing.B) { benchLadderTier(b, appshare.TierFull) }},
+		{"E21LadderTiers/decimated", func(b *testing.B) { benchLadderTier(b, appshare.TierDecimated) }},
+		{"E21LadderTiers/scaled", func(b *testing.B) { benchLadderTier(b, appshare.TierScaled) }},
+		{"E21LadderTiers/keyframe", func(b *testing.B) { benchLadderTier(b, appshare.TierKeyframeOnly) }},
+	}
+	out := baselineFile{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, bm := range benches {
+		fmt.Fprintf(os.Stderr, "baseline: running %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		res := baselineResult{
+			Name:            bm.name,
+			Iterations:      r.N,
+			NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:     r.AllocsPerOp(),
+			AllocBytesPerOp: r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		out.Benchmarks = append(out.Benchmarks, res)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// benchParallelEncode mirrors BenchmarkE19ParallelEncode (bench_test.go)
+// for one rect count: a capture tick encoding fresh dirty rects with the
+// payload cache disabled, serial (-1) versus pool-sized (0) workers.
+func benchParallelEncode(b *testing.B, rects, workers int) {
+	desk := appshare.NewDesktop(1600, 1200)
+	win := desk.CreateWindow(1, appshare.XYWH(0, 0, 1536, 1152))
+	pipe, err := capture.New(desk, appshare.CaptureOptions{
+		EncodeWorkers: workers,
+		CacheBytes:    -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pipe.Tick(); err != nil {
+		b.Fatal(err)
+	}
+	var payload uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < rects; r++ {
+			c := rgba(byte(i), byte(r*37), byte(i>>8))
+			win.Fill(appshare.XYWH((r%4)*380, (r/4)*280, 160, 120), c)
+		}
+		batch, err := pipe.Tick()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, up := range batch.Updates {
+			payload += uint64(len(up.Msg.Content))
+		}
+	}
+	b.ReportMetric(float64(payload)/float64(b.N), "payload-bytes/tick")
+}
+
+// benchRefreshCache mirrors BenchmarkE20RefreshCache: a full refresh
+// served to 8 stream participants with the payload cache on (0) or
+// off (-1).
+func benchRefreshCache(b *testing.B, cacheBytes int) {
+	const joiners = 8
+	desk := appshare.NewDesktop(1280, 1024)
+	win := desk.CreateWindow(1, appshare.XYWH(64, 48, 640, 480))
+	win.Fill(appshare.XYWH(0, 0, 640, 480), rgba(40, 90, 160))
+	win.DrawText(16, 20, "static slide content", rgba(0, 0, 0))
+	host, err := appshare.NewHost(appshare.HostConfig{
+		Desktop: desk,
+		Capture: appshare.CaptureOptions{CacheBytes: cacheBytes},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer host.Close()
+	var remotes []*appshare.Remote
+	for i := 0; i < joiners; i++ {
+		hostEnd, partEnd := pipePair()
+		go io.Copy(io.Discard, partEnd)
+		r, err := host.AttachStream(fmt.Sprintf("p%d", i), hostEnd, appshare.StreamOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		remotes = append(remotes, r)
+	}
+	if err := host.Tick(); err != nil {
+		b.Fatal(err)
+	}
+	before := host.EncodeMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range remotes {
+			if err := host.RequestRefresh(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	m := host.EncodeMetrics()
+	encodes := (m.ParallelJobs + m.SerialJobs) - (before.ParallelJobs + before.SerialJobs)
+	if cacheBytes >= 0 {
+		encodes = m.Cache.Misses - before.Cache.Misses
+		if lookups := (m.Cache.Hits + m.Cache.Misses) - (before.Cache.Hits + before.Cache.Misses); lookups > 0 {
+			hits := m.Cache.Hits - before.Cache.Hits
+			b.ReportMetric(float64(hits)/float64(lookups), "hit-rate")
+		}
+	}
+	b.ReportMetric(float64(encodes)/float64(b.N), "encodes/fanout")
+}
+
+// benchLadderTier mirrors BenchmarkE21LadderTiers: one host tick
+// delivering a video region to a viewer pinned on the given rung.
+func benchLadderTier(b *testing.B, tier appshare.QualityTier) {
+	desk := appshare.NewDesktop(1280, 1024)
+	win := desk.CreateWindow(1, appshare.XYWH(100, 80, 512, 384))
+	// A generous backlog limit keeps Section 7 backpressure out of the
+	// measurement: the tier policy alone decides what ships.
+	host, err := appshare.NewHost(appshare.HostConfig{Desktop: desk, BacklogLimit: 8 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer host.Close()
+	hostEnd, partEnd := pipePair()
+	go io.Copy(io.Discard, partEnd)
+	r, err := host.AttachStream("v", hostEnd, appshare.StreamOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vid := workload.NewVideoRegion(win, appshare.XYWH(0, 0, 192, 144), 17)
+	if err := host.Tick(); err != nil {
+		b.Fatal(err)
+	}
+	r.PinQualityTier(tier)
+	before := r.Health().SentOctets
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vid.Step()
+		if err := host.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	sent := r.Health().SentOctets - before
+	b.ReportMetric(float64(sent)/float64(b.N), "wire-bytes/tick")
+}
+
+// pipePair is an in-memory stream pair for the baseline benchmarks.
+func pipePair() (a, b io.ReadWriteCloser) {
+	ar, bw := io.Pipe()
+	br, aw := io.Pipe()
+	a = &pipeDuplex{Reader: ar, Writer: aw, c1: ar, c2: aw}
+	b = &pipeDuplex{Reader: br, Writer: bw, c1: br, c2: bw}
+	return a, b
+}
+
+type pipeDuplex struct {
+	io.Reader
+	io.Writer
+	c1, c2 io.Closer
+}
+
+func (d *pipeDuplex) Close() error {
+	_ = d.c2.Close()
+	return d.c1.Close()
+}

@@ -37,8 +37,15 @@ func main() {
 	scenarios := flag.Bool("scenarios", false, "run the deterministic network-simulation matrix instead of experiments")
 	scenario := flag.String("scenario", "", "with -scenarios: run only this scenario (default: full matrix)")
 	seed := flag.Int64("seed", 0, "with -scenarios: override every scenario's seed (0 = built-in seeds)")
+	baseline := flag.String("baseline", "", "run the tracked pipeline benchmarks (E19/E20/E21) and write JSON to this path (- for stdout)")
 	flag.Parse()
 
+	if *baseline != "" {
+		if err := runBaseline(*baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *scenarios {
 		if !runScenarios(*scenario, *seed) {
 			os.Exit(1)

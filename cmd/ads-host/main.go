@@ -38,6 +38,11 @@ func main() {
 		backlogDwell  = flag.Duration("backlog-dwell", 0, "congestion budget before degrade/evict (0 = off)")
 		eviction      = flag.String("eviction", "monitor", "congestion policy: monitor|degrade|drop")
 		readIdle      = flag.Duration("read-idle", 0, "drop a TCP participant sending nothing for this long (0 = never)")
+
+		ladder        = flag.Bool("quality-ladder", false, "enable the per-participant congestion-adaptive quality ladder")
+		ladderDemote  = flag.Duration("ladder-demote", 0, "congestion streak before dropping one quality tier (0 = default)")
+		ladderPromote = flag.Duration("ladder-promote", 0, "clean streak before climbing one quality tier (0 = default)")
+		ladderDwell   = flag.Duration("ladder-dwell", 0, "minimum time between tier moves for one participant (0 = default)")
 	)
 	flag.Parse()
 
@@ -93,6 +98,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var ladderCfg *appshare.LadderConfig
+	if *ladder {
+		ladderCfg = &appshare.LadderConfig{
+			DemoteAfter:  *ladderDemote,
+			PromoteAfter: *ladderPromote,
+			MinTierDwell: *ladderDwell,
+		}
+	}
 	st := appshare.NewStats()
 	host, err := appshare.NewHost(appshare.HostConfig{
 		Desktop:         desk,
@@ -102,6 +115,7 @@ func main() {
 		RemoteTimeout:   *remoteTimeout,
 		MaxBacklogDwell: *backlogDwell,
 		EvictionPolicy:  policy,
+		Ladder:          ladderCfg,
 		OnEvict: func(snap appshare.RemoteHealth) {
 			log.Printf("evicted participant %s: %s", snap.ID, snap.EvictReason)
 		},
@@ -163,11 +177,11 @@ func main() {
 				log.Printf("rtcp reports: %v", err)
 			}
 			for _, hs := range host.RemoteHealth() {
-				if hs.State == appshare.HealthHealthy {
+				if hs.State == appshare.HealthHealthy && hs.Tier == appshare.TierFull {
 					continue
 				}
-				log.Printf("participant %s %s: backlog %dB dwell %v stall %v reason=%q",
-					hs.ID, hs.State, hs.QueuedBytes, hs.BacklogDwell, hs.SendStall, hs.EvictReason)
+				log.Printf("participant %s %s tier=%s: backlog %dB dwell %v stall %v flaps=%d reason=%q",
+					hs.ID, hs.State, hs.Tier, hs.QueuedBytes, hs.BacklogDwell, hs.SendStall, hs.TierFlaps, hs.EvictReason)
 			}
 		case <-stop:
 			if *showStats {

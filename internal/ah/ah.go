@@ -97,6 +97,12 @@ type Config struct {
 	// OnEvict, when non-nil, is called (outside host locks) with the
 	// final health snapshot of every remote the sweep evicts.
 	OnEvict func(RemoteHealth)
+	// Ladder, when non-nil, enables the congestion-adaptive quality
+	// ladder (see ladder.go): the health sweep walks each remote through
+	// ordered delivery tiers instead of the binary degrade check.
+	// Zero-valued fields take the ladder defaults. The config is copied
+	// at New; later mutation has no effect.
+	Ladder *LadderConfig
 }
 
 // ErrHostClosed is returned by operations on a closed Host.
@@ -175,6 +181,10 @@ func New(cfg Config) (*Host, error) {
 	}
 	if cfg.AutoHIDStatus && cfg.Floor == nil {
 		return nil, errors.New("ah: AutoHIDStatus requires a Floor")
+	}
+	if cfg.Ladder != nil {
+		lc := cfg.Ladder.withDefaults()
+		cfg.Ladder = &lc
 	}
 	pipeline, err := capture.New(cfg.Desktop, cfg.Capture)
 	if err != nil {
@@ -322,6 +332,15 @@ func (h *Host) encodeRegionLocked(rect region.Rect) ([]capture.Update, error) {
 	return h.pipeline.EncodeRegion(rect)
 }
 
+// encodeRegionDegradedLocked re-captures one deferred region pixelated
+// at the given block size — the TierScaled encode variant. Host lock
+// held.
+func (h *Host) encodeRegionDegradedLocked(rect region.Rect, block int) ([]capture.Update, error) {
+	h.capMu.Lock()
+	defer h.capMu.Unlock()
+	return h.pipeline.EncodeRegionDegraded(rect, block)
+}
+
 // capturePointerLocked builds a full MousePointerInfo under the capture
 // lock. Host lock held.
 func (h *Host) capturePointerLocked() (*remoting.MousePointerInfo, error) {
@@ -461,6 +480,10 @@ func (h *Host) insertRemote(r *Remote, unique bool) error {
 	now := h.cfg.Now()
 	r.attachedAt = now
 	r.healthSince = now
+	r.tierSince = now
+	if h.cfg.Ladder != nil {
+		r.promoteWait = h.cfg.Ladder.PromoteAfter
+	}
 	h.remotes[r] = struct{}{}
 	return nil
 }

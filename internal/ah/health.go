@@ -146,6 +146,16 @@ type RemoteHealth struct {
 	EvictReason string
 	// EvictedAt is when the eviction happened (zero while attached).
 	EvictedAt time.Time
+	// Tier is the current quality-ladder rung (TierFull when the ladder
+	// is disabled and the remote is healthy; see ladder.go).
+	Tier QualityTier
+	// TierSince is when the current tier was entered (zero when the
+	// ladder has never moved this remote).
+	TierSince time.Time
+	// TierTransitions counts ladder moves in either direction;
+	// TierFlaps counts demotions that landed inside the flap window of
+	// a promotion (each doubled the promote backoff).
+	TierTransitions, TierFlaps uint64
 }
 
 // evictLogMax bounds the retained history of evicted remotes surfaced
@@ -182,24 +192,28 @@ func (r *Remote) healthSnapshotLocked(now time.Time) RemoteHealth {
 	}
 	drained, discarded := r.sink.drainStats()
 	hs := RemoteHealth{
-		ID:             r.id,
-		UserID:         r.userID,
-		State:          r.health,
-		Since:          r.healthSince,
-		LastHeard:      r.lastHeard,
-		LastRR:         r.lastRRAt,
-		RTT:            r.rtt,
-		QueuedBytes:    r.sink.queued(),
-		BacklogDwell:   dwell,
-		SendStall:      r.sink.stalled(),
-		DeferStreak:    r.deferStreak,
-		MaxDeferStreak: r.maxDeferStreak,
-		Deferrals:      r.deferrals,
-		SentPackets:    r.sentPackets,
-		SentOctets:     r.sentOctets,
-		DrainedBytes:   drained,
-		DiscardedBytes: discarded,
-		EvictReason:    r.evictReason,
+		ID:              r.id,
+		UserID:          r.userID,
+		State:           r.health,
+		Since:           r.healthSince,
+		LastHeard:       r.lastHeard,
+		LastRR:          r.lastRRAt,
+		RTT:             r.rtt,
+		QueuedBytes:     r.sink.queued(),
+		BacklogDwell:    dwell,
+		SendStall:       r.sink.stalled(),
+		DeferStreak:     r.deferStreak,
+		MaxDeferStreak:  r.maxDeferStreak,
+		Deferrals:       r.deferrals,
+		SentPackets:     r.sentPackets,
+		SentOctets:      r.sentOctets,
+		DrainedBytes:    drained,
+		DiscardedBytes:  discarded,
+		EvictReason:     r.evictReason,
+		Tier:            r.effectiveTierLocked(),
+		TierSince:       r.tierSince,
+		TierTransitions: r.tierTransitions,
+		TierFlaps:       r.tierFlaps,
 	}
 	if r.lastRR.Valid {
 		hs.FractionLost = float64(r.lastRR.FractionLost) / 256
@@ -271,6 +285,12 @@ func (h *Host) sweepHealthLocked(now time.Time) []evicted {
 			continue
 		}
 
+		if h.cfg.Ladder != nil {
+			// The quality ladder replaces the binary degrade check with
+			// its graded controller (see ladder.go).
+			h.ladderSweepLocked(r, now)
+			continue
+		}
 		if r.health == HealthHealthy && h.shouldDegradeLocked(r, now) {
 			r.health = HealthDegraded
 			r.healthSince = now

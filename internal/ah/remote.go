@@ -65,6 +65,18 @@ type Remote struct {
 	needResync       bool
 	evictReason      string
 
+	// Quality-ladder state (see ladder.go); guarded by host.mu.
+	tier            QualityTier
+	tierSince       time.Time
+	tierPinned      bool
+	congestedSince  time.Time
+	cleanSince      time.Time
+	lastPromoteAt   time.Time
+	promoteWait     time.Duration
+	tierTransitions uint64
+	tierFlaps       uint64
+	decimTicks      int
+
 	// Retransmission log (UDP participants, Section 5.3.2): recent
 	// packets by sequence number.
 	retrans  map[uint16][]byte
@@ -159,13 +171,16 @@ func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
 		r.deferStreak = 0
 	}
 
-	if r.health == HealthDegraded {
-		// Keyframe-only degraded mode: stop accumulating per-region
-		// detail for a viewer that cannot keep up — the pending set is
-		// what a wedged remote grows without bound. Window structure
-		// still goes out; the pixels are owed as one full refresh once
-		// the link drains.
-		if backlogged || r.sink.backlogged(0) {
+	switch r.effectiveTierLocked() {
+	case TierKeyframeOnly:
+		// Keyframe-only mode: stop accumulating per-region detail for a
+		// viewer that cannot keep up — the pending set is what a wedged
+		// remote grows without bound. Window structure still goes out;
+		// the pixels are owed as one full refresh on the way back up.
+		if backlogged || r.sink.backlogged(0) || r.host.cfg.Ladder != nil || r.tierPinned {
+			// With the ladder enabled the controller owns the climb back
+			// out (promoteLocked latches the refresh); only the legacy
+			// health path self-recovers here.
 			r.pending.Clear()
 			r.pendingPointer = false
 			r.needResync = true
@@ -175,6 +190,39 @@ func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
 		// this Tick's refresh pass send the keyframe.
 		r.host.recoverLocked(r, r.host.cfg.Now())
 		return r.sendPrepared(prep.wmOnly())
+
+	case TierScaled:
+		// Pixelated delivery: fold this batch into the pending set and
+		// flush it re-encoded at reduced detail. Moves cannot ship as
+		// MoveRectangle here for the same reason as the fold path below —
+		// the flushed updates already carry post-move content.
+		if backlogged {
+			r.deferScreenData(b)
+			return r.sendPrepared(prep.wmOnly())
+		}
+		r.foldScreenData(b)
+		if err := r.sendPrepared(prep.wmOnly()); err != nil {
+			return err
+		}
+		block := r.host.scaleBlock()
+		return r.flushPendingWith(func(rect region.Rect) ([]capture.Update, error) {
+			return r.host.encodeRegionDegradedLocked(rect, block)
+		})
+
+	case TierDecimated:
+		// Frame decimation: pixels flush on every Nth tick only; the
+		// off-cycle ticks fold their damage into the pending set, so
+		// what eventually ships is the freshest content, coalesced.
+		r.decimTicks++
+		if r.decimTicks%r.host.decimateEvery() != 0 {
+			if backlogged {
+				r.deferScreenData(b)
+			} else {
+				r.foldScreenData(b)
+			}
+			return r.sendPrepared(prep.wmOnly())
+		}
+		// On-cycle: fall through to the full-fidelity path below.
 	}
 
 	if backlogged {
@@ -193,8 +241,7 @@ func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
 	// as freshly captured updates (Section 7's "most recent screen
 	// data"). Window state still leads the flush.
 	if !r.pending.Empty() || r.pendingPointer {
-		r.deferScreenData(b)
-		r.deferrals-- // folding is not a new deferral
+		r.foldScreenData(b)
 		if err := r.sendPrepared(prep.wmOnly()); err != nil {
 			return err
 		}
@@ -203,8 +250,17 @@ func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
 	return r.sendPrepared(prep.msgs)
 }
 
+// deferScreenData folds the batch into the pending set AND counts a
+// deferral (the link refused this tick's pixels).
 func (r *Remote) deferScreenData(b *capture.Batch) {
 	r.deferrals++
+	r.foldScreenData(b)
+}
+
+// foldScreenData merges the batch's damage into the pending set without
+// counting a deferral — used when folding is a delivery-policy choice
+// (outstanding regions, decimation off-cycle) rather than backpressure.
+func (r *Remote) foldScreenData(b *capture.Batch) {
 	for _, mv := range b.Moves {
 		r.pending.Add(mv.Src())
 		r.pending.Add(mv.Dst())
@@ -218,9 +274,15 @@ func (r *Remote) deferScreenData(b *capture.Batch) {
 }
 
 func (r *Remote) flushPending() error {
+	return r.flushPendingWith(r.host.encodeRegionLocked)
+}
+
+// flushPendingWith flushes the pending set through an arbitrary region
+// encoder (full-fidelity or a degraded tier variant). Host lock held.
+func (r *Remote) flushPendingWith(encode func(region.Rect) ([]capture.Update, error)) error {
 	var ups []capture.Update
 	for _, rect := range r.pending.Coalesce(1024) {
-		u, err := r.host.encodeRegionLocked(rect)
+		u, err := encode(rect)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,162 @@
+package capture
+
+import (
+	"bytes"
+	"image/color"
+	"testing"
+
+	"appshare/internal/codec"
+	"appshare/internal/display"
+	"appshare/internal/region"
+)
+
+// paintStripes draws a 1px-column gradient into the window's top-left
+// sq×sq corner — content whose pixelation is trivially checkable (every
+// block collapses to its top-left column's color) and whose pixelated
+// form still differs between block sizes.
+func paintStripes(w *display.Window, sq int) {
+	for i := 0; i < sq; i++ {
+		w.Fill(region.XYWH(i, 0, 1, sq), color.RGBA{uint8(i * 15), 0, uint8(255 - i*15), 0xFF})
+	}
+}
+
+// TestDegradedEncodePixelates verifies the TierScaled encode variant:
+// same geometry as EncodeRegion, but every block×block cell collapsed
+// to its top-left pixel — and that block<2 degrades gracefully to the
+// full-fidelity path.
+func TestDegradedEncodePixelates(t *testing.T) {
+	p, _, w := newPipeline(t, Options{})
+	paintStripes(w, 16)
+	dr := region.XYWH(220, 150, 16, 16) // window top-left corner, absolute
+
+	full, err := p.EncodeRegion(dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := p.EncodeRegionDegraded(dr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 1 || len(deg) != 1 {
+		t.Fatalf("updates = %d full, %d degraded, want 1 each", len(full), len(deg))
+	}
+	fm, dm := full[0].Msg, deg[0].Msg
+	if dm.Left != fm.Left || dm.Top != fm.Top || dm.WindowID != fm.WindowID {
+		t.Fatalf("degraded geometry %+v differs from full %+v", dm, fm)
+	}
+	if bytes.Equal(dm.Content, fm.Content) {
+		t.Fatal("degraded encode produced full-fidelity payload")
+	}
+
+	img, err := (codec.PNG{}).Decode(dm.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 16 || img.Bounds().Dy() != 16 {
+		t.Fatalf("degraded content size = %v, want 16x16", img.Bounds())
+	}
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			want := img.RGBAAt((x/4)*4, (y/4)*4)
+			if got := img.RGBAAt(x, y); got != want {
+				t.Fatalf("pixel (%d,%d) = %v, want block corner %v", x, y, got, want)
+			}
+		}
+	}
+	// The gradient guarantees distinct block corners — the pixelated
+	// image is banded, not a flat fill.
+	if img.RGBAAt(0, 0) == img.RGBAAt(4, 0) {
+		t.Fatal("adjacent blocks collapsed to the same color: test pattern lost")
+	}
+	if want := (color.RGBA{0, 0, 255, 255}); img.RGBAAt(0, 0) != want {
+		t.Fatalf("block (0,0) = %v, want top-left column color %v", img.RGBAAt(0, 0), want)
+	}
+
+	// block<2 is the escape hatch back to full fidelity.
+	same, err := p.EncodeRegionDegraded(dr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same) != 1 || !bytes.Equal(same[0].Msg.Content, fm.Content) {
+		t.Fatal("block<2 did not fall back to the full-fidelity encode")
+	}
+}
+
+// TestDegradedEncodeTierKeyedCache verifies the (content, tier) payload
+// cache: full and degraded encodes of the same pixels never collide,
+// different block sizes never collide, and repeated degraded encodes of
+// unchanged content hit without re-encoding (the fast path hashes the
+// SOURCE pixels, so a hit skips the pixelation pass too).
+func TestDegradedEncodeTierKeyedCache(t *testing.T) {
+	p, _, w := newPipeline(t, Options{})
+	paintStripes(w, 16)
+	dr := region.XYWH(220, 150, 16, 16)
+
+	full, err := p.EncodeRegion(dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := p.Metrics().Cache
+
+	deg1, err := p.EncodeRegionDegraded(dr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := p.Metrics().Cache
+	if m1.Misses != m0.Misses+1 || m1.Hits != m0.Hits {
+		t.Fatalf("first degraded encode: misses %d->%d hits %d->%d, want one fresh miss (no collision with the full-fidelity entry)",
+			m0.Misses, m1.Misses, m0.Hits, m1.Hits)
+	}
+
+	deg2, err := p.EncodeRegionDegraded(dr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := p.Metrics().Cache
+	if m2.Hits != m1.Hits+1 || m2.Misses != m1.Misses {
+		t.Fatalf("repeat degraded encode: misses %d->%d hits %d->%d, want a pure hit",
+			m1.Misses, m2.Misses, m1.Hits, m2.Hits)
+	}
+	if !bytes.Equal(deg1[0].Msg.Content, deg2[0].Msg.Content) {
+		t.Fatal("cache hit served different degraded payload")
+	}
+
+	// A different block size is a different tier salt: fresh miss.
+	deg8, err := p.EncodeRegionDegraded(dr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := p.Metrics().Cache
+	if m3.Misses != m2.Misses+1 {
+		t.Fatalf("block-8 encode reused another tier's payload: misses %d->%d", m2.Misses, m3.Misses)
+	}
+	if bytes.Equal(deg8[0].Msg.Content, deg1[0].Msg.Content) {
+		t.Fatal("block sizes 4 and 8 produced identical payloads")
+	}
+
+	// The full-fidelity entry survived untouched.
+	full2, err := p.EncodeRegion(dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4 := p.Metrics().Cache
+	if m4.Hits != m3.Hits+1 || m4.Misses != m3.Misses {
+		t.Fatalf("full re-encode after degraded traffic: misses %d->%d hits %d->%d, want a pure hit",
+			m3.Misses, m4.Misses, m3.Hits, m4.Hits)
+	}
+	if !bytes.Equal(full2[0].Msg.Content, full[0].Msg.Content) {
+		t.Fatal("full-fidelity payload changed after degraded encodes")
+	}
+
+	// A cache-disabled pipeline must produce byte-identical degraded
+	// content — the cache is an optimization, never an identity.
+	p2, _, w2 := newPipeline(t, Options{CacheBytes: -1})
+	paintStripes(w2, 16)
+	deg3, err := p2.EncodeRegionDegraded(dr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(deg3[0].Msg.Content, deg1[0].Msg.Content) {
+		t.Fatal("cache-disabled degraded payload differs from cached path")
+	}
+}

@@ -158,6 +158,18 @@ func KeyFor(pt uint8, src *image.RGBA, r image.Rectangle) CacheKey {
 	return CacheKey{PT: pt, W: r.Dx(), H: r.Dy(), H1: h1, H2: h2}
 }
 
+// KeyForTier is KeyFor with a tier salt folded into both hash lanes, so
+// degraded encode variants of the same pixels (pixelated at different
+// block sizes, decimated, etc.) occupy distinct cache slots: the
+// effective key is (content, tier), never colliding with the
+// full-fidelity payload for identical source pixels.
+func KeyForTier(pt uint8, salt uint32, src *image.RGBA, r image.Rectangle) CacheKey {
+	k := KeyFor(pt, src, r)
+	k.H1 = (k.H1 ^ uint64(salt)) * fnvPrime64
+	k.H2 = (k.H2 ^ (uint64(salt) << 32)) * fnvPrime64
+	return k
+}
+
 // FNV-1a 64-bit parameters, plus an independent second basis for the
 // second hash lane.
 const (

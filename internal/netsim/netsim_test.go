@@ -72,7 +72,7 @@ func TestDeriveSeed(t *testing.T) {
 }
 
 func TestStreamConnBudgetGate(t *testing.T) {
-	c := newStreamConn(4)
+	c := newStreamConn(true)
 	c.grant(4)
 	wrote := make(chan error, 1)
 	go func() {
@@ -121,11 +121,11 @@ func TestStreamConnBudgetGate(t *testing.T) {
 }
 
 func TestStreamConnUnlimited(t *testing.T) {
-	c := newStreamConn(0) // <=0 means no budget modeling
+	c := newStreamConn(false) // unlimited: no budget modeling
 	if n, err := c.Write(make([]byte, 1<<16)); n != 1<<16 || err != nil {
 		t.Fatalf("unlimited write = (%d, %v)", n, err)
 	}
-	c2 := newStreamConn(8)
+	c2 := newStreamConn(true)
 	c2.setUnlimited()
 	if n, err := c2.Write(make([]byte, 999)); n != 999 || err != nil {
 		t.Fatalf("write after setUnlimited = (%d, %v)", n, err)

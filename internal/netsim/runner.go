@@ -82,6 +82,20 @@ func (v *viewerState) silencedAt(tick int) bool {
 	return v.spec.SilenceAfterTick > 0 && tick >= v.spec.SilenceAfterTick
 }
 
+// budgetAtTick resolves the TCP byte budget for one tick: the last
+// schedule phase whose FromTick has been reached, or
+// StreamBudgetPerTick before (or without) any phase.
+func (v *viewerState) budgetAtTick(tick int) int {
+	b := v.spec.StreamBudgetPerTick
+	for _, ph := range v.spec.StreamBudgetSchedule {
+		if tick < ph.FromTick {
+			break
+		}
+		b = ph.Budget
+	}
+	return b
+}
+
 type runner struct {
 	sc    Scenario
 	clk   *vclock
@@ -207,6 +221,17 @@ func validate(sc Scenario) error {
 			if !pristineLink(prof.Down) || !pristineLink(prof.Up) || len(prof.Partitions) > 0 {
 				return fmt.Errorf("netsim: TCP viewer %q: link impairments are modeled by StreamBudgetPerTick, not profile %q", vs.Name, prof.Name)
 			}
+			for i, ph := range vs.StreamBudgetSchedule {
+				if ph.Budget <= 0 {
+					return fmt.Errorf("netsim: TCP viewer %q: budget phase %d has non-positive budget %d", vs.Name, i, ph.Budget)
+				}
+				if i > 0 && ph.FromTick <= vs.StreamBudgetSchedule[i-1].FromTick {
+					return fmt.Errorf("netsim: TCP viewer %q: budget schedule not sorted by ascending FromTick at phase %d", vs.Name, i)
+				}
+				if ph.FromTick < 0 || ph.FromTick >= sc.Ticks {
+					return fmt.Errorf("netsim: TCP viewer %q: budget phase %d starts at tick %d outside [0,%d)", vs.Name, i, ph.FromTick, sc.Ticks)
+				}
+			}
 		case KindMulticast:
 			if !lossOnly(prof.Down) {
 				return fmt.Errorf("netsim: multicast viewer %q: subscriber link %q must impair through loss only", vs.Name, prof.Name)
@@ -274,6 +299,7 @@ func Run(sc Scenario) (*Result, error) {
 		MaxBacklogDwell: sc.MaxBacklogDwell,
 		EvictionPolicy:  policy,
 		BacklogLimit:    sc.BacklogLimit,
+		Ladder:          sc.Ladder,
 		OnEvict:         func(snap ah.RemoteHealth) { r.pendingEvicts = append(r.pendingEvicts, snap) },
 	})
 	if err != nil {
@@ -347,6 +373,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	res := &Result{Scenario: sc.String(), Seed: sc.Seed, TicksRun: r.ticksRun}
+	res.QualityDemotes = r.coll.Get("QualityDemote").Messages
+	res.QualityPromotes = r.coll.Get("QualityPromote").Messages
+	res.QualityFlaps = r.coll.Get("QualityFlap").Messages
 	r.runOracles(res)
 
 	// Detach everything only after the oracles ran: live remotes carry
@@ -423,12 +452,20 @@ func (r *runner) runTick(tick int, quiesce bool) {
 
 	for _, v := range r.viewers {
 		if v.sconn != nil && v.joined && !v.evicted && !r.bypass {
-			v.sconn.grant(v.spec.StreamBudgetPerTick)
+			v.sconn.grant(v.budgetAtTick(tick))
 		}
 	}
 	for _, v := range r.viewers {
 		if v.sconn != nil && v.joined {
 			r.settleStream(v)
+			if len(v.spec.StreamBudgetSchedule) > 0 && !r.bypass {
+				// Budget-schedule conns live tick to tick: surplus from a
+				// generous phase expires at the boundary so the next
+				// phase's squeeze takes effect immediately and the
+				// queue-empty-or-budget-zero invariant holds at the next
+				// sweep.
+				v.sconn.expire()
+			}
 		}
 	}
 	r.drainMulticast()
@@ -456,7 +493,7 @@ func (r *runner) attach(v *viewerState) error {
 		}
 		v.remote = rem
 	case KindTCP:
-		v.sconn = newStreamConn(v.spec.StreamBudgetPerTick)
+		v.sconn = newStreamConn(v.spec.StreamBudgetPerTick > 0 || len(v.spec.StreamBudgetSchedule) > 0)
 		rem, err := r.host.AttachStream(v.name, v.sconn, ah.StreamOptions{})
 		if err != nil {
 			return err

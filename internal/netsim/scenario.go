@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"appshare/internal/ah"
 	"appshare/internal/trace"
 	"appshare/internal/transport"
 )
@@ -100,6 +101,22 @@ type ViewerSpec struct {
 	// path accepts per tick; 0 = unlimited. A small budget makes the
 	// host's send backlog grow deterministically.
 	StreamBudgetPerTick int
+	// StreamBudgetSchedule (TCP only) varies the per-tick budget over
+	// the main run: each phase applies from its FromTick until the next
+	// phase starts. Phases must be sorted by ascending FromTick with
+	// positive budgets. Ticks before the first phase use
+	// StreamBudgetPerTick. Unspent budget expires at each tick boundary
+	// (see streamConn.expire), so a generous phase cannot mask a tight
+	// one — this is how degrade-mid-run-then-heal links are modeled.
+	StreamBudgetSchedule []BudgetPhase
+}
+
+// BudgetPhase is one step of a TCP viewer's budget schedule.
+type BudgetPhase struct {
+	// FromTick is the first tick this budget applies to.
+	FromTick int
+	// Budget is the per-tick byte budget during the phase (> 0).
+	Budget int
 }
 
 // Fault is a deliberately seeded defect for oracle mutation checks: a
@@ -153,6 +170,11 @@ type Scenario struct {
 	MaxBacklogDwell time.Duration
 	EvictionPolicy  string // "", "monitor", "degrade", "drop"
 	BacklogLimit    int
+	// Ladder, when non-nil, enables the host's congestion-adaptive
+	// quality ladder (ah.Config.Ladder) with these knobs. Simulations
+	// use thresholds scaled to TickInterval, far tighter than the
+	// wall-clock library defaults.
+	Ladder *ah.LadderConfig
 
 	// QuiesceTicks bounds the lossless settle phase appended after the
 	// main run (default 80): links heal, the workload freezes (except a
@@ -196,6 +218,11 @@ type Result struct {
 	Oracles []OracleResult
 	// TicksRun counts main + quiesce ticks actually executed.
 	TicksRun int
+	// QualityDemotes, QualityPromotes and QualityFlaps are the host's
+	// quality-ladder transition counts for the whole run (zero when the
+	// ladder is disabled) — the observables the ladder scenarios assert
+	// on.
+	QualityDemotes, QualityPromotes, QualityFlaps uint64
 }
 
 // Passed reports whether every oracle held.
@@ -335,6 +362,40 @@ func Matrix() []Scenario {
 			Expect:          Expectations{Evicted: []string{"slow"}},
 		},
 		{
+			Name: "ladder-degrade-heal", Seed: 114, Workload: "slideshow",
+			Profile: Profile{Name: "pristine"},
+			Ticks:   48,
+			Viewers: []ViewerSpec{
+				{Name: "obs", Kind: KindUDP},
+				{Name: "squeezed", Kind: KindTCP, StreamBudgetSchedule: []BudgetPhase{
+					{FromTick: 0, Budget: 1 << 20},  // ample: full fidelity
+					{FromTick: 12, Budget: 700},     // mid-run squeeze
+					{FromTick: 34, Budget: 1 << 20}, // heal
+				}},
+			},
+			BacklogLimit: 4 << 10,
+			Ladder:       simLadder(),
+		},
+		{
+			Name: "ladder-flap", Seed: 115, Workload: "slideshow",
+			Profile: Profile{Name: "pristine"},
+			Ticks:   44,
+			Viewers: []ViewerSpec{
+				{Name: "obs", Kind: KindUDP},
+				{Name: "flappy", Kind: KindTCP, StreamBudgetSchedule: []BudgetPhase{
+					{FromTick: 0, Budget: 1 << 20},
+					{FromTick: 8, Budget: 700},
+					{FromTick: 14, Budget: 1 << 20},
+					{FromTick: 20, Budget: 700},
+					{FromTick: 26, Budget: 1 << 20},
+					{FromTick: 32, Budget: 700},
+					{FromTick: 38, Budget: 1 << 20},
+				}},
+			},
+			BacklogLimit: 4 << 10,
+			Ladder:       simLadder(),
+		},
+		{
 			Name: "multicast-nack", Seed: 113, Workload: "typing",
 			Profile: Profile{Name: "pristine"},
 			Viewers: []ViewerSpec{
@@ -343,6 +404,23 @@ func Matrix() []Scenario {
 					Profile: &Profile{Name: "mc-burst", Down: transport.LinkConfig{Burst: ge}}},
 			},
 		},
+	}
+}
+
+// simLadder returns the quality-ladder knobs the ladder scenarios use:
+// thresholds scaled to the 40ms tick (demote after 3 congested sweeps,
+// promote after 6 clean ones) so the controller acts within a short
+// simulated run. Fresh per call — ah.New copies the config, but matrix
+// entries must never share mutable state.
+func simLadder() *ah.LadderConfig {
+	return &ah.LadderConfig{
+		DemoteAfter:    120 * time.Millisecond,
+		PromoteAfter:   240 * time.Millisecond,
+		MinTierDwell:   80 * time.Millisecond,
+		FlapWindow:     640 * time.Millisecond,
+		MaxPromoteWait: 2 * time.Second,
+		DecimateEvery:  3,
+		ScaleBlock:     4,
 	}
 }
 

@@ -35,10 +35,10 @@ type streamConn struct {
 	done    chan struct{}
 }
 
-func newStreamConn(budgetPerTick int) *streamConn {
+func newStreamConn(limited bool) *streamConn {
 	c := &streamConn{done: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
-	if budgetPerTick <= 0 {
+	if !limited {
 		c.budget = -1
 	}
 	return c
@@ -104,6 +104,20 @@ func (c *streamConn) grant(n int) {
 	if c.budget >= 0 && n > 0 {
 		c.budget += int64(n)
 		c.cond.Broadcast()
+	}
+}
+
+// expire zeroes any budget left over from this tick (no-op on unlimited
+// or already-empty conns). Budget-schedule viewers call it after the
+// settle loop so a generous phase's surplus cannot leak into a tight
+// phase: the invariant that at every grant/sweep point either the send
+// queue is empty or the budget is zero — what makes the host's backlog
+// samples deterministic — survives a mid-run budget downgrade.
+func (c *streamConn) expire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget > 0 {
+		c.budget = 0
 	}
 }
 

@@ -8,20 +8,46 @@ import "image"
 // The protocol always carries full-resolution pixels; a small-screen
 // participant scales at display time.
 
+// MinScale and MaxScale bound the supported scale factors. Factors
+// outside the range are clamped, never silently ignored: a caller
+// asking for a 99x blow-up gets the largest supported rendering, not a
+// full-resolution image masquerading as a scaled one.
+const (
+	MinScale = 1.0 / 16
+	MaxScale = 4.0
+)
+
+// clampScale forces a factor into [MinScale, MaxScale]. Non-finite and
+// non-positive factors (0, negatives, NaN) clamp to MinScale.
+func clampScale(f float64) float64 {
+	if !(f > MinScale) { // catches NaN too
+		return MinScale
+	}
+	if f > MaxScale {
+		return MaxScale
+	}
+	return f
+}
+
 // RenderScaled composites the participant screen and scales it by the
-// given factor (0 < scale <= 4) with nearest-neighbor sampling — cheap,
-// and exact for the flat-color regions that dominate screen content.
+// given factor with nearest-neighbor sampling — cheap, and exact for
+// the flat-color regions that dominate screen content. Factors are
+// clamped to [MinScale, MaxScale]; factor 1 (after clamping) returns
+// the full-resolution render.
 func (p *Participant) RenderScaled(scale float64) *image.RGBA {
 	full := p.Render()
-	if scale == 1 || scale <= 0 || scale > 4 {
+	if clampScale(scale) == 1 {
 		return full
 	}
 	return ScaleImage(full, scale)
 }
 
 // ScaleImage returns src resized by factor with nearest-neighbor
-// sampling.
+// sampling. The factor is clamped to [MinScale, MaxScale], and the
+// result is never smaller than 1×1 even when a tiny source rounds a
+// dimension below one pixel.
 func ScaleImage(src *image.RGBA, factor float64) *image.RGBA {
+	factor = clampScale(factor)
 	sb := src.Bounds()
 	w := int(float64(sb.Dx()) * factor)
 	h := int(float64(sb.Dy()) * factor)

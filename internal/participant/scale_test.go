@@ -65,11 +65,49 @@ func TestRenderScaled(t *testing.T) {
 	if got := half.RGBAAt(10, 10); got != red {
 		t.Fatalf("scaled pixel = %v", got)
 	}
-	// Factor 1 and out-of-range factors return full size.
+	// Factor 1 returns full size; out-of-range factors clamp instead of
+	// silently returning a full-resolution image.
 	if got := p.RenderScaled(1).Bounds(); got.Dx() != 200 {
 		t.Fatalf("unit scale = %v", got)
 	}
-	if got := p.RenderScaled(99).Bounds(); got.Dx() != 200 {
-		t.Fatalf("out-of-range scale = %v", got)
+	if got := p.RenderScaled(99).Bounds(); got.Dx() != 200*4 {
+		t.Fatalf("out-of-range scale = %v, want clamp to MaxScale (800 wide)", got)
+	}
+}
+
+// TestScaleClampBoundaries pins the clamp contract on the boundary
+// factors: zero and negative clamp to MinScale, MaxScale is exact,
+// beyond-max clamps to MaxScale, and a tiny source whose scaled
+// dimension rounds below one pixel still yields a 1px-minimum image.
+func TestScaleClampBoundaries(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 200, 100))
+	cases := []struct {
+		name         string
+		factor       float64
+		wantW, wantH int
+	}{
+		{"zero-clamps-to-min", 0, 12, 6}, // 200/16=12.5 truncates
+		{"negative-clamps-to-min", -3, 12, 6},
+		{"below-min-clamps", 1.0 / 64, 12, 6},
+		{"min-exact", MinScale, 12, 6},
+		{"max-exact", 4, 800, 400},
+		{"above-max-clamps", 99, 800, 400},
+		{"interior-untouched", 0.5, 100, 50},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := ScaleImage(src, tc.factor)
+			if dst.Bounds().Dx() != tc.wantW || dst.Bounds().Dy() != tc.wantH {
+				t.Fatalf("ScaleImage(%v) size = %dx%d, want %dx%d",
+					tc.factor, dst.Bounds().Dx(), dst.Bounds().Dy(), tc.wantW, tc.wantH)
+			}
+		})
+	}
+
+	// Tiny source: 3x2 at MinScale rounds both dimensions below one
+	// pixel; the result must still be a valid 1x1 image.
+	tiny := ScaleImage(image.NewRGBA(image.Rect(0, 0, 3, 2)), MinScale)
+	if tiny.Bounds().Dx() != 1 || tiny.Bounds().Dy() != 1 {
+		t.Fatalf("tiny source at MinScale = %v, want 1x1", tiny.Bounds())
 	}
 }

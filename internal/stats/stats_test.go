@@ -57,7 +57,10 @@ func TestCollectorConcurrent(t *testing.T) {
 // unsynchronized path.
 func TestCollectorSnapshotDuringIncrement(t *testing.T) {
 	c := NewCollector()
-	kinds := []string{"EncodeCacheHit", "EncodeCacheMiss", "HealthEvict", "RegionUpdate"}
+	kinds := []string{
+		"EncodeCacheHit", "EncodeCacheMiss", "HealthEvict", "RegionUpdate",
+		"QualityDemote", "QualityPromote", "QualityFlap",
+	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
@@ -108,8 +111,8 @@ func TestCollectorSnapshotDuringIncrement(t *testing.T) {
 	}
 }
 
-// TestCollectorKindsAcrossReset cycles the encode-cache and health
-// kinds the host records through Reset: a cycle must zero them without
+// TestCollectorKindsAcrossReset cycles the encode-cache, health and
+// quality-ladder kinds the host records through Reset: a cycle must zero them without
 // poisoning later recording, and RecordN's zero-valued no-op must not
 // materialize a counter.
 func TestCollectorKindsAcrossReset(t *testing.T) {
@@ -117,6 +120,7 @@ func TestCollectorKindsAcrossReset(t *testing.T) {
 		"EncodeCacheHit", "EncodeCacheMiss", "EncodeCacheEvict",
 		"EncodeParallel", "EncodeSerial",
 		"HealthEvict",
+		"QualityDemote", "QualityPromote", "QualityFlap",
 	}
 	c := NewCollector()
 	for round := 1; round <= 3; round++ {

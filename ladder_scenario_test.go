@@ -1,0 +1,145 @@
+package appshare_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"appshare/internal/netsim"
+)
+
+// maxFlapTransitions is the ladder-flap scenario's oscillation budget:
+// with hysteresis (dwell, demote/promote streaks, exponential promote
+// backoff) the controller must ride out three squeeze/heal cycles in
+// at most this many tier moves. The mutation check below proves the
+// bound has teeth: disabling hysteresis on the same link blows past it.
+const maxFlapTransitions = 12
+
+// viewerRecords extracts the delivery/feedback/drop journal records
+// ('D', 'U', 'X') belonging to one viewer index, keeping offsets.
+func viewerRecords(res *netsim.Result, idx byte, until time.Duration) (offs []time.Duration, pkts [][]byte) {
+	for _, rec := range res.Journal {
+		if rec.Offset >= until {
+			continue
+		}
+		if len(rec.Packet) < 2 || rec.Packet[1] != idx {
+			continue
+		}
+		switch rec.Packet[0] {
+		case 'D', 'U', 'X':
+			offs = append(offs, rec.Offset)
+			pkts = append(pkts, rec.Packet)
+		}
+	}
+	return offs, pkts
+}
+
+// TestLadderScenarioDegradeHeal runs the degrade-mid-run-then-heal
+// profile and checks the tentpole acceptance criteria: with the ladder
+// enabled every oracle passes (including byte-identical convergence of
+// the squeezed viewer after heal), the controller demonstrably demoted
+// and promoted, and the unimpaired observer's journal during the main
+// phase is byte-identical to a ladder-off run — per-remote degradation
+// must never perturb what a healthy viewer receives.
+func TestLadderScenarioDegradeHeal(t *testing.T) {
+	sc, err := netsim.ByName("ladder-degrade-heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := netsim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range on.Oracles {
+		if !o.Passed {
+			t.Errorf("ladder-on oracle %s failed: %s", o.Name, o.Detail)
+		}
+	}
+	if on.QualityDemotes == 0 {
+		t.Error("squeeze phase produced no demotions: the ladder never engaged")
+	}
+	if on.QualityPromotes == 0 {
+		t.Error("heal phase produced no promotions: the squeezed viewer never climbed back")
+	}
+	t.Logf("ladder-on: demotes=%d promotes=%d flaps=%d ticks=%d",
+		on.QualityDemotes, on.QualityPromotes, on.QualityFlaps, on.TicksRun)
+
+	off := sc
+	off.Ladder = nil
+	offRes, err := netsim.Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offRes.QualityDemotes != 0 || offRes.QualityPromotes != 0 {
+		t.Fatalf("ladder-off run recorded tier transitions: %d/%d",
+			offRes.QualityDemotes, offRes.QualityPromotes)
+	}
+
+	// The observer is sc.Viewers[0] ("obs"); the runner prepends the
+	// "_ref" reference viewer at index 0, so obs journals at index 1.
+	// Compare its main-phase records only: the quiesce tail legitimately
+	// differs in length (the settle loop exits as soon as every viewer
+	// converges, and the squeezed viewer's recovery time depends on the
+	// ladder).
+	mainDur := time.Duration(sc.Ticks) * 40 * time.Millisecond
+	onOffs, onPkts := viewerRecords(on, 1, mainDur)
+	offOffs, offPkts := viewerRecords(offRes, 1, mainDur)
+	if len(onPkts) != len(offPkts) {
+		t.Fatalf("observer main-phase record count differs: ladder-on %d vs ladder-off %d",
+			len(onPkts), len(offPkts))
+	}
+	for i := range onPkts {
+		if onOffs[i] != offOffs[i] || !bytes.Equal(onPkts[i], offPkts[i]) {
+			t.Fatalf("observer record %d differs between ladder-on and ladder-off runs (offset %v vs %v)",
+				i, onOffs[i], offOffs[i])
+		}
+	}
+	t.Logf("observer identical across runs: %d main-phase records", len(onPkts))
+}
+
+// TestLadderScenarioFlappingLink drives the ladder over a link that
+// squeezes and heals three times, asserting the hysteresis keeps the
+// tier oscillation bounded — and, via the NoHysteresis mutation, that
+// the bound actually discriminates: the same link with the hysteresis
+// disabled must blow past it. A flap-count assertion that cannot go
+// red proves nothing.
+func TestLadderScenarioFlappingLink(t *testing.T) {
+	sc, err := netsim.ByName("ladder-flap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netsim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Oracles {
+		if !o.Passed {
+			t.Errorf("oracle %s failed: %s", o.Name, o.Detail)
+		}
+	}
+	transitions := res.QualityDemotes + res.QualityPromotes
+	if transitions == 0 {
+		t.Fatal("flapping link produced no tier transitions: the ladder never engaged")
+	}
+	if transitions > maxFlapTransitions {
+		t.Fatalf("hysteresis failed to damp the flapping link: %d transitions (budget %d)",
+			transitions, maxFlapTransitions)
+	}
+	t.Logf("with hysteresis: demotes=%d promotes=%d flaps=%d (budget %d)",
+		res.QualityDemotes, res.QualityPromotes, res.QualityFlaps, maxFlapTransitions)
+
+	mut := sc
+	lc := *sc.Ladder
+	lc.NoHysteresis = true
+	mut.Ladder = &lc
+	mutRes, err := netsim.Run(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutTransitions := mutRes.QualityDemotes + mutRes.QualityPromotes
+	if mutTransitions <= maxFlapTransitions {
+		t.Fatalf("mutation check: hysteresis disabled yet only %d transitions (budget %d) — the flap bound has no teeth",
+			mutTransitions, maxFlapTransitions)
+	}
+	t.Logf("without hysteresis: %d transitions — assertion demonstrably discriminates", mutTransitions)
+}
