@@ -10,6 +10,7 @@ import (
 	"image"
 	"image/color"
 	"io"
+	"sync"
 	"testing"
 	"time"
 
@@ -448,6 +449,84 @@ func BenchmarkE18Validate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := host.InjectEvent(remote, ev); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// discardConn is a transport.PacketConn that accepts everything and
+// blocks Recv until Close — the cheapest possible UDP viewer, so the
+// fan-out benchmarks measure the host's send path, not a peer. It
+// implements transport.BatchSender so the sharded path's batched writes
+// take their fast path, as a real sendmmsg-backed socket would.
+type discardConn struct {
+	done chan struct{}
+	once sync.Once
+}
+
+func newDiscardConn() *discardConn { return &discardConn{done: make(chan struct{})} }
+
+func (c *discardConn) Send(pkt []byte) error { return nil }
+
+func (c *discardConn) SendBatch(pkts [][]byte) (int, error) { return len(pkts), nil }
+
+func (c *discardConn) Recv() ([]byte, error) {
+	<-c.done
+	return nil, io.EOF
+}
+
+func (c *discardConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// BenchmarkE22ShardedFanout measures one host tick fanning a small
+// dirty region out to large attached UDP populations: the viewers-vs-
+// tick-latency curve behind the sharded send path. "single-lock" pins
+// SendShards=1 (the pre-sharding path: one mutex, per-packet sends,
+// inline fan-out); "sharded" uses SendShards=0 (GOMAXPROCS shards, one
+// persistent sender goroutine each, batched writes). On a single-proc
+// run the two should be within noise of each other — the sharding win
+// needs real cores; the batching win shows up in allocs/op either way.
+func BenchmarkE22ShardedFanout(b *testing.B) {
+	for _, viewers := range []int{128, 1000, 4000, 10000} {
+		// sharded follows GOMAXPROCS (the production config; on a
+		// single-proc run it clamps to one shard and matches
+		// single-lock); sharded-x4 forces four sender goroutines plus
+		// the tick barrier so the coordination overhead is visible even
+		// without cores to spread across.
+		for _, mode := range []struct {
+			name   string
+			shards int
+		}{{"single-lock", 1}, {"sharded", 0}, {"sharded-x4", 4}} {
+			b.Run(fmt.Sprintf("viewers-%d/%s", viewers, mode.name), func(b *testing.B) {
+				desk := appshare.NewDesktop(640, 480)
+				win := desk.CreateWindow(1, appshare.XYWH(0, 0, 512, 384))
+				host, err := appshare.NewHost(appshare.HostConfig{
+					Desktop:    desk,
+					SendShards: mode.shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer host.Close()
+				for i := 0; i < viewers; i++ {
+					if _, err := host.AttachPacketConn(fmt.Sprintf("v%d", i), newDiscardConn(), appshare.PacketOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				ty := workload.NewTyping(win, 64, 7)
+				if err := host.Tick(); err != nil { // drain initial damage
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ty.Step()
+					if err := host.Tick(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -23,3 +23,16 @@ go test -race -count=5 -run Ladder . ./internal/ah
 # the race detector (short profiles, fixed seeds — see EXPERIMENTS.md
 # Section C).
 go test -race -count=1 -run 'ScenarioMatrix|ScenarioDeterminism|ScenarioMutation' .
+# Sharded send path gates (see DESIGN.md "Sharded send path"). Storm
+# scenarios at flash-crowd scale with every oracle armed, plus the
+# shard-count replay-invariance proof, under the race detector.
+go test -race -count=1 -run 'TestScenarioStorms|TestStormShardInvariance' .
+# Shard churn: concurrent flash-crowd attach/detach/evict against the
+# tick loop with counter reconciliation, and the per-remote byte-stream
+# parity proof, on one and four procs.
+go test -race -cpu 1,4 -count=2 -run 'TestShardChurnFlashCrowd|TestShardByteStreamParity' ./internal/ah
+# Bench drift: re-measure the sharded fan-out tick latency and fail on
+# a >20% regression against the committed curve (absolute comparison
+# only when the environment matches the committed file; the fresh
+# sharded-vs-single-lock overhead check always applies).
+go run ./cmd/ads-bench -drift BENCH_sharded_fanout.json

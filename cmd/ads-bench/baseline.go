@@ -36,12 +36,26 @@ type baselineResult struct {
 }
 
 type baselineFile struct {
-	Schema     int              `json:"schema"`
-	GoVersion  string           `json:"go_version"`
-	GOOS       string           `json:"goos"`
-	GOARCH     string           `json:"goarch"`
-	NumCPU     int              `json:"num_cpu"`
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is what the parallelism benchmarks actually ran with —
+	// NumCPU alone is misleading in cgroup-limited containers, where a
+	// many-core box may still schedule Go on one proc.
+	GOMAXPROCS int              `json:"gomaxprocs"`
 	Benchmarks []baselineResult `json:"benchmarks"`
+}
+
+// warnSingleProc flags parallelism results that cannot show a
+// parallel win because the process had one scheduler proc.
+func warnSingleProc(what string) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintf(os.Stderr,
+			"warning: GOMAXPROCS=1 — the %s benchmarks are running serially; parallel-vs-serial and sharded-vs-single-lock shapes are not meaningful on this run\n",
+			what)
+	}
 }
 
 func runBaseline(path string) error {
@@ -59,12 +73,14 @@ func runBaseline(path string) error {
 		{"E21LadderTiers/keyframe", func(b *testing.B) { benchLadderTier(b, appshare.TierKeyframeOnly) }},
 	}
 	out := baselineFile{
-		Schema:    1,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	warnSingleProc("E19 parallel-encode")
 	for _, bm := range benches {
 		fmt.Fprintf(os.Stderr, "baseline: running %s...\n", bm.name)
 		r := testing.Benchmark(bm.fn)

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"appshare"
+	"appshare/internal/workload"
+)
+
+// Fanout mode: measure the viewers-vs-tick-latency curve of the sharded
+// send path (mirrors BenchmarkE22ShardedFanout) and emit machine-readable
+// JSON. The committed BENCH_sharded_fanout.json is the tracked point;
+// regenerate with
+//
+//	go run ./cmd/ads-bench -fanout BENCH_sharded_fanout.json
+//
+// Drift mode re-measures a subset and fails on regressions:
+//
+//	go run ./cmd/ads-bench -drift BENCH_sharded_fanout.json
+//
+// Two checks run per population. First, fresh-vs-fresh: the sharded
+// build must never be more than 20% slower than the single-lock build
+// measured in the same process — that comparison is machine-independent
+// and catches the sharding machinery itself regressing. Second,
+// fresh-vs-committed: when the committed file was recorded on a matching
+// environment (same GOARCH and GOMAXPROCS), absolute sharded tick
+// latency must be within 20% of the committed number. On a mismatched
+// environment the absolute diff is skipped with a warning — nanoseconds
+// belong to the machine that produced them.
+
+// fanoutPopulations is the full recorded curve.
+var fanoutPopulations = []int{128, 1000, 4000, 10000}
+
+// driftPopulations is the subset the CI drift gate re-measures (the
+// full curve at 10k viewers is too slow to rerun on every commit).
+var driftPopulations = []int{1000, 4000}
+
+type fanoutPoint struct {
+	Viewers int `json:"viewers"`
+	// Tick latencies in nanoseconds per Host.Tick at this population.
+	SingleLockNs float64 `json:"single_lock_ns_per_tick"`
+	ShardedNs    float64 `json:"sharded_ns_per_tick"`
+	// ShardedX4Ns forces four shards regardless of GOMAXPROCS, making
+	// the sender-goroutine + barrier overhead visible even on one proc.
+	ShardedX4Ns float64 `json:"sharded_x4_ns_per_tick"`
+	// Speedup is SingleLockNs / ShardedNs (>1 means sharding wins).
+	Speedup     float64 `json:"speedup"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type fanoutFile struct {
+	Schema     int           `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Points     []fanoutPoint `json:"points"`
+}
+
+// benchFanout is one (population, shard-count) tick-latency measurement:
+// a host with `viewers` attached discard-conn UDP remotes delivering a
+// small typing region every tick.
+func benchFanout(b *testing.B, viewers, shards int) {
+	desk := appshare.NewDesktop(640, 480)
+	win := desk.CreateWindow(1, appshare.XYWH(0, 0, 512, 384))
+	host, err := appshare.NewHost(appshare.HostConfig{
+		Desktop:    desk,
+		SendShards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer host.Close()
+	for i := 0; i < viewers; i++ {
+		if _, err := host.AttachPacketConn(fmt.Sprintf("v%d", i), newDiscardConn(), appshare.PacketOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ty := workload.NewTyping(win, 64, 7)
+	if err := host.Tick(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ty.Step()
+		if err := host.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discardConn mirrors the bench_test.go viewer: accept everything,
+// block Recv until Close so the pump goroutine stays parked and the
+// remote survives the measurement. SendBatch takes the sharded path's
+// batched-write fast path, as a real sendmmsg-backed socket would.
+type discardConn struct {
+	done chan struct{}
+	once sync.Once
+}
+
+func newDiscardConn() *discardConn { return &discardConn{done: make(chan struct{})} }
+
+func (c *discardConn) Send(pkt []byte) error { return nil }
+
+func (c *discardConn) SendBatch(pkts [][]byte) (int, error) { return len(pkts), nil }
+
+func (c *discardConn) Recv() ([]byte, error) {
+	<-c.done
+	return nil, io.EOF
+}
+
+func (c *discardConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// measureMode runs one (population, shard-count) leg reps times and
+// keeps the fastest run — the standard de-noising for wall-clock
+// benchmarks on shared machines, where GC pauses and scheduler
+// preemption only ever push a run slower, never faster.
+func measureMode(viewers, shards, reps int) (ns float64, allocs int64) {
+	for i := 0; i < reps; i++ {
+		r := testing.Benchmark(func(b *testing.B) { benchFanout(b, viewers, shards) })
+		if got := nsPerOp(r); i == 0 || got < ns {
+			ns = got
+			allocs = r.AllocsPerOp()
+		}
+	}
+	return ns, allocs
+}
+
+// measureFanout runs the three shard modes for each population.
+func measureFanout(populations []int, reps int) []fanoutPoint {
+	var points []fanoutPoint
+	for _, viewers := range populations {
+		fmt.Fprintf(os.Stderr, "fanout: measuring %d viewers...\n", viewers)
+		p := fanoutPoint{Viewers: viewers}
+		p.SingleLockNs, _ = measureMode(viewers, 1, reps)
+		p.ShardedNs, p.AllocsPerOp = measureMode(viewers, 0, reps)
+		p.ShardedX4Ns, _ = measureMode(viewers, 4, reps)
+		if p.ShardedNs > 0 {
+			p.Speedup = p.SingleLockNs / p.ShardedNs
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+func runFanout(path string) error {
+	warnSingleProc("sharded fan-out")
+	out := fanoutFile{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     measureFanout(fanoutPopulations, 2),
+	}
+	for _, p := range out.Points {
+		fmt.Printf("viewers=%-6d single-lock=%.2fms sharded=%.2fms (x%.2f) sharded-x4=%.2fms\n",
+			p.Viewers, p.SingleLockNs/1e6, p.ShardedNs/1e6, p.Speedup, p.ShardedX4Ns/1e6)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runDrift compares a fresh measurement against the committed fanout
+// file and returns an error on a >20% tick-latency regression.
+func runDrift(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed fanoutFile
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("drift: parsing %s: %w", path, err)
+	}
+	byViewers := make(map[int]fanoutPoint, len(committed.Points))
+	for _, p := range committed.Points {
+		byViewers[p.Viewers] = p
+	}
+	warnSingleProc("sharded fan-out drift")
+	envMatches := committed.GOARCH == runtime.GOARCH && committed.GOMAXPROCS == runtime.GOMAXPROCS(0)
+	if !envMatches {
+		fmt.Fprintf(os.Stderr,
+			"warning: committed baseline is %s/gomaxprocs=%d, this run is %s/gomaxprocs=%d — skipping absolute latency diffs\n",
+			committed.GOARCH, committed.GOMAXPROCS, runtime.GOARCH, runtime.GOMAXPROCS(0))
+	}
+
+	const tolerance = 1.20
+	var failures []string
+	for _, p := range measureFanout(driftPopulations, 3) {
+		fmt.Printf("drift: viewers=%-6d single-lock=%.2fms sharded=%.2fms (x%.2f)\n",
+			p.Viewers, p.SingleLockNs/1e6, p.ShardedNs/1e6, p.Speedup)
+		// Machine-independent: sharding must not cost >20% over the
+		// single-lock path measured in this same process.
+		if p.ShardedNs > p.SingleLockNs*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"viewers=%d: sharded tick %.2fms is >20%% slower than single-lock %.2fms",
+				p.Viewers, p.ShardedNs/1e6, p.SingleLockNs/1e6))
+		}
+		base, ok := byViewers[p.Viewers]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "warning: committed file has no %d-viewer point; skipping\n", p.Viewers)
+			continue
+		}
+		if envMatches && p.ShardedNs > base.ShardedNs*tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"viewers=%d: sharded tick %.2fms regressed >20%% against committed %.2fms",
+				p.Viewers, p.ShardedNs/1e6, base.ShardedNs/1e6))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "drift FAIL: "+f)
+		}
+		return fmt.Errorf("drift: %d tick-latency regression(s)", len(failures))
+	}
+	fmt.Println("drift: ok")
+	return nil
+}

@@ -38,10 +38,24 @@ func main() {
 	scenario := flag.String("scenario", "", "with -scenarios: run only this scenario (default: full matrix)")
 	seed := flag.Int64("seed", 0, "with -scenarios: override every scenario's seed (0 = built-in seeds)")
 	baseline := flag.String("baseline", "", "run the tracked pipeline benchmarks (E19/E20/E21) and write JSON to this path (- for stdout)")
+	fanout := flag.String("fanout", "", "run the sharded fan-out benchmarks (E22) and write JSON to this path (- for stdout)")
+	drift := flag.String("drift", "", "re-measure the fan-out benchmarks and fail on >20% tick-latency regression against this committed JSON")
 	flag.Parse()
 
 	if *baseline != "" {
 		if err := runBaseline(*baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *fanout != "" {
+		if err := runFanout(*fanout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *drift != "" {
+		if err := runDrift(*drift); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -43,6 +43,8 @@ func main() {
 		ladderDemote  = flag.Duration("ladder-demote", 0, "congestion streak before dropping one quality tier (0 = default)")
 		ladderPromote = flag.Duration("ladder-promote", 0, "clean streak before climbing one quality tier (0 = default)")
 		ladderDwell   = flag.Duration("ladder-dwell", 0, "minimum time between tier moves for one participant (0 = default)")
+
+		sendShards = flag.Int("send-shards", 0, "fan-out shards, each with its own sender goroutine (0 = GOMAXPROCS, 1 = inline single-lock fan-out)")
 	)
 	flag.Parse()
 
@@ -116,6 +118,7 @@ func main() {
 		MaxBacklogDwell: *backlogDwell,
 		EvictionPolicy:  policy,
 		Ladder:          ladderCfg,
+		SendShards:      *sendShards,
 		OnEvict: func(snap appshare.RemoteHealth) {
 			log.Printf("evicted participant %s: %s", snap.ID, snap.EvictReason)
 		},

@@ -15,7 +15,9 @@ package ah
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"appshare/internal/bfcp"
@@ -103,25 +105,45 @@ type Config struct {
 	// Zero-valued fields take the ladder defaults. The config is copied
 	// at New; later mutation has no effect.
 	Ladder *LadderConfig
+	// SendShards is the number of fan-out shards the remote set is split
+	// across (see shard.go): each shard has its own lock and persistent
+	// sender goroutine, so deliveries to different shards proceed in
+	// parallel. Zero means GOMAXPROCS at New time; 1 disables the sender
+	// goroutines entirely (fan-out runs inline on the Tick goroutine —
+	// the pre-sharding behavior); negative values are treated as 1.
+	SendShards int
 }
+
+// maxSendShards caps Config.SendShards: past the core count extra shards
+// only add scheduling overhead.
+const maxSendShards = 64
 
 // ErrHostClosed is returned by operations on a closed Host.
 var ErrHostClosed = errors.New("ah: host closed")
 
 // Host is an application host serving one sharing session.
 //
-// Lock order (see DESIGN.md "Parallel encode pipeline"): tickMu → mu →
-// capMu. Tick holds tickMu end to end; mu guards participant and queue
-// state and is NOT held while the tick's batch is captured and encoded,
-// so attach/detach and feedback stay responsive while the PNG workers
-// run; capMu serializes every capture-pipeline use (Tick, FullRefresh,
+// Lock order (see DESIGN.md "Sharded send path"): tickMu → mu →
+// shard.mu → capMu. Tick holds tickMu end to end; mu guards host-wide
+// queue state (HIP queue, eviction log, closed flag) and is NOT held
+// while the tick's batch is captured and encoded; each shard's lock
+// guards the per-remote state of the remotes assigned to it; capMu
+// serializes every capture-pipeline use (Tick, FullRefresh,
 // EncodeRegion) because the pipeline and the desktop journals are
-// single-reader structures.
+// single-reader structures. No path holds two shard locks at once.
 type Host struct {
 	mu       sync.Mutex
 	cfg      Config
 	pipeline *capture.Pipeline
-	remotes  map[*Remote]struct{}
+	// shards partitions the remote set (see shard.go); immutable after
+	// New. nRemotes mirrors the total attached count so Participants()
+	// is a lock-free read; nextShard drives round-robin assignment.
+	shards    []*shard
+	nRemotes  atomic.Int64
+	nextShard atomic.Uint64
+	// senderStop, closed at Close, terminates the per-shard sender
+	// goroutines and flips fan-out publishes to inline execution.
+	senderStop chan struct{}
 	// hipErrors counts rejected HIP events (illegitimate coordinates,
 	// floor violations, malformed packets, queue overflow).
 	hipErrors uint64
@@ -136,8 +158,8 @@ type Host struct {
 	// concurrent Ticks cannot interleave capture and fan-out (which
 	// would reorder updates on the wire).
 	tickMu sync.Mutex
-	// capMu serializes capture-pipeline access; acquired after mu on
-	// paths that hold both.
+	// capMu serializes capture-pipeline access; acquired after a shard
+	// lock on paths that hold both.
 	capMu sync.Mutex
 	// lastEnc is the encode-metric snapshot already flushed to
 	// cfg.Stats; guarded by mu.
@@ -186,15 +208,37 @@ func New(cfg Config) (*Host, error) {
 		lc := cfg.Ladder.withDefaults()
 		cfg.Ladder = &lc
 	}
+	if cfg.SendShards == 0 {
+		cfg.SendShards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SendShards < 1 {
+		cfg.SendShards = 1
+	}
+	if cfg.SendShards > maxSendShards {
+		cfg.SendShards = maxSendShards
+	}
 	pipeline, err := capture.New(cfg.Desktop, cfg.Capture)
 	if err != nil {
 		return nil, err
 	}
-	return &Host{
-		cfg:      cfg,
-		pipeline: pipeline,
-		remotes:  make(map[*Remote]struct{}),
-	}, nil
+	h := &Host{
+		cfg:        cfg,
+		pipeline:   pipeline,
+		senderStop: make(chan struct{}),
+	}
+	h.shards = make([]*shard, cfg.SendShards)
+	for i := range h.shards {
+		s := &shard{
+			remotes: make(map[*Remote]struct{}),
+			work:    make(chan *shardWork),
+		}
+		s.pw = &shardWork{s: s}
+		h.shards[i] = s
+		if cfg.SendShards > 1 {
+			go h.sender(s)
+		}
+	}
+	return h, nil
 }
 
 // Desktop returns the shared desktop.
@@ -210,22 +254,24 @@ func (h *Host) HIPErrors() uint64 {
 	return h.hipErrors
 }
 
-// Participants returns the number of attached remotes.
+// Participants returns the number of attached remotes. It is a
+// lock-free read of a counter maintained on attach/detach/eviction, so
+// monitoring paths never contend with fan-out.
 func (h *Host) Participants() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.remotes)
+	return int(h.nRemotes.Load())
 }
 
 // Tick captures one round of desktop changes and fans the resulting
 // messages out to every participant. Call it at the desired frame rate.
 //
 // The expensive middle — compressing the tick's dirty rectangles across
-// the encode worker pool — runs without the host lock, so participants
-// can attach, detach and deliver feedback while the encoders work. The
-// batch is marshalled once and the shared payloads fan out to every
-// remote; likewise all PLIs latched since the last tick are answered
-// from a single full-refresh encode.
+// the encode worker pool — runs without any participant lock, so
+// participants can attach, detach and deliver feedback while the
+// encoders work. The batch is marshalled once and the shared payloads
+// fan out through the per-shard sender goroutines (see shard.go);
+// likewise all PLIs latched since the last tick are answered from a
+// single full-refresh encode, re-stamped per requester, so a PLI storm
+// from N late joiners costs ~one encode per window, not N.
 func (h *Host) Tick() error {
 	h.tickMu.Lock()
 	defer h.tickMu.Unlock()
@@ -239,13 +285,13 @@ func (h *Host) Tick() error {
 	// Drain queued participant input first: the events' effects land in
 	// this tick's capture, exactly as OS-queued input precedes a frame.
 	h.drainHIPLocked()
+	h.mu.Unlock()
 	// Health sweep runs at tick START so it samples the backlog state
 	// left over from the whole previous inter-tick interval: a healthy
 	// viewer has drained by now, a stalled one still holds bytes.
 	// Sweeping after delivery would instead sample the just-enqueued
 	// frame and see every viewer as momentarily backlogged.
-	evs := h.sweepHealthLocked(h.cfg.Now())
-	h.mu.Unlock()
+	evs := h.sweepHealth(h.cfg.Now())
 	// Transport teardown and eviction callbacks run unlocked: closing a
 	// wedged sink may block until its peer socket is torn down.
 	h.finishEvictions(evs)
@@ -262,42 +308,32 @@ func (h *Host) Tick() error {
 	}
 
 	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
 		return ErrHostClosed
 	}
-	var firstErr error
-	var refreshers []*Remote
-	for r := range h.remotes {
-		if err := r.deliver(batch, prep); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if r.refreshRequested {
-			// Serve the PLI latched since the last tick (or the resync a
-			// recovering degraded remote is owed), after the journal
-			// batch so the refresh snapshot is consistent with
-			// everything already emitted.
-			r.refreshRequested = false
-			refreshers = append(refreshers, r)
-		}
-	}
-	if len(refreshers) > 0 {
-		if err := h.serveRefreshersLocked(refreshers); err != nil && firstErr == nil {
+	firstErr, refreshers := h.fanout(phaseDeliver, batch, prep)
+	if refreshers {
+		// One full-refresh capture answers every shard's refreshers: the
+		// snapshot is encoded once (usually straight from the payload
+		// cache) and each shard re-stamps the shared messages per
+		// requester.
+		if err := h.serveRefreshers(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	h.mu.Lock()
 	h.recordEncodeMetricsLocked()
 	h.mu.Unlock()
 	return firstErr
 }
 
-// serveRefreshersLocked answers all latched PLIs with ONE full-refresh
-// capture: the snapshot is encoded once (and usually served straight
-// from the payload cache) and the marshalled messages are re-stamped
-// per requester. A PLI storm from N late joiners therefore costs ~one
-// encode per window, not N. Host lock held.
-func (h *Host) serveRefreshersLocked(refreshers []*Remote) error {
-	b, err := h.captureFullRefreshLocked()
+// serveRefreshers captures and prepares ONE full refresh on the Tick
+// goroutine (outside all shard locks) and fans it to the refreshers the
+// deliver phase collected.
+func (h *Host) serveRefreshers() error {
+	b, err := h.captureFullRefresh()
 	if err != nil {
 		return err
 	}
@@ -305,45 +341,36 @@ func (h *Host) serveRefreshersLocked(refreshers []*Remote) error {
 	if err != nil {
 		return err
 	}
-	var firstErr error
-	for _, r := range refreshers {
-		r.pending.Clear()
-		r.pendingPointer = false
-		if err := r.sendPrepared(prep.msgs); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	err, _ = h.fanout(phaseRefresh, nil, prep)
+	return err
 }
 
-// captureFullRefreshLocked snapshots the full participant state under
-// the capture lock. Host lock held (lock order mu → capMu).
-func (h *Host) captureFullRefreshLocked() (*capture.Batch, error) {
+// captureFullRefresh snapshots the full participant state. Serialized by
+// capMu alone; callers may additionally hold a shard lock (order
+// shard.mu → capMu).
+func (h *Host) captureFullRefresh() (*capture.Batch, error) {
 	h.capMu.Lock()
 	defer h.capMu.Unlock()
 	return h.pipeline.FullRefresh()
 }
 
-// encodeRegionLocked re-captures one deferred region under the capture
-// lock. Host lock held.
-func (h *Host) encodeRegionLocked(rect region.Rect) ([]capture.Update, error) {
+// encodeRegion re-captures one deferred region under the capture lock.
+func (h *Host) encodeRegion(rect region.Rect) ([]capture.Update, error) {
 	h.capMu.Lock()
 	defer h.capMu.Unlock()
 	return h.pipeline.EncodeRegion(rect)
 }
 
-// encodeRegionDegradedLocked re-captures one deferred region pixelated
-// at the given block size — the TierScaled encode variant. Host lock
-// held.
-func (h *Host) encodeRegionDegradedLocked(rect region.Rect, block int) ([]capture.Update, error) {
+// encodeRegionDegraded re-captures one deferred region pixelated at the
+// given block size — the TierScaled encode variant.
+func (h *Host) encodeRegionDegraded(rect region.Rect, block int) ([]capture.Update, error) {
 	h.capMu.Lock()
 	defer h.capMu.Unlock()
 	return h.pipeline.EncodeRegionDegraded(rect, block)
 }
 
-// capturePointerLocked builds a full MousePointerInfo under the capture
-// lock. Host lock held.
-func (h *Host) capturePointerLocked() (*remoting.MousePointerInfo, error) {
+// capturePointer builds a full MousePointerInfo under the capture lock.
+func (h *Host) capturePointer() (*remoting.MousePointerInfo, error) {
 	h.capMu.Lock()
 	defer h.capMu.Unlock()
 	return h.pipeline.FullRefreshPointer()
@@ -387,15 +414,28 @@ func (h *Host) Run(interval time.Duration, stop <-chan struct{}) error {
 	}
 }
 
-// Close detaches all participants.
+// Close detaches all participants and stops the shard senders. Like
+// every teardown path it snapshots membership under the locks and closes
+// transports outside them (closing a wedged sink may block); a Tick
+// racing this sees either ErrHostClosed or send errors from the closed
+// sinks — never a hung barrier, because closing senderStop flips fan-out
+// publishes to inline execution.
 func (h *Host) Close() error {
 	h.mu.Lock()
-	remotes := make([]*Remote, 0, len(h.remotes))
-	for r := range h.remotes {
-		remotes = append(remotes, r)
-	}
+	already := h.closed
 	h.closed = true
 	h.mu.Unlock()
+	if !already {
+		close(h.senderStop)
+	}
+	var remotes []*Remote
+	for _, s := range h.shards {
+		s.mu.Lock()
+		for r := range s.remotes {
+			remotes = append(remotes, r)
+		}
+		s.mu.Unlock()
+	}
 	for _, r := range remotes {
 		_ = r.Close()
 	}
@@ -406,6 +446,16 @@ func (h *Host) Close() error {
 // message registered per Section 9 — common header plus body) to every
 // participant. The payload must fit one RTP packet; fragmentation is
 // defined only for RegionUpdate and MousePointerInfo.
+//
+// Invariant shared with Tick's fan-out (see DESIGN.md "Sharded send
+// path"): stamping a remote's next sequence number and handing the
+// packet to its sink happen atomically under the owning shard's lock —
+// releasing the lock between the two would let a concurrent sender
+// reorder that remote's stream. Broadcast therefore walks the shards
+// one at a time, holding each shard's lock across its remotes' sends,
+// exactly the pattern runShardWork uses; only teardown paths (Close,
+// finishEvictions) snapshot-then-act outside the locks, because they
+// need no ordering and must not block a lock on a dead transport.
 func (h *Host) BroadcastExtension(payload []byte) error {
 	if len(payload) < 4 {
 		return errors.New("ah: extension payload shorter than the common header")
@@ -413,22 +463,24 @@ func (h *Host) BroadcastExtension(payload []byte) error {
 	if len(payload) > h.cfg.MTU {
 		return fmt.Errorf("ah: extension payload %d exceeds MTU %d", len(payload), h.cfg.MTU)
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	now := h.cfg.Now()
 	var firstErr error
-	for r := range h.remotes {
-		pkt := r.pz.Packetize(payload, false, now)
-		raw, err := pkt.Marshal()
-		if err != nil {
-			if firstErr == nil {
+	for _, s := range h.shards {
+		s.mu.Lock()
+		for r := range s.remotes {
+			pkt := r.pz.Packetize(payload, false, now)
+			raw, err := pkt.Marshal()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if err := r.shipAndLog(raw, "Extension"); err != nil && firstErr == nil {
 				firstErr = err
 			}
-			continue
 		}
-		if err := r.shipAndLog(raw, "Extension"); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		s.mu.Unlock()
 	}
 	return firstErr
 }
@@ -456,6 +508,15 @@ func (h *Host) record(kind string, n int) {
 	}
 }
 
+// recordN logs a run of same-kind messages in one collector call, so the
+// parallel shard senders hit the collector's mutex a few times per
+// batch instead of once per packet.
+func (h *Host) recordN(kind string, msgs, bytes uint64) {
+	if h.cfg.Stats != nil {
+		h.cfg.Stats.RecordN(kind, msgs, bytes)
+	}
+}
+
 func (h *Host) addRemote(r *Remote) error { return h.insertRemote(r, false) }
 
 // addRemoteUnique is addRemote plus an ID-uniqueness check, for the
@@ -464,6 +525,10 @@ func (h *Host) addRemote(r *Remote) error { return h.insertRemote(r, false) }
 // must fail cleanly instead of shadowing the first in FindRemote.
 func (h *Host) addRemoteUnique(r *Remote) error { return h.insertRemote(r, true) }
 
+// insertRemote attaches r to its assigned shard. h.mu serializes whole
+// attaches against each other (and against Close), so the uniqueness
+// scan across shards cannot race a concurrent same-ID attach; the shard
+// locks are taken one at a time under it (lock order mu → shard.mu).
 func (h *Host) insertRemote(r *Remote, unique bool) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -471,27 +536,42 @@ func (h *Host) insertRemote(r *Remote, unique bool) error {
 		return ErrHostClosed
 	}
 	if unique {
-		for o := range h.remotes {
-			if o.id == r.id {
-				return fmt.Errorf("ah: remote %q already attached", r.id)
+		for _, s := range h.shards {
+			s.mu.Lock()
+			for o := range s.remotes {
+				if o.id == r.id {
+					s.mu.Unlock()
+					return fmt.Errorf("ah: remote %q already attached", r.id)
+				}
 			}
+			s.mu.Unlock()
 		}
 	}
 	now := h.cfg.Now()
+	s := r.sh
+	s.mu.Lock()
 	r.attachedAt = now
 	r.healthSince = now
 	r.tierSince = now
 	if h.cfg.Ladder != nil {
 		r.promoteWait = h.cfg.Ladder.PromoteAfter
 	}
-	h.remotes[r] = struct{}{}
+	s.remotes[r] = struct{}{}
+	s.size.Add(1)
+	s.mu.Unlock()
+	h.nRemotes.Add(1)
 	return nil
 }
 
 func (h *Host) dropRemote(r *Remote) {
-	h.mu.Lock()
-	delete(h.remotes, r)
-	h.mu.Unlock()
+	s := r.sh
+	s.mu.Lock()
+	if _, ok := s.remotes[r]; ok {
+		delete(s.remotes, r)
+		s.size.Add(-1)
+		h.nRemotes.Add(-1)
+	}
+	s.mu.Unlock()
 	if h.cfg.Floor != nil {
 		h.cfg.Floor.Drop(r.userID)
 	}

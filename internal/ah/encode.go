@@ -75,20 +75,46 @@ func prepareBatch(b *capture.Batch, mtu int) (*preparedBatch, error) {
 }
 
 // sendPrepared stamps the shared payloads with this remote's RTP stream
-// state and ships them. The host lock is held.
+// state and ships them as ONE sink batch (a writev-style stream write,
+// or a batched datagram send). The owning shard's lock is held.
+//
+// Accounting covers exactly the packets the sink accepted, and stats
+// are flushed once per same-kind run instead of once per packet, so the
+// collector's mutex is not a cross-shard serialization point.
 func (r *Remote) sendPrepared(msgs []preparedMessage) error {
+	if len(msgs) == 0 {
+		return nil
+	}
 	now := r.host.cfg.Now()
+	raws := r.rawScratch[:0]
 	for _, m := range msgs {
 		pkt := r.pz.Packetize(m.payload, m.marker, now)
 		raw, err := pkt.Marshal()
 		if err != nil {
+			r.rawScratch = raws[:0]
 			return err
 		}
-		if err := r.shipAndLog(raw, m.kind); err != nil {
-			return err
+		raws = append(raws, raw)
+	}
+	n, err := r.sink.shipBatch(raws)
+	runStart, runBytes := 0, uint64(0)
+	for i := 0; i < n; i++ {
+		r.sentPackets++
+		r.sentOctets += uint64(len(raws[i]))
+		runBytes += uint64(len(raws[i]))
+		r.logForRetransmission(raws[i])
+		if i+1 == n || msgs[i+1].kind != msgs[i].kind {
+			r.host.recordN(msgs[i].kind, uint64(i+1-runStart), runBytes)
+			runStart, runBytes = i+1, 0
 		}
 	}
-	return nil
+	// Drop the buffer references (retransmission-logged packets are
+	// retained by the log itself); keep the outer slice's capacity.
+	for i := range raws {
+		raws[i] = nil
+	}
+	r.rawScratch = raws[:0]
+	return err
 }
 
 // batchFromUpdates wraps re-captured updates in a batch for encoding.

@@ -33,8 +33,11 @@ func (h *Host) handleRTCP(r *Remote, pkt []byte) {
 	if err != nil {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	// Feedback touches only per-remote state, so it contends with
+	// fan-out on this remote's shard alone — a NACK storm from viewers
+	// on one shard leaves the other shards' deliveries unobstructed.
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	r.noteHeardLocked(h.cfg.Now())
 	for _, p := range pkts {
 		switch fb := p.(type) {
@@ -95,9 +98,15 @@ func (h *Host) handleHIP(r *Remote, pkt []byte) {
 		h.rejectHIP()
 		return
 	}
+	// Two independent critical sections: the liveness stamp lives under
+	// the remote's shard lock, the input queue under h.mu. Holding the
+	// shard lock across the h.mu acquisition would invert the documented
+	// lock order (mu → shard.mu).
+	r.sh.mu.Lock()
+	r.noteHeardLocked(h.cfg.Now())
+	r.sh.mu.Unlock()
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	r.noteHeardLocked(h.cfg.Now())
 	if len(h.hipQueue) >= maxHIPQueue {
 		h.hipErrors++
 		return

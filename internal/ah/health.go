@@ -164,27 +164,33 @@ const evictLogMax = 64
 
 // RemoteHealth returns health snapshots for every attached remote plus
 // the recent evictions (most recent last), sorted attached-first by ID.
+// The shard locks are taken one at a time, so a snapshot never stalls
+// fan-out on more than one shard.
 func (h *Host) RemoteHealth() []RemoteHealth {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	now := h.cfg.Now()
-	out := make([]RemoteHealth, 0, len(h.remotes)+len(h.evictLog))
-	for r := range h.remotes {
-		out = append(out, r.healthSnapshotLocked(now))
+	out := make([]RemoteHealth, 0, h.Participants()+evictLogMax/4)
+	for _, s := range h.shards {
+		s.mu.Lock()
+		for r := range s.remotes {
+			out = append(out, r.healthSnapshotLocked(now))
+		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	h.mu.Lock()
 	out = append(out, h.evictLog...)
+	h.mu.Unlock()
 	return out
 }
 
 // Health returns this remote's current health snapshot.
 func (r *Remote) Health() RemoteHealth {
-	r.host.mu.Lock()
-	defer r.host.mu.Unlock()
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	return r.healthSnapshotLocked(r.host.cfg.Now())
 }
 
-// healthSnapshotLocked builds the snapshot. Host lock held.
+// healthSnapshotLocked builds the snapshot. Shard lock held.
 func (r *Remote) healthSnapshotLocked(now time.Time) RemoteHealth {
 	var dwell time.Duration
 	if !r.backlogHighSince.IsZero() {
@@ -222,12 +228,12 @@ func (r *Remote) healthSnapshotLocked(now time.Time) RemoteHealth {
 }
 
 // noteHeardLocked stamps the arrival of any packet from the remote.
-// Host lock held.
+// Shard lock held.
 func (r *Remote) noteHeardLocked(now time.Time) { r.lastHeard = now }
 
 // noteRTTLocked derives a round-trip estimate from an RR's LSR/DLSR echo
 // (RFC 3550 Section 6.4.1): RTT = now - LSR - DLSR in 1/65536-second
-// units of the middle-32 NTP timestamp. Host lock held.
+// units of the middle-32 NTP timestamp. Shard lock held.
 func (r *Remote) noteRTTLocked(rep rtcp.ReceptionReport, now time.Time) {
 	if rep.LastSR == 0 {
 		return
@@ -249,60 +255,75 @@ type evicted struct {
 	snap RemoteHealth
 }
 
-// sweepHealthLocked runs the per-Tick health pass (at tick start, so
-// the backlog sample reflects the whole previous interval): it maintains each
+// sweepHealth runs the per-Tick health pass (at tick start, so the
+// backlog sample reflects the whole previous interval): it maintains each
 // remote's backlog-dwell clock, applies the degrade policy, and selects
-// remotes for eviction. Detached remotes are removed from the session
-// map immediately (so no further fan-out reaches them) and returned for
-// transport teardown outside the lock. Host lock held.
-func (h *Host) sweepHealthLocked(now time.Time) []evicted {
+// remotes for eviction. The sweep walks the shards one at a time under
+// each shard's lock; detached remotes are removed from their shard map
+// immediately (so no further fan-out reaches them) and returned for
+// transport teardown outside all locks. The eviction log is appended
+// under h.mu afterwards (lock order forbids taking it under a shard
+// lock's critical section — and nothing requires it there).
+func (h *Host) sweepHealth(now time.Time) []evicted {
 	var out []evicted
-	for r := range h.remotes {
-		// Dwell clock: starts when the sink first reports backlog above
-		// limit and clears as soon as it drops back under.
-		if r.sink.backlogged(0) {
-			if r.backlogHighSince.IsZero() {
-				r.backlogHighSince = now
+	for _, s := range h.shards {
+		s.mu.Lock()
+		for r := range s.remotes {
+			// Dwell clock: starts when the sink first reports backlog above
+			// limit and clears as soon as it drops back under.
+			if r.sink.backlogged(0) {
+				if r.backlogHighSince.IsZero() {
+					r.backlogHighSince = now
+				}
+			} else {
+				r.backlogHighSince = time.Time{}
 			}
-		} else {
-			r.backlogHighSince = time.Time{}
-		}
 
-		if reason := h.evictReasonLocked(r, now); reason != "" {
-			r.health = HealthEvicted
-			r.healthSince = now
-			r.evictReason = reason
-			r.closed = true // the sweep owns the sink teardown
-			delete(h.remotes, r)
-			snap := r.healthSnapshotLocked(now)
-			snap.EvictedAt = now
-			h.evictLog = append(h.evictLog, snap)
-			if len(h.evictLog) > evictLogMax {
-				h.evictLog = h.evictLog[len(h.evictLog)-evictLogMax:]
+			if reason := h.evictReasonLocked(r, now); reason != "" {
+				r.health = HealthEvicted
+				r.healthSince = now
+				r.evictReason = reason
+				r.closed = true // the sweep owns the sink teardown
+				delete(s.remotes, r)
+				s.size.Add(-1)
+				h.nRemotes.Add(-1)
+				snap := r.healthSnapshotLocked(now)
+				snap.EvictedAt = now
+				h.record("HealthEvict", snap.QueuedBytes)
+				out = append(out, evicted{r: r, snap: snap})
+				continue
 			}
-			h.record("HealthEvict", snap.QueuedBytes)
-			out = append(out, evicted{r: r, snap: snap})
-			continue
-		}
 
-		if h.cfg.Ladder != nil {
-			// The quality ladder replaces the binary degrade check with
-			// its graded controller (see ladder.go).
-			h.ladderSweepLocked(r, now)
-			continue
+			if h.cfg.Ladder != nil {
+				// The quality ladder replaces the binary degrade check with
+				// its graded controller (see ladder.go).
+				h.ladderSweepLocked(r, now)
+				continue
+			}
+			if r.health == HealthHealthy && h.shouldDegradeLocked(r, now) {
+				r.health = HealthDegraded
+				r.healthSince = now
+				h.record("HealthDegrade", r.sink.queued())
+			}
 		}
-		if r.health == HealthHealthy && h.shouldDegradeLocked(r, now) {
-			r.health = HealthDegraded
-			r.healthSince = now
-			h.record("HealthDegrade", r.sink.queued())
+		s.mu.Unlock()
+	}
+	if len(out) > 0 {
+		h.mu.Lock()
+		for _, ev := range out {
+			h.evictLog = append(h.evictLog, ev.snap)
 		}
+		if len(h.evictLog) > evictLogMax {
+			h.evictLog = h.evictLog[len(h.evictLog)-evictLogMax:]
+		}
+		h.mu.Unlock()
 	}
 	return out
 }
 
 // shouldDegradeLocked reports whether a healthy remote has exhausted the
 // degrade budget: half of Config.MaxBacklogDwell spent continuously above
-// the backlog limit, or an equally long writer stall. Host lock held.
+// the backlog limit, or an equally long writer stall. Shard lock held.
 func (h *Host) shouldDegradeLocked(r *Remote, now time.Time) bool {
 	if h.cfg.EvictionPolicy == EvictionMonitor || h.cfg.MaxBacklogDwell <= 0 {
 		return false
@@ -317,7 +338,7 @@ func (h *Host) shouldDegradeLocked(r *Remote, now time.Time) bool {
 // evictReasonLocked returns a non-empty detach reason when the remote
 // must be evicted now: silence past Config.RemoteTimeout (any policy), or
 // congestion past Config.MaxBacklogDwell under EvictionDegradeThenDrop.
-// Host lock held.
+// Shard lock held.
 func (h *Host) evictReasonLocked(r *Remote, now time.Time) string {
 	if h.cfg.RemoteTimeout > 0 {
 		heard := r.lastHeard
@@ -347,7 +368,7 @@ func (h *Host) evictReasonLocked(r *Remote, now time.Time) string {
 
 // recoverLocked promotes a degraded remote back to healthy once its link
 // has drained, and latches the full-refresh "keyframe" it is owed (served
-// by the same Tick's refresh pass). Host lock held.
+// by the same Tick's refresh pass). Shard lock held.
 func (h *Host) recoverLocked(r *Remote, now time.Time) {
 	r.health = HealthHealthy
 	r.healthSince = now

@@ -273,9 +273,9 @@ func TestLivenessDegradeThenRecover(t *testing.T) {
 		t.Fatalf("deferral streak not tracked: %+v", hs)
 	}
 	// Keyframe-only mode must not hoard pending regions.
-	h.mu.Lock()
+	r.sh.mu.Lock()
 	pendingEmpty := r.pending.Empty()
-	h.mu.Unlock()
+	r.sh.mu.Unlock()
 	if !pendingEmpty {
 		t.Fatal("degraded remote still accumulates pending regions")
 	}
@@ -471,7 +471,13 @@ func TestLivenessNACKStormDetachRace(t *testing.T) {
 // captureSink records shipped packets for direct Remote-level tests.
 type captureSink struct{ pkts [][]byte }
 
-func (c *captureSink) ship(p []byte) error        { c.pkts = append(c.pkts, p); return nil }
+func (c *captureSink) ship(p []byte) error { c.pkts = append(c.pkts, p); return nil }
+func (c *captureSink) shipBatch(ps [][]byte) (int, error) {
+	for _, p := range ps {
+		_ = c.ship(p)
+	}
+	return len(ps), nil
+}
 func (c *captureSink) backlogged(int) bool        { return false }
 func (c *captureSink) queued() int                { return 0 }
 func (c *captureSink) stalled() time.Duration     { return 0 }

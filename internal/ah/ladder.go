@@ -172,7 +172,7 @@ func (h *Host) scaleBlock() int {
 // effectiveTierLocked resolves the delivery tier for this tick. With
 // the ladder enabled (or a tier pinned) the controller's rung rules;
 // otherwise the legacy health mapping applies: degraded means
-// keyframe-only, everything else full fidelity. Host lock held.
+// keyframe-only, everything else full fidelity. Shard lock held.
 func (r *Remote) effectiveTierLocked() QualityTier {
 	if r.tierPinned || r.host.cfg.Ladder != nil {
 		return r.tier
@@ -186,8 +186,8 @@ func (r *Remote) effectiveTierLocked() QualityTier {
 // QualityTier returns the remote's current ladder rung (TierFull when
 // the ladder is disabled and the remote is healthy).
 func (r *Remote) QualityTier() QualityTier {
-	r.host.mu.Lock()
-	defer r.host.mu.Unlock()
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	return r.effectiveTierLocked()
 }
 
@@ -203,8 +203,8 @@ func (r *Remote) PinQualityTier(t QualityTier) {
 	if t > TierKeyframeOnly {
 		t = TierKeyframeOnly
 	}
-	r.host.mu.Lock()
-	defer r.host.mu.Unlock()
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	now := r.host.cfg.Now()
 	from := r.tier
 	r.tierPinned = true
@@ -222,8 +222,8 @@ func (r *Remote) PinQualityTier(t QualityTier) {
 
 // ladderSweepLocked is the per-Tick controller pass for one remote: it
 // folds the congestion signals into streak clocks and applies the
-// demote/promote rules with hysteresis. Called from sweepHealthLocked
-// (tick start) in place of the legacy degrade check. Host lock held.
+// demote/promote rules with hysteresis. Called from sweepHealth (tick
+// start) in place of the legacy degrade check. Shard lock held.
 func (h *Host) ladderSweepLocked(r *Remote, now time.Time) {
 	if r.tierPinned {
 		return
@@ -284,7 +284,7 @@ func (h *Host) ladderSweepLocked(r *Remote, now time.Time) {
 // writer has stalled for a demote threshold, or a recent RR reports
 // loss at or above LossDemote; clean when none of that holds and any
 // recent loss report sits at or below LossPromote. Loss inside the
-// hysteresis band yields (false, false). Host lock held.
+// hysteresis band yields (false, false). Shard lock held.
 func (r *Remote) congestionSignalLocked(lc *LadderConfig, now time.Time) (congested, clean bool) {
 	congested = r.sink.backlogged(0) || r.sink.stalled() >= lc.DemoteAfter
 	lossKnown := r.lastRR.Valid && !r.lastRRAt.IsZero() &&
@@ -307,7 +307,7 @@ func (r *Remote) congestionSignalLocked(lc *LadderConfig, now time.Time) (conges
 
 // demoteLocked drops the remote one rung, records the transition, and
 // charges a flap (doubling the promote backoff) when the demotion
-// lands inside FlapWindow of the last promotion. Host lock held.
+// lands inside FlapWindow of the last promotion. Shard lock held.
 func (h *Host) demoteLocked(r *Remote, now time.Time) {
 	lc := h.cfg.Ladder
 	r.tier++
@@ -336,7 +336,7 @@ func (h *Host) demoteLocked(r *Remote, now time.Time) {
 }
 
 // promoteLocked climbs the remote one rung and, when leaving a tier
-// that withheld or approximated pixels, performs the resync. Host lock
+// that withheld or approximated pixels, performs the resync. Shard lock
 // held.
 func (h *Host) promoteLocked(r *Remote, now time.Time) {
 	from := r.tier
@@ -368,7 +368,7 @@ func (r *Remote) resyncForPromotionLocked() {
 // syncHealthWithTierLocked mirrors the ladder rung into the legacy
 // HealthState so RemoteHealth consumers see keyframe-only remotes as
 // degraded. The ladder bypasses recordHealth* stats — tier transitions
-// have their own kinds. Host lock held.
+// have their own kinds. Shard lock held.
 func (r *Remote) syncHealthWithTierLocked(now time.Time) {
 	switch {
 	case r.tier == TierKeyframeOnly && r.health == HealthHealthy:

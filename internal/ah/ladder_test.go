@@ -22,12 +22,13 @@ type ctrlSink struct {
 	queuedN   int
 }
 
-func (c *ctrlSink) ship(p []byte) error        { return nil }
-func (c *ctrlSink) backlogged(int) bool        { return c.congested }
-func (c *ctrlSink) queued() int                { return c.queuedN }
-func (c *ctrlSink) stalled() time.Duration     { return c.stall }
-func (c *ctrlSink) drainStats() (int64, int64) { return 0, 0 }
-func (c *ctrlSink) close() error               { return nil }
+func (c *ctrlSink) ship(p []byte) error                { return nil }
+func (c *ctrlSink) shipBatch(ps [][]byte) (int, error) { return len(ps), nil }
+func (c *ctrlSink) backlogged(int) bool                { return c.congested }
+func (c *ctrlSink) queued() int                        { return c.queuedN }
+func (c *ctrlSink) stalled() time.Duration             { return c.stall }
+func (c *ctrlSink) drainStats() (int64, int64)         { return 0, 0 }
+func (c *ctrlSink) close() error                       { return nil }
 
 // testLadderConfig returns tight thresholds scaled to the 50ms sweep
 // cadence the controller tests drive.
@@ -44,9 +45,7 @@ func testLadderConfig() *LadderConfig {
 // ladderSweep runs one health/ladder sweep exactly as Tick does: the
 // sweep under the host lock, eviction teardown outside it.
 func ladderSweep(h *Host) {
-	h.mu.Lock()
-	evs := h.sweepHealthLocked(h.cfg.Now())
-	h.mu.Unlock()
+	evs := h.sweepHealth(h.cfg.Now())
 	h.finishEvictions(evs)
 }
 
@@ -87,9 +86,9 @@ func TestLadderDemoteThroughTiersAndRecover(t *testing.T) {
 		// Seed pending detail once the remote reaches the scaled tier, so
 		// the keyframe-tier purge below has something to purge.
 		if r.QualityTier() == TierScaled {
-			h.mu.Lock()
+			r.sh.mu.Lock()
 			r.pending.Add(region.XYWH(0, 0, 16, 16))
-			h.mu.Unlock()
+			r.sh.mu.Unlock()
 		}
 		clock.Advance(50 * time.Millisecond)
 		ladderSweep(h)
@@ -115,9 +114,9 @@ func TestLadderDemoteThroughTiersAndRecover(t *testing.T) {
 		t.Fatalf("health snapshot tier fields = %v/%d/%d, want keyframe/3/0",
 			hs.Tier, hs.TierTransitions, hs.TierFlaps)
 	}
-	h.mu.Lock()
+	r.sh.mu.Lock()
 	pendingEmpty := r.pending.Empty()
-	h.mu.Unlock()
+	r.sh.mu.Unlock()
 	if !pendingEmpty {
 		t.Fatal("entering the keyframe tier must purge accumulated pending detail")
 	}
@@ -150,9 +149,9 @@ func TestLadderDemoteThroughTiersAndRecover(t *testing.T) {
 		t.Fatalf("after recovery: state=%v tier=%v transitions=%d, want healthy/full/6",
 			hs.State, hs.Tier, hs.TierTransitions)
 	}
-	h.mu.Lock()
+	r.sh.mu.Lock()
 	refresh, resync := r.refreshRequested, r.needResync
-	h.mu.Unlock()
+	r.sh.mu.Unlock()
 	if !refresh || resync {
 		t.Fatalf("promotion out of a lossy tier must latch the refresh and clear needResync (refresh=%v resync=%v)",
 			refresh, resync)
@@ -174,10 +173,10 @@ func TestLadderLossSignalAndHysteresisBand(t *testing.T) {
 	h, r, _, clock, _ := newLadderHarness(t, lc)
 
 	setLoss := func(frac uint8) {
-		h.mu.Lock()
+		r.sh.mu.Lock()
 		r.lastRR = ReceptionQuality{FractionLost: frac, Valid: true}
 		r.lastRRAt = clock.Now()
-		h.mu.Unlock()
+		r.sh.mu.Unlock()
 	}
 
 	// 25% loss (64/256) ≥ LossDemote: demote on streak.
@@ -245,8 +244,8 @@ func TestLadderFlapBackoffDoublesPromoteWait(t *testing.T) {
 		}
 	}
 	promoteWait := func() time.Duration {
-		h.mu.Lock()
-		defer h.mu.Unlock()
+		r.sh.mu.Lock()
+		defer r.sh.mu.Unlock()
 		return r.promoteWait
 	}
 
@@ -295,10 +294,10 @@ func TestLadderFlapBackoffDoublesPromoteWait(t *testing.T) {
 
 	// The backoff cap: a flap with the backoff near MaxPromoteWait clamps
 	// at the cap instead of doubling past it.
-	h.mu.Lock()
+	r.sh.mu.Lock()
 	r.promoteWait = lc.MaxPromoteWait - 200*time.Millisecond
 	r.lastPromoteAt = clock.Now()
-	h.mu.Unlock()
+	r.sh.mu.Unlock()
 	driveTo(TierDecimated, true)
 	if got := promoteWait(); got != lc.MaxPromoteWait {
 		t.Fatalf("promoteWait after flap near cap = %v, want clamp at %v", got, lc.MaxPromoteWait)

@@ -91,7 +91,7 @@ func TestMulticastRateTiers(t *testing.T) {
 
 // pendingEmpty reports whether the remote has no deferred regions.
 func (r *Remote) pendingEmpty() bool {
-	r.host.mu.Lock()
-	defer r.host.mu.Unlock()
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	return r.pending.Empty() && !r.pendingPointer
 }

@@ -17,6 +17,11 @@ import (
 type sink interface {
 	// ship sends one packet.
 	ship(pkt []byte) error
+	// shipBatch sends a run of packets, aggregated into as few wire
+	// operations as the transport allows (one writev-style stream write,
+	// one batched datagram send). It returns how many packets the sink
+	// accepted; accounting must cover exactly those.
+	shipBatch(pkts [][]byte) (int, error)
 	// backlogged reports whether screen data should be deferred right
 	// now (Section 7 for TCP; rate budget for UDP).
 	backlogged(pending int) bool
@@ -40,11 +45,19 @@ type sink interface {
 // Remote is one attached participant (or multicast group) with its own
 // RTP stream state, deferral bookkeeping and retransmission log.
 type Remote struct {
-	host   *Host
+	host *Host
+	// sh is the shard this remote is assigned to (round-robin at
+	// creation, immutable). sh.mu guards all mutable per-remote state
+	// below — the stream state (pz, pending, retrans), the health and
+	// ladder clocks, and the counters.
+	sh     *shard
 	id     string
 	userID uint16
 	sink   sink
 	pz     *rtp.Packetizer
+	// rawScratch is the per-remote marshal scratch reused by
+	// sendPrepared's batched ship; guarded by sh.mu like the rest.
+	rawScratch [][]byte
 
 	// Deferred screen state under backlog (Section 7): regions to
 	// re-capture once the link drains, plus a pointer refresh flag.
@@ -52,7 +65,7 @@ type Remote struct {
 	pendingPointer bool
 	deferrals      uint64
 
-	// Health/liveness tracking (see health.go); guarded by host.mu.
+	// Health/liveness tracking (see health.go); guarded by sh.mu.
 	health           HealthState
 	healthSince      time.Time
 	attachedAt       time.Time
@@ -65,7 +78,7 @@ type Remote struct {
 	needResync       bool
 	evictReason      string
 
-	// Quality-ladder state (see ladder.go); guarded by host.mu.
+	// Quality-ladder state (see ladder.go); guarded by sh.mu.
 	tier            QualityTier
 	tierSince       time.Time
 	tierPinned      bool
@@ -108,8 +121,8 @@ func (r *Remote) SSRC() uint32 { return r.pz.SSRC() }
 
 // Deferrals reports how many ticks deferred screen data due to backlog.
 func (r *Remote) Deferrals() uint64 {
-	r.host.mu.Lock()
-	defer r.host.mu.Unlock()
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	return r.deferrals
 }
 
@@ -120,21 +133,21 @@ func (r *Remote) QueuedBytes() int { return r.sink.queued() }
 // AbsorbedPLIs reports how many PLIs were answered by an
 // already-in-flight refresh under the rate limit.
 func (r *Remote) AbsorbedPLIs() uint64 {
-	r.host.mu.Lock()
-	defer r.host.mu.Unlock()
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	return r.absorbedPLIs
 }
 
 // Close detaches the remote from the host and closes its transport.
 func (r *Remote) Close() error {
 	r.host.dropRemote(r)
-	r.host.mu.Lock()
+	r.sh.mu.Lock()
 	if r.closed {
-		r.host.mu.Unlock()
+		r.sh.mu.Unlock()
 		return nil
 	}
 	r.closed = true
-	r.host.mu.Unlock()
+	r.sh.mu.Unlock()
 	return r.sink.close()
 }
 
@@ -143,6 +156,7 @@ func (h *Host) newRemote(id string, userID uint16, s sink) *Remote {
 	ent := h.cfg.Entropy
 	r := &Remote{
 		host:    h,
+		sh:      h.shardFor(),
 		id:      id,
 		userID:  userID,
 		sink:    s,
@@ -150,7 +164,10 @@ func (h *Host) newRemote(id string, userID uint16, s sink) *Remote {
 		pending: region.NewSet(),
 	}
 	if h.cfg.Retransmissions {
-		r.retrans = make(map[uint16][]byte, h.cfg.RetransLog)
+		// No capacity hint: a RetransLog sized for NACK service would
+		// preallocate megabytes across a flash crowd of joiners; the map
+		// grows to its working size on demand.
+		r.retrans = make(map[uint16][]byte)
 	}
 	return r
 }
@@ -158,7 +175,7 @@ func (h *Host) newRemote(id string, userID uint16, s sink) *Remote {
 // deliver sends one capture batch to the participant, deferring screen
 // data under backlog per Section 7. prep is the batch marshalled once
 // for all remotes; only RTP packetization happens per participant. The
-// host lock is held.
+// owning shard's lock is held.
 func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
 	approx := approxBatchSize(b)
 	backlogged := r.sink.backlogged(approx)
@@ -206,7 +223,7 @@ func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
 		}
 		block := r.host.scaleBlock()
 		return r.flushPendingWith(func(rect region.Rect) ([]capture.Update, error) {
-			return r.host.encodeRegionDegradedLocked(rect, block)
+			return r.host.encodeRegionDegraded(rect, block)
 		})
 
 	case TierDecimated:
@@ -274,11 +291,11 @@ func (r *Remote) foldScreenData(b *capture.Batch) {
 }
 
 func (r *Remote) flushPending() error {
-	return r.flushPendingWith(r.host.encodeRegionLocked)
+	return r.flushPendingWith(r.host.encodeRegion)
 }
 
 // flushPendingWith flushes the pending set through an arbitrary region
-// encoder (full-fidelity or a degraded tier variant). Host lock held.
+// encoder (full-fidelity or a degraded tier variant). Shard lock held.
 func (r *Remote) flushPendingWith(encode func(region.Rect) ([]capture.Update, error)) error {
 	var ups []capture.Update
 	for _, rect := range r.pending.Coalesce(1024) {
@@ -290,7 +307,7 @@ func (r *Remote) flushPendingWith(encode func(region.Rect) ([]capture.Update, er
 	}
 	flush := batchFromUpdates(ups, nil)
 	if r.pendingPointer {
-		refresh, err := r.host.capturePointerLocked()
+		refresh, err := r.host.capturePointer()
 		if err != nil {
 			return err
 		}
@@ -301,9 +318,9 @@ func (r *Remote) flushPendingWith(encode func(region.Rect) ([]capture.Update, er
 	return r.sendBatch(flush)
 }
 
-// sendBatch marshals and ships a batch to this remote alone. The host
-// lock is held. (Tick's fan-out paths marshal once via prepareBatch and
-// call sendPrepared directly.)
+// sendBatch marshals and ships a batch to this remote alone. The owning
+// shard's lock is held. (Tick's fan-out paths marshal once via
+// prepareBatch and call sendPrepared directly.)
 func (r *Remote) sendBatch(b *capture.Batch) error {
 	prep, err := prepareBatch(b, r.host.cfg.MTU)
 	if err != nil {
@@ -351,8 +368,9 @@ func (r *Remote) logForRetransmission(pkt []byte) {
 }
 
 // fullRefresh sends the complete state to this remote (PLI service).
+// Shard lock held.
 func (r *Remote) fullRefresh() error {
-	b, err := r.host.captureFullRefreshLocked()
+	b, err := r.host.captureFullRefresh()
 	if err != nil {
 		return err
 	}
@@ -408,6 +426,18 @@ type streamSink struct {
 }
 
 func (s *streamSink) ship(pkt []byte) error { return s.framer.WriteFrame(pkt) }
+
+// shipBatch concatenates the frames and hands them to the RatedWriter in
+// ONE write — the writev analogue for the modeled TCP send buffer. The
+// byte stream is identical to per-frame writes (RFC 4571 framing is
+// position-independent), and the write is all-or-nothing, so either
+// every packet is accepted or none is.
+func (s *streamSink) shipBatch(pkts [][]byte) (int, error) {
+	if err := s.framer.WriteFrames(pkts); err != nil {
+		return 0, err
+	}
+	return len(pkts), nil
+}
 
 func (s *streamSink) backlogged(int) bool {
 	if s.noDefer {
@@ -540,12 +570,15 @@ func (h *Host) BindHIPStream(r *Remote, rw io.ReadCloser) {
 
 // FindRemote returns the attached remote with the given ID, or nil.
 func (h *Host) FindRemote(id string) *Remote {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for r := range h.remotes {
-		if r.id == id {
-			return r
+	for _, s := range h.shards {
+		s.mu.Lock()
+		for r := range s.remotes {
+			if r.id == id {
+				s.mu.Unlock()
+				return r
+			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -562,7 +595,10 @@ type PacketOptions struct {
 
 // packetSink ships datagrams with an AH-enforced rate budget.
 type packetSink struct {
-	conn   transport.PacketConn
+	conn transport.PacketConn
+	// batch is conn's batched-send fast path, resolved once at attach
+	// (nil when the conn only supports Send).
+	batch  transport.BatchSender
 	rate   int
 	tokens float64
 	last   time.Time
@@ -575,6 +611,28 @@ func (s *packetSink) ship(pkt []byte) error {
 		s.tokens -= float64(len(pkt))
 	}
 	return s.conn.Send(pkt)
+}
+
+// shipBatch sends a run of datagrams through the conn's BatchSender
+// when it has one (one endpoint lock acquisition per batch instead of
+// per packet), falling back to per-packet sends otherwise. The token
+// budget is charged identically either way.
+func (s *packetSink) shipBatch(pkts [][]byte) (int, error) {
+	if s.rate > 0 {
+		s.refill()
+		for _, p := range pkts {
+			s.tokens -= float64(len(p))
+		}
+	}
+	if s.batch != nil {
+		return s.batch.SendBatch(pkts)
+	}
+	for i, p := range pkts {
+		if err := s.conn.Send(p); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
 }
 
 func (s *packetSink) backlogged(pending int) bool {
@@ -615,6 +673,9 @@ func (s *packetSink) close() error { return s.conn.Close() }
 // desktop (keep driving Tick at your frame rate).
 func (h *Host) AttachPacketConn(id string, conn transport.PacketConn, opts PacketOptions) (*Remote, error) {
 	s := &packetSink{conn: conn, rate: opts.BytesPerSecond, now: h.cfg.Now}
+	if bs, ok := conn.(transport.BatchSender); ok {
+		s.batch = bs
+	}
 	r := h.newRemote(id, opts.UserID, s)
 	// No ID-uniqueness here: packet IDs are caller-chosen labels (ServeUDP
 	// already keys by unique source address), and sharing one ID across
@@ -658,6 +719,13 @@ func (s *busSink) ship(pkt []byte) error {
 	return nil
 }
 
+func (s *busSink) shipBatch(pkts [][]byte) (int, error) {
+	for _, p := range pkts {
+		_ = s.ship(p)
+	}
+	return len(pkts), nil
+}
+
 func (s *busSink) backlogged(pending int) bool {
 	if s.budget == nil {
 		return false
@@ -696,16 +764,16 @@ func (h *Host) AttachMulticast(id string, bus *transport.Bus, opts ...MulticastO
 // TCP joining flow of Section 4.4 ("right after the TCP connection
 // establishment").
 func (h *Host) initialState(r *Remote) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	return r.fullRefresh()
 }
 
 // RequestRefresh performs the PLI action for a remote directly (useful
 // for multicast groups whose feedback arrives out of band).
 func (h *Host) RequestRefresh(r *Remote) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	return r.fullRefresh()
 }
 

@@ -12,35 +12,39 @@ import (
 // loss and jitter visibility.
 
 // SendReports ships one SR+SDES compound packet to every participant.
-// Call it at the RTCP interval (a few seconds).
+// Call it at the RTCP interval (a few seconds). Like every send path it
+// ships under the owning shard's lock (see BroadcastExtension), one
+// shard at a time.
 func (h *Host) SendReports() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	now := h.cfg.Now()
 	var firstErr error
-	for r := range h.remotes {
-		sr := &rtcp.SenderReport{
-			SSRC:        r.pz.SSRC(),
-			NTPTime:     rtcp.NTPTime(now),
-			RTPTime:     0, // media clock origin is random; receivers use NTP
-			PacketCount: uint32(r.sentPackets),
-			OctetCount:  uint32(r.sentOctets),
-		}
-		sdes := &rtcp.SDES{SSRC: r.pz.SSRC(), CNAME: h.cfg.CNAME}
-		pkt, err := rtcp.Marshal(sr, sdes)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+	for _, s := range h.shards {
+		s.mu.Lock()
+		for r := range s.remotes {
+			sr := &rtcp.SenderReport{
+				SSRC:        r.pz.SSRC(),
+				NTPTime:     rtcp.NTPTime(now),
+				RTPTime:     0, // media clock origin is random; receivers use NTP
+				PacketCount: uint32(r.sentPackets),
+				OctetCount:  uint32(r.sentOctets),
 			}
-			continue
-		}
-		if err := r.sink.ship(pkt); err != nil {
-			if firstErr == nil {
-				firstErr = err
+			sdes := &rtcp.SDES{SSRC: r.pz.SSRC(), CNAME: h.cfg.CNAME}
+			pkt, err := rtcp.Marshal(sr, sdes)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
 			}
-			continue
+			if err := r.sink.ship(pkt); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			h.record("SenderReport", len(pkt))
 		}
-		h.record("SenderReport", len(pkt))
+		s.mu.Unlock()
 	}
 	return firstErr
 }
@@ -58,13 +62,13 @@ type ReceptionQuality struct {
 // LastReceiverReport returns the most recent reception quality this
 // remote reported, if any.
 func (r *Remote) LastReceiverReport() ReceptionQuality {
-	r.host.mu.Lock()
-	defer r.host.mu.Unlock()
+	r.sh.mu.Lock()
+	defer r.sh.mu.Unlock()
 	return r.lastRR
 }
 
 // noteReceiverReport records a participant's RR block and refreshes the
-// health subsystem's reception view (RR time, RTT estimate). Host lock
+// health subsystem's reception view (RR time, RTT estimate). Shard lock
 // held.
 func (r *Remote) noteReceiverReport(rep rtcp.ReceptionReport, now time.Time) {
 	r.lastRR = ReceptionQuality{

@@ -26,6 +26,9 @@ var ErrFrameTooLarge = errors.New("framing: packet exceeds 65535 bytes")
 type Writer struct {
 	mu sync.Mutex
 	w  io.Writer
+	// scratch is the WriteFrames concatenation buffer, reused across
+	// calls (guarded by mu).
+	scratch []byte
 }
 
 // NewWriter returns a Writer framing onto w.
@@ -44,6 +47,42 @@ func (w *Writer) WriteFrame(pkt []byte) error {
 		return err
 	}
 	_, err := w.w.Write(pkt)
+	return err
+}
+
+// WriteFrames writes a run of length-prefixed packets as ONE underlying
+// write — the writev-style aggregation the sharded send path batches
+// fan-out with. The byte stream is identical to len(pkts) WriteFrame
+// calls; only the write count changes. The concatenation buffer is
+// reused across calls, so a steady fan-out allocates nothing here. The
+// write is all-or-nothing with respect to whole frames as long as the
+// underlying writer is (transport.RatedWriter is: it copies the buffer
+// or fails).
+func (w *Writer) WriteFrames(pkts [][]byte) error {
+	if len(pkts) == 0 {
+		return nil
+	}
+	total := 0
+	for _, pkt := range pkts {
+		if len(pkt) > MaxFrameSize {
+			return fmt.Errorf("%w: %d", ErrFrameTooLarge, len(pkt))
+		}
+		total += 2 + len(pkt)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cap(w.scratch) < total {
+		w.scratch = make([]byte, 0, total)
+	}
+	buf := w.scratch[:0]
+	for _, pkt := range pkts {
+		var hdr [2]byte
+		binary.BigEndian.PutUint16(hdr[:], uint16(len(pkt)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, pkt...)
+	}
+	w.scratch = buf[:0]
+	_, err := w.w.Write(buf)
 	return err
 }
 

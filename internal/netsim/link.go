@@ -91,12 +91,15 @@ func (r *runner) runEventsUntil(t time.Time) {
 
 // simPacketConn is the transport.PacketConn handed to
 // Host.AttachPacketConn for a simulated UDP viewer. Send taps and shapes
-// the datagram on the runner goroutine (the host only sends from Tick
-// and HandleFeedback, both runner-driven, so no extra synchronization is
-// needed for runner state). Recv parks the host's pump goroutine until
-// Close — viewer feedback is injected synchronously through
-// Host.HandleFeedback instead, keeping the feedback path on the virtual
-// clock.
+// the datagram under the runner's sendMu: Tick and HandleFeedback are
+// runner-driven, but with SendShards > 1 the Tick fan-out arrives on
+// per-shard sender goroutines. It deliberately does NOT implement
+// transport.BatchSender — the per-packet fallback keeps the shaping
+// decision sequence identical to the historical per-packet sends, so
+// pre-sharding journal digests stay valid. Recv parks the host's pump
+// goroutine until Close — viewer feedback is injected synchronously
+// through Host.HandleFeedback instead, keeping the feedback path on the
+// virtual clock.
 type simPacketConn struct {
 	r *runner
 	v *viewerState
@@ -157,8 +160,14 @@ func copyOf(pkt []byte) []byte { return append([]byte(nil), pkt...) }
 // shipDown routes one host→viewer datagram: always into the pre-shaping
 // tap (the RTP-continuity oracle audits what the host SENT, not what
 // survived the link), then through the viewer's downstream Shaper onto
-// the event heap. Runner goroutine only.
+// the event heap. With SendShards > 1 the host's sender goroutines call
+// this concurrently from different shards; sendMu serializes the shared
+// event heap (per-viewer state is already serialized by the owning
+// shard's lock, and the heap's total order makes the replay identical
+// regardless of arrival order).
 func (r *runner) shipDown(v *viewerState, pkt []byte) {
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
 	now := r.clk.Now()
 	v.tap = append(v.tap, copyOf(pkt))
 	if v.evicted {

@@ -25,10 +25,11 @@ func (r *runner) expectedEvicted() map[string]bool {
 }
 
 // convergenceEligible reports whether a viewer must end byte-identical
-// to the host: joined, never silenced, and neither evicted nor expected
-// to be.
+// to the host: joined, never silenced, stays to the end, and neither
+// evicted nor expected to be.
 func (r *runner) convergenceEligible(v *viewerState) bool {
-	return v.joined && !v.evicted && v.spec.SilenceAfterTick == 0 && !r.expectedEvicted()[v.name]
+	return v.joined && !v.evicted && !v.left && v.spec.LeaveAtTick == 0 &&
+		v.spec.SilenceAfterTick == 0 && !r.expectedEvicted()[v.name]
 }
 
 // imagesEqual compares two RGBA images pixel-for-pixel.
@@ -246,6 +247,11 @@ func (r *runner) oracleCounters(fresh map[string]uint64) OracleResult {
 	for _, v := range r.viewers {
 		if v.settleStuck {
 			fails = append(fails, fmt.Sprintf("%s: TCP settle hit the wall-clock limit", v.name))
+		}
+		if v.left && v.conn != nil {
+			if n := v.conn.sendsAfterClose(); n > 0 {
+				fails = append(fails, fmt.Sprintf("%s: %d sends hit the conn after the clean detach", v.name, n))
+			}
 		}
 		if v.heldDown != nil || v.heldUp != nil {
 			fails = append(fails, fmt.Sprintf("%s: a datagram is still parked in a reorder slot", v.name))

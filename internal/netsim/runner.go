@@ -8,6 +8,7 @@ import (
 	"image/color"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"appshare/internal/ah"
@@ -69,6 +70,7 @@ type viewerState struct {
 	mcDrained        uint64 // datagrams drained from the multicast sub
 
 	joined    bool
+	left      bool // detached cleanly at spec.LeaveAtTick
 	evicted   bool
 	evictedAt time.Time
 	lastPLIAt time.Time
@@ -100,6 +102,14 @@ type runner struct {
 	sc    Scenario
 	clk   *vclock
 	epoch time.Time
+
+	// sendMu serializes shipDown: with SendShards > 1 the host's sender
+	// goroutines call simPacketConn.Send concurrently from different
+	// shards, and the event heap and journaling bookkeeping they feed
+	// are shared runner state. The heap's (at, li, seq) total order
+	// makes the processing order independent of which shard pushed
+	// first, so serializing here costs nothing in determinism.
+	sendMu sync.Mutex
 
 	desk  *display.Desktop
 	win   *display.Window
@@ -173,6 +183,15 @@ func applyDefaults(sc Scenario) Scenario {
 	if sc.QuiesceTicks <= 0 {
 		sc.QuiesceTicks = 80
 	}
+	if sc.DesktopW <= 0 {
+		sc.DesktopW = 320
+	}
+	if sc.DesktopH <= 0 {
+		sc.DesktopH = 240
+	}
+	if sc.RetransLog <= 0 {
+		sc.RetransLog = 16384
+	}
 	return sc
 }
 
@@ -197,6 +216,10 @@ func validate(sc Scenario) error {
 	if len(sc.Viewers) == 0 {
 		return fmt.Errorf("netsim: scenario %q has no viewers", sc.Name)
 	}
+	if sc.DesktopW < 96 || sc.DesktopH < 64 {
+		return fmt.Errorf("netsim: scenario %q: desktop %dx%d is below the 96x64 floor (the shared window is inset 64x48)",
+			sc.Name, sc.DesktopW, sc.DesktopH)
+	}
 	if _, err := ah.ParseEvictionPolicy(sc.EvictionPolicy); err != nil {
 		return err
 	}
@@ -211,6 +234,14 @@ func validate(sc Scenario) error {
 		seen[vs.Name] = true
 		if vs.JoinAtTick < 0 || vs.JoinAtTick >= sc.Ticks {
 			return fmt.Errorf("netsim: viewer %q joins at tick %d outside [0,%d)", vs.Name, vs.JoinAtTick, sc.Ticks)
+		}
+		if vs.LeaveAtTick != 0 {
+			if vs.Kind != KindUDP {
+				return fmt.Errorf("netsim: viewer %q: LeaveAtTick is only supported for UDP viewers", vs.Name)
+			}
+			if vs.LeaveAtTick <= vs.JoinAtTick || vs.LeaveAtTick >= sc.Ticks {
+				return fmt.Errorf("netsim: viewer %q leaves at tick %d outside (%d,%d)", vs.Name, vs.LeaveAtTick, vs.JoinAtTick, sc.Ticks)
+			}
 		}
 		prof := sc.Profile
 		if vs.Profile != nil {
@@ -277,9 +308,10 @@ func Run(sc Scenario) (*Result, error) {
 	r.jw = jw
 
 	// Small desktop: the oracles compare every pixel, and the matrix
-	// runs under -race in CI.
-	r.desk = display.NewDesktop(320, 240)
-	r.win = r.desk.CreateWindow(1, region.XYWH(12, 10, 256, 192))
+	// runs under -race in CI. The fixed 64x48 inset keeps the default
+	// 320x240 desktop's window at the historical 256x192.
+	r.desk = display.NewDesktop(sc.DesktopW, sc.DesktopH)
+	r.win = r.desk.CreateWindow(1, region.XYWH(12, 10, sc.DesktopW-64, sc.DesktopH-48))
 	r.winID = r.win.ID()
 	r.wl, err = workload.ByName(sc.Workload, r.desk, r.win, deriveSeed(sc.Seed, "workload"))
 	if err != nil {
@@ -291,7 +323,8 @@ func Run(sc Scenario) (*Result, error) {
 	r.host, err = ah.New(ah.Config{
 		Desktop:         r.desk,
 		Retransmissions: true,
-		RetransLog:      16384,
+		RetransLog:      sc.RetransLog,
+		SendShards:      sc.SendShards,
 		Stats:           r.coll,
 		Now:             r.clk.Now,
 		Entropy:         entropyFrom(deriveSeed(sc.Seed, "host-entropy")),
@@ -429,6 +462,16 @@ func (r *runner) runTick(tick int, quiesce bool) {
 			}
 			v.down.SetDown(inPart)
 			v.up.SetDown(inPart)
+		}
+		// Leaves before joins: a churn tick detaches last window's
+		// joiners before this window's arrive, so the fleet size stays
+		// bounded at the churn plateau.
+		for _, v := range r.viewers {
+			if v.joined && !v.left && !v.evicted && v.spec.LeaveAtTick == tick {
+				v.left = true
+				_ = v.remote.Close()
+				r.journal('L', v.idx, []byte(v.name))
+			}
 		}
 		for _, v := range r.viewers {
 			if !v.joined && v.spec.JoinAtTick == tick {
@@ -642,7 +685,7 @@ func (r *runner) multicastIdle() bool {
 // NACK and PLI for the datagram kinds that can lose packets.
 func (r *runner) repair(tick int) {
 	for _, v := range r.viewers {
-		if !v.joined || v.evicted || v.silencedAt(tick) {
+		if !v.joined || v.left || v.evicted || v.silencedAt(tick) {
 			continue
 		}
 		if rr, err := v.p.BuildReceiverReport(); err == nil {
@@ -676,7 +719,7 @@ func (r *runner) processEvent(ev *event) {
 		r.journal('D', v.idx, pkt)
 		r.deliverToViewer(v, pkt)
 	case evDeliverUp:
-		if v.evicted || v.remote == nil {
+		if v.evicted || v.left || v.remote == nil {
 			r.journal('X', v.idx, []byte{1})
 			return
 		}

@@ -93,6 +93,12 @@ type ViewerSpec struct {
 	// JoinAtTick delays the attach — a late joiner announcing itself
 	// with a PLI under whatever loss the link has.
 	JoinAtTick int
+	// LeaveAtTick, when positive, detaches the viewer cleanly at the
+	// start of that tick (UDP viewers only, and it must lie strictly
+	// between JoinAtTick and the scenario's main-phase end). A leaver is
+	// excluded from convergence but still audited: its tap must show
+	// valid RTP and the host must never send to it after the detach.
+	LeaveAtTick int
 	// SilenceAfterTick, when positive, stops all feedback (RR, NACK,
 	// PLI) from this tick on — the silent-death case RemoteTimeout
 	// eviction exists for.
@@ -181,6 +187,20 @@ type Scenario struct {
 	// per-tick sentinel pixel that exposes undetected tail loss), and
 	// repair runs until every viewer converges or the budget is spent.
 	QuiesceTicks int
+
+	// SendShards sets ah.Config.SendShards: 0 = GOMAXPROCS shards,
+	// 1 = the pre-sharding single-lock send path. Journals must be
+	// byte-identical across shard counts (see the storm tests).
+	SendShards int
+	// DesktopW/DesktopH size the simulated desktop (default 320x240;
+	// the shared window is inset by a fixed 64x48 margin, so defaults
+	// reproduce the historical 256x192 window exactly). Storm scenarios
+	// shrink the desktop so thousand-viewer fleets stay affordable.
+	DesktopW, DesktopH int
+	// RetransLog sets ah.Config.RetransLog (default 16384). Storm
+	// scenarios use smaller logs: per-remote retransmission state is a
+	// real memory cost at flash-crowd scale.
+	RetransLog int
 
 	Fault  Fault
 	Expect Expectations
@@ -424,9 +444,72 @@ func simLadder() *ah.LadderConfig {
 	}
 }
 
-// ByName returns the matrix scenario with the given name.
+// Storms returns the flash-crowd-scale stress scenarios that exercise
+// the sharded send path. They live outside Matrix() — the matrix is the
+// per-pathology link suite; these are population-scale loads (hundreds
+// to a thousand remotes) with their own CI gate. All three shrink the
+// desktop so the per-viewer convergence oracles stay affordable at
+// fleet scale, and all three are shard-count-invariant: the same seed
+// must produce the same journal digest with SendShards 1 or N.
+func Storms() []Scenario {
+	crowd := func(n, join, leave int, prefix string) []ViewerSpec {
+		specs := make([]ViewerSpec, 0, n)
+		for i := 0; i < n; i++ {
+			specs = append(specs, ViewerSpec{
+				Name:        fmt.Sprintf("%s%04d", prefix, i),
+				Kind:        KindUDP,
+				JoinAtTick:  join,
+				LeaveAtTick: leave,
+			})
+		}
+		return specs
+	}
+	flash := Scenario{
+		// 1000 UDP viewers all joining in ONE tick: the attach path,
+		// the PLI-refresh latch and the refresh fan-out all spike at
+		// once. Pristine links keep the run about scale, not repair.
+		Name: "flash-crowd", Seed: 120, Workload: "typing",
+		Ticks: 8, DesktopW: 128, DesktopH: 96, RetransLog: 2048,
+		Profile: Profile{Name: "pristine"},
+		Viewers: crowd(1000, 2, 0, "v"),
+	}
+	// Churn storm: 4 attaches and 4 detaches per 40ms tick — 100 Hz
+	// each way — sustained for 30 ticks, with stable observers that
+	// must converge as if the churn never happened.
+	churn := Scenario{
+		Name: "churn-storm", Seed: 121, Workload: "typing",
+		Ticks: 34, DesktopW: 128, DesktopH: 96, RetransLog: 2048,
+		Profile: Profile{Name: "pristine"},
+		Viewers: []ViewerSpec{
+			{Name: "obs-udp", Kind: KindUDP},
+			{Name: "obs-tcp", Kind: KindTCP},
+		},
+	}
+	for t := 1; t <= 30; t++ {
+		for j := 0; j < 4; j++ {
+			churn.Viewers = append(churn.Viewers, ViewerSpec{
+				Name:        fmt.Sprintf("c%02d-%d", t, j),
+				Kind:        KindUDP,
+				JoinAtTick:  t,
+				LeaveAtTick: t + 3,
+			})
+		}
+	}
+	nack := Scenario{
+		// NACK storm: 1000 lossy UDP viewers each running the full
+		// NACK/PLI repair loop. Every repair lands on one remote's
+		// shard; the oracles demand all 1000 still converge.
+		Name: "nack-storm", Seed: 122, Workload: "typing",
+		Ticks: 6, DesktopW: 128, DesktopH: 96, RetransLog: 4096,
+		Profile: Profile{Name: "loss5", Down: transport.LinkConfig{LossRate: 0.05}},
+		Viewers: crowd(1000, 0, 0, "n"),
+	}
+	return []Scenario{flash, churn, nack}
+}
+
+// ByName returns the matrix or storm scenario with the given name.
 func ByName(name string) (Scenario, error) {
-	for _, sc := range Matrix() {
+	for _, sc := range append(Matrix(), Storms()...) {
 		if sc.Name == name {
 			return sc, nil
 		}

@@ -33,6 +33,16 @@ type PacketConn interface {
 	Close() error
 }
 
+// BatchSender is the optional batched-send fast path of a PacketConn —
+// the sendmmsg/writev analogue. SendBatch transmits a run of datagrams
+// in one operation (for the simulated endpoint: one lock acquisition and
+// one shaper pass for the whole run) and returns how many datagrams were
+// accepted. Semantics per datagram are identical to Send; callers that
+// find the interface absent fall back to per-packet sends.
+type BatchSender interface {
+	SendBatch(pkts [][]byte) (int, error)
+}
+
 // LinkConfig describes one direction of a simulated path. The zero
 // value is a perfect link; each field degrades it independently, and a
 // config that sets only the original fields (LossRate, ReorderRate,
@@ -160,6 +170,72 @@ func (e *endpoint) Send(pkt []byte) error {
 		deliver()
 	}
 	return nil
+}
+
+// SendBatch implements BatchSender: the whole run is shaped under ONE
+// lock acquisition, then delivered outside it in order. Per-datagram
+// behavior (loss, reorder holds, duplication, delay) is identical to
+// len(pkts) Send calls.
+func (e *endpoint) SendBatch(pkts [][]byte) (int, error) {
+	type delivery struct {
+		delay         time.Duration
+		first, second []byte
+	}
+	var dels []delivery
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	now := time.Now()
+	for _, pkt := range pkts {
+		e.sent++
+		v := e.shaper.Shape(now, len(pkt), e.held == nil)
+		if v.Drop {
+			e.dropped++
+			continue
+		}
+		buf := append([]byte(nil), pkt...)
+		var deliverFirst, deliverSecond []byte
+		switch {
+		case e.held != nil:
+			deliverFirst, deliverSecond = buf, e.held
+			e.held = nil
+		case v.Hold:
+			e.held = buf
+			if v.Duplicate {
+				deliverFirst = append([]byte(nil), buf...)
+			}
+		default:
+			deliverFirst = buf
+			if v.Duplicate {
+				deliverSecond = append([]byte(nil), buf...)
+			}
+		}
+		if deliverFirst != nil || deliverSecond != nil {
+			dels = append(dels, delivery{delay: v.Delay, first: deliverFirst, second: deliverSecond})
+		}
+	}
+	peer := e.peer
+	e.mu.Unlock()
+
+	for _, d := range dels {
+		d := d
+		deliver := func() {
+			if d.first != nil {
+				peer.enqueue(d.first)
+			}
+			if d.second != nil {
+				peer.enqueue(d.second)
+			}
+		}
+		if d.delay > 0 {
+			time.AfterFunc(d.delay, deliver)
+		} else {
+			deliver()
+		}
+	}
+	return len(pkts), nil
 }
 
 func (e *endpoint) enqueue(pkt []byte) {

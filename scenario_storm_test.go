@@ -1,0 +1,78 @@
+package appshare_test
+
+import (
+	"testing"
+
+	"appshare/internal/netsim"
+)
+
+// TestScenarioStorms drives the flash-crowd-scale stress scenarios —
+// 1000 UDP viewers joining in one tick, 100 Hz attach/detach churn, and
+// a NACK storm from 1000 lossy viewers — against the sharded send path
+// with every end-of-run oracle armed. These are the population-scale
+// companions to TestScenarioMatrix's per-pathology link suite.
+func TestScenarioStorms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm scenarios run thousand-viewer fleets; skipped with -short")
+	}
+	for _, sc := range netsim.Storms() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := netsim.Run(sc)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, o := range res.Oracles {
+				if o.Passed {
+					continue
+				}
+				t.Errorf("oracle %s failed: %s", o.Name, o.Detail)
+			}
+			t.Logf("seed=%d ticks=%d journal=%d records digest=%s",
+				res.Seed, res.TicksRun, len(res.Journal), res.Digest)
+		})
+	}
+}
+
+// TestStormShardInvariance is the replay-identity proof for the sharded
+// send path: the same storm scenario must produce byte-identical
+// journals with the single-lock build (SendShards=1) and the sharded
+// build (SendShards=4). Per-remote byte streams are independent of
+// cross-remote send order, and the runner's event heap imposes a total
+// order on deliveries, so the digest must not move when fan-out spreads
+// across sender goroutines.
+func TestStormShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm scenarios run thousand-viewer fleets; skipped with -short")
+	}
+	for _, name := range []string{"flash-crowd", "churn-storm"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := netsim.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.SendShards = 1
+			single, err := netsim.Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.SendShards = 4
+			sharded, err := netsim.Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !single.Passed() {
+				t.Fatalf("single-lock run failed oracles: %v", single.Failures())
+			}
+			if !sharded.Passed() {
+				t.Fatalf("sharded run failed oracles: %v", sharded.Failures())
+			}
+			if single.Digest != sharded.Digest {
+				t.Fatalf("journal digest moved with shard count: shards=1 %s vs shards=4 %s",
+					single.Digest, sharded.Digest)
+			}
+			t.Logf("shard-invariant digest=%s (%d records)", single.Digest, len(single.Journal))
+		})
+	}
+}

@@ -59,6 +59,20 @@ func TestSoakMixedAudience(t *testing.T) {
 		parts = append(parts, p)
 		conns = append(conns, conn)
 	}
+	// AttachStream pushes each TCP joiner's initial state from the accept
+	// goroutine, and that capture reads the window buffers — which only
+	// the tick/paint goroutine may mutate (see DESIGN.md). Hold the paint
+	// loop until every TCP participant has its initial images, proving
+	// those captures finished.
+	attachDeadline := time.Now().Add(10 * time.Second)
+	for _, p := range parts {
+		for p.WindowImage(w1.ID()) == nil || p.WindowImage(w2.ID()) == nil {
+			if time.Now().After(attachDeadline) {
+				t.Fatal("timed out waiting for TCP initial state")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
 
 	// Three UDP participants over simulated links, one lossy.
 	for i := 0; i < 3; i++ {
@@ -89,6 +103,9 @@ func TestSoakMixedAudience(t *testing.T) {
 	// the whole group (Section 5.3.2).
 	bus := appshare.NewBus()
 	var group *appshare.Remote
+	// groupReady publishes the group assignment to the feedback tickers:
+	// close happens-after the write below, so a gated read is race-free.
+	groupReady := make(chan struct{})
 	for i := 0; i < 2; i++ {
 		sub := bus.Subscribe(appshare.LinkConfig{Seed: int64(60 + i), QueueLen: 4096})
 		p := appshare.NewParticipant(appshare.ParticipantConfig{})
@@ -110,7 +127,9 @@ func TestSoakMixedAudience(t *testing.T) {
 				case <-stop:
 					return
 				case <-ticker.C:
-					if group == nil {
+					select {
+					case <-groupReady:
+					default:
 						continue
 					}
 					if nack, err := p.BuildNACK(); err == nil && nack != nil {
@@ -133,6 +152,7 @@ func TestSoakMixedAudience(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	close(groupReady)
 	if err := host.RequestRefresh(group); err != nil {
 		t.Fatal(err)
 	}
