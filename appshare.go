@@ -76,6 +76,11 @@ type (
 	// a non-nil *LadderConfig to HostConfig.Ladder to enable it (see
 	// DESIGN.md "Congestion-adaptive quality ladder").
 	LadderConfig = ah.LadderConfig
+	// TileStoreConfig tunes the persistent tile store; assign a non-nil
+	// *TileStoreConfig to HostConfig.TileStore to enable cross-tick
+	// delta encoding for remotes that negotiate it (see DESIGN.md "Tile
+	// store").
+	TileStoreConfig = ah.TileStoreConfig
 	// QualityTier is one rung of the per-remote quality ladder.
 	QualityTier = ah.QualityTier
 

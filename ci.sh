@@ -31,8 +31,19 @@ go test -race -count=1 -run 'TestScenarioStorms|TestStormShardInvariance' .
 # tick loop with counter reconciliation, and the per-remote byte-stream
 # parity proof, on one and four procs.
 go test -race -cpu 1,4 -count=2 -run 'TestShardChurnFlashCrowd|TestShardByteStreamParity' ./internal/ah
+# Tile-store flake gate: the eviction-coherence and revisit tests pump
+# packets through real goroutines while asserting exact desync/reference
+# counts — rerun them under -race across every package holding a piece
+# of the tile pipeline (dictionary, wire message, negotiation, host
+# substitution, viewer apply).
+go test -race -count=5 -run Tile ./internal/ah ./internal/codec ./internal/participant ./internal/remoting ./internal/sdp
 # Bench drift: re-measure the sharded fan-out tick latency and fail on
 # a >20% regression against the committed curve (absolute comparison
 # only when the environment matches the committed file; the fresh
 # sharded-vs-single-lock overhead check always applies).
 go run ./cmd/ads-bench -drift BENCH_sharded_fanout.json
+# Tile-store drift: re-measure the revisit-workload wire bytes and fail
+# when the store-on reduction drops below the 10x acceptance floor, or
+# when byte counts drift >10% against the committed file on a matching
+# Go version.
+go run ./cmd/ads-bench -tiles-drift BENCH_tilestore.json

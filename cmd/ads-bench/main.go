@@ -40,6 +40,8 @@ func main() {
 	baseline := flag.String("baseline", "", "run the tracked pipeline benchmarks (E19/E20/E21) and write JSON to this path (- for stdout)")
 	fanout := flag.String("fanout", "", "run the sharded fan-out benchmarks (E22) and write JSON to this path (- for stdout)")
 	drift := flag.String("drift", "", "re-measure the fan-out benchmarks and fail on >20% tick-latency regression against this committed JSON")
+	tiles := flag.String("tiles", "", "run the tile-store wire-byte benchmarks over the revisit workloads and write JSON to this path (- for stdout)")
+	tilesDrift := flag.String("tiles-drift", "", "re-measure the tile-store benchmarks and fail when the reduction drops below 10x or bytes drift >10% against this committed JSON")
 	flag.Parse()
 
 	if *baseline != "" {
@@ -56,6 +58,18 @@ func main() {
 	}
 	if *drift != "" {
 		if err := runDrift(*drift); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *tiles != "" {
+		if err := runTiles(*tiles); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *tilesDrift != "" {
+		if err := runTilesDrift(*tilesDrift); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,295 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+
+	"appshare"
+	"appshare/internal/workload"
+)
+
+// Tiles mode: measure the wire-byte effect of the persistent tile store
+// on the content-revisit workloads (scroll-back, window re-expose,
+// slide-revisit), store on vs store off. Unlike the latency benches the
+// numbers here are byte counters over deterministic virtual content —
+// no wall clock is involved — so the committed BENCH_tilestore.json is
+// re-verifiable anywhere the PNG encoder produces the same bytes (same
+// Go version). Regenerate with
+//
+//	go run ./cmd/ads-bench -tiles BENCH_tilestore.json
+//
+// The drift gate re-measures and fails when the revisit-phase reduction
+// falls below the 10x floor, or when the bytes drift >10% against the
+// committed file on a matching Go version:
+//
+//	go run ./cmd/ads-bench -tiles-drift BENCH_tilestore.json
+
+// tileReductionFloor is the acceptance bar: with the store on, the
+// revisit phase must ship at least this many times fewer bytes.
+const tileReductionFloor = 10.0
+
+// tilesProfile is one revisit workload with its warmup split: warmup
+// covers the first lap (every page still novel), measure covers pure
+// revisits. Boundaries are multiples of the generators' flip intervals.
+type tilesProfile struct {
+	Name     string // profile label in the JSON
+	Workload string // workload.ByName spelling
+	Warmup   int    // ticks before counters reset
+	Measure  int    // measured revisit-phase ticks
+}
+
+var tilesProfiles = []tilesProfile{
+	// pageflip: interval 2, 2 pages — both pages shown by tick 4.
+	{Name: "scroll-back", Workload: "pageflip", Warmup: 4, Measure: 40},
+	// reexpose: interval 3, 1 page — the very first re-blit is a revisit.
+	{Name: "re-expose", Workload: "reexpose", Warmup: 3, Measure: 39},
+	// slidecycle: interval 5, 4 pages — the first lap ends at tick 20.
+	{Name: "slide-revisit", Workload: "slidecycle", Warmup: 20, Measure: 40},
+}
+
+// tilesLeg is one (profile, store on/off) measurement over the revisit
+// phase.
+type tilesLeg struct {
+	// WireBytes counts every datagram byte the viewer's conn accepted
+	// (RTP headers included) during the measured ticks.
+	WireBytes uint64 `json:"wire_bytes"`
+	// UpdateBytes / TileRefBytes split the payload bytes by message
+	// kind (stats collector deltas over the measured ticks).
+	UpdateBytes  uint64 `json:"update_bytes"`
+	TileRefBytes uint64 `json:"tile_ref_bytes"`
+	// TileRefs counts TileReference messages substituted.
+	TileRefs uint64 `json:"tile_refs"`
+	// Encodes counts content-cache misses — actual PNG/JPEG encodes —
+	// during the measured ticks (revisits should hit the encode cache
+	// in BOTH legs; the store saves wire bytes on top of that).
+	Encodes uint64 `json:"encodes"`
+}
+
+type tilesPoint struct {
+	Profile      string   `json:"profile"`
+	Workload     string   `json:"workload"`
+	WarmupTicks  int      `json:"warmup_ticks"`
+	MeasureTicks int      `json:"measure_ticks"`
+	StoreOff     tilesLeg `json:"store_off"`
+	StoreOn      tilesLeg `json:"store_on"`
+	// Reduction is StoreOff.WireBytes / StoreOn.WireBytes.
+	Reduction float64 `json:"reduction"`
+}
+
+type tilesFile struct {
+	Schema     int          `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []tilesPoint `json:"points"`
+}
+
+// countingConn is a discardConn that tallies datagram bytes. The
+// sharded send path delivers from sender goroutines, so the counter is
+// atomic.
+type countingConn struct {
+	*discardConn
+	bytes atomic.Uint64
+}
+
+func newCountingConn() *countingConn { return &countingConn{discardConn: newDiscardConn()} }
+
+func (c *countingConn) Send(pkt []byte) error {
+	c.bytes.Add(uint64(len(pkt)))
+	return nil
+}
+
+func (c *countingConn) SendBatch(pkts [][]byte) (int, error) {
+	for _, pkt := range pkts {
+		c.bytes.Add(uint64(len(pkt)))
+	}
+	return len(pkts), nil
+}
+
+// measureTilesLeg runs one profile against a single UDP viewer and
+// returns the revisit-phase counters. The desktop mirrors the netsim
+// default: a 320x240 desktop with the shared window at 256x192 — an
+// exact 8x6 grid of default-size tiles.
+func measureTilesLeg(p tilesProfile, store bool) (tilesLeg, error) {
+	var leg tilesLeg
+	desk := appshare.NewDesktop(320, 240)
+	win := desk.CreateWindow(1, appshare.XYWH(12, 10, 256, 192))
+	coll := appshare.NewStats()
+	cfg := appshare.HostConfig{Desktop: desk, Stats: coll}
+	if store {
+		cfg.TileStore = &appshare.TileStoreConfig{}
+	}
+	host, err := appshare.NewHost(cfg)
+	if err != nil {
+		return leg, err
+	}
+	defer host.Close()
+	conn := newCountingConn()
+	if _, err := host.AttachPacketConn("v", conn, appshare.PacketOptions{TileStore: store}); err != nil {
+		return leg, err
+	}
+	wl, err := workload.ByName(p.Workload, desk, win, 7)
+	if err != nil {
+		return leg, err
+	}
+	tick := func(n int) error {
+		for i := 0; i < n; i++ {
+			wl.Step()
+			if err := host.Tick(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := tick(p.Warmup); err != nil {
+		return leg, err
+	}
+	wire0 := conn.bytes.Load()
+	upd0 := coll.Get("RegionUpdate")
+	ref0 := coll.Get("TileReference")
+	enc0 := coll.Get("EncodeCacheMiss")
+	if err := tick(p.Measure); err != nil {
+		return leg, err
+	}
+	leg.WireBytes = conn.bytes.Load() - wire0
+	leg.UpdateBytes = coll.Get("RegionUpdate").Bytes - upd0.Bytes
+	ref := coll.Get("TileReference")
+	leg.TileRefBytes = ref.Bytes - ref0.Bytes
+	leg.TileRefs = ref.Messages - ref0.Messages
+	leg.Encodes = coll.Get("EncodeCacheMiss").Messages - enc0.Messages
+	return leg, nil
+}
+
+// measureTiles runs every profile, both legs.
+func measureTiles() ([]tilesPoint, error) {
+	var points []tilesPoint
+	for _, p := range tilesProfiles {
+		off, err := measureTilesLeg(p, false)
+		if err != nil {
+			return nil, fmt.Errorf("tiles: %s store-off: %w", p.Name, err)
+		}
+		on, err := measureTilesLeg(p, true)
+		if err != nil {
+			return nil, fmt.Errorf("tiles: %s store-on: %w", p.Name, err)
+		}
+		pt := tilesPoint{
+			Profile: p.Name, Workload: p.Workload,
+			WarmupTicks: p.Warmup, MeasureTicks: p.Measure,
+			StoreOff: off, StoreOn: on,
+		}
+		if on.WireBytes > 0 {
+			pt.Reduction = float64(off.WireBytes) / float64(on.WireBytes)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func printTilesPoint(prefix string, p tilesPoint) {
+	fmt.Printf("%s%-14s off=%8dB on=%7dB (x%.1f) refs=%d ref-bytes=%dB encodes off/on=%d/%d\n",
+		prefix, p.Profile, p.StoreOff.WireBytes, p.StoreOn.WireBytes, p.Reduction,
+		p.StoreOn.TileRefs, p.StoreOn.TileRefBytes, p.StoreOff.Encodes, p.StoreOn.Encodes)
+}
+
+func runTiles(path string) error {
+	points, err := measureTiles()
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		printTilesPoint("tiles: ", p)
+		if p.Reduction < tileReductionFloor {
+			return fmt.Errorf("tiles: %s reduction x%.1f is below the x%.0f acceptance floor",
+				p.Profile, p.Reduction, tileReductionFloor)
+		}
+	}
+	out := tilesFile{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runTilesDrift re-measures the revisit profiles and fails when the
+// reduction drops below the floor, or when byte counts drift >10%
+// against the committed file. Byte counts depend only on the content
+// pipeline (PNG output varies across Go releases), so the absolute
+// comparison applies when the committed Go version matches.
+func runTilesDrift(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed tilesFile
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("tiles-drift: parsing %s: %w", path, err)
+	}
+	byProfile := make(map[string]tilesPoint, len(committed.Points))
+	for _, p := range committed.Points {
+		byProfile[p.Profile] = p
+	}
+	verMatches := committed.GoVersion == runtime.Version()
+	if !verMatches {
+		fmt.Fprintf(os.Stderr,
+			"warning: committed tile baseline is %s, this run is %s — skipping absolute byte diffs\n",
+			committed.GoVersion, runtime.Version())
+	}
+	const tolerance = 1.10
+	var failures []string
+	points, err := measureTiles()
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		printTilesPoint("tiles-drift: ", p)
+		if p.Reduction < tileReductionFloor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: wire-byte reduction x%.1f fell below the x%.0f floor",
+				p.Profile, p.Reduction, tileReductionFloor))
+		}
+		base, ok := byProfile[p.Profile]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "warning: committed file has no %q point; skipping\n", p.Profile)
+			continue
+		}
+		if verMatches {
+			if f := float64(p.StoreOn.WireBytes); f > float64(base.StoreOn.WireBytes)*tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"%s: store-on bytes %d regressed >10%% against committed %d",
+					p.Profile, p.StoreOn.WireBytes, base.StoreOn.WireBytes))
+			}
+			if f := float64(p.StoreOff.WireBytes); f > float64(base.StoreOff.WireBytes)*tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"%s: store-off bytes %d grew >10%% against committed %d (baseline shifted?)",
+					p.Profile, p.StoreOff.WireBytes, base.StoreOff.WireBytes))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "tiles-drift FAIL: "+f)
+		}
+		return fmt.Errorf("tiles-drift: %d regression(s)", len(failures))
+	}
+	fmt.Println("tiles-drift: ok")
+	return nil
+}

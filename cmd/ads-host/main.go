@@ -26,7 +26,7 @@ func main() {
 		udpAddr   = flag.String("udp", "", "UDP listen address (empty to disable)")
 		width     = flag.Int("width", 1280, "desktop width in pixels")
 		height    = flag.Int("height", 1024, "desktop height in pixels")
-		wl        = flag.String("workload", "typing", "workload: typing|scrolling|slideshow|video|drag|editor|whiteboard|slides|idle")
+		wl        = flag.String("workload", "typing", "workload: typing|scrolling|slideshow|video|drag|editor|whiteboard|slides|slidecycle|pageflip|reexpose|idle")
 		fps       = flag.Int("fps", 10, "capture ticks per second")
 		duration  = flag.Duration("duration", 0, "how long to run (0 = forever)")
 		retrans   = flag.Bool("retransmissions", true, "serve NACK retransmissions to UDP participants")
@@ -45,6 +45,8 @@ func main() {
 		ladderDwell   = flag.Duration("ladder-dwell", 0, "minimum time between tier moves for one participant (0 = default)")
 
 		sendShards = flag.Int("send-shards", 0, "fan-out shards, each with its own sender goroutine (0 = GOMAXPROCS, 1 = inline single-lock fan-out)")
+
+		tileStore = flag.Bool("tile-store", false, "enable the persistent tile store: revisited content ships as tile references instead of re-encoded pixels")
 	)
 	flag.Parse()
 
@@ -56,6 +58,7 @@ func main() {
 			OfferUDP:        *udpAddr != "",
 			OfferTCP:        *tcpAddr != "",
 			Retransmissions: *retrans,
+			TileStore:       *tileStore,
 			HIPPort:         6006,
 			HIPPT:           100,
 		})
@@ -90,6 +93,12 @@ func main() {
 	case "slides":
 		apps.NewSlides(win, 12, 1)
 		w = workload.Idle{}
+	case "slidecycle":
+		w = workload.NewRevisit("slidecycle", win, 4, *fps/2+1, 1)
+	case "pageflip":
+		w = workload.NewRevisit("pageflip", win, 2, *fps/4+1, 1)
+	case "reexpose":
+		w = workload.NewRevisit("reexpose", win, 1, *fps/3+1, 1)
 	case "idle":
 		w = workload.Idle{}
 	default:
@@ -99,6 +108,10 @@ func main() {
 	policy, err := appshare.ParseEvictionPolicy(*eviction)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var tileCfg *appshare.TileStoreConfig
+	if *tileStore {
+		tileCfg = &appshare.TileStoreConfig{}
 	}
 	var ladderCfg *appshare.LadderConfig
 	if *ladder {
@@ -119,6 +132,7 @@ func main() {
 		EvictionPolicy:  policy,
 		Ladder:          ladderCfg,
 		SendShards:      *sendShards,
+		TileStore:       tileCfg,
 		OnEvict: func(snap appshare.RemoteHealth) {
 			log.Printf("evicted participant %s: %s", snap.ID, snap.EvictReason)
 		},
@@ -136,7 +150,7 @@ func main() {
 		defer ln.Close()
 		log.Printf("serving TCP participants on %s", ln.Addr())
 		go func() {
-			if err := appshare.ServeTCP(host, ln, appshare.StreamOptions{ReadIdleTimeout: *readIdle}); err != nil {
+			if err := appshare.ServeTCP(host, ln, appshare.StreamOptions{ReadIdleTimeout: *readIdle, TileStore: *tileStore}); err != nil {
 				log.Printf("tcp server: %v", err)
 			}
 		}()
@@ -153,7 +167,7 @@ func main() {
 		defer sock.Close()
 		log.Printf("serving UDP participants on %s (join with a PLI)", sock.LocalAddr())
 		go func() {
-			if err := appshare.ServeUDP(host, sock, appshare.PacketOptions{}); err != nil {
+			if err := appshare.ServeUDP(host, sock, appshare.PacketOptions{TileStore: *tileStore}); err != nil {
 				log.Printf("udp server: %v", err)
 			}
 		}()

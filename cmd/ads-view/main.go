@@ -32,6 +32,7 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "how long to view")
 		nack     = flag.Bool("nack", true, "send NACK requests for missing packets (UDP)")
 		record   = flag.String("record", "", "record the session to a trace file (replay with ads-replay)")
+		tiles    = flag.Bool("tile-store", false, "negotiate the tile store (must match the host's -tile-store)")
 	)
 	flag.Parse()
 	if (*tcpAddr == "") == (*udpAddr == "") {
@@ -53,6 +54,7 @@ func main() {
 	p := appshare.NewParticipant(appshare.ParticipantConfig{
 		Layout:      lay,
 		ScreenWidth: *width, ScreenHeight: *height,
+		TileStore: *tiles,
 	})
 
 	var conn *appshare.Connection

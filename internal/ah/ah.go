@@ -105,6 +105,13 @@ type Config struct {
 	// Zero-valued fields take the ladder defaults. The config is copied
 	// at New; later mutation has no effect.
 	Ladder *LadderConfig
+	// TileStore, when non-nil, enables the persistent tile store (see
+	// tilestore.go): lossless updates are tiled and content-hashed at
+	// capture, and remotes that negotiated the capability receive
+	// TileReference messages for regions whose tiles they already hold.
+	// Zero-valued fields take the tile-store defaults; the config is
+	// copied at New.
+	TileStore *TileStoreConfig
 	// SendShards is the number of fan-out shards the remote set is split
 	// across (see shard.go): each shard has its own lock and persistent
 	// sender goroutine, so deliveries to different shards proceed in
@@ -208,6 +215,13 @@ func New(cfg Config) (*Host, error) {
 		lc := cfg.Ladder.withDefaults()
 		cfg.Ladder = &lc
 	}
+	if cfg.TileStore != nil {
+		tc := cfg.TileStore.withDefaults()
+		cfg.TileStore = &tc
+		// The capture pipeline computes the tile hashes; its tile size
+		// must be the store's.
+		cfg.Capture.TileSize = tc.TileSize
+	}
 	if cfg.SendShards == 0 {
 		cfg.SendShards = runtime.GOMAXPROCS(0)
 	}
@@ -302,7 +316,7 @@ func (h *Host) Tick() error {
 	if err != nil {
 		return err
 	}
-	prep, err := prepareBatch(batch, h.cfg.MTU)
+	prep, err := prepareBatch(batch, h.cfg.MTU, h.cfg.TileStore)
 	if err != nil {
 		return err
 	}
@@ -337,7 +351,10 @@ func (h *Host) serveRefreshers() error {
 	if err != nil {
 		return err
 	}
-	prep, err := prepareBatch(b, h.cfg.MTU)
+	// The refresh ships pixels (tileCompose never substitutes references
+	// on refresh paths), but the prepared tiles still matter: they teach
+	// each refresher's seen-set, healing desynced dictionaries.
+	prep, err := prepareBatch(b, h.cfg.MTU, h.cfg.TileStore)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"appshare/internal/capture"
+	"appshare/internal/codec"
 	"appshare/internal/framing"
 	"appshare/internal/region"
 	"appshare/internal/rtp"
@@ -58,6 +59,14 @@ type Remote struct {
 	// rawScratch is the per-remote marshal scratch reused by
 	// sendPrepared's batched ship; guarded by sh.mu like the rest.
 	rawScratch [][]byte
+
+	// tileSeen is the tile-store seen-set of this remote — the tiles it
+	// has received at full fidelity this session, in arrival order (see
+	// tilestore.go). nil unless both the host config and the remote's
+	// attach options enabled the store. tileRefs counts substituted
+	// TileReference messages. Guarded by sh.mu.
+	tileSeen *codec.TileDict
+	tileRefs uint64
 
 	// Deferred screen state under backlog (Section 7): regions to
 	// re-capture once the link drains, plus a pointer refresh flag.
@@ -264,7 +273,7 @@ func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
 		}
 		return r.flushPending()
 	}
-	return r.sendPrepared(prep.msgs)
+	return r.sendPrepared(r.tileCompose(prep, true))
 }
 
 // deferScreenData folds the batch into the pending set AND counts a
@@ -315,18 +324,25 @@ func (r *Remote) flushPendingWith(encode func(region.Rect) ([]capture.Update, er
 	}
 	r.pending.Clear()
 	r.pendingPointer = false
-	return r.sendBatch(flush)
+	// A flush is ordinary delivery — the viewer's state is trusted — so
+	// tile references are fair game for regions it has already seen.
+	return r.sendBatch(flush, true)
 }
 
-// sendBatch marshals and ships a batch to this remote alone. The owning
-// shard's lock is held. (Tick's fan-out paths marshal once via
-// prepareBatch and call sendPrepared directly.)
-func (r *Remote) sendBatch(b *capture.Batch) error {
-	prep, err := prepareBatch(b, r.host.cfg.MTU)
+// sendBatch marshals and ships a batch to this remote alone, routing it
+// through the tile store (allowRefs false on refresh paths, which must
+// carry real pixels). The owning shard's lock is held. (Tick's fan-out
+// paths marshal once via prepareBatch and call sendPrepared directly.)
+func (r *Remote) sendBatch(b *capture.Batch, allowRefs bool) error {
+	var ts *TileStoreConfig
+	if r.tileSeen != nil {
+		ts = r.host.cfg.TileStore
+	}
+	prep, err := prepareBatch(b, r.host.cfg.MTU, ts)
 	if err != nil {
 		return err
 	}
-	return r.sendPrepared(prep.msgs)
+	return r.sendPrepared(r.tileCompose(prep, allowRefs))
 }
 
 func (r *Remote) shipAndLog(pkt []byte, kind string) error {
@@ -376,7 +392,12 @@ func (r *Remote) fullRefresh() error {
 	}
 	r.pending.Clear()
 	r.pendingPointer = false
-	return r.sendBatch(b)
+	// Refreshes ship pixels only: the requester's state is stale or
+	// unknown, and its tile dictionary may be too. The seen-set restarts
+	// empty and the lossless updates reseed it, re-synchronizing both
+	// dictionaries from the refresh onward.
+	r.tileReset()
+	return r.sendBatch(b, false)
 }
 
 // resend services a NACK for the given sequence numbers from the
@@ -481,6 +502,11 @@ type StreamOptions struct {
 	// remote detached. This catches black-holed TCP peers the transport
 	// alone would keep alive for minutes.
 	ReadIdleTimeout time.Duration
+	// TileStore marks the participant as having negotiated the tile-store
+	// capability (the "tilestore" fmtp parameter). Effective only when
+	// the host itself has Config.TileStore; un-negotiated viewers always
+	// receive plain pixel updates.
+	TileStore bool
 }
 
 // readDeadliner is the subset of net.Conn the idle-timeout wiring needs.
@@ -514,6 +540,11 @@ func (h *Host) AttachStream(id string, rw io.ReadWriteCloser, opts StreamOptions
 		noDefer: opts.DisableCoalescing,
 	}
 	r := h.newRemote(id, opts.UserID, s)
+	if opts.TileStore && h.cfg.TileStore != nil {
+		// Seen-set starts empty: a late joiner has seen nothing, so its
+		// initial full refresh below ships pixels and seeds both sides.
+		r.tileSeen = codec.NewTileDict(h.cfg.TileStore.DictCapacity)
+	}
 	if err := h.addRemoteUnique(r); err != nil {
 		_ = s.close()
 		return nil, err
@@ -591,6 +622,9 @@ type PacketOptions struct {
 	// participant (Section 4.3: "The AH controls the transmission rate
 	// for participants using UDP"). 0 = unlimited.
 	BytesPerSecond int
+	// TileStore marks the participant as having negotiated the
+	// tile-store capability (see StreamOptions.TileStore).
+	TileStore bool
 }
 
 // packetSink ships datagrams with an AH-enforced rate budget.
@@ -677,6 +711,9 @@ func (h *Host) AttachPacketConn(id string, conn transport.PacketConn, opts Packe
 		s.batch = bs
 	}
 	r := h.newRemote(id, opts.UserID, s)
+	if opts.TileStore && h.cfg.TileStore != nil {
+		r.tileSeen = codec.NewTileDict(h.cfg.TileStore.DictCapacity)
+	}
 	// No ID-uniqueness here: packet IDs are caller-chosen labels (ServeUDP
 	// already keys by unique source address), and sharing one ID across
 	// conns is an established pattern (e.g. multicast-style fan-out tests).

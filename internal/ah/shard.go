@@ -115,7 +115,13 @@ func (h *Host) runShardWork(w *shardWork) {
 			}
 			r.pending.Clear()
 			r.pendingPointer = false
-			if err := r.sendPrepared(w.prep.msgs); err != nil && w.err == nil {
+			// allowRefs false: a refresh answers a viewer whose state —
+			// possibly including its tile dictionary — cannot be trusted.
+			// The seen-set restarts empty and the refresh's lossless
+			// updates reseed it, dropping any pre-desync entries the
+			// viewer may no longer hold.
+			r.tileReset()
+			if err := r.sendPrepared(r.tileCompose(w.prep, false)); err != nil && w.err == nil {
 				w.err = err
 			}
 		}

@@ -1,0 +1,279 @@
+package ah
+
+import (
+	"bytes"
+	"fmt"
+	"image/color"
+	"testing"
+
+	"appshare/internal/display"
+	"appshare/internal/participant"
+	"appshare/internal/region"
+	"appshare/internal/transport"
+)
+
+var (
+	green  = color.RGBA{0, 0xFF, 0, 0xFF}
+	yellow = color.RGBA{0xFF, 0xFF, 0, 0xFF}
+)
+
+// newTileHost builds a host with the tile store enabled and one 64×64
+// shared window — an exact 2×2 grid of default-size tiles, so a
+// whole-window fill is one update whose tiles all hash identically
+// (one distinct dictionary key per fill color).
+func newTileHost(t *testing.T, dictCap int) (*Host, *display.Window) {
+	t.Helper()
+	d := display.NewDesktop(200, 150)
+	w := d.CreateWindow(1, region.XYWH(20, 10, 64, 64))
+	h, err := New(Config{
+		Desktop:            d,
+		MinRefreshInterval: -1, // tests drive PLIs explicitly
+		TileStore:          &TileStoreConfig{DictCapacity: dictCap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, w
+}
+
+type tileViewer struct {
+	p    *participant.Participant
+	conn transport.PacketConn // participant end; Send carries feedback up
+	rem  *Remote
+}
+
+// attachTileViewer connects a packet viewer over a lossless pipe, sends
+// its initial PLI and ticks the join refresh through.
+func attachTileViewer(t *testing.T, h *Host, name string, tiled bool, dictCap int) *tileViewer {
+	t.Helper()
+	hostConn, partConn := transport.Pipe(transport.LinkConfig{}, transport.LinkConfig{})
+	p := participant.New(participant.Config{TileStore: tiled, TileDictCapacity: dictCap})
+	go func() {
+		for {
+			pkt, err := partConn.Recv()
+			if err != nil {
+				return
+			}
+			_ = p.HandlePacket(pkt)
+		}
+	}()
+	rem, err := h.AttachPacketConn(name, hostConn, PacketOptions{TileStore: tiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &tileViewer{p: p, conn: partConn, rem: rem}
+	v.sendPLI(t)
+	settle()
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	return v
+}
+
+func (v *tileViewer) sendPLI(t *testing.T) {
+	t.Helper()
+	pli, err := v.p.BuildPLI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.conn.Send(pli); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// requireConverged compares the participant's window image byte-for-byte
+// with the host's buffer.
+func requireConverged(t *testing.T, w *display.Window, p *participant.Participant, label string) {
+	t.Helper()
+	want := w.Snapshot()
+	got := p.WindowImage(w.ID())
+	if got == nil {
+		t.Fatalf("%s: window missing at participant", label)
+	}
+	if got.Bounds() != want.Bounds() || !bytes.Equal(got.Pix, want.Pix) {
+		t.Fatalf("%s: participant image diverged from host buffer", label)
+	}
+}
+
+func fillTick(t *testing.T, h *Host, w *display.Window, c color.RGBA) {
+	t.Helper()
+	w.Fill(region.XYWH(0, 0, 64, 64), c)
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTileRefSubstitutionOnRevisit is the unit-level version of the
+// revisit claim: the second time the exact same pixels occupy the exact
+// same rectangle, a negotiated viewer gets a TileReference instead of
+// re-encoded pixels — and still converges.
+func TestTileRefSubstitutionOnRevisit(t *testing.T) {
+	h, w := newTileHost(t, 0)
+	defer h.Close()
+	v := attachTileViewer(t, h, "v", true, 0)
+
+	fillTick(t, h, w, red)
+	fillTick(t, h, w, blue)
+	if got := v.rem.TileRefs(); got != 0 {
+		t.Fatalf("novel content substituted %d references", got)
+	}
+	fillTick(t, h, w, red) // revisit
+	settle()
+
+	if got := v.rem.TileRefs(); got == 0 {
+		t.Fatal("revisit did not substitute a tile reference")
+	}
+	if got := v.p.TileDesyncs(); got != 0 {
+		t.Fatalf("desyncs = %d, want 0", got)
+	}
+	requireConverged(t, w, v.p, "after revisit")
+}
+
+// TestTileMixedFanout: one tick's fan-out carries references to the
+// negotiated viewer and pixels to the plain one; both converge.
+func TestTileMixedFanout(t *testing.T) {
+	h, w := newTileHost(t, 0)
+	defer h.Close()
+	tiled := attachTileViewer(t, h, "tiled", true, 0)
+	plain := attachTileViewer(t, h, "plain", false, 0)
+
+	fillTick(t, h, w, red)
+	fillTick(t, h, w, blue)
+	fillTick(t, h, w, red)
+	settle()
+
+	if got := tiled.rem.TileRefs(); got == 0 {
+		t.Fatal("negotiated viewer received no references")
+	}
+	if got := plain.rem.TileRefs(); got != 0 {
+		t.Fatalf("plain viewer received %d references", got)
+	}
+	if got := plain.p.IgnoredExtensions(); got != 0 {
+		t.Fatalf("plain viewer had to ignore %d extension messages", got)
+	}
+	requireConverged(t, w, tiled.p, "tiled viewer")
+	requireConverged(t, w, plain.p, "plain viewer")
+}
+
+// TestTileRefreshShipsPixels: a refresh answers a viewer whose state
+// cannot be trusted, so it must carry real pixels even when every tile
+// is in the seen-set.
+func TestTileRefreshShipsPixels(t *testing.T) {
+	h, w := newTileHost(t, 0)
+	defer h.Close()
+	v := attachTileViewer(t, h, "v", true, 0)
+
+	fillTick(t, h, w, red)
+	fillTick(t, h, w, blue)
+	fillTick(t, h, w, red)
+	settle()
+	refs := v.rem.TileRefs()
+	if refs == 0 {
+		t.Fatal("precondition: no references substituted")
+	}
+
+	v.sendPLI(t)
+	settle()
+	if err := h.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+
+	if got := v.rem.TileRefs(); got != refs {
+		t.Fatalf("refresh substituted references (%d -> %d)", refs, got)
+	}
+	if v.p.NeedsRefresh() {
+		t.Fatal("refresh did not clear the desync latch")
+	}
+	requireConverged(t, w, v.p, "after refresh")
+}
+
+// TestTileEvictionCoherence is the eviction-coherence table (see
+// DESIGN.md "Tile store"): host and viewer dictionaries run the same
+// deterministic FIFO, so matched capacities never let the host
+// reference a tile the viewer evicted — and a deliberately smaller
+// viewer dictionary degrades to a refresh, never to a wrong paint.
+//
+// The drive cycles four fill colors (four distinct tile keys, plus the
+// join refresh's white) and then revisits the first color.
+func TestTileEvictionCoherence(t *testing.T) {
+	cases := []struct {
+		name      string
+		hostCap   int // host seen-set capacity, in tiles
+		viewerCap int // viewer dictionary capacity
+		// wantRefs: the revisit is served from the dictionary.
+		wantRefs bool
+		// wantDesync: the viewer must reject a reference and heal by
+		// refresh. Implies wantRefs.
+		wantDesync bool
+	}{
+		// Both sides remember everything: the revisit is a reference and
+		// the viewer resolves it.
+		{name: "equal-large", hostCap: 8, viewerCap: 8, wantRefs: true},
+		// Both sides forgot the revisited tiles IN LOCKSTEP: the host
+		// ships pixels again, the viewer never sees a dangling reference.
+		{name: "equal-small", hostCap: 2, viewerCap: 2},
+		// The viewer evicts earlier than the host believes: the reference
+		// names an evicted tile, the viewer discards it, latches a
+		// refresh, and converges on the healing pixels.
+		{name: "viewer-smaller", hostCap: 8, viewerCap: 2, wantRefs: true, wantDesync: true},
+	}
+	palette := []color.RGBA{red, blue, green, yellow}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, w := newTileHost(t, tc.hostCap)
+			defer h.Close()
+			v := attachTileViewer(t, h, "v", true, tc.viewerCap)
+
+			for _, c := range palette {
+				fillTick(t, h, w, c)
+			}
+			settle()
+			if got := v.p.TileDesyncs(); got != 0 {
+				t.Fatalf("desyncs = %d before the revisit", got)
+			}
+			fillTick(t, h, w, palette[0]) // revisit the first color
+			settle()
+
+			if gotRefs := v.rem.TileRefs() > 0; gotRefs != tc.wantRefs {
+				t.Fatalf("references substituted = %v, want %v (host seen-set %+v)",
+					gotRefs, tc.wantRefs, v.rem.TileDictStats())
+			}
+			desyncs := v.p.TileDesyncs()
+			if (desyncs > 0) != tc.wantDesync {
+				t.Fatalf("desyncs = %d, wantDesync = %v", desyncs, tc.wantDesync)
+			}
+			if tc.wantDesync {
+				if !v.p.NeedsRefresh() {
+					t.Fatal("rejected reference did not latch a refresh")
+				}
+				// The degraded path: the stale region was NOT painted. The
+				// screen shows the previous color wherever the reference was
+				// discarded — anything but a silently wrong revisit paint is
+				// acceptable, and convergence is restored by the refresh.
+				v.sendPLI(t)
+				settle()
+				if err := h.Tick(); err != nil {
+					t.Fatal(err)
+				}
+				settle()
+				if v.p.NeedsRefresh() {
+					t.Fatal("refresh did not heal the viewer")
+				}
+			}
+			requireConverged(t, w, v.p, fmt.Sprintf("case %s", tc.name))
+
+			// After healing (or a clean revisit), the next revisit of the
+			// same content must work without any desync: the refresh
+			// re-taught both sides the same tiles in the same order.
+			fillTick(t, h, w, palette[1])
+			fillTick(t, h, w, palette[0])
+			settle()
+			if got := v.p.TileDesyncs(); got != desyncs {
+				t.Fatalf("post-heal revisit desynced again (%d -> %d)", desyncs, got)
+			}
+			requireConverged(t, w, v.p, fmt.Sprintf("case %s post-heal", tc.name))
+		})
+	}
+}

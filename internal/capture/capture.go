@@ -57,6 +57,14 @@ type Options struct {
 	// PLI re-sends, identical tiles) without re-encoding. Zero selects
 	// DefaultCacheBytes; negative disables the cache.
 	CacheBytes int
+	// TileSize, when positive, computes the tile-store content hashes of
+	// every losslessly-encoded update (Update.Tiles): the grid of
+	// TileSize×TileSize tiles anchored at the update rectangle, hashed
+	// from the exact pixels the encode consumed. Zero disables tile
+	// hashing (Update.Tiles stays nil). Lossy (JPEG) and degraded-tier
+	// encodes never carry tiles — their decoded pixels would not match
+	// the hashes.
+	TileSize int
 }
 
 // DefaultCacheBytes is the payload-cache budget used when
@@ -70,6 +78,11 @@ const DefaultCacheBytes = 16 << 20
 type Update struct {
 	Msg  *remoting.RegionUpdate
 	Rect region.Rect
+	// Tiles holds the row-major tile-grid content hashes of the encoded
+	// pixels when Options.TileSize is set and the content codec is
+	// lossless; nil otherwise. The send path uses them to substitute a
+	// TileReference for remotes whose dictionary has seen every tile.
+	Tiles []codec.TileKey
 }
 
 // Batch is the protocol output of one capture tick, in apply order:
@@ -299,6 +312,7 @@ func (p *Pipeline) encodeWindowRect(w *display.Window, r region.Rect) (Update, e
 	}
 	abs := r.Translate(w.Bounds().Left, w.Bounds().Top)
 	var content []byte
+	var tiles []codec.TileKey
 	var err error
 	if p.opts.PointerInUpdates && p.cursorRect().Overlaps(abs) {
 		// First mouse model: the cursor sprite is composited into the
@@ -314,9 +328,17 @@ func (p *Pipeline) encodeWindowRect(w *display.Window, r region.Rect) (Update, e
 			cur.X-abs.Left+sb.Dx(), cur.Y-abs.Top+sb.Dy())
 		draw.Draw(crop, dst, cur.Sprite, sb.Min, draw.Over)
 		content, err = p.encodeCached(c, crop, crop.Bounds())
+		// Tile hashes cover the composite — exactly what the viewer will
+		// decode and hash on its side.
+		if err == nil && p.opts.TileSize > 0 && codec.LosslessPT(c.PayloadType()) {
+			tiles = codec.TileGridKeys(crop, crop.Bounds(), p.opts.TileSize)
+		}
 		codec.PutRGBA(crop)
 	} else {
 		content, err = p.encodeCached(c, w.Image(), imgRect)
+		if err == nil && p.opts.TileSize > 0 && codec.LosslessPT(c.PayloadType()) {
+			tiles = codec.TileGridKeys(w.Image(), imgRect, p.opts.TileSize)
+		}
 	}
 	if err != nil {
 		return Update{}, fmt.Errorf("capture: encode window %d rect %v: %w", w.ID(), r, err)
@@ -329,7 +351,8 @@ func (p *Pipeline) encodeWindowRect(w *display.Window, r region.Rect) (Update, e
 			Top:       uint32(abs.Top),
 			Content:   content,
 		},
-		Rect: abs,
+		Rect:  abs,
+		Tiles: tiles,
 	}, nil
 }
 

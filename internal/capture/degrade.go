@@ -53,8 +53,11 @@ func (p *Pipeline) encodeWindowRectDegraded(w *display.Window, r region.Rect, bl
 	// Fast path: hash the SOURCE pixels under the tier-salted key. A hit
 	// skips the crop and the pixelation pass entirely, not just the
 	// compressor — the (content, tier) key guarantees the cached payload
-	// was produced from identical pixels at this block size.
-	if p.cache != nil && !cursorOverlap {
+	// was produced from identical pixels at this block size. With tile
+	// hashing on the path is skipped: the tile keys must cover the
+	// PIXELATED pixels (exactly what the viewer will decode and learn),
+	// which this path never materializes.
+	if p.cache != nil && !cursorOverlap && p.opts.TileSize == 0 {
 		clipped := imgRect.Intersect(w.Image().Bounds())
 		if clipped.Empty() {
 			return Update{}, fmt.Errorf("capture: degraded encode window %d rect %v: %w",
@@ -62,7 +65,7 @@ func (p *Pipeline) encodeWindowRectDegraded(w *display.Window, r region.Rect, bl
 		}
 		key := codec.KeyForTier(c.PayloadType(), uint32(block), w.Image(), clipped)
 		if payload, ok := p.cache.Get(key); ok {
-			return degradedUpdate(w, c, abs, payload), nil
+			return degradedUpdate(w, c, abs, payload, nil), nil
 		}
 		crop := codec.GetRGBA(clipped.Dx(), clipped.Dy())
 		draw.Draw(crop, crop.Bounds(), w.Image(), clipped.Min, draw.Src)
@@ -73,7 +76,7 @@ func (p *Pipeline) encodeWindowRectDegraded(w *display.Window, r region.Rect, bl
 			return Update{}, fmt.Errorf("capture: degraded encode window %d rect %v: %w", w.ID(), r, err)
 		}
 		p.cache.Put(key, payload)
-		return degradedUpdate(w, c, abs, payload), nil
+		return degradedUpdate(w, c, abs, payload, nil), nil
 	}
 
 	// Cursor-overlap (or cache-disabled) path: composite first, pixelate
@@ -91,15 +94,24 @@ func (p *Pipeline) encodeWindowRectDegraded(w *display.Window, r region.Rect, bl
 		draw.Draw(crop, dst, cur.Sprite, sb.Min, draw.Over)
 	}
 	pixelate(crop, block)
+	// A lossless encode of pixelated pixels is still lossless: the viewer
+	// decodes exactly these pixels, so tile hashes of the pixelated crop
+	// keep the two dictionaries in lockstep even while a remote rides the
+	// degraded tier — and re-flushed identical degraded damage can ship
+	// as tile references too.
+	var tiles []codec.TileKey
+	if p.opts.TileSize > 0 && codec.LosslessPT(c.PayloadType()) {
+		tiles = codec.TileGridKeys(crop, crop.Bounds(), p.opts.TileSize)
+	}
 	content, err := p.encodeCached(c, crop, crop.Bounds())
 	codec.PutRGBA(crop)
 	if err != nil {
 		return Update{}, fmt.Errorf("capture: degraded encode window %d rect %v: %w", w.ID(), r, err)
 	}
-	return degradedUpdate(w, c, abs, content), nil
+	return degradedUpdate(w, c, abs, content, tiles), nil
 }
 
-func degradedUpdate(w *display.Window, c codec.Codec, abs region.Rect, content []byte) Update {
+func degradedUpdate(w *display.Window, c codec.Codec, abs region.Rect, content []byte, tiles []codec.TileKey) Update {
 	return Update{
 		Msg: &remoting.RegionUpdate{
 			WindowID:  w.ID(),
@@ -108,7 +120,8 @@ func degradedUpdate(w *display.Window, c codec.Codec, abs region.Rect, content [
 			Top:       uint32(abs.Top),
 			Content:   content,
 		},
-		Rect: abs,
+		Rect:  abs,
+		Tiles: tiles,
 	}
 }
 

@@ -1,0 +1,201 @@
+package codec
+
+import (
+	"container/list"
+	"image"
+)
+
+// Tile store primitives (WebNC direction, see DESIGN.md "Tile store").
+//
+// A region update is split into a grid of fixed-size tiles anchored at the
+// update rectangle's top-left corner (edge tiles are clipped). Each tile
+// is addressed by its clipped dimensions plus the same 128-bit two-lane
+// FNV content hash the payload cache uses, so host and viewer can agree
+// on "this exact block of pixels" without shipping the pixels again.
+//
+// The host keeps one TileDict per negotiated remote recording which tiles
+// that remote has been SENT at full fidelity; the viewer keeps one
+// TileDict holding the pixels it has RECEIVED. Both are bounded to the
+// same negotiated capacity and evolve under the same deterministic policy
+// (insertion order, re-learn moves to back, lookups never reorder), so as
+// long as the learn stream arrives, the two dictionaries evict in
+// lockstep. Loss or a late join only ever makes the viewer know LESS than
+// the host assumes — the viewer then treats an unknown reference as a
+// desynchronization and requests a refresh, never painting stale tiles.
+
+// DefaultTileSize is the tile edge length (pixels) used when a tile store
+// is enabled without an explicit size.
+const DefaultTileSize = 32
+
+// DefaultTileDictCapacity is the default bound, in tiles, of the
+// synchronized dictionary. At 32×32 RGBA a full viewer-side dictionary
+// holds capacity × 4 KiB of pixels (16 MiB at the default).
+const DefaultTileDictCapacity = 4096
+
+// TileKey addresses one tile: clipped dimensions plus the two FNV-1a hash
+// lanes of KeyFor/hashRegion. Two independent 64-bit lanes make a
+// collision (which would paint the wrong pixels) astronomically unlikely.
+type TileKey struct {
+	W, H   int
+	H1, H2 uint64
+}
+
+// TileKeyFor hashes the pixels of src inside r (which must lie within
+// src.Bounds()) into a tile key, reusing the payload cache's hash lanes.
+func TileKeyFor(src *image.RGBA, r image.Rectangle) TileKey {
+	h1, h2 := hashRegion(src, r)
+	return TileKey{W: r.Dx(), H: r.Dy(), H1: h1, H2: h2}
+}
+
+// ForEachTile visits the tile grid of r in row-major order: tiles of
+// size×size pixels anchored at r.Min, with right/bottom edge tiles
+// clipped to r. Host and viewer MUST tile with the same anchoring for
+// their hashes to agree; anchoring at the update rectangle (rather than a
+// global screen grid) means any recurrence of the same rectangle — a
+// slide revisited, a window re-exposed, a page scrolled back — hits the
+// dictionary regardless of where the rectangle lies.
+func ForEachTile(r image.Rectangle, size int, fn func(tile image.Rectangle)) {
+	if size <= 0 || r.Empty() {
+		return
+	}
+	for y := r.Min.Y; y < r.Max.Y; y += size {
+		yMax := min(y+size, r.Max.Y)
+		for x := r.Min.X; x < r.Max.X; x += size {
+			fn(image.Rect(x, y, min(x+size, r.Max.X), yMax))
+		}
+	}
+}
+
+// TileGridKeys hashes every tile of r in row-major order.
+func TileGridKeys(src *image.RGBA, r image.Rectangle, size int) []TileKey {
+	if size <= 0 || r.Empty() {
+		return nil
+	}
+	cols := (r.Dx() + size - 1) / size
+	rows := (r.Dy() + size - 1) / size
+	out := make([]TileKey, 0, cols*rows)
+	ForEachTile(r, size, func(tr image.Rectangle) {
+		out = append(out, TileKeyFor(src, tr))
+	})
+	return out
+}
+
+// TileDictStats is a snapshot of a dictionary's counters.
+type TileDictStats struct {
+	// Entries is current residency; Capacity the bound in tiles.
+	Entries, Capacity int
+	// Inserts counts first-time learns, Relearns re-learns of a resident
+	// tile (which refresh its eviction recency), Evictions tiles dropped
+	// at capacity.
+	Inserts, Relearns, Evictions uint64
+	// Hits and Misses count Lookup/Has outcomes.
+	Hits, Misses uint64
+}
+
+type tileEntry struct {
+	key TileKey
+	px  *image.RGBA // nil on the host side (presence is the information)
+}
+
+// TileDict is a bounded, deterministically-evicting tile dictionary. The
+// eviction policy is insertion order with re-learn-moves-to-back;
+// lookups never reorder. Determinism matters more than hit rate here:
+// host and viewer replay the same learn sequence and must evict the same
+// tiles (see the package comment).
+//
+// TileDict is NOT safe for concurrent use; the host accesses it under
+// the owning shard's lock, the viewer under the participant lock.
+type TileDict struct {
+	capacity int
+	ll       *list.List // front = oldest (next eviction victim)
+	items    map[TileKey]*list.Element
+
+	inserts, relearns, evictions uint64
+	hits, misses                 uint64
+}
+
+// NewTileDict returns a dictionary bounded to capacity tiles.
+// Non-positive capacities select DefaultTileDictCapacity.
+func NewTileDict(capacity int) *TileDict {
+	if capacity <= 0 {
+		capacity = DefaultTileDictCapacity
+	}
+	return &TileDict{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[TileKey]*list.Element),
+	}
+}
+
+// Capacity returns the dictionary bound in tiles.
+func (d *TileDict) Capacity() int { return d.capacity }
+
+// Len returns current residency.
+func (d *TileDict) Len() int { return d.ll.Len() }
+
+// Learn records a tile. px carries the tile's pixels on the viewer side
+// (the dictionary keeps the reference; the caller must pass an owned
+// copy) and is nil on the host side. Learning a resident tile refreshes
+// its eviction recency and replaces its pixels.
+func (d *TileDict) Learn(k TileKey, px *image.RGBA) {
+	if el, ok := d.items[k]; ok {
+		d.relearns++
+		d.ll.MoveToBack(el)
+		if px != nil {
+			el.Value.(*tileEntry).px = px
+		}
+		return
+	}
+	d.inserts++
+	for d.ll.Len() >= d.capacity {
+		oldest := d.ll.Front()
+		d.ll.Remove(oldest)
+		delete(d.items, oldest.Value.(*tileEntry).key)
+		d.evictions++
+	}
+	d.items[k] = d.ll.PushBack(&tileEntry{key: k, px: px})
+}
+
+// Has reports whether k is resident, without reordering.
+func (d *TileDict) Has(k TileKey) bool {
+	_, ok := d.items[k]
+	if ok {
+		d.hits++
+	} else {
+		d.misses++
+	}
+	return ok
+}
+
+// Lookup returns the pixels stored for k, without reordering. The
+// returned image is shared with the dictionary; treat it as read-only.
+func (d *TileDict) Lookup(k TileKey) (*image.RGBA, bool) {
+	el, ok := d.items[k]
+	if !ok {
+		d.misses++
+		return nil, false
+	}
+	d.hits++
+	return el.Value.(*tileEntry).px, true
+}
+
+// Stats returns a snapshot of the dictionary counters.
+func (d *TileDict) Stats() TileDictStats {
+	return TileDictStats{
+		Entries:   d.ll.Len(),
+		Capacity:  d.capacity,
+		Inserts:   d.inserts,
+		Relearns:  d.relearns,
+		Evictions: d.evictions,
+		Hits:      d.hits,
+		Misses:    d.misses,
+	}
+}
+
+// LosslessPT reports whether pt names a codec whose decode reproduces the
+// encoder's pixels bit-exactly. Only lossless content may teach the tile
+// dictionary: a JPEG round trip leaves host and viewer hashing different
+// pixels, which would poison every future reference.
+func LosslessPT(pt uint8) bool {
+	return pt == PayloadTypePNG || pt == PayloadTypeRaw
+}

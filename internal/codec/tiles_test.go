@@ -1,0 +1,167 @@
+package codec
+
+import (
+	"image"
+	"testing"
+)
+
+// patternAt renders a deterministic w×h test pattern into dst with its
+// top-left at (ox, oy). The pixel values depend only on the offset
+// WITHIN the pattern, so the same pattern at two anchors carries
+// identical bytes.
+func patternAt(dst *image.RGBA, ox, oy, w, h int) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := dst.PixOffset(ox+x, oy+y)
+			dst.Pix[i+0] = uint8(x * 7)
+			dst.Pix[i+1] = uint8(y * 13)
+			dst.Pix[i+2] = uint8((x ^ y) * 3)
+			dst.Pix[i+3] = 0xFF
+		}
+	}
+}
+
+func TestTileGridKeysRowMajorClipping(t *testing.T) {
+	img := image.NewRGBA(image.Rect(0, 0, 70, 50))
+	patternAt(img, 0, 0, 70, 50)
+	keys := TileGridKeys(img, img.Bounds(), 32)
+	// 70×50 at 32px tiles: 3 columns × 2 rows, right edge clipped to 6,
+	// bottom edge to 18.
+	wantDims := []struct{ w, h int }{
+		{32, 32}, {32, 32}, {6, 32},
+		{32, 18}, {32, 18}, {6, 18},
+	}
+	if len(keys) != len(wantDims) {
+		t.Fatalf("key count = %d, want %d", len(keys), len(wantDims))
+	}
+	for i, k := range keys {
+		if k.W != wantDims[i].w || k.H != wantDims[i].h {
+			t.Errorf("key %d dims = %dx%d, want %dx%d", i, k.W, k.H, wantDims[i].w, wantDims[i].h)
+		}
+	}
+	// The same grid walked by ForEachTile visits the same rects in the
+	// same order (the key order host and viewer must agree on).
+	i := 0
+	ForEachTile(img.Bounds(), 32, func(tr image.Rectangle) {
+		if got := TileKeyFor(img, tr); got != keys[i] {
+			t.Errorf("tile %d: ForEachTile key %+v != TileGridKeys %+v", i, got, keys[i])
+		}
+		i++
+	})
+	if i != len(keys) {
+		t.Fatalf("ForEachTile visited %d tiles, want %d", i, len(keys))
+	}
+}
+
+// TestTileKeyTranslationInvariant is the property the whole store rests
+// on: a tile's key depends only on its pixels, not on where the tile
+// sits on the screen, so a slide revisited at the same rectangle — or
+// the same content at a different anchor — hashes identically.
+func TestTileKeyTranslationInvariant(t *testing.T) {
+	a := image.NewRGBA(image.Rect(0, 0, 32, 32))
+	patternAt(a, 0, 0, 32, 32)
+	b := image.NewRGBA(image.Rect(0, 0, 100, 80))
+	patternAt(b, 13, 9, 32, 32)
+
+	ka := TileKeyFor(a, a.Bounds())
+	kb := TileKeyFor(b, image.Rect(13, 9, 45, 41))
+	if ka != kb {
+		t.Fatalf("same pixels, different keys: %+v vs %+v", ka, kb)
+	}
+
+	// And a single changed pixel changes the key.
+	b.Pix[b.PixOffset(20, 20)] ^= 1
+	if kc := TileKeyFor(b, image.Rect(13, 9, 45, 41)); kc == ka {
+		t.Fatal("changed pixel did not change the key")
+	}
+}
+
+func tk(i int) TileKey { return TileKey{W: 32, H: 32, H1: uint64(i), H2: ^uint64(i)} }
+
+func TestTileDictFIFOEviction(t *testing.T) {
+	d := NewTileDict(3)
+	d.Learn(tk(1), nil)
+	d.Learn(tk(2), nil)
+	d.Learn(tk(3), nil)
+	d.Learn(tk(4), nil) // evicts 1 (oldest insert)
+	if d.Has(tk(1)) {
+		t.Fatal("oldest tile survived eviction")
+	}
+	for _, i := range []int{2, 3, 4} {
+		if !d.Has(tk(i)) {
+			t.Fatalf("tile %d missing", i)
+		}
+	}
+	st := d.Stats()
+	if st.Entries != 3 || st.Inserts != 4 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTileDictRelearnMovesToBack(t *testing.T) {
+	d := NewTileDict(3)
+	d.Learn(tk(1), nil)
+	d.Learn(tk(2), nil)
+	d.Learn(tk(3), nil)
+	d.Learn(tk(1), nil) // re-learn: 1 moves to back, 2 is now oldest
+	d.Learn(tk(4), nil) // evicts 2
+	if d.Has(tk(2)) {
+		t.Fatal("tile 2 should have been evicted after 1 was re-learned")
+	}
+	if !d.Has(tk(1)) {
+		t.Fatal("re-learned tile 1 evicted")
+	}
+	if st := d.Stats(); st.Relearns != 1 {
+		t.Fatalf("relearns = %d, want 1", st.Relearns)
+	}
+}
+
+// TestTileDictLookupNeverReorders pins the determinism contract: the
+// host checks its seen-set (Has) far more often than the viewer looks
+// anything up, so if lookups refreshed recency the two sides would
+// evict different tiles and every reference after the first eviction
+// would be wrong.
+func TestTileDictLookupNeverReorders(t *testing.T) {
+	d := NewTileDict(2)
+	d.Learn(tk(1), nil)
+	d.Learn(tk(2), nil)
+	for i := 0; i < 10; i++ {
+		if !d.Has(tk(1)) {
+			t.Fatal("tile 1 missing")
+		}
+		if _, ok := d.Lookup(tk(1)); !ok {
+			t.Fatal("tile 1 lookup failed")
+		}
+	}
+	d.Learn(tk(3), nil) // must evict 1 despite the hot lookups
+	if d.Has(tk(1)) {
+		t.Fatal("lookups reordered the eviction queue")
+	}
+	if !d.Has(tk(2)) || !d.Has(tk(3)) {
+		t.Fatal("wrong survivor set")
+	}
+}
+
+func TestTileDictViewerPixelsReplacedOnRelearn(t *testing.T) {
+	d := NewTileDict(4)
+	px1 := image.NewRGBA(image.Rect(0, 0, 32, 32))
+	d.Learn(tk(1), px1)
+	got, ok := d.Lookup(tk(1))
+	if !ok || got != px1 {
+		t.Fatal("stored pixels not returned")
+	}
+	px2 := image.NewRGBA(image.Rect(0, 0, 32, 32))
+	d.Learn(tk(1), px2)
+	if got, _ := d.Lookup(tk(1)); got != px2 {
+		t.Fatal("re-learn did not replace pixels")
+	}
+}
+
+func TestTileLosslessPTGatesLearning(t *testing.T) {
+	if !LosslessPT(PayloadTypePNG) || !LosslessPT(PayloadTypeRaw) {
+		t.Fatal("PNG and Raw are lossless")
+	}
+	if LosslessPT(PayloadTypeJPEG) {
+		t.Fatal("JPEG must never teach the tile dictionary")
+	}
+}

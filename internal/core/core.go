@@ -36,6 +36,17 @@ const (
 	TypeMousePointerInfo  MessageType = 4
 )
 
+// Extension remoting message types (Section 9: additional types may be
+// registered with IANA under "Specification Required"; participants MAY
+// ignore types they do not implement). TileReference is this
+// implementation's negotiated tile-store extension: it repaints a region
+// from content-hash tile references instead of re-shipping pixels (see
+// internal/remoting and DESIGN.md "Tile store"). It is only sent to
+// participants that negotiated the "tilestore" fmtp capability.
+const (
+	TypeTileReference MessageType = 16
+)
+
 // HIP message types (Table 3 / Table 5).
 const (
 	TypeMousePressed    MessageType = 121
@@ -52,6 +63,7 @@ var typeNames = map[MessageType]string{
 	TypeRegionUpdate:      "RegionUpdate",
 	TypeMoveRectangle:     "MoveRectangle",
 	TypeMousePointerInfo:  "MousePointerInfo",
+	TypeTileReference:     "TileReference",
 	TypeMousePressed:      "MousePressed",
 	TypeMouseReleased:     "MouseReleased",
 	TypeMouseMoved:        "MouseMoved",
@@ -90,6 +102,13 @@ var (
 		TypeRegionUpdate:      "RegionUpdate",
 		TypeMoveRectangle:     "MoveRectangle",
 		TypeMousePointerInfo:  "MousePointerInfo",
+	}
+	// ExtensionRegistry lists the extension remoting types this
+	// implementation registers per Section 9. They sit outside Table 1,
+	// so IsRemoting stays false for them: un-negotiated participants
+	// route them through the extension-ignore path instead of erroring.
+	ExtensionRegistry = map[MessageType]string{
+		TypeTileReference: "TileReference",
 	}
 	HIPRegistry = map[MessageType]string{
 		TypeMousePressed:    "MousePressed",

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 )
 
@@ -26,13 +27,31 @@ var ErrFrameTooLarge = errors.New("framing: packet exceeds 65535 bytes")
 type Writer struct {
 	mu sync.Mutex
 	w  io.Writer
+	// conn is non-nil when w is a real socket: WriteFrames then hands the
+	// kernel a net.Buffers gather list (one writev) instead of copying
+	// everything through scratch first.
+	conn net.Conn
 	// scratch is the WriteFrames concatenation buffer, reused across
 	// calls (guarded by mu).
 	scratch []byte
+	// hdrs and vecs are the vectored path's reusable header storage and
+	// gather list (guarded by mu).
+	hdrs []byte
+	vecs net.Buffers
 }
 
-// NewWriter returns a Writer framing onto w.
-func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+// NewWriter returns a Writer framing onto w. When w is a net.Conn the
+// batched WriteFrames path writes a gather list directly (the OS writev
+// fast path); other writers — notably transport.RatedWriter, which must
+// account the bytes as one atomic buffer — get the single concatenated
+// write. The byte stream on the wire is identical either way.
+func NewWriter(w io.Writer) *Writer {
+	fw := &Writer{w: w}
+	if c, ok := w.(net.Conn); ok {
+		fw.conn = c
+	}
+	return fw
+}
 
 // WriteFrame writes one length-prefixed packet.
 func (w *Writer) WriteFrame(pkt []byte) error {
@@ -71,6 +90,27 @@ func (w *Writer) WriteFrames(pkts [][]byte) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.conn != nil {
+		// Vectored path: alternate 2-byte length prefixes (backed by one
+		// reusable header buffer, pre-sized so the loop never reallocates
+		// it) with the caller's payloads and let net.Buffers drive writev.
+		// No payload byte is copied in user space.
+		if cap(w.hdrs) < 2*len(pkts) {
+			w.hdrs = make([]byte, 0, 2*len(pkts))
+		}
+		hdrs := w.hdrs[:0]
+		vecs := w.vecs[:0]
+		for _, pkt := range pkts {
+			off := len(hdrs)
+			hdrs = append(hdrs, byte(len(pkt)>>8), byte(len(pkt)))
+			vecs = append(vecs, hdrs[off:off+2], pkt)
+		}
+		w.hdrs = hdrs
+		_, err := vecs.WriteTo(w.conn)
+		// WriteTo consumes the gather list in place; keep its capacity.
+		w.vecs = vecs[:0]
+		return err
+	}
 	if cap(w.scratch) < total {
 		w.scratch = make([]byte, 0, total)
 	}

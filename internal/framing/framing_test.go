@@ -164,3 +164,69 @@ func TestConcurrentWritersOverPipe(t *testing.T) {
 		t.Fatalf("read %d frames, want %d", count, 2*perWriter)
 	}
 }
+
+// TestWriteFramesByteIdentity pins the WriteFrames contract: the byte
+// stream is identical to sequential WriteFrame calls on BOTH write
+// paths — the scratch concatenation used for plain writers and the
+// net.Buffers gather list used when the writer is a net.Conn.
+func TestWriteFramesByteIdentity(t *testing.T) {
+	frames := [][]byte{
+		[]byte("alpha"),
+		{},
+		bytes.Repeat([]byte{0xA5}, 1400),
+		[]byte{0x00},
+		bytes.Repeat([]byte{0x42}, 70000)[:MaxFrameSize],
+	}
+
+	var want bytes.Buffer
+	seq := NewWriter(&want)
+	for _, f := range frames {
+		if err := seq.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Scratch path: a bytes.Buffer is not a net.Conn.
+	var scratch bytes.Buffer
+	if err := NewWriter(&scratch).WriteFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scratch.Bytes(), want.Bytes()) {
+		t.Fatal("scratch WriteFrames bytes differ from sequential WriteFrame")
+	}
+
+	// Vectored path: net.Pipe satisfies net.Conn, so WriteFrames hands
+	// the connection a gather list.
+	client, server := net.Pipe()
+	got := make(chan []byte)
+	go func() {
+		buf, _ := io.ReadAll(server)
+		got <- buf
+	}()
+	w := NewWriter(client)
+	if w.conn == nil {
+		t.Fatal("net.Conn writer did not select the vectored path")
+	}
+	// Two batches back to back: the reusable header buffer and gather
+	// list must not corrupt a second call.
+	if err := w.WriteFrames(frames[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrames(frames[2:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	if vec := <-got; !bytes.Equal(vec, want.Bytes()) {
+		t.Fatal("vectored WriteFrames bytes differ from sequential WriteFrame")
+	}
+
+	// Oversized frames are rejected before any byte is written.
+	var sink bytes.Buffer
+	err := NewWriter(&sink).WriteFrames([][]byte{[]byte("ok"), make([]byte, MaxFrameSize+1)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize batch error = %v", err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("oversize batch leaked %d bytes", sink.Len())
+	}
+}

@@ -327,6 +327,34 @@ func (r *runner) oracleCounters(fresh map[string]uint64) OracleResult {
 	return OracleResult{Name: "counters", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
 }
 
+// oracleTileSync audits the persistent tile store's coherence promise:
+// a viewer may only be referred to tiles it can resolve. Any tile
+// desync — an unresolvable TileReference that forced a refresh — fails
+// the oracle unless the scenario provokes them on purpose
+// (Expect.AllowTileDesyncs), and a tile-store scenario must actually
+// have substituted at least Expect.MinTileRefs references, or the run
+// proved nothing about the reference path. On non-tile scenarios both
+// counts are necessarily zero and the oracle is a tautology.
+func (r *runner) oracleTileSync() OracleResult {
+	var fails []string
+	var refs uint64
+	for _, v := range r.viewers {
+		if v.remote != nil && v.kind != KindMulticast {
+			refs += v.remote.TileRefs()
+		}
+		if !v.joined {
+			continue
+		}
+		if n := v.p.TileDesyncs(); n > 0 && !r.sc.Expect.AllowTileDesyncs {
+			fails = append(fails, fmt.Sprintf("%s: %d unresolvable tile references on a scenario that allows none", v.name, n))
+		}
+	}
+	if want := r.sc.Expect.MinTileRefs; refs < want {
+		fails = append(fails, fmt.Sprintf("host substituted %d tile references, scenario requires >= %d", refs, want))
+	}
+	return OracleResult{Name: "tile-sync", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
+}
+
 // runOracles evaluates every invariant and records the verdicts.
 func (r *runner) runOracles(res *Result) {
 	conv := r.oracleConvergence()
@@ -336,6 +364,7 @@ func (r *runner) runOracles(res *Result) {
 		cont,
 		r.oracleReassembly(),
 		r.oracleEvictions(),
+		r.oracleTileSync(),
 		r.oracleCounters(fresh),
 	)
 }

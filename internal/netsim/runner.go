@@ -320,10 +320,15 @@ func Run(sc Scenario) (*Result, error) {
 
 	policy, _ := ah.ParseEvictionPolicy(sc.EvictionPolicy)
 	r.coll = stats.NewCollector()
+	var tileCfg *ah.TileStoreConfig
+	if sc.TileStore {
+		tileCfg = &ah.TileStoreConfig{} // negotiated defaults
+	}
 	r.host, err = ah.New(ah.Config{
 		Desktop:         r.desk,
 		Retransmissions: true,
 		RetransLog:      sc.RetransLog,
+		TileStore:       tileCfg,
 		SendShards:      sc.SendShards,
 		Stats:           r.coll,
 		Now:             r.clk.Now,
@@ -347,16 +352,25 @@ func Run(sc Scenario) (*Result, error) {
 		if vs.Profile != nil {
 			prof = *vs.Profile
 		}
+		pcfg := participant.Config{
+			Now:     r.clk.Now,
+			Entropy: entropyFrom(deriveSeed(sc.Seed, "viewer-entropy/"+vs.Name)),
+		}
+		// Tile-store negotiation mirrors the attach options: unicast
+		// viewers that did not opt out run a dictionary sized by their
+		// spec (the group remote never sends references, so multicast
+		// members stay plain).
+		if sc.TileStore && !vs.NoTileStore && vs.Kind != KindMulticast {
+			pcfg.TileStore = true
+			pcfg.TileDictCapacity = vs.TileDictCapacity
+		}
 		v := &viewerState{
 			idx:  i,
 			name: vs.Name,
 			spec: vs,
 			prof: prof,
 			kind: vs.Kind,
-			p: participant.New(participant.Config{
-				Now:     r.clk.Now,
-				Entropy: entropyFrom(deriveSeed(sc.Seed, "viewer-entropy/"+vs.Name)),
-			}),
+			p:    participant.New(pcfg),
 		}
 		dcfg, ucfg := prof.Down, prof.Up
 		dcfg.Seed = deriveSeed(sc.Seed, "link-down/"+vs.Name)
@@ -527,17 +541,18 @@ func (r *runner) runTick(tick int, quiesce bool) {
 
 // attach connects a viewer to the host with its kind's transport.
 func (r *runner) attach(v *viewerState) error {
+	tiled := r.sc.TileStore && !v.spec.NoTileStore
 	switch v.kind {
 	case KindUDP:
 		v.conn = newSimPacketConn(r, v)
-		rem, err := r.host.AttachPacketConn(v.name, v.conn, ah.PacketOptions{})
+		rem, err := r.host.AttachPacketConn(v.name, v.conn, ah.PacketOptions{TileStore: tiled})
 		if err != nil {
 			return err
 		}
 		v.remote = rem
 	case KindTCP:
 		v.sconn = newStreamConn(v.spec.StreamBudgetPerTick > 0 || len(v.spec.StreamBudgetSchedule) > 0)
-		rem, err := r.host.AttachStream(v.name, v.sconn, ah.StreamOptions{})
+		rem, err := r.host.AttachStream(v.name, v.sconn, ah.StreamOptions{TileStore: tiled})
 		if err != nil {
 			return err
 		}

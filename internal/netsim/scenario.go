@@ -115,6 +115,18 @@ type ViewerSpec struct {
 	// (see streamConn.expire), so a generous phase cannot mask a tight
 	// one — this is how degrade-mid-run-then-heal links are modeled.
 	StreamBudgetSchedule []BudgetPhase
+	// NoTileStore opts this viewer out of tile-reference negotiation on
+	// a Scenario.TileStore run: it receives plain pixel updates while
+	// tiled peers in the same batch get references — the mixed-fleet
+	// coverage for tileCompose.
+	NoTileStore bool
+	// TileDictCapacity overrides this viewer's tile dictionary capacity
+	// (0 = the negotiated default). Setting it SMALLER than the host's
+	// capacity deliberately desynchronizes eviction: the host references
+	// tiles the viewer already evicted, and the viewer must degrade to a
+	// refresh instead of painting wrong pixels (pair with
+	// Expect.AllowTileDesyncs).
+	TileDictCapacity int
 }
 
 // BudgetPhase is one step of a TCP viewer's budget schedule.
@@ -151,6 +163,17 @@ type Expectations struct {
 	// (scenarios that overflow queues on purpose). Default false: every
 	// fragment train must reassemble.
 	AllowDroppedMessages bool
+	// AllowTileDesyncs permits viewers to hit unresolvable tile
+	// references (capacity-skew or loss scenarios that provoke them on
+	// purpose). Default false: a tile desync on any viewer fails the
+	// tile-sync oracle — the host/viewer dictionaries must stay in
+	// lockstep.
+	AllowTileDesyncs bool
+	// MinTileRefs is the minimum number of TileReference messages the
+	// host must have substituted across the whole fleet — the proof that
+	// a tile-store scenario actually exercised the reference path rather
+	// than silently shipping pixels.
+	MinTileRefs uint64
 }
 
 // Scenario is one reproducible simulation: workload × link profile ×
@@ -201,6 +224,11 @@ type Scenario struct {
 	// scenarios use smaller logs: per-remote retransmission state is a
 	// real memory cost at flash-crowd scale.
 	RetransLog int
+	// TileStore enables the host's persistent tile store (default
+	// negotiated tile size/capacity) and negotiates it for every viewer
+	// that does not set NoTileStore. Off by default: legacy scenarios
+	// must stay byte-identical to the pre-tile-store harness.
+	TileStore bool
 
 	Fault  Fault
 	Expect Expectations
@@ -414,6 +442,62 @@ func Matrix() []Scenario {
 			},
 			BacklogLimit: 4 << 10,
 			Ladder:       simLadder(),
+		},
+		{
+			// Slide-revisit with the tile store on: by the second lap of
+			// the 4-slide cycle every viewer (UDP and TCP) must be served
+			// TileReference substitutions, and the fleet must stay
+			// desync-free and byte-converged.
+			Name: "tile-revisit", Seed: 130, Workload: "slidecycle",
+			TileStore: true,
+			Profile:   Profile{Name: "pristine"},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "t1", Kind: KindTCP},
+			},
+			Expect: Expectations{MinTileRefs: 4},
+		},
+		{
+			// Page-flip with a mixed fleet: a tiled viewer, a viewer that
+			// did not negotiate the capability (plain pixels from the same
+			// prepared batch), and a tiled late joiner whose seen-set
+			// starts from its join refresh.
+			Name: "tile-mixed-fleet", Seed: 131, Workload: "pageflip",
+			TileStore: true,
+			Profile:   Profile{Name: "pristine"},
+			Viewers: []ViewerSpec{
+				{Name: "tiled", Kind: KindUDP},
+				{Name: "plain", Kind: KindUDP, NoTileStore: true},
+				{Name: "late", Kind: KindUDP, JoinAtTick: 12},
+			},
+			Expect: Expectations{MinTileRefs: 8},
+		},
+		{
+			// Revisit under 10% loss: a lost pixel update means the viewer
+			// never learned its tiles, so a later reference may be
+			// unresolvable — the viewer must degrade to a refresh (counted
+			// as a desync, never a wrong paint) and still end
+			// byte-identical.
+			Name: "tile-revisit-loss", Seed: 132, Workload: "slidecycle",
+			TileStore: true,
+			Profile:   Profile{Name: "loss10", Down: transport.LinkConfig{LossRate: 0.10}},
+			Viewers:   []ViewerSpec{{Name: "u1", Kind: KindUDP}},
+			Expect:    Expectations{AllowTileDesyncs: true, MinTileRefs: 1},
+		},
+		{
+			// Eviction-coherence: the squeezed viewer's dictionary holds 8
+			// tiles against the host's default thousands, so the host
+			// constantly references tiles the viewer already evicted.
+			// Every such reference must turn into a refresh, and both the
+			// squeezed viewer and the healthy observer must converge.
+			Name: "tile-evict-coherence", Seed: 133, Workload: "pageflip",
+			TileStore: true,
+			Profile:   Profile{Name: "pristine"},
+			Viewers: []ViewerSpec{
+				{Name: "squeezed", Kind: KindUDP, TileDictCapacity: 8},
+				{Name: "obs", Kind: KindUDP},
+			},
+			Expect: Expectations{AllowTileDesyncs: true, MinTileRefs: 4},
 		},
 		{
 			Name: "multicast-nack", Seed: 113, Workload: "typing",

@@ -54,6 +54,18 @@ type Config struct {
 	// decompression bombs (draft Section 8 resource-exhaustion risks).
 	// Zero means codec.DefaultMaxPixels.
 	MaxDecodedPixels int
+	// TileStore enables the negotiated tile-store capability: the
+	// participant learns the tiles of every losslessly-encoded update it
+	// paints and applies TileReference messages from its dictionary.
+	// TileSize and TileDictCapacity MUST match the host's negotiated
+	// values (zero takes the codec defaults): equal sizes make both
+	// sides hash identical tile grids, and equal capacities keep the two
+	// deterministic FIFO dictionaries evicting in lockstep. Without
+	// TileStore, TileReference messages fall through the extension-ignore
+	// path (Section 5.1.2).
+	TileStore        bool
+	TileSize         int
+	TileDictCapacity int
 }
 
 // view is one shared window as the participant sees it.
@@ -107,6 +119,14 @@ type Participant struct {
 	// a handler they are counted and skipped, never treated as errors.
 	extHandlers map[core.MessageType]func(hdr core.Header, body []byte)
 	ignoredExt  uint64
+
+	// tiles is the negotiated tile dictionary (nil without
+	// Config.TileStore); it owns pixel copies of every learned tile.
+	// tileDesyncs counts TileReference messages naming tiles this side
+	// does not hold — each one latches a refresh request, the bounded
+	// recovery from a dictionary desynchronization.
+	tiles       *codec.TileDict
+	tileDesyncs uint64
 }
 
 // New returns a Participant.
@@ -135,6 +155,13 @@ func New(cfg Config) *Participant {
 	if cfg.CNAME == "" {
 		cfg.CNAME = "participant@appshare"
 	}
+	if cfg.TileSize <= 0 {
+		cfg.TileSize = codec.DefaultTileSize
+	}
+	var tiles *codec.TileDict
+	if cfg.TileStore {
+		tiles = codec.NewTileDict(cfg.TileDictCapacity)
+	}
 	return &Participant{
 		cfg:          cfg,
 		recv:         rtp.NewReceiver(),
@@ -145,6 +172,7 @@ func New(cfg Config) *Participant {
 		rtpStats:     rtp.NewStatistics(),
 		cname:        cfg.CNAME,
 		applied:      make(map[core.MessageType]uint64),
+		tiles:        tiles,
 	}
 }
 
@@ -224,6 +252,20 @@ func (p *Participant) HandlePacket(raw []byte) error {
 		if msg == nil {
 			continue
 		}
+		if msg.Header.Type == core.TypeTileReference && p.tiles != nil {
+			// Negotiated tile store: TileReference is handled natively.
+			// Without the negotiation it stays an extension type and falls
+			// through to the ignore path below.
+			decoded, err := remoting.Decode(msg)
+			if err != nil {
+				p.markDesync()
+				continue
+			}
+			if err := p.apply(decoded); err != nil {
+				p.markDesync()
+			}
+			continue
+		}
 		if !msg.Header.Type.IsRemoting() {
 			// Extension message type (Section 9 registry): dispatch to
 			// a registered handler or ignore, per Section 5.1.2.
@@ -262,6 +304,8 @@ func (p *Participant) apply(msg remoting.Message) error {
 		return p.applyMove(m)
 	case *remoting.MousePointerInfo:
 		return p.applyPointer(m)
+	case *remoting.TileReference:
+		return p.applyTileRef(m)
 	default:
 		return fmt.Errorf("participant: unknown message %T", msg)
 	}
@@ -337,10 +381,76 @@ func (p *Participant) applyUpdate(m *remoting.RegionUpdate) error {
 	ly := int(m.Top) - v.rec.Bounds.Top
 	b := img.Bounds()
 	draw.Draw(v.img, image.Rect(lx, ly, lx+b.Dx(), ly+b.Dy()), img, b.Min, draw.Src)
+	if p.tiles != nil && codec.LosslessPT(m.ContentPT) {
+		// Learn the update's tiles, mirroring the host's seen-set insert
+		// for this same update: a lossless decode reproduces the exact
+		// pixels the host hashed, so both sides compute identical keys in
+		// identical (row-major) order. Lossy content is never learned —
+		// its decoded pixels differ from the host's source.
+		p.learnTiles(img)
+	}
 	if lx <= 0 && ly <= 0 && lx+b.Dx() >= v.rec.Bounds.Width && ly+b.Dy() >= v.rec.Bounds.Height {
 		// A whole-window update: the refresh this window was waiting
 		// for (if any) has landed.
 		p.noteFullWindowUpdate(m.WindowID)
+	}
+	return nil
+}
+
+// learnTiles inserts the tile grid of a freshly painted lossless update
+// into the dictionary, copying each tile's pixels (the dictionary owns
+// its entries; v.img changes underneath). The lock is held.
+func (p *Participant) learnTiles(img *image.RGBA) {
+	codec.ForEachTile(img.Bounds(), p.cfg.TileSize, func(tr image.Rectangle) {
+		tile := image.NewRGBA(image.Rect(0, 0, tr.Dx(), tr.Dy()))
+		draw.Draw(tile, tile.Bounds(), img, tr.Min, draw.Src)
+		p.tiles.Learn(codec.TileKeyFor(img, tr), tile)
+	})
+}
+
+// applyTileRef repaints a region from dictionary tiles. All-or-nothing:
+// every referenced tile is resolved before any pixel is painted, and one
+// missing tile fails the whole message — the caller latches a refresh
+// request, so a desynchronized dictionary degrades to a refresh, never
+// to a partial or stale paint. The lock is held.
+func (p *Participant) applyTileRef(m *remoting.TileReference) error {
+	v, ok := p.views[m.WindowID]
+	if !ok {
+		return fmt.Errorf("participant: tile reference for unknown window %d", m.WindowID)
+	}
+	ts := int(m.TileSize)
+	if ts != p.cfg.TileSize {
+		p.tileDesyncs++
+		return fmt.Errorf("participant: tile reference size %d, negotiated %d", ts, p.cfg.TileSize)
+	}
+	cols, rows := m.GridDims()
+	px := make([]*image.RGBA, 0, len(m.Tiles))
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			h := m.Tiles[row*cols+col]
+			key := codec.TileKey{
+				W:  min(ts, int(m.Width)-col*ts),
+				H:  min(ts, int(m.Height)-row*ts),
+				H1: h.H1,
+				H2: h.H2,
+			}
+			img, ok := p.tiles.Lookup(key)
+			if !ok {
+				p.tileDesyncs++
+				return fmt.Errorf("participant: tile reference names unknown tile %d of %d", row*cols+col, len(m.Tiles))
+			}
+			px = append(px, img)
+		}
+	}
+	lx := int(m.Left) - v.rec.Bounds.Left
+	ly := int(m.Top) - v.rec.Bounds.Top
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			t := px[row*cols+col]
+			b := t.Bounds()
+			dst := image.Rect(lx+col*ts, ly+row*ts, lx+col*ts+b.Dx(), ly+row*ts+b.Dy())
+			draw.Draw(v.img, dst, t, b.Min, draw.Src)
+		}
 	}
 	return nil
 }
@@ -400,6 +510,26 @@ func (p *Participant) IgnoredExtensions() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.ignoredExt
+}
+
+// TileDesyncs counts TileReference messages that could not be applied
+// because this side's dictionary was missing a referenced tile (or the
+// tile size disagreed). Each one latched a refresh request.
+func (p *Participant) TileDesyncs() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tileDesyncs
+}
+
+// TileDictStats returns the tile dictionary's counters (zero value
+// without Config.TileStore).
+func (p *Participant) TileDictStats() codec.TileDictStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tiles == nil {
+		return codec.TileDictStats{}
+	}
+	return p.tiles.Stats()
 }
 
 // RaiseLocal moves a window to the top of the participant's local

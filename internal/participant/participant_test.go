@@ -73,6 +73,12 @@ func (s *sender) packets(t *testing.T, msgs ...remoting.Message) [][]byte {
 			for _, f := range frags {
 				add(f.Payload, f.Marker)
 			}
+		case *remoting.TileReference:
+			payload, err := msg.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			add(payload, false)
 		}
 	}
 	return out

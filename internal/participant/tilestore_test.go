@@ -1,0 +1,162 @@
+package participant
+
+import (
+	"image"
+	"testing"
+
+	"appshare/internal/codec"
+	"appshare/internal/core"
+	"appshare/internal/region"
+	"appshare/internal/remoting"
+)
+
+// tileHashOf returns the wire hash of a w×h solid-color tile as the
+// host would compute it.
+func tileHashOf(img *image.RGBA, r image.Rectangle) remoting.TileHash {
+	k := codec.TileKeyFor(img, r)
+	return remoting.TileHash{H1: k.H1, H2: k.H2}
+}
+
+// tileTestRect is a 64×64 region at the window's top-left: a 2×2 grid
+// of default-size tiles. Window 1's bounds start at (220, 150).
+var tileTestRect = region.XYWH(220, 150, 64, 64)
+
+// newTileParticipant returns a negotiated participant that has painted
+// (and therefore learned) a solid red 64×64 update, then painted it
+// over with blue — so a reference back to the red tiles is a genuine
+// revisit, not a repaint of what is already on screen.
+func newTileParticipant(t *testing.T) (*Participant, *sender, remoting.TileHash) {
+	t.Helper()
+	p := New(Config{TileStore: true})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo()))
+	feed(t, p, s.packets(t, fillUpdate(t, 1, tileTestRect, red)))
+	feed(t, p, s.packets(t, fillUpdate(t, 1, tileTestRect, blue)))
+	redTile := tileHashOf(imageFill(32, 32, red), image.Rect(0, 0, 32, 32))
+	return p, s, redTile
+}
+
+func redRef(h remoting.TileHash) *remoting.TileReference {
+	return &remoting.TileReference{
+		WindowID: 1,
+		Left:     uint32(tileTestRect.Left), Top: uint32(tileTestRect.Top),
+		Width: 64, Height: 64, TileSize: 32,
+		Tiles: []remoting.TileHash{h, h, h, h},
+	}
+}
+
+func TestTileLearnAndApplyReference(t *testing.T) {
+	p, s, redTile := newTileParticipant(t)
+	if st := p.TileDictStats(); st.Inserts == 0 {
+		t.Fatal("lossless updates did not teach the dictionary")
+	}
+	img := p.WindowImage(1)
+	if img.RGBAAt(10, 10) != blue {
+		t.Fatalf("precondition: window shows %v, want blue", img.RGBAAt(10, 10))
+	}
+
+	feed(t, p, s.packets(t, redRef(redTile)))
+
+	if got := p.Applied(core.TypeTileReference); got != 1 {
+		t.Fatalf("applied tile references = %d, want 1", got)
+	}
+	img = p.WindowImage(1)
+	for _, xy := range [][2]int{{0, 0}, {31, 31}, {32, 32}, {63, 63}} {
+		if got := img.RGBAAt(xy[0], xy[1]); got != red {
+			t.Fatalf("pixel (%d,%d) = %v, want red repainted from dictionary", xy[0], xy[1], got)
+		}
+	}
+	if p.TileDesyncs() != 0 || p.NeedsRefresh() {
+		t.Fatalf("desyncs = %d, needsRefresh = %v after clean apply", p.TileDesyncs(), p.NeedsRefresh())
+	}
+}
+
+// TestTileReferenceUnknownTileAllOrNothing: one unresolvable hash
+// poisons the whole message — no pixel may be painted from the tiles
+// that DID resolve, and the participant must latch a refresh.
+func TestTileReferenceUnknownTileAllOrNothing(t *testing.T) {
+	p, s, redTile := newTileParticipant(t)
+	ref := redRef(redTile)
+	ref.Tiles[3] = remoting.TileHash{H1: 0xDEAD, H2: 0xBEEF} // never learned
+	feed(t, p, s.packets(t, ref))
+
+	if got := p.TileDesyncs(); got != 1 {
+		t.Fatalf("desyncs = %d, want 1", got)
+	}
+	if !p.NeedsRefresh() {
+		t.Fatal("unknown tile did not latch a refresh")
+	}
+	// The three known tiles were NOT painted: the window is still blue
+	// everywhere in the referenced region.
+	img := p.WindowImage(1)
+	for _, xy := range [][2]int{{0, 0}, {40, 10}, {10, 40}, {63, 63}} {
+		if got := img.RGBAAt(xy[0], xy[1]); got != blue {
+			t.Fatalf("pixel (%d,%d) = %v: partial paint from a rejected reference", xy[0], xy[1], got)
+		}
+	}
+}
+
+func TestTileReferenceSizeMismatchDesyncs(t *testing.T) {
+	p, s, redTile := newTileParticipant(t)
+	ref := redRef(redTile)
+	ref.TileSize = 16 // negotiated 32
+	ref.Tiles = make([]remoting.TileHash, 16)
+	for i := range ref.Tiles {
+		ref.Tiles[i] = redTile
+	}
+	feed(t, p, s.packets(t, ref))
+	if got := p.TileDesyncs(); got != 1 {
+		t.Fatalf("desyncs = %d, want 1", got)
+	}
+	if img := p.WindowImage(1); img.RGBAAt(0, 0) != blue {
+		t.Fatal("mismatched tile size painted pixels")
+	}
+}
+
+// TestTileReferenceIgnoredWithoutNegotiation: without Config.TileStore
+// the type-16 message is just an unknown extension (Section 5.1.2):
+// skipped, counted, no desync, no paint.
+func TestTileReferenceIgnoredWithoutNegotiation(t *testing.T) {
+	p := New(Config{})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo()))
+	feed(t, p, s.packets(t, fillUpdate(t, 1, tileTestRect, blue)))
+	redTile := tileHashOf(imageFill(32, 32, red), image.Rect(0, 0, 32, 32))
+
+	feed(t, p, s.packets(t, redRef(redTile)))
+
+	if got := p.IgnoredExtensions(); got != 1 {
+		t.Fatalf("ignored extensions = %d, want 1", got)
+	}
+	if p.Applied(core.TypeTileReference) != 0 || p.TileDesyncs() != 0 || p.NeedsRefresh() {
+		t.Fatal("un-negotiated participant reacted to a tile reference")
+	}
+	if img := p.WindowImage(1); img.RGBAAt(0, 0) != blue {
+		t.Fatal("un-negotiated participant painted from a tile reference")
+	}
+}
+
+// TestTileLearnOnlyFromLossless: a lossy (JPEG) update must not teach
+// the dictionary — the decoded pixels differ from what the host hashed,
+// and a poisoned entry would satisfy a reference with wrong pixels.
+func TestTileLearnOnlyFromLossless(t *testing.T) {
+	p := New(Config{TileStore: true})
+	s := newSender()
+	feed(t, p, s.packets(t, wmInfo()))
+
+	img := imageFill(64, 64, red)
+	content, err := (codec.JPEG{Quality: 80}).Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, s.packets(t, &remoting.RegionUpdate{
+		WindowID:  1,
+		ContentPT: codec.PayloadTypeJPEG,
+		Left:      uint32(tileTestRect.Left),
+		Top:       uint32(tileTestRect.Top),
+		Content:   content,
+	}))
+	if st := p.TileDictStats(); st.Inserts != 0 {
+		t.Fatalf("JPEG update taught %d tiles", st.Inserts)
+	}
+}

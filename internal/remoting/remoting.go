@@ -233,6 +233,12 @@ func decodeMousePointerInfo(hdr core.Header, body []byte) (*MousePointerInfo, er
 // Decode converts a reassembled core.Message into its typed remoting
 // message.
 func Decode(msg *core.Message) (Message, error) {
+	if msg.Header.Type == core.TypeTileReference {
+		// Registered extension type (core.ExtensionRegistry): decodable
+		// here, but only applied by participants that negotiated the
+		// tile-store capability — others ignore it per Section 5.1.2.
+		return decodeTileReference(msg.Header, msg.Body)
+	}
 	if !msg.Header.Type.IsRemoting() {
 		return nil, fmt.Errorf("%w: %v", ErrNotRemoting, msg.Header.Type)
 	}

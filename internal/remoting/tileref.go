@@ -1,0 +1,124 @@
+package remoting
+
+import (
+	"fmt"
+	"image"
+
+	"appshare/internal/core"
+	"appshare/internal/wire"
+)
+
+// TileReference is the negotiated tile-store extension message (type 16,
+// outside Table 1; see core.ExtensionRegistry and DESIGN.md "Tile
+// store"). It instructs the participant to repaint the region whose
+// top-left corner is (Left, Top) — absolute AH coordinates, like
+// RegionUpdate — from tiles it already holds in its synchronized tile
+// dictionary, identified by their content hashes. Width and Height are
+// explicit (there is no encoded image to make them implicit); the tile
+// grid is TileSize×TileSize anchored at the region's top-left with
+// right/bottom edge tiles clipped, and Tiles lists the grid row-major.
+//
+// A TileReference always fits one RTP packet: the sender splits a large
+// region into several messages along tile-row boundaries instead of using
+// Table 2 fragmentation (which is defined only for RegionUpdate and
+// MousePointerInfo). A participant that does not hold every referenced
+// tile MUST discard the whole message and request a refresh — painting a
+// partial or stale region is never acceptable.
+type TileReference struct {
+	WindowID      uint16
+	Left, Top     uint32
+	Width, Height uint32
+	TileSize      uint16
+	Tiles         []TileHash
+}
+
+// TileHash is the 128-bit content hash of one tile — the two FNV lanes
+// of codec.TileKey. The tile's clipped dimensions are implied by its
+// grid position within the referenced region.
+type TileHash struct {
+	H1, H2 uint64
+}
+
+// TileRefHeaderSize is the message-specific header: Left, Top, Width,
+// Height (4×4), TileSize and tile count (2×2). Senders use it with
+// TileHashSize to size row bands so every message fits one packet.
+const TileRefHeaderSize = 20
+
+// TileHashSize is the wire size of one tile hash.
+const TileHashSize = 16
+
+// Type implements Message.
+func (m *TileReference) Type() core.MessageType { return core.TypeTileReference }
+
+// GridDims returns the tile grid's column and row counts.
+func (m *TileReference) GridDims() (cols, rows int) {
+	if m.TileSize == 0 {
+		return 0, 0
+	}
+	ts := int(m.TileSize)
+	return (int(m.Width) + ts - 1) / ts, (int(m.Height) + ts - 1) / ts
+}
+
+// Bounds returns the referenced region as an image rectangle in absolute
+// coordinates.
+func (m *TileReference) Bounds() image.Rectangle {
+	return image.Rect(int(m.Left), int(m.Top), int(m.Left)+int(m.Width), int(m.Top)+int(m.Height))
+}
+
+// Marshal encodes the message as a complete RTP payload (common header +
+// message header + hashes).
+func (m *TileReference) Marshal() ([]byte, error) {
+	cols, rows := m.GridDims()
+	if m.TileSize == 0 || m.Width == 0 || m.Height == 0 {
+		return nil, fmt.Errorf("remoting: tile reference with empty geometry %dx%d/%d", m.Width, m.Height, m.TileSize)
+	}
+	if cols*rows != len(m.Tiles) {
+		return nil, fmt.Errorf("remoting: tile reference grid %dx%d needs %d tiles, have %d",
+			cols, rows, cols*rows, len(m.Tiles))
+	}
+	w := wire.NewWriter(core.HeaderSize + TileRefHeaderSize + TileHashSize*len(m.Tiles))
+	core.Header{Type: core.TypeTileReference, WindowID: m.WindowID}.AppendTo(w)
+	w.Uint32(m.Left)
+	w.Uint32(m.Top)
+	w.Uint32(m.Width)
+	w.Uint32(m.Height)
+	w.Uint16(m.TileSize)
+	w.Uint16(uint16(len(m.Tiles)))
+	for _, t := range m.Tiles {
+		w.Uint64(t.H1)
+		w.Uint64(t.H2)
+	}
+	return w.Bytes(), nil
+}
+
+func decodeTileReference(hdr core.Header, body []byte) (*TileReference, error) {
+	r := wire.NewReader(body)
+	m := &TileReference{WindowID: hdr.WindowID}
+	m.Left = r.Uint32()
+	m.Top = r.Uint32()
+	m.Width = r.Uint32()
+	m.Height = r.Uint32()
+	m.TileSize = r.Uint16()
+	count := int(r.Uint16())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("remoting: tile reference header: %w", err)
+	}
+	if m.TileSize == 0 || m.Width == 0 || m.Height == 0 {
+		return nil, fmt.Errorf("remoting: tile reference with empty geometry %dx%d/%d", m.Width, m.Height, m.TileSize)
+	}
+	cols, rows := m.GridDims()
+	if cols*rows != count {
+		return nil, fmt.Errorf("remoting: tile reference grid %dx%d disagrees with count %d", cols, rows, count)
+	}
+	if r.Len() != count*TileHashSize {
+		return nil, fmt.Errorf("%w: %d hash bytes for %d tiles", ErrTruncated, r.Len(), count)
+	}
+	m.Tiles = make([]TileHash, count)
+	for i := range m.Tiles {
+		m.Tiles[i] = TileHash{H1: r.Uint64(), H2: r.Uint64()}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,114 @@
+package remoting
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"appshare/internal/core"
+)
+
+func sampleTileRef() *TileReference {
+	return &TileReference{
+		WindowID: 3, Left: 96, Top: 160, Width: 70, Height: 50, TileSize: 32,
+		Tiles: []TileHash{
+			{1, 2}, {3, 4}, {5, 6},
+			{7, 8}, {9, 10}, {11, 12},
+		},
+	}
+}
+
+func TestTileReferenceRoundTrip(t *testing.T) {
+	m := sampleTileRef()
+	raw, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := core.HeaderSize + TileRefHeaderSize + TileHashSize*len(m.Tiles)
+	if len(raw) != wantLen {
+		t.Fatalf("wire length = %d, want %d", len(raw), wantLen)
+	}
+	got, err := DecodePayload(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := got.(*TileReference)
+	if !ok {
+		t.Fatalf("decoded %T, want *TileReference", got)
+	}
+	if !reflect.DeepEqual(ref, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", ref, m)
+	}
+	if cols, rows := ref.GridDims(); cols != 3 || rows != 2 {
+		t.Fatalf("grid = %dx%d, want 3x2", cols, rows)
+	}
+	if b := ref.Bounds(); b.Min.X != 96 || b.Min.Y != 160 || b.Dx() != 70 || b.Dy() != 50 {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
+func TestTileReferenceMarshalValidation(t *testing.T) {
+	m := sampleTileRef()
+	m.Tiles = m.Tiles[:5] // 3x2 grid needs 6 hashes
+	if _, err := m.Marshal(); err == nil {
+		t.Fatal("grid/count mismatch marshaled")
+	}
+	m = sampleTileRef()
+	m.TileSize = 0
+	if _, err := m.Marshal(); err == nil {
+		t.Fatal("zero tile size marshaled")
+	}
+	m = sampleTileRef()
+	m.Width = 0
+	if _, err := m.Marshal(); err == nil {
+		t.Fatal("empty geometry marshaled")
+	}
+}
+
+func TestTileReferenceDecodeErrors(t *testing.T) {
+	valid, err := sampleTileRef().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation anywhere in the message must be rejected, at every
+	// prefix length: the header reader or the hash-length check catches
+	// each one.
+	for n := core.HeaderSize; n < len(valid); n++ {
+		if _, err := DecodePayload(valid[:n]); err == nil {
+			t.Fatalf("truncated to %d bytes decoded", n)
+		}
+	}
+
+	// Trailing garbage is not tolerated either.
+	if _, err := DecodePayload(append(append([]byte(nil), valid...), 0xAA)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+
+	corrupt := func(mutate func(b []byte)) error {
+		b := append([]byte(nil), valid...)
+		mutate(b)
+		_, err := DecodePayload(b)
+		return err
+	}
+	// TileSize sits after the common header (4) + Left/Top/Width/Height
+	// (16); zeroing it makes the geometry empty.
+	if err := corrupt(func(b []byte) { b[20], b[21] = 0, 0 }); err == nil {
+		t.Fatal("zero tile size decoded")
+	}
+	// The declared count (offset 22) must agree with the grid.
+	if err := corrupt(func(b []byte) { b[22], b[23] = 0, 7 }); err == nil {
+		t.Fatal("count disagreeing with grid decoded")
+	}
+	// A count consistent with neither the grid nor the remaining bytes
+	// reports truncation.
+	err = corrupt(func(b []byte) { b[16], b[17], b[18], b[19] = 0, 0, 0, 96; b[22], b[23] = 0, 6 })
+	if err == nil {
+		t.Fatal("hash bytes disagreeing with count decoded")
+	}
+	if !errors.Is(err, ErrTruncated) && err != nil {
+		// Geometry shrink changes the grid first; either rejection is
+		// acceptable as long as it IS rejected.
+		t.Logf("rejected with: %v", err)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"appshare/internal/codec"
 )
 
 // OfferConfig describes an AH's sharing session for SDP generation,
@@ -25,6 +27,15 @@ type OfferConfig struct {
 	// Retransmissions announces UDP retransmission support (mandatory
 	// parameter of the remoting media type).
 	Retransmissions bool
+	// TileStore announces the tile-store capability as a "tilestore"
+	// fmtp parameter carrying the negotiated tile size and dictionary
+	// capacity ("tilestore=<size>/<capacity>"). An answerer that echoes
+	// the parameter receives TileReference messages; one that omits it
+	// gets plain pixel updates. TileSize/TileDictCapacity zero take the
+	// codec defaults.
+	TileStore        bool
+	TileSize         int
+	TileDictCapacity int
 	// HIPPort and HIPPT describe the HIP stream (example: 6006, PT 100).
 	HIPPort int
 	HIPPT   uint8
@@ -79,10 +90,18 @@ func BuildOffer(cfg OfferConfig) (*Description, error) {
 		if cfg.Retransmissions {
 			retrans = "yes"
 		}
-		attrs = append(attrs, Attribute{
-			Key:   "fmtp",
-			Value: fmt.Sprintf("%d retransmissions=%s", cfg.RemotingPT, retrans),
-		})
+		fmtp := fmt.Sprintf("%d retransmissions=%s", cfg.RemotingPT, retrans)
+		if cfg.TileStore {
+			ts, cap := cfg.TileSize, cfg.TileDictCapacity
+			if ts <= 0 {
+				ts = codec.DefaultTileSize
+			}
+			if cap <= 0 {
+				cap = codec.DefaultTileDictCapacity
+			}
+			fmtp += fmt.Sprintf(";tilestore=%d/%d", ts, cap)
+		}
+		attrs = append(attrs, Attribute{Key: "fmtp", Value: fmtp})
 		return attrs
 	}
 	if cfg.OfferUDP {
@@ -121,9 +140,14 @@ type Session struct {
 	RemotingTCPPort int // 0 when not offered
 	Rate            int
 	Retransmissions bool
-	HIPPT           uint8
-	HIPPort         int
-	BFCPPort        int // 0 when absent
+	// TileStore reports the "tilestore" fmtp capability with its
+	// negotiated tile size and dictionary capacity (zero when absent).
+	TileStore        bool
+	TileSize         int
+	TileDictCapacity int
+	HIPPT            uint8
+	HIPPort          int
+	BFCPPort         int // 0 when absent
 }
 
 // ParseOffer extracts the sharing session parameters from a description,
@@ -155,8 +179,15 @@ func ParseOffer(d *Description) (*Session, error) {
 				case "TCP/RTP/AVP":
 					s.RemotingTCPPort = m.Port
 				}
-				if v, ok := m.Attr("fmtp"); ok && strings.Contains(v, "retransmissions=yes") {
-					s.Retransmissions = true
+				if v, ok := m.Attr("fmtp"); ok {
+					if strings.Contains(v, "retransmissions=yes") {
+						s.Retransmissions = true
+					}
+					if ts, cap, ok := parseTileStoreParam(v); ok {
+						s.TileStore = true
+						s.TileSize = ts
+						s.TileDictCapacity = cap
+					}
 				}
 			case SubtypeHIP:
 				// The draft example carries "a=rtpmap:99 hip/90000" under
@@ -183,6 +214,30 @@ func ParseOffer(d *Description) (*Session, error) {
 		return nil, errors.New("sdp: offer has no hip stream")
 	}
 	return s, nil
+}
+
+// parseTileStoreParam extracts a "tilestore=<size>/<capacity>" parameter
+// from a remoting fmtp value. Malformed or non-positive values are
+// treated as absent — a peer that cannot parse its own capability must
+// not be sent tile references.
+func parseTileStoreParam(fmtp string) (size, capacity int, ok bool) {
+	for _, f := range strings.FieldsFunc(fmtp, func(r rune) bool { return r == ';' || r == ' ' }) {
+		val, found := strings.CutPrefix(f, "tilestore=")
+		if !found {
+			continue
+		}
+		a, b, found := strings.Cut(val, "/")
+		if !found {
+			return 0, 0, false
+		}
+		size, err1 := strconv.Atoi(a)
+		capacity, err2 := strconv.Atoi(b)
+		if err1 != nil || err2 != nil || size <= 0 || capacity <= 0 {
+			return 0, 0, false
+		}
+		return size, capacity, true
+	}
+	return 0, 0, false
 }
 
 // Example103 is the SDP body of the draft's Section 10.3 example,

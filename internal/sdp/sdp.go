@@ -58,9 +58,14 @@ type RTPMap struct {
 	Rate        int
 }
 
-// RTPMaps parses every a=rtpmap attribute of the media section.
+// RTPMaps parses every a=rtpmap attribute of the media section. Two
+// rtpmap lines binding the same payload-type number within one media
+// section are rejected: the number is the demultiplexing key, and a
+// duplicate would make the stream's encoding ambiguous (an answer could
+// bind PT 99 to both "remoting" and something else).
 func (m *Media) RTPMaps() ([]RTPMap, error) {
 	var out []RTPMap
+	seen := make(map[uint8]bool)
 	for _, a := range m.Attributes {
 		if a.Key != "rtpmap" {
 			continue
@@ -74,6 +79,10 @@ func (m *Media) RTPMaps() ([]RTPMap, error) {
 		if err != nil || pt < 0 || pt > 127 {
 			return nil, fmt.Errorf("sdp: bad rtpmap payload type %q", fields[0])
 		}
+		if seen[uint8(pt)] {
+			return nil, fmt.Errorf("sdp: duplicate rtpmap for payload type %d", pt)
+		}
+		seen[uint8(pt)] = true
 		rm.PayloadType = uint8(pt)
 		encRate := strings.SplitN(fields[1], "/", 2)
 		rm.Encoding = encRate[0]

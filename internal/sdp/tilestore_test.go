@@ -1,0 +1,110 @@
+package sdp
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOfferText(t *testing.T, text string) (*Session, error) {
+	t.Helper()
+	d, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ParseOffer(d)
+}
+
+func TestTileStoreFmtpRoundTrip(t *testing.T) {
+	cases := []struct {
+		name          string
+		cfg           OfferConfig
+		wantSize      int
+		wantCap       int
+		wantTileStore bool
+	}{
+		{"defaults", OfferConfig{TileStore: true}, 32, 4096, true},
+		{"explicit", OfferConfig{TileStore: true, TileSize: 16, TileDictCapacity: 512}, 16, 512, true},
+		{"absent", OfferConfig{}, 0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.RemotingPort, cfg.RemotingPT = 6004, 99
+			cfg.HIPPort, cfg.HIPPT = 6006, 100
+			cfg.OfferUDP, cfg.OfferTCP = true, true
+			d, err := BuildOffer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := d.Marshal()
+			if got := strings.Contains(text, "tilestore="); got != tc.wantTileStore {
+				t.Fatalf("offer contains tilestore=%v, want %v:\n%s", got, tc.wantTileStore, text)
+			}
+			s, err := parseOfferText(t, text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.TileStore != tc.wantTileStore || s.TileSize != tc.wantSize || s.TileDictCapacity != tc.wantCap {
+				t.Fatalf("parsed tilestore=%v %d/%d, want %v %d/%d",
+					s.TileStore, s.TileSize, s.TileDictCapacity, tc.wantTileStore, tc.wantSize, tc.wantCap)
+			}
+		})
+	}
+}
+
+// TestTileStoreParamMalformed: a peer advertising a capability it cannot
+// spell must be treated as not having it — sending tile references to a
+// confused peer paints nothing.
+func TestTileStoreParamMalformed(t *testing.T) {
+	cases := []struct {
+		fmtp string
+		ok   bool
+		size int
+		cap  int
+	}{
+		{"99 retransmissions=no;tilestore=32/4096", true, 32, 4096},
+		{"99 tilestore=8/64 retransmissions=yes", true, 8, 64},
+		{"99 retransmissions=yes", false, 0, 0},
+		{"99 tilestore=32", false, 0, 0},
+		{"99 tilestore=32/", false, 0, 0},
+		{"99 tilestore=/64", false, 0, 0},
+		{"99 tilestore=0/64", false, 0, 0},
+		{"99 tilestore=32/-1", false, 0, 0},
+		{"99 tilestore=a/b", false, 0, 0},
+		{"99 tilestores=32/64", false, 0, 0},
+	}
+	for _, tc := range cases {
+		size, capacity, ok := parseTileStoreParam(tc.fmtp)
+		if ok != tc.ok || size != tc.size || capacity != tc.cap {
+			t.Errorf("parseTileStoreParam(%q) = %d/%d %v, want %d/%d %v",
+				tc.fmtp, size, capacity, ok, tc.size, tc.cap, tc.ok)
+		}
+	}
+}
+
+// TestTileStoreAnswerDuplicateRTPMapRejected: a description mapping the
+// same payload type twice is ambiguous — an answer could claim the
+// tile-store fmtp applied to either mapping — and is rejected outright.
+func TestTileStoreAnswerDuplicateRTPMapRejected(t *testing.T) {
+	text := strings.Join([]string{
+		"v=0",
+		"o=- 0 0 IN IP4 127.0.0.1",
+		"s=application sharing",
+		"c=IN IP4 127.0.0.1",
+		"t=0 0",
+		"m=application 6004 RTP/AVP 99",
+		"a=rtpmap:99 remoting/90000",
+		"a=rtpmap:99 remoting/8000",
+		"a=fmtp:99 retransmissions=no;tilestore=32/4096",
+		"m=application 6006 TCP/RTP/AVP 100",
+		"a=rtpmap:100 hip/90000",
+		"",
+	}, "\r\n")
+	d, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseOffer(d); err == nil || !strings.Contains(err.Error(), "duplicate rtpmap") {
+		t.Fatalf("duplicate rtpmap accepted (err = %v)", err)
+	}
+}

@@ -80,6 +80,17 @@ func (r *Reader) Uint32() uint32 {
 // this for the MouseWheelMoved distance field, which may be negative.
 func (r *Reader) Int32() int32 { return int32(r.Uint32()) }
 
+// Uint64 reads a big-endian 64-bit value (tile-reference hash lanes).
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
 // Bytes reads exactly n bytes, returning a subslice of the underlying
 // buffer (no copy).
 func (r *Reader) Bytes(n int) []byte {
@@ -144,6 +155,11 @@ func (w *Writer) Uint32(v uint32) {
 
 // Int32 appends a big-endian 32-bit two's-complement value.
 func (w *Writer) Int32(v int32) { w.Uint32(uint32(v)) }
+
+// Uint64 appends a big-endian 64-bit value.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
 
 // Write appends raw bytes. It never fails; the error return satisfies
 // io.Writer so fmt.Fprintf can target a Writer.

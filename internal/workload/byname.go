@@ -57,6 +57,18 @@ var factories = map[string]func(desk *display.Desktop, win *display.Window, seed
 	"windowdrag": func(desk *display.Desktop, win *display.Window, seed int64) Workload {
 		return NewWindowDrag(desk, win.ID(), seed)
 	},
+	// The revisit family: whole-viewport repaints of previously-shown
+	// content, the profiles a persistent tile store turns into
+	// TileReference traffic after the first lap.
+	"slidecycle": func(_ *display.Desktop, win *display.Window, seed int64) Workload {
+		return NewRevisit("slidecycle", win, 4, 5, seed)
+	},
+	"pageflip": func(_ *display.Desktop, win *display.Window, seed int64) Workload {
+		return NewRevisit("pageflip", win, 2, 2, seed)
+	},
+	"reexpose": func(_ *display.Desktop, win *display.Window, seed int64) Workload {
+		return NewRevisit("reexpose", win, 1, 3, seed)
+	},
 	"typing+video": func(desk *display.Desktop, win *display.Window, seed int64) Workload {
 		b := win.Bounds()
 		vw, vh := b.Width/4, b.Height/4

@@ -254,6 +254,121 @@ func clamp(v, lo, hi int) int {
 	return v
 }
 
+// Revisit cycles a fixed set of pre-rendered synthetic pages through the
+// window — the content-revisit family a persistent tile store exploits:
+//
+//   - slide-revisit: a presenter cycling back through earlier slides
+//     (several pages, slow cadence),
+//   - page-flip / scroll-back: a reader alternating between two document
+//     pages (two pages, fast cadence),
+//   - re-expose: a window repainting identical content after occlusion
+//     (one page, re-blitted verbatim).
+//
+// Pages are text over flat tints so they encode losslessly (PNG); every
+// flip repaints the whole viewport, but after the first lap each tile is
+// already in the dictionary.
+type Revisit struct {
+	win      *display.Window
+	name     string
+	Interval int
+	pages    []*image.RGBA
+	step     int
+	idx      int
+}
+
+// NewRevisit pre-renders `pages` synthetic pages into win and returns a
+// workload that blits the next page every interval steps. Page 0 is
+// shown at construction. One page models re-expose: the same content is
+// re-blitted, damaging the viewport without changing a pixel.
+func NewRevisit(name string, win *display.Window, pages, interval int, seed int64) *Revisit {
+	if pages <= 0 {
+		pages = 1
+	}
+	if interval <= 0 {
+		interval = 5
+	}
+	r := &Revisit{win: win, name: name, Interval: interval}
+	rng := rand.New(rand.NewSource(seed))
+	for n := 0; n < pages; n++ {
+		r.pages = append(r.pages, r.renderPage(n, rng))
+	}
+	win.Blit(r.pages[0], 0, 0)
+	return r
+}
+
+// renderPage draws one deterministic slide page into the window and
+// snapshots it. Each page gets a distinct background tint, a heading
+// bar, body text, and an embedded dithered figure — the palette-bounded
+// pixel noise a chart or screenshot becomes after an application
+// dithers it for screen sharing. The figure keeps the page firmly in
+// PNG territory for the classifier (a handful of distinct colors) while
+// defeating PNG's row filters, the realistic worst case the tile store
+// amortizes across revisits.
+func (r *Revisit) renderPage(n int, rng *rand.Rand) *image.RGBA {
+	b := r.win.Bounds()
+	bg := color.RGBA{0xFF - uint8(n%8)*4, 0xFC - uint8(n%8)*6, 0xF4 - uint8(n%8)*8, 0xFF}
+	fg := color.RGBA{0x18, 0x18, 0x28, 0xFF}
+	r.win.Clear(bg)
+	bar := color.RGBA{0x30 + uint8(n%8)*20, 0x50, 0xA0, 0xFF}
+	r.win.Fill(region.XYWH(0, 0, b.Width, display.CellHeight+6), bar)
+	r.win.DrawText(6, 3, words[n%len(words)], color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	figTop := display.CellHeight + 10
+	figH := (b.Height - figTop) * 2 / 5
+	if figH > 8 {
+		r.win.Blit(ditheredFigure(b.Width-12, figH, rng), 6, figTop)
+	}
+	for y := figTop + figH + 4; y+display.GlyphHeight < b.Height-4; y += display.CellHeight {
+		x := 6
+		for x < b.Width-40 {
+			word := words[rng.Intn(len(words))]
+			r.win.DrawText(x, y, word, fg)
+			wpx, _ := display.TextExtent(word + " ")
+			x += wpx
+		}
+	}
+	return r.win.Snapshot()
+}
+
+// ditheredFigure synthesizes a 16-color dithered image region: per-pixel
+// noise drawn from a small seeded palette. Bounded distinct colors keep
+// the region classified synthetic (lossless PNG), while the spatial
+// noise is incompressible for PNG's byte-level filters — matching what
+// charts and photos look like after error-diffusion dithering.
+func ditheredFigure(w, h int, rng *rand.Rand) *image.RGBA {
+	var pal [16]color.RGBA
+	for i := range pal {
+		pal[i] = color.RGBA{
+			R: uint8(40 + rng.Intn(180)),
+			G: uint8(40 + rng.Intn(180)),
+			B: uint8(40 + rng.Intn(180)),
+			A: 0xFF,
+		}
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, pal[rng.Intn(len(pal))])
+		}
+	}
+	return img
+}
+
+// Name implements Workload.
+func (r *Revisit) Name() string { return r.name }
+
+// Step implements Workload.
+func (r *Revisit) Step() {
+	r.step++
+	if r.step%r.Interval != 0 {
+		return
+	}
+	r.idx = (r.idx + 1) % len(r.pages)
+	r.win.Blit(r.pages[r.idx], 0, 0)
+}
+
+// Pages returns how many distinct pages the workload cycles.
+func (r *Revisit) Pages() int { return len(r.pages) }
+
 // Idle does nothing — the control workload.
 type Idle struct{}
 

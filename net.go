@@ -48,8 +48,12 @@ func ServeTCP(h *Host, ln net.Listener, opts StreamOptions) error {
 type Connection struct {
 	p *Participant
 
-	mu       sync.Mutex
-	sendFn   func(pkt []byte) error
+	mu     sync.Mutex
+	sendFn func(pkt []byte) error
+	// batchFn, when non-nil, ships a run of packets in one transport
+	// operation (framing.WriteFrames writev on streams, SendBatch on
+	// batch-capable packet conns); nil falls back to per-packet sends.
+	batchFn  func(pkts [][]byte) error
 	closer   io.Closer
 	recorder *trace.Writer
 
@@ -100,6 +104,22 @@ func (c *Connection) send(pkt []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sendFn(pkt)
+}
+
+// sendBatch ships a run of packets toward the host in one transport
+// operation when the path supports it.
+func (c *Connection) sendBatch(pkts [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.batchFn != nil {
+		return c.batchFn(pkts)
+	}
+	for _, pkt := range pkts {
+		if err := c.sendFn(pkt); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SendHIP ships a prebuilt HIP RTP packet (from the Participant's
@@ -182,12 +202,7 @@ func (c *Connection) Type(windowID uint16, text string) error {
 	if err != nil {
 		return err
 	}
-	for _, pkt := range pkts {
-		if err := c.send(pkt); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.sendBatch(pkts)
 }
 
 // ConnectStream binds the participant to an established reliable stream
@@ -196,11 +211,12 @@ func (c *Connection) Type(windowID uint16, text string) error {
 func ConnectStream(p *Participant, rw io.ReadWriteCloser) *Connection {
 	fw := framing.NewWriter(rw)
 	c := &Connection{
-		p:      p,
-		sendFn: fw.WriteFrame,
-		closer: rw,
-		done:   make(chan struct{}),
-		mtu:    1200,
+		p:       p,
+		sendFn:  fw.WriteFrame,
+		batchFn: fw.WriteFrames,
+		closer:  rw,
+		done:    make(chan struct{}),
+		mtu:     1200,
 	}
 	go func() {
 		fr := framing.NewReader(rw)
@@ -260,6 +276,7 @@ func (c *Connection) UseHIPStream(rw io.WriteCloser) {
 	fw := framing.NewWriter(rw)
 	c.mu.Lock()
 	c.sendFn = fw.WriteFrame
+	c.batchFn = fw.WriteFrames
 	c.mu.Unlock()
 }
 
@@ -272,6 +289,12 @@ func ConnectPacket(p *Participant, conn PacketConn) *Connection {
 		closer: closerFunc(conn.Close),
 		done:   make(chan struct{}),
 		mtu:    1200,
+	}
+	if bs, ok := conn.(transport.BatchSender); ok {
+		c.batchFn = func(pkts [][]byte) error {
+			_, err := bs.SendBatch(pkts)
+			return err
+		}
 	}
 	go func() {
 		for {
@@ -359,6 +382,22 @@ func (u *UDPAdapter) Send(pkt []byte) error {
 	return err
 }
 
+// SendBatch implements transport.BatchSender with a per-datagram loop.
+// Unlike the stream path, UDP must NOT gather the run into one write: a
+// net.Buffers writev on a datagram socket coalesces every buffer into a
+// single (oversized) datagram, destroying the packet boundaries RTP
+// depends on. The batch still saves the per-packet call overhead above
+// this layer; collapsing the loop into one sendmmsg would need
+// golang.org/x/net, which this module deliberately does not depend on.
+func (u *UDPAdapter) SendBatch(pkts [][]byte) (int, error) {
+	for i, pkt := range pkts {
+		if _, err := u.Conn.Write(pkt); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
 // Recv implements PacketConn.
 func (u *UDPAdapter) Recv() ([]byte, error) {
 	buf := make([]byte, 64<<10)
@@ -433,6 +472,19 @@ func (r *udpRemote) Send(pkt []byte) error {
 	return err
 }
 
+// SendBatch implements transport.BatchSender. Per-datagram writes for
+// the same reason as UDPAdapter.SendBatch: gathering datagrams into one
+// write would merge them. The shared socket's destination address is
+// resolved once per call here instead of once per packet upstream.
+func (r *udpRemote) SendBatch(pkts [][]byte) (int, error) {
+	for i, pkt := range pkts {
+		if _, err := r.srv.conn.WriteToUDP(pkt, r.addr); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
 func (r *udpRemote) Recv() ([]byte, error) {
 	select {
 	case pkt := <-r.inbox:
@@ -481,5 +533,11 @@ func (s *udpServer) run() error {
 	}
 }
 
-// Ensure the adapter satisfies the interface.
-var _ transport.PacketConn = (*UDPAdapter)(nil)
+// Ensure the adapters satisfy the interfaces (including the batched
+// fast path the host's packet sink resolves at attach).
+var (
+	_ transport.PacketConn  = (*UDPAdapter)(nil)
+	_ transport.BatchSender = (*UDPAdapter)(nil)
+	_ transport.PacketConn  = (*udpRemote)(nil)
+	_ transport.BatchSender = (*udpRemote)(nil)
+)

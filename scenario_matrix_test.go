@@ -89,6 +89,34 @@ func TestScenarioMutation(t *testing.T) {
 		}
 		t.Logf("caught by: %v", res.Failures())
 	})
+	t.Run("tile-desync", func(t *testing.T) {
+		// The eviction-coherence scenario provokes real dictionary skew
+		// (a viewer dictionary far smaller than the host's seen-set).
+		// With the allowance stripped, the tile-sync oracle must notice
+		// the planted desyncs — proving it can turn red at all.
+		sc, err := netsim.ByName("tile-evict-coherence")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Expect.AllowTileDesyncs = false
+		res, err := netsim.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Passed() {
+			t.Fatal("host/viewer tile-dictionary desynchronization went unnoticed by every oracle")
+		}
+		found := false
+		for _, o := range res.Oracles {
+			if o.Name == "tile-sync" && !o.Passed {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("desync was caught, but not by the tile-sync oracle: %v", res.Failures())
+		}
+		t.Logf("caught by: %v", res.Failures())
+	})
 	t.Run("skip-repair", func(t *testing.T) {
 		sc, err := netsim.ByName("uniform-loss-20")
 		if err != nil {
