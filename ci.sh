@@ -37,6 +37,20 @@ go test -race -cpu 1,4 -count=2 -run 'TestShardChurnFlashCrowd|TestShardByteStre
 # of the tile pipeline (dictionary, wire message, negotiation, host
 # substitution, viewer apply).
 go test -race -count=5 -run Tile ./internal/ah ./internal/codec ./internal/participant ./internal/remoting ./internal/sdp
+# Relay cascade flake gate: the relay's fan-out runs on the origin's
+# Tick goroutine while viewer feedback arrives on pump goroutines, and
+# the cache/latch handoff between them is exactly the kind of ordering
+# that only breaks under scheduler pressure — rerun the relay tests
+# repeatedly under -race.
+go test -race -count=5 -run Relay ./internal/relay
+# 2-level-tree smoke: origin → relay → edge viewers with every oracle
+# armed (including relay-cascade: zero edge-triggered origin encodes),
+# plus its replay-determinism proof, under the race detector.
+go test -race -count=1 -run 'TestScenarioMatrix/relay-tree|TestScenarioDeterminism/relay-tree' .
+# Replay the tree scenario through the ads-bench scenario driver — the
+# same seeds and oracles a developer reaches for when a matrix failure
+# needs reproducing outside the test harness.
+go run ./cmd/ads-bench -scenarios -scenario relay-tree
 # Bench drift: re-measure the sharded fan-out tick latency and fail on
 # a >20% regression against the committed curve (absolute comparison
 # only when the environment matches the committed file; the fresh

@@ -119,6 +119,20 @@ type Config struct {
 	// goroutines entirely (fan-out runs inline on the Tick goroutine —
 	// the pre-sharding behavior); negative values are treated as 1.
 	SendShards int
+	// StreamID names this host's remoting stream for the relay tier (see
+	// DESIGN.md "Relay cascade"): prepared batches published to attached
+	// Forwarders are addressed by this id rather than by host pointer, so
+	// a relay subscribes to a stream, not a process. Zero is a valid id
+	// (single-stream deployments).
+	StreamID uint32
+	// DebugDisableEvictGates disables the no-traffic-after-evict gates:
+	// the refresh-phase re-check (a refresher evicted between the deliver
+	// and refresh phases must not be stamped packets) and the feedback
+	// closed gate (a NACK/PLI racing finishEvictions must not ship
+	// retransmissions or latch refreshes). It exists ONLY so the netsim
+	// mutation checks can re-plant the eviction race and prove the
+	// eviction oracle catches it; production configs leave it false.
+	DebugDisableEvictGates bool
 }
 
 // maxSendShards caps Config.SendShards: past the core count extra shards
@@ -160,6 +174,23 @@ type Host struct {
 	// RemoteHealth (most recent last).
 	evictLog []RemoteHealth
 	closed   bool
+
+	// fwdMu guards the forwarder set and the latched refresh request
+	// (see forward.go). It is independent of the shard locks — a
+	// forwarder is a stream subscriber, not a remote — and is never held
+	// across a forwarder callback.
+	fwdMu      sync.Mutex
+	forwarders []Forwarder
+	fwdRefresh bool
+	// epoch identifies this host instance on its stream (StreamDescriptor
+	// Epoch field); immutable after New.
+	epoch uint32
+	// servedRefreshes counts the full-refresh captures Tick served
+	// (local PLI refreshers and forwarder snapshot requests share one
+	// capture per tick). The relay-tree oracle reconciles it against the
+	// scheduled cadence to prove edge-absorbed PLIs and late joins
+	// trigger zero origin refresh encodes.
+	servedRefreshes atomic.Uint64
 
 	// tickMu serializes whole Tick calls against each other so two
 	// concurrent Ticks cannot interleave capture and fan-out (which
@@ -239,6 +270,7 @@ func New(cfg Config) (*Host, error) {
 		cfg:        cfg,
 		pipeline:   pipeline,
 		senderStop: make(chan struct{}),
+		epoch:      uint32(cfg.Now().Unix()),
 	}
 	h.shards = make([]*shard, cfg.SendShards)
 	for i := range h.shards {
@@ -328,12 +360,21 @@ func (h *Host) Tick() error {
 		return ErrHostClosed
 	}
 	firstErr, refreshers := h.fanout(phaseDeliver, batch, prep)
-	if refreshers {
-		// One full-refresh capture answers every shard's refreshers: the
-		// snapshot is encoded once (usually straight from the payload
-		// cache) and each shard re-stamps the shared messages per
-		// requester.
-		if err := h.serveRefreshers(); err != nil && firstErr == nil {
+	// Publish the tick's prepared payloads to the relay tier (see
+	// forward.go): same marshalled bytes the local fan-out shared, now
+	// addressed by stream id instead of host pointer.
+	fwds, fwdRefresh := h.takeForwardState()
+	if len(fwds) > 0 {
+		if err := h.forwardBatch(fwds, prep); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if refreshers || fwdRefresh {
+		// One full-refresh capture answers every shard's refreshers AND
+		// every forwarder's latched snapshot request: the snapshot is
+		// encoded once (usually straight from the payload cache) and each
+		// shard re-stamps the shared messages per requester.
+		if err := h.serveRefreshers(fwds); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -344,9 +385,10 @@ func (h *Host) Tick() error {
 }
 
 // serveRefreshers captures and prepares ONE full refresh on the Tick
-// goroutine (outside all shard locks) and fans it to the refreshers the
-// deliver phase collected.
-func (h *Host) serveRefreshers() error {
+// goroutine (outside all shard locks), fans it to the refreshers the
+// deliver phase collected and pushes the same snapshot to the attached
+// forwarders (refilling every edge refresh cache at once).
+func (h *Host) serveRefreshers(fwds []Forwarder) error {
 	b, err := h.captureFullRefresh()
 	if err != nil {
 		return err
@@ -358,7 +400,11 @@ func (h *Host) serveRefreshers() error {
 	if err != nil {
 		return err
 	}
+	h.servedRefreshes.Add(1)
 	err, _ = h.fanout(phaseRefresh, nil, prep)
+	if ferr := h.forwardRefresh(fwds, prep); ferr != nil && err == nil {
+		err = ferr
+	}
 	return err
 }
 

@@ -2,6 +2,7 @@ package ah
 
 import (
 	"fmt"
+	"io"
 
 	"appshare/internal/capture"
 	"appshare/internal/codec"
@@ -193,6 +194,14 @@ func (r *Remote) sendPrepared(msgs []preparedMessage) error {
 		raws[i] = nil
 	}
 	r.rawScratch = raws[:0]
+	if err == nil && n < len(msgs) {
+		// A short-count batch sender accepted only a prefix without
+		// reporting an error of its own. The remainder never reached the
+		// wire and was not counted above; surface the shortfall so the
+		// caller (Tick, or the attach path) sees the loss instead of a
+		// silently truncated batch.
+		err = fmt.Errorf("ah: batch send accepted %d of %d packets: %w", n, len(msgs), io.ErrShortWrite)
+	}
 	return err
 }
 

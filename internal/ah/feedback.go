@@ -20,6 +20,9 @@ func (h *Host) handleIncoming(r *Remote, pkt []byte) {
 		h.handleRTCP(r, pkt)
 		return
 	}
+	if h.maybeRelaySubscribe(r, pkt) {
+		return
+	}
 	h.handleHIP(r, pkt)
 }
 
@@ -38,6 +41,14 @@ func (h *Host) handleRTCP(r *Remote, pkt []byte) {
 	// on one shard leaves the other shards' deliveries unobstructed.
 	r.sh.mu.Lock()
 	defer r.sh.mu.Unlock()
+	if r.closed && !h.cfg.DebugDisableEvictGates {
+		// Feedback can race eviction: sweepHealth marks the remote closed
+		// under the shard lock, but the sink teardown happens later,
+		// outside all locks (finishEvictions). A NACK or PLI landing in
+		// that window must not ship retransmissions to — or latch a
+		// refresh for — a remote the host has already evicted.
+		return
+	}
 	r.noteHeardLocked(h.cfg.Now())
 	for _, p := range pkts {
 		switch fb := p.(type) {

@@ -115,6 +115,12 @@ type Remote struct {
 	absorbedPLIs     uint64
 	refreshRequested bool
 
+	// forwardOnly marks a remote that completed the RelaySubscribe
+	// handshake (see forward.go): it receives the stream's prepared
+	// batches via its attached remoteForwarder — with StreamDescriptor
+	// delimiters — and is skipped by the ordinary capture fan-out.
+	forwardOnly bool
+
 	closed bool
 }
 
@@ -186,6 +192,12 @@ func (h *Host) newRemote(id string, userID uint16, s sink) *Remote {
 // for all remotes; only RTP packetization happens per participant. The
 // owning shard's lock is held.
 func (r *Remote) deliver(b *capture.Batch, prep *preparedBatch) error {
+	if r.forwardOnly {
+		// Relay subscribers receive this tick's batch on the forwarder
+		// path (descriptor-delimited); delivering it here too would
+		// duplicate every payload on their wire.
+		return nil
+	}
 	approx := approxBatchSize(b)
 	backlogged := r.sink.backlogged(approx)
 	if backlogged {
@@ -383,12 +395,31 @@ func (r *Remote) logForRetransmission(pkt []byte) {
 	r.retransQ = append(r.retransQ, seq)
 }
 
-// fullRefresh sends the complete state to this remote (PLI service).
-// Shard lock held.
+// fullRefresh sends the complete state to this remote (PLI service and
+// the TCP initial push). Shard lock held.
+//
+// The refresh is tier-coherent: a remote pinned or demoted to TierScaled
+// gets its screen content re-encoded pixelated at the tier's block size
+// (cached under codec.KeyForTier, so N scaled refreshers share one
+// encode), not the full-resolution payloads — a late joiner attached
+// onto a congested rung must not receive exactly the bytes the ladder
+// demoted it to avoid.
 func (r *Remote) fullRefresh() error {
 	b, err := r.host.captureFullRefresh()
 	if err != nil {
 		return err
+	}
+	if r.effectiveTierLocked() == TierScaled {
+		block := r.host.scaleBlock()
+		var ups []capture.Update
+		for _, up := range b.Updates {
+			du, err := r.host.encodeRegionDegraded(up.Rect, block)
+			if err != nil {
+				return err
+			}
+			ups = append(ups, du...)
+		}
+		b = &capture.Batch{WMInfo: b.WMInfo, Updates: ups, Pointer: b.Pointer}
 	}
 	r.pending.Clear()
 	r.pendingPointer = false
@@ -507,6 +538,12 @@ type StreamOptions struct {
 	// the host itself has Config.TileStore; un-negotiated viewers always
 	// receive plain pixel updates.
 	TileStore bool
+	// PinTier, when above TierFull, attaches the remote already pinned to
+	// that ladder rung (PinQualityTier before the initial push), so the
+	// join-time full refresh is tier-coherent from the first packet — a
+	// viewer negotiated onto a scaled tier receives tier-keyed payloads,
+	// never a full-resolution burst.
+	PinTier QualityTier
 }
 
 // readDeadliner is the subset of net.Conn the idle-timeout wiring needs.
@@ -544,6 +581,9 @@ func (h *Host) AttachStream(id string, rw io.ReadWriteCloser, opts StreamOptions
 		// Seen-set starts empty: a late joiner has seen nothing, so its
 		// initial full refresh below ships pixels and seeds both sides.
 		r.tileSeen = codec.NewTileDict(h.cfg.TileStore.DictCapacity)
+	}
+	if opts.PinTier > TierFull {
+		r.PinQualityTier(opts.PinTier)
 	}
 	if err := h.addRemoteUnique(r); err != nil {
 		_ = s.close()
@@ -625,6 +665,10 @@ type PacketOptions struct {
 	// TileStore marks the participant as having negotiated the
 	// tile-store capability (see StreamOptions.TileStore).
 	TileStore bool
+	// PinTier, when above TierFull, attaches the remote already pinned to
+	// that ladder rung (see StreamOptions.PinTier); the refresh answering
+	// its announcement PLI is then tier-coherent.
+	PinTier QualityTier
 }
 
 // packetSink ships datagrams with an AH-enforced rate budget.
@@ -650,23 +694,34 @@ func (s *packetSink) ship(pkt []byte) error {
 // shipBatch sends a run of datagrams through the conn's BatchSender
 // when it has one (one endpoint lock acquisition per batch instead of
 // per packet), falling back to per-packet sends otherwise. The token
-// budget is charged identically either way.
+// budget is charged for exactly the packets the transport accepted —
+// the same per-packet accounting ship() does — so a mid-run send error
+// or a short-count batch sender cannot leave the bucket charged for
+// datagrams that never reached the wire.
 func (s *packetSink) shipBatch(pkts [][]byte) (int, error) {
-	if s.rate > 0 {
+	var n int
+	var err error
+	if s.batch != nil {
+		n, err = s.batch.SendBatch(pkts)
+		if n > len(pkts) {
+			n = len(pkts)
+		}
+	} else {
+		n = len(pkts)
+		for i, p := range pkts {
+			if e := s.conn.Send(p); e != nil {
+				n, err = i, e
+				break
+			}
+		}
+	}
+	if s.rate > 0 && n > 0 {
 		s.refill()
-		for _, p := range pkts {
+		for _, p := range pkts[:n] {
 			s.tokens -= float64(len(p))
 		}
 	}
-	if s.batch != nil {
-		return s.batch.SendBatch(pkts)
-	}
-	for i, p := range pkts {
-		if err := s.conn.Send(p); err != nil {
-			return i, err
-		}
-	}
-	return len(pkts), nil
+	return n, err
 }
 
 func (s *packetSink) backlogged(pending int) bool {
@@ -713,6 +768,9 @@ func (h *Host) AttachPacketConn(id string, conn transport.PacketConn, opts Packe
 	r := h.newRemote(id, opts.UserID, s)
 	if opts.TileStore && h.cfg.TileStore != nil {
 		r.tileSeen = codec.NewTileDict(h.cfg.TileStore.DictCapacity)
+	}
+	if opts.PinTier > TierFull {
+		r.PinQualityTier(opts.PinTier)
 	}
 	// No ID-uniqueness here: packet IDs are caller-chosen labels (ServeUDP
 	// already keys by unique source address), and sharing one ID across
@@ -811,6 +869,11 @@ func (h *Host) initialState(r *Remote) error {
 func (h *Host) RequestRefresh(r *Remote) error {
 	r.sh.mu.Lock()
 	defer r.sh.mu.Unlock()
+	if r.closed {
+		// Same race as the feedback path: the remote may be marked
+		// evicted while its sink teardown is still pending.
+		return nil
+	}
 	return r.fullRefresh()
 }
 

@@ -109,8 +109,23 @@ func (h *Host) runShardWork(w *shardWork) {
 			s.refreshers[i] = nil
 			// The shard lock was released between the phases (the refresh
 			// capture runs outside all shard locks), so re-check that the
-			// remote is still attached before stamping packets for it.
-			if _, ok := s.remotes[r]; !ok || r.closed {
+			// remote is still attached before stamping packets for it — a
+			// refresher collected in the deliver phase may have been
+			// evicted or closed in the gap, and refresh traffic toward it
+			// would land on a torn-down sink (and count against a remote
+			// the host already reported gone).
+			if !h.cfg.DebugDisableEvictGates {
+				if _, ok := s.remotes[r]; !ok || r.closed {
+					continue
+				}
+			}
+			// Tier coherence: a TierScaled refresher re-encodes through the
+			// degraded path (fullRefresh routes it), the rest share this
+			// phase's full-resolution preparation.
+			if r.effectiveTierLocked() == TierScaled {
+				if err := r.fullRefresh(); err != nil && w.err == nil {
+					w.err = err
+				}
 				continue
 			}
 			r.pending.Clear()

@@ -43,8 +43,16 @@ const (
 // from content-hash tile references instead of re-shipping pixels (see
 // internal/remoting and DESIGN.md "Tile store"). It is only sent to
 // participants that negotiated the "tilestore" fmtp capability.
+// RelaySubscribe and StreamDescriptor are the relay-cascade control
+// handshake (DESIGN.md "Relay cascade"): a relay announces itself and
+// the stream it wants with RelaySubscribe (RequestForward-style), and
+// the origin answers with the stream's endpoint descriptor. Both are
+// only exchanged with peers that negotiated the "relay" fmtp
+// capability.
 const (
-	TypeTileReference MessageType = 16
+	TypeTileReference    MessageType = 16
+	TypeRelaySubscribe   MessageType = 17
+	TypeStreamDescriptor MessageType = 18
 )
 
 // HIP message types (Table 3 / Table 5).
@@ -64,6 +72,8 @@ var typeNames = map[MessageType]string{
 	TypeMoveRectangle:     "MoveRectangle",
 	TypeMousePointerInfo:  "MousePointerInfo",
 	TypeTileReference:     "TileReference",
+	TypeRelaySubscribe:    "RelaySubscribe",
+	TypeStreamDescriptor:  "StreamDescriptor",
 	TypeMousePressed:      "MousePressed",
 	TypeMouseReleased:     "MouseReleased",
 	TypeMouseMoved:        "MouseMoved",
@@ -108,7 +118,9 @@ var (
 	// so IsRemoting stays false for them: un-negotiated participants
 	// route them through the extension-ignore path instead of erroring.
 	ExtensionRegistry = map[MessageType]string{
-		TypeTileReference: "TileReference",
+		TypeTileReference:    "TileReference",
+		TypeRelaySubscribe:   "RelaySubscribe",
+		TypeStreamDescriptor: "StreamDescriptor",
 	}
 	HIPRegistry = map[MessageType]string{
 		TypeMousePressed:    "MousePressed",

@@ -277,10 +277,15 @@ func (r *runner) oracleCounters(fresh map[string]uint64) OracleResult {
 				fails = append(fails, fmt.Sprintf("%s: delivered %d of %d scheduled datagrams",
 					v.name, v.delivered, v.shapedDeliveries+v.bypassDeliveries))
 			}
-			hs := v.remote.Health()
-			if got := fresh[v.name]; got != hs.SentPackets {
-				fails = append(fails, fmt.Sprintf("%s: tap shows %d fresh sends but the host counts SentPackets=%d",
-					v.name, got, hs.SentPackets))
+			var sent uint64
+			if v.rv != nil {
+				sent = v.rv.SentPackets()
+			} else {
+				sent = v.remote.Health().SentPackets
+			}
+			if got := fresh[v.name]; got != sent {
+				fails = append(fails, fmt.Sprintf("%s: tap shows %d fresh sends but the sender counts SentPackets=%d",
+					v.name, got, sent))
 			}
 		case KindTCP:
 			if !v.joined {
@@ -355,6 +360,34 @@ func (r *runner) oracleTileSync() OracleResult {
 	return OracleResult{Name: "tile-sync", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
 }
 
+// oracleRelayCascade audits the edge tier's absorption contract: the
+// origin served exactly the seed refresh plus the relay's cadence
+// refills — no late join or PLI behind the relay ever reached the
+// origin's encode path — every capture landed in the relay's cache, and
+// the run actually exercised the absorption path.
+func (r *runner) oracleRelayCascade() OracleResult {
+	st := r.relay.Stats()
+	served := r.host.ServedRefreshes()
+	var fails []string
+	// The seed request (AttachUpstream) plus each cadence refill is one
+	// origin capture. A request latched by the very last tick is still
+	// unserved when the run stops, so served may trail the request count
+	// by the seed capture it spent.
+	if served > st.UpstreamRefreshRequests+1 || served < st.UpstreamRefreshRequests {
+		fails = append(fails, fmt.Sprintf(
+			"origin served %d refresh captures against %d cadence requests (+1 seed): an edge event reached the origin's encode path",
+			served, st.UpstreamRefreshRequests))
+	}
+	if st.CacheRefills != served {
+		fails = append(fails, fmt.Sprintf("relay cached %d refills of %d origin captures", st.CacheRefills, served))
+	}
+	if got := st.CacheServes + st.AbsorbedPLIs; got < r.sc.Expect.MinRelayAbsorbed {
+		fails = append(fails, fmt.Sprintf("relay absorbed %d edge events (%d cache serves + %d rate-limited PLIs), scenario requires >= %d",
+			got, st.CacheServes, st.AbsorbedPLIs, r.sc.Expect.MinRelayAbsorbed))
+	}
+	return OracleResult{Name: "relay-cascade", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
+}
+
 // runOracles evaluates every invariant and records the verdicts.
 func (r *runner) runOracles(res *Result) {
 	conv := r.oracleConvergence()
@@ -367,4 +400,7 @@ func (r *runner) runOracles(res *Result) {
 		r.oracleTileSync(),
 		r.oracleCounters(fresh),
 	)
+	if r.relay != nil {
+		res.Oracles = append(res.Oracles, r.oracleRelayCascade())
+	}
 }

@@ -15,6 +15,9 @@ import (
 	"appshare/internal/display"
 	"appshare/internal/participant"
 	"appshare/internal/region"
+	"appshare/internal/relay"
+	"appshare/internal/rtcp"
+	"appshare/internal/rtp"
 	"appshare/internal/stats"
 	"appshare/internal/trace"
 	"appshare/internal/transport"
@@ -46,6 +49,9 @@ type viewerState struct {
 	p    *participant.Participant
 
 	remote *ah.Remote
+	// rv is the relay-tier attachment of a ViaRelay viewer (remote is
+	// nil for these: the origin never learns they exist).
+	rv *relay.Viewer
 
 	// Link state (UDP and the feedback direction of every kind).
 	down, up         *transport.Shaper
@@ -120,6 +126,10 @@ type runner struct {
 
 	viewers []*viewerState
 	byName  map[string]*viewerState
+
+	// relay is the edge tier (nil without Scenario.Relay): subscribed
+	// in-process to the host, fanning to the ViaRelay viewers.
+	relay *relay.Relay
 
 	events eventHeap
 	bypass bool
@@ -223,7 +233,11 @@ func validate(sc Scenario) error {
 	if _, err := ah.ParseEvictionPolicy(sc.EvictionPolicy); err != nil {
 		return err
 	}
+	if sc.Relay == nil && sc.Expect.MinRelayAbsorbed > 0 {
+		return fmt.Errorf("netsim: scenario %q: Expect.MinRelayAbsorbed requires a relay tier", sc.Name)
+	}
 	seen := map[string]bool{"_ref": true}
+	relayed := 0
 	for _, vs := range sc.Viewers {
 		if vs.Name == "" {
 			return fmt.Errorf("netsim: scenario %q has an unnamed viewer", sc.Name)
@@ -241,6 +255,18 @@ func validate(sc Scenario) error {
 			}
 			if vs.LeaveAtTick <= vs.JoinAtTick || vs.LeaveAtTick >= sc.Ticks {
 				return fmt.Errorf("netsim: viewer %q leaves at tick %d outside (%d,%d)", vs.Name, vs.LeaveAtTick, vs.JoinAtTick, sc.Ticks)
+			}
+		}
+		if vs.ViaRelay {
+			relayed++
+			if sc.Relay == nil {
+				return fmt.Errorf("netsim: viewer %q: ViaRelay requires Scenario.Relay", vs.Name)
+			}
+			if vs.Kind != KindUDP {
+				return fmt.Errorf("netsim: viewer %q: ViaRelay is only supported for UDP viewers", vs.Name)
+			}
+			if vs.LeaveAtTick != 0 {
+				return fmt.Errorf("netsim: viewer %q: LeaveAtTick is not supported behind the relay tier", vs.Name)
 			}
 		}
 		prof := sc.Profile
@@ -275,9 +301,17 @@ func validate(sc Scenario) error {
 			}
 		}
 	}
+	if sc.Relay != nil && relayed == 0 {
+		return fmt.Errorf("netsim: scenario %q declares a relay tier but no ViaRelay viewer", sc.Name)
+	}
 	for _, name := range sc.Expect.Evicted {
 		if !seen[name] || name == "_ref" {
 			return fmt.Errorf("netsim: Expect.Evicted names unknown viewer %q", name)
+		}
+		for _, vs := range sc.Viewers {
+			if vs.Name == name && vs.ViaRelay {
+				return fmt.Errorf("netsim: Expect.Evicted names relay viewer %q (the host cannot evict what it never attached)", name)
+			}
 		}
 	}
 	return nil
@@ -339,11 +373,36 @@ func Run(sc Scenario) (*Result, error) {
 		BacklogLimit:    sc.BacklogLimit,
 		Ladder:          sc.Ladder,
 		OnEvict:         func(snap ah.RemoteHealth) { r.pendingEvicts = append(r.pendingEvicts, snap) },
+		// FaultEvictFeedback re-opens the refresh-phase eviction race on
+		// purpose; the evictions oracle must catch the resulting traffic.
+		DebugDisableEvictGates: sc.Fault == FaultEvictFeedback,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer r.host.Close()
+
+	if sc.Relay != nil {
+		refreshEvery := sc.Relay.RefreshEvery
+		if refreshEvery <= 0 {
+			refreshEvery = 8
+		}
+		r.relay = relay.New(relay.Config{
+			StreamID:           r.host.StreamID(),
+			RetransLog:         sc.RetransLog,
+			RefreshEvery:       refreshEvery,
+			MinRefreshInterval: sc.Relay.MinRefreshInterval,
+			Now:                r.clk.Now,
+			Entropy:            entropyFrom(deriveSeed(sc.Seed, "relay-entropy")),
+		})
+		// Seed the edge cache before any viewer joins: the latched
+		// request is served by tick 0's capture, so every ViaRelay join
+		// (including tick-0 ones) can be painted from the cache.
+		if err := r.relay.AttachUpstream(r.host, true); err != nil {
+			return nil, err
+		}
+		defer r.relay.Close()
+	}
 
 	specs := append([]ViewerSpec{{Name: "_ref", Kind: KindUDP, Profile: &Profile{Name: "pristine"}}}, sc.Viewers...)
 	needBus := false
@@ -359,8 +418,9 @@ func Run(sc Scenario) (*Result, error) {
 		// Tile-store negotiation mirrors the attach options: unicast
 		// viewers that did not opt out run a dictionary sized by their
 		// spec (the group remote never sends references, so multicast
-		// members stay plain).
-		if sc.TileStore && !vs.NoTileStore && vs.Kind != KindMulticast {
+		// members stay plain, and relay viewers receive the un-substituted
+		// shared batch the forwarders get).
+		if sc.TileStore && !vs.NoTileStore && vs.Kind != KindMulticast && !vs.ViaRelay {
 			pcfg.TileStore = true
 			pcfg.TileDictCapacity = vs.TileDictCapacity
 		}
@@ -545,6 +605,17 @@ func (r *runner) attach(v *viewerState) error {
 	switch v.kind {
 	case KindUDP:
 		v.conn = newSimPacketConn(r, v)
+		if v.spec.ViaRelay {
+			// The edge leg: the relay (not the origin) owns this viewer.
+			// A non-empty cache is served synchronously right here, on the
+			// runner goroutine — the late joiner's fast first paint.
+			rv, err := r.relay.AttachPacketConn(v.name, v.conn)
+			if err != nil {
+				return err
+			}
+			v.rv = rv
+			break
+		}
 		rem, err := r.host.AttachPacketConn(v.name, v.conn, ah.PacketOptions{TileStore: tiled})
 		if err != nil {
 			return err
@@ -700,7 +771,17 @@ func (r *runner) multicastIdle() bool {
 // NACK and PLI for the datagram kinds that can lose packets.
 func (r *runner) repair(tick int) {
 	for _, v := range r.viewers {
-		if !v.joined || v.left || v.evicted || v.silencedAt(tick) {
+		if !v.joined || v.left {
+			continue
+		}
+		// FaultEvictFeedback keeps an evicted viewer's repair loop alive
+		// (even one that went silent to earn the eviction): its feedback
+		// lands in the mark-to-teardown window the eviction gates guard.
+		evictedTalks := v.evicted && r.sc.Fault == FaultEvictFeedback
+		if v.evicted && !evictedTalks {
+			continue
+		}
+		if !evictedTalks && v.silencedAt(tick) {
 			continue
 		}
 		if rr, err := v.p.BuildReceiverReport(); err == nil {
@@ -712,9 +793,29 @@ func (r *runner) repair(tick int) {
 		if nack, err := v.p.BuildNACK(); err == nil && nack != nil {
 			r.sendUp(v, nack)
 		}
+		if evictedTalks && len(v.tap) > 0 {
+			// The race's observable payload. An evicted viewer's trailing
+			// losses are invisible to its own gap detector (nothing
+			// arrives after them to expose the hole), but a real repair
+			// loop learns the sender's highest sequence from SRs and
+			// NACKs the tail. Play that role: NACK the last sequence the
+			// host ever shipped here. It is certainly in the
+			// retransmission log, so an un-gated host services it —
+			// straight onto the torn-down transport.
+			var hdr rtp.Header
+			if _, err := hdr.Unmarshal(v.tap[len(v.tap)-1]); err == nil {
+				nack, err := rtcp.Marshal(&rtcp.NACK{
+					SenderSSRC: hdr.SSRC, MediaSSRC: hdr.SSRC,
+					Pairs: []rtcp.NACKPair{{PID: hdr.SequenceNumber}},
+				})
+				if err == nil {
+					r.sendUp(v, nack)
+				}
+			}
+		}
 		received, _, _, _ := v.p.Stats()
 		now := r.clk.Now()
-		if (v.p.NeedsRefresh() || received == 0) &&
+		if (v.p.NeedsRefresh() || received == 0 || evictedTalks) &&
 			(v.lastPLIAt.IsZero() || now.Sub(v.lastPLIAt) >= pliHolddown) {
 			if pli, err := v.p.BuildPLI(); err == nil {
 				v.lastPLIAt = now
@@ -734,11 +835,16 @@ func (r *runner) processEvent(ev *event) {
 		r.journal('D', v.idx, pkt)
 		r.deliverToViewer(v, pkt)
 	case evDeliverUp:
-		if v.evicted || v.left || v.remote == nil {
+		evictedTalks := v.evicted && r.sc.Fault == FaultEvictFeedback
+		if (v.evicted && !evictedTalks) || v.left || (v.remote == nil && v.rv == nil) {
 			r.journal('X', v.idx, []byte{1})
 			return
 		}
 		r.journal('U', v.idx, ev.pkt)
+		if v.rv != nil {
+			r.relay.HandleFeedback(v.rv, ev.pkt)
+			return
+		}
 		r.host.HandleFeedback(v.remote, ev.pkt)
 	case evDropDown:
 		v.dropsDown++

@@ -127,6 +127,28 @@ type ViewerSpec struct {
 	// refresh instead of painting wrong pixels (pair with
 	// Expect.AllowTileDesyncs).
 	TileDictCapacity int
+	// ViaRelay attaches this viewer to the scenario's relay tier
+	// (Scenario.Relay) instead of the origin host — the edge leg of a
+	// 2-level fan-out tree. UDP only; the origin never learns the
+	// viewer exists, and the relay-cascade oracle asserts its joins and
+	// PLIs were absorbed at the edge.
+	ViaRelay bool
+}
+
+// RelaySpec configures the scenario's edge relay tier: one relay.Relay
+// subscribed in-process to the origin host, re-fanning every tick's
+// prepared batch to the ViaRelay viewers. The relay seeds its refresh
+// cache at attach and refills it only on the RefreshEvery cadence, so
+// the relay-cascade oracle can assert the exact origin refresh count.
+type RelaySpec struct {
+	// RefreshEvery is the cache-refill cadence in forwarded batches
+	// (default 8) — the ONLY path relay activity may generate origin
+	// refresh work on.
+	RefreshEvery int
+	// MinRefreshInterval rate-limits per-viewer cache serves (0 = the
+	// relay default 500ms; negative disables, serving every PLI from
+	// the cache).
+	MinRefreshInterval time.Duration
 }
 
 // BudgetPhase is one step of a TCP viewer's budget schedule.
@@ -150,6 +172,13 @@ const (
 	// FaultSkipRepair suppresses viewer NACKs and PLIs — under loss the
 	// convergence oracle must notice the unrepaired gaps.
 	FaultSkipRepair
+	// FaultEvictFeedback re-plants the refresh-phase eviction race: the
+	// host's eviction gates are disabled (ah.Config.DebugDisableEvictGates)
+	// and evicted viewers keep their repair loops talking, so feedback
+	// lands in the window between the sweep's mark and the sink
+	// teardown. The evictions oracle must notice the post-eviction
+	// service.
+	FaultEvictFeedback
 )
 
 // Expectations declares the intended end state, so policy actions
@@ -174,6 +203,12 @@ type Expectations struct {
 	// a tile-store scenario actually exercised the reference path rather
 	// than silently shipping pixels.
 	MinTileRefs uint64
+	// MinRelayAbsorbed is the minimum number of edge events (cache
+	// serves plus rate-limited PLI absorptions) the relay tier must have
+	// handled — the proof a relay scenario actually exercised the
+	// absorption path rather than running an idle relay. Requires
+	// Scenario.Relay.
+	MinRelayAbsorbed uint64
 }
 
 // Scenario is one reproducible simulation: workload × link profile ×
@@ -193,6 +228,9 @@ type Scenario struct {
 	// Viewers is the fleet. A lossless UDP reference viewer "_ref" is
 	// always added by the runner.
 	Viewers []ViewerSpec
+	// Relay, when non-nil, stands up the edge relay tier the ViaRelay
+	// viewers attach through (see RelaySpec).
+	Relay *RelaySpec
 
 	// Host policy knobs (zero values keep the ah defaults).
 	RemoteTimeout   time.Duration
@@ -498,6 +536,36 @@ func Matrix() []Scenario {
 				{Name: "obs", Kind: KindUDP},
 			},
 			Expect: Expectations{AllowTileDesyncs: true, MinTileRefs: 4},
+		},
+		{
+			// 2-level fan-out tree: origin → relay → edge fleet. The lossy
+			// edge viewers run their whole repair loop (NACK, PLI) against
+			// the relay, and a late joiner is painted from the relay's
+			// cached snapshot — the origin never hears about any of it. The
+			// relay-cascade oracle asserts the origin served exactly the
+			// seed refresh plus the cadence refills, i.e. zero refresh
+			// encodes triggered by edge events.
+			Name: "relay-tree", Seed: 134, Workload: "typing",
+			Ticks:   36,
+			Profile: Profile{Name: "pristine"},
+			Relay:   &RelaySpec{RefreshEvery: 6, MinRefreshInterval: 1200 * time.Millisecond},
+			Viewers: []ViewerSpec{
+				{Name: "obs", Kind: KindUDP},
+				{Name: "e1", Kind: KindUDP, ViaRelay: true},
+				{Name: "e2", Kind: KindUDP, ViaRelay: true,
+					Profile: &Profile{Name: "loss10", Down: transport.LinkConfig{LossRate: 0.10}}},
+				{Name: "e3", Kind: KindUDP, ViaRelay: true,
+					Profile: &Profile{Name: "burst-ge", Down: transport.LinkConfig{Burst: ge}}},
+				{Name: "late", Kind: KindUDP, ViaRelay: true, JoinAtTick: 18,
+					// Heavy loss right at the join: the cache serve's first
+					// paint is likely eaten, so the joiner PLIs into the
+					// relay's rate-limit window — the absorbed-PLI path.
+					Profile: &Profile{Name: "loss70", Down: transport.LinkConfig{LossRate: 0.70}}},
+			},
+			// Seed 134 deterministically yields 6 cache serves + 4
+			// rate-limited PLI absorptions; the floor leaves headroom for
+			// benign reseeding while still proving both paths ran.
+			Expect: Expectations{MinRelayAbsorbed: 8},
 		},
 		{
 			Name: "multicast-nack", Seed: 113, Workload: "typing",

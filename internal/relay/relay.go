@@ -1,0 +1,699 @@
+// Package relay implements the edge tier of the relay cascade (see
+// DESIGN.md "Relay cascade"): a node that subscribes to an ah.Host's
+// (or another relay's) prepared-batch stream and re-fans the shared
+// payloads to its own viewer set, absorbing late joiners and PLIs with
+// a cached refresh snapshot instead of propagating them to the origin.
+//
+// The relay receives each tick's payloads exactly as the origin's local
+// shards do — marshalled once, addressed by stream id — and pays only
+// per-viewer RTP re-stamping, the same split the origin's sharded send
+// path makes between "encode & batch" and "remote set". Viewer repair
+// stays local: NACKs are served from a per-viewer retransmission log,
+// PLIs from the cached refresh. The only upstream refresh traffic is
+// the cadence-driven cache refill (Config.RefreshEvery), so a storm of
+// edge joins or losses costs the origin zero additional encodes.
+package relay
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"appshare/internal/ah"
+	"appshare/internal/rtcp"
+	"appshare/internal/rtp"
+	"appshare/internal/stats"
+	"appshare/internal/transport"
+)
+
+// Default configuration values, matching the ah defaults where the
+// concepts coincide.
+const (
+	DefaultRemotingPT = 99
+	DefaultRetransLog = 1024
+)
+
+// Upstream is the subscription surface a relay attaches to. *ah.Host
+// satisfies it, and so does *Relay — relays chain into trees.
+type Upstream interface {
+	AttachForwarder(ah.Forwarder)
+	DetachForwarder(ah.Forwarder)
+	// RequestStreamRefresh latches a refresh-snapshot request for the
+	// stream; the upstream answers from its own refresh source (the
+	// origin encodes one, a parent relay serves its cache).
+	RequestStreamRefresh(streamID uint32)
+	StreamID() uint32
+}
+
+// Config configures a Relay.
+type Config struct {
+	// StreamID is the stream the relay subscribes to; batches published
+	// under any other id are ignored.
+	StreamID uint32
+	// RemotingPT is the RTP payload type stamped on re-fanned packets
+	// (default 99, the draft's SDP example).
+	RemotingPT uint8
+	// RetransLog is the number of recent packets retained per viewer for
+	// NACK service (default 1024).
+	RetransLog int
+	// MinRefreshInterval rate-limits cache serves per viewer, exactly
+	// like the origin's PLI limiter: PLIs inside the window of the last
+	// serve are absorbed outright. Zero means 500ms; negative disables.
+	MinRefreshInterval time.Duration
+	// RefreshEvery, when positive, requests a fresh snapshot from the
+	// upstream every N forwarded batches — the ONLY path on which relay
+	// activity generates upstream refresh work. Edge events (late
+	// joins, PLIs) are always served from the cache and latched for the
+	// next scheduled refill, never forwarded.
+	RefreshEvery int
+	// Shards splits the viewer set across independently-locked shards
+	// (default 1), so feedback handling on one shard does not contend
+	// with fan-out on another — the origin's shard layout, minus the
+	// sender goroutines (a relay's fan-out is already off the origin's
+	// tick path).
+	Shards int
+	// Now supplies time (defaults to time.Now); injectable for tests.
+	Now func() time.Time
+	// Entropy seeds the per-viewer RTP identifiers (see ah.Config).
+	Entropy func() uint32
+	// Stats, when non-nil, receives per-message-kind traffic counts.
+	Stats *stats.Collector
+}
+
+// Stats is a snapshot of the relay's cascade counters.
+type Stats struct {
+	// Batches counts upstream prepared batches re-fanned downstream.
+	Batches uint64
+	// CacheRefills counts refresh snapshots received from upstream.
+	CacheRefills uint64
+	// CacheServes counts viewer refreshes served from the cached
+	// snapshot (late joins and post-PLI serves).
+	CacheServes uint64
+	// AbsorbedPLIs counts PLIs swallowed by the rate limiter.
+	AbsorbedPLIs uint64
+	// UpstreamRefreshRequests counts cadence-driven cache refill
+	// requests sent upstream.
+	UpstreamRefreshRequests uint64
+}
+
+// msg is one re-fannable payload.
+type msg struct {
+	payload []byte
+	marker  bool
+	kind    string
+}
+
+// rshard owns one slice of the viewer set. Lock order: rshard.mu →
+// Relay.mu (fan-out and feedback hold a shard lock and bump the
+// cascade counters under Relay.mu); no path holds two shard locks at
+// once, and no path acquires a shard lock while holding Relay.mu.
+type rshard struct {
+	mu      sync.Mutex
+	viewers map[*Viewer]struct{}
+}
+
+// Relay is one edge node of the cascade.
+type Relay struct {
+	cfg       Config
+	shards    []*rshard
+	nextShard atomic.Uint64
+	nViewers  atomic.Int64
+
+	// mu guards the refresh cache, the upstream handle, the child
+	// forwarder set and the cascade counters.
+	mu       sync.Mutex
+	upstream Upstream
+	cache    []msg
+	children []ah.Forwarder
+	// childRefresh latches a child relay's snapshot request; it is
+	// served from this relay's own cache at the next batch — absorption
+	// applies at every tier, not just the leaf.
+	childRefresh bool
+	st           Stats
+	closed       bool
+}
+
+// New returns a Relay ready to attach to an upstream.
+func New(cfg Config) *Relay {
+	if cfg.RemotingPT == 0 {
+		cfg.RemotingPT = DefaultRemotingPT
+	}
+	if cfg.RetransLog == 0 {
+		cfg.RetransLog = DefaultRetransLog
+	}
+	if cfg.MinRefreshInterval == 0 {
+		cfg.MinRefreshInterval = 500 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	r := &Relay{cfg: cfg}
+	r.shards = make([]*rshard, cfg.Shards)
+	for i := range r.shards {
+		r.shards[i] = &rshard{viewers: make(map[*Viewer]struct{})}
+	}
+	return r
+}
+
+// ErrRelayClosed is returned by operations on a closed Relay.
+var ErrRelayClosed = errors.New("relay: closed")
+
+// AttachUpstream subscribes the relay to up's stream and, when the
+// relay wants its cache seeded before the first viewer joins, latches
+// an immediate refresh request.
+func (r *Relay) AttachUpstream(up Upstream, wantRefresh bool) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRelayClosed
+	}
+	r.upstream = up
+	r.mu.Unlock()
+	up.AttachForwarder(r)
+	if wantRefresh {
+		up.RequestStreamRefresh(r.cfg.StreamID)
+	}
+	return nil
+}
+
+// Close detaches from the upstream and closes every viewer.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	up := r.upstream
+	r.upstream = nil
+	r.mu.Unlock()
+	if up != nil {
+		up.DetachForwarder(r)
+	}
+	var firstErr error
+	for _, s := range r.shards {
+		s.mu.Lock()
+		vs := make([]*Viewer, 0, len(s.viewers))
+		for v := range s.viewers {
+			vs = append(vs, v)
+		}
+		s.mu.Unlock()
+		for _, v := range vs {
+			if err := v.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// StreamID implements Upstream for relay→relay chaining.
+func (r *Relay) StreamID() uint32 { return r.cfg.StreamID }
+
+// AttachForwarder subscribes a child (relay or recorder) to this
+// relay's re-published stream.
+func (r *Relay) AttachForwarder(f ah.Forwarder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.children = append(r.children, f)
+}
+
+// DetachForwarder removes a child.
+func (r *Relay) DetachForwarder(f ah.Forwarder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, g := range r.children {
+		if g == f {
+			r.children = append(r.children[:i], r.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// RequestStreamRefresh latches a child's snapshot request. It is served
+// from THIS relay's cache at the next batch — a child's refresh demand
+// never travels further up the tree than the first cache that can
+// answer it. Only when the relay holds no cache at all does the request
+// escalate.
+func (r *Relay) RequestStreamRefresh(streamID uint32) {
+	if streamID != r.cfg.StreamID {
+		return
+	}
+	r.mu.Lock()
+	r.childRefresh = true
+	empty := r.cache == nil
+	up := r.upstream
+	r.mu.Unlock()
+	if empty && up != nil {
+		up.RequestStreamRefresh(streamID)
+	}
+}
+
+// ForwardBatch implements ah.Forwarder: one upstream tick's prepared
+// payloads, re-fanned to every viewer and child. Called on the
+// upstream's tick (or wire-pump) goroutine.
+func (r *Relay) ForwardBatch(streamID uint32, msgs []ah.PreparedPayload) error {
+	if streamID != r.cfg.StreamID {
+		return nil
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRelayClosed
+	}
+	r.st.Batches++
+	refill := r.cfg.RefreshEvery > 0 && r.st.Batches%uint64(r.cfg.RefreshEvery) == 0
+	if refill {
+		r.st.UpstreamRefreshRequests++
+	}
+	up := r.upstream
+	children := r.childSnapshotLocked()
+	serveChildren := r.childRefresh && r.cache != nil
+	var cache []msg
+	if serveChildren {
+		r.childRefresh = false
+		cache = r.cache
+	}
+	r.mu.Unlock()
+
+	batch := importPrepared(msgs)
+	err := r.fanout(batch, false)
+	for _, c := range children {
+		if serveChildren {
+			// Snapshot before batch: the cache predates this tick's
+			// deltas, so a child repainted from it must see them after.
+			if ferr := c.ForwardRefresh(streamID, exportMsgs(cache)); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
+		if ferr := c.ForwardBatch(streamID, msgs); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if refill && up != nil {
+		up.RequestStreamRefresh(streamID)
+	}
+	return err
+}
+
+// ForwardRefresh implements ah.Forwarder: a full-refresh snapshot from
+// upstream. The relay refills its cache, serves every viewer whose
+// refresh is latched (they waited here instead of at the origin) and
+// re-publishes the snapshot to its children.
+func (r *Relay) ForwardRefresh(streamID uint32, msgs []ah.PreparedPayload) error {
+	if streamID != r.cfg.StreamID {
+		return nil
+	}
+	snapshot := importPrepared(msgs)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRelayClosed
+	}
+	r.cache = snapshot
+	r.st.CacheRefills++
+	r.childRefresh = false
+	children := r.childSnapshotLocked()
+	r.mu.Unlock()
+
+	err := r.fanout(snapshot, true)
+	for _, c := range children {
+		if ferr := c.ForwardRefresh(streamID, msgs); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// childSnapshotLocked copies the child set; r.mu held.
+func (r *Relay) childSnapshotLocked() []ah.Forwarder {
+	if len(r.children) == 0 {
+		return nil
+	}
+	out := make([]ah.Forwarder, len(r.children))
+	copy(out, r.children)
+	return out
+}
+
+// fanout stamps and ships one batch to every viewer, shard by shard.
+// refresh batches go only to viewers whose refresh is latched (and
+// clear the latch); ordinary batches go to everyone.
+func (r *Relay) fanout(batch []msg, refresh bool) error {
+	var firstErr error
+	for _, s := range r.shards {
+		s.mu.Lock()
+		for v := range s.viewers {
+			if refresh {
+				if !v.wantRefresh {
+					continue
+				}
+				v.wantRefresh = false
+				r.countCacheServe()
+			}
+			if err := v.sendLocked(batch); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
+}
+
+func (r *Relay) countCacheServe() {
+	r.mu.Lock()
+	r.st.CacheServes++
+	r.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cascade counters.
+func (r *Relay) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.st
+}
+
+// Viewers returns the number of attached viewers.
+func (r *Relay) Viewers() int { return int(r.nViewers.Load()) }
+
+// importPrepared copies the shared-payload batch into the relay's
+// representation. Payload bytes stay shared (read-only by contract).
+func importPrepared(msgs []ah.PreparedPayload) []msg {
+	out := make([]msg, len(msgs))
+	for i, m := range msgs {
+		out[i] = msg{payload: m.Payload, marker: m.Marker, kind: m.Kind}
+	}
+	return out
+}
+
+// exportMsgs is the inverse, for re-publishing to children.
+func exportMsgs(batch []msg) []ah.PreparedPayload {
+	out := make([]ah.PreparedPayload, len(batch))
+	for i, m := range batch {
+		out[i] = ah.PreparedPayload{Payload: m.payload, Marker: m.marker, Kind: m.kind}
+	}
+	return out
+}
+
+// shardFor assigns a new viewer round-robin.
+func (r *Relay) shardFor() *rshard {
+	return r.shards[(r.nextShard.Add(1)-1)%uint64(len(r.shards))]
+}
+
+// Viewer is one participant attached to the relay.
+type Viewer struct {
+	rl   *Relay
+	sh   *rshard
+	id   string
+	conn transport.PacketConn
+	// batch is conn's batched-send fast path (nil when absent).
+	batch transport.BatchSender
+	pz    *rtp.Packetizer
+	raws  [][]byte // marshal scratch, guarded by sh.mu
+
+	// Guarded by sh.mu.
+	retrans      map[uint16][]byte
+	retransQ     []uint16
+	sentPackets  uint64
+	sentOctets   uint64
+	lastRefresh  time.Time
+	absorbedPLIs uint64
+	wantRefresh  bool
+	closed       bool
+}
+
+// AttachPacketConn adds a UDP viewer. The viewer's refresh is latched
+// immediately — it has seen nothing — and, when the relay already holds
+// a cached snapshot, served from the cache right away: the fast first
+// paint. The latch stays armed until the next upstream snapshot lands,
+// which repaints the viewer consistent with the deltas it joined in the
+// middle of. Either way the origin never hears about the join.
+func (r *Relay) AttachPacketConn(id string, conn transport.PacketConn) (*Viewer, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrRelayClosed
+	}
+	cache := r.cache
+	r.mu.Unlock()
+	ent := r.cfg.Entropy
+	v := &Viewer{
+		rl:      r,
+		sh:      r.shardFor(),
+		id:      id,
+		conn:    conn,
+		pz:      rtp.NewPacketizerFrom(ent, rtp.NewSSRCFrom(ent), r.cfg.RemotingPT, r.cfg.Now()),
+		retrans: make(map[uint16][]byte),
+	}
+	if bs, ok := conn.(transport.BatchSender); ok {
+		v.batch = bs
+	}
+	v.sh.mu.Lock()
+	v.sh.viewers[v] = struct{}{}
+	v.wantRefresh = true
+	v.lastRefresh = r.cfg.Now()
+	var err error
+	if cache != nil {
+		err = v.sendLocked(cache)
+		r.countCacheServe()
+	}
+	v.sh.mu.Unlock()
+	r.nViewers.Add(1)
+	if err != nil {
+		_ = v.Close()
+		return nil, err
+	}
+	go r.pump(v, conn)
+	return v, nil
+}
+
+// pump reads RTCP feedback from the viewer until the conn dies.
+func (r *Relay) pump(v *Viewer, conn transport.PacketConn) {
+	for {
+		pkt, err := conn.Recv()
+		if err != nil {
+			_ = v.Close()
+			return
+		}
+		r.handleFeedback(v, pkt)
+	}
+}
+
+// HandleFeedback processes one RTCP packet from v exactly as if it had
+// arrived on the viewer's transport — the synchronous injection path
+// simulations use instead of the Recv pump, mirroring
+// ah.Host.HandleFeedback.
+func (r *Relay) HandleFeedback(v *Viewer, pkt []byte) {
+	r.handleFeedback(v, pkt)
+}
+
+// handleFeedback absorbs one viewer's RTCP: PLIs latch a cache serve
+// (rate-limited exactly like the origin's limiter), NACKs retransmit
+// from the local log. Nothing here ever reaches the upstream.
+func (r *Relay) handleFeedback(v *Viewer, pkt []byte) {
+	if len(pkt) < 2 || pkt[1] < 200 || pkt[1] > 207 {
+		return
+	}
+	pkts, err := rtcp.Unmarshal(pkt)
+	if err != nil {
+		return
+	}
+	v.sh.mu.Lock()
+	defer v.sh.mu.Unlock()
+	if v.closed {
+		// Same eviction race as the origin's feedback path: a viewer
+		// torn down between mark and transport close must not receive
+		// retransmissions or latch refreshes.
+		return
+	}
+	now := r.cfg.Now()
+	for _, p := range pkts {
+		switch fb := p.(type) {
+		case *rtcp.PLI:
+			if r.cfg.MinRefreshInterval > 0 && !v.lastRefresh.IsZero() &&
+				now.Sub(v.lastRefresh) < r.cfg.MinRefreshInterval {
+				v.absorbedPLIs++
+				r.mu.Lock()
+				r.st.AbsorbedPLIs++
+				r.mu.Unlock()
+				continue
+			}
+			v.lastRefresh = now
+			// Serve from the cache immediately (the edge answer the
+			// origin never sees) and keep the latch armed for the next
+			// snapshot, which repaints past whatever deltas the loss ate.
+			if err := r.serveCacheLocked(v); err == nil {
+				v.wantRefresh = true
+			}
+			r.record("RelayPLI", len(pkt))
+		case *rtcp.NACK:
+			_ = v.resendLocked(fb.Lost())
+			r.record("RelayNACK", len(pkt))
+		}
+	}
+}
+
+// serveCacheLocked paints v from the cached snapshot, if one exists.
+// Shard lock held.
+func (r *Relay) serveCacheLocked(v *Viewer) error {
+	r.mu.Lock()
+	cache := r.cache
+	if cache != nil {
+		r.st.CacheServes++
+	}
+	r.mu.Unlock()
+	if cache == nil {
+		return nil
+	}
+	return v.sendLocked(cache)
+}
+
+// sendLocked stamps the batch with v's RTP stream state and ships it as
+// one sink batch. Shard lock held.
+func (v *Viewer) sendLocked(batch []msg) error {
+	if len(batch) == 0 || v.closed {
+		return nil
+	}
+	now := v.rl.cfg.Now()
+	raws := v.raws[:0]
+	for _, m := range batch {
+		pkt := v.pz.Packetize(m.payload, m.marker, now)
+		raw, err := pkt.Marshal()
+		if err != nil {
+			v.raws = raws[:0]
+			return err
+		}
+		raws = append(raws, raw)
+	}
+	var n int
+	var err error
+	if v.batch != nil {
+		n, err = v.batch.SendBatch(raws)
+		if n > len(raws) {
+			n = len(raws)
+		}
+	} else {
+		n = len(raws)
+		for i, p := range raws {
+			if e := v.conn.Send(p); e != nil {
+				n, err = i, e
+				break
+			}
+		}
+	}
+	runStart, runBytes := 0, uint64(0)
+	for i := 0; i < n; i++ {
+		v.sentPackets++
+		v.sentOctets += uint64(len(raws[i]))
+		runBytes += uint64(len(raws[i]))
+		v.logForRetransmission(raws[i])
+		if i+1 == n || batch[i+1].kind != batch[i].kind {
+			v.rl.recordN(batch[i].kind, uint64(i+1-runStart), runBytes)
+			runStart, runBytes = i+1, 0
+		}
+	}
+	for i := range raws {
+		raws[i] = nil
+	}
+	v.raws = raws[:0]
+	return err
+}
+
+// logForRetransmission mirrors the origin's bounded per-remote log.
+func (v *Viewer) logForRetransmission(pkt []byte) {
+	var hdr rtp.Header
+	if _, err := hdr.Unmarshal(pkt); err != nil {
+		return
+	}
+	seq := hdr.SequenceNumber
+	if _, dup := v.retrans[seq]; dup {
+		v.retrans[seq] = pkt
+		return
+	}
+	if len(v.retransQ) >= v.rl.cfg.RetransLog {
+		oldest := v.retransQ[0]
+		v.retransQ = v.retransQ[1:]
+		delete(v.retrans, oldest)
+	}
+	v.retrans[seq] = pkt
+	v.retransQ = append(v.retransQ, seq)
+}
+
+// resendLocked services a NACK from the log. Shard lock held.
+// Retransmissions do not count toward sentPackets/sentOctets — the
+// origin's convention: those counters mean fresh sends, the quantity
+// RTCP sender reports and the simulation's counter oracle reconcile
+// against the wire's sequence chain.
+func (v *Viewer) resendLocked(seqs []uint16) error {
+	for _, s := range seqs {
+		if pkt, ok := v.retrans[s]; ok {
+			if err := v.conn.Send(pkt); err != nil {
+				return err
+			}
+			v.rl.record("Retransmission", len(pkt))
+		}
+	}
+	return nil
+}
+
+// ID returns the identifier the viewer was attached with.
+func (v *Viewer) ID() string { return v.id }
+
+// SSRC returns the RTP synchronization source of the viewer's stream.
+func (v *Viewer) SSRC() uint32 {
+	v.sh.mu.Lock()
+	defer v.sh.mu.Unlock()
+	return v.pz.SSRC()
+}
+
+// SentPackets reports the fresh packets shipped to this viewer
+// (deliveries and cache serves; retransmissions are excluded, matching
+// the origin's counter convention).
+func (v *Viewer) SentPackets() uint64 {
+	v.sh.mu.Lock()
+	defer v.sh.mu.Unlock()
+	return v.sentPackets
+}
+
+// SentOctets reports the bytes shipped to this viewer.
+func (v *Viewer) SentOctets() uint64 {
+	v.sh.mu.Lock()
+	defer v.sh.mu.Unlock()
+	return v.sentOctets
+}
+
+// AbsorbedPLIs reports PLIs swallowed by the rate limiter.
+func (v *Viewer) AbsorbedPLIs() uint64 {
+	v.sh.mu.Lock()
+	defer v.sh.mu.Unlock()
+	return v.absorbedPLIs
+}
+
+// Close detaches the viewer and closes its transport.
+func (v *Viewer) Close() error {
+	v.sh.mu.Lock()
+	if v.closed {
+		v.sh.mu.Unlock()
+		return nil
+	}
+	v.closed = true
+	delete(v.sh.viewers, v)
+	v.sh.mu.Unlock()
+	v.rl.nViewers.Add(-1)
+	return v.conn.Close()
+}
+
+func (r *Relay) record(kind string, bytes int) {
+	if r.cfg.Stats != nil {
+		r.cfg.Stats.Record(kind, bytes)
+	}
+}
+
+func (r *Relay) recordN(kind string, n, bytes uint64) {
+	if r.cfg.Stats != nil {
+		r.cfg.Stats.RecordN(kind, n, bytes)
+	}
+}

@@ -1,0 +1,144 @@
+package remoting
+
+import (
+	"fmt"
+
+	"appshare/internal/core"
+	"appshare/internal/wire"
+)
+
+// Relay-cascade control messages (extension types 17 and 18, outside
+// Table 1; see core.ExtensionRegistry and DESIGN.md "Relay cascade").
+// A relay opens its upstream attachment with a RelaySubscribe naming
+// the stream it wants forwarded — the RequestForward shape: subscribe
+// to a stream id, not to a host. The origin (or parent relay) answers
+// with the stream's endpoint descriptor, and re-announces the
+// descriptor with the refresh-snapshot flag set ahead of every cached
+// refresh it pushes, delimiting the snapshot's messages on the wire.
+// Both are only exchanged with peers that negotiated the "relay" fmtp
+// capability; everyone else ignores them per Section 5.1.2.
+
+// RelaySubscribe flag bits.
+const (
+	// RelayWantRefresh asks the upstream to push a refresh snapshot
+	// immediately after accepting the subscription, seeding the relay's
+	// edge cache before its first viewer joins.
+	RelayWantRefresh uint16 = 1 << 0
+)
+
+// RelaySubscribe (type 17, relay → origin) subscribes the sender to a
+// stream's prepared batches. Viewers advertises the subscriber's
+// current downstream fan-out (informational: origins MAY use it for
+// admission or placement). The common header's Parameter and WindowID
+// are zero on send and ignored on receive.
+type RelaySubscribe struct {
+	StreamID uint32
+	Flags    uint16
+	Viewers  uint16
+}
+
+// RelaySubscribeSize is the message-specific body: StreamID, Flags,
+// Viewers.
+const RelaySubscribeSize = 8
+
+// Type implements Message.
+func (m *RelaySubscribe) Type() core.MessageType { return core.TypeRelaySubscribe }
+
+// Marshal encodes the message as a complete RTP payload. It always
+// fits one packet; relay control never fragments.
+func (m *RelaySubscribe) Marshal() ([]byte, error) {
+	w := wire.NewWriter(core.HeaderSize + RelaySubscribeSize)
+	core.Header{Type: core.TypeRelaySubscribe}.AppendTo(w)
+	w.Uint32(m.StreamID)
+	w.Uint16(m.Flags)
+	w.Uint16(m.Viewers)
+	return w.Bytes(), nil
+}
+
+func decodeRelaySubscribe(body []byte) (*RelaySubscribe, error) {
+	if len(body) != RelaySubscribeSize {
+		return nil, fmt.Errorf("%w: relay subscribe body %d, want %d", ErrTruncated, len(body), RelaySubscribeSize)
+	}
+	r := wire.NewReader(body)
+	m := &RelaySubscribe{}
+	m.StreamID = r.Uint32()
+	m.Flags = r.Uint16()
+	m.Viewers = r.Uint16()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// StreamDescriptor flag bits.
+const (
+	// DescriptorRefresh marks a descriptor that delimits a refresh
+	// snapshot: the next Count remoting messages on this stream are a
+	// complete full-refresh capture, cacheable as the stream's edge
+	// refresh state.
+	DescriptorRefresh uint8 = 1 << 0
+)
+
+// StreamDescriptor (type 18, origin → relay) describes one forwarded
+// stream: its id, a monotonic epoch (bumped when the stream restarts,
+// so a relay discards state across origin restarts), the desktop
+// geometry and the remoting payload type the forwarded packets carry.
+// With DescriptorRefresh set it additionally delimits an in-band
+// refresh snapshot of Count messages.
+type StreamDescriptor struct {
+	StreamID      uint32
+	Epoch         uint32
+	Width, Height uint16
+	RemotingPT    uint8
+	Flags         uint8
+	Count         uint16
+}
+
+// StreamDescriptorSize is the message-specific body: StreamID, Epoch,
+// Width, Height, RemotingPT, Flags, Count.
+const StreamDescriptorSize = 16
+
+// Type implements Message.
+func (m *StreamDescriptor) Type() core.MessageType { return core.TypeStreamDescriptor }
+
+// Marshal encodes the message as a complete RTP payload.
+func (m *StreamDescriptor) Marshal() ([]byte, error) {
+	if m.RemotingPT > 0x7F {
+		return nil, fmt.Errorf("remoting: stream descriptor payload type %d exceeds 7 bits", m.RemotingPT)
+	}
+	w := wire.NewWriter(core.HeaderSize + StreamDescriptorSize)
+	core.Header{Type: core.TypeStreamDescriptor}.AppendTo(w)
+	w.Uint32(m.StreamID)
+	w.Uint32(m.Epoch)
+	w.Uint16(m.Width)
+	w.Uint16(m.Height)
+	w.Uint8(m.RemotingPT)
+	w.Uint8(m.Flags)
+	w.Uint16(m.Count)
+	return w.Bytes(), nil
+}
+
+func decodeStreamDescriptor(body []byte) (*StreamDescriptor, error) {
+	if len(body) != StreamDescriptorSize {
+		return nil, fmt.Errorf("%w: stream descriptor body %d, want %d", ErrTruncated, len(body), StreamDescriptorSize)
+	}
+	r := wire.NewReader(body)
+	m := &StreamDescriptor{}
+	m.StreamID = r.Uint32()
+	m.Epoch = r.Uint32()
+	m.Width = r.Uint16()
+	m.Height = r.Uint16()
+	m.RemotingPT = r.Uint8()
+	m.Flags = r.Uint8()
+	m.Count = r.Uint16()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if m.RemotingPT > 0x7F {
+		return nil, fmt.Errorf("remoting: stream descriptor payload type %d exceeds 7 bits", m.RemotingPT)
+	}
+	if m.Flags&DescriptorRefresh == 0 && m.Count != 0 {
+		return nil, fmt.Errorf("remoting: stream descriptor counts %d messages without the refresh flag", m.Count)
+	}
+	return m, nil
+}

@@ -233,11 +233,16 @@ func decodeMousePointerInfo(hdr core.Header, body []byte) (*MousePointerInfo, er
 // Decode converts a reassembled core.Message into its typed remoting
 // message.
 func Decode(msg *core.Message) (Message, error) {
-	if msg.Header.Type == core.TypeTileReference {
-		// Registered extension type (core.ExtensionRegistry): decodable
-		// here, but only applied by participants that negotiated the
-		// tile-store capability — others ignore it per Section 5.1.2.
+	switch msg.Header.Type {
+	// Registered extension types (core.ExtensionRegistry): decodable
+	// here, but only applied by peers that negotiated the matching
+	// capability — others ignore them per Section 5.1.2.
+	case core.TypeTileReference:
 		return decodeTileReference(msg.Header, msg.Body)
+	case core.TypeRelaySubscribe:
+		return decodeRelaySubscribe(msg.Body)
+	case core.TypeStreamDescriptor:
+		return decodeStreamDescriptor(msg.Body)
 	}
 	if !msg.Header.Type.IsRemoting() {
 		return nil, fmt.Errorf("%w: %v", ErrNotRemoting, msg.Header.Type)

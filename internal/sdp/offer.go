@@ -36,6 +36,12 @@ type OfferConfig struct {
 	TileStore        bool
 	TileSize         int
 	TileDictCapacity int
+	// Relay announces the relay-cascade capability as a "relay=yes" fmtp
+	// parameter (see DESIGN.md "Relay cascade"): an answerer that echoes
+	// it may open the RelaySubscribe handshake and receive forwarded
+	// prepared batches with StreamDescriptor delimiters. Peers that omit
+	// it are ordinary viewers.
+	Relay bool
 	// HIPPort and HIPPT describe the HIP stream (example: 6006, PT 100).
 	HIPPort int
 	HIPPT   uint8
@@ -101,6 +107,9 @@ func BuildOffer(cfg OfferConfig) (*Description, error) {
 			}
 			fmtp += fmt.Sprintf(";tilestore=%d/%d", ts, cap)
 		}
+		if cfg.Relay {
+			fmtp += ";relay=yes"
+		}
 		attrs = append(attrs, Attribute{Key: "fmtp", Value: fmtp})
 		return attrs
 	}
@@ -145,7 +154,10 @@ type Session struct {
 	TileStore        bool
 	TileSize         int
 	TileDictCapacity int
-	HIPPT            uint8
+	// Relay reports the "relay=yes" capability: the peer may subscribe
+	// to forwarded prepared batches via the RelaySubscribe handshake.
+	Relay bool
+	HIPPT uint8
 	HIPPort          int
 	BFCPPort         int // 0 when absent
 }
@@ -188,6 +200,9 @@ func ParseOffer(d *Description) (*Session, error) {
 						s.TileSize = ts
 						s.TileDictCapacity = cap
 					}
+					if parseRelayParam(v) {
+						s.Relay = true
+					}
 				}
 			case SubtypeHIP:
 				// The draft example carries "a=rtpmap:99 hip/90000" under
@@ -214,6 +229,19 @@ func ParseOffer(d *Description) (*Session, error) {
 		return nil, errors.New("sdp: offer has no hip stream")
 	}
 	return s, nil
+}
+
+// parseRelayParam reports whether a remoting fmtp value carries the
+// "relay=yes" capability as its own parameter. Anything else —
+// including "relay=no" and malformed variants — is treated as absent: a
+// peer that cannot state its own capability must not be forwarded to.
+func parseRelayParam(fmtp string) bool {
+	for _, f := range strings.FieldsFunc(fmtp, func(r rune) bool { return r == ';' || r == ' ' }) {
+		if f == "relay=yes" {
+			return true
+		}
+	}
+	return false
 }
 
 // parseTileStoreParam extracts a "tilestore=<size>/<capacity>" parameter

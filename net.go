@@ -446,14 +446,22 @@ func DialSession(p *Participant, host, offer string) (*Connection, *SDPSession, 
 // source address: the first datagram from a new source (typically its
 // PLI) attaches it as a participant. Blocks until the socket fails.
 func ServeUDP(h *Host, conn *net.UDPConn, opts PacketOptions) error {
-	srv := &udpServer{h: h, conn: conn, opts: opts, remotes: make(map[string]*udpRemote)}
+	srv := &udpServer{
+		conn:    conn,
+		remotes: make(map[string]*udpRemote),
+		attach: func(id string, pc transport.PacketConn) error {
+			_, err := h.AttachPacketConn(id, pc, opts)
+			return err
+		},
+	}
 	return srv.run()
 }
 
 type udpServer struct {
-	h       *Host
-	conn    *net.UDPConn
-	opts    PacketOptions
+	conn *net.UDPConn
+	// attach binds one demultiplexed source to a receiver — a Host
+	// participant (ServeUDP) or a relay viewer (RelayServeUDP).
+	attach  func(id string, pc transport.PacketConn) error
 	mu      sync.Mutex
 	remotes map[string]*udpRemote
 }
@@ -519,7 +527,7 @@ func (s *udpServer) run() error {
 			r = &udpRemote{srv: s, addr: addr, inbox: make(chan []byte, 256), dead: make(chan struct{})}
 			s.remotes[key] = r
 			s.mu.Unlock()
-			if _, err := s.h.AttachPacketConn(key, r, s.opts); err != nil {
+			if err := s.attach(key, r); err != nil {
 				_ = r.Close()
 				continue
 			}

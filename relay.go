@@ -1,0 +1,58 @@
+package appshare
+
+import (
+	"io"
+	"net"
+
+	"appshare/internal/relay"
+)
+
+// Relay cascade facade (see DESIGN.md "Relay cascade"): an edge node
+// that subscribes to a Host's — or another relay's — prepared-batch
+// stream and re-fans it to its own viewers, absorbing late joiners and
+// PLIs with a cached refresh snapshot. ads-relay is the reference
+// deployment.
+
+// Relay is an edge fan-out node of the relay cascade.
+type Relay = relay.Relay
+
+// RelayConfig configures a Relay.
+type RelayConfig = relay.Config
+
+// RelayStats is a snapshot of a relay's cascade counters.
+type RelayStats = relay.Stats
+
+// RelayViewer is one participant attached to a Relay.
+type RelayViewer = relay.Viewer
+
+// RelayUpstream is the subscription surface a Relay attaches to; both
+// *Host and *Relay satisfy it.
+type RelayUpstream = relay.Upstream
+
+// NewRelay returns a Relay ready to attach to an upstream.
+func NewRelay(cfg RelayConfig) *Relay { return relay.New(cfg) }
+
+// SubscribeRelayStream attaches rl to an origin (or parent relay) over
+// a framed reliable stream — typically a TCP connection to the
+// upstream's remoting port. It performs the RelaySubscribe handshake
+// and pumps forwarded payloads in the background; the returned channel
+// yields the terminal pump error.
+func SubscribeRelayStream(rl *Relay, rw io.ReadWriteCloser, wantRefresh bool) (<-chan error, error) {
+	return rl.SubscribeStream(rw, wantRefresh)
+}
+
+// RelayServeUDP serves UDP viewers of rl from one socket, with the same
+// per-source demultiplexing as ServeUDP: the first datagram from a new
+// source (typically its PLI) attaches it as a viewer, served its first
+// paint from the relay's refresh cache. Blocks until the socket fails.
+func RelayServeUDP(rl *Relay, conn *net.UDPConn) error {
+	srv := &udpServer{
+		conn:    conn,
+		remotes: make(map[string]*udpRemote),
+		attach: func(id string, pc PacketConn) error {
+			_, err := rl.AttachPacketConn(id, pc)
+			return err
+		},
+	}
+	return srv.run()
+}

@@ -38,7 +38,7 @@ func TestScenarioMatrix(t *testing.T) {
 // the property that makes a matrix failure reproducible from nothing but
 // the scenario name and seed.
 func TestScenarioDeterminism(t *testing.T) {
-	for _, name := range []string{"burst-jitter", "tcp-backlog", "multicast-nack", "evict-mid-burst", "ladder-degrade-heal"} {
+	for _, name := range []string{"burst-jitter", "tcp-backlog", "multicast-nack", "evict-mid-burst", "ladder-degrade-heal", "relay-tree"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			sc, err := netsim.ByName(name)
@@ -114,6 +114,36 @@ func TestScenarioMutation(t *testing.T) {
 		}
 		if !found {
 			t.Fatalf("desync was caught, but not by the tile-sync oracle: %v", res.Failures())
+		}
+		t.Logf("caught by: %v", res.Failures())
+	})
+	t.Run("evict-feedback", func(t *testing.T) {
+		// FaultEvictFeedback disables the host's eviction gates
+		// (ah.Config.DebugDisableEvictGates) and keeps the evicted
+		// viewer's repair loop talking — the refresh-phase eviction race,
+		// re-planted on purpose. The evictions oracle must see the
+		// post-eviction service (packets after eviction, or sends hitting
+		// the closed conn).
+		sc, err := netsim.ByName("evict-mid-burst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Fault = netsim.FaultEvictFeedback
+		res, err := netsim.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Passed() {
+			t.Fatal("feedback serviced inside the eviction race window went unnoticed by every oracle")
+		}
+		found := false
+		for _, o := range res.Oracles {
+			if o.Name == "evictions" && !o.Passed {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("the race was caught, but not by the evictions oracle: %v", res.Failures())
 		}
 		t.Logf("caught by: %v", res.Failures())
 	})
