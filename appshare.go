@@ -34,6 +34,7 @@ import (
 
 	"appshare/internal/ah"
 	"appshare/internal/bfcp"
+	"appshare/internal/broker"
 	"appshare/internal/capture"
 	"appshare/internal/codec"
 	"appshare/internal/display"
@@ -125,6 +126,23 @@ type (
 	Floor = bfcp.Floor
 	// HIDStatus is a Figure 20 HID permission state.
 	HIDStatus = bfcp.HIDStatus
+	// FloorState is a serializable snapshot of a Floor; the broker
+	// holds one per session so moderation survives host churn.
+	FloorState = bfcp.FloorState
+
+	// Broker is the session placement and migration control plane (see
+	// DESIGN.md "Session broker & migration" and cmd/ads-broker).
+	Broker = broker.Broker
+	// BrokerConfig configures NewBroker.
+	BrokerConfig = broker.Config
+	// BrokerHostStatus is one registered host as the broker sees it.
+	BrokerHostStatus = broker.HostStatus
+	// MigrationOrder re-homes one session: the broker emits it, the
+	// destination host applies it with RestoreSession.
+	MigrationOrder = broker.MigrationOrder
+	// SessionSnapshot is a host's migratable session state
+	// (Host.SnapshotSession / Host.RestoreSession).
+	SessionSnapshot = ah.SessionSnapshot
 
 	// PacketConn is the datagram transport abstraction (UDP-shaped).
 	PacketConn = transport.PacketConn
@@ -213,6 +231,25 @@ func NewParticipant(cfg ParticipantConfig) *Participant { return participant.New
 // NewFloor returns a BFCP HID floor for the given conference.
 func NewFloor(conferenceID uint32, notify func(userID uint16, msg *bfcp.Message)) *Floor {
 	return bfcp.NewFloor(conferenceID, notify)
+}
+
+// NewFloorFromState rebuilds a Floor from a snapshot — the restore
+// half of floor custody across a host migration. No messages are sent
+// during the rebuild.
+func NewFloorFromState(s FloorState, notify func(userID uint16, msg *bfcp.Message)) *Floor {
+	return bfcp.NewFloorFromState(s, notify)
+}
+
+// UnmarshalFloorState decodes a FloorState.Marshal encoding.
+func UnmarshalFloorState(b []byte) (FloorState, error) { return bfcp.UnmarshalFloorState(b) }
+
+// NewBroker returns an empty session broker.
+func NewBroker(cfg BrokerConfig) *Broker { return broker.New(cfg) }
+
+// UnmarshalSessionSnapshot decodes a SessionSnapshot.Marshal encoding
+// (the checkpoint bytes a MigrationOrder carries).
+func UnmarshalSessionSnapshot(b []byte) (*SessionSnapshot, error) {
+	return ah.UnmarshalSessionSnapshot(b)
 }
 
 // NewStats returns an empty traffic collector.

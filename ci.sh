@@ -47,10 +47,26 @@ go test -race -count=5 -run Relay ./internal/relay
 # armed (including relay-cascade: zero edge-triggered origin encodes),
 # plus its replay-determinism proof, under the race detector.
 go test -race -count=1 -run 'TestScenarioMatrix/relay-tree|TestScenarioDeterminism/relay-tree' .
-# Replay the tree scenario through the ads-bench scenario driver — the
-# same seeds and oracles a developer reaches for when a matrix failure
-# needs reproducing outside the test harness.
+# Broker/migration flake gate: the broker's sweep clock is virtual but
+# the host checkpoint it snapshots is produced on the tick goroutine,
+# and the standby's resumed sinks run real sender goroutines — rerun
+# the whole broker + migration surface repeatedly under -race.
+go test -race -count=5 -run 'Broker|Migrate|Migration|Snapshot|Sweep|Placement|FloorState' . ./internal/broker ./internal/bfcp
+# Snapshot round-trip determinism at 1 and 4 send shards on one and
+# four procs: restore-then-tick must be byte-identical to the original
+# host's output, shard count and scheduling notwithstanding.
+go test -race -cpu 1,4 -count=1 -run 'TestSnapshotRoundTripDeterminism' .
+# Partition-then-migrate smoke: every migration scenario with all
+# oracles armed (failover tick pinned, floor custody, zero standby
+# refresh encodes), the replay-determinism proof, both planted handoff
+# mutations and the broker wire-invisibility check, under the race
+# detector (seeds 140-149 — see EXPERIMENTS.md Section C).
+go test -race -count=1 -run 'TestMigrationFamily|TestMigrationDeterminism|TestMigrationMutation|TestBrokerSurvivorJournalIdentity' .
+# Replay the tree and failover scenarios through the ads-bench scenario
+# driver — the same seeds and oracles a developer reaches for when a
+# matrix failure needs reproducing outside the test harness.
 go run ./cmd/ads-bench -scenarios -scenario relay-tree
+go run ./cmd/ads-bench -scenarios -scenario migrate-shards
 # Bench drift: re-measure the sharded fan-out tick latency and fail on
 # a >20% regression against the committed curve (absolute comparison
 # only when the environment matches the committed file; the fresh

@@ -23,7 +23,7 @@ func runScenarios(only string, seed int64) bool {
 		}
 		list = []netsim.Scenario{sc}
 	} else {
-		list = netsim.Matrix()
+		list = append(netsim.Matrix(), netsim.MigrationFamily()...)
 	}
 
 	allPassed := true

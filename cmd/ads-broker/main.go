@@ -1,0 +1,219 @@
+// ads-broker is the session control plane (DESIGN.md "Session broker &
+// migration"). Hosts dial the -hosts port, announce themselves with a
+// framed BrokerRegister and then report load once per capture tick
+// with BrokerHeartbeats; viewers dial the -viewers port, send one
+// frame naming the stream they want (ASCII decimal, empty = any), and
+// receive one frame with an SDP offer for the least-loaded registered
+// host or relay. A periodic sweep declares silent hosts dead and
+// pushes a framed BrokerMigrate to the destination host chosen to
+// adopt each orphaned session.
+//
+// In-process users (the netsim migration suite, library embedders) get
+// the full custody path instead — per-tick session checkpoints and
+// BFCP floor state ride the Broker API's Heartbeat, and MigrationOrder
+// hands the destination everything RestoreSession needs.
+//
+// Examples:
+//
+//	ads-broker -hosts :6100 -viewers :6101
+//	ads-broker -timeout 2s -sweep 500ms -remoting-port 6004 -hip-port 6006
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"appshare"
+	"appshare/internal/broker"
+	"appshare/internal/framing"
+	"appshare/internal/remoting"
+)
+
+func main() {
+	var (
+		hostAddr   = flag.String("hosts", ":6100", "TCP listen address for host control links")
+		viewerAddr = flag.String("viewers", ":6101", "TCP listen address for viewer placement requests")
+		timeout    = flag.Duration("timeout", broker.DefaultHeartbeatTimeout, "heartbeat silence before a host is declared dead")
+		sweep      = flag.Duration("sweep", time.Second, "failure-detector sweep interval")
+		statsEvery = flag.Duration("stats", 10*time.Second, "placement table print interval (0 disables)")
+
+		remotingPort = flag.Int("remoting-port", 6004, "remoting port advertised in viewer offers")
+		remotingPT   = flag.Uint("pt", 99, "remoting RTP payload type")
+		hipPort      = flag.Int("hip-port", 6006, "HIP port advertised in viewer offers")
+		hipPT        = flag.Uint("hip-pt", 100, "HIP RTP payload type")
+		offerTCP     = flag.Bool("tcp", true, "offer TCP remoting")
+		offerUDP     = flag.Bool("udp", true, "offer UDP remoting")
+	)
+	flag.Parse()
+
+	b := broker.New(broker.Config{HeartbeatTimeout: *timeout})
+	base := appshare.SDPOffer{
+		RemotingPort: *remotingPort, RemotingPT: uint8(*remotingPT),
+		HIPPort: *hipPort, HIPPT: uint8(*hipPT),
+		OfferTCP: *offerTCP, OfferUDP: *offerUDP,
+		Retransmissions: *offerUDP,
+	}
+
+	s := &server{b: b, base: base, links: make(map[uint32]*framing.Writer)}
+
+	hl, err := net.Listen("tcp", *hostAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vl, err := net.Listen("tcp", *viewerAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("hosts on %s, viewers on %s", hl.Addr(), vl.Addr())
+
+	go s.accept(hl, s.serveHost)
+	go s.accept(vl, s.serveViewer)
+
+	st := time.NewTicker(*sweep)
+	defer st.Stop()
+	var stats <-chan time.Time
+	if *statsEvery > 0 {
+		t := time.NewTicker(*statsEvery)
+		defer t.Stop()
+		stats = t.C
+	}
+	for {
+		select {
+		case <-st.C:
+			for _, order := range b.Sweep() {
+				s.pushMigration(order)
+			}
+		case <-stats:
+			for _, h := range b.Hosts() {
+				log.Printf("host %d addr=%s stream=%d remotes=%d backlog=%d relay=%v draining=%v dead=%v",
+					h.ID, h.Addr, h.StreamID, h.Remotes, h.Backlog, h.Relay, h.Draining, h.Dead)
+			}
+			for _, sess := range b.Sessions() {
+				log.Printf("session %d on host %d epoch=%d migrations=%d",
+					sess.StreamID, sess.HostID, sess.Epoch, sess.Migrations)
+			}
+		}
+	}
+}
+
+type server struct {
+	b    *broker.Broker
+	base appshare.SDPOffer
+
+	mu    sync.Mutex
+	links map[uint32]*framing.Writer // control link per registered host
+}
+
+func (s *server) accept(l net.Listener, serve func(net.Conn)) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			return
+		}
+		go serve(conn)
+	}
+}
+
+// serveHost runs one host control link: framed BrokerRegister and
+// BrokerHeartbeat payloads in, framed BrokerMigrate orders out.
+func (s *server) serveHost(conn net.Conn) {
+	defer conn.Close()
+	r := framing.NewReader(conn)
+	w := framing.NewWriter(conn)
+	var hostID uint32
+	addr := conn.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		addr = host
+	}
+	for {
+		frame, err := r.ReadFrame()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				log.Printf("host %d link: %v", hostID, err)
+			}
+			return
+		}
+		msg, err := remoting.DecodePayload(frame)
+		if err != nil {
+			log.Printf("host link %s: %v", addr, err)
+			return
+		}
+		switch m := msg.(type) {
+		case *remoting.BrokerRegister:
+			s.b.Register(m, addr)
+			hostID = m.HostID
+			s.mu.Lock()
+			s.links[hostID] = w
+			s.mu.Unlock()
+			log.Printf("host %d registered from %s (capacity=%d flags=%#x)", m.HostID, addr, m.Capacity, m.Flags)
+		case *remoting.BrokerHeartbeat:
+			// The TCP control link carries load only; checkpoint custody
+			// is the in-process Broker API (see package comment).
+			if err := s.b.Heartbeat(m, nil, nil); err != nil {
+				log.Printf("host link %s: %v", addr, err)
+				return
+			}
+		default:
+			log.Printf("host link %s: unexpected %v", addr, msg.Type())
+			return
+		}
+	}
+}
+
+// pushMigration hands a sweep-emitted order to the destination host.
+func (s *server) pushMigration(order *broker.MigrationOrder) {
+	log.Printf("migrating stream %d: host %d → host %d (epoch %d)",
+		order.Msg.StreamID, order.Msg.FromHost, order.Msg.ToHost, order.Msg.Epoch)
+	s.mu.Lock()
+	w := s.links[order.Msg.ToHost]
+	s.mu.Unlock()
+	if w == nil {
+		log.Printf("no control link to destination host %d", order.Msg.ToHost)
+		return
+	}
+	pkt, err := order.Msg.Marshal()
+	if err != nil {
+		log.Printf("marshal migrate: %v", err)
+		return
+	}
+	if err := w.WriteFrame(pkt); err != nil {
+		log.Printf("push migrate to host %d: %v", order.Msg.ToHost, err)
+	}
+}
+
+// serveViewer answers one placement request: a frame with the ASCII
+// stream ID (empty = any session) is answered with an SDP offer for
+// the least-loaded host serving it.
+func (s *server) serveViewer(conn net.Conn) {
+	defer conn.Close()
+	r := framing.NewReader(conn)
+	w := framing.NewWriter(conn)
+	frame, err := r.ReadFrame()
+	if err != nil {
+		return
+	}
+	var streamID uint64
+	if t := strings.TrimSpace(string(frame)); t != "" {
+		streamID, err = strconv.ParseUint(t, 10, 32)
+		if err != nil {
+			_ = w.WriteFrame([]byte(fmt.Sprintf("error: bad stream id %q", t)))
+			return
+		}
+	}
+	hostID, offer, err := s.b.Offer(uint32(streamID), s.base)
+	if err != nil {
+		_ = w.WriteFrame([]byte("error: " + err.Error()))
+		return
+	}
+	log.Printf("viewer %s placed on host %d (stream %d)", conn.RemoteAddr(), hostID, streamID)
+	_ = w.WriteFrame([]byte(offer))
+}

@@ -1,0 +1,131 @@
+package bfcp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFloorStateRoundTrip drives the serialization the broker's floor
+// handoff depends on through its edge cases: each case builds a live
+// Floor, captures it, round-trips the bytes, restores, and checks the
+// restored floor behaves identically to the original.
+func TestFloorStateRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(f *Floor)
+	}{
+		{"empty-floor", func(f *Floor) {}},
+		{"held-no-queue", func(f *Floor) {
+			mustNoErr(t, f.Request(10))
+		}},
+		{"queued-requests", func(f *Floor) {
+			mustNoErr(t, f.Request(10))
+			mustNoErr(t, f.Request(11))
+			mustNoErr(t, f.Request(12))
+			mustNoErr(t, f.Request(13))
+		}},
+		{"revoked-grant", func(f *Floor) {
+			// Grant, queue a second user, then revoke the holder: the
+			// queued user inherits the floor and the queue drains — the
+			// state after a moderation churn burst.
+			mustNoErr(t, f.Request(10))
+			mustNoErr(t, f.Request(11))
+			f.Drop(10)
+		}},
+		{"restricted-status", func(f *Floor) {
+			f.SetHIDStatus(StateMouseAllowed)
+			mustNoErr(t, f.Request(10))
+			mustNoErr(t, f.Request(11))
+		}},
+		{"withdrawn-request", func(f *Floor) {
+			mustNoErr(t, f.Request(10))
+			mustNoErr(t, f.Request(11))
+			mustNoErr(t, f.Request(12))
+			mustNoErr(t, f.Release(11)) // queued user withdraws
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := NewFloor(7, nil)
+			tc.setup(f)
+
+			st := f.State()
+			b := st.Marshal()
+			got, err := UnmarshalFloorState(b)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(st, got) {
+				t.Fatalf("round trip diverged:\n  in:  %+v\n  out: %+v", st, got)
+			}
+
+			// The restored floor must behave like the original: same
+			// holder, queue, status, and — critically for transaction-ID
+			// continuity — the same message stamps on the next grant.
+			var origMsgs, restMsgs []Message
+			orig := NewFloorFromState(st, func(_ uint16, m *Message) { origMsgs = append(origMsgs, *m) })
+			rest := NewFloorFromState(got, func(_ uint16, m *Message) { restMsgs = append(restMsgs, *m) })
+
+			oh, ohas := orig.Holder()
+			rh, rhas := rest.Holder()
+			if oh != rh || ohas != rhas {
+				t.Fatalf("holder diverged: (%d,%v) vs (%d,%v)", oh, ohas, rh, rhas)
+			}
+			if orig.QueueLen() != rest.QueueLen() {
+				t.Fatalf("queue length diverged: %d vs %d", orig.QueueLen(), rest.QueueLen())
+			}
+			if orig.HIDStatus() != rest.HIDStatus() {
+				t.Fatalf("HID status diverged: %v vs %v", orig.HIDStatus(), rest.HIDStatus())
+			}
+
+			// Drive one full churn through both floors and demand
+			// identical chair traffic (including TransactionIDs).
+			churn := func(f *Floor) {
+				_ = f.Request(40)
+				if h, ok := f.Holder(); ok {
+					_ = f.Release(h)
+				}
+			}
+			churn(orig)
+			churn(rest)
+			if !reflect.DeepEqual(origMsgs, restMsgs) {
+				t.Fatalf("chair traffic diverged after restore:\n  orig: %+v\n  rest: %+v", origMsgs, restMsgs)
+			}
+		})
+	}
+}
+
+// TestFloorStateUnmarshalErrors checks the decoder rejects malformed
+// encodings instead of fabricating moderation state.
+func TestFloorStateUnmarshalErrors(t *testing.T) {
+	good := FloorState{ConferenceID: 7, Holder: 10, HasHolder: true, Queue: []uint16{11, 12}, Status: StateAllAllowed, NextTx: 4}.Marshal()
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"truncated-header", good[:5]},
+		{"truncated-queue", good[:len(good)-1]},
+		{"trailing-garbage", append(append([]byte{}, good...), 0xFF)},
+		{"bad-version", append([]byte{99}, good[1:]...)},
+		{"bad-status", func() []byte {
+			b := append([]byte{}, good...)
+			b[8], b[9] = 0xFF, 0xFF // status field
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := UnmarshalFloorState(tc.b); err == nil {
+				t.Fatal("malformed floor state decoded without error")
+			}
+		})
+	}
+}
+
+func mustNoErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,447 @@
+// Package broker is the session control plane of DESIGN.md "Session
+// broker & migration". Hosts announce themselves with BrokerRegister
+// and report load once per capture tick with BrokerHeartbeat (carrying
+// a session checkpoint and the current BFCP floor state); viewers ask
+// the broker for a placement and receive an SDP offer for the
+// least-loaded registered host or relay. Because the broker holds each
+// session's latest checkpoint and floor state, it can re-home a
+// session when its host dies or drains: Sweep (failure detector) and
+// Migrate (orderly drain) emit MigrationOrders that a destination host
+// applies with ah.RestoreSession, and moderation survives the churn
+// because the floor state travels with the order rather than dying
+// with the host.
+//
+// The broker never touches media: participants exchange RTP with the
+// host they were placed on, and the broker's three control messages
+// (internal/remoting types 19–21) travel only on host↔broker links.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"appshare/internal/ah"
+	"appshare/internal/remoting"
+	"appshare/internal/sdp"
+)
+
+// Config tunes a Broker.
+type Config struct {
+	// Now is the broker's clock (defaults to time.Now; netsim injects
+	// virtual time).
+	Now func() time.Time
+	// HeartbeatTimeout is how long a host may stay silent before the
+	// failure detector declares it dead (default 3s). Hosts heartbeat
+	// once per capture tick, so a few tick intervals is a sensible
+	// setting.
+	HeartbeatTimeout time.Duration
+}
+
+// DefaultHeartbeatTimeout is used when Config.HeartbeatTimeout is zero.
+const DefaultHeartbeatTimeout = 3 * time.Second
+
+// Broker is the session placement and migration control plane.
+type Broker struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	timeout  time.Duration
+	hosts    map[uint32]*hostRecord
+	sessions map[uint32]*sessionRecord
+}
+
+type hostRecord struct {
+	id       uint32
+	addr     string
+	capacity uint16
+	relay    bool
+	draining bool
+	dead     bool
+	lastBeat time.Time
+	load     remoting.BrokerHeartbeat
+	hasLoad  bool
+}
+
+type sessionRecord struct {
+	streamID   uint32
+	hostID     uint32
+	epoch      uint32
+	checkpoint []byte
+	floorState []byte
+	migrations uint64
+}
+
+// HostStatus is one registered host's externally visible state.
+type HostStatus struct {
+	ID       uint32
+	Addr     string
+	Capacity uint16
+	Relay    bool
+	Draining bool
+	Dead     bool
+	LastBeat time.Time
+	StreamID uint32
+	Remotes  uint16
+	Backlog  uint32
+	Tiers    [4]uint8
+}
+
+// SessionStatus is one brokered session's externally visible state.
+type SessionStatus struct {
+	StreamID   uint32
+	HostID     uint32
+	Epoch      uint32
+	Migrations uint64
+	HasFloor   bool
+}
+
+// MigrationOrder re-homes one session. The broker emits it; the
+// destination host applies it (ah.UnmarshalSessionSnapshot +
+// RestoreSession, bfcp.NewFloorFromState for the floor) and every
+// viewer re-attaches with ResumePacketConn.
+type MigrationOrder struct {
+	// Msg is the wire-level migrate command, carrying the stream, the
+	// source and destination hosts, and the restart epoch the restored
+	// forwarder descriptors must announce.
+	Msg remoting.BrokerMigrate
+	// Checkpoint is the session snapshot from the source host's last
+	// heartbeat (ah.SessionSnapshot encoding). It is nil when the
+	// session never supplied one — load-only control links (the
+	// ads-broker TCP surface) heartbeat without custody — in which
+	// case the destination adopts the stream cold and viewers repaint
+	// through the normal full-refresh path instead of resuming.
+	Checkpoint []byte
+	// FloorState is the broker-held BFCP floor custody
+	// (bfcp.FloorState encoding); nil when the session has no floor,
+	// in which case Msg.Flags lacks MigrateWithFloor.
+	FloorState []byte
+}
+
+// Broker errors.
+var (
+	ErrUnknownHost    = errors.New("broker: unknown host")
+	ErrUnknownSession = errors.New("broker: unknown session")
+	ErrNoHosts        = errors.New("broker: no live host available")
+)
+
+// New returns an empty broker.
+func New(cfg Config) *Broker {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	timeout := cfg.HeartbeatTimeout
+	if timeout == 0 {
+		timeout = DefaultHeartbeatTimeout
+	}
+	return &Broker{
+		now:      now,
+		timeout:  timeout,
+		hosts:    make(map[uint32]*hostRecord),
+		sessions: make(map[uint32]*sessionRecord),
+	}
+}
+
+// Register records or updates a host from its BrokerRegister. addr is
+// the host's media address, used for viewer SDP offers. Re-registering
+// updates capacity and flags (so a host announces an orderly drain by
+// re-registering with RegisterDraining) and revives a host the failure
+// detector had declared dead.
+func (b *Broker) Register(m *remoting.BrokerRegister, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.hosts[m.HostID]
+	if h == nil {
+		h = &hostRecord{id: m.HostID}
+		b.hosts[m.HostID] = h
+	}
+	h.addr = addr
+	h.capacity = m.Capacity
+	h.relay = m.Flags&remoting.RegisterRelay != 0
+	h.draining = m.Flags&remoting.RegisterDraining != 0
+	h.dead = false
+	h.lastBeat = b.now()
+}
+
+// Heartbeat records one host's per-tick load report plus the session
+// checkpoint and floor state riding along with it. checkpoint may be
+// nil (a host that serves no session yet); floorState may be nil (no
+// floor). The slices are copied.
+func (b *Broker) Heartbeat(m *remoting.BrokerHeartbeat, checkpoint, floorState []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.hosts[m.HostID]
+	if h == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownHost, m.HostID)
+	}
+	h.lastBeat = b.now()
+	h.dead = false
+	h.load = *m
+	h.hasLoad = true
+	if m.StreamID == 0 {
+		return nil
+	}
+	s := b.sessions[m.StreamID]
+	if s == nil {
+		s = &sessionRecord{streamID: m.StreamID}
+		b.sessions[m.StreamID] = s
+	}
+	s.hostID = m.HostID
+	s.epoch = m.Epoch
+	if checkpoint != nil {
+		s.checkpoint = append(s.checkpoint[:0], checkpoint...)
+	}
+	if floorState != nil {
+		s.floorState = append(s.floorState[:0], floorState...)
+	} else {
+		s.floorState = nil
+	}
+	return nil
+}
+
+// HeartbeatFor builds a host's per-tick load report: remote count,
+// deepest send backlog, and the quality-tier census of its attached
+// remotes (evicted log entries are excluded).
+func HeartbeatFor(hostID uint32, h *ah.Host) remoting.BrokerHeartbeat {
+	m := remoting.BrokerHeartbeat{
+		HostID:   hostID,
+		StreamID: h.StreamID(),
+		Epoch:    h.Epoch(),
+	}
+	for _, rh := range h.RemoteHealth() {
+		if rh.State == ah.HealthEvicted {
+			continue
+		}
+		if m.Remotes < 0xFFFF {
+			m.Remotes++
+		}
+		if uint32(rh.QueuedBytes) > m.Backlog {
+			m.Backlog = uint32(rh.QueuedBytes)
+		}
+		if t := int(rh.Tier); t >= 0 && t < len(m.Tiers) && m.Tiers[t] < 0xFF {
+			m.Tiers[t]++
+		}
+	}
+	return m
+}
+
+// liveLocked reports whether a host is placeable right now.
+func (b *Broker) liveLocked(h *hostRecord, now time.Time) bool {
+	return !h.dead && !h.draining && now.Sub(h.lastBeat) <= b.timeout
+}
+
+// loadLess orders hosts least-loaded first: fewest remotes, then
+// shallowest backlog, then lowest ID for determinism.
+func loadLess(a, c *hostRecord) bool {
+	if a.load.Remotes != c.load.Remotes {
+		return a.load.Remotes < c.load.Remotes
+	}
+	if a.load.Backlog != c.load.Backlog {
+		return a.load.Backlog < c.load.Backlog
+	}
+	return a.id < c.id
+}
+
+// placeLocked picks the least-loaded live host matching keep.
+func (b *Broker) placeLocked(keep func(*hostRecord) bool) (*hostRecord, error) {
+	now := b.now()
+	var best *hostRecord
+	for _, h := range b.hosts {
+		if !b.liveLocked(h, now) || !keep(h) {
+			continue
+		}
+		if h.capacity != 0 && h.hasLoad && h.load.Remotes >= h.capacity {
+			continue
+		}
+		if best == nil || loadLess(h, best) {
+			best = h
+		}
+	}
+	if best == nil {
+		return nil, ErrNoHosts
+	}
+	return best, nil
+}
+
+// PlaceViewer picks the least-loaded live host or relay serving
+// streamID (0 = any session) for a new viewer to attach to.
+func (b *Broker) PlaceViewer(streamID uint32) (uint32, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h, err := b.placeLocked(func(h *hostRecord) bool {
+		return streamID == 0 || (h.hasLoad && h.load.StreamID == streamID)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return h.id, nil
+}
+
+// PlaceSession picks the least-loaded live origin host (never a relay)
+// to home a session on, excluding the given host ID (0 = none).
+func (b *Broker) PlaceSession(exclude uint32) (uint32, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h, err := b.placeLocked(func(h *hostRecord) bool {
+		return !h.relay && h.id != exclude
+	})
+	if err != nil {
+		return 0, err
+	}
+	return h.id, nil
+}
+
+// Offer answers a viewer's placement request with the chosen host's ID
+// and an SDP offer for it (draft Section 10.3): base supplies the
+// session parameters, the broker fills in the placed host's address.
+func (b *Broker) Offer(streamID uint32, base sdp.OfferConfig) (uint32, string, error) {
+	hostID, err := b.PlaceViewer(streamID)
+	if err != nil {
+		return 0, "", err
+	}
+	b.mu.Lock()
+	base.Address = b.hosts[hostID].addr
+	b.mu.Unlock()
+	d, err := sdp.BuildOffer(base)
+	if err != nil {
+		return 0, "", err
+	}
+	return hostID, d.Marshal(), nil
+}
+
+// migrateLocked builds the order that re-homes session s onto toHost.
+// A session without a checkpoint (load-only control link) still
+// migrates: the order's Checkpoint stays nil and the destination
+// adopts the stream cold.
+func (b *Broker) migrateLocked(s *sessionRecord, toHost uint32) *MigrationOrder {
+	order := &MigrationOrder{
+		Msg: remoting.BrokerMigrate{
+			StreamID: s.streamID,
+			FromHost: s.hostID,
+			ToHost:   toHost,
+			Epoch:    s.epoch,
+		},
+	}
+	if s.checkpoint != nil {
+		order.Checkpoint = append([]byte(nil), s.checkpoint...)
+	}
+	if s.floorState != nil {
+		order.Msg.Flags |= remoting.MigrateWithFloor
+		order.FloorState = append([]byte(nil), s.floorState...)
+	}
+	s.hostID = toHost
+	s.migrations++
+	return order
+}
+
+// Migrate orders streamID re-homed onto toHost (0 = broker picks the
+// least-loaded live origin host other than the current home). Used for
+// orderly drains; the failure path is Sweep.
+func (b *Broker) Migrate(streamID, toHost uint32) (*MigrationOrder, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.sessions[streamID]
+	if s == nil {
+		return nil, fmt.Errorf("%w: stream %d", ErrUnknownSession, streamID)
+	}
+	if toHost == 0 {
+		h, err := b.placeLocked(func(h *hostRecord) bool {
+			return !h.relay && h.id != s.hostID
+		})
+		if err != nil {
+			return nil, err
+		}
+		toHost = h.id
+	} else if b.hosts[toHost] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownHost, toHost)
+	}
+	if toHost == s.hostID {
+		return nil, fmt.Errorf("broker: stream %d already homed on host %d", streamID, toHost)
+	}
+	return b.migrateLocked(s, toHost), nil
+}
+
+// Sweep runs the failure detector: every host silent past the
+// heartbeat timeout is declared dead, and each session homed on a dead
+// host is re-homed onto the least-loaded surviving origin host. Orders
+// are returned sorted by stream ID for determinism. Sessions that
+// cannot be re-homed (no surviving host to place them on) are skipped
+// and reported again on the next sweep.
+func (b *Broker) Sweep() []*MigrationOrder {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	for _, h := range b.hosts {
+		if !h.dead && now.Sub(h.lastBeat) > b.timeout {
+			h.dead = true
+		}
+	}
+	streams := make([]uint32, 0, len(b.sessions))
+	for id := range b.sessions {
+		streams = append(streams, id)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i] < streams[j] })
+	var orders []*MigrationOrder
+	for _, id := range streams {
+		s := b.sessions[id]
+		home := b.hosts[s.hostID]
+		if home == nil || !home.dead {
+			continue
+		}
+		dst, err := b.placeLocked(func(h *hostRecord) bool {
+			return !h.relay && h.id != s.hostID
+		})
+		if err != nil {
+			continue
+		}
+		orders = append(orders, b.migrateLocked(s, dst.id))
+	}
+	return orders
+}
+
+// Hosts returns the registered hosts sorted by ID.
+func (b *Broker) Hosts() []HostStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]HostStatus, 0, len(b.hosts))
+	for _, h := range b.hosts {
+		st := HostStatus{
+			ID:       h.id,
+			Addr:     h.addr,
+			Capacity: h.capacity,
+			Relay:    h.relay,
+			Draining: h.draining,
+			Dead:     h.dead,
+			LastBeat: h.lastBeat,
+		}
+		if h.hasLoad {
+			st.StreamID = h.load.StreamID
+			st.Remotes = h.load.Remotes
+			st.Backlog = h.load.Backlog
+			st.Tiers = h.load.Tiers
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Sessions returns the brokered sessions sorted by stream ID.
+func (b *Broker) Sessions() []SessionStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]SessionStatus, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		out = append(out, SessionStatus{
+			StreamID:   s.streamID,
+			HostID:     s.hostID,
+			Epoch:      s.epoch,
+			Migrations: s.migrations,
+			HasFloor:   s.floorState != nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StreamID < out[j].StreamID })
+	return out
+}

@@ -1,0 +1,244 @@
+package broker
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"appshare/internal/remoting"
+	"appshare/internal/sdp"
+)
+
+// testClock is a manually advanced clock for the failure detector.
+type testClock struct{ t time.Time }
+
+func newTestClock() *testClock            { return &testClock{t: time.Unix(1_700_000_000, 0).UTC()} }
+func (c *testClock) now() time.Time       { return c.t }
+func (c *testClock) tick(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBroker(c *testClock) *Broker {
+	return New(Config{Now: c.now, HeartbeatTimeout: time.Second})
+}
+
+func register(b *Broker, id uint32, flags uint16) {
+	b.Register(&remoting.BrokerRegister{HostID: id, Flags: flags}, "198.51.100.1")
+}
+
+func beat(t *testing.T, b *Broker, id, stream uint32, remotes uint16, checkpoint []byte) {
+	t.Helper()
+	err := b.Heartbeat(&remoting.BrokerHeartbeat{
+		HostID: id, StreamID: stream, Epoch: 7, Remotes: remotes,
+	}, checkpoint, nil)
+	if err != nil {
+		t.Fatalf("heartbeat host %d: %v", id, err)
+	}
+}
+
+func TestPlacementLeastLoaded(t *testing.T) {
+	c := newTestClock()
+	b := newTestBroker(c)
+	register(b, 1, 0)
+	register(b, 2, 0)
+	register(b, 3, remoting.RegisterRelay)
+	beat(t, b, 1, 100, 5, nil)
+	beat(t, b, 2, 100, 2, nil)
+	beat(t, b, 3, 100, 0, nil)
+
+	// Viewers may land on the relay (least loaded of the three).
+	if id, err := b.PlaceViewer(100); err != nil || id != 3 {
+		t.Fatalf("PlaceViewer = %d, %v; want relay 3", id, err)
+	}
+	// Sessions never land on a relay: host 2 is the lighter origin.
+	if id, err := b.PlaceSession(0); err != nil || id != 2 {
+		t.Fatalf("PlaceSession = %d, %v; want 2", id, err)
+	}
+	// Excluding host 2 leaves host 1.
+	if id, err := b.PlaceSession(2); err != nil || id != 1 {
+		t.Fatalf("PlaceSession(exclude 2) = %d, %v; want 1", id, err)
+	}
+}
+
+func TestPlacementSkipsDrainingAndFull(t *testing.T) {
+	c := newTestClock()
+	b := newTestBroker(c)
+	register(b, 1, remoting.RegisterDraining)
+	b.Register(&remoting.BrokerRegister{HostID: 2, Capacity: 4}, "")
+	register(b, 3, 0)
+	beat(t, b, 2, 100, 4, nil) // at capacity
+	beat(t, b, 3, 100, 9, nil)
+
+	if id, err := b.PlaceSession(0); err != nil || id != 3 {
+		t.Fatalf("PlaceSession = %d, %v; want 3 (1 draining, 2 full)", id, err)
+	}
+}
+
+func TestPlacementIgnoresSilentHosts(t *testing.T) {
+	c := newTestClock()
+	b := newTestBroker(c)
+	register(b, 1, 0)
+	register(b, 2, 0)
+	beat(t, b, 1, 100, 0, nil)
+	beat(t, b, 2, 100, 3, nil)
+	c.tick(1500 * time.Millisecond)
+	beat(t, b, 2, 100, 3, nil) // host 1 stays silent past the timeout
+
+	if id, err := b.PlaceViewer(0); err != nil || id != 2 {
+		t.Fatalf("PlaceViewer = %d, %v; want 2 (host 1 silent)", id, err)
+	}
+	if _, err := b.PlaceViewer(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepMigratesSessionsOffDeadHosts(t *testing.T) {
+	c := newTestClock()
+	b := newTestBroker(c)
+	register(b, 1, 0)
+	register(b, 2, 0)
+	checkpoint := []byte{0xCA, 0xFE}
+	err := b.Heartbeat(&remoting.BrokerHeartbeat{HostID: 1, StreamID: 100, Epoch: 7, Remotes: 3},
+		checkpoint, []byte{0x01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beat(t, b, 2, 0, 0, nil)
+
+	if orders := b.Sweep(); len(orders) != 0 {
+		t.Fatalf("premature sweep emitted %d orders", len(orders))
+	}
+	c.tick(1500 * time.Millisecond)
+	beat(t, b, 2, 0, 0, nil) // survivor keeps beating
+	orders := b.Sweep()
+	if len(orders) != 1 {
+		t.Fatalf("sweep emitted %d orders, want 1", len(orders))
+	}
+	o := orders[0]
+	want := remoting.BrokerMigrate{StreamID: 100, FromHost: 1, ToHost: 2, Epoch: 7,
+		Flags: remoting.MigrateWithFloor}
+	if o.Msg != want {
+		t.Fatalf("order message %+v, want %+v", o.Msg, want)
+	}
+	if string(o.Checkpoint) != string(checkpoint) {
+		t.Fatalf("order checkpoint %x, want %x", o.Checkpoint, checkpoint)
+	}
+	if len(o.FloorState) != 1 || o.FloorState[0] != 0x01 {
+		t.Fatalf("order floor state %x, want 01", o.FloorState)
+	}
+	// The session is re-homed; a second sweep is quiet.
+	if orders := b.Sweep(); len(orders) != 0 {
+		t.Fatalf("second sweep re-emitted %d orders", len(orders))
+	}
+	ss := b.Sessions()
+	if len(ss) != 1 || ss[0].HostID != 2 || ss[0].Migrations != 1 {
+		t.Fatalf("session status %+v, want host 2 with 1 migration", ss)
+	}
+}
+
+func TestSweepWaitsForASurvivor(t *testing.T) {
+	c := newTestClock()
+	b := newTestBroker(c)
+	register(b, 1, 0)
+	beat(t, b, 1, 100, 1, []byte{1})
+	c.tick(2 * time.Second)
+	if orders := b.Sweep(); len(orders) != 0 {
+		t.Fatalf("sweep with no survivor emitted %d orders", len(orders))
+	}
+	// A new host arrives: the next sweep drains the dead one onto it.
+	register(b, 2, 0)
+	beat(t, b, 2, 0, 0, nil)
+	orders := b.Sweep()
+	if len(orders) != 1 || orders[0].Msg.ToHost != 2 {
+		t.Fatalf("delayed sweep = %+v, want migration to host 2", orders)
+	}
+}
+
+func TestSweepRehomesCheckpointFreeSession(t *testing.T) {
+	// Load-only control links (the ads-broker TCP surface) heartbeat
+	// without custody; the session must still be re-homed on failure —
+	// the order just carries no checkpoint, so the destination adopts
+	// the stream cold.
+	c := newTestClock()
+	b := newTestBroker(c)
+	register(b, 1, 0)
+	register(b, 2, 0)
+	beat(t, b, 1, 100, 3, nil)
+	beat(t, b, 2, 0, 0, nil)
+	c.tick(1500 * time.Millisecond)
+	beat(t, b, 2, 0, 0, nil)
+	orders := b.Sweep()
+	if len(orders) != 1 {
+		t.Fatalf("sweep emitted %d orders, want 1", len(orders))
+	}
+	o := orders[0]
+	if o.Msg.FromHost != 1 || o.Msg.ToHost != 2 || o.Msg.StreamID != 100 {
+		t.Fatalf("order %+v, want stream 100 1→2", o.Msg)
+	}
+	if o.Checkpoint != nil {
+		t.Fatalf("checkpoint-free session emitted checkpoint %x", o.Checkpoint)
+	}
+	if o.Msg.Flags&remoting.MigrateWithFloor != 0 {
+		t.Fatal("checkpoint-free session carries MigrateWithFloor")
+	}
+	ss := b.Sessions()
+	if len(ss) != 1 || ss[0].HostID != 2 || ss[0].Migrations != 1 {
+		t.Fatalf("session status %+v, want host 2 with 1 migration", ss)
+	}
+}
+
+func TestMigrateManualDrain(t *testing.T) {
+	c := newTestClock()
+	b := newTestBroker(c)
+	register(b, 1, 0)
+	register(b, 2, 0)
+	beat(t, b, 1, 100, 3, []byte{1})
+	beat(t, b, 2, 0, 0, nil)
+
+	if _, err := b.Migrate(999, 0); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("Migrate(unknown) err = %v", err)
+	}
+	order, err := b.Migrate(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order.Msg.ToHost != 2 || order.Msg.FromHost != 1 {
+		t.Fatalf("drain order %+v, want 1→2", order.Msg)
+	}
+	if order.Msg.Flags&remoting.MigrateWithFloor != 0 {
+		t.Fatal("floorless session carries MigrateWithFloor")
+	}
+	if _, err := b.Migrate(100, 2); err == nil {
+		t.Fatal("re-homing onto the current home succeeded")
+	}
+}
+
+func TestHeartbeatUnknownHost(t *testing.T) {
+	b := newTestBroker(newTestClock())
+	err := b.Heartbeat(&remoting.BrokerHeartbeat{HostID: 9}, nil, nil)
+	if !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("err = %v, want ErrUnknownHost", err)
+	}
+}
+
+func TestOfferFillsPlacedHostAddress(t *testing.T) {
+	c := newTestClock()
+	b := newTestBroker(c)
+	b.Register(&remoting.BrokerRegister{HostID: 1}, "203.0.113.7")
+	beat(t, b, 1, 100, 0, nil)
+
+	hostID, offer, err := b.Offer(100, sdp.OfferConfig{
+		RemotingPort: 6004, RemotingPT: 99, OfferUDP: true, HIPPort: 6006, HIPPT: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostID != 1 {
+		t.Fatalf("placed host %d, want 1", hostID)
+	}
+	if !strings.Contains(offer, "203.0.113.7") {
+		t.Fatalf("offer lacks the placed host's address:\n%s", offer)
+	}
+	if _, _, err := b.Offer(42, sdp.OfferConfig{}); !errors.Is(err, ErrNoHosts) {
+		t.Fatalf("offer for unknown stream err = %v, want ErrNoHosts", err)
+	}
+}

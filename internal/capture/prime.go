@@ -1,0 +1,17 @@
+package capture
+
+// Prime marks the current window-manager state as already transmitted,
+// without emitting anything. A host restored from a snapshot calls this
+// so its first Tick does not resend a WindowManagerInfo the viewers
+// already hold — the restored pipeline continues exactly where the
+// original's left off.
+func (p *Pipeline) Prime() {
+	_ = p.tracker.Current(p.desk)
+	if p.opts.PointerInUpdates {
+		// The pointer-in-updates model tracks the sprite's previous
+		// screen rectangle; the original pipeline's tracking rect equals
+		// the current cursor rect whenever the cursor has ever moved, and
+		// is unused until it does.
+		p.lastCursor = p.cursorRect()
+	}
+}

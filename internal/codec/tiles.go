@@ -179,6 +179,20 @@ func (d *TileDict) Lookup(k TileKey) (*image.RGBA, bool) {
 	return el.Value.(*tileEntry).px, true
 }
 
+// Keys returns the resident tile keys in eviction order (oldest first).
+// Replaying the returned sequence through Learn on an empty dictionary
+// of the same capacity reproduces the same residency AND the same
+// eviction order — the property a host snapshot relies on to carry a
+// remote's seen-set across a migration without desynchronizing the
+// viewer's copy.
+func (d *TileDict) Keys() []TileKey {
+	out := make([]TileKey, 0, d.ll.Len())
+	for el := d.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*tileEntry).key)
+	}
+	return out
+}
+
 // Stats returns a snapshot of the dictionary counters.
 func (d *TileDict) Stats() TileDictStats {
 	return TileDictStats{

@@ -49,10 +49,19 @@ const (
 // the origin answers with the stream's endpoint descriptor. Both are
 // only exchanged with peers that negotiated the "relay" fmtp
 // capability.
+// BrokerRegister, BrokerHeartbeat and BrokerMigrate are the session
+// broker's control plane (DESIGN.md "Session broker & migration"): a
+// host announces itself with BrokerRegister, reports its load every
+// tick with BrokerHeartbeat, and the broker orders a session re-homed
+// with BrokerMigrate. They are exchanged only on host↔broker control
+// links, never with participants.
 const (
 	TypeTileReference    MessageType = 16
 	TypeRelaySubscribe   MessageType = 17
 	TypeStreamDescriptor MessageType = 18
+	TypeBrokerRegister   MessageType = 19
+	TypeBrokerHeartbeat  MessageType = 20
+	TypeBrokerMigrate    MessageType = 21
 )
 
 // HIP message types (Table 3 / Table 5).
@@ -74,6 +83,9 @@ var typeNames = map[MessageType]string{
 	TypeTileReference:     "TileReference",
 	TypeRelaySubscribe:    "RelaySubscribe",
 	TypeStreamDescriptor:  "StreamDescriptor",
+	TypeBrokerRegister:    "BrokerRegister",
+	TypeBrokerHeartbeat:   "BrokerHeartbeat",
+	TypeBrokerMigrate:     "BrokerMigrate",
 	TypeMousePressed:      "MousePressed",
 	TypeMouseReleased:     "MouseReleased",
 	TypeMouseMoved:        "MouseMoved",
@@ -121,6 +133,9 @@ var (
 		TypeTileReference:    "TileReference",
 		TypeRelaySubscribe:   "RelaySubscribe",
 		TypeStreamDescriptor: "StreamDescriptor",
+		TypeBrokerRegister:   "BrokerRegister",
+		TypeBrokerHeartbeat:  "BrokerHeartbeat",
+		TypeBrokerMigrate:    "BrokerMigrate",
 	}
 	HIPRegistry = map[MessageType]string{
 		TypeMousePressed:    "MousePressed",

@@ -1,0 +1,148 @@
+package display
+
+import (
+	"fmt"
+	"image"
+
+	"appshare/internal/region"
+)
+
+// WindowState is the serializable form of one window: identity, window-
+// manager attributes and the full content buffer. Pix is a packed RGBA
+// buffer of Bounds.Width × Bounds.Height pixels (stride = 4 × width),
+// row-major from the top-left corner.
+type WindowState struct {
+	ID     uint16
+	Group  uint8
+	Bounds region.Rect
+	Shared bool
+	Pix    []byte
+}
+
+// DesktopState is the serializable form of a Desktop, captured between
+// ticks (when the damage and move journals are empty — State does not
+// carry them). Windows are in z-order, bottom first. SpritePix may be
+// empty when the cursor has no sprite; SpriteW/SpriteH give its size.
+type DesktopState struct {
+	Width, Height int
+	NextID        uint16
+	Generation    uint64
+	CursorX       int
+	CursorY       int
+	SpriteW       int
+	SpriteH       int
+	SpritePix     []byte
+	FocusID       uint16 // 0 = no focused window
+	Windows       []WindowState
+}
+
+// State captures the desktop for migration. Pending damage, move
+// journals and cursor-event flags are NOT captured: callers snapshot
+// after a capture tick has drained them, and a restored desktop starts
+// with clean journals.
+func (d *Desktop) State() DesktopState {
+	s := DesktopState{
+		Width:      d.width,
+		Height:     d.height,
+		NextID:     d.nextID,
+		Generation: d.generation,
+		CursorX:    d.cursor.X,
+		CursorY:    d.cursor.Y,
+	}
+	if sp := d.cursor.Sprite; sp != nil {
+		b := sp.Bounds()
+		s.SpriteW, s.SpriteH = b.Dx(), b.Dy()
+		s.SpritePix = packRGBA(sp)
+	}
+	if d.focus != nil {
+		s.FocusID = d.focus.id
+	}
+	s.Windows = make([]WindowState, 0, len(d.windows))
+	for _, w := range d.windows {
+		s.Windows = append(s.Windows, WindowState{
+			ID:     w.id,
+			Group:  w.group,
+			Bounds: w.bounds,
+			Shared: w.shared,
+			Pix:    packRGBA(w.buf),
+		})
+	}
+	return s
+}
+
+// NewDesktopFromState reconstructs a Desktop from a State() capture.
+// Window handlers are not part of the state; callers reattach
+// application behaviors (and workload bindings) after restore. The
+// restored desktop has empty damage/move journals and clear cursor
+// event flags — the first capture tick after restore emits nothing the
+// original would not have.
+func NewDesktopFromState(s DesktopState) (*Desktop, error) {
+	if s.Width <= 0 || s.Height <= 0 {
+		return nil, fmt.Errorf("display: bad desktop size %dx%d", s.Width, s.Height)
+	}
+	d := NewDesktop(s.Width, s.Height)
+	d.nextID = s.NextID
+	d.generation = s.Generation
+	d.cursor.X, d.cursor.Y = s.CursorX, s.CursorY
+	if s.SpriteW > 0 && s.SpriteH > 0 {
+		sp, err := unpackRGBA(s.SpriteW, s.SpriteH, s.SpritePix)
+		if err != nil {
+			return nil, fmt.Errorf("display: cursor sprite: %w", err)
+		}
+		d.cursor.Sprite = sp
+	} else {
+		d.cursor.Sprite = nil
+	}
+	d.cursorMoved, d.cursorChanged = false, false
+	d.windows = make([]*Window, 0, len(s.Windows))
+	var focus *Window
+	for _, ws := range s.Windows {
+		if ws.Bounds.Empty() {
+			return nil, fmt.Errorf("display: window %d has empty bounds", ws.ID)
+		}
+		buf, err := unpackRGBA(ws.Bounds.Width, ws.Bounds.Height, ws.Pix)
+		if err != nil {
+			return nil, fmt.Errorf("display: window %d: %w", ws.ID, err)
+		}
+		w := &Window{
+			desktop: d,
+			id:      ws.ID,
+			group:   ws.Group,
+			bounds:  ws.Bounds,
+			buf:     buf,
+			shared:  ws.Shared,
+		}
+		d.windows = append(d.windows, w)
+		if ws.ID == s.FocusID {
+			focus = w
+		}
+	}
+	d.focus = focus
+	// NewDesktop left a pristine damage set; restoring must not carry
+	// the construction-time state of a fresh desktop either.
+	d.damage = region.NewSet()
+	d.moves = nil
+	return d, nil
+}
+
+// packRGBA copies img's pixels into a tight buffer (stride 4×width).
+func packRGBA(img *image.RGBA) []byte {
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	out := make([]byte, 4*w*h)
+	for y := 0; y < h; y++ {
+		off := img.PixOffset(b.Min.X, b.Min.Y+y)
+		copy(out[y*4*w:(y+1)*4*w], img.Pix[off:off+4*w])
+	}
+	return out
+}
+
+// unpackRGBA builds an origin-anchored RGBA image from a tight buffer.
+func unpackRGBA(w, h int, pix []byte) (*image.RGBA, error) {
+	if len(pix) != 4*w*h {
+		return nil, fmt.Errorf("pixel buffer is %d bytes, want %d", len(pix), 4*w*h)
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	copy(img.Pix, pix)
+	return img, nil
+}

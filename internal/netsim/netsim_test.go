@@ -164,6 +164,40 @@ func TestScenarioValidation(t *testing.T) {
 			s.Viewers[0].Profile = &Profile{Name: "slow", Down: transport.LinkConfig{Delay: time.Millisecond}}
 		}},
 		{"unknown expected eviction", func(s *Scenario) { s.Expect.Evicted = []string{"ghost"} }},
+		{"relay chain too deep", func(s *Scenario) {
+			s.Relay = &RelaySpec{Levels: 5}
+		}},
+		{"relay level without relay path", func(s *Scenario) { s.Viewers[0].RelayLevel = 1 }},
+		{"relay level beyond chain", func(s *Scenario) {
+			s.Relay = &RelaySpec{Levels: 2}
+			s.Viewers[0].ViaRelay = true
+			s.Viewers[0].RelayLevel = 2
+		}},
+		{"migration fault without broker", func(s *Scenario) { s.Fault = FaultCorruptSnapshot }},
+		{"migration fault without failure", func(s *Scenario) {
+			s.Ticks = 12
+			s.Broker = &BrokerSpec{}
+			s.Fault = FaultDropFloorState
+		}},
+		{"broker with relay tier", func(s *Scenario) {
+			s.Broker = &BrokerSpec{}
+			s.Relay = &RelaySpec{}
+		}},
+		{"negative fail tick", func(s *Scenario) { s.Broker = &BrokerSpec{FailAtTick: -1} }},
+		{"failover too close to run end", func(s *Scenario) {
+			// FailAtTick 2 + detect 2 + 3 settle ticks > 4 total.
+			s.Broker = &BrokerSpec{FailAtTick: 2}
+		}},
+		{"broker with tcp viewer", func(s *Scenario) {
+			s.Broker = &BrokerSpec{}
+			s.Viewers[0].Kind = KindTCP
+			s.Viewers[0].Profile = nil
+		}},
+		{"join inside the dead window", func(s *Scenario) {
+			s.Ticks = 12
+			s.Broker = &BrokerSpec{FailAtTick: 4}
+			s.Viewers = append(s.Viewers, ViewerSpec{Name: "b", Kind: KindUDP, JoinAtTick: 5})
+		}},
 	}
 	for _, tc := range cases {
 		sc := base()
@@ -197,10 +231,30 @@ func TestMatrixWellFormed(t *testing.T) {
 	if len(seen) < 10 {
 		t.Errorf("matrix has %d scenarios, acceptance floor is 10", len(seen))
 	}
+	for _, sc := range MigrationFamily() {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if prev, dup := seeds[sc.Seed]; dup {
+			t.Errorf("scenarios %q and %q share seed %d", prev, sc.Name, sc.Seed)
+		}
+		seeds[sc.Seed] = sc.Name
+		if sc.Seed < SeedMigrationBase || sc.Seed > SeedMigrationEnd {
+			t.Errorf("migration scenario %q seed %d outside the reserved range [%d,%d]",
+				sc.Name, sc.Seed, SeedMigrationBase, SeedMigrationEnd)
+		}
+		if err := validate(applyDefaults(sc)); err != nil {
+			t.Errorf("migration scenario %q invalid: %v", sc.Name, err)
+		}
+	}
 	if _, err := ByName("pristine"); err != nil {
 		t.Errorf("ByName(pristine): %v", err)
 	}
 	if _, err := ByName("no-such"); err == nil {
 		t.Error("ByName accepted an unknown scenario")
+	}
+	if _, err := ByName("migrate-pristine"); err != nil {
+		t.Errorf("ByName(migrate-pristine): %v", err)
 	}
 }

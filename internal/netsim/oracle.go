@@ -326,6 +326,11 @@ func (r *runner) oracleCounters(fresh map[string]uint64) OracleResult {
 	if got := r.coll.Get("HealthEvict").Messages; got != uint64(len(r.evictedNames)) {
 		fails = append(fails, fmt.Sprintf("stats HealthEvict counted %d but %d evictions were observed", got, len(r.evictedNames)))
 	}
+	for i, c := range r.oldConns {
+		if n := c.sendsAfterClose(); n > 0 {
+			fails = append(fails, fmt.Sprintf("pre-migration conn %d: %d sends hit it after the failover close", i, n))
+		}
+	}
 	if len(fails) > 6 {
 		fails = append(fails[:6], fmt.Sprintf("(+%d more)", len(fails)-6))
 	}
@@ -360,32 +365,103 @@ func (r *runner) oracleTileSync() OracleResult {
 	return OracleResult{Name: "tile-sync", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
 }
 
-// oracleRelayCascade audits the edge tier's absorption contract: the
-// origin served exactly the seed refresh plus the relay's cadence
-// refills — no late join or PLI behind the relay ever reached the
-// origin's encode path — every capture landed in the relay's cache, and
-// the run actually exercised the absorption path.
+// oracleRelayCascade audits the fan-out tree's per-level absorption
+// contract: the origin served exactly the seed refresh plus level 0's
+// cadence refills — no late join or PLI anywhere in the tree ever
+// reached the origin's encode path — every capture landed in level 0's
+// cache, each deeper level repeated the same containment one hop down,
+// and the run actually exercised the absorption path.
 func (r *runner) oracleRelayCascade() OracleResult {
-	st := r.relay.Stats()
+	st0 := r.relays[0].Stats()
 	served := r.host.ServedRefreshes()
 	var fails []string
 	// The seed request (AttachUpstream) plus each cadence refill is one
 	// origin capture. A request latched by the very last tick is still
 	// unserved when the run stops, so served may trail the request count
-	// by the seed capture it spent.
-	if served > st.UpstreamRefreshRequests+1 || served < st.UpstreamRefreshRequests {
+	// by the seed capture it spent. Deeper levels' seed requests merge
+	// into the SAME origin latch (they escalate before the first
+	// capture), so the bound is depth-independent.
+	if served > st0.UpstreamRefreshRequests+1 || served < st0.UpstreamRefreshRequests {
 		fails = append(fails, fmt.Sprintf(
 			"origin served %d refresh captures against %d cadence requests (+1 seed): an edge event reached the origin's encode path",
-			served, st.UpstreamRefreshRequests))
+			served, st0.UpstreamRefreshRequests))
 	}
-	if st.CacheRefills != served {
-		fails = append(fails, fmt.Sprintf("relay cached %d refills of %d origin captures", st.CacheRefills, served))
+	if st0.CacheRefills != served {
+		fails = append(fails, fmt.Sprintf("level 0 cached %d refills of %d origin captures", st0.CacheRefills, served))
 	}
-	if got := st.CacheServes + st.AbsorbedPLIs; got < r.sc.Expect.MinRelayAbsorbed {
-		fails = append(fails, fmt.Sprintf("relay absorbed %d edge events (%d cache serves + %d rate-limited PLIs), scenario requires >= %d",
-			got, st.CacheServes, st.AbsorbedPLIs, r.sc.Expect.MinRelayAbsorbed))
+	// Per-level chain assertions: level k forwards exactly the batches
+	// level k-1 fanned out, and refills its cache only from k-1's
+	// republished refreshes — k-1's own refills plus k's cadence
+	// requests served from k-1's cache (one may be latched but unserved
+	// at the end of the run).
+	prev := st0
+	for lvl := 1; lvl < len(r.relays); lvl++ {
+		st := r.relays[lvl].Stats()
+		if st.Batches != prev.Batches {
+			fails = append(fails, fmt.Sprintf("level %d forwarded %d batches of level %d's %d",
+				lvl, st.Batches, lvl-1, prev.Batches))
+		}
+		if st.CacheRefills < prev.CacheRefills || st.CacheRefills > prev.CacheRefills+st.UpstreamRefreshRequests+1 {
+			fails = append(fails, fmt.Sprintf(
+				"level %d cached %d refills outside [%d,%d] (level %d refills %d + own cadence requests %d +1 seed)",
+				lvl, st.CacheRefills, prev.CacheRefills, prev.CacheRefills+st.UpstreamRefreshRequests+1,
+				lvl-1, prev.CacheRefills, st.UpstreamRefreshRequests))
+		}
+		prev = st
+	}
+	var serves, plis uint64
+	for _, rl := range r.relays {
+		st := rl.Stats()
+		serves += st.CacheServes
+		plis += st.AbsorbedPLIs
+	}
+	if got := serves + plis; got < r.sc.Expect.MinRelayAbsorbed {
+		fails = append(fails, fmt.Sprintf("relay tier absorbed %d edge events (%d cache serves + %d rate-limited PLIs), scenario requires >= %d",
+			got, serves, plis, r.sc.Expect.MinRelayAbsorbed))
 	}
 	return OracleResult{Name: "relay-cascade", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
+}
+
+// oracleMigration audits the broker handoff: the scheduled failure
+// migrated exactly once at the detection horizon, the standby served
+// no full refresh beyond the post-migration joiners' (a RESUMED viewer
+// costs zero refresh encodes — the whole point of checkpointed
+// migration), nothing was sent into the dead host's transports, and
+// BFCP floor custody survived: the moderator's release after the
+// handoff must grant the queued requester.
+func (r *runner) oracleMigration() OracleResult {
+	var fails []string
+	if f := r.sc.Broker.FailAtTick; f > 0 {
+		want := f + r.sc.Broker.detectAfter()
+		switch {
+		case !r.migrated:
+			fails = append(fails, fmt.Sprintf("host killed at tick %d but the session was never re-homed", f))
+		case r.migratedAt != want:
+			fails = append(fails, fmt.Sprintf("migrated at tick %d, want the detection horizon tick %d", r.migratedAt, want))
+		}
+		if r.migrated {
+			if served := r.hostB.ServedRefreshes(); served != r.freshJoinsB {
+				fails = append(fails, fmt.Sprintf("standby served %d full refreshes with %d post-migration joiners: a resumed viewer paid a refresh",
+					served, r.freshJoinsB))
+			}
+			if !r.released {
+				fails = append(fails, "the post-migration floor release never ran")
+			} else if r.floorReleaseErr != nil {
+				fails = append(fails, fmt.Sprintf("floor custody lost across the handoff: release failed: %v", r.floorReleaseErr))
+			}
+			if holder, ok := r.floor.Holder(); !ok || holder != 12 {
+				fails = append(fails, fmt.Sprintf("floor holder after the release is (%d,%v), want the queued requester 12", holder, ok))
+			}
+		}
+	} else {
+		if r.failed || r.migrated {
+			fails = append(fails, "no failure was scheduled but one fired")
+		}
+		if holder, ok := r.floor.Holder(); !ok || holder != 11 {
+			fails = append(fails, fmt.Sprintf("floor holder is (%d,%v), want the original grantee 11", holder, ok))
+		}
+	}
+	return OracleResult{Name: "migration", Passed: len(fails) == 0, Detail: strings.Join(fails, "; ")}
 }
 
 // runOracles evaluates every invariant and records the verdicts.
@@ -400,7 +476,10 @@ func (r *runner) runOracles(res *Result) {
 		r.oracleTileSync(),
 		r.oracleCounters(fresh),
 	)
-	if r.relay != nil {
+	if len(r.relays) > 0 {
 		res.Oracles = append(res.Oracles, r.oracleRelayCascade())
+	}
+	if r.sc.Broker != nil {
+		res.Oracles = append(res.Oracles, r.oracleMigration())
 	}
 }

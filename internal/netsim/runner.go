@@ -12,10 +12,13 @@ import (
 	"time"
 
 	"appshare/internal/ah"
+	"appshare/internal/bfcp"
+	"appshare/internal/broker"
 	"appshare/internal/display"
 	"appshare/internal/participant"
 	"appshare/internal/region"
 	"appshare/internal/relay"
+	"appshare/internal/remoting"
 	"appshare/internal/rtcp"
 	"appshare/internal/rtp"
 	"appshare/internal/stats"
@@ -50,8 +53,11 @@ type viewerState struct {
 
 	remote *ah.Remote
 	// rv is the relay-tier attachment of a ViaRelay viewer (remote is
-	// nil for these: the origin never learns they exist).
-	rv *relay.Viewer
+	// nil for these: the origin never learns they exist), and relayNode
+	// is the chain level it hangs off — feedback goes there, not to the
+	// origin or the chain root.
+	rv        *relay.Viewer
+	relayNode *relay.Relay
 
 	// Link state (UDP and the feedback direction of every kind).
 	down, up         *transport.Shaper
@@ -127,9 +133,32 @@ type runner struct {
 	viewers []*viewerState
 	byName  map[string]*viewerState
 
-	// relay is the edge tier (nil without Scenario.Relay): subscribed
-	// in-process to the host, fanning to the ViaRelay viewers.
-	relay *relay.Relay
+	// relays is the edge tier (empty without Scenario.Relay): a chain of
+	// relays with relays[0] subscribed in-process to the host and each
+	// deeper level subscribed to the one above, fanning to the ViaRelay
+	// viewers at their RelayLevel.
+	relays []*relay.Relay
+
+	// Broker custody (nil/zero without Scenario.Broker).
+	brk   *broker.Broker
+	hostB *ah.Host
+	floor *bfcp.Floor
+	// floorReleaseErr records the post-migration moderator release —
+	// nil under restored custody, an error when FaultDropFloorState
+	// discarded the grant.
+	floorReleaseErr error
+	released        bool
+	failed          bool // the scheduled kill has fired
+	hostDead        bool // killed and not yet re-homed
+	migrated        bool
+	migratedAt      int
+	// freshJoinsB counts viewers that joined AFTER the migration: each
+	// owes the standby exactly one join refresh, and resumed viewers
+	// owe it none — the migration oracle's central claim.
+	freshJoinsB uint64
+	// oldConns are the dead host's closed transports; the counters
+	// oracle audits that nothing was sent into them after the failover.
+	oldConns []*simPacketConn
 
 	events eventHeap
 	bypass bool
@@ -236,6 +265,31 @@ func validate(sc Scenario) error {
 	if sc.Relay == nil && sc.Expect.MinRelayAbsorbed > 0 {
 		return fmt.Errorf("netsim: scenario %q: Expect.MinRelayAbsorbed requires a relay tier", sc.Name)
 	}
+	if sc.Relay != nil && sc.Relay.Levels > 4 {
+		return fmt.Errorf("netsim: scenario %q: relay chain depth %d exceeds the 4-level cap", sc.Name, sc.Relay.Levels)
+	}
+	if sc.Fault == FaultCorruptSnapshot || sc.Fault == FaultDropFloorState {
+		if sc.Broker == nil || sc.Broker.FailAtTick <= 0 {
+			return fmt.Errorf("netsim: scenario %q: migration faults require Broker with FailAtTick > 0", sc.Name)
+		}
+	}
+	if sc.Broker != nil {
+		if sc.Relay != nil {
+			return fmt.Errorf("netsim: scenario %q: Broker and Relay tiers cannot be combined", sc.Name)
+		}
+		if sc.Fault == FaultEvictFeedback {
+			return fmt.Errorf("netsim: scenario %q: FaultEvictFeedback is not supported under broker custody", sc.Name)
+		}
+		if sc.Broker.FailAtTick < 0 {
+			return fmt.Errorf("netsim: scenario %q: negative FailAtTick", sc.Name)
+		}
+		if f := sc.Broker.FailAtTick; f > 0 {
+			if d := sc.Broker.detectAfter(); f+d+3 > sc.Ticks {
+				return fmt.Errorf("netsim: scenario %q: FailAtTick %d + detection %d needs 3 post-migration ticks before tick %d",
+					sc.Name, f, d, sc.Ticks)
+			}
+		}
+	}
 	seen := map[string]bool{"_ref": true}
 	relayed := 0
 	for _, vs := range sc.Viewers {
@@ -267,6 +321,32 @@ func validate(sc Scenario) error {
 			}
 			if vs.LeaveAtTick != 0 {
 				return fmt.Errorf("netsim: viewer %q: LeaveAtTick is not supported behind the relay tier", vs.Name)
+			}
+			levels := 1
+			if sc.Relay.Levels > 0 {
+				levels = sc.Relay.Levels
+			}
+			if vs.RelayLevel < 0 || vs.RelayLevel >= levels {
+				return fmt.Errorf("netsim: viewer %q: RelayLevel %d outside the %d-level relay chain", vs.Name, vs.RelayLevel, levels)
+			}
+		} else if vs.RelayLevel != 0 {
+			return fmt.Errorf("netsim: viewer %q: RelayLevel requires ViaRelay", vs.Name)
+		}
+		if sc.Broker != nil {
+			if vs.Kind != KindUDP {
+				return fmt.Errorf("netsim: viewer %q: broker scenarios support UDP viewers only", vs.Name)
+			}
+			if vs.LeaveAtTick != 0 {
+				return fmt.Errorf("netsim: viewer %q: LeaveAtTick is not supported under broker custody", vs.Name)
+			}
+			if f := sc.Broker.FailAtTick; f > 0 {
+				// A join inside the dead window would attach to a closed
+				// host; the scenario must join before the failure or after
+				// the detection horizon.
+				if d := sc.Broker.detectAfter(); vs.JoinAtTick >= f && vs.JoinAtTick < f+d {
+					return fmt.Errorf("netsim: viewer %q joins at tick %d inside the dead window [%d,%d)",
+						vs.Name, vs.JoinAtTick, f, f+d)
+				}
 			}
 		}
 		prof := sc.Profile
@@ -387,21 +467,95 @@ func Run(sc Scenario) (*Result, error) {
 		if refreshEvery <= 0 {
 			refreshEvery = 8
 		}
-		r.relay = relay.New(relay.Config{
-			StreamID:           r.host.StreamID(),
-			RetransLog:         sc.RetransLog,
-			RefreshEvery:       refreshEvery,
-			MinRefreshInterval: sc.Relay.MinRefreshInterval,
-			Now:                r.clk.Now,
-			Entropy:            entropyFrom(deriveSeed(sc.Seed, "relay-entropy")),
+		levels := sc.Relay.Levels
+		if levels <= 0 {
+			levels = 1
+		}
+		// Build the chain root-first: level 0 subscribes to the origin,
+		// each deeper level to the one above. Seeding every cache before
+		// any viewer joins costs the origin only ONE refresh — the
+		// per-level seed requests merge into the origin's single latch,
+		// and tick 0's capture republishes down the whole chain.
+		var up relay.Upstream = r.host
+		for lvl := 0; lvl < levels; lvl++ {
+			// Level 0 keeps the historical entropy lane so single-level
+			// relay journals stay byte-identical; deeper levels get their
+			// own.
+			salt := "relay-entropy"
+			if lvl > 0 {
+				salt = fmt.Sprintf("relay-entropy/%d", lvl)
+			}
+			rl := relay.New(relay.Config{
+				StreamID:           r.host.StreamID(),
+				RetransLog:         sc.RetransLog,
+				RefreshEvery:       refreshEvery,
+				MinRefreshInterval: sc.Relay.MinRefreshInterval,
+				Now:                r.clk.Now,
+				Entropy:            entropyFrom(deriveSeed(sc.Seed, salt)),
+			})
+			if err := rl.AttachUpstream(up, true); err != nil {
+				return nil, err
+			}
+			r.relays = append(r.relays, rl)
+			up = rl
+		}
+		// Teardown deepest-first, so each relay detaches from a
+		// still-open upstream.
+		defer func() {
+			for i := len(r.relays) - 1; i >= 0; i-- {
+				_ = r.relays[i].Close()
+			}
+		}()
+	}
+
+	if sc.Broker != nil {
+		d := sc.Broker.detectAfter()
+		// The half-interval margin puts the timeout strictly between D
+		// and D+1 missed beats, so detection lands exactly at tick
+		// FailAtTick + D regardless of rounding.
+		r.brk = broker.New(broker.Config{
+			Now:              r.clk.Now,
+			HeartbeatTimeout: time.Duration(d)*sc.TickInterval + sc.TickInterval/2,
 		})
-		// Seed the edge cache before any viewer joins: the latched
-		// request is served by tick 0's capture, so every ViaRelay join
-		// (including tick-0 ones) can be painted from the cache.
-		if err := r.relay.AttachUpstream(r.host, true); err != nil {
+		r.brk.Register(&remoting.BrokerRegister{HostID: 1, Capacity: 64}, "sim://host-a")
+		r.brk.Register(&remoting.BrokerRegister{HostID: 2, Capacity: 64}, "sim://host-b")
+		// The standby: identical policy on its own entropy lane, with a
+		// placeholder desktop the restore replaces wholesale.
+		var tileCfgB *ah.TileStoreConfig
+		if sc.TileStore {
+			tileCfgB = &ah.TileStoreConfig{}
+		}
+		r.hostB, err = ah.New(ah.Config{
+			Desktop:         display.NewDesktop(sc.DesktopW, sc.DesktopH),
+			Retransmissions: true,
+			RetransLog:      sc.RetransLog,
+			TileStore:       tileCfgB,
+			SendShards:      sc.SendShards,
+			Stats:           r.coll,
+			Now:             r.clk.Now,
+			Entropy:         entropyFrom(deriveSeed(sc.Seed, "host-b-entropy")),
+			RemoteTimeout:   sc.RemoteTimeout,
+			MaxBacklogDwell: sc.MaxBacklogDwell,
+			EvictionPolicy:  policy,
+			BacklogLimit:    sc.BacklogLimit,
+			Ladder:          sc.Ladder,
+			OnEvict:         func(snap ah.RemoteHealth) { r.pendingEvicts = append(r.pendingEvicts, snap) },
+		})
+		if err != nil {
 			return nil, err
 		}
-		defer r.relay.Close()
+		defer r.hostB.Close()
+		// Floor custody: the presenter (11) holds the HID floor and a
+		// participant (12) queues behind it. The post-migration release
+		// proves the broker carried BOTH the grant and the queue across
+		// the handoff.
+		r.floor = bfcp.NewFloor(1, func(uint16, *bfcp.Message) {})
+		if err := r.floor.Request(11); err != nil {
+			return nil, err
+		}
+		if err := r.floor.Request(12); err != nil {
+			return nil, err
+		}
 	}
 
 	specs := append([]ViewerSpec{{Name: "_ref", Kind: KindUDP, Profile: &Profile{Name: "pristine"}}}, sc.Viewers...)
@@ -526,6 +680,9 @@ func (r *runner) runTick(tick int, quiesce bool) {
 	r.ticksRun++
 
 	if !quiesce {
+		if r.brk != nil {
+			r.brokerStep(tick)
+		}
 		for _, v := range r.viewers {
 			inPart := false
 			for _, w := range v.prof.Partitions {
@@ -554,7 +711,13 @@ func (r *runner) runTick(tick int, quiesce bool) {
 				}
 			}
 		}
-		r.wl.Step()
+		// The workload pauses while the host is dead — a crashed process
+		// generates no activity — so the last checkpoint and the desktop
+		// state stay aligned and the restored session resumes exactly
+		// where the failed host stopped.
+		if !r.hostDead {
+			r.wl.Step()
+		}
 	} else {
 		// Sentinel: one guaranteed change per quiesce tick, so a viewer
 		// missing the tail of the main phase sees a sequence jump and
@@ -562,10 +725,15 @@ func (r *runner) runTick(tick int, quiesce bool) {
 		r.win.Fill(region.XYWH(0, 0, 2, 2), color.RGBA{R: byte(tick), G: 0x40, B: 0x80, A: 0xFF})
 	}
 
-	if err := r.host.Tick(); err != nil {
-		r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: %v", tick, err))
+	if !r.hostDead {
+		if err := r.host.Tick(); err != nil {
+			r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: %v", tick, err))
+		}
+		r.noteEvictions()
 	}
-	r.noteEvictions()
+	if r.brk != nil && !quiesce {
+		r.brokerBeat()
+	}
 
 	for _, v := range r.viewers {
 		if v.sconn != nil && v.joined && !v.evicted && !r.bypass {
@@ -606,14 +774,17 @@ func (r *runner) attach(v *viewerState) error {
 	case KindUDP:
 		v.conn = newSimPacketConn(r, v)
 		if v.spec.ViaRelay {
-			// The edge leg: the relay (not the origin) owns this viewer.
-			// A non-empty cache is served synchronously right here, on the
-			// runner goroutine — the late joiner's fast first paint.
-			rv, err := r.relay.AttachPacketConn(v.name, v.conn)
+			// The edge leg: the chain level (not the origin) owns this
+			// viewer. A non-empty cache is served synchronously right
+			// here, on the runner goroutine — the late joiner's fast
+			// first paint.
+			rl := r.relays[v.spec.RelayLevel]
+			rv, err := rl.AttachPacketConn(v.name, v.conn)
 			if err != nil {
 				return err
 			}
 			v.rv = rv
+			v.relayNode = rl
 			break
 		}
 		rem, err := r.host.AttachPacketConn(v.name, v.conn, ah.PacketOptions{TileStore: tiled})
@@ -621,6 +792,11 @@ func (r *runner) attach(v *viewerState) error {
 			return err
 		}
 		v.remote = rem
+		if r.migrated {
+			// A post-migration joiner: the ONE kind of viewer the standby
+			// may serve a full refresh (see oracleMigration).
+			r.freshJoinsB++
+		}
 	case KindTCP:
 		v.sconn = newStreamConn(v.spec.StreamBudgetPerTick > 0 || len(v.spec.StreamBudgetSchedule) > 0)
 		rem, err := r.host.AttachStream(v.name, v.sconn, ah.StreamOptions{TileStore: tiled})
@@ -840,9 +1016,15 @@ func (r *runner) processEvent(ev *event) {
 			r.journal('X', v.idx, []byte{1})
 			return
 		}
+		if r.hostDead && v.rv == nil {
+			// The host is dead: feedback sent into the failure window
+			// vanishes, exactly as a crashed process would drop it.
+			r.journal('X', v.idx, []byte{2})
+			return
+		}
 		r.journal('U', v.idx, ev.pkt)
 		if v.rv != nil {
-			r.relay.HandleFeedback(v.rv, ev.pkt)
+			v.relayNode.HandleFeedback(v.rv, ev.pkt)
 			return
 		}
 		r.host.HandleFeedback(v.remote, ev.pkt)
@@ -876,6 +1058,152 @@ func (r *runner) maybeCorrupt(v *viewerState, pkt []byte) []byte {
 		r.corrupted = true
 	}
 	return pkt
+}
+
+// brokerStep runs the control plane's view of one tick: the scheduled
+// host kill, the broker's liveness sweep while the host is dead (its
+// orders drive the migration), and the post-handoff moderator action
+// that probes floor custody.
+func (r *runner) brokerStep(tick int) {
+	if f := r.sc.Broker.FailAtTick; f > 0 && tick == f && !r.failed {
+		// Hard kill: no goodbye, no flush. Close fires no sends and
+		// never invokes OnEvict — the fleet and the broker just stop
+		// hearing from the host.
+		_ = r.host.Close()
+		r.failed = true
+		r.hostDead = true
+		var tb [4]byte
+		binary.BigEndian.PutUint32(tb[:], uint32(tick))
+		r.journal('F', 0xFE, tb[:])
+	}
+	if r.hostDead {
+		for _, order := range r.brk.Sweep() {
+			r.migrate(tick, order)
+		}
+		return
+	}
+	// Two ticks after the handoff the moderator (11) releases the
+	// floor: under restored custody the queued participant (12) is
+	// granted; under dropped custody the release errors — the migration
+	// oracle's observable for FaultDropFloorState.
+	if r.migrated && !r.released && tick >= r.migratedAt+2 {
+		r.released = true
+		r.floorReleaseErr = r.floor.Release(11)
+	}
+}
+
+// brokerBeat reports both hosts to the broker at the tick boundary.
+// The active host's beat carries the full checkpoint — session
+// snapshot plus floor custody; the standby's carries liveness only,
+// keeping it placeable while it holds no sessions. Everything here is
+// a pure read of host state, so broker custody leaves the journal of a
+// failure-free run byte-identical to the broker-free run.
+func (r *runner) brokerBeat() {
+	if !r.failed || r.migrated {
+		hostID := uint32(1)
+		if r.migrated {
+			hostID = 2
+		}
+		if err := r.beatActive(hostID); err != nil {
+			r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: heartbeat host %d: %v", r.tickNo, hostID, err))
+		}
+	}
+	if !r.migrated && r.hostB != nil {
+		m := broker.HeartbeatFor(2, r.hostB)
+		m.StreamID = 0 // no session yet: liveness only
+		if err := r.brk.Heartbeat(&m, nil, nil); err != nil {
+			r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: standby heartbeat: %v", r.tickNo, err))
+		}
+	}
+}
+
+// beatActive snapshots the live session and heartbeats it with floor
+// custody attached.
+func (r *runner) beatActive(hostID uint32) error {
+	snap, err := r.host.SnapshotSession()
+	if err != nil {
+		return err
+	}
+	blob, err := snap.Marshal()
+	if err != nil {
+		return err
+	}
+	m := broker.HeartbeatFor(hostID, r.host)
+	if m.StreamID == 0 {
+		// The simulated session runs on wire stream id 0 (a valid id the
+		// broker cannot use as a map key, since id 0 means "no session"
+		// in a heartbeat). Synthesize a broker-side key in the MESSAGE
+		// only: the checkpoint still carries the real stream id, so the
+		// restore is wire-exact.
+		m.StreamID = 1
+	}
+	return r.brk.Heartbeat(&m, blob, r.floor.State().Marshal())
+}
+
+// migrate applies one broker order: restore the checkpoint onto the
+// standby, restore (or, under fault, lose) floor custody, re-target
+// the workload at the rebuilt desktop, and resume every live viewer's
+// transport on the new host — all within one virtual instant, before
+// the tick's capture runs.
+func (r *runner) migrate(tick int, order *broker.MigrationOrder) {
+	snap, err := ah.UnmarshalSessionSnapshot(order.Checkpoint)
+	if err != nil {
+		r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: migrate: decode checkpoint: %v", tick, err))
+		return
+	}
+	if r.sc.Fault == FaultCorruptSnapshot && len(snap.Remotes) > 0 {
+		// The planted defect: one packetizer's next sequence number is
+		// bumped, so the restored chain jumps — the continuity oracle
+		// must notice, and the phantom gap also starves that viewer's
+		// repair loop (the skipped sequence was never sent, so its NACK
+		// can never be served).
+		snap.Remotes[0].Packetizer.Seq++
+	}
+	if err := r.hostB.RestoreSession(snap); err != nil {
+		r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: migrate: restore: %v", tick, err))
+		return
+	}
+	if order.FloorState != nil && r.sc.Fault != FaultDropFloorState {
+		fs, err := bfcp.UnmarshalFloorState(order.FloorState)
+		if err != nil {
+			r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: migrate: decode floor state: %v", tick, err))
+			return
+		}
+		r.floor = bfcp.NewFloorFromState(fs, func(uint16, *bfcp.Message) {})
+	} else {
+		// Custody lost: all the destination can do is start a fresh
+		// floor — no holder, no queue. The moderator's later release
+		// exposes the loss.
+		r.floor = bfcp.NewFloor(1, func(uint16, *bfcp.Message) {})
+	}
+	// RestoreSession rebuilt the desktop as a NEW object; re-resolve
+	// the shared window and hand both back to the workload so its
+	// generators continue on the restored surface.
+	r.desk = r.hostB.Desktop()
+	r.win = r.desk.Window(r.winID)
+	if rb, ok := r.wl.(workload.Rebinder); ok {
+		rb.Rebind(r.desk, r.win)
+	}
+	for _, v := range r.viewers {
+		if !v.joined || v.left || v.evicted || v.conn == nil {
+			continue
+		}
+		r.oldConns = append(r.oldConns, v.conn)
+		v.conn = newSimPacketConn(r, v)
+		rem, err := r.hostB.ResumePacketConn(v.name, v.conn, ah.PacketOptions{})
+		if err != nil {
+			r.tickErrs = append(r.tickErrs, fmt.Sprintf("tick %d: migrate: resume %s: %v", tick, v.name, err))
+			continue
+		}
+		v.remote = rem
+	}
+	r.host = r.hostB
+	r.hostDead = false
+	r.migrated = true
+	r.migratedAt = tick
+	var tb [4]byte
+	binary.BigEndian.PutUint32(tb[:], uint32(tick))
+	r.journal('M', 0xFE, tb[:])
 }
 
 // journal appends one record: [kind][viewerIdx][payload...] at the

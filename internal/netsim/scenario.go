@@ -129,10 +129,14 @@ type ViewerSpec struct {
 	TileDictCapacity int
 	// ViaRelay attaches this viewer to the scenario's relay tier
 	// (Scenario.Relay) instead of the origin host — the edge leg of a
-	// 2-level fan-out tree. UDP only; the origin never learns the
-	// viewer exists, and the relay-cascade oracle asserts its joins and
-	// PLIs were absorbed at the edge.
+	// fan-out tree. UDP only; the origin never learns the viewer
+	// exists, and the relay-cascade oracle asserts its joins and PLIs
+	// were absorbed at the edge.
 	ViaRelay bool
+	// RelayLevel selects which level of a nested relay chain a ViaRelay
+	// viewer hangs off (0 = the relay directly under the origin). Must
+	// be < RelaySpec.Levels.
+	RelayLevel int
 }
 
 // RelaySpec configures the scenario's edge relay tier: one relay.Relay
@@ -149,6 +153,46 @@ type RelaySpec struct {
 	// relay default 500ms; negative disables, serving every PLI from
 	// the cache).
 	MinRefreshInterval time.Duration
+	// Levels is the depth of the relay chain under the origin (default
+	// 1, the historical single-relay tier; max 4). Level k's relay
+	// subscribes to level k-1's, so a 2-level chain is origin → R0 → R1
+	// with viewers attachable at either level via ViewerSpec.RelayLevel.
+	// All levels share RefreshEvery/MinRefreshInterval.
+	Levels int
+}
+
+// BrokerSpec puts the run under session-broker custody: the runner
+// stands up a broker.Broker plus a registered standby host, heartbeats
+// the live host's checkpoint (session snapshot + BFCP floor state) to
+// the broker every tick, and — when FailAtTick fires — hard-kills the
+// live host mid-run. The broker's liveness sweep detects the silence,
+// emits a migration order, and the runner restores the checkpoint onto
+// the standby, resumes every viewer's transport there, and lets the
+// same workload/oracle machinery prove the handoff was seamless.
+type BrokerSpec struct {
+	// FailAtTick, when positive, hard-kills the live host at the start
+	// of that tick: no goodbye, no flush — conns close, heartbeats
+	// stop. Zero runs the whole scenario under broker custody without a
+	// failure (the survivor baseline: the journal must be byte-identical
+	// to the broker-free run).
+	FailAtTick int
+	// DetectAfterTicks is the broker's failure-detection horizon in
+	// missed heartbeats (default 2): the heartbeat timeout is set to
+	// (DetectAfterTicks + ½)·TickInterval, so the sweep declares the
+	// host dead — and migration fires — exactly DetectAfterTicks ticks
+	// after FailAtTick.
+	DetectAfterTicks int
+}
+
+// detectAfter returns the failure-detection horizon with the default
+// applied. A method rather than an applyDefaults mutation: BrokerSpec
+// is shared by pointer between scenario values, and defaulting in
+// place would leak across runs (cf. simLadder).
+func (b *BrokerSpec) detectAfter() int {
+	if b.DetectAfterTicks <= 0 {
+		return 2
+	}
+	return b.DetectAfterTicks
 }
 
 // BudgetPhase is one step of a TCP viewer's budget schedule.
@@ -179,6 +223,16 @@ const (
 	// teardown. The evictions oracle must notice the post-eviction
 	// service.
 	FaultEvictFeedback
+	// FaultCorruptSnapshot perturbs the migration checkpoint before the
+	// standby host restores it (one packetizer's next sequence number is
+	// bumped) — the rtp-continuity or convergence oracle must notice the
+	// discontinuity. Requires Scenario.Broker with FailAtTick > 0.
+	FaultCorruptSnapshot
+	// FaultDropFloorState discards the broker-held BFCP floor state at
+	// migration, restoring the session with a fresh floor — the
+	// migration oracle must notice the lost grant/queue custody.
+	// Requires Scenario.Broker with FailAtTick > 0.
+	FaultDropFloorState
 )
 
 // Expectations declares the intended end state, so policy actions
@@ -231,6 +285,11 @@ type Scenario struct {
 	// Relay, when non-nil, stands up the edge relay tier the ViaRelay
 	// viewers attach through (see RelaySpec).
 	Relay *RelaySpec
+	// Broker, when non-nil, runs the scenario under session-broker
+	// custody with a standby host and (if FailAtTick > 0) a live host
+	// migration mid-run (see BrokerSpec). Incompatible with Relay,
+	// TCP/multicast viewers and LeaveAtTick.
+	Broker *BrokerSpec
 
 	// Host policy knobs (zero values keep the ah defaults).
 	RemoteTimeout   time.Duration
@@ -341,7 +400,7 @@ func Matrix() []Scenario {
 	ge := &transport.BurstLoss{PEnterBad: 0.05, PExitBad: 0.25, LossGood: 0, LossBad: 0.9}
 	return []Scenario{
 		{
-			Name: "pristine", Seed: 101, Workload: "typing",
+			Name: "pristine", Seed: SeedMatrixBase, Workload: "typing",
 			Profile: Profile{Name: "pristine"},
 			Viewers: []ViewerSpec{
 				{Name: "u1", Kind: KindUDP},
@@ -350,7 +409,7 @@ func Matrix() []Scenario {
 			},
 		},
 		{
-			Name: "uniform-loss-5", Seed: 102, Workload: "typing",
+			Name: "uniform-loss-5", Seed: SeedMatrixBase + 1, Workload: "typing",
 			Profile: Profile{Name: "loss5", Down: transport.LinkConfig{LossRate: 0.05}},
 			Viewers: []ViewerSpec{
 				{Name: "u1", Kind: KindUDP},
@@ -358,7 +417,7 @@ func Matrix() []Scenario {
 			},
 		},
 		{
-			Name: "uniform-loss-20", Seed: 103, Workload: "scrolling",
+			Name: "uniform-loss-20", Seed: SeedMatrixBase + 2, Workload: "scrolling",
 			Profile: Profile{
 				Name: "loss20",
 				Down: transport.LinkConfig{LossRate: 0.20},
@@ -367,7 +426,7 @@ func Matrix() []Scenario {
 			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
 		},
 		{
-			Name: "burst-ge", Seed: 104, Workload: "typing",
+			Name: "burst-ge", Seed: SeedMatrixBase + 3, Workload: "typing",
 			Profile: Profile{Name: "burst-ge", Down: transport.LinkConfig{Burst: ge}},
 			Viewers: []ViewerSpec{
 				{Name: "u1", Kind: KindUDP},
@@ -375,7 +434,7 @@ func Matrix() []Scenario {
 			},
 		},
 		{
-			Name: "jitter-reorder", Seed: 105, Workload: "typing",
+			Name: "jitter-reorder", Seed: SeedMatrixBase + 4, Workload: "typing",
 			Profile: Profile{
 				Name: "jitter",
 				Down: transport.LinkConfig{Delay: 5 * time.Millisecond, Jitter: 60 * time.Millisecond, ReorderRate: 0.10},
@@ -383,7 +442,7 @@ func Matrix() []Scenario {
 			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
 		},
 		{
-			Name: "burst-jitter", Seed: 106, Workload: "scrolling",
+			Name: "burst-jitter", Seed: SeedMatrixBase + 5, Workload: "scrolling",
 			Profile: Profile{
 				Name: "burst-jitter",
 				Down: transport.LinkConfig{Burst: ge, Delay: 5 * time.Millisecond, Jitter: 40 * time.Millisecond},
@@ -391,7 +450,7 @@ func Matrix() []Scenario {
 			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
 		},
 		{
-			Name: "duplication", Seed: 107, Workload: "typing",
+			Name: "duplication", Seed: SeedMatrixBase + 6, Workload: "typing",
 			Profile: Profile{
 				Name: "dup",
 				Down: transport.LinkConfig{DuplicateRate: 0.20, LossRate: 0.05},
@@ -399,7 +458,7 @@ func Matrix() []Scenario {
 			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
 		},
 		{
-			Name: "rate-police", Seed: 108, Workload: "slideshow",
+			Name: "rate-police", Seed: SeedMatrixBase + 7, Workload: "slideshow",
 			Profile: Profile{
 				Name: "police",
 				Down: transport.LinkConfig{BytesPerSecond: 256 << 10, BurstBytes: 24 << 10},
@@ -407,7 +466,7 @@ func Matrix() []Scenario {
 			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
 		},
 		{
-			Name: "partition-heal", Seed: 109, Workload: "typing",
+			Name: "partition-heal", Seed: SeedMatrixBase + 8, Workload: "typing",
 			Profile: Profile{
 				Name:       "partition",
 				Partitions: []Window{{From: 10, To: 18}},
@@ -418,7 +477,7 @@ func Matrix() []Scenario {
 			},
 		},
 		{
-			Name: "late-join-loss", Seed: 110, Workload: "typing",
+			Name: "late-join-loss", Seed: SeedMatrixBase + 9, Workload: "typing",
 			Profile: Profile{Name: "loss10", Down: transport.LinkConfig{LossRate: 0.10}},
 			Viewers: []ViewerSpec{
 				{Name: "early", Kind: KindUDP},
@@ -426,7 +485,7 @@ func Matrix() []Scenario {
 			},
 		},
 		{
-			Name: "evict-mid-burst", Seed: 111, Workload: "typing",
+			Name: "evict-mid-burst", Seed: SeedMatrixBase + 10, Workload: "typing",
 			Profile: Profile{Name: "burst-ge", Down: transport.LinkConfig{Burst: ge}},
 			Viewers: []ViewerSpec{
 				{Name: "mute", Kind: KindUDP, SilenceAfterTick: 4},
@@ -436,7 +495,7 @@ func Matrix() []Scenario {
 			Expect:        Expectations{Evicted: []string{"mute"}},
 		},
 		{
-			Name: "tcp-backlog", Seed: 112, Workload: "slideshow",
+			Name: "tcp-backlog", Seed: SeedMatrixBase + 11, Workload: "slideshow",
 			Profile: Profile{Name: "pristine"},
 			Viewers: []ViewerSpec{
 				{Name: "slow", Kind: KindTCP, StreamBudgetPerTick: 800},
@@ -448,7 +507,7 @@ func Matrix() []Scenario {
 			Expect:          Expectations{Evicted: []string{"slow"}},
 		},
 		{
-			Name: "ladder-degrade-heal", Seed: 114, Workload: "slideshow",
+			Name: "ladder-degrade-heal", Seed: SeedMatrixBase + 13, Workload: "slideshow",
 			Profile: Profile{Name: "pristine"},
 			Ticks:   48,
 			Viewers: []ViewerSpec{
@@ -463,7 +522,7 @@ func Matrix() []Scenario {
 			Ladder:       simLadder(),
 		},
 		{
-			Name: "ladder-flap", Seed: 115, Workload: "slideshow",
+			Name: "ladder-flap", Seed: SeedMatrixBase + 14, Workload: "slideshow",
 			Profile: Profile{Name: "pristine"},
 			Ticks:   44,
 			Viewers: []ViewerSpec{
@@ -486,7 +545,7 @@ func Matrix() []Scenario {
 			// the 4-slide cycle every viewer (UDP and TCP) must be served
 			// TileReference substitutions, and the fleet must stay
 			// desync-free and byte-converged.
-			Name: "tile-revisit", Seed: 130, Workload: "slidecycle",
+			Name: "tile-revisit", Seed: SeedTileBase, Workload: "slidecycle",
 			TileStore: true,
 			Profile:   Profile{Name: "pristine"},
 			Viewers: []ViewerSpec{
@@ -500,7 +559,7 @@ func Matrix() []Scenario {
 			// did not negotiate the capability (plain pixels from the same
 			// prepared batch), and a tiled late joiner whose seen-set
 			// starts from its join refresh.
-			Name: "tile-mixed-fleet", Seed: 131, Workload: "pageflip",
+			Name: "tile-mixed-fleet", Seed: SeedTileBase + 1, Workload: "pageflip",
 			TileStore: true,
 			Profile:   Profile{Name: "pristine"},
 			Viewers: []ViewerSpec{
@@ -516,7 +575,7 @@ func Matrix() []Scenario {
 			// unresolvable — the viewer must degrade to a refresh (counted
 			// as a desync, never a wrong paint) and still end
 			// byte-identical.
-			Name: "tile-revisit-loss", Seed: 132, Workload: "slidecycle",
+			Name: "tile-revisit-loss", Seed: SeedTileBase + 2, Workload: "slidecycle",
 			TileStore: true,
 			Profile:   Profile{Name: "loss10", Down: transport.LinkConfig{LossRate: 0.10}},
 			Viewers:   []ViewerSpec{{Name: "u1", Kind: KindUDP}},
@@ -528,7 +587,7 @@ func Matrix() []Scenario {
 			// constantly references tiles the viewer already evicted.
 			// Every such reference must turn into a refresh, and both the
 			// squeezed viewer and the healthy observer must converge.
-			Name: "tile-evict-coherence", Seed: 133, Workload: "pageflip",
+			Name: "tile-evict-coherence", Seed: SeedTileBase + 3, Workload: "pageflip",
 			TileStore: true,
 			Profile:   Profile{Name: "pristine"},
 			Viewers: []ViewerSpec{
@@ -545,7 +604,7 @@ func Matrix() []Scenario {
 			// relay-cascade oracle asserts the origin served exactly the
 			// seed refresh plus the cadence refills, i.e. zero refresh
 			// encodes triggered by edge events.
-			Name: "relay-tree", Seed: 134, Workload: "typing",
+			Name: "relay-tree", Seed: SeedTileBase + 4, Workload: "typing",
 			Ticks:   36,
 			Profile: Profile{Name: "pristine"},
 			Relay:   &RelaySpec{RefreshEvery: 6, MinRefreshInterval: 1200 * time.Millisecond},
@@ -568,7 +627,36 @@ func Matrix() []Scenario {
 			Expect: Expectations{MinRelayAbsorbed: 8},
 		},
 		{
-			Name: "multicast-nack", Seed: 113, Workload: "typing",
+			// 3-level fan-out tree: origin → R0 → R1 → edge fleet, with a
+			// mid-tier viewer on R0 and the lossy edge on R1. Each level
+			// must absorb its own children's refresh work: the per-level
+			// cascade oracle asserts R1's batches equal R0's, R1's cache
+			// refills stay within R0's refills plus R1's own cadence
+			// requests, and the origin still serves only seed + cadence
+			// refreshes — edge churn two hops down never reaches it.
+			Name: "relay-tree-nested", Seed: SeedNestedRelayTree, Workload: "typing",
+			Ticks:   36,
+			Profile: Profile{Name: "pristine"},
+			Relay:   &RelaySpec{Levels: 2, RefreshEvery: 6, MinRefreshInterval: 1200 * time.Millisecond},
+			Viewers: []ViewerSpec{
+				{Name: "obs", Kind: KindUDP},
+				{Name: "m1", Kind: KindUDP, ViaRelay: true},
+				{Name: "e1", Kind: KindUDP, ViaRelay: true, RelayLevel: 1},
+				{Name: "e2", Kind: KindUDP, ViaRelay: true, RelayLevel: 1,
+					Profile: &Profile{Name: "loss10", Down: transport.LinkConfig{LossRate: 0.10}}},
+				{Name: "e3", Kind: KindUDP, ViaRelay: true, RelayLevel: 1,
+					Profile: &Profile{Name: "burst-ge", Down: transport.LinkConfig{Burst: ge}}},
+				{Name: "late", Kind: KindUDP, ViaRelay: true, RelayLevel: 1, JoinAtTick: 18,
+					Profile: &Profile{Name: "loss70", Down: transport.LinkConfig{LossRate: 0.70}}},
+			},
+			// Seed 135 deterministically yields 7 cache serves (each
+			// tier's latched serves plus the late joiner's replay paints);
+			// the floor leaves headroom for benign reseeding while still
+			// proving the edge tiers, not the origin, ate the churn.
+			Expect: Expectations{MinRelayAbsorbed: 6},
+		},
+		{
+			Name: "multicast-nack", Seed: SeedMatrixBase + 12, Workload: "typing",
 			Profile: Profile{Name: "pristine"},
 			Viewers: []ViewerSpec{
 				{Name: "mc-good", Kind: KindMulticast},
@@ -620,7 +708,7 @@ func Storms() []Scenario {
 		// 1000 UDP viewers all joining in ONE tick: the attach path,
 		// the PLI-refresh latch and the refresh fan-out all spike at
 		// once. Pristine links keep the run about scale, not repair.
-		Name: "flash-crowd", Seed: 120, Workload: "typing",
+		Name: "flash-crowd", Seed: SeedStormBase, Workload: "typing",
 		Ticks: 8, DesktopW: 128, DesktopH: 96, RetransLog: 2048,
 		Profile: Profile{Name: "pristine"},
 		Viewers: crowd(1000, 2, 0, "v"),
@@ -629,7 +717,7 @@ func Storms() []Scenario {
 	// each way — sustained for 30 ticks, with stable observers that
 	// must converge as if the churn never happened.
 	churn := Scenario{
-		Name: "churn-storm", Seed: 121, Workload: "typing",
+		Name: "churn-storm", Seed: SeedStormBase + 1, Workload: "typing",
 		Ticks: 34, DesktopW: 128, DesktopH: 96, RetransLog: 2048,
 		Profile: Profile{Name: "pristine"},
 		Viewers: []ViewerSpec{
@@ -651,7 +739,7 @@ func Storms() []Scenario {
 		// NACK storm: 1000 lossy UDP viewers each running the full
 		// NACK/PLI repair loop. Every repair lands on one remote's
 		// shard; the oracles demand all 1000 still converge.
-		Name: "nack-storm", Seed: 122, Workload: "typing",
+		Name: "nack-storm", Seed: SeedStormBase + 2, Workload: "typing",
 		Ticks: 6, DesktopW: 128, DesktopH: 96, RetransLog: 4096,
 		Profile: Profile{Name: "loss5", Down: transport.LinkConfig{LossRate: 0.05}},
 		Viewers: crowd(1000, 0, 0, "n"),
@@ -659,9 +747,166 @@ func Storms() []Scenario {
 	return []Scenario{flash, churn, nack}
 }
 
-// ByName returns the matrix or storm scenario with the given name.
+// MigrationFamily returns the partition-then-migrate broker suite:
+// every scenario runs under broker custody (heartbeats carrying the
+// live checkpoint every tick) and — except the survivor baseline — hard
+// kills the live host mid-run, so the broker's sweep re-homes the
+// session onto the standby and every viewer's transport is resumed
+// there. The suite varies what the handoff must survive: link
+// pathology in flight, tile-store seen-sets, viewer partitions spanning
+// the failure, late joiners on the restored host, evictions that fire
+// post-migration, sharded send paths, and tight detection horizons.
+func MigrationFamily() []Scenario {
+	ge := &transport.BurstLoss{PEnterBad: 0.05, PExitBad: 0.25, LossGood: 0, LossBad: 0.9}
+	return []Scenario{
+		{
+			// The clean handoff: three healthy viewers, host dies at tick
+			// 10, broker detects after 2 silent ticks, everyone resumes on
+			// the standby and converges.
+			Name: "migrate-pristine", Seed: SeedMigrationBase, Workload: "typing",
+			Ticks:   26,
+			Profile: Profile{Name: "pristine"},
+			Broker:  &BrokerSpec{FailAtTick: 10},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP},
+				{Name: "u3", Kind: KindUDP},
+			},
+		},
+		{
+			// Loss in flight across the failure: packets the dead host sent
+			// are still dropping when the standby takes over, and the
+			// restored retransmission log must serve the repairs.
+			Name: "migrate-loss5", Seed: SeedMigrationBase + 1, Workload: "typing",
+			Ticks:   28,
+			Profile: Profile{Name: "loss5", Down: transport.LinkConfig{LossRate: 0.05}},
+			Broker:  &BrokerSpec{FailAtTick: 12},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP},
+			},
+		},
+		{
+			// Tile-store custody: by the failure the viewers' dictionaries
+			// hold a full slide cycle; the restored host must keep issuing
+			// TileReferences against the carried-over seen-sets — the
+			// migration oracle separately demands zero full refreshes for
+			// resumed viewers.
+			Name: "migrate-tiles", Seed: SeedMigrationBase + 2, Workload: "slidecycle",
+			Ticks:     30,
+			TileStore: true,
+			Profile:   Profile{Name: "pristine"},
+			Broker:    &BrokerSpec{FailAtTick: 14},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP, JoinAtTick: 6},
+			},
+			Expect: Expectations{MinTileRefs: 4},
+		},
+		{
+			// A viewer joins AFTER the migration: the standby host serves
+			// its one allowed join refresh while the resumed viewers get
+			// none — the oracle distinguishes the two.
+			Name: "migrate-late-join", Seed: SeedMigrationBase + 3, Workload: "typing",
+			Ticks:   28,
+			Profile: Profile{Name: "pristine"},
+			Broker:  &BrokerSpec{FailAtTick: 10},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "late", Kind: KindUDP, JoinAtTick: 15},
+			},
+		},
+		{
+			// A viewer partition spanning the failure: u1 is black-holed
+			// ticks 8–16, so it misses the death AND the handoff entirely,
+			// then repairs everything from the standby's restored log.
+			Name: "migrate-viewer-partition", Seed: SeedMigrationBase + 4, Workload: "typing",
+			Ticks:   30,
+			Profile: Profile{Name: "pristine"},
+			Broker:  &BrokerSpec{FailAtTick: 10},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP,
+					Profile: &Profile{Name: "partition", Partitions: []Window{{From: 8, To: 16}}}},
+				{Name: "u2", Kind: KindUDP},
+			},
+		},
+		{
+			// Burst loss on a scrolling workload: the Gilbert–Elliott bad
+			// state eats whole fragment trains around the handoff.
+			Name: "migrate-burst", Seed: SeedMigrationBase + 5, Workload: "scrolling",
+			Ticks:   28,
+			Profile: Profile{Name: "burst-ge", Down: transport.LinkConfig{Burst: ge}},
+			Broker:  &BrokerSpec{FailAtTick: 10},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP},
+			},
+		},
+		{
+			// Eviction custody: mute goes silent at tick 8, the host dies
+			// at 10, and the RemoteTimeout sweep that evicts mute fires on
+			// the STANDBY — last-heard clocks must survive the checkpoint.
+			Name: "migrate-evict-on-b", Seed: SeedMigrationBase + 6, Workload: "typing",
+			Ticks:   30,
+			Profile: Profile{Name: "pristine"},
+			Broker:  &BrokerSpec{FailAtTick: 10},
+			Viewers: []ViewerSpec{
+				{Name: "mute", Kind: KindUDP, SilenceAfterTick: 8},
+				{Name: "obs", Kind: KindUDP},
+			},
+			RemoteTimeout: 400 * time.Millisecond,
+			Expect:        Expectations{Evicted: []string{"mute"}},
+		},
+		{
+			// Jitter and reordering in flight across the failure: packets
+			// from the dead host arrive interleaved with the standby's.
+			Name: "migrate-jitter", Seed: SeedMigrationBase + 7, Workload: "typing",
+			Ticks: 28,
+			Profile: Profile{
+				Name: "jitter",
+				Down: transport.LinkConfig{Delay: 5 * time.Millisecond, Jitter: 60 * time.Millisecond, ReorderRate: 0.10},
+			},
+			Broker:  &BrokerSpec{FailAtTick: 10},
+			Viewers: []ViewerSpec{{Name: "u1", Kind: KindUDP}},
+		},
+		{
+			// Early failure, slow detection: the session is barely warm
+			// when the host dies, and the broker waits 3 silent ticks.
+			Name: "migrate-early-d3", Seed: SeedMigrationBase + 8, Workload: "typing",
+			Ticks:   24,
+			Profile: Profile{Name: "loss5", Down: transport.LinkConfig{LossRate: 0.05}},
+			Broker:  &BrokerSpec{FailAtTick: 4, DetectAfterTicks: 3},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP},
+			},
+		},
+		{
+			// Sharded send path + tile store: the checkpoint carries the
+			// next-shard cursor, so the standby's 4-shard rotation
+			// continues exactly where the dead host's stopped.
+			Name: "migrate-shards", Seed: SeedMigrationEnd, Workload: "pageflip",
+			Ticks:      30,
+			TileStore:  true,
+			SendShards: 4,
+			Profile:    Profile{Name: "pristine"},
+			Broker:     &BrokerSpec{FailAtTick: 12},
+			Viewers: []ViewerSpec{
+				{Name: "u1", Kind: KindUDP},
+				{Name: "u2", Kind: KindUDP},
+				{Name: "u3", Kind: KindUDP},
+			},
+			Expect: Expectations{MinTileRefs: 4},
+		},
+	}
+}
+
+// ByName returns the matrix, storm or migration scenario with the
+// given name.
 func ByName(name string) (Scenario, error) {
-	for _, sc := range append(Matrix(), Storms()...) {
+	all := append(Matrix(), Storms()...)
+	all = append(all, MigrationFamily()...)
+	for _, sc := range all {
 		if sc.Name == name {
 			return sc, nil
 		}

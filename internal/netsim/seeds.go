@@ -1,0 +1,42 @@
+package netsim
+
+// Seed-range registry. Every deterministic suite in the repo draws its
+// scenario (or link) seeds from one of these bands; keeping the bases
+// in one place stops a new suite from silently colliding with an
+// existing one — two suites sharing a seed would produce correlated
+// link shaping and RTP identifiers, quietly weakening both.
+//
+// The soak test (soak_test.go) seeds raw transport links rather than
+// scenarios, but its links live in the same collision domain: a soak
+// link seed equal to a scenario seed would replay the same shaper
+// decisions in both suites.
+const (
+	// SeedMatrixBase..+14 — the curated link-pathology matrix
+	// (Matrix()): pristine, loss, burst, jitter, duplication, policing,
+	// partitions, eviction and ladder scenarios.
+	SeedMatrixBase = 101
+
+	// SeedStormBase..+2 — the flash-crowd/churn/NACK storm scenarios
+	// (Storms()).
+	SeedStormBase = 120
+
+	// SeedTileBase..+4 — the persistent-tile-store scenarios inside
+	// Matrix() (revisit, mixed fleet, loss, eviction skew, relay tree).
+	SeedTileBase = 130
+
+	// SeedNestedRelayTree — the 3-level origin → relay → relay → edge
+	// fan-out scenario (relay-tree-nested in Matrix()).
+	SeedNestedRelayTree = 135
+
+	// SeedMigrationBase..SeedMigrationEnd — the partition-then-migrate
+	// broker suite (MigrationFamily()).
+	SeedMigrationBase = 140
+	SeedMigrationEnd  = 149
+
+	// SoakSeedUDPDownBase/+i and SoakSeedUDPUpBase/+i seed the soak
+	// test's per-participant UDP link directions; SoakSeedMulticastBase/+i
+	// seeds its multicast subscriber links.
+	SoakSeedUDPDownBase   = 40
+	SoakSeedUDPUpBase     = 50
+	SoakSeedMulticastBase = 60
+)

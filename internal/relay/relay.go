@@ -281,12 +281,21 @@ func (r *Relay) ForwardBatch(streamID uint32, msgs []ah.PreparedPayload) error {
 	r.mu.Unlock()
 
 	batch := importPrepared(msgs)
-	err := r.fanout(batch, false)
+	err := r.fanout(batch, false, false)
 	for _, c := range children {
 		if serveChildren {
 			// Snapshot before batch: the cache predates this tick's
 			// deltas, so a child repainted from it must see them after.
-			if ferr := c.ForwardRefresh(streamID, exportMsgs(cache)); ferr != nil && err == nil {
+			// The replay is stale by up to one refill interval, so a
+			// child that can tell the difference is told: it must keep
+			// its viewers latched until an origin-fresh snapshot lands,
+			// or the deltas between the cache's capture and now are
+			// silently lost to them.
+			if cr, ok := c.(cacheReplayReceiver); ok {
+				if ferr := cr.ForwardCachedRefresh(streamID, exportMsgs(cache)); ferr != nil && err == nil {
+					err = ferr
+				}
+			} else if ferr := c.ForwardRefresh(streamID, exportMsgs(cache)); ferr != nil && err == nil {
 				err = ferr
 			}
 		}
@@ -303,8 +312,37 @@ func (r *Relay) ForwardBatch(streamID uint32, msgs []ah.PreparedPayload) error {
 // ForwardRefresh implements ah.Forwarder: a full-refresh snapshot from
 // upstream. The relay refills its cache, serves every viewer whose
 // refresh is latched (they waited here instead of at the origin) and
-// re-publishes the snapshot to its children.
+// re-publishes the snapshot to its children. The snapshot is
+// origin-fresh — encoded this tick and cascaded down synchronously —
+// so serving it settles a viewer's latch.
 func (r *Relay) ForwardRefresh(streamID uint32, msgs []ah.PreparedPayload) error {
+	return r.refill(streamID, msgs, true)
+}
+
+// cacheReplayReceiver is the optional chaining surface for handing a
+// child forwarder a cache replay — a snapshot that is stale by up to
+// one refill interval — instead of an origin-fresh refresh. Relays
+// implement it; forwarders that don't are served via ForwardRefresh
+// and must tolerate the staleness themselves.
+type cacheReplayReceiver interface {
+	ForwardCachedRefresh(streamID uint32, msgs []ah.PreparedPayload) error
+}
+
+// ForwardCachedRefresh accepts a parent's cache replay. The relay
+// refills its cache and repaints latched viewers — the fast paint —
+// but the latches stay armed: the replay predates the deltas its
+// viewers saw meanwhile, so only the next origin-fresh snapshot (which
+// cascades on the parent's refill cadence) settles them. Without this
+// distinction a nested relay would clear latches with stale pixels and
+// strand late joiners short of convergence forever.
+func (r *Relay) ForwardCachedRefresh(streamID uint32, msgs []ah.PreparedPayload) error {
+	return r.refill(streamID, msgs, false)
+}
+
+// refill is the shared snapshot intake: cache refill, latched-viewer
+// fan-out (fresh serves clear the latch, replays keep it armed) and
+// re-publication to children with the freshness preserved.
+func (r *Relay) refill(streamID uint32, msgs []ah.PreparedPayload, fresh bool) error {
 	if streamID != r.cfg.StreamID {
 		return nil
 	}
@@ -320,9 +358,15 @@ func (r *Relay) ForwardRefresh(streamID uint32, msgs []ah.PreparedPayload) error
 	children := r.childSnapshotLocked()
 	r.mu.Unlock()
 
-	err := r.fanout(snapshot, true)
+	err := r.fanout(snapshot, true, fresh)
 	for _, c := range children {
-		if ferr := c.ForwardRefresh(streamID, msgs); ferr != nil && err == nil {
+		var ferr error
+		if cr, ok := c.(cacheReplayReceiver); ok && !fresh {
+			ferr = cr.ForwardCachedRefresh(streamID, msgs)
+		} else {
+			ferr = c.ForwardRefresh(streamID, msgs)
+		}
+		if ferr != nil && err == nil {
 			err = ferr
 		}
 	}
@@ -340,9 +384,11 @@ func (r *Relay) childSnapshotLocked() []ah.Forwarder {
 }
 
 // fanout stamps and ships one batch to every viewer, shard by shard.
-// refresh batches go only to viewers whose refresh is latched (and
-// clear the latch); ordinary batches go to everyone.
-func (r *Relay) fanout(batch []msg, refresh bool) error {
+// refresh batches go only to viewers whose refresh is latched;
+// ordinary batches go to everyone. settle says whether a refresh serve
+// clears the latch: origin-fresh snapshots do, cache replays repaint
+// but leave the viewer latched for the next fresh one.
+func (r *Relay) fanout(batch []msg, refresh, settle bool) error {
 	var firstErr error
 	for _, s := range r.shards {
 		s.mu.Lock()
@@ -351,7 +397,9 @@ func (r *Relay) fanout(batch []msg, refresh bool) error {
 				if !v.wantRefresh {
 					continue
 				}
-				v.wantRefresh = false
+				if settle {
+					v.wantRefresh = false
+				}
 				r.countCacheServe()
 			}
 			if err := v.sendLocked(batch); err != nil && firstErr == nil {

@@ -1,0 +1,200 @@
+package remoting
+
+import (
+	"fmt"
+
+	"appshare/internal/core"
+	"appshare/internal/wire"
+)
+
+// Session-broker control messages (extension types 19–21, outside
+// Table 1; see core.ExtensionRegistry and DESIGN.md "Session broker &
+// migration"). A host announces itself to the broker with a
+// BrokerRegister, then reports its load once per capture tick with a
+// BrokerHeartbeat — remote count, send backlog and quality-tier
+// distribution — which the broker's least-loaded placement reads. When
+// the broker drains or loses a host it orders the session re-homed
+// with a BrokerMigrate naming the source and destination hosts and the
+// stream epoch the restored forwarder descriptors must carry. All
+// three travel only on host↔broker control links; participants never
+// see them.
+
+// BrokerRegister flag bits.
+const (
+	// RegisterRelay marks the registrant as a relay tier node rather
+	// than an origin host: the broker may place viewers on it, but never
+	// a session's capture pipeline.
+	RegisterRelay uint16 = 1 << 0
+	// RegisterDraining announces an orderly shutdown: the broker stops
+	// placing new sessions on the registrant and begins migrating the
+	// ones it holds.
+	RegisterDraining uint16 = 1 << 1
+)
+
+// BrokerRegister (type 19, host → broker) announces a host to the
+// control plane. Capacity is the host's advertised remote ceiling
+// (0 = unlimited). The common header's Parameter and WindowID are zero
+// on send and ignored on receive.
+type BrokerRegister struct {
+	HostID   uint32
+	Capacity uint16
+	Flags    uint16
+}
+
+// BrokerRegisterSize is the message-specific body: HostID, Capacity,
+// Flags.
+const BrokerRegisterSize = 8
+
+// Type implements Message.
+func (m *BrokerRegister) Type() core.MessageType { return core.TypeBrokerRegister }
+
+// Marshal encodes the message as a complete RTP payload. Broker
+// control never fragments.
+func (m *BrokerRegister) Marshal() ([]byte, error) {
+	w := wire.NewWriter(core.HeaderSize + BrokerRegisterSize)
+	core.Header{Type: core.TypeBrokerRegister}.AppendTo(w)
+	w.Uint32(m.HostID)
+	w.Uint16(m.Capacity)
+	w.Uint16(m.Flags)
+	return w.Bytes(), nil
+}
+
+func decodeBrokerRegister(body []byte) (*BrokerRegister, error) {
+	if len(body) != BrokerRegisterSize {
+		return nil, fmt.Errorf("%w: broker register body %d, want %d", ErrTruncated, len(body), BrokerRegisterSize)
+	}
+	r := wire.NewReader(body)
+	m := &BrokerRegister{}
+	m.HostID = r.Uint32()
+	m.Capacity = r.Uint16()
+	m.Flags = r.Uint16()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BrokerHeartbeat (type 20, host → broker) reports one host's load:
+// the stream it serves, its restart epoch, how many remotes it fans
+// out to, the deepest per-remote send backlog in bytes, and how those
+// remotes distribute across the four quality-ladder tiers (index 0 =
+// TierFull … 3 = TierKeyframeOnly, each saturating at 255). A missed
+// heartbeat is the broker's failure detector.
+type BrokerHeartbeat struct {
+	HostID   uint32
+	StreamID uint32
+	Epoch    uint32
+	Remotes  uint16
+	Backlog  uint32
+	Tiers    [4]uint8
+}
+
+// BrokerHeartbeatSize is the message-specific body: HostID, StreamID,
+// Epoch, Remotes, Backlog, Tiers.
+const BrokerHeartbeatSize = 22
+
+// Type implements Message.
+func (m *BrokerHeartbeat) Type() core.MessageType { return core.TypeBrokerHeartbeat }
+
+// Marshal encodes the message as a complete RTP payload.
+func (m *BrokerHeartbeat) Marshal() ([]byte, error) {
+	w := wire.NewWriter(core.HeaderSize + BrokerHeartbeatSize)
+	core.Header{Type: core.TypeBrokerHeartbeat}.AppendTo(w)
+	w.Uint32(m.HostID)
+	w.Uint32(m.StreamID)
+	w.Uint32(m.Epoch)
+	w.Uint16(m.Remotes)
+	w.Uint32(m.Backlog)
+	for _, t := range m.Tiers {
+		w.Uint8(t)
+	}
+	return w.Bytes(), nil
+}
+
+func decodeBrokerHeartbeat(body []byte) (*BrokerHeartbeat, error) {
+	if len(body) != BrokerHeartbeatSize {
+		return nil, fmt.Errorf("%w: broker heartbeat body %d, want %d", ErrTruncated, len(body), BrokerHeartbeatSize)
+	}
+	r := wire.NewReader(body)
+	m := &BrokerHeartbeat{}
+	m.HostID = r.Uint32()
+	m.StreamID = r.Uint32()
+	m.Epoch = r.Uint32()
+	m.Remotes = r.Uint16()
+	m.Backlog = r.Uint32()
+	for i := range m.Tiers {
+		m.Tiers[i] = r.Uint8()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BrokerMigrate flag bits.
+const (
+	// MigrateWithFloor marks a migration whose session snapshot carries
+	// broker-held BFCP floor state for the destination to restore.
+	MigrateWithFloor uint16 = 1 << 0
+)
+
+// BrokerMigrate (type 21, broker → hosts) orders a session re-homed:
+// the stream moves from FromHost to ToHost, and the destination's
+// restored forwarder descriptors must announce Epoch (the
+// StreamDescriptor restart-epoch of the ORIGINAL stream, so downstream
+// relays keep their caches across the handoff).
+type BrokerMigrate struct {
+	StreamID uint32
+	FromHost uint32
+	ToHost   uint32
+	Epoch    uint32
+	Flags    uint16
+	Reserved uint16
+}
+
+// BrokerMigrateSize is the message-specific body: StreamID, FromHost,
+// ToHost, Epoch, Flags, Reserved.
+const BrokerMigrateSize = 20
+
+// Type implements Message.
+func (m *BrokerMigrate) Type() core.MessageType { return core.TypeBrokerMigrate }
+
+// Marshal encodes the message as a complete RTP payload.
+func (m *BrokerMigrate) Marshal() ([]byte, error) {
+	if m.Reserved != 0 {
+		return nil, fmt.Errorf("remoting: broker migrate reserved field %d must be zero", m.Reserved)
+	}
+	w := wire.NewWriter(core.HeaderSize + BrokerMigrateSize)
+	core.Header{Type: core.TypeBrokerMigrate}.AppendTo(w)
+	w.Uint32(m.StreamID)
+	w.Uint32(m.FromHost)
+	w.Uint32(m.ToHost)
+	w.Uint32(m.Epoch)
+	w.Uint16(m.Flags)
+	w.Uint16(m.Reserved)
+	return w.Bytes(), nil
+}
+
+func decodeBrokerMigrate(body []byte) (*BrokerMigrate, error) {
+	if len(body) != BrokerMigrateSize {
+		return nil, fmt.Errorf("%w: broker migrate body %d, want %d", ErrTruncated, len(body), BrokerMigrateSize)
+	}
+	r := wire.NewReader(body)
+	m := &BrokerMigrate{}
+	m.StreamID = r.Uint32()
+	m.FromHost = r.Uint32()
+	m.ToHost = r.Uint32()
+	m.Epoch = r.Uint32()
+	m.Flags = r.Uint16()
+	m.Reserved = r.Uint16()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if m.Reserved != 0 {
+		return nil, fmt.Errorf("remoting: broker migrate reserved field %d must be zero", m.Reserved)
+	}
+	if m.FromHost == m.ToHost {
+		return nil, fmt.Errorf("remoting: broker migrate from and to host are both %d", m.FromHost)
+	}
+	return m, nil
+}

@@ -243,6 +243,12 @@ func Decode(msg *core.Message) (Message, error) {
 		return decodeRelaySubscribe(msg.Body)
 	case core.TypeStreamDescriptor:
 		return decodeStreamDescriptor(msg.Body)
+	case core.TypeBrokerRegister:
+		return decodeBrokerRegister(msg.Body)
+	case core.TypeBrokerHeartbeat:
+		return decodeBrokerHeartbeat(msg.Body)
+	case core.TypeBrokerMigrate:
+		return decodeBrokerMigrate(msg.Body)
 	}
 	if !msg.Header.Type.IsRemoting() {
 		return nil, fmt.Errorf("%w: %v", ErrNotRemoting, msg.Header.Type)

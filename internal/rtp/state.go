@@ -1,0 +1,47 @@
+package rtp
+
+import "time"
+
+// PacketizerState is the serializable position of a Packetizer inside
+// its RTP sequence/timestamp spaces. A host snapshot carries one per
+// remote so a restored host continues the exact packet stream the
+// viewer was receiving — same SSRC, next sequence number, and timestamp
+// origin — with no discontinuity for the RTP-continuity checks on the
+// receiving side.
+type PacketizerState struct {
+	SSRC uint32
+	PT   uint8
+	// Seq is the sequence number the NEXT packet will carry.
+	Seq uint16
+	// ClockOrigin is the timestamp-origin instant as Unix nanoseconds;
+	// ClockOffset is the random RTP-timestamp offset at that origin.
+	ClockOrigin int64
+	ClockOffset uint32
+}
+
+// State captures the packetizer's current position.
+func (p *Packetizer) State() PacketizerState {
+	return PacketizerState{
+		SSRC:        p.ssrc,
+		PT:          p.pt,
+		Seq:         p.seq,
+		ClockOrigin: p.clock.origin.UnixNano(),
+		ClockOffset: p.clock.offset,
+	}
+}
+
+// NewPacketizerFromState reconstructs a Packetizer that continues
+// exactly where State() left off. No entropy is drawn: the restored
+// stream is byte-identical to what the original packetizer would have
+// produced.
+func NewPacketizerFromState(s PacketizerState) *Packetizer {
+	return &Packetizer{
+		ssrc: s.SSRC,
+		pt:   s.PT,
+		seq:  s.Seq,
+		clock: &Clock{
+			origin: time.Unix(0, s.ClockOrigin),
+			offset: s.ClockOffset,
+		},
+	}
+}

@@ -156,10 +156,10 @@ type Session struct {
 	TileDictCapacity int
 	// Relay reports the "relay=yes" capability: the peer may subscribe
 	// to forwarded prepared batches via the RelaySubscribe handshake.
-	Relay bool
-	HIPPT uint8
-	HIPPort          int
-	BFCPPort         int // 0 when absent
+	Relay    bool
+	HIPPT    uint8
+	HIPPort  int
+	BFCPPort int // 0 when absent
 }
 
 // ParseOffer extracts the sharing session parameters from a description,

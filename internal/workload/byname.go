@@ -34,6 +34,17 @@ func (m *Mix) Step() {
 	}
 }
 
+// Rebind implements Rebinder, forwarding to every part that can
+// re-target. A part that cannot keeps driving its old window — the
+// composite stays valid, that part just goes quiet after a migration.
+func (m *Mix) Rebind(desk *display.Desktop, win *display.Window) {
+	for _, p := range m.Parts {
+		if rb, ok := p.(Rebinder); ok {
+			rb.Rebind(desk, win)
+		}
+	}
+}
+
 // factories maps the scenario-descriptor spellings to constructors, so a
 // one-line scenario like "typing over burst-ge" can name its workload as
 // a string. win is the primary shared window; drag additionally needs

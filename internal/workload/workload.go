@@ -35,6 +35,17 @@ type Workload interface {
 	Step()
 }
 
+// Rebinder is implemented by workloads that can re-target a restored
+// desktop mid-run. A live host migration replaces the desktop object
+// (ah.RestoreSession rebuilds it from the checkpoint), so the driver
+// re-resolves the shared window and hands both back to the workload;
+// generator state (RNGs, cursors, pre-rendered pages) carries over, and
+// the next Step continues the activity stream exactly where the failed
+// host left it.
+type Rebinder interface {
+	Rebind(desk *display.Desktop, win *display.Window)
+}
+
 // Typing simulates a user typing prose into an editor window at a fixed
 // number of characters per step, wrapping lines and scrolling when the
 // window fills.
@@ -64,6 +75,10 @@ func NewTyping(win *display.Window, charsPerStep int, seed int64) *Typing {
 
 // Name implements Workload.
 func (t *Typing) Name() string { return "typing" }
+
+// Rebind implements Rebinder: the cursor position survives, so typing
+// resumes mid-line on the restored window.
+func (t *Typing) Rebind(_ *display.Desktop, win *display.Window) { t.win = win }
 
 // words is a small corpus the generator samples; real glyph shapes give
 // codecs realistic text statistics.
@@ -130,6 +145,9 @@ func NewScrolling(win *display.Window, linesPerStep int, seed int64) *Scrolling 
 // Name implements Workload.
 func (s *Scrolling) Name() string { return "scrolling" }
 
+// Rebind implements Rebinder.
+func (s *Scrolling) Rebind(_ *display.Desktop, win *display.Window) { s.win = win }
+
 func (s *Scrolling) drawLine(y int, fg color.RGBA) {
 	x := 4
 	for x < s.win.Bounds().Width-40 {
@@ -176,6 +194,9 @@ func NewSlideshow(win *display.Window, interval int, seed int64) *Slideshow {
 // Name implements Workload.
 func (s *Slideshow) Name() string { return "slideshow" }
 
+// Rebind implements Rebinder.
+func (s *Slideshow) Rebind(_ *display.Desktop, win *display.Window) { s.win = win }
+
 // Step implements Workload.
 func (s *Slideshow) Step() {
 	if s.step%s.Interval == 0 {
@@ -205,6 +226,9 @@ func NewVideoRegion(win *display.Window, r region.Rect, seed int64) *VideoRegion
 // Name implements Workload.
 func (v *VideoRegion) Name() string { return "video" }
 
+// Rebind implements Rebinder.
+func (v *VideoRegion) Rebind(_ *display.Desktop, win *display.Window) { v.win = win }
+
 // Step implements Workload.
 func (v *VideoRegion) Step() {
 	v.win.Blit(Photo(v.Rect.Width, v.Rect.Height, v.rng.Int63()), v.Rect.Left, v.Rect.Top)
@@ -227,6 +251,10 @@ func NewWindowDrag(desk *display.Desktop, id uint16, seed int64) *WindowDrag {
 
 // Name implements Workload.
 func (d *WindowDrag) Name() string { return "windowdrag" }
+
+// Rebind implements Rebinder: drags address windows by id, so only the
+// desktop handle needs replacing.
+func (d *WindowDrag) Rebind(desk *display.Desktop, _ *display.Window) { d.desk = desk }
 
 // Step implements Workload.
 func (d *WindowDrag) Step() {
@@ -356,6 +384,11 @@ func ditheredFigure(w, h int, rng *rand.Rand) *image.RGBA {
 // Name implements Workload.
 func (r *Revisit) Name() string { return r.name }
 
+// Rebind implements Rebinder: the pre-rendered pages and cycle position
+// survive, so the revisit pattern (and the tile-reference traffic it
+// generates) continues seamlessly on the restored window.
+func (r *Revisit) Rebind(_ *display.Desktop, win *display.Window) { r.win = win }
+
 // Step implements Workload.
 func (r *Revisit) Step() {
 	r.step++
@@ -377,6 +410,9 @@ func (Idle) Name() string { return "idle" }
 
 // Step implements Workload.
 func (Idle) Step() {}
+
+// Rebind implements Rebinder.
+func (Idle) Rebind(*display.Desktop, *display.Window) {}
 
 // Photo synthesizes a pseudo-photographic image: layered smooth
 // gradients plus per-pixel noise, matching the statistics that favor

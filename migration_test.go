@@ -1,0 +1,291 @@
+package appshare_test
+
+import (
+	"bytes"
+	"fmt"
+	"image/color"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"appshare"
+)
+
+// recConn is a recording datagram endpoint: every packet the host
+// sends is appended verbatim. Recv blocks until Close (the viewer
+// never speaks), so the feedback pump stays parked.
+type recConn struct {
+	mu     sync.Mutex
+	pkts   [][]byte
+	closed chan struct{}
+}
+
+func newRecConn() *recConn { return &recConn{closed: make(chan struct{})} }
+
+func (c *recConn) Send(pkt []byte) error {
+	c.mu.Lock()
+	c.pkts = append(c.pkts, append([]byte(nil), pkt...))
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *recConn) SendBatch(pkts [][]byte) (int, error) {
+	for _, pkt := range pkts {
+		if err := c.Send(pkt); err != nil {
+			return 0, err
+		}
+	}
+	return len(pkts), nil
+}
+
+func (c *recConn) Recv() ([]byte, error) {
+	<-c.closed
+	return nil, io.EOF
+}
+
+func (c *recConn) Close() error {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	return nil
+}
+
+// taken returns the recorded packets and resets the log.
+func (c *recConn) taken() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.pkts
+	c.pkts = nil
+	return out
+}
+
+// simClock is a manually advanced clock shared by both hosts.
+type simClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newSimClock() *simClock { return &simClock{t: time.Unix(1_700_000_000, 0).UTC()} }
+
+func (c *simClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *simClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// countingEntropy is a deterministic RTP entropy source.
+func countingEntropy() func() uint32 {
+	var n uint32 = 0x1000
+	var mu sync.Mutex
+	return func() uint32 {
+		mu.Lock()
+		defer mu.Unlock()
+		n += 0x9E3779B9
+		return n
+	}
+}
+
+// mutateDesk applies the tick-i scripted desktop activity. It is
+// applied identically to the original and the restored desktop, so any
+// divergence in their output is the restore's fault.
+func mutateDesk(desk *appshare.Desktop, i int) {
+	win := desk.Window(1)
+	win.Fill(appshare.XYWH(8*(i%6), 10, 48, 32), color.RGBA{uint8(40 * i), 0x20, uint8(255 - 16*i), 0xFF})
+	win.DrawText(10, 100+4*(i%3), fmt.Sprintf("tick %d", i), color.RGBA{0xFF, 0xFF, 0xFF, 0xFF})
+	if i%3 == 1 {
+		win.Scroll(appshare.XYWH(0, 60, 180, 60), -8, color.RGBA{0x10, 0x10, 0x10, 0xFF})
+	}
+	if i%4 == 2 {
+		_ = desk.MoveWindow(1, 20+2*i, 30)
+	}
+	desk.MoveCursor(15*i%280, 9*i%200)
+}
+
+// mkMigrationHost builds a session host over a fresh 320x240 desktop
+// with one shared window.
+func mkMigrationHost(t *testing.T, clk *simClock, shards int, entropy func() uint32) *appshare.Host {
+	t.Helper()
+	desk := appshare.NewDesktop(320, 240)
+	desk.CreateWindow(1, appshare.XYWH(20, 30, 200, 150))
+	desk.ShareAll()
+	host, err := appshare.NewHost(appshare.HostConfig{
+		Desktop:         desk,
+		Now:             clk.Now,
+		Entropy:         entropy,
+		SendShards:      shards,
+		StreamID:        7,
+		Retransmissions: true,
+		TileStore:       &appshare.TileStoreConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return host
+}
+
+// TestSnapshotRoundTripDeterminism proves live migration is invisible
+// on the wire: after N ticks, RestoreSession(SnapshotSession(host))
+// onto a fresh host yields byte-identical per-viewer output for the
+// NEXT K ticks versus the original host continuing undisturbed. The
+// restored host's entropy source panics, so the test also proves the
+// restore path draws no randomness. Runs at 1 and 4 send shards (see
+// -cpu in ci.sh for the race surface).
+func TestSnapshotRoundTripDeterminism(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			clk := newSimClock()
+			hostA := mkMigrationHost(t, clk, shards, countingEntropy())
+			defer hostA.Close()
+
+			connsA := map[string]*recConn{}
+			for _, v := range []struct {
+				id   string
+				opts appshare.PacketOptions
+			}{
+				{"v1", appshare.PacketOptions{UserID: 11}},
+				{"v2", appshare.PacketOptions{UserID: 12, TileStore: true}},
+				{"v3", appshare.PacketOptions{UserID: 13, TileStore: true}},
+			} {
+				conn := newRecConn()
+				if _, err := hostA.AttachPacketConn(v.id, conn, v.opts); err != nil {
+					t.Fatal(err)
+				}
+				connsA[v.id] = conn
+			}
+
+			for i := 0; i < 6; i++ {
+				mutateDesk(hostA.Desktop(), i)
+				clk.advance(33 * time.Millisecond)
+				if err := hostA.Tick(); err != nil {
+					t.Fatalf("pre-snapshot tick %d: %v", i, err)
+				}
+			}
+
+			snap, err := hostA.SnapshotSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := snap.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := appshare.UnmarshalSessionSnapshot(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The encoding is deterministic: re-marshaling the decoded
+			// snapshot reproduces the bytes.
+			blob2, err := decoded.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Fatal("snapshot encoding is not canonical: marshal∘unmarshal∘marshal differs")
+			}
+
+			hostB := mkMigrationHost(t, clk, shards, func() uint32 {
+				panic("restored host drew entropy")
+			})
+			defer hostB.Close()
+			if err := hostB.RestoreSession(decoded); err != nil {
+				t.Fatal(err)
+			}
+			connsB := map[string]*recConn{}
+			for _, id := range []string{"v1", "v2", "v3"} {
+				conn := newRecConn()
+				if _, err := hostB.ResumePacketConn(id, conn, appshare.PacketOptions{}); err != nil {
+					t.Fatal(err)
+				}
+				connsB[id] = conn
+			}
+
+			// Discard the pre-snapshot traffic; compare only the future.
+			for _, conn := range connsA {
+				conn.taken()
+			}
+
+			for i := 6; i < 12; i++ {
+				mutateDesk(hostA.Desktop(), i)
+				mutateDesk(hostB.Desktop(), i)
+				clk.advance(33 * time.Millisecond)
+				if err := hostA.Tick(); err != nil {
+					t.Fatalf("original tick %d: %v", i, err)
+				}
+				if err := hostB.Tick(); err != nil {
+					t.Fatalf("restored tick %d: %v", i, err)
+				}
+			}
+
+			for _, id := range []string{"v1", "v2", "v3"} {
+				a, b := connsA[id].taken(), connsB[id].taken()
+				if len(a) == 0 {
+					t.Fatalf("%s: original host sent nothing post-snapshot", id)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("%s: packet count diverged: original %d, restored %d", id, len(a), len(b))
+				}
+				for k := range a {
+					if !bytes.Equal(a[k], b[k]) {
+						t.Fatalf("%s: packet %d diverged after migration\noriginal: %x\nrestored: %x",
+							id, k, a[k], b[k])
+					}
+				}
+			}
+			// A resumed session owes its viewers no refresh.
+			if n := hostB.ServedRefreshes(); n != 0 {
+				t.Fatalf("restored host served %d full refreshes; migration must cost zero", n)
+			}
+		})
+	}
+}
+
+// TestRestoreSessionPreconditions pins the restore API's failure modes.
+func TestRestoreSessionPreconditions(t *testing.T) {
+	clk := newSimClock()
+	hostA := mkMigrationHost(t, clk, 1, countingEntropy())
+	defer hostA.Close()
+	conn := newRecConn()
+	if _, err := hostA.AttachPacketConn("v1", conn, appshare.PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hostA.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := hostA.SnapshotSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A host with attached remotes refuses to restore over them.
+	if err := hostA.RestoreSession(snap); err == nil {
+		t.Fatal("restore over a live session succeeded")
+	}
+
+	hostB := mkMigrationHost(t, clk, 1, countingEntropy())
+	defer hostB.Close()
+	if _, err := hostB.ResumePacketConn("v1", newRecConn(), appshare.PacketOptions{}); err == nil {
+		t.Fatal("resume before restore succeeded")
+	}
+	if err := hostB.RestoreSession(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hostB.ResumePacketConn("nope", newRecConn(), appshare.PacketOptions{}); err == nil {
+		t.Fatal("resume of unknown remote succeeded")
+	}
+	if _, err := hostB.ResumePacketConn("v1", newRecConn(), appshare.PacketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Double resume: the remote already has a live transport.
+	if _, err := hostB.ResumePacketConn("v1", newRecConn(), appshare.PacketOptions{}); err == nil {
+		t.Fatal("double resume succeeded")
+	}
+}

@@ -38,7 +38,7 @@ func TestScenarioMatrix(t *testing.T) {
 // the property that makes a matrix failure reproducible from nothing but
 // the scenario name and seed.
 func TestScenarioDeterminism(t *testing.T) {
-	for _, name := range []string{"burst-jitter", "tcp-backlog", "multicast-nack", "evict-mid-burst", "ladder-degrade-heal", "relay-tree"} {
+	for _, name := range []string{"burst-jitter", "tcp-backlog", "multicast-nack", "evict-mid-burst", "ladder-degrade-heal", "relay-tree", "relay-tree-nested"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			sc, err := netsim.ByName(name)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"appshare"
+	"appshare/internal/netsim"
 	"appshare/internal/workload"
 )
 
@@ -81,8 +82,8 @@ func TestSoakMixedAudience(t *testing.T) {
 			loss = 0.05
 		}
 		hostSide, partSide := appshare.SimulatedLink(
-			appshare.LinkConfig{LossRate: loss, Seed: int64(40 + i)},
-			appshare.LinkConfig{Seed: int64(50 + i)})
+			appshare.LinkConfig{LossRate: loss, Seed: int64(netsim.SoakSeedUDPDownBase + i)},
+			appshare.LinkConfig{Seed: int64(netsim.SoakSeedUDPUpBase + i)})
 		if _, err := host.AttachPacketConn(fmt.Sprintf("udp-%d", i), hostSide, appshare.PacketOptions{}); err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func TestSoakMixedAudience(t *testing.T) {
 	// close happens-after the write below, so a gated read is race-free.
 	groupReady := make(chan struct{})
 	for i := 0; i < 2; i++ {
-		sub := bus.Subscribe(appshare.LinkConfig{Seed: int64(60 + i), QueueLen: 4096})
+		sub := bus.Subscribe(appshare.LinkConfig{Seed: int64(netsim.SoakSeedMulticastBase + i), QueueLen: 4096})
 		p := appshare.NewParticipant(appshare.ParticipantConfig{})
 		go func() {
 			for {
